@@ -1,0 +1,70 @@
+// Command hive-bench regenerates the paper's evaluation tables and
+// figures (§7) and prints the same rows/series the paper reports.
+//
+//	hive-bench -exp figure7   # Hive 1.2 vs 3.1 per-query response times
+//	hive-bench -exp table1    # aggregate time, container vs LLAP
+//	hive-bench -exp figure8   # SSB materialized view: native vs Druid
+//	hive-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hive "repro"
+	"repro/internal/bench"
+)
+
+type runner struct{ s *hive.Session }
+
+func (r runner) Exec(q string) error { _, err := r.s.Exec(q); return err }
+func (r runner) SetConf(k, v string) { r.s.SetConf(k, v) }
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: figure7 | table1 | figure8 | all")
+	iters := flag.Int("iters", 1, "timed iterations per query (after one warm run)")
+	flag.Parse()
+
+	if *exp == "figure7" || *exp == "table1" || *exp == "all" {
+		wh, err := hive.Open(hive.Config{DiskLatency: true})
+		fail(err)
+		s := wh.Session()
+		fmt.Fprintln(os.Stderr, "loading TPC-DS-derived data ...")
+		fail(bench.SetupTPCDS(func(q string) error { _, err := s.Exec(q); return err }, bench.SmallTPCDS()))
+		if *exp == "figure7" || *exp == "all" {
+			fmt.Println("=== Figure 7: Hive v1.2 vs v3.1, per-query response time ===")
+			timings, err := bench.Figure7(runner{s}, bench.TPCDSQueries(), *iters)
+			fail(err)
+			bench.PrintFigure7(os.Stdout, timings)
+			fmt.Println()
+		}
+		if *exp == "table1" || *exp == "all" {
+			fmt.Println("=== Table 1: response time improvement using LLAP ===")
+			res, err := bench.Table1(runner{s}, bench.TPCDSQueries(), *iters)
+			fail(err)
+			bench.PrintTable1(os.Stdout, res)
+			fmt.Println()
+		}
+		wh.Close()
+	}
+	if *exp == "figure8" || *exp == "all" {
+		wh, err := hive.Open(hive.Config{DiskLatency: true})
+		fail(err)
+		s := wh.Session()
+		fmt.Fprintln(os.Stderr, "loading SSB data ...")
+		fail(bench.SetupSSB(func(q string) error { _, err := s.Exec(q); return err }, bench.SmallSSB()))
+		fmt.Println("=== Figure 8: SSB queries, MV in Hive vs MV in Druid ===")
+		timings, err := bench.RunFigure8(runner{s}, *iters)
+		fail(err)
+		bench.PrintFigure8(os.Stdout, timings)
+		wh.Close()
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hive-bench:", err)
+		os.Exit(1)
+	}
+}

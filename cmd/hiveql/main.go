@@ -1,0 +1,70 @@
+// Command hiveql is a Beeline-style shell for the embedded warehouse:
+// statements from stdin (or -e) run against a fresh in-memory deployment.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	hive "repro"
+)
+
+func main() {
+	execFlag := flag.String("e", "", "semicolon-separated statements to run and exit")
+	flag.Parse()
+
+	wh, err := hive.Open(hive.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer wh.Close()
+	s := wh.Session()
+
+	run := func(stmt string) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			return
+		}
+		res, err := s.Exec(stmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		if out := res.String(); out != "" {
+			fmt.Println(out)
+		}
+		fmt.Printf("-- %d row(s)\n", len(res.Rows))
+	}
+
+	if *execFlag != "" {
+		for _, stmt := range strings.Split(*execFlag, ";") {
+			run(stmt)
+		}
+		return
+	}
+	fmt.Println("embedded hive; end statements with ';' (ctrl-D to exit)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for {
+		if buf.Len() == 0 {
+			fmt.Print("hive> ")
+		} else {
+			fmt.Print("    > ")
+		}
+		if !scanner.Scan() {
+			break
+		}
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			run(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+			buf.Reset()
+		}
+	}
+}

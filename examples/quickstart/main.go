@@ -1,0 +1,36 @@
+// Quickstart: boot an embedded warehouse, create a partitioned ACID table,
+// load data, and run an analytic query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hive "repro"
+)
+
+func main() {
+	wh, err := hive.Open(hive.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wh.Close()
+	s := wh.Session()
+
+	s.MustExec(`CREATE TABLE store_sales (
+		item_sk BIGINT, quantity INT, sales_price DECIMAL(7,2)
+	) PARTITIONED BY (sold_date_sk INT)`)
+	s.MustExec(`INSERT INTO store_sales PARTITION (sold_date_sk=1) VALUES
+		(1, 2, 9.99), (2, 1, 19.99), (1, 5, 9.99)`)
+	s.MustExec(`INSERT INTO store_sales PARTITION (sold_date_sk=2) VALUES
+		(2, 3, 18.50), (3, 1, 4.25)`)
+
+	res := s.MustExec(`SELECT item_sk, SUM(quantity * sales_price) AS revenue
+		FROM store_sales GROUP BY item_sk ORDER BY revenue DESC`)
+	fmt.Println("revenue by item:")
+	fmt.Println(res)
+
+	// Partition pruning: only the sold_date_sk=2 directory is read.
+	res = s.MustExec(`SELECT COUNT(*) FROM store_sales WHERE sold_date_sk = 2`)
+	fmt.Println("rows on day 2:", res)
+}

@@ -1,0 +1,48 @@
+// Workload management example (paper §5.2): the resource plan from the
+// paper, verbatim — pools, a downgrade trigger, an application mapping —
+// then queries admitted under it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hive "repro"
+)
+
+func main() {
+	wh, err := hive.Open(hive.Config{Executors: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wh.Close()
+	s := wh.Session()
+
+	for _, stmt := range []string{
+		`CREATE RESOURCE PLAN daytime`,
+		`CREATE POOL daytime.bi WITH alloc_fraction=0.8, query_parallelism=5`,
+		`CREATE POOL daytime.etl WITH alloc_fraction=0.2, query_parallelism=20`,
+		`CREATE RULE downgrade IN daytime WHEN total_runtime > 3000 THEN MOVE etl`,
+		`ADD RULE downgrade TO bi`,
+		`CREATE APPLICATION MAPPING visualization_app IN daytime TO bi`,
+		`ALTER PLAN daytime SET DEFAULT POOL = etl`,
+		`ALTER RESOURCE PLAN daytime ENABLE ACTIVATE`,
+	} {
+		s.MustExec(stmt)
+		fmt.Println("ok:", stmt)
+	}
+
+	s.MustExec(`CREATE TABLE events (id BIGINT, kind STRING)`)
+	s.MustExec(`INSERT INTO events VALUES (1,'click'), (2,'view'), (3,'click')`)
+
+	// Queries from the BI application land in the bi pool (80% of
+	// executors, 5 concurrent); everything else defaults to etl.
+	s.SetUser("analyst", "visualization_app")
+	res := s.MustExec(`SELECT kind, COUNT(*) FROM events GROUP BY kind ORDER BY kind`)
+	fmt.Println("\nBI query result (admitted via pool bi):")
+	fmt.Println(res)
+
+	mgr := wh.Server().WorkloadManager()
+	running, inUse, execs, _ := mgr.PoolSnapshot("bi")
+	fmt.Printf("\npool bi: %d running, %d executors in use of %d\n", running, inUse, execs)
+}

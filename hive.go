@@ -1,0 +1,133 @@
+// Package hive is an embedded, pure-Go reproduction of Apache Hive as
+// described in "Apache Hive: From MapReduce to Enterprise-grade Big Data
+// Warehousing" (SIGMOD 2019): an ACID SQL warehouse with a cost-based
+// optimizer, materialized views with automatic rewriting, a query results
+// cache, LLAP-style cached execution, workload management, and federation
+// to an embedded Druid over its JSON/HTTP API.
+//
+// Quick start:
+//
+//	wh, _ := hive.Open(hive.Config{})
+//	defer wh.Close()
+//	s := wh.Session()
+//	s.MustExec(`CREATE TABLE t (a INT, b STRING)`)
+//	s.MustExec(`INSERT INTO t VALUES (1, 'x'), (2, 'y')`)
+//	res, _ := s.Query(`SELECT b FROM t WHERE a = 2`)
+//	fmt.Println(res)
+package hive
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/druid"
+	"repro/internal/federation"
+	"repro/internal/hs2"
+	"repro/internal/types"
+)
+
+// Config sizes the embedded warehouse.
+type Config struct {
+	// Executors is the LLAP executor pool size (default 8).
+	Executors int
+	// CacheBytes is the LLAP data cache capacity (default 64 MiB).
+	CacheBytes int64
+	// DiskLatency enables the simulated storage latency model, making
+	// I/O savings (caching, pushdown) visible in wall-clock time.
+	DiskLatency bool
+}
+
+// Warehouse is an embedded Hive deployment: HiveServer2, Metastore, an
+// in-memory distributed file system, LLAP, and an embedded Druid cluster
+// reachable over HTTP.
+type Warehouse struct {
+	srv      *hs2.Server
+	druid    *druid.Store
+	druidSrv *druid.Server
+}
+
+// Open boots a warehouse.
+func Open(cfg Config) (*Warehouse, error) {
+	fs := dfs.New()
+	if cfg.DiskLatency {
+		fs.SetLatency(DefaultLatency())
+	}
+	srv := hs2.NewServer(hs2.Config{
+		FS:         fs,
+		Executors:  cfg.Executors,
+		CacheBytes: cfg.CacheBytes,
+	})
+	store := druid.NewStore()
+	dsrv, err := druid.NewServer(store)
+	if err != nil {
+		return nil, fmt.Errorf("hive: start embedded druid: %v", err)
+	}
+	srv.Registry.Register(srv.MS, federation.NewDruidHandler(store, dsrv.URL()))
+	return &Warehouse{srv: srv, druid: store, druidSrv: dsrv}, nil
+}
+
+// DefaultLatency returns the simulated storage cost model used when
+// Config.DiskLatency is set: a seek cost per read plus per-byte throughput
+// cost, standing in for the paper's cluster disks.
+func DefaultLatency() dfs.Latency {
+	return dfs.Latency{SeekCost: 30000, PerByteCost: 2} // 30µs + 2ns/B
+}
+
+// Close shuts down background services.
+func (w *Warehouse) Close() error {
+	if w.druidSrv != nil {
+		return w.druidSrv.Close()
+	}
+	return nil
+}
+
+// Server exposes the underlying HiveServer2 for advanced integration
+// (benchmarks, cache statistics).
+func (w *Warehouse) Server() *hs2.Server { return w.srv }
+
+// DruidURL returns the embedded Druid cluster's HTTP endpoint.
+func (w *Warehouse) DruidURL() string { return w.druidSrv.URL() }
+
+// Session is one client connection.
+type Session struct {
+	inner *hs2.Session
+}
+
+// Session opens a new session.
+func (w *Warehouse) Session() *Session {
+	return &Session{inner: w.srv.NewSession()}
+}
+
+// Result is a query result.
+type Result = hs2.Result
+
+// Row is one result row.
+type Row = []types.Datum
+
+// Exec runs any SQL statement.
+func (s *Session) Exec(sql string) (*Result, error) { return s.inner.Execute(sql) }
+
+// Query runs a statement and returns its result (alias of Exec, reads
+// better for SELECTs).
+func (s *Session) Query(sql string) (*Result, error) { return s.inner.Execute(sql) }
+
+// MustExec runs a statement and panics on error (setup scripts, examples).
+func (s *Session) MustExec(sql string) *Result {
+	r, err := s.inner.Execute(sql)
+	if err != nil {
+		panic(fmt.Sprintf("hive: %s: %v", sql, err))
+	}
+	return r
+}
+
+// SetConf sets a session configuration key, e.g. hive.profile=1.2.
+func (s *Session) SetConf(key, value string) { s.inner.SetConf(key, value) }
+
+// SetUser identifies the session for workload management mappings.
+func (s *Session) SetUser(user, application string) {
+	s.inner.User, s.inner.Application = user, application
+}
+
+// Internal returns the underlying HS2 session (observability hooks like
+// LastCacheHit, LastRewriteUsedMV, LastPlan).
+func (s *Session) Internal() *hs2.Session { return s.inner }

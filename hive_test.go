@@ -1,0 +1,244 @@
+package hive
+
+import (
+	"strings"
+	"testing"
+)
+
+func open(t *testing.T) (*Warehouse, *Session) {
+	t.Helper()
+	wh, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wh.Close() })
+	return wh, wh.Session()
+}
+
+// setupStore creates the paper's running example schema with data.
+func setupStore(t *testing.T, s *Session) {
+	t.Helper()
+	s.MustExec(`CREATE TABLE store_sales (
+		ss_item_sk BIGINT, ss_customer_sk BIGINT, ss_ticket_number BIGINT,
+		ss_quantity INT, ss_sales_price DECIMAL(7,2)
+	) PARTITIONED BY (ss_sold_date_sk INT)`)
+	s.MustExec(`CREATE TABLE item (
+		i_item_sk BIGINT, i_category STRING,
+		PRIMARY KEY (i_item_sk) DISABLE NOVALIDATE RELY
+	)`)
+	s.MustExec(`INSERT INTO item VALUES
+		(1, 'Sports'), (2, 'Books'), (3, 'Sports'), (4, 'Home')`)
+	s.MustExec(`INSERT INTO store_sales PARTITION (ss_sold_date_sk=1) VALUES
+		(1, 10, 100, 2, 5.00), (2, 11, 101, 1, 10.00), (3, 10, 102, 4, 2.50)`)
+	s.MustExec(`INSERT INTO store_sales PARTITION (ss_sold_date_sk=2) VALUES
+		(3, 12, 103, 2, 2.50), (4, 13, 104, 1, 7.50), (1, 10, 105, 3, 5.00)`)
+}
+
+func TestEndToEndQuery(t *testing.T) {
+	_, s := open(t)
+	setupStore(t, s)
+	res, err := s.Query(`SELECT i_category, SUM(ss_quantity * ss_sales_price) AS total
+		FROM store_sales, item
+		WHERE ss_item_sk = i_item_sk
+		GROUP BY i_category
+		ORDER BY total DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sports: 2*5 + 4*2.5 + 2*2.5 + 3*5 = 10+10+5+15 = 40.00
+	// Books: 10.00; Home: 7.50
+	want := "Sports|40.00\nBooks|10.00\nHome|7.50"
+	if res.String() != want {
+		t.Errorf("got:\n%s\nwant:\n%s", res, want)
+	}
+}
+
+func TestACIDUpdateDeleteMerge(t *testing.T) {
+	_, s := open(t)
+	setupStore(t, s)
+	s.MustExec(`UPDATE item SET i_category = 'Outdoors' WHERE i_item_sk = 3`)
+	res := s.MustExec(`SELECT i_category FROM item WHERE i_item_sk = 3`)
+	if res.String() != "Outdoors" {
+		t.Fatalf("update: %s", res)
+	}
+	s.MustExec(`DELETE FROM item WHERE i_item_sk = 4`)
+	res = s.MustExec(`SELECT count(*) FROM item`)
+	if res.String() != "3" {
+		t.Fatalf("delete: %s", res)
+	}
+	s.MustExec(`CREATE TABLE item_updates (k BIGINT, cat STRING)`)
+	s.MustExec(`INSERT INTO item_updates VALUES (1, 'Fitness'), (99, 'New')`)
+	s.MustExec(`MERGE INTO item t USING item_updates u ON t.i_item_sk = u.k
+		WHEN MATCHED THEN UPDATE SET i_category = u.cat
+		WHEN NOT MATCHED THEN INSERT VALUES (u.k, u.cat)`)
+	res = s.MustExec(`SELECT i_item_sk, i_category FROM item ORDER BY i_item_sk`)
+	want := "1|Fitness\n2|Books\n3|Outdoors\n99|New"
+	if res.String() != want {
+		t.Fatalf("merge:\n%s\nwant:\n%s", res, want)
+	}
+}
+
+func TestPartitionPruningVisibleInPlan(t *testing.T) {
+	wh, s := open(t)
+	setupStore(t, s)
+	wh.Server().FS.ResetStats()
+	res := s.MustExec(`SELECT count(*) FROM store_sales WHERE ss_sold_date_sk = 2`)
+	if res.String() != "3" {
+		t.Fatalf("count: %s", res)
+	}
+}
+
+func TestResultCache(t *testing.T) {
+	_, s := open(t)
+	setupStore(t, s)
+	q := `SELECT count(*) FROM item`
+	s.MustExec(q)
+	s.MustExec(q)
+	if !s.Internal().LastCacheHit {
+		t.Error("second identical query should hit the results cache")
+	}
+	// A write invalidates.
+	s.MustExec(`INSERT INTO item VALUES (50, 'Toys')`)
+	res := s.MustExec(q)
+	if s.Internal().LastCacheHit {
+		t.Error("cache must not serve across an invalidating write")
+	}
+	if res.String() != "5" {
+		t.Errorf("post-write count: %s", res)
+	}
+}
+
+func TestMaterializedViewRewrite(t *testing.T) {
+	_, s := open(t)
+	setupStore(t, s)
+	s.MustExec(`CREATE MATERIALIZED VIEW sales_by_cat AS
+		SELECT i_category, SUM(ss_sales_price) AS sum_sales, COUNT(*) AS cnt
+		FROM store_sales, item
+		WHERE ss_item_sk = i_item_sk
+		GROUP BY i_category`)
+	res := s.MustExec(`SELECT i_category, SUM(ss_sales_price)
+		FROM store_sales, item
+		WHERE ss_item_sk = i_item_sk
+		GROUP BY i_category ORDER BY i_category`)
+	if !s.Internal().LastRewriteUsedMV {
+		t.Fatalf("query should be answered from the MV; plan:\n%s", s.Internal().LastPlan)
+	}
+	want := "Books|10.00\nHome|7.50\nSports|15.00"
+	if res.String() != want {
+		t.Errorf("mv rewrite result:\n%s\nwant:\n%s", res, want)
+	}
+	// After new inserts the view is stale: no rewrite until REBUILD.
+	s.MustExec(`INSERT INTO store_sales PARTITION (ss_sold_date_sk=3) VALUES (2, 9, 200, 1, 10.00)`)
+	s.MustExec(`SELECT i_category, SUM(ss_sales_price) FROM store_sales, item
+		WHERE ss_item_sk = i_item_sk GROUP BY i_category`)
+	if s.Internal().LastRewriteUsedMV {
+		t.Error("stale MV must not be used")
+	}
+	s.MustExec(`ALTER MATERIALIZED VIEW sales_by_cat REBUILD`)
+	res = s.MustExec(`SELECT i_category, SUM(ss_sales_price) FROM store_sales, item
+		WHERE ss_item_sk = i_item_sk GROUP BY i_category ORDER BY i_category`)
+	if !s.Internal().LastRewriteUsedMV {
+		t.Error("rebuilt MV should be used again")
+	}
+	if !strings.Contains(res.String(), "Books|20.00") {
+		t.Errorf("after rebuild: %s", res)
+	}
+}
+
+func TestDruidFederationPushdown(t *testing.T) {
+	_, s := open(t)
+	s.MustExec(`CREATE EXTERNAL TABLE druid_events (
+		__time TIMESTAMP, d1 STRING, m1 DOUBLE
+	) STORED BY 'org.apache.hadoop.hive.druid.DruidStorageHandler'
+	TBLPROPERTIES ('druid.datasource' = 'events')`)
+	s.MustExec(`INSERT INTO druid_events VALUES
+		(CAST('2018-01-01 00:00:00' AS timestamp), 'a', 1.5),
+		(CAST('2018-01-02 00:00:00' AS timestamp), 'b', 2.0),
+		(CAST('2018-01-03 00:00:00' AS timestamp), 'a', 3.0)`)
+	res := s.MustExec(`SELECT d1, SUM(m1) AS sm FROM druid_events GROUP BY d1 ORDER BY sm DESC LIMIT 10`)
+	if res.String() != "a|4.5\nb|2" {
+		t.Fatalf("druid groupBy: %s", res)
+	}
+	if !strings.Contains(s.Internal().LastPlan, "ForeignScan") ||
+		!strings.Contains(s.Internal().LastPlan, "groupBy") {
+		t.Errorf("computation not pushed to Druid:\n%s", s.Internal().LastPlan)
+	}
+}
+
+func TestV12ProfileGatesSQL(t *testing.T) {
+	_, s := open(t)
+	setupStore(t, s)
+	s.SetConf("hive.profile", "1.2")
+	if _, err := s.Exec(`SELECT ss_item_sk FROM store_sales INTERSECT SELECT i_item_sk FROM item`); err == nil {
+		t.Error("INTERSECT should fail under the 1.2 profile")
+	}
+	if _, err := s.Exec(`SELECT i_category FROM item ORDER BY i_item_sk`); err == nil {
+		t.Error("ORDER BY unselected column should fail under 1.2")
+	}
+	// Still runs plain queries.
+	if _, err := s.Exec(`SELECT count(*) FROM item`); err != nil {
+		t.Errorf("plain query under 1.2: %v", err)
+	}
+	s.SetConf("hive.profile", "3.1")
+	if _, err := s.Exec(`SELECT ss_item_sk FROM store_sales INTERSECT SELECT i_item_sk FROM item`); err != nil {
+		t.Errorf("INTERSECT under 3.1: %v", err)
+	}
+}
+
+func TestOptimizerProfilesAgreeOnResults(t *testing.T) {
+	_, s := open(t)
+	setupStore(t, s)
+	queries := []string{
+		`SELECT i_category, count(*) FROM store_sales JOIN item ON ss_item_sk = i_item_sk
+		 WHERE ss_sold_date_sk = 1 GROUP BY i_category ORDER BY i_category`,
+		`SELECT ss_customer_sk, SUM(ss_sales_price) AS s FROM store_sales, item
+		 WHERE ss_item_sk = i_item_sk AND i_category = 'Sports'
+		 GROUP BY ss_customer_sk ORDER BY s DESC`,
+		`SELECT count(*) FROM store_sales WHERE ss_item_sk IN
+		 (SELECT i_item_sk FROM item WHERE i_category = 'Sports')`,
+	}
+	var v31 []string
+	for _, q := range queries {
+		v31 = append(v31, s.MustExec(q).String())
+	}
+	// Disable each optimization and in MR mode: results must not change.
+	s.SetConf("hive.profile", "1.2")
+	s.SetConf("hive.execution.mode", "mr")
+	for i, q := range queries {
+		got := s.MustExec(q).String()
+		if got != v31[i] {
+			t.Errorf("query %d differs between profiles:\nv3.1: %s\nv1.2/mr: %s", i, v31[i], got)
+		}
+	}
+}
+
+func TestWorkloadManagementPaperExample(t *testing.T) {
+	_, s := open(t)
+	for _, stmt := range []string{
+		`CREATE RESOURCE PLAN daytime`,
+		`CREATE POOL daytime.bi WITH alloc_fraction=0.8, query_parallelism=5`,
+		`CREATE POOL daytime.etl WITH alloc_fraction=0.2, query_parallelism=20`,
+		`CREATE RULE downgrade IN daytime WHEN total_runtime > 3000 THEN MOVE etl`,
+		`ADD RULE downgrade TO bi`,
+		`CREATE APPLICATION MAPPING visualization_app IN daytime TO bi`,
+		`ALTER PLAN daytime SET DEFAULT POOL = etl`,
+		`ALTER RESOURCE PLAN daytime ENABLE ACTIVATE`,
+	} {
+		s.MustExec(stmt)
+	}
+	setupStore(t, s)
+	s.SetUser("alice", "visualization_app")
+	if _, err := s.Query(`SELECT count(*) FROM item`); err != nil {
+		t.Fatalf("query under workload management: %v", err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	_, s := open(t)
+	setupStore(t, s)
+	res := s.MustExec(`EXPLAIN SELECT i_category FROM item WHERE i_item_sk = 1`)
+	text := res.Rows[0][0].S
+	if !strings.Contains(text, "TableScan") {
+		t.Errorf("explain output:\n%s", text)
+	}
+}

@@ -1,0 +1,435 @@
+// Package acid implements Hive's transactional table layout (paper §3.2):
+// each table or partition directory holds base and delta stores. Inserts
+// create delta_W_W directories, deletes create delete_delta_W_W directories
+// (an update is a delete plus an insert), and compaction merges them.
+//
+// Every record carries three system columns — WriteId, FileId, RowId —
+// whose combination uniquely identifies it. A delete is an insert of a
+// labeled record pointing at the unique identifier of the deleted record;
+// readers anti-join base and insert deltas against the delete deltas that
+// apply to their WriteId range.
+package acid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Positions of the ACID system columns in every stored file.
+const (
+	MetaWriteID = 0
+	MetaFileID  = 1
+	MetaRowID   = 2
+	NumMetaCols = 3
+)
+
+// MetaColumns returns the schema of the three system columns.
+func MetaColumns() []orc.Column {
+	return []orc.Column{
+		{Name: "__writeid", Type: types.TBigint},
+		{Name: "__fileid", Type: types.TBigint},
+		{Name: "__rowid", Type: types.TBigint},
+	}
+}
+
+// FullSchema prepends the system columns to a table's data columns.
+func FullSchema(dataCols []orc.Column) []orc.Column {
+	return append(MetaColumns(), dataCols...)
+}
+
+// RowKey uniquely identifies a record in a table (paper §3.2).
+type RowKey struct {
+	WriteID int64
+	FileID  int64
+	RowID   int64
+}
+
+type dirKind uint8
+
+const (
+	kindBase dirKind = iota
+	kindDelta
+	kindDeleteDelta
+)
+
+type storeDir struct {
+	kind     dirKind
+	min, max int64
+	path     string
+}
+
+func baseDirName(w int64) string        { return fmt.Sprintf("base_%07d", w) }
+func deltaDirName(lo, hi int64) string  { return fmt.Sprintf("delta_%07d_%07d", lo, hi) }
+func deleteDirName(lo, hi int64) string { return fmt.Sprintf("delete_delta_%07d_%07d", lo, hi) }
+
+func parseStoreDir(path string) (storeDir, bool) {
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	var lo, hi int64
+	switch {
+	case strings.HasPrefix(name, "base_"):
+		if _, err := fmt.Sscanf(name, "base_%d", &lo); err != nil {
+			return storeDir{}, false
+		}
+		return storeDir{kind: kindBase, min: 0, max: lo, path: path}, true
+	case strings.HasPrefix(name, "delete_delta_"):
+		if _, err := fmt.Sscanf(name, "delete_delta_%d_%d", &lo, &hi); err != nil {
+			return storeDir{}, false
+		}
+		return storeDir{kind: kindDeleteDelta, min: lo, max: hi, path: path}, true
+	case strings.HasPrefix(name, "delta_"):
+		if _, err := fmt.Sscanf(name, "delta_%d_%d", &lo, &hi); err != nil {
+			return storeDir{}, false
+		}
+		return storeDir{kind: kindDelta, min: lo, max: hi, path: path}, true
+	}
+	return storeDir{}, false
+}
+
+// InsertWriter writes inserted rows for one (writeID, fileID) into a
+// delta_W_W directory, assigning RowIds sequentially.
+type InsertWriter struct {
+	w       *orc.Writer
+	writeID int64
+	fileID  int64
+	nextRow int64
+}
+
+// NewInsertWriter opens a writer under loc for the given transaction write.
+// fileID distinguishes parallel writers of the same transaction.
+func NewInsertWriter(fs *dfs.FS, loc string, writeID int64, fileID int64, dataCols []orc.Column, opts orc.WriterOptions) *InsertWriter {
+	path := fmt.Sprintf("%s/%s/file_%05d", loc, deltaDirName(writeID, writeID), fileID)
+	return &InsertWriter{
+		w:       orc.NewWriter(fs, path, FullSchema(dataCols), opts),
+		writeID: writeID,
+		fileID:  fileID,
+	}
+}
+
+// WriteRow appends one data row (without system columns).
+func (iw *InsertWriter) WriteRow(row []types.Datum) error {
+	full := make([]types.Datum, 0, NumMetaCols+len(row))
+	full = append(full,
+		types.NewBigint(iw.writeID),
+		types.NewBigint(iw.fileID),
+		types.NewBigint(iw.nextRow),
+	)
+	full = append(full, row...)
+	iw.nextRow++
+	return iw.w.WriteRow(full)
+}
+
+// Rows returns the number of rows written so far.
+func (iw *InsertWriter) Rows() int64 { return iw.nextRow }
+
+// Close finalizes the delta file.
+func (iw *InsertWriter) Close() error { return iw.w.Close() }
+
+// DeleteWriter records deleted row identifiers in a delete_delta_W_W
+// directory. Deleted records store only the identifier of the record being
+// deleted (paper §3.2).
+type DeleteWriter struct {
+	w *orc.Writer
+}
+
+// NewDeleteWriter opens a delete-delta writer for the given write.
+func NewDeleteWriter(fs *dfs.FS, loc string, writeID int64, fileID int64) *DeleteWriter {
+	path := fmt.Sprintf("%s/%s/file_%05d", loc, deleteDirName(writeID, writeID), fileID)
+	return &DeleteWriter{w: orc.NewWriter(fs, path, MetaColumns(), orc.WriterOptions{})}
+}
+
+// Delete records one row key as deleted.
+func (dw *DeleteWriter) Delete(k RowKey) error {
+	return dw.w.WriteRow([]types.Datum{
+		types.NewBigint(k.WriteID),
+		types.NewBigint(k.FileID),
+		types.NewBigint(k.RowID),
+	})
+}
+
+// Close finalizes the delete delta file.
+func (dw *DeleteWriter) Close() error { return dw.w.Close() }
+
+// Snapshot is a consistent merge-on-read view of one table/partition
+// directory under a ValidWriteIds list.
+type Snapshot struct {
+	fs       *dfs.FS
+	loc      string
+	dataCols []orc.Column
+	valid    txn.ValidWriteIds
+	baseMax  int64 // write id covered by the chosen base (0 = none)
+	dataDirs []storeDir
+	deletes  map[RowKey]struct{}
+	chunks   orc.ChunkReader
+}
+
+// OpenSnapshot lists the directory, selects the newest usable base,
+// determines the applicable deltas, and loads the valid delete set into
+// memory (delete deltas are usually small and kept in memory, paper §3.2).
+func OpenSnapshot(fs *dfs.FS, loc string, dataCols []orc.Column, valid txn.ValidWriteIds) (*Snapshot, error) {
+	s := &Snapshot{fs: fs, loc: loc, dataCols: dataCols, valid: valid, deletes: map[RowKey]struct{}{}}
+	if !fs.Exists(loc) {
+		return s, nil // empty table
+	}
+	infos, err := fs.List(loc)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []storeDir
+	for _, fi := range infos {
+		if !fi.IsDir {
+			continue
+		}
+		if d, ok := parseStoreDir(fi.Path); ok {
+			dirs = append(dirs, d)
+		}
+	}
+	// Choose the newest base whose coverage is fully visible: every write
+	// id <= base max must be valid (compaction only folds committed data,
+	// but an older snapshot must not use a newer base).
+	for _, d := range dirs {
+		if d.kind != kindBase {
+			continue
+		}
+		if d.max <= valid.HighWater && d.max > s.baseMax && !anyInvalidUpTo(valid, d.max) {
+			s.baseMax = d.max
+		}
+	}
+	// Data dirs: the chosen base plus deltas that may contain rows above
+	// it. A delta covered by a wider (compacted) delta is dropped so rows
+	// are never read twice while the cleaner has not yet run.
+	var candidates []storeDir
+	for _, d := range dirs {
+		switch d.kind {
+		case kindBase:
+			if d.max == s.baseMax {
+				s.dataDirs = append(s.dataDirs, d)
+			}
+		case kindDelta:
+			if d.max > s.baseMax && d.min <= valid.HighWater {
+				candidates = append(candidates, d)
+			}
+		}
+	}
+	s.dataDirs = append(s.dataDirs, dropCovered(candidates)...)
+	sort.Slice(s.dataDirs, func(i, j int) bool {
+		if s.dataDirs[i].min != s.dataDirs[j].min {
+			return s.dataDirs[i].min < s.dataDirs[j].min
+		}
+		return s.dataDirs[i].path < s.dataDirs[j].path
+	})
+	// Load the delete set from applicable delete deltas (dropping ones
+	// covered by a wider compacted delete delta).
+	var delCandidates []storeDir
+	for _, d := range dirs {
+		if d.kind != kindDeleteDelta || d.max <= s.baseMax || d.min > valid.HighWater {
+			continue
+		}
+		delCandidates = append(delCandidates, d)
+	}
+	for _, d := range dropCovered(delCandidates) {
+		if err := s.loadDeletes(d); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// dropCovered removes directories whose WriteId range is strictly contained
+// in a wider directory of the same kind (the wider one is the compacted
+// replacement).
+func dropCovered(dirs []storeDir) []storeDir {
+	out := dirs[:0]
+	for _, d := range dirs {
+		covered := false
+		for _, o := range dirs {
+			if o.path == d.path {
+				continue
+			}
+			if o.min <= d.min && o.max >= d.max && (o.max-o.min) > (d.max-d.min) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func anyInvalidUpTo(valid txn.ValidWriteIds, hi int64) bool {
+	for w := range valid.Invalid {
+		if w <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// SetChunkReader routes data reads through a caching chunk source (LLAP).
+func (s *Snapshot) SetChunkReader(cr orc.ChunkReader) { s.chunks = cr }
+
+func (s *Snapshot) loadDeletes(d storeDir) error {
+	files, err := s.fs.ListRecursive(d.path)
+	if err != nil {
+		return err
+	}
+	for _, fi := range files {
+		r, err := orc.NewReader(s.fs, fi.Path)
+		if err != nil {
+			return err
+		}
+		if s.chunks != nil {
+			r.SetChunkReader(s.chunks)
+		}
+		for st := 0; st < r.NumStripes(); st++ {
+			b, err := r.ReadStripe(st, nil)
+			if err != nil {
+				return err
+			}
+			// The delete-delta file's own rows are stamped by the deleting
+			// transaction via the directory's write id range; validity of
+			// the delete itself is the directory-level check plus, for
+			// compacted delete deltas, nothing further (compaction only
+			// keeps committed deletes). For single-write dirs, check the
+			// directory write id.
+			if d.min == d.max && !s.valid.Valid(d.min) {
+				continue
+			}
+			for i := 0; i < b.N; i++ {
+				s.deletes[RowKey{
+					WriteID: b.Cols[MetaWriteID].I64[i],
+					FileID:  b.Cols[MetaFileID].I64[i],
+					RowID:   b.Cols[MetaRowID].I64[i],
+				}] = struct{}{}
+			}
+		}
+	}
+	return nil
+}
+
+// DeleteCount returns the number of visible deleted row keys.
+func (s *Snapshot) DeleteCount() int { return len(s.deletes) }
+
+// Scan streams the visible rows as batches. projection selects columns of
+// the full schema (system columns at ordinals 0..2, data columns after);
+// nil selects everything. The search argument, if any, is expressed against
+// full-schema ordinals and used both for stripe skipping and, for PredBloom
+// reducers, row filtering is left to the caller.
+func (s *Snapshot) Scan(projection []int, sarg *orc.SearchArgument, fn func(*vector.Batch) error) error {
+	full := FullSchema(s.dataCols)
+	if projection == nil {
+		projection = make([]int, len(full))
+		for i := range projection {
+			projection[i] = i
+		}
+	}
+	// Always read the system columns for validity and anti-join checks,
+	// then project down to what the caller asked for.
+	readCols := make([]int, 0, NumMetaCols+len(projection))
+	readCols = append(readCols, MetaWriteID, MetaFileID, MetaRowID)
+	for _, p := range projection {
+		readCols = append(readCols, p)
+	}
+	for _, d := range s.dataDirs {
+		files, err := s.fs.ListRecursive(d.path)
+		if err != nil {
+			return err
+		}
+		for _, fi := range files {
+			r, err := orc.NewReader(s.fs, fi.Path)
+			if err != nil {
+				return err
+			}
+			if s.chunks != nil {
+				r.SetChunkReader(s.chunks)
+			}
+			for st := 0; st < r.NumStripes(); st++ {
+				if sarg != nil && !r.StripeCanMatch(st, sarg) {
+					continue
+				}
+				b, err := r.ReadStripe(st, readCols)
+				if err != nil {
+					return err
+				}
+				out := s.filterBatch(b, d, len(projection))
+				if out.N == 0 {
+					continue
+				}
+				if err := fn(out); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// filterBatch applies snapshot validity and the delete anti-join, returning
+// a batch with only the caller's projected columns.
+func (s *Snapshot) filterBatch(b *vector.Batch, d storeDir, projN int) *vector.Batch {
+	wids := b.Cols[0].I64
+	fids := b.Cols[1].I64
+	rids := b.Cols[2].I64
+	sel := make([]int, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		w := wids[i]
+		// Rows at or below the base high watermark inside deltas were
+		// superseded by the base selection; in the base itself w <= baseMax
+		// by construction. Validity: skip rows above the snapshot high
+		// watermark or belonging to open/aborted transactions.
+		if d.kind != kindBase && w <= s.baseMax {
+			continue
+		}
+		if !s.valid.Valid(w) {
+			continue
+		}
+		if len(s.deletes) > 0 {
+			if _, dead := s.deletes[RowKey{WriteID: w, FileID: fids[i], RowID: rids[i]}]; dead {
+				continue
+			}
+		}
+		sel = append(sel, i)
+	}
+	return &vector.Batch{Cols: b.Cols[NumMetaCols : NumMetaCols+projN], Sel: sel, N: len(sel)}
+}
+
+// ListStores summarizes the store directories currently present (for
+// compaction decisions and tests).
+func ListStores(fs *dfs.FS, loc string) (bases, deltas, deleteDeltas []string, err error) {
+	if !fs.Exists(loc) {
+		return nil, nil, nil, nil
+	}
+	infos, err := fs.List(loc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, fi := range infos {
+		if !fi.IsDir {
+			continue
+		}
+		d, ok := parseStoreDir(fi.Path)
+		if !ok {
+			continue
+		}
+		switch d.kind {
+		case kindBase:
+			bases = append(bases, fi.Path)
+		case kindDelta:
+			deltas = append(deltas, fi.Path)
+		case kindDeleteDelta:
+			deleteDeltas = append(deleteDeltas, fi.Path)
+		}
+	}
+	return bases, deltas, deleteDeltas, nil
+}

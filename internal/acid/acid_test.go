@@ -1,0 +1,417 @@
+package acid
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+var testCols = []orc.Column{
+	{Name: "id", Type: types.TBigint},
+	{Name: "val", Type: types.TString},
+}
+
+// env bundles a filesystem, a txn manager and a table location.
+type env struct {
+	fs  *dfs.FS
+	tm  *txn.Manager
+	loc string
+}
+
+func newEnv() *env {
+	return &env{fs: dfs.New(), tm: txn.NewManager(), loc: "/wh/t"}
+}
+
+// insert writes rows [lo,hi) in one committed transaction, returns writeID.
+func (e *env) insert(t *testing.T, lo, hi int64) int64 {
+	t.Helper()
+	id := e.tm.Begin()
+	w, err := e.tm.AllocateWriteId(id, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iw := NewInsertWriter(e.fs, e.loc, w, 0, testCols, orc.WriterOptions{StripeRows: 4})
+	for i := lo; i < hi; i++ {
+		if err := iw.WriteRow([]types.Datum{types.NewBigint(i), types.NewString("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := iw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.tm.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// deleteKeys deletes the given row keys in one committed transaction.
+func (e *env) deleteKeys(t *testing.T, keys []RowKey) {
+	t.Helper()
+	id := e.tm.Begin()
+	w, _ := e.tm.AllocateWriteId(id, "t")
+	dw := NewDeleteWriter(e.fs, e.loc, w, 0)
+	for _, k := range keys {
+		if err := dw.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.tm.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readIDs scans visible "id" values under a fresh snapshot, sorted.
+func (e *env) readIDs(t *testing.T) []int64 {
+	t.Helper()
+	return e.readIDsAt(t, e.tm.GetSnapshot())
+}
+
+func (e *env) readIDsAt(t *testing.T, snap txn.Snapshot) []int64 {
+	t.Helper()
+	valid := e.tm.GetValidWriteIds("t", snap)
+	s, err := OpenSnapshot(e.fs, e.loc, testCols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []int64
+	err = s.Scan([]int{NumMetaCols + 0}, nil, func(b *vector.Batch) error {
+		for i := 0; i < b.N; i++ {
+			out = append(out, b.Cols[0].I64[b.RowIdx(i)])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// scanKeys returns all visible row keys with their ids.
+func (e *env) scanKeys(t *testing.T) map[int64]RowKey {
+	t.Helper()
+	valid := e.tm.GetValidWriteIds("t", e.tm.GetSnapshot())
+	s, err := OpenSnapshot(e.fs, e.loc, testCols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int64]RowKey{}
+	err = s.Scan([]int{MetaWriteID, MetaFileID, MetaRowID, NumMetaCols}, nil, func(b *vector.Batch) error {
+		for i := 0; i < b.N; i++ {
+			r := b.RowIdx(i)
+			out[b.Cols[3].I64[r]] = RowKey{
+				WriteID: b.Cols[0].I64[r],
+				FileID:  b.Cols[1].I64[r],
+				RowID:   b.Cols[2].I64[r],
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func wantIDs(lo, hi int64, except ...int64) []int64 {
+	skip := map[int64]bool{}
+	for _, e := range except {
+		skip[e] = true
+	}
+	var out []int64
+	for i := lo; i < hi; i++ {
+		if !skip[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertAndRead(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 10)
+	e.insert(t, 10, 20)
+	got := e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 20)) {
+		t.Errorf("read %v", got)
+	}
+}
+
+func TestSnapshotDoesNotSeeOpenTxn(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 5)
+	// Open a writer but do not commit.
+	id := e.tm.Begin()
+	w, _ := e.tm.AllocateWriteId(id, "t")
+	iw := NewInsertWriter(e.fs, e.loc, w, 0, testCols, orc.WriterOptions{})
+	iw.WriteRow([]types.Datum{types.NewBigint(100), types.NewString("x")})
+	iw.Close()
+
+	got := e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 5)) {
+		t.Errorf("open txn data leaked: %v", got)
+	}
+	e.tm.Commit(id)
+	got = e.readIDs(t)
+	if !equalIDs(got, append(wantIDs(0, 5), 100)) {
+		t.Errorf("committed data missing: %v", got)
+	}
+}
+
+func TestAbortedWritesInvisible(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 5)
+	id := e.tm.Begin()
+	w, _ := e.tm.AllocateWriteId(id, "t")
+	iw := NewInsertWriter(e.fs, e.loc, w, 0, testCols, orc.WriterOptions{})
+	iw.WriteRow([]types.Datum{types.NewBigint(999), types.NewString("x")})
+	iw.Close()
+	e.tm.Abort(id)
+	got := e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 5)) {
+		t.Errorf("aborted data leaked: %v", got)
+	}
+}
+
+func TestDeleteHidesRows(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 10)
+	keys := e.scanKeys(t)
+	e.deleteKeys(t, []RowKey{keys[3], keys[7]})
+	got := e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 10, 3, 7)) {
+		t.Errorf("after delete: %v", got)
+	}
+}
+
+func TestUpdateAsDeletePlusInsert(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 5)
+	keys := e.scanKeys(t)
+	// Update row 2 -> 42: one transaction writes a delete and an insert.
+	id := e.tm.Begin()
+	w, _ := e.tm.AllocateWriteId(id, "t")
+	dw := NewDeleteWriter(e.fs, e.loc, w, 0)
+	dw.Delete(keys[2])
+	dw.Close()
+	iw := NewInsertWriter(e.fs, e.loc, w, 0, testCols, orc.WriterOptions{})
+	iw.WriteRow([]types.Datum{types.NewBigint(42), types.NewString("updated")})
+	iw.Close()
+	e.tm.AddWriteSet(id, "t", "", txn.OpUpdate)
+	if err := e.tm.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+	got := e.readIDs(t)
+	if !equalIDs(got, []int64{0, 1, 3, 4, 42}) {
+		t.Errorf("after update: %v", got)
+	}
+}
+
+func TestOldSnapshotStillSeesDeletedRows(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 5)
+	before := e.tm.GetSnapshot()
+	keys := e.scanKeys(t)
+	e.deleteKeys(t, []RowKey{keys[0]})
+	// Old snapshot: delete invisible.
+	got := e.readIDsAt(t, before)
+	if !equalIDs(got, wantIDs(0, 5)) {
+		t.Errorf("old snapshot: %v", got)
+	}
+	// New snapshot: delete applied.
+	got = e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 5, 0)) {
+		t.Errorf("new snapshot: %v", got)
+	}
+}
+
+func TestMinorCompactionPreservesResults(t *testing.T) {
+	e := newEnv()
+	for i := int64(0); i < 6; i++ {
+		e.insert(t, i*10, i*10+10)
+	}
+	keys := e.scanKeys(t)
+	e.deleteKeys(t, []RowKey{keys[5], keys[25]})
+	before := e.readIDs(t)
+
+	c := NewCompactor(e.fs, e.loc, testCols, orc.WriterOptions{})
+	if err := c.Minor(e.tm.CompactorValidWriteIds("t")); err != nil {
+		t.Fatal(err)
+	}
+	after := e.readIDs(t)
+	if !equalIDs(before, after) {
+		t.Errorf("minor compaction changed results:\nbefore %v\nafter  %v", before, after)
+	}
+	// After cleaning, the small deltas are gone but results still hold.
+	if err := Clean(e.fs, e.loc); err != nil {
+		t.Fatal(err)
+	}
+	_, deltas, _, _ := ListStores(e.fs, e.loc)
+	if len(deltas) != 1 {
+		t.Errorf("expected 1 merged delta after clean, got %v", deltas)
+	}
+	after = e.readIDs(t)
+	if !equalIDs(before, after) {
+		t.Errorf("clean changed results: %v", after)
+	}
+}
+
+func TestMajorCompactionAppliesDeletesAndDropsHistory(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 20)
+	keys := e.scanKeys(t)
+	e.deleteKeys(t, []RowKey{keys[1], keys[2]})
+	before := e.readIDs(t)
+
+	c := NewCompactor(e.fs, e.loc, testCols, orc.WriterOptions{})
+	if err := c.Major(e.tm.CompactorValidWriteIds("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Clean(e.fs, e.loc); err != nil {
+		t.Fatal(err)
+	}
+	bases, deltas, dels, _ := ListStores(e.fs, e.loc)
+	if len(bases) != 1 || len(deltas) != 0 || len(dels) != 0 {
+		t.Errorf("after major+clean: bases=%v deltas=%v dels=%v", bases, deltas, dels)
+	}
+	after := e.readIDs(t)
+	if !equalIDs(before, after) {
+		t.Errorf("major compaction changed results:\nbefore %v\nafter  %v", before, after)
+	}
+	// Row identity survives major compaction: delete another row by its key.
+	keys = e.scanKeys(t)
+	e.deleteKeys(t, []RowKey{keys[10]})
+	got := e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 20, 1, 2, 10)) {
+		t.Errorf("delete after compaction: %v", got)
+	}
+}
+
+func TestCompactionExcludesOpenTransactions(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 5)
+	// Open, uncommitted insert.
+	id := e.tm.Begin()
+	w, _ := e.tm.AllocateWriteId(id, "t")
+	iw := NewInsertWriter(e.fs, e.loc, w, 0, testCols, orc.WriterOptions{})
+	iw.WriteRow([]types.Datum{types.NewBigint(777), types.NewString("open")})
+	iw.Close()
+	// Another committed insert above the open one.
+	e.insert(t, 5, 10)
+
+	c := NewCompactor(e.fs, e.loc, testCols, orc.WriterOptions{})
+	if err := c.Major(e.tm.CompactorValidWriteIds("t")); err != nil {
+		t.Fatal(err)
+	}
+	// The open txn's data must still be invisible, and must not have been
+	// folded into the base.
+	got := e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 5)) && !equalIDs(got, wantIDs(0, 10)) {
+		t.Errorf("unexpected ids: %v", got)
+	}
+	for _, v := range got {
+		if v == 777 {
+			t.Fatal("open transaction data leaked through compaction")
+		}
+	}
+	// Commit later: data becomes visible even after compaction ran.
+	e.tm.Commit(id)
+	got = e.readIDs(t)
+	found := false
+	for _, v := range got {
+		if v == 777 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("late-committed data lost by compaction")
+	}
+}
+
+func TestCompactionPolicy(t *testing.T) {
+	p := DefaultPolicy()
+	if got := p.Decide(3, 10, 1000); got != CompactNone {
+		t.Errorf("few deltas low ratio: %v", got)
+	}
+	if got := p.Decide(15, 10, 1000); got != CompactMinor {
+		t.Errorf("many deltas: %v", got)
+	}
+	if got := p.Decide(2, 500, 1000); got != CompactMajor {
+		t.Errorf("high ratio: %v", got)
+	}
+	if got := p.Decide(12, 500, 0); got != CompactMajor {
+		t.Errorf("no base, many deltas: %v", got)
+	}
+}
+
+func TestScanWithSargSkipsStripes(t *testing.T) {
+	e := newEnv()
+	// One insert with many stripes (StripeRows=4).
+	e.insert(t, 0, 64)
+	valid := e.tm.GetValidWriteIds("t", e.tm.GetSnapshot())
+	s, err := OpenSnapshot(e.fs, e.loc, testCols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id == 17 lives in exactly one stripe; sarg on full-schema ordinal 3.
+	sarg := &orc.SearchArgument{Preds: []orc.Predicate{{
+		Col: NumMetaCols, Op: orc.PredEQ, Values: []types.Datum{types.NewBigint(17)},
+	}}}
+	rows := 0
+	s.Scan([]int{NumMetaCols}, sarg, func(b *vector.Batch) error {
+		rows += b.N
+		return nil
+	})
+	if rows != 4 { // one stripe of 4 rows survives skipping
+		t.Errorf("scanned %d rows, want 4 (one stripe)", rows)
+	}
+}
+
+func TestEmptyTableScan(t *testing.T) {
+	e := newEnv()
+	got := e.readIDs(t)
+	if len(got) != 0 {
+		t.Errorf("empty table returned %v", got)
+	}
+}
+
+func TestParseStoreDir(t *testing.T) {
+	cases := map[string]bool{
+		"base_0000005":                 true,
+		"delta_0000001_0000001":        true,
+		"delete_delta_0000002_0000004": true,
+		"random_dir":                   false,
+		"file_00000":                   false,
+	}
+	for name, ok := range cases {
+		_, got := parseStoreDir("/wh/t/" + name)
+		if got != ok {
+			t.Errorf("parseStoreDir(%s) = %v, want %v", name, got, ok)
+		}
+	}
+	d, _ := parseStoreDir("/wh/t/delete_delta_0000002_0000004")
+	if d.kind != kindDeleteDelta || d.min != 2 || d.max != 4 {
+		t.Errorf("parsed %+v", d)
+	}
+}

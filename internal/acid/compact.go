@@ -1,0 +1,275 @@
+package acid
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/txn"
+	"repro/internal/vector"
+)
+
+// CompactionKind selects minor or major compaction (paper §3.2).
+type CompactionKind uint8
+
+// Compaction kinds.
+const (
+	CompactNone CompactionKind = iota
+	CompactMinor
+	CompactMajor
+)
+
+// CompactionPolicy holds the thresholds HS2 uses to trigger compaction
+// automatically (paper §3.2: number of delta files, ratio of delta records
+// to base records).
+type CompactionPolicy struct {
+	MinDeltasForMinor  int     // minor when at least this many delta dirs exist
+	DeltaRatioForMajor float64 // major when deltaRows/baseRows exceeds this
+}
+
+// DefaultPolicy mirrors Hive's defaults in spirit.
+func DefaultPolicy() CompactionPolicy {
+	return CompactionPolicy{MinDeltasForMinor: 10, DeltaRatioForMajor: 0.1}
+}
+
+// Decide picks a compaction kind from the current store shape.
+func (p CompactionPolicy) Decide(numDeltas int, deltaRows, baseRows int64) CompactionKind {
+	if baseRows > 0 && float64(deltaRows)/float64(baseRows) > p.DeltaRatioForMajor {
+		return CompactMajor
+	}
+	if baseRows == 0 && numDeltas >= p.MinDeltasForMinor {
+		return CompactMajor
+	}
+	if numDeltas >= p.MinDeltasForMinor {
+		return CompactMinor
+	}
+	return CompactNone
+}
+
+// Compactor merges delta stores. The merging phase writes new directories;
+// the cleaning phase (Clean) is separate so ongoing queries can finish
+// reading the old directories before files are deleted (paper §3.2 —
+// compaction takes no locks).
+type Compactor struct {
+	fs       *dfs.FS
+	loc      string
+	dataCols []orc.Column
+	opts     orc.WriterOptions
+}
+
+// NewCompactor returns a compactor for one table/partition directory.
+func NewCompactor(fs *dfs.FS, loc string, dataCols []orc.Column, opts orc.WriterOptions) *Compactor {
+	return &Compactor{fs: fs, loc: loc, dataCols: dataCols, opts: opts}
+}
+
+// Minor merges all visible insert deltas into a single delta directory and
+// all delete deltas into a single delete_delta directory, without touching
+// the base. Per-row WriteIds are preserved so older snapshots remain
+// readable.
+func (c *Compactor) Minor(valid txn.ValidWriteIds) error {
+	snap, err := OpenSnapshot(c.fs, c.loc, c.dataCols, valid)
+	if err != nil {
+		return err
+	}
+	var lo, hi int64
+	var deltaDirs []storeDir
+	for _, d := range snap.dataDirs {
+		if d.kind != kindDelta {
+			continue
+		}
+		deltaDirs = append(deltaDirs, d)
+		if lo == 0 || d.min < lo {
+			lo = d.min
+		}
+		if d.max > hi {
+			hi = d.max
+		}
+	}
+	if len(deltaDirs) < 2 {
+		return nil
+	}
+	// Merge insert deltas, keeping system columns (and any deleted rows:
+	// minor compaction does not apply deletes).
+	tmp := c.loc + "/.tmp_minor_delta"
+	if c.fs.Exists(tmp) {
+		c.fs.Remove(tmp, true)
+	}
+	w := orc.NewWriter(c.fs, tmp+"/file_00000", FullSchema(c.dataCols), c.opts)
+	wroteRows := false
+	for _, d := range deltaDirs {
+		if err := c.copyDir(d, w, valid, &wroteRows); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := c.fs.Rename(tmp, c.loc+"/"+deltaDirName(lo, hi)); err != nil {
+		return err
+	}
+	// Merge delete deltas over the same range.
+	_, _, delDirs, err := ListStores(c.fs, c.loc)
+	if err != nil {
+		return err
+	}
+	var toMerge []storeDir
+	dlo, dhi := int64(0), int64(0)
+	for _, p := range delDirs {
+		d, _ := parseStoreDir(p)
+		if d.min == d.max && !valid.Valid(d.min) {
+			continue
+		}
+		if d.max <= valid.HighWater {
+			toMerge = append(toMerge, d)
+			if dlo == 0 || d.min < dlo {
+				dlo = d.min
+			}
+			if d.max > dhi {
+				dhi = d.max
+			}
+		}
+	}
+	if len(toMerge) >= 2 {
+		tmp := c.loc + "/.tmp_minor_delete"
+		if c.fs.Exists(tmp) {
+			c.fs.Remove(tmp, true)
+		}
+		dw := orc.NewWriter(c.fs, tmp+"/file_00000", MetaColumns(), orc.WriterOptions{})
+		wrote := false
+		for _, d := range toMerge {
+			if err := c.copyDir(d, dw, valid, &wrote); err != nil {
+				return err
+			}
+		}
+		if err := dw.Close(); err != nil {
+			return err
+		}
+		if err := c.fs.Rename(tmp, c.loc+"/"+deleteDirName(dlo, dhi)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyDir streams every valid row of a store directory into w.
+func (c *Compactor) copyDir(d storeDir, w *orc.Writer, valid txn.ValidWriteIds, wrote *bool) error {
+	files, err := c.fs.ListRecursive(d.path)
+	if err != nil {
+		return err
+	}
+	for _, fi := range files {
+		r, err := orc.NewReader(c.fs, fi.Path)
+		if err != nil {
+			return err
+		}
+		for st := 0; st < r.NumStripes(); st++ {
+			b, err := r.ReadStripe(st, nil)
+			if err != nil {
+				return err
+			}
+			sel := make([]int, 0, b.N)
+			for i := 0; i < b.N; i++ {
+				if valid.Valid(b.Cols[MetaWriteID].I64[i]) {
+					sel = append(sel, i)
+				}
+			}
+			filtered := &vector.Batch{Cols: b.Cols, Sel: sel, N: len(sel)}
+			if err := w.WriteBatch(filtered); err != nil {
+				return err
+			}
+			if len(sel) > 0 {
+				*wrote = true
+			}
+		}
+	}
+	return nil
+}
+
+// Major rewrites base plus deltas minus deletes into a new base directory
+// covering everything committed up to the compactor's high watermark.
+// Surviving rows keep their original (WriteId, FileId, RowId) identity so
+// later delete deltas still address them; major compaction deletes history
+// (paper §3.2).
+func (c *Compactor) Major(valid txn.ValidWriteIds) error {
+	if valid.HighWater == 0 {
+		return nil
+	}
+	snap, err := OpenSnapshot(c.fs, c.loc, c.dataCols, valid)
+	if err != nil {
+		return err
+	}
+	tmp := c.loc + "/.tmp_major"
+	if c.fs.Exists(tmp) {
+		c.fs.Remove(tmp, true)
+	}
+	w := orc.NewWriter(c.fs, tmp+"/file_00000", FullSchema(c.dataCols), c.opts)
+	// Scan with full projection including system columns.
+	full := make([]int, NumMetaCols+len(c.dataCols))
+	for i := range full {
+		full[i] = i
+	}
+	if err := snap.Scan(full, nil, w.WriteBatch); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	target := c.loc + "/" + baseDirName(valid.HighWater)
+	if c.fs.Exists(target) {
+		c.fs.Remove(tmp, true)
+		return fmt.Errorf("acid: base %s already exists", target)
+	}
+	return c.fs.Rename(tmp, target)
+}
+
+// Clean removes store directories that are fully superseded: any base older
+// than the newest base, any delta/delete_delta entirely at or below the
+// newest base's watermark, and any delta covered by a wider compacted delta.
+// Run after compaction once in-flight readers have drained.
+func Clean(fs *dfs.FS, loc string) error {
+	infos, err := fs.List(loc)
+	if err != nil {
+		return err
+	}
+	var dirs []storeDir
+	for _, fi := range infos {
+		if !fi.IsDir {
+			continue
+		}
+		if d, ok := parseStoreDir(fi.Path); ok {
+			dirs = append(dirs, d)
+		}
+	}
+	var bestBase int64
+	for _, d := range dirs {
+		if d.kind == kindBase && d.max > bestBase {
+			bestBase = d.max
+		}
+	}
+	for _, d := range dirs {
+		obsolete := false
+		switch d.kind {
+		case kindBase:
+			obsolete = d.max < bestBase
+		case kindDelta, kindDeleteDelta:
+			if d.max <= bestBase {
+				obsolete = true
+				break
+			}
+			// Covered by a wider directory of the same kind?
+			for _, o := range dirs {
+				if o.kind == d.kind && o.path != d.path &&
+					o.min <= d.min && o.max >= d.max && (o.max-o.min) > (d.max-d.min) {
+					obsolete = true
+					break
+				}
+			}
+		}
+		if obsolete {
+			if err := fs.Remove(d.path, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// walkExprs visits every expression in a select core (and outer ORDER BY)
+// that is evaluated at this query level — it does not descend into
+// subqueries, whose aggregates belong to the subquery itself.
+func walkExprs(core *sql.SelectCore, orderBy []sql.OrderItem, fn func(sql.Expr)) {
+	var walk func(e sql.Expr)
+	walk = func(e sql.Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch x := e.(type) {
+		case *sql.BinExpr:
+			walk(x.L)
+			walk(x.R)
+		case *sql.UnaryExpr:
+			walk(x.E)
+		case *sql.Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+			if x.Over != nil {
+				for _, p := range x.Over.PartitionBy {
+					walk(p)
+				}
+				for _, o := range x.Over.OrderBy {
+					walk(o.Expr)
+				}
+			}
+		case *sql.CaseExpr:
+			walk(x.Operand)
+			for _, w := range x.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			walk(x.Else)
+		case *sql.CastExpr:
+			walk(x.E)
+		case *sql.BetweenExpr:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *sql.LikeExpr:
+			walk(x.E)
+			walk(x.Pattern)
+		case *sql.IsNullExpr:
+			walk(x.E)
+		case *sql.InExpr:
+			walk(x.E)
+			for _, v := range x.List {
+				walk(v)
+			}
+		case *sql.IntervalExpr:
+			walk(x.Value)
+		case *sql.ExtractExpr:
+			walk(x.From)
+		}
+	}
+	for _, it := range core.Items {
+		walk(it.Expr)
+	}
+	walk(core.Having)
+	for _, o := range orderBy {
+		walk(o.Expr)
+	}
+}
+
+// collectAggCalls finds the distinct aggregate calls evaluated at this
+// level (excluding windowed ones).
+func collectAggCalls(core *sql.SelectCore, orderBy []sql.OrderItem) []*sql.Call {
+	seen := map[string]bool{}
+	var out []*sql.Call
+	walkExprs(core, orderBy, func(e sql.Expr) {
+		c, ok := e.(*sql.Call)
+		if !ok || c.Over != nil || !aggFuncs[strings.ToLower(c.Name)] {
+			return
+		}
+		key := sql.FormatExpr(c)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// collectWindowCalls finds the distinct window function calls.
+func collectWindowCalls(core *sql.SelectCore, orderBy []sql.OrderItem) []*sql.Call {
+	seen := map[string]bool{}
+	var out []*sql.Call
+	walkExprs(core, orderBy, func(e sql.Expr) {
+		c, ok := e.(*sql.Call)
+		if !ok || c.Over == nil {
+			return
+		}
+		key := windowKey(c)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// windowKey distinguishes calls by both function and window specification.
+func windowKey(c *sql.Call) string {
+	var b strings.Builder
+	b.WriteString(sql.FormatExpr(c))
+	b.WriteString("|p:")
+	for _, p := range c.Over.PartitionBy {
+		b.WriteString(sql.FormatExpr(p))
+		b.WriteByte(',')
+	}
+	b.WriteString("|o:")
+	for _, o := range c.Over.OrderBy {
+		b.WriteString(sql.FormatExpr(o.Expr))
+		if o.Desc {
+			b.WriteString(" desc")
+		}
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func aggResultType(fn string, arg plan.Rex, distinct bool) (types.T, error) {
+	switch fn {
+	case "count":
+		return types.TBigint, nil
+	case "avg":
+		return types.TDouble, nil
+	case "sum":
+		switch arg.Type().Kind {
+		case types.Float64:
+			return types.TDouble, nil
+		case types.Decimal:
+			return types.TDecimal(38, arg.Type().Scale), nil
+		case types.Int32, types.Int64, types.Boolean:
+			return types.TBigint, nil
+		}
+		return types.TUnknown, fmt.Errorf("analyze: sum over non-numeric %s", arg.Type())
+	case "min", "max":
+		return arg.Type(), nil
+	}
+	return types.TUnknown, fmt.Errorf("analyze: unknown aggregate %s", fn)
+}
+
+// applyAggregate plans GROUP BY / grouping sets / aggregate functions and
+// switches the builder into the aggregated scope.
+func (b *builder) applyAggregate(core *sql.SelectCore, calls []*sql.Call) error {
+	// Positional GROUP BY entries refer to select items.
+	var groupASTs []sql.Expr
+	for _, g := range core.GroupBy {
+		if lit, ok := g.(*sql.Lit); ok && lit.Val.K == types.Int64 {
+			p := int(lit.Val.I) - 1
+			if p < 0 || p >= len(core.Items) || core.Items[p].Star || core.Items[p].TableStar != "" {
+				return fmt.Errorf("analyze: GROUP BY position %d out of range", p+1)
+			}
+			groupASTs = append(groupASTs, core.Items[p].Expr)
+			continue
+		}
+		groupASTs = append(groupASTs, g)
+	}
+
+	var gRex []plan.Rex
+	var gFields []plan.Field
+	var names []string
+	for _, ast := range groupASTs {
+		r, err := b.resolveExpr(ast)
+		if err != nil {
+			return err
+		}
+		if hasOuterRef(r) {
+			return fmt.Errorf("analyze: correlated GROUP BY expression is not supported")
+		}
+		f := plan.Field{T: r.Type()}
+		if id, ok := ast.(*sql.Ident); ok {
+			f.Name = id.Name
+			if c, ok := r.(*plan.ColRef); ok {
+				f.Table = b.sc.fields[c.Idx].Table
+			}
+		} else {
+			f.Name = fmt.Sprintf("_g%d", len(gRex))
+		}
+		gRex = append(gRex, r)
+		gFields = append(gFields, f)
+		names = append(names, f.Name)
+	}
+
+	// Correlation keys become hidden grouping columns (classic
+	// decorrelation of correlated aggregate subqueries).
+	for i := range b.corr {
+		inner := b.corr[i].inner
+		pos := -1
+		for j, g := range gRex {
+			if g.Digest() == inner.Digest() {
+				pos = j
+				break
+			}
+		}
+		if pos < 0 {
+			pos = len(gRex)
+			gRex = append(gRex, inner)
+			f := plan.Field{Name: fmt.Sprintf("__ck%d", i), T: inner.Type()}
+			gFields = append(gFields, f)
+			names = append(names, f.Name)
+		}
+		b.corr[i].inner = &plan.ColRef{Idx: pos, T: gRex[pos].Type()}
+	}
+
+	// Aggregate calls.
+	var aggs []plan.AggCall
+	aggDigests := map[string]int{}
+	for _, call := range calls {
+		fn := strings.ToLower(call.Name)
+		var arg plan.Rex
+		if !call.Star {
+			if len(call.Args) != 1 {
+				return fmt.Errorf("analyze: %s expects one argument", fn)
+			}
+			r, err := b.resolveExpr(call.Args[0])
+			if err != nil {
+				return err
+			}
+			if hasOuterRef(r) {
+				return fmt.Errorf("analyze: correlated aggregate argument is not supported")
+			}
+			arg = r
+		} else if fn != "count" {
+			return fmt.Errorf("analyze: %s(*) is not valid", fn)
+		}
+		t := types.TBigint
+		if arg != nil {
+			var err error
+			t, err = aggResultType(fn, arg, call.Distinct)
+			if err != nil {
+				return err
+			}
+		}
+		aggDigests[sql.FormatExpr(call)] = len(gRex) + len(aggs)
+		aggs = append(aggs, plan.AggCall{Fn: fn, Arg: arg, Distinct: call.Distinct, T: t})
+		gFields = append(gFields, plan.Field{Name: fmt.Sprintf("_a%d", len(aggs)-1), T: t})
+		names = append(names, "")
+	}
+
+	// Grouping sets map onto grouping expression ordinals.
+	var sets [][]int
+	if core.GroupingSets != nil {
+		for _, set := range core.GroupingSets {
+			var idxs []int
+			for _, e := range set {
+				key := sql.FormatExpr(e)
+				found := -1
+				for j, ast := range groupASTs {
+					if sql.FormatExpr(ast) == key {
+						found = j
+						break
+					}
+				}
+				if found < 0 {
+					return fmt.Errorf("analyze: grouping set expression %s not in GROUP BY", key)
+				}
+				idxs = append(idxs, found)
+			}
+			sets = append(sets, idxs)
+		}
+	}
+
+	groupingID := -1
+	if sets != nil {
+		groupingID = len(gFields)
+		gFields = append(gFields, plan.Field{Name: "__grouping_id", T: types.TBigint})
+	}
+
+	b.rel = &plan.Aggregate{Input: b.rel, GroupBy: gRex, Aggs: aggs, GroupingSets: sets, Names: names}
+	groupDigests := map[string]int{}
+	for i, ast := range groupASTs {
+		groupDigests[sql.FormatExpr(ast)] = i
+	}
+	b.aggScope = &aggScope{
+		groupDigests: groupDigests,
+		aggDigests:   aggDigests,
+		fields:       gFields,
+		groupingID:   groupingID,
+		groupExprs:   groupASTs,
+	}
+	b.sc = &scope{parent: b.sc.parent, fields: gFields, ctes: b.sc.ctes}
+	return nil
+}
+
+// applyWindow plans the collected window function calls over the current
+// relation, making their results addressable by windowKey.
+func (b *builder) applyWindow(calls []*sql.Call) error {
+	inFields := b.rel.Schema()
+	inW := len(inFields)
+	var extra []plan.Rex
+	ensureCol := func(r plan.Rex) int {
+		if c, ok := r.(*plan.ColRef); ok {
+			return c.Idx
+		}
+		for j, e := range extra {
+			if e.Digest() == r.Digest() {
+				return inW + j
+			}
+		}
+		extra = append(extra, r)
+		return inW + len(extra) - 1
+	}
+
+	var fns []plan.WindowFn
+	keys := make([]string, len(calls))
+	for i, call := range calls {
+		fn := strings.ToLower(call.Name)
+		wf := plan.WindowFn{Fn: fn}
+		switch fn {
+		case "row_number", "rank", "dense_rank":
+			wf.T = types.TBigint
+		case "count":
+			wf.T = types.TBigint
+			if !call.Star && len(call.Args) == 1 {
+				arg, err := b.resolveExpr(call.Args[0])
+				if err != nil {
+					return err
+				}
+				wf.Arg = arg
+			}
+		case "sum", "avg", "min", "max":
+			if len(call.Args) != 1 {
+				return fmt.Errorf("analyze: window %s expects one argument", fn)
+			}
+			arg, err := b.resolveExpr(call.Args[0])
+			if err != nil {
+				return err
+			}
+			wf.Arg = arg
+			t, err := aggResultType(fn, arg, false)
+			if err != nil {
+				return err
+			}
+			wf.T = t
+		default:
+			return fmt.Errorf("analyze: unsupported window function %s", fn)
+		}
+		for _, p := range call.Over.PartitionBy {
+			r, err := b.resolveExpr(p)
+			if err != nil {
+				return err
+			}
+			wf.PartitionBy = append(wf.PartitionBy, ensureCol(r))
+		}
+		for _, o := range call.Over.OrderBy {
+			r, err := b.resolveExpr(o.Expr)
+			if err != nil {
+				return err
+			}
+			wf.OrderBy = append(wf.OrderBy, plan.SortKey{
+				Col: ensureCol(r), Desc: o.Desc, NullsFirst: nullsFirst(o),
+			})
+		}
+		fns = append(fns, wf)
+		keys[i] = windowKey(call)
+	}
+
+	input := b.rel
+	if len(extra) > 0 {
+		exprs := make([]plan.Rex, 0, inW+len(extra))
+		names := make([]string, 0, inW+len(extra))
+		for i, f := range inFields {
+			exprs = append(exprs, &plan.ColRef{Idx: i, T: f.T})
+			names = append(names, f.Name)
+		}
+		for j, e := range extra {
+			exprs = append(exprs, e)
+			names = append(names, fmt.Sprintf("__wk%d", j))
+		}
+		input = &plan.Project{Input: input, Exprs: exprs, Names: names}
+	}
+	b.rel = &plan.Window{Input: input, Fns: fns}
+	base := inW + len(extra)
+	if b.winRefs == nil {
+		b.winRefs = map[string]*plan.ColRef{}
+	}
+	for i, k := range keys {
+		b.winRefs[k] = &plan.ColRef{Idx: base + i, T: fns[i].T}
+	}
+	return nil
+}
+
+// winLookup resolves a windowed call against the planned window columns.
+func (b *builder) winLookup(x *sql.Call) (plan.Rex, bool) {
+	if b.winRefs == nil || x.Over == nil {
+		return nil, false
+	}
+	r, ok := b.winRefs[windowKey(x)]
+	return r, ok
+}

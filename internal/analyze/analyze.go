@@ -1,0 +1,607 @@
+// Package analyze performs semantic analysis: it turns a parsed SELECT into
+// a logical plan (the stage labeled "Calcite logical plan" in paper Figure
+// 2), resolving names against the Metastore, type-checking expressions,
+// expanding stars, planning aggregation, grouping sets and window
+// functions, and decorrelating subqueries into joins (§3.1's correlated
+// subquery support).
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metastore"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Analyzer converts ASTs into logical plans.
+type Analyzer struct {
+	ms *metastore.Metastore
+	db string
+	// metaTables marks tables whose scans must emit ACID system columns
+	// (set by the MERGE planner).
+	metaTables map[string]bool
+}
+
+// New creates an analyzer bound to a current database.
+func New(ms *metastore.Metastore, currentDB string) *Analyzer {
+	return &Analyzer{ms: ms, db: currentDB}
+}
+
+// ResolveTable finds the metastore table for a name, using the current
+// database when unqualified.
+func (a *Analyzer) ResolveTable(tn *sql.TableName) (*metastore.Table, error) {
+	db := tn.DB
+	if db == "" {
+		db = a.db
+	}
+	return a.ms.GetTable(db, tn.Name)
+}
+
+// scope tracks the columns visible at one query level.
+type scope struct {
+	parent *scope
+	fields []plan.Field
+	ctes   map[string]*cteDef
+}
+
+type cteDef struct {
+	rel    plan.Rel
+	fields []plan.Field
+}
+
+func (s *scope) lookupCTE(name string) *cteDef {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sc.ctes != nil {
+			if def, ok := sc.ctes[name]; ok {
+				return def
+			}
+		}
+	}
+	return nil
+}
+
+// resolve finds an identifier in this scope. Returns (-1, false) when
+// absent.
+func (s *scope) resolve(qual, name string) (int, types.T, error) {
+	found := -1
+	var t types.T
+	for i, f := range s.fields {
+		if f.Name != name {
+			continue
+		}
+		if qual != "" && f.Table != qual {
+			continue
+		}
+		if found >= 0 {
+			return -1, t, fmt.Errorf("analyze: ambiguous column %q", name)
+		}
+		found = i
+		t = f.T
+	}
+	return found, t, nil
+}
+
+// outerRef marks a correlated reference to the parent query's row; the
+// decorrelator replaces it with a join-side column.
+type outerRef struct {
+	idx int
+	t   types.T
+}
+
+func (o *outerRef) Type() types.T  { return o.t }
+func (o *outerRef) Digest() string { return fmt.Sprintf("outer($%d)", o.idx) }
+
+func hasOuterRef(e plan.Rex) bool {
+	switch x := e.(type) {
+	case *outerRef:
+		return true
+	case *plan.Func:
+		for _, a := range x.Args {
+			if hasOuterRef(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// corrPred is one decorrelated predicate extracted from a subquery: a
+// comparison between an expression over the subquery's own columns (inner)
+// and an expression over the parent query's row (outer). The decorrelator
+// hoists these into the join condition (paper §3.1 correlated subqueries).
+type corrPred struct {
+	op       string
+	inner    plan.Rex // over the subquery FROM scope until remapped
+	outer    plan.Rex // contains outerRefs into the parent scope
+	innerOut int      // ordinal of the inner expr in the subquery output
+}
+
+// builder carries the state of one SELECT-core analysis.
+type builder struct {
+	a        *Analyzer
+	sc       *scope   // current FROM scope
+	rel      plan.Rel // current plan; scalar-subquery joins extend it
+	corr     []corrPred
+	aggScope *aggScope               // non-nil while resolving post-aggregation exprs
+	winRefs  map[string]*plan.ColRef // window call key -> output column ref
+}
+
+// AnalyzeSelect converts a full SELECT statement into a logical plan.
+func (a *Analyzer) AnalyzeSelect(sel *sql.SelectStmt) (plan.Rel, error) {
+	rel, _, err := a.buildSelect(sel, &scope{}, nil)
+	return rel, err
+}
+
+// buildSelect handles CTEs, the set-op body, ORDER BY and LIMIT. corrOut,
+// when non-nil, receives decorrelated predicates for subquery callers.
+func (a *Analyzer) buildSelect(sel *sql.SelectStmt, outer *scope, corrOut *[]corrPred) (plan.Rel, []plan.Field, error) {
+	cur := outer
+	if len(sel.With) > 0 {
+		cteScope := &scope{parent: outer, ctes: map[string]*cteDef{}}
+		for _, cte := range sel.With {
+			rel, fields, err := a.buildSelect(cte.Select, cteScope, nil)
+			if err != nil {
+				return nil, nil, fmt.Errorf("analyze: in CTE %s: %v", cte.Name, err)
+			}
+			named := make([]plan.Field, len(fields))
+			for i, f := range fields {
+				named[i] = plan.Field{Table: cte.Name, Name: f.Name, T: f.T}
+			}
+			cteScope.ctes[cte.Name] = &cteDef{rel: rel, fields: named}
+		}
+		cur = cteScope
+	}
+
+	switch body := sel.Body.(type) {
+	case *sql.SelectCore:
+		return a.buildCore(body, cur, sel.OrderBy, sel.Limit, corrOut)
+	case *sql.SetOp:
+		rel, fields, err := a.buildSetOp(body, cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		// ORDER BY over a set-op result: aliases and positions only.
+		if len(sel.OrderBy) > 0 {
+			keys, err := setOpSortKeys(sel.OrderBy, fields)
+			if err != nil {
+				return nil, nil, err
+			}
+			rel = &plan.Sort{Input: rel, Keys: keys}
+		}
+		if sel.Limit >= 0 {
+			rel = &plan.Limit{Input: rel, N: sel.Limit}
+		}
+		return rel, fields, nil
+	}
+	return nil, nil, fmt.Errorf("analyze: empty query body")
+}
+
+func setOpSortKeys(items []sql.OrderItem, fields []plan.Field) ([]plan.SortKey, error) {
+	var keys []plan.SortKey
+	for _, it := range items {
+		idx := -1
+		switch e := it.Expr.(type) {
+		case *sql.Lit:
+			if e.Val.K == types.Int64 {
+				idx = int(e.Val.I) - 1
+			}
+		case *sql.Ident:
+			for i, f := range fields {
+				if f.Name == e.Name {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 || idx >= len(fields) {
+			return nil, fmt.Errorf("analyze: ORDER BY over set operation must use output columns")
+		}
+		keys = append(keys, plan.SortKey{Col: idx, Desc: it.Desc, NullsFirst: nullsFirst(it)})
+	}
+	return keys, nil
+}
+
+func nullsFirst(it sql.OrderItem) bool {
+	if it.NullsFirst != nil {
+		return *it.NullsFirst
+	}
+	return !it.Desc // default: NULLS FIRST when ascending, LAST when descending
+}
+
+func (a *Analyzer) buildSetOp(op *sql.SetOp, outer *scope) (plan.Rel, []plan.Field, error) {
+	build := func(q sql.QueryExpr) (plan.Rel, []plan.Field, error) {
+		switch b := q.(type) {
+		case *sql.SelectCore:
+			return a.buildCore(b, outer, nil, -1, nil)
+		case *sql.SetOp:
+			return a.buildSetOp(b, outer)
+		}
+		return nil, nil, fmt.Errorf("analyze: bad set-op operand")
+	}
+	lrel, lf, err := build(op.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rrel, rf, err := build(op.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(lf) != len(rf) {
+		return nil, nil, fmt.Errorf("analyze: set operation arity mismatch: %d vs %d", len(lf), len(rf))
+	}
+	// Coerce both sides to common supertypes where kinds differ.
+	outFields := make([]plan.Field, len(lf))
+	var lexprs, rexprs []plan.Rex
+	needL, needR := false, false
+	for i := range lf {
+		ct, ok := types.CommonSupertype(lf[i].T, rf[i].T)
+		if !ok {
+			return nil, nil, fmt.Errorf("analyze: set operation column %d type mismatch: %s vs %s", i+1, lf[i].T, rf[i].T)
+		}
+		outFields[i] = plan.Field{Name: lf[i].Name, T: ct}
+		le := plan.Rex(&plan.ColRef{Idx: i, T: lf[i].T})
+		re := plan.Rex(&plan.ColRef{Idx: i, T: rf[i].T})
+		if !lf[i].T.Equal(ct) {
+			le = plan.NewFunc("cast:"+ct.String(), ct, le)
+			needL = true
+		}
+		if !rf[i].T.Equal(ct) {
+			re = plan.NewFunc("cast:"+ct.String(), ct, re)
+			needR = true
+		}
+		lexprs = append(lexprs, le)
+		rexprs = append(rexprs, re)
+	}
+	if needL {
+		lrel = &plan.Project{Input: lrel, Exprs: lexprs, Names: fieldNames(outFields)}
+	}
+	if needR {
+		rrel = &plan.Project{Input: rrel, Exprs: rexprs, Names: fieldNames(outFields)}
+	}
+	var kind plan.SetOpKind
+	switch op.Kind {
+	case sql.SetUnion:
+		kind = plan.Union
+	case sql.SetIntersect:
+		kind = plan.Intersect
+	case sql.SetExcept:
+		kind = plan.Except
+	}
+	return &plan.SetOp{Kind: kind, All: op.All, Left: lrel, Right: rrel}, outFields, nil
+}
+
+func fieldNames(fs []plan.Field) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// buildFrom turns the FROM clause into a plan and a scope.
+func (b *builder) buildFrom(tr sql.TableRef, outer *scope) (plan.Rel, []plan.Field, error) {
+	switch t := tr.(type) {
+	case nil:
+		// SELECT without FROM: one empty row.
+		return &plan.Values{Rows: [][]types.Datum{{}}}, nil, nil
+	case *sql.TableName:
+		if def := outer.lookupCTE(t.Name); def != nil && t.DB == "" {
+			fields := def.fields
+			if t.Alias != "" {
+				renamed := make([]plan.Field, len(fields))
+				for i, f := range fields {
+					renamed[i] = plan.Field{Table: t.Alias, Name: f.Name, T: f.T}
+				}
+				fields = renamed
+			}
+			return def.rel, fields, nil
+		}
+		tbl, err := b.a.ResolveTable(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		alias := t.Alias
+		if alias == "" {
+			alias = tbl.Name
+		}
+		sc := plan.NewScan(tbl, alias)
+		if b.a.metaTables[tbl.FullName()] {
+			sc.Meta = true
+		}
+		return sc, sc.Schema(), nil
+	case *sql.SubqueryRef:
+		rel, fields, err := b.a.buildSelect(t.Select, outer, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		named := make([]plan.Field, len(fields))
+		for i, f := range fields {
+			named[i] = plan.Field{Table: t.Alias, Name: f.Name, T: f.T}
+		}
+		return rel, named, nil
+	case *sql.Join:
+		lrel, lf, err := b.buildFrom(t.Left, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		rrel, rf, err := b.buildFrom(t.Right, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		combined := append(append([]plan.Field{}, lf...), rf...)
+		var cond plan.Rex
+		if t.On != nil {
+			joinScope := &scope{parent: outer.parent, fields: combined, ctes: outer.ctes}
+			jb := &builder{a: b.a, sc: joinScope}
+			cond, err = jb.resolveExpr(t.On)
+			if err != nil {
+				return nil, nil, err
+			}
+			if hasOuterRef(cond) {
+				return nil, nil, fmt.Errorf("analyze: correlated reference in JOIN ON is not supported")
+			}
+		}
+		var kind plan.JoinKind
+		switch t.Kind {
+		case sql.JoinInner:
+			kind = plan.Inner
+		case sql.JoinLeft:
+			kind = plan.Left
+		case sql.JoinRight:
+			kind = plan.Right
+		case sql.JoinFull:
+			kind = plan.Full
+		case sql.JoinCross:
+			kind = plan.Cross
+		case sql.JoinSemi:
+			kind = plan.Semi
+		case sql.JoinAnti:
+			kind = plan.Anti
+		}
+		j := &plan.Join{Kind: kind, Left: lrel, Right: rrel, Cond: cond}
+		if kind == plan.Semi || kind == plan.Anti {
+			return j, lf, nil
+		}
+		return j, combined, nil
+	}
+	return nil, nil, fmt.Errorf("analyze: unsupported table reference %T", tr)
+}
+
+// buildCore analyzes one SELECT core with optional outer ORDER BY/LIMIT.
+// corrOut receives decorrelated predicates when this core is a subquery.
+func (a *Analyzer) buildCore(core *sql.SelectCore, outer *scope, orderBy []sql.OrderItem, limit int64, corrOut *[]corrPred) (plan.Rel, []plan.Field, error) {
+	b := &builder{a: a}
+	rel, fields, err := b.buildFrom(core.From, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.sc = &scope{parent: outer.parent, fields: fields, ctes: outer.ctes}
+	if outer.ctes == nil {
+		b.sc.parent = outer
+	}
+	b.rel = rel
+
+	// WHERE: handle IN/EXISTS conjuncts as semi/anti joins, the rest as a
+	// filter (scalar subqueries become Single joins while resolving).
+	if core.Where != nil {
+		if err := b.applyWhere(core.Where); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(b.corr) > 0 && corrOut == nil {
+		return nil, nil, fmt.Errorf("analyze: correlated reference outside a subquery")
+	}
+
+	// Aggregation.
+	aggCalls := collectAggCalls(core, orderBy)
+	if len(core.GroupBy) > 0 || len(aggCalls) > 0 {
+		if err := b.applyAggregate(core, aggCalls); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Window functions.
+	winCalls := collectWindowCalls(core, orderBy)
+	if len(winCalls) > 0 {
+		if err := b.applyWindow(winCalls); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// HAVING.
+	if core.Having != nil {
+		cond, err := b.resolveExpr(core.Having)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !cond.Type().Equal(types.TBool) && cond.Type().Kind != types.Unknown {
+			return nil, nil, fmt.Errorf("analyze: HAVING must be boolean")
+		}
+		b.rel = &plan.Filter{Input: b.rel, Cond: cond}
+	}
+
+	// Projection (star expansion).
+	exprs, names, err := b.buildProjection(core)
+	if err != nil {
+		return nil, nil, err
+	}
+	visible := len(exprs)
+
+	// Correlated predicates: expose the inner side as hidden output columns
+	// so the parent can join on them.
+	// (When aggregated, applyAggregate already rewrote each pred's inner
+	// side as a reference to its hidden grouping column.)
+	for i := range b.corr {
+		inner := b.corr[i].inner
+		idx := -1
+		for j, pe := range exprs {
+			if pe.Digest() == inner.Digest() {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(exprs)
+			exprs = append(exprs, inner)
+			names = append(names, fmt.Sprintf("__corr%d", i))
+		}
+		b.corr[i].innerOut = idx
+	}
+
+	// ORDER BY resolution: visible items by alias/position, otherwise any
+	// expression over the pre-projection scope (Hive 3 supports ordering by
+	// unselected columns); those become hidden projection columns.
+	var keys []plan.SortKey
+	if len(orderBy) > 0 {
+		for _, it := range orderBy {
+			idx := -1
+			switch e := it.Expr.(type) {
+			case *sql.Lit:
+				if e.Val.K == types.Int64 {
+					p := int(e.Val.I) - 1
+					if p < 0 || p >= len(exprs) {
+						return nil, nil, fmt.Errorf("analyze: ORDER BY position %d out of range", p+1)
+					}
+					idx = p
+				}
+			case *sql.Ident:
+				if e.Qualifier == "" {
+					for i, n := range names {
+						if n == e.Name {
+							idx = i
+							break
+						}
+					}
+				}
+			}
+			if idx < 0 {
+				resolved, err := b.resolveExpr(it.Expr)
+				if err != nil {
+					return nil, nil, err
+				}
+				// Reuse an identical projection expression when present.
+				for i, pe := range exprs {
+					if pe.Digest() == resolved.Digest() {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					idx = len(exprs)
+					exprs = append(exprs, resolved)
+					names = append(names, fmt.Sprintf("__sort%d", len(keys)))
+				}
+			}
+			keys = append(keys, plan.SortKey{Col: idx, Desc: it.Desc, NullsFirst: nullsFirst(it)})
+		}
+	}
+
+	if core.Distinct && len(b.corr) > 0 {
+		return nil, nil, fmt.Errorf("analyze: DISTINCT in a correlated subquery is not supported")
+	}
+
+	b.rel = &plan.Project{Input: b.rel, Exprs: exprs, Names: names}
+	outFields := b.rel.Schema()
+
+	if core.Distinct {
+		groups := make([]plan.Rex, visible)
+		for i := 0; i < visible; i++ {
+			groups[i] = &plan.ColRef{Idx: i, T: outFields[i].T}
+		}
+		b.rel = &plan.Aggregate{Input: b.rel, GroupBy: groups, Names: names[:visible]}
+		// Sort keys beyond the visible columns are gone after DISTINCT.
+		for _, k := range keys {
+			if k.Col >= visible {
+				return nil, nil, fmt.Errorf("analyze: ORDER BY column not in DISTINCT select list")
+			}
+		}
+	}
+
+	if len(keys) > 0 {
+		b.rel = &plan.Sort{Input: b.rel, Keys: keys}
+	}
+	if limit >= 0 {
+		b.rel = &plan.Limit{Input: b.rel, N: limit}
+	}
+	// Trim hidden (sort-only and correlation) columns unless a subquery
+	// caller needs the correlation columns in the output.
+	keep := visible
+	if len(b.corr) > 0 {
+		for _, c := range b.corr {
+			if c.innerOut >= keep {
+				keep = c.innerOut + 1
+			}
+		}
+	}
+	if keep < len(exprs) && !core.Distinct {
+		trim := make([]plan.Rex, keep)
+		in := b.rel.Schema()
+		for i := 0; i < keep; i++ {
+			trim[i] = &plan.ColRef{Idx: i, T: in[i].T}
+		}
+		b.rel = &plan.Project{Input: b.rel, Exprs: trim, Names: names[:keep]}
+	}
+	if corrOut != nil {
+		*corrOut = append(*corrOut, b.corr...)
+	}
+	return b.rel, b.rel.Schema(), nil
+}
+
+// starFields lists the scope fields star-expanded for a qualifier. System
+// and hidden columns (double-underscore prefix) are excluded, except when
+// the MERGE planner explicitly requested row identifiers.
+func (b *builder) starFields(qual string) []int {
+	var out []int
+	for i, f := range b.sc.fields {
+		if strings.HasPrefix(f.Name, "__") && b.a.metaTables == nil {
+			continue
+		}
+		if qual == "" || f.Table == qual {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (b *builder) buildProjection(core *sql.SelectCore) ([]plan.Rex, []string, error) {
+	var exprs []plan.Rex
+	var names []string
+	for _, it := range core.Items {
+		switch {
+		case it.Star, it.TableStar != "":
+			qual := it.TableStar
+			cols := b.starFields(qual)
+			if len(cols) == 0 {
+				return nil, nil, fmt.Errorf("analyze: %s.* matches no columns", qual)
+			}
+			if b.aggScope != nil {
+				return nil, nil, fmt.Errorf("analyze: * not allowed with GROUP BY")
+			}
+			for _, i := range cols {
+				exprs = append(exprs, &plan.ColRef{Idx: i, T: b.sc.fields[i].T})
+				names = append(names, b.sc.fields[i].Name)
+			}
+		default:
+			e, err := b.resolveExpr(it.Expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			exprs = append(exprs, e)
+			names = append(names, itemName(it))
+		}
+	}
+	return exprs, names, nil
+}
+
+func itemName(it sql.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if id, ok := it.Expr.(*sql.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,303 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/metastore"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+func testCatalog(t *testing.T) *metastore.Metastore {
+	t.Helper()
+	ms := metastore.New(dfs.New(), "/wh")
+	tables := []*metastore.Table{
+		{
+			DB: "default", Name: "store_sales",
+			Cols: []metastore.Column{
+				{Name: "ss_item_sk", Type: types.TBigint},
+				{Name: "ss_customer_sk", Type: types.TBigint},
+				{Name: "ss_ticket_number", Type: types.TBigint},
+				{Name: "ss_quantity", Type: types.TInt},
+				{Name: "ss_sales_price", Type: types.TDecimal(7, 2)},
+			},
+			PartKeys: []metastore.Column{{Name: "ss_sold_date_sk", Type: types.TInt}},
+		},
+		{
+			DB: "default", Name: "item",
+			Cols: []metastore.Column{
+				{Name: "i_item_sk", Type: types.TBigint},
+				{Name: "i_category", Type: types.TString},
+				{Name: "i_price", Type: types.TDecimal(7, 2)},
+			},
+			Constraints: metastore.Constraints{PrimaryKey: []string{"i_item_sk"}},
+		},
+		{
+			DB: "default", Name: "date_dim",
+			Cols: []metastore.Column{
+				{Name: "d_date_sk", Type: types.TBigint},
+				{Name: "d_year", Type: types.TInt},
+				{Name: "d_moy", Type: types.TInt},
+				{Name: "d_dom", Type: types.TInt},
+			},
+		},
+	}
+	for _, tbl := range tables {
+		if err := ms.CreateTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ms
+}
+
+func analyzeQ(t *testing.T, q string) plan.Rel {
+	t.Helper()
+	ms := testCatalog(t)
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rel, err := New(ms, "default").AnalyzeSelect(st.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatalf("analyze %q: %v", q, err)
+	}
+	return rel
+}
+
+func analyzeErr(t *testing.T, q string) error {
+	t.Helper()
+	ms := testCatalog(t)
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = New(ms, "default").AnalyzeSelect(st.(*sql.SelectStmt))
+	if err == nil {
+		t.Fatalf("analyze %q: expected error", q)
+	}
+	return err
+}
+
+func TestSimpleProjection(t *testing.T) {
+	rel := analyzeQ(t, "SELECT ss_item_sk, ss_sales_price * 2 AS doubled FROM store_sales")
+	fields := rel.Schema()
+	if len(fields) != 2 || fields[0].Name != "ss_item_sk" || fields[1].Name != "doubled" {
+		t.Errorf("fields: %+v", fields)
+	}
+	if fields[1].T.Kind != types.Decimal {
+		t.Errorf("doubled type: %s", fields[1].T)
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	rel := analyzeQ(t, "SELECT * FROM item")
+	if len(rel.Schema()) != 3 {
+		t.Errorf("star fields: %+v", rel.Schema())
+	}
+	rel = analyzeQ(t, "SELECT ss.*, i_category FROM store_sales ss JOIN item ON ss_item_sk = i_item_sk")
+	if len(rel.Schema()) != 7 { // 6 store_sales cols (incl part key) + category
+		t.Errorf("qualified star fields: %d %+v", len(rel.Schema()), rel.Schema())
+	}
+}
+
+func TestUnknownColumnAndAmbiguity(t *testing.T) {
+	analyzeErr(t, "SELECT nonexistent FROM item")
+	// Both tables could have matching names after self join.
+	analyzeErr(t, "SELECT i_item_sk FROM item a JOIN item b ON a.i_item_sk = b.i_item_sk")
+}
+
+func TestAggregatePlanning(t *testing.T) {
+	rel := analyzeQ(t, `SELECT d_year, SUM(ss_sales_price) AS sum_sales, COUNT(*) AS cnt
+		FROM store_sales, date_dim
+		WHERE ss_sold_date_sk = d_date_sk
+		GROUP BY d_year
+		HAVING SUM(ss_sales_price) > 100
+		ORDER BY sum_sales DESC`)
+	fields := rel.Schema()
+	if len(fields) != 3 || fields[1].Name != "sum_sales" {
+		t.Fatalf("fields: %+v", fields)
+	}
+	// Expect Sort above Filter above Aggregate somewhere in the tree.
+	s := plan.Explain(rel)
+	for _, want := range []string{"Sort", "Filter", "Aggregate", "Join"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestGroupByPositional(t *testing.T) {
+	rel := analyzeQ(t, "SELECT d_year, COUNT(*) FROM date_dim GROUP BY 1")
+	if rel.Schema()[0].Name != "d_year" {
+		t.Errorf("positional group: %+v", rel.Schema())
+	}
+}
+
+func TestNonGroupedColumnRejected(t *testing.T) {
+	err := analyzeErr(t, "SELECT d_moy, COUNT(*) FROM date_dim GROUP BY d_year")
+	if !strings.Contains(err.Error(), "GROUP BY") {
+		t.Errorf("error: %v", err)
+	}
+}
+
+func TestGroupingSets(t *testing.T) {
+	rel := analyzeQ(t, `SELECT d_year, d_moy, SUM(d_dom) FROM date_dim
+		GROUP BY GROUPING SETS ((d_year, d_moy), (d_year), ())`)
+	var agg *plan.Aggregate
+	var find func(r plan.Rel)
+	find = func(r plan.Rel) {
+		if a, ok := r.(*plan.Aggregate); ok {
+			agg = a
+		}
+		for _, c := range r.Children() {
+			find(c)
+		}
+	}
+	find(rel)
+	if agg == nil || len(agg.GroupingSets) != 3 {
+		t.Fatalf("agg: %+v", agg)
+	}
+	// Schema of aggregate includes __grouping_id.
+	last := agg.Schema()[len(agg.Schema())-1]
+	if last.Name != "__grouping_id" {
+		t.Errorf("grouping id col: %+v", last)
+	}
+}
+
+func TestINSubqueryBecomesSemiJoin(t *testing.T) {
+	rel := analyzeQ(t, `SELECT ss_item_sk FROM store_sales
+		WHERE ss_item_sk IN (SELECT i_item_sk FROM item WHERE i_category = 'Sports')`)
+	s := plan.Explain(rel)
+	if !strings.Contains(s, "Join[semi]") {
+		t.Errorf("expected semi join:\n%s", s)
+	}
+	rel = analyzeQ(t, `SELECT ss_item_sk FROM store_sales
+		WHERE ss_item_sk NOT IN (SELECT i_item_sk FROM item)`)
+	s = plan.Explain(rel)
+	if !strings.Contains(s, "Join[anti]") {
+		t.Errorf("expected anti join:\n%s", s)
+	}
+}
+
+func TestCorrelatedExists(t *testing.T) {
+	rel := analyzeQ(t, `SELECT i_category FROM item
+		WHERE EXISTS (SELECT 1 FROM store_sales WHERE ss_item_sk = i_item_sk)`)
+	s := plan.Explain(rel)
+	if !strings.Contains(s, "Join[semi]") {
+		t.Errorf("expected semi join:\n%s", s)
+	}
+}
+
+func TestCorrelatedScalarSubqueryWithAggregate(t *testing.T) {
+	rel := analyzeQ(t, `SELECT i_item_sk FROM item
+		WHERE i_price > (SELECT AVG(ss_sales_price) FROM store_sales WHERE ss_item_sk = i_item_sk)`)
+	s := plan.Explain(rel)
+	if !strings.Contains(s, "Join[single]") || !strings.Contains(s, "Aggregate") {
+		t.Errorf("expected single join over aggregate:\n%s", s)
+	}
+}
+
+func TestUncorrelatedScalarSubquery(t *testing.T) {
+	rel := analyzeQ(t, "SELECT i_item_sk FROM item WHERE i_price > (SELECT AVG(i_price) FROM item)")
+	s := plan.Explain(rel)
+	if !strings.Contains(s, "Join[single]") {
+		t.Errorf("expected single join:\n%s", s)
+	}
+}
+
+func TestSetOpTypeCoercion(t *testing.T) {
+	rel := analyzeQ(t, "SELECT ss_quantity FROM store_sales UNION ALL SELECT ss_sales_price FROM store_sales")
+	f := rel.Schema()
+	if f[0].T.Kind != types.Decimal {
+		t.Errorf("coerced type: %s", f[0].T)
+	}
+	analyzeErr(t, "SELECT ss_item_sk FROM store_sales UNION SELECT i_item_sk, i_category FROM item")
+}
+
+func TestWindowFunctions(t *testing.T) {
+	rel := analyzeQ(t, `SELECT i_category,
+		rank() OVER (PARTITION BY i_category ORDER BY i_price DESC) AS rnk
+		FROM item`)
+	s := plan.Explain(rel)
+	if !strings.Contains(s, "Window") {
+		t.Errorf("expected window node:\n%s", s)
+	}
+	if rel.Schema()[1].Name != "rnk" || rel.Schema()[1].T.Kind != types.Int64 {
+		t.Errorf("window field: %+v", rel.Schema()[1])
+	}
+}
+
+func TestWindowOverAggregate(t *testing.T) {
+	rel := analyzeQ(t, `SELECT d_year, SUM(d_dom) AS s,
+		rank() OVER (ORDER BY SUM(d_dom) DESC) AS rnk
+		FROM date_dim GROUP BY d_year`)
+	s := plan.Explain(rel)
+	if !strings.Contains(s, "Window") || !strings.Contains(s, "Aggregate") {
+		t.Errorf("plan:\n%s", s)
+	}
+}
+
+func TestOrderByUnselectedColumn(t *testing.T) {
+	// Hive 3 supports ORDER BY on columns missing from the projection.
+	rel := analyzeQ(t, "SELECT i_category FROM item ORDER BY i_price")
+	if len(rel.Schema()) != 1 {
+		t.Errorf("hidden sort column leaked: %+v", rel.Schema())
+	}
+	s := plan.Explain(rel)
+	if !strings.Contains(s, "Sort") {
+		t.Errorf("expected sort:\n%s", s)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	rel := analyzeQ(t, "SELECT DISTINCT i_category FROM item")
+	s := plan.Explain(rel)
+	if !strings.Contains(s, "Aggregate") {
+		t.Errorf("distinct should aggregate:\n%s", s)
+	}
+}
+
+func TestCTEReuse(t *testing.T) {
+	rel := analyzeQ(t, `WITH sales AS (SELECT ss_item_sk, ss_sales_price FROM store_sales)
+		SELECT a.ss_item_sk FROM sales a JOIN sales b ON a.ss_item_sk = b.ss_item_sk`)
+	if rel == nil {
+		t.Fatal("nil plan")
+	}
+}
+
+func TestCurrentDatabaseResolution(t *testing.T) {
+	ms := testCatalog(t)
+	ms.CreateDatabase("other")
+	ms.CreateTable(&metastore.Table{DB: "other", Name: "t2", Cols: []metastore.Column{{Name: "x", Type: types.TInt}}})
+	st, _ := sql.Parse("SELECT x FROM other.t2")
+	if _, err := New(ms, "default").AnalyzeSelect(st.(*sql.SelectStmt)); err != nil {
+		t.Errorf("qualified table: %v", err)
+	}
+	st, _ = sql.Parse("SELECT x FROM t2")
+	if _, err := New(ms, "default").AnalyzeSelect(st.(*sql.SelectStmt)); err == nil {
+		t.Error("unqualified t2 should not resolve from default")
+	}
+}
+
+func TestIntervalArithmetic(t *testing.T) {
+	rel := analyzeQ(t, "SELECT CAST('2018-01-01' AS date) + INTERVAL 30 DAYS FROM item")
+	if rel.Schema()[0].T.Kind != types.Date {
+		t.Errorf("date+interval type: %s", rel.Schema()[0].T)
+	}
+}
+
+func TestExtractAndCase(t *testing.T) {
+	rel := analyzeQ(t, `SELECT CASE WHEN d_year > 2000 THEN 'new' ELSE 'old' END,
+		EXTRACT(year FROM CAST('2018-03-04' AS date)) FROM date_dim`)
+	f := rel.Schema()
+	if f[0].T.Kind != types.String || f[1].T.Kind != types.Int64 {
+		t.Errorf("types: %+v", f)
+	}
+}
+
+func TestTypeMismatchRejected(t *testing.T) {
+	analyzeErr(t, "SELECT 1 FROM item WHERE i_category + 1 = TRUE")
+}

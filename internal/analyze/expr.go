@@ -1,0 +1,482 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// aggScope is active while resolving expressions above an Aggregate: select
+// items, HAVING and ORDER BY must be rewritten in terms of the aggregate's
+// output columns.
+type aggScope struct {
+	groupDigests map[string]int // FormatExpr(group expr AST) -> output col
+	aggDigests   map[string]int // FormatExpr(agg call AST) -> output col
+	fields       []plan.Field
+	groupingID   int // output ordinal of __grouping_id, -1 if none
+	groupExprs   []sql.Expr
+}
+
+// resolveExpr converts an AST expression into a Rex over the current scope.
+func (b *builder) resolveExpr(e sql.Expr) (plan.Rex, error) {
+	switch x := e.(type) {
+	case *sql.Lit:
+		return plan.NewLiteral(x.Val), nil
+
+	case *sql.Ident:
+		return b.resolveIdent(x)
+
+	case *sql.BinExpr:
+		if b.aggScope != nil {
+			if r, ok := b.aggLookup(e); ok {
+				return r, nil
+			}
+		}
+		l, err := b.resolveExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.resolveExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return buildBinOp(x.Op, l, r)
+
+	case *sql.UnaryExpr:
+		inner, err := b.resolveExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			return plan.NewFunc("not", types.TBool, inner), nil
+		}
+		return plan.NewFunc("neg", inner.Type(), inner), nil
+
+	case *sql.Call:
+		return b.resolveCall(x)
+
+	case *sql.CaseExpr:
+		return b.resolveCase(x)
+
+	case *sql.CastExpr:
+		inner, err := b.resolveExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return plan.NewFunc("cast:"+x.Type.String(), x.Type, inner), nil
+
+	case *sql.IsNullExpr:
+		inner, err := b.resolveExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		op := "isnull"
+		if x.Not {
+			op = "isnotnull"
+		}
+		return plan.NewFunc(op, types.TBool, inner), nil
+
+	case *sql.BetweenExpr:
+		v, err := b.resolveExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.resolveExpr(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.resolveExpr(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		ge, err := buildBinOp(">=", v, lo)
+		if err != nil {
+			return nil, err
+		}
+		le, err := buildBinOp("<=", v, hi)
+		if err != nil {
+			return nil, err
+		}
+		out := plan.NewFunc("and", types.TBool, ge, le)
+		if x.Not {
+			return plan.NewFunc("not", types.TBool, out), nil
+		}
+		return out, nil
+
+	case *sql.LikeExpr:
+		v, err := b.resolveExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := b.resolveExpr(x.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		out := plan.NewFunc("like", types.TBool, v, pat)
+		if x.Not {
+			return plan.NewFunc("not", types.TBool, out), nil
+		}
+		return out, nil
+
+	case *sql.InExpr:
+		if x.Sub != nil {
+			return nil, fmt.Errorf("analyze: IN subquery only supported as a top-level WHERE conjunct")
+		}
+		v, err := b.resolveExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		args := []plan.Rex{v}
+		for _, item := range x.List {
+			r, err := b.resolveExpr(item)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, r)
+		}
+		out := plan.NewFunc("in", types.TBool, args...)
+		if x.Not {
+			return plan.NewFunc("not", types.TBool, out), nil
+		}
+		return out, nil
+
+	case *sql.ExistsExpr:
+		return nil, fmt.Errorf("analyze: EXISTS only supported as a top-level WHERE conjunct")
+
+	case *sql.SubqueryExpr:
+		return b.resolveScalarSubquery(x.Sub)
+
+	case *sql.IntervalExpr:
+		val, err := b.resolveExpr(x.Value)
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := val.(*plan.Literal)
+		if !ok {
+			return nil, fmt.Errorf("analyze: INTERVAL requires a literal")
+		}
+		n, err := types.Cast(lit.Val, types.TBigint)
+		if err != nil {
+			return nil, err
+		}
+		var us int64
+		switch x.Unit {
+		case "DAY":
+			us = n.I * 86400 * 1e6
+		case "HOUR":
+			us = n.I * 3600 * 1e6
+		case "MINUTE":
+			us = n.I * 60 * 1e6
+		case "SECOND":
+			us = n.I * 1e6
+		case "MONTH":
+			us = n.I * 30 * 86400 * 1e6 // calendar-approximate
+		case "YEAR":
+			us = n.I * 365 * 86400 * 1e6
+		default:
+			return nil, fmt.Errorf("analyze: unsupported interval unit %s", x.Unit)
+		}
+		return plan.NewLiteral(types.NewInterval(us)), nil
+
+	case *sql.ExtractExpr:
+		from, err := b.resolveExpr(x.From)
+		if err != nil {
+			return nil, err
+		}
+		return plan.NewFunc("extract:"+strings.ToLower(x.Field), types.TBigint, from), nil
+	}
+	return nil, fmt.Errorf("analyze: unsupported expression %T", e)
+}
+
+func (b *builder) resolveIdent(id *sql.Ident) (plan.Rex, error) {
+	if b.aggScope != nil {
+		if r, ok := b.aggLookup(id); ok {
+			return r, nil
+		}
+		return nil, fmt.Errorf("analyze: column %s is not in GROUP BY", id)
+	}
+	idx, t, err := b.sc.resolve(id.Qualifier, id.Name)
+	if err != nil {
+		return nil, err
+	}
+	if idx >= 0 {
+		return &plan.ColRef{Idx: idx, T: t}, nil
+	}
+	// Try outer scopes: correlated reference.
+	depth := 0
+	for sc := b.sc.parent; sc != nil; sc = sc.parent {
+		oidx, ot, err := sc.resolve(id.Qualifier, id.Name)
+		if err != nil {
+			return nil, err
+		}
+		if oidx >= 0 {
+			if depth > 0 {
+				return nil, fmt.Errorf("analyze: correlation deeper than one level for %s", id)
+			}
+			return &outerRef{idx: oidx, t: ot}, nil
+		}
+		if len(sc.fields) > 0 {
+			depth++
+		}
+	}
+	return nil, fmt.Errorf("analyze: unknown column %s", id)
+}
+
+// aggLookup matches an AST expression against the aggregate output.
+func (b *builder) aggLookup(e sql.Expr) (plan.Rex, bool) {
+	key := sql.FormatExpr(e)
+	if i, ok := b.aggScope.groupDigests[key]; ok {
+		return &plan.ColRef{Idx: i, T: b.aggScope.fields[i].T}, true
+	}
+	if i, ok := b.aggScope.aggDigests[key]; ok {
+		return &plan.ColRef{Idx: i, T: b.aggScope.fields[i].T}, true
+	}
+	return nil, false
+}
+
+func buildBinOp(op string, l, r plan.Rex) (plan.Rex, error) {
+	switch op {
+	case "AND", "OR":
+		return plan.NewFunc(strings.ToLower(op), types.TBool, l, r), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		if _, ok := types.CommonSupertype(l.Type(), r.Type()); !ok {
+			return nil, fmt.Errorf("analyze: cannot compare %s with %s", l.Type(), r.Type())
+		}
+		return plan.NewFunc(op, types.TBool, l, r), nil
+	case "||":
+		return plan.NewFunc("concat", types.TString, l, r), nil
+	case "+", "-", "*", "/", "%":
+		lt, rt := l.Type(), r.Type()
+		// Temporal arithmetic.
+		if (lt.Kind == types.Date || lt.Kind == types.Timestamp) &&
+			(rt.Kind == types.Interval || rt.Numeric()) {
+			return plan.NewFunc(op, lt, l, r), nil
+		}
+		if lt.Kind == types.Interval && (rt.Kind == types.Date || rt.Kind == types.Timestamp) {
+			return plan.NewFunc(op, rt, l, r), nil
+		}
+		ct, ok := types.CommonSupertype(lt, rt)
+		if !ok {
+			return nil, fmt.Errorf("analyze: bad operands for %s: %s, %s", op, lt, rt)
+		}
+		if op == "/" {
+			ct = types.TDouble
+		}
+		if op == "*" && ct.Kind == types.Decimal {
+			ct = types.TDecimal(ct.Precision, scaleOf(lt)+scaleOf(rt))
+		}
+		return plan.NewFunc(op, ct, l, r), nil
+	}
+	return nil, fmt.Errorf("analyze: unknown operator %q", op)
+}
+
+func scaleOf(t types.T) int {
+	if t.Kind == types.Decimal {
+		return t.Scale
+	}
+	return 0
+}
+
+func (b *builder) resolveCase(x *sql.CaseExpr) (plan.Rex, error) {
+	// Normalize "CASE op WHEN v" into "CASE WHEN op = v".
+	var args []plan.Rex
+	var outT types.T
+	first := true
+	for _, w := range x.Whens {
+		var cond plan.Rex
+		var err error
+		if x.Operand != nil {
+			opnd, err := b.resolveExpr(x.Operand)
+			if err != nil {
+				return nil, err
+			}
+			v, err := b.resolveExpr(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			cond, err = buildBinOp("=", opnd, v)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			cond, err = b.resolveExpr(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+		}
+		then, err := b.resolveExpr(w.Then)
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			outT = then.Type()
+			first = false
+		} else if ct, ok := types.CommonSupertype(outT, then.Type()); ok {
+			outT = ct
+		}
+		args = append(args, cond, then)
+	}
+	if x.Else != nil {
+		els, err := b.resolveExpr(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		if ct, ok := types.CommonSupertype(outT, els.Type()); ok {
+			outT = ct
+		}
+		args = append(args, els)
+	}
+	return plan.NewFunc("case", outT, args...), nil
+}
+
+// aggFuncs are the supported aggregate functions.
+var aggFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// windowOnlyFuncs must carry an OVER clause.
+var windowOnlyFuncs = map[string]bool{
+	"row_number": true, "rank": true, "dense_rank": true,
+}
+
+func (b *builder) resolveCall(x *sql.Call) (plan.Rex, error) {
+	name := strings.ToLower(x.Name)
+	if x.Over != nil || windowOnlyFuncs[name] {
+		// Window calls are planned by applyWindow before projection
+		// resolution; a miss here means the call sits in an unsupported
+		// position (e.g. WHERE).
+		if r, ok := b.winLookup(x); ok {
+			return r, nil
+		}
+		return nil, fmt.Errorf("analyze: window function %s used in unsupported position", name)
+	}
+	if aggFuncs[name] {
+		if b.aggScope == nil {
+			return nil, fmt.Errorf("analyze: aggregate %s outside GROUP BY context", name)
+		}
+		if r, ok := b.aggLookup(x); ok {
+			return r, nil
+		}
+		return nil, fmt.Errorf("analyze: aggregate %s not collected", name)
+	}
+	if name == "grouping" {
+		return b.resolveGrouping(x)
+	}
+	var args []plan.Rex
+	for _, a := range x.Args {
+		r, err := b.resolveExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, r)
+	}
+	return buildScalarCall(name, args)
+}
+
+// buildScalarCall type-checks the built-in scalar functions.
+func buildScalarCall(name string, args []plan.Rex) (plan.Rex, error) {
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("analyze: %s expects %d argument(s), got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "abs", "floor", "ceil", "ceiling":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		t := args[0].Type()
+		if name != "abs" {
+			t = types.TBigint
+		}
+		return plan.NewFunc(name, t, args...), nil
+	case "round":
+		if len(args) != 1 && len(args) != 2 {
+			return nil, fmt.Errorf("analyze: round expects 1 or 2 arguments")
+		}
+		return plan.NewFunc("round", args[0].Type(), args...), nil
+	case "substr", "substring":
+		if len(args) != 2 && len(args) != 3 {
+			return nil, fmt.Errorf("analyze: substr expects 2 or 3 arguments")
+		}
+		return plan.NewFunc("substr", types.TString, args...), nil
+	case "upper", "lower", "trim":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return plan.NewFunc(name, types.TString, args...), nil
+	case "length":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return plan.NewFunc("length", types.TBigint, args...), nil
+	case "concat":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("analyze: concat needs arguments")
+		}
+		return plan.NewFunc("concat", types.TString, args...), nil
+	case "coalesce":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("analyze: coalesce needs arguments")
+		}
+		t := args[0].Type()
+		for _, a := range args[1:] {
+			if ct, ok := types.CommonSupertype(t, a.Type()); ok {
+				t = ct
+			}
+		}
+		return plan.NewFunc("coalesce", t, args...), nil
+	case "nullif":
+		if err := arity(2); err != nil {
+			return nil, err
+		}
+		return plan.NewFunc("nullif", args[0].Type(), args...), nil
+	case "if":
+		if err := arity(3); err != nil {
+			return nil, err
+		}
+		t, ok := types.CommonSupertype(args[1].Type(), args[2].Type())
+		if !ok {
+			t = args[1].Type()
+		}
+		return plan.NewFunc("if", t, args...), nil
+	case "year", "month", "day", "quarter", "hour":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return plan.NewFunc("extract:"+name, types.TBigint, args...), nil
+	case "rand":
+		return plan.NewFunc("rand", types.TDouble, args...), nil
+	case "current_date":
+		return plan.NewFunc("current_date", types.TDate), nil
+	case "current_timestamp":
+		return plan.NewFunc("current_timestamp", types.TTimestamp), nil
+	}
+	return nil, fmt.Errorf("analyze: unknown function %s", name)
+}
+
+func (b *builder) resolveGrouping(x *sql.Call) (plan.Rex, error) {
+	if b.aggScope == nil || b.aggScope.groupingID < 0 {
+		return nil, fmt.Errorf("analyze: GROUPING() requires GROUPING SETS")
+	}
+	if len(x.Args) != 1 {
+		return nil, fmt.Errorf("analyze: GROUPING expects one argument")
+	}
+	key := sql.FormatExpr(x.Args[0])
+	pos := -1
+	for i, g := range b.aggScope.groupExprs {
+		if sql.FormatExpr(g) == key {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("analyze: GROUPING argument not a grouping column")
+	}
+	gid := &plan.ColRef{Idx: b.aggScope.groupingID, T: types.TBigint}
+	return plan.NewFunc("grouping", types.TBigint, gid, plan.NewLiteral(types.NewBigint(int64(pos)))), nil
+}

@@ -1,0 +1,69 @@
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/metastore"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// ResolveExpr resolves an AST expression against a scan's output schema;
+// used by the DML planner for UPDATE/DELETE predicates and SET values.
+func ResolveExpr(ms *metastore.Metastore, db string, scan *plan.Scan, e sql.Expr) (plan.Rex, error) {
+	b := &builder{
+		a:  New(ms, db),
+		sc: &scope{fields: scan.Schema()},
+	}
+	r, err := b.resolveExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	if hasOuterRef(r) {
+		return nil, fmt.Errorf("analyze: unresolved column in DML expression")
+	}
+	return r, nil
+}
+
+// AnalyzeSelectWithMeta analyzes a SELECT with the named table's scan
+// emitting the ACID system columns — the MERGE planner uses it to join the
+// source against target row identifiers (paper §3.2).
+func (a *Analyzer) AnalyzeSelectWithMeta(sel *sql.SelectStmt, metaTable string) (plan.Rel, error) {
+	a.metaTables = map[string]bool{metaTable: true}
+	defer func() { a.metaTables = nil }()
+	return a.AnalyzeSelect(sel)
+}
+
+// ResolveExprOverJoin resolves an expression over the concatenated schema
+// of (source ++ target-with-meta), matching the MERGE execution layout.
+func ResolveExprOverJoin(ms *metastore.Metastore, db string, source sql.TableRef, target *metastore.Table, targetAlias string, e sql.Expr) (plan.Rex, error) {
+	a := New(ms, db)
+	b := &builder{a: a}
+	_, srcFields, err := b.buildFrom(source, &scope{})
+	if err != nil {
+		return nil, err
+	}
+	alias := targetAlias
+	if alias == "" {
+		alias = target.Name
+	}
+	scan := plan.NewScan(target, alias)
+	scan.Meta = true
+	fields := append(append([]plan.Field{}, srcFields...), scan.Schema()...)
+	rb := &builder{a: a, sc: &scope{fields: fields}}
+	r, err := rb.resolveExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	if hasOuterRef(r) {
+		return nil, fmt.Errorf("analyze: unresolved column in MERGE expression")
+	}
+	return r, nil
+}
+
+// ResolveConstExpr resolves an expression with no table scope (INSERT
+// VALUES entries: literals, casts, arithmetic over constants).
+func ResolveConstExpr(e sql.Expr) (plan.Rex, error) {
+	b := &builder{a: &Analyzer{}, sc: &scope{}}
+	return b.resolveExpr(e)
+}

@@ -1,0 +1,240 @@
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// applyWhere splits the WHERE clause into conjuncts: IN/EXISTS subquery
+// predicates become semi or anti joins (decorrelated where needed), plain
+// predicates become a Filter, and predicates that reference the parent
+// query (inside a subquery) are set aside as correlation predicates.
+func (b *builder) applyWhere(where sql.Expr) error {
+	var plain []plan.Rex
+	for _, conj := range splitAnd(where) {
+		conj, not := stripNot(conj)
+		switch x := conj.(type) {
+		case *sql.InExpr:
+			if x.Sub != nil {
+				if err := b.applyQuantified(x.E, x.Sub, x.Not != not); err != nil {
+					return err
+				}
+				continue
+			}
+		case *sql.ExistsExpr:
+			if err := b.applyExists(x.Sub, x.Not != not); err != nil {
+				return err
+			}
+			continue
+		}
+		if not {
+			conj = &sql.UnaryExpr{Op: "NOT", E: conj}
+		}
+		r, err := b.resolveExpr(conj)
+		if err != nil {
+			return err
+		}
+		if hasOuterRef(r) {
+			pred, err := classifyCorr(r)
+			if err != nil {
+				return err
+			}
+			b.corr = append(b.corr, pred)
+			continue
+		}
+		plain = append(plain, r)
+	}
+	if cond := plan.AndAll(plain); cond != nil {
+		b.rel = &plan.Filter{Input: b.rel, Cond: cond}
+	}
+	return nil
+}
+
+func splitAnd(e sql.Expr) []sql.Expr {
+	if be, ok := e.(*sql.BinExpr); ok && be.Op == "AND" {
+		return append(splitAnd(be.L), splitAnd(be.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// stripNot unwraps a single leading NOT, reporting whether one was present.
+func stripNot(e sql.Expr) (sql.Expr, bool) {
+	if ue, ok := e.(*sql.UnaryExpr); ok && ue.Op == "NOT" {
+		return ue.E, true
+	}
+	return e, false
+}
+
+// classifyCorr validates that a correlated predicate is a comparison with a
+// pure-outer side and a pure-inner side.
+func classifyCorr(r plan.Rex) (corrPred, error) {
+	f, ok := r.(*plan.Func)
+	if !ok || len(f.Args) != 2 {
+		return corrPred{}, fmt.Errorf("analyze: unsupported correlated predicate %s", r.Digest())
+	}
+	switch f.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+	default:
+		return corrPred{}, fmt.Errorf("analyze: unsupported correlated predicate operator %s", f.Op)
+	}
+	l, lOuter := f.Args[0], hasOuterRef(f.Args[0])
+	rr, rOuter := f.Args[1], hasOuterRef(f.Args[1])
+	if lOuter == rOuter {
+		return corrPred{}, fmt.Errorf("analyze: correlated predicate must compare inner with outer columns")
+	}
+	op := f.Op
+	inner, outer := l, rr
+	if lOuter {
+		inner, outer = rr, l
+		op = flipOp(op)
+	}
+	if hasInnerRef(outer) {
+		return corrPred{}, fmt.Errorf("analyze: mixed inner/outer side in correlated predicate")
+	}
+	return corrPred{op: op, inner: inner, outer: outer}, nil
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func hasInnerRef(e plan.Rex) bool {
+	switch x := e.(type) {
+	case *plan.ColRef:
+		return true
+	case *plan.Func:
+		for _, a := range x.Args {
+			if hasInnerRef(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// outerToCol converts outerRef leaves into ColRefs over the parent row.
+func outerToCol(e plan.Rex) plan.Rex {
+	switch x := e.(type) {
+	case *outerRef:
+		return &plan.ColRef{Idx: x.idx, T: x.t}
+	case *plan.Func:
+		args := make([]plan.Rex, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = outerToCol(a)
+		}
+		return &plan.Func{Op: x.Op, Args: args, T: x.T}
+	default:
+		return e
+	}
+}
+
+// buildSubquery analyzes a subquery with the current scope as its parent,
+// returning its plan, output fields and decorrelated predicates.
+func (b *builder) buildSubquery(sub *sql.SelectStmt) (plan.Rel, []plan.Field, []corrPred, error) {
+	subScope := &scope{parent: b.sc, ctes: b.sc.ctes}
+	var corr []corrPred
+	rel, fields, err := b.a.buildSelect(sub, subScope, &corr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rel, fields, corr, nil
+}
+
+// applyQuantified plans "probe [NOT] IN (subquery)" as a semi/anti join.
+func (b *builder) applyQuantified(probe sql.Expr, sub *sql.SelectStmt, not bool) error {
+	probeRex, err := b.resolveExpr(probe)
+	if err != nil {
+		return err
+	}
+	subRel, subFields, corr, err := b.buildSubquery(sub)
+	if err != nil {
+		return err
+	}
+	leftW := len(b.rel.Schema())
+	conds := []plan.Rex{}
+	eq, err := buildBinOp("=", probeRex, &plan.ColRef{Idx: leftW, T: subFields[0].T})
+	if err != nil {
+		return err
+	}
+	conds = append(conds, eq)
+	for _, c := range corr {
+		conds = append(conds, corrToJoinCond(c, leftW, subFields))
+	}
+	kind := plan.Semi
+	if not {
+		kind = plan.Anti
+	}
+	b.rel = &plan.Join{Kind: kind, Left: b.rel, Right: subRel, Cond: plan.AndAll(conds)}
+	return nil
+}
+
+// applyExists plans [NOT] EXISTS (subquery) as a semi/anti join on the
+// decorrelated predicates (an uncorrelated EXISTS joins on TRUE).
+func (b *builder) applyExists(sub *sql.SelectStmt, not bool) error {
+	subRel, subFields, corr, err := b.buildSubquery(sub)
+	if err != nil {
+		return err
+	}
+	leftW := len(b.rel.Schema())
+	var conds []plan.Rex
+	for _, c := range corr {
+		conds = append(conds, corrToJoinCond(c, leftW, subFields))
+	}
+	cond := plan.AndAll(conds)
+	if cond == nil {
+		cond = plan.NewLiteral(types.NewBool(true))
+	}
+	kind := plan.Semi
+	if not {
+		kind = plan.Anti
+	}
+	b.rel = &plan.Join{Kind: kind, Left: b.rel, Right: subRel, Cond: cond}
+	return nil
+}
+
+// resolveScalarSubquery plans a scalar subquery as a Single join (left
+// outer with a runtime at-most-one-match guarantee) and returns the column
+// reference to its value.
+func (b *builder) resolveScalarSubquery(sub *sql.SelectStmt) (plan.Rex, error) {
+	if b.aggScope != nil {
+		return nil, fmt.Errorf("analyze: scalar subquery not supported in aggregated context")
+	}
+	subRel, subFields, corr, err := b.buildSubquery(sub)
+	if err != nil {
+		return nil, err
+	}
+	if len(subFields) == 0 {
+		return nil, fmt.Errorf("analyze: scalar subquery has no columns")
+	}
+	leftW := len(b.rel.Schema())
+	var conds []plan.Rex
+	for _, c := range corr {
+		conds = append(conds, corrToJoinCond(c, leftW, subFields))
+	}
+	cond := plan.AndAll(conds)
+	if cond == nil {
+		cond = plan.NewLiteral(types.NewBool(true))
+	}
+	b.rel = &plan.Join{Kind: plan.Single, Left: b.rel, Right: subRel, Cond: cond}
+	return &plan.ColRef{Idx: leftW, T: subFields[0].T}, nil
+}
+
+// corrToJoinCond renders one decorrelated predicate as a join condition
+// over the concatenated (parent ++ subquery) row.
+func corrToJoinCond(c corrPred, leftW int, subFields []plan.Field) plan.Rex {
+	innerRef := &plan.ColRef{Idx: leftW + c.innerOut, T: subFields[c.innerOut].T}
+	return plan.NewFunc(c.op, types.TBool, innerRef, outerToCol(c.outer))
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Runner abstracts the session operations the harnesses need.
+type Runner interface {
+	Exec(sql string) error
+	SetConf(key, value string)
+}
+
+// QueryTiming is one measured query.
+type QueryTiming struct {
+	Name      string
+	V12       time.Duration // zero when unsupported
+	V31       time.Duration
+	Supported bool // supported by the v1.2 profile
+	Err       error
+}
+
+// Figure7 reruns the paper's version comparison: every query under the
+// Hive 1.2 profile (Tez containers, optimizations off, SQL gaps enforced)
+// and under the 3.1 profile (LLAP + full optimizer). Returns per-query
+// timings; unsupported-on-1.2 queries carry Supported=false, mirroring the
+// 49 queries missing from the figure's v1.2 series.
+func Figure7(s Runner, queries []TPCDSQuery, iterations int) ([]QueryTiming, error) {
+	out := make([]QueryTiming, len(queries))
+	for i, q := range queries {
+		out[i] = QueryTiming{Name: q.Name, Supported: !q.V31Only}
+		// v3.1 run.
+		s.SetConf("hive.profile", "3.1")
+		s.SetConf("hive.query.results.cache.enabled", "false") // measure execution
+		d, err := timeQuery(s, q.SQL, iterations)
+		if err != nil {
+			out[i].Err = fmt.Errorf("%s (v3.1): %w", q.Name, err)
+			return out, out[i].Err
+		}
+		out[i].V31 = d
+		// v1.2 run (when supported).
+		if q.V31Only {
+			continue
+		}
+		s.SetConf("hive.profile", "1.2")
+		d, err = timeQuery(s, q.SQL, iterations)
+		s.SetConf("hive.profile", "3.1")
+		if err != nil {
+			out[i].Err = fmt.Errorf("%s (v1.2): %w", q.Name, err)
+			return out, out[i].Err
+		}
+		out[i].V12 = d
+	}
+	return out, nil
+}
+
+func timeQuery(s Runner, sql string, iterations int) (time.Duration, error) {
+	if iterations < 1 {
+		iterations = 1
+	}
+	// Warm once (paper reports warm-cache numbers).
+	if err := s.Exec(sql); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		if err := s.Exec(sql); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iterations), nil
+}
+
+// PrintFigure7 renders the per-query series like the paper's figure plus
+// the headline aggregates (average speedup, max speedup, totals).
+func PrintFigure7(w io.Writer, timings []QueryTiming) {
+	fmt.Fprintf(w, "%-6s %12s %12s %9s\n", "query", "v1.2(ms)", "v3.1(ms)", "speedup")
+	var sumSpeedup, maxSpeedup float64
+	var nBoth int
+	var totalV12, totalV31 time.Duration
+	for _, t := range timings {
+		totalV31 += t.V31
+		if !t.Supported {
+			fmt.Fprintf(w, "%-6s %12s %12.1f %9s\n", t.Name, "unsupported", ms(t.V31), "-")
+			continue
+		}
+		totalV12 += t.V12
+		sp := float64(t.V12) / float64(t.V31)
+		sumSpeedup += sp
+		if sp > maxSpeedup {
+			maxSpeedup = sp
+		}
+		nBoth++
+		fmt.Fprintf(w, "%-6s %12.1f %12.1f %8.1fx\n", t.Name, ms(t.V12), ms(t.V31), sp)
+	}
+	fmt.Fprintf(w, "\nqueries supported on v1.2: %d/%d\n", nBoth, len(timings))
+	if nBoth > 0 {
+		fmt.Fprintf(w, "average speedup (common queries): %.1fx, max: %.1fx\n",
+			sumSpeedup/float64(nBoth), maxSpeedup)
+		fmt.Fprintf(w, "total v1.2 (supported only): %.0fms; total v3.1 (ALL queries): %.0fms\n",
+			ms(totalV12), ms(totalV31))
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// Table1Result is the paper's Table 1: aggregate response time with and
+// without LLAP.
+type Table1Result struct {
+	ContainerTotal time.Duration
+	LLAPTotal      time.Duration
+}
+
+// Table1 runs every query in container mode (no LLAP: no persistent
+// executors, no cache) and in LLAP mode, both under the full v3.1
+// optimizer, and reports aggregate response times.
+func Table1(s Runner, queries []TPCDSQuery, iterations int) (Table1Result, error) {
+	var res Table1Result
+	s.SetConf("hive.profile", "3.1")
+	s.SetConf("hive.query.results.cache.enabled", "false")
+	s.SetConf("hive.execution.mode", "container")
+	s.SetConf("hive.llap.enabled", "false")
+	for _, q := range queries {
+		d, err := timeQuery(s, q.SQL, iterations)
+		if err != nil {
+			return res, fmt.Errorf("%s (container): %w", q.Name, err)
+		}
+		res.ContainerTotal += d
+	}
+	s.SetConf("hive.execution.mode", "llap")
+	s.SetConf("hive.llap.enabled", "true")
+	for _, q := range queries {
+		d, err := timeQuery(s, q.SQL, iterations)
+		if err != nil {
+			return res, fmt.Errorf("%s (llap): %w", q.Name, err)
+		}
+		res.LLAPTotal += d
+	}
+	return res, nil
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, r Table1Result) {
+	fmt.Fprintf(w, "%-28s %s\n", "Execution mode", "Total response time (ms)")
+	fmt.Fprintf(w, "%-28s %.0f\n", "Container (without LLAP)", ms(r.ContainerTotal))
+	fmt.Fprintf(w, "%-28s %.0f\n", "LLAP", ms(r.LLAPTotal))
+	if r.LLAPTotal > 0 {
+		fmt.Fprintf(w, "LLAP speedup: %.1fx\n", float64(r.ContainerTotal)/float64(r.LLAPTotal))
+	}
+}
+
+// Figure8Timing is one SSB query in both backends.
+type Figure8Timing struct {
+	Name   string
+	Native time.Duration
+	Druid  time.Duration
+}
+
+// RunFigure8 executes the full §7.3 experiment: the 13 SSB queries against
+// the denormalized materialization stored natively in Hive, then against
+// the same materialization stored in Druid, with computation pushed over
+// HTTP/JSON.
+func RunFigure8(s Runner, iterations int) ([]Figure8Timing, error) {
+	queries := SSBQueries()
+	out := make([]Figure8Timing, len(queries))
+	s.SetConf("hive.query.results.cache.enabled", "false")
+	// Phase 1: native materialization.
+	if err := s.Exec(SSBDenormalizedMV(false)); err != nil {
+		return nil, fmt.Errorf("create native MV: %w", err)
+	}
+	for i, q := range queries {
+		d, err := timeQuery(s, q.SQL, iterations)
+		if err != nil {
+			return nil, fmt.Errorf("%s (native): %w", q.Name, err)
+		}
+		out[i] = Figure8Timing{Name: q.Name, Native: d}
+	}
+	if err := s.Exec("DROP MATERIALIZED VIEW ssb_mv"); err != nil {
+		return nil, err
+	}
+	// Phase 2: the same materialization stored in Druid.
+	if err := s.Exec(SSBDenormalizedMV(true)); err != nil {
+		return nil, fmt.Errorf("create druid MV: %w", err)
+	}
+	for i, q := range queries {
+		d, err := timeQuery(s, q.SQL, iterations)
+		if err != nil {
+			return nil, fmt.Errorf("%s (druid): %w", q.Name, err)
+		}
+		out[i].Druid = d
+	}
+	if err := s.Exec("DROP MATERIALIZED VIEW ssb_mv"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PrintFigure8 renders the per-query comparison like the paper's figure.
+func PrintFigure8(w io.Writer, timings []Figure8Timing) {
+	fmt.Fprintf(w, "%-6s %12s %12s %9s\n", "query", "hive(ms)", "hive/druid", "speedup")
+	var tn, td time.Duration
+	for _, t := range timings {
+		tn += t.Native
+		td += t.Druid
+		fmt.Fprintf(w, "%-6s %12.1f %12.1f %8.1fx\n", t.Name, ms(t.Native), ms(t.Druid),
+			float64(t.Native)/float64(t.Druid))
+	}
+	if td > 0 {
+		fmt.Fprintf(w, "\naggregate: native %.0fms, druid %.0fms (%.1fx)\n",
+			ms(tn), ms(td), float64(tn)/float64(td))
+	}
+}

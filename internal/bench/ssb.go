@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SSBScale sizes the Star-Schema Benchmark data (paper §7.3).
+type SSBScale struct {
+	LineorderRows int
+	Customers     int
+	Suppliers     int
+	Parts         int
+	DateDays      int
+}
+
+// SmallSSB is the default laptop scale.
+func SmallSSB() SSBScale {
+	return SSBScale{LineorderRows: 20000, Customers: 400, Suppliers: 100, Parts: 300, DateDays: 360}
+}
+
+// TinySSB keeps unit tests fast.
+func TinySSB() SSBScale {
+	return SSBScale{LineorderRows: 2000, Customers: 60, Suppliers: 20, Parts: 50, DateDays: 90}
+}
+
+// SetupSSB creates and populates the SSB star schema: one fact table
+// (lineorder) and four dimensions.
+func SetupSSB(exec func(string) error, sc SSBScale) error {
+	ddl := []string{
+		`CREATE TABLE ssb_date (
+			d_datekey BIGINT, d_year INT, d_month INT, d_weeknum INT,
+			PRIMARY KEY (d_datekey) DISABLE NOVALIDATE RELY)`,
+		`CREATE TABLE ssb_customer (
+			c_custkey BIGINT, c_name STRING, c_city STRING, c_nation STRING, c_region STRING,
+			PRIMARY KEY (c_custkey) DISABLE NOVALIDATE RELY)`,
+		`CREATE TABLE ssb_supplier (
+			s_suppkey BIGINT, s_name STRING, s_city STRING, s_nation STRING, s_region STRING,
+			PRIMARY KEY (s_suppkey) DISABLE NOVALIDATE RELY)`,
+		`CREATE TABLE ssb_part (
+			p_partkey BIGINT, p_name STRING, p_mfgr STRING, p_category STRING, p_brand STRING,
+			PRIMARY KEY (p_partkey) DISABLE NOVALIDATE RELY)`,
+		`CREATE TABLE lineorder (
+			lo_orderkey BIGINT, lo_custkey BIGINT, lo_partkey BIGINT,
+			lo_suppkey BIGINT, lo_orderdate BIGINT, lo_quantity INT,
+			lo_extendedprice DOUBLE, lo_discount INT, lo_revenue DOUBLE)`,
+	}
+	for _, d := range ddl {
+		if err := exec(d); err != nil {
+			return err
+		}
+	}
+	regions := []string{"AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST"}
+	nations := []string{"UNITED STATES", "CHINA", "FRANCE", "EGYPT", "IRAN", "BRAZIL", "JAPAN", "GERMANY"}
+	mfgrs := []string{"MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"}
+	rng := rand.New(rand.NewSource(7))
+
+	if err := insertBatches(exec, "ssb_date", sc.DateDays, 500, func(i int) string {
+		year := 1992 + i/360
+		month := (i/30)%12 + 1
+		return fmt.Sprintf("(%d, %d, %d, %d)", 19920101+i, year, month, i/7)
+	}); err != nil {
+		return err
+	}
+	if err := insertBatches(exec, "ssb_customer", sc.Customers, 500, func(i int) string {
+		return fmt.Sprintf("(%d, 'Customer%d', 'city%d', '%s', '%s')",
+			i+1, i, i%20, nations[i%len(nations)], regions[i%len(regions)])
+	}); err != nil {
+		return err
+	}
+	if err := insertBatches(exec, "ssb_supplier", sc.Suppliers, 500, func(i int) string {
+		return fmt.Sprintf("(%d, 'Supplier%d', 'city%d', '%s', '%s')",
+			i+1, i, i%20, nations[i%len(nations)], regions[i%len(regions)])
+	}); err != nil {
+		return err
+	}
+	if err := insertBatches(exec, "ssb_part", sc.Parts, 500, func(i int) string {
+		return fmt.Sprintf("(%d, 'Part%d', '%s', 'CAT%d', 'BRAND%d')",
+			i+1, i, mfgrs[i%len(mfgrs)], i%25, i%40)
+	}); err != nil {
+		return err
+	}
+	if err := insertBatches(exec, "lineorder", sc.LineorderRows, 500, func(i int) string {
+		price := 100 + rng.Float64()*10000
+		disc := rng.Intn(11)
+		return fmt.Sprintf("(%d, %d, %d, %d, %d, %d, %.2f, %d, %.2f)",
+			i+1, 1+rng.Intn(sc.Customers), 1+rng.Intn(sc.Parts),
+			1+rng.Intn(sc.Suppliers), 19920101+rng.Intn(sc.DateDays),
+			1+rng.Intn(50), price, disc, price*(1-float64(disc)/100))
+	}); err != nil {
+		return err
+	}
+	for _, t := range []string{"ssb_date", "ssb_customer", "ssb_supplier", "ssb_part", "lineorder"} {
+		if err := exec("ANALYZE TABLE " + t + " COMPUTE STATISTICS"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SSBDenormalizedMV is the materialized view the paper's §7.3 experiment
+// builds: a denormalization of the star schema, stored either natively or
+// in Druid. String dimensions plus numeric measures aggregate by the
+// dimensional attributes the 13 queries filter and group on.
+func SSBDenormalizedMV(storedByDruid bool) string {
+	stored := ""
+	if storedByDruid {
+		stored = " STORED BY 'org.apache.hadoop.hive.druid.DruidStorageHandler'"
+	}
+	return `CREATE MATERIALIZED VIEW ssb_mv` + stored + ` AS
+		SELECT c_city, c_nation, c_region, s_city, s_nation, s_region,
+		       p_mfgr, p_category, p_brand, d_yearstr, d_monthstr,
+		       SUM(lo_revenue) AS sum_revenue,
+		       SUM(lo_extendedprice) AS sum_price,
+		       COUNT(*) AS cnt
+		FROM (SELECT lo_custkey, lo_partkey, lo_suppkey, lo_orderdate,
+		             lo_revenue, lo_extendedprice,
+		             CAST(d_year AS string) AS d_yearstr,
+		             CAST(d_month AS string) AS d_monthstr,
+		             c_city, c_nation, c_region, s_city, s_nation, s_region,
+		             p_mfgr, p_category, p_brand
+		      FROM lineorder, ssb_date, ssb_customer, ssb_supplier, ssb_part
+		      WHERE lo_orderdate = d_datekey AND lo_custkey = c_custkey
+		        AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey) denorm
+		GROUP BY c_city, c_nation, c_region, s_city, s_nation, s_region,
+		         p_mfgr, p_category, p_brand, d_yearstr, d_monthstr`
+}
+
+// SSBQuery is one of the 13 SSB queries, expressed against the
+// denormalized view (the §7.3 experiment answers all queries from the MV,
+// natively or via Druid).
+type SSBQuery struct {
+	Name string
+	SQL  string
+}
+
+// SSBQueries returns the 13-query flight against the denormalized MV.
+func SSBQueries() []SSBQuery {
+	qs := []struct{ name, sql string }{
+		{"q1.1", `SELECT SUM(sum_revenue) FROM ssb_mv WHERE d_yearstr = '1993'`},
+		{"q1.2", `SELECT SUM(sum_revenue) FROM ssb_mv WHERE d_yearstr = '1994' AND d_monthstr = '1'`},
+		{"q1.3", `SELECT SUM(sum_revenue) FROM ssb_mv WHERE d_yearstr = '1992' AND d_monthstr = '6'`},
+		{"q2.1", `SELECT d_yearstr, p_brand, SUM(sum_revenue) AS rev FROM ssb_mv
+			WHERE p_category = 'CAT12' AND s_region = 'AMERICA'
+			GROUP BY d_yearstr, p_brand ORDER BY rev DESC LIMIT 20`},
+		{"q2.2", `SELECT d_yearstr, p_brand, SUM(sum_revenue) AS rev FROM ssb_mv
+			WHERE p_brand = 'BRAND21' AND s_region = 'ASIA'
+			GROUP BY d_yearstr, p_brand ORDER BY rev DESC LIMIT 20`},
+		{"q2.3", `SELECT d_yearstr, p_brand, SUM(sum_revenue) AS rev FROM ssb_mv
+			WHERE p_brand = 'BRAND14' AND s_region = 'EUROPE'
+			GROUP BY d_yearstr, p_brand ORDER BY rev DESC LIMIT 20`},
+		{"q3.1", `SELECT c_nation, s_nation, d_yearstr, SUM(sum_revenue) AS rev FROM ssb_mv
+			WHERE c_region = 'ASIA' AND s_region = 'ASIA'
+			GROUP BY c_nation, s_nation, d_yearstr ORDER BY rev DESC LIMIT 20`},
+		{"q3.2", `SELECT c_city, s_city, d_yearstr, SUM(sum_revenue) AS rev FROM ssb_mv
+			WHERE c_nation = 'UNITED STATES' AND s_nation = 'UNITED STATES'
+			GROUP BY c_city, s_city, d_yearstr ORDER BY rev DESC LIMIT 20`},
+		{"q3.3", `SELECT c_city, s_city, SUM(sum_revenue) AS rev FROM ssb_mv
+			WHERE c_city = 'city1' AND s_city = 'city1'
+			GROUP BY c_city, s_city ORDER BY rev DESC LIMIT 20`},
+		{"q3.4", `SELECT c_city, s_city, SUM(sum_revenue) AS rev FROM ssb_mv
+			WHERE c_city = 'city3' AND d_monthstr = '12'
+			GROUP BY c_city, s_city ORDER BY rev DESC LIMIT 20`},
+		{"q4.1", `SELECT d_yearstr, c_nation, SUM(sum_price) AS profit FROM ssb_mv
+			WHERE c_region = 'AMERICA' AND s_region = 'AMERICA'
+			GROUP BY d_yearstr, c_nation ORDER BY profit DESC LIMIT 20`},
+		{"q4.2", `SELECT d_yearstr, s_nation, p_category, SUM(sum_price) AS profit FROM ssb_mv
+			WHERE c_region = 'AMERICA' AND p_mfgr = 'MFGR#1'
+			GROUP BY d_yearstr, s_nation, p_category ORDER BY profit DESC LIMIT 20`},
+		{"q4.3", `SELECT d_yearstr, s_city, p_brand, SUM(sum_price) AS profit FROM ssb_mv
+			WHERE s_nation = 'UNITED STATES' AND p_category = 'CAT3'
+			GROUP BY d_yearstr, s_city, p_brand ORDER BY profit DESC LIMIT 20`},
+	}
+	out := make([]SSBQuery, len(qs))
+	for i, q := range qs {
+		out[i] = SSBQuery{Name: q.name, SQL: q.sql}
+	}
+	return out
+}

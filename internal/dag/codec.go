@@ -1,0 +1,126 @@
+package dag
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// encodeRows serializes rows for a shuffle/spill file: per datum a kind
+// byte (0xFF marks NULL), then a fixed or length-prefixed payload.
+func encodeRows(rows [][]types.Datum) []byte {
+	var out []byte
+	var scratch [binary.MaxVarintLen64]byte
+	putVar := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		out = append(out, scratch[:n]...)
+	}
+	putVar(uint64(len(rows)))
+	for _, row := range rows {
+		putVar(uint64(len(row)))
+		for _, d := range row {
+			if d.Null {
+				out = append(out, 0xFF, byte(d.K))
+				continue
+			}
+			out = append(out, byte(d.K))
+			switch d.K {
+			case types.Float64:
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(d.F))
+				out = append(out, buf[:]...)
+			case types.String:
+				putVar(uint64(len(d.S)))
+				out = append(out, d.S...)
+			case types.Decimal:
+				putVar(uint64(zigzag(d.I)))
+				putVar(uint64(d.DecimalScale()))
+			default:
+				putVar(zigzag(d.I))
+			}
+		}
+	}
+	return out
+}
+
+func decodeRows(data []byte, _ []types.T) ([][]types.Datum, error) {
+	pos := 0
+	getVar := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("dag: corrupt spill at %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	nRows, err := getVar()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]types.Datum, 0, nRows)
+	for r := uint64(0); r < nRows; r++ {
+		nCols, err := getVar()
+		if err != nil {
+			return nil, err
+		}
+		row := make([]types.Datum, nCols)
+		for c := range row {
+			if pos >= len(data) {
+				return nil, fmt.Errorf("dag: truncated spill")
+			}
+			k := data[pos]
+			pos++
+			if k == 0xFF {
+				if pos >= len(data) {
+					return nil, fmt.Errorf("dag: truncated spill")
+				}
+				row[c] = types.NullOf(types.Kind(data[pos]))
+				pos++
+				continue
+			}
+			kind := types.Kind(k)
+			switch kind {
+			case types.Float64:
+				if pos+8 > len(data) {
+					return nil, fmt.Errorf("dag: truncated double")
+				}
+				bits := binary.LittleEndian.Uint64(data[pos:])
+				pos += 8
+				row[c] = types.NewDouble(math.Float64frombits(bits))
+			case types.String:
+				l, err := getVar()
+				if err != nil {
+					return nil, err
+				}
+				if pos+int(l) > len(data) {
+					return nil, fmt.Errorf("dag: truncated string")
+				}
+				row[c] = types.NewString(string(data[pos : pos+int(l)]))
+				pos += int(l)
+			case types.Decimal:
+				u, err := getVar()
+				if err != nil {
+					return nil, err
+				}
+				sc, err := getVar()
+				if err != nil {
+					return nil, err
+				}
+				row[c] = types.NewDecimal(unzigzag(u), int(sc))
+			default:
+				u, err := getVar()
+				if err != nil {
+					return nil, err
+				}
+				row[c] = types.Datum{K: kind, I: unzigzag(u)}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,288 @@
+// Package dag models the execution runtimes Hive has used (paper §2, §5):
+//
+//   - MR mode reproduces MapReduce's defining costs: every pipeline breaker
+//     (shuffle boundary) materializes its input to the distributed file
+//     system and reads it back, and every stage pays container start-up.
+//     This is the "Hive v1.2 on MapReduce-shaped plans" baseline of §7.1.
+//   - Container mode is Tez: stages pipeline in memory, but each vertex
+//     still pays YARN container allocation at start-up.
+//   - LLAP mode is Tez + LLAP: fragments borrow persistent executors (no
+//     start-up cost) and scans read through the LLAP cache.
+package dag
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/exec"
+	"repro/internal/llap"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Mode selects the execution runtime.
+type Mode int
+
+// Runtime modes.
+const (
+	ModeMR Mode = iota
+	ModeContainer
+	ModeLLAP
+)
+
+func (m Mode) String() string {
+	return [...]string{"mr", "container", "llap"}[m]
+}
+
+// DAG summarizes the task graph of a physical plan: one vertex per scan
+// (map work) and one per pipeline breaker (reduce work), edges following
+// data flow, mirroring Tez's vertex/edge model.
+type DAG struct {
+	Vertices int
+	Breakers int // pipeline breakers = shuffle boundaries
+}
+
+// Analyze derives the DAG shape of an operator tree.
+func Analyze(op exec.Operator) DAG {
+	d := DAG{}
+	var walk func(o exec.Operator)
+	walk = func(o exec.Operator) {
+		switch x := o.(type) {
+		case *exec.ScanOp:
+			d.Vertices++
+		case *exec.HashJoinOp:
+			d.Vertices++
+			d.Breakers++
+			walk(x.Left)
+			walk(x.Right)
+			return
+		case *exec.HashAggOp:
+			d.Vertices++
+			d.Breakers++
+			walk(x.Input)
+			return
+		case *exec.SortOp:
+			d.Vertices++
+			d.Breakers++
+			walk(x.Input)
+			return
+		case *exec.TopNOp:
+			d.Vertices++
+			d.Breakers++
+			walk(x.Input)
+			return
+		case *exec.WindowOp:
+			d.Vertices++
+			d.Breakers++
+			walk(x.Input)
+			return
+		case *exec.SetOpOp:
+			d.Breakers++
+			walk(x.Left)
+			walk(x.Right)
+			return
+		case *exec.FilterOp:
+			walk(x.Input)
+			return
+		case *exec.ProjectOp:
+			walk(x.Input)
+			return
+		case *exec.LimitOp:
+			walk(x.Input)
+			return
+		case *exec.UnionAllOp:
+			for _, in := range x.Inputs {
+				walk(in)
+			}
+			return
+		case *exec.SpoolOp:
+			walk(x.Input)
+			return
+		}
+	}
+	walk(op)
+	if d.Vertices == 0 {
+		d.Vertices = 1
+	}
+	return d
+}
+
+// Runner executes an operator tree under a runtime mode, charging the
+// mode's characteristic costs.
+type Runner struct {
+	Mode Mode
+	// ContainerLaunch is the simulated YARN container allocation cost
+	// charged per DAG vertex in MR and Container modes (paper §5: LLAP
+	// "avoids YARN containers allocation overhead at start-up").
+	ContainerLaunch time.Duration
+	// FS receives MR-mode intermediate materializations.
+	FS *dfs.FS
+	// ScratchDir is the DFS directory for MR spills.
+	ScratchDir string
+	// Daemons, in LLAP mode, is the persistent executor pool.
+	Daemons *llap.Daemons
+
+	spillSeq int
+}
+
+// Prepare instruments the operator tree for the runner's mode and returns
+// the tree to execute plus its DAG shape.
+func (r *Runner) Prepare(op exec.Operator) (exec.Operator, DAG) {
+	d := Analyze(op)
+	if r.Mode == ModeMR && r.FS != nil {
+		op = r.insertSpills(op)
+	}
+	return op, d
+}
+
+// Run executes the prepared operator tree, charging start-up costs, and
+// returns all result rows.
+func (r *Runner) Run(op exec.Operator, d DAG) ([][]types.Datum, error) {
+	switch r.Mode {
+	case ModeMR:
+		// Each stage (vertex) pays container allocation, and stages of an
+		// MR job run serially per wave.
+		time.Sleep(time.Duration(d.Vertices) * r.ContainerLaunch)
+	case ModeContainer:
+		// Tez reuses a container per vertex but still allocates at start.
+		time.Sleep(time.Duration(d.Vertices) * r.ContainerLaunch / 2)
+	case ModeLLAP:
+		if r.Daemons != nil {
+			release := r.Daemons.Acquire(d.Vertices)
+			defer release()
+		}
+	}
+	return exec.Drain(op)
+}
+
+// insertSpills wraps every pipeline breaker's inputs with a DFS
+// materialization, reproducing MapReduce's stage-by-stage execution.
+func (r *Runner) insertSpills(op exec.Operator) exec.Operator {
+	switch x := op.(type) {
+	case *exec.HashJoinOp:
+		x.Left = r.spill(r.insertSpills(x.Left))
+		x.Right = r.spill(r.insertSpills(x.Right))
+	case *exec.HashAggOp:
+		x.Input = r.spill(r.insertSpills(x.Input))
+	case *exec.SortOp:
+		x.Input = r.spill(r.insertSpills(x.Input))
+	case *exec.TopNOp:
+		x.Input = r.spill(r.insertSpills(x.Input))
+	case *exec.WindowOp:
+		x.Input = r.spill(r.insertSpills(x.Input))
+	case *exec.SetOpOp:
+		x.Left = r.spill(r.insertSpills(x.Left))
+		x.Right = r.spill(r.insertSpills(x.Right))
+	case *exec.FilterOp:
+		x.Input = r.insertSpills(x.Input)
+	case *exec.ProjectOp:
+		x.Input = r.insertSpills(x.Input)
+	case *exec.LimitOp:
+		x.Input = r.insertSpills(x.Input)
+	case *exec.UnionAllOp:
+		for i, in := range x.Inputs {
+			x.Inputs[i] = r.insertSpills(in)
+		}
+	case *exec.SpoolOp:
+		x.Input = r.insertSpills(x.Input)
+	}
+	return op
+}
+
+func (r *Runner) spill(in exec.Operator) exec.Operator {
+	r.spillSeq++
+	return &SpillExchangeOp{
+		Input: in,
+		FS:    r.FS,
+		Path:  fmt.Sprintf("%s/spill_%05d", r.ScratchDir, r.spillSeq),
+	}
+}
+
+// SpillExchangeOp materializes its input to the distributed file system and
+// reads it back before emitting — the MapReduce inter-job handoff.
+type SpillExchangeOp struct {
+	Input exec.Operator
+	FS    *dfs.FS
+	Path  string
+
+	rows    [][]types.Datum
+	done    bool
+	emitted int
+	gen     int
+}
+
+// Types implements exec.Operator.
+func (s *SpillExchangeOp) Types() []types.T { return s.Input.Types() }
+
+// Open implements exec.Operator.
+func (s *SpillExchangeOp) Open() error {
+	s.rows, s.done, s.emitted = nil, false, 0
+	return s.Input.Open()
+}
+
+func (s *SpillExchangeOp) materialize() error {
+	var rows [][]types.Datum
+	for {
+		b, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+	// Serialize through the DFS: the write and read-back charge the
+	// simulated storage costs that dominate MapReduce stage boundaries.
+	data := encodeRows(rows)
+	s.gen++
+	path := fmt.Sprintf("%s_g%d", s.Path, s.gen)
+	if err := s.FS.WriteFile(path, data); err != nil {
+		return err
+	}
+	back, err := s.FS.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s.rows, err = decodeRows(back, s.Types())
+	if err != nil {
+		return err
+	}
+	_ = rows
+	return nil
+}
+
+// Next implements exec.Operator.
+func (s *SpillExchangeOp) Next() (*vector.Batch, error) {
+	if !s.done {
+		if err := s.materialize(); err != nil {
+			return nil, err
+		}
+		s.done = true
+	}
+	if s.emitted >= len(s.rows) {
+		return nil, nil
+	}
+	n := len(s.rows) - s.emitted
+	if n > vector.BatchSize {
+		n = vector.BatchSize
+	}
+	b := vector.NewBatch(s.Types(), n)
+	for i := 0; i < n; i++ {
+		for c, d := range s.rows[s.emitted+i] {
+			b.Cols[c].Set(i, d)
+		}
+	}
+	b.N = n
+	s.emitted += n
+	return b, nil
+}
+
+// Close implements exec.Operator.
+func (s *SpillExchangeOp) Close() error {
+	s.rows = nil
+	return s.Input.Close()
+}

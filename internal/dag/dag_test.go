@@ -1,0 +1,115 @@
+package dag
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rows := [][]types.Datum{
+		{types.NewBigint(-7), types.NewString("hello"), types.NewDouble(2.5)},
+		{types.NullOf(types.Int64), types.NewString(""), types.NewDecimal(-1234, 2)},
+		{types.NewBool(true), types.NewDate(17000), types.NewTimestamp(1234567)},
+	}
+	data := encodeRows(rows)
+	back, err := decodeRows(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("row count: %d", len(back))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			a, b := rows[i][j], back[i][j]
+			if a.Null != b.Null || (!a.Null && a.Compare(b) != 0) {
+				t.Errorf("row %d col %d: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+	if _, err := decodeRows(data[:3], nil); err == nil {
+		t.Error("truncated spill should fail")
+	}
+}
+
+func valuesOp(n int) *exec.ValuesOp {
+	rows := make([][]types.Datum, n)
+	for i := range rows {
+		rows[i] = []types.Datum{types.NewBigint(int64(i))}
+	}
+	return &exec.ValuesOp{Rows: rows, Ts: []types.T{types.TBigint}}
+}
+
+func TestAnalyzeCountsVerticesAndBreakers(t *testing.T) {
+	agg := &exec.HashAggOp{
+		Input:      valuesOp(10),
+		GroupExprs: nil,
+		Aggs:       []exec.CompiledAgg{{Fn: "count", T: types.TBigint}},
+		Out:        []types.T{types.TBigint},
+	}
+	d := Analyze(agg)
+	if d.Breakers != 1 {
+		t.Errorf("breakers: %+v", d)
+	}
+}
+
+func TestMRModeSpillsAndPreservesResults(t *testing.T) {
+	fs := dfs.New()
+	agg := &exec.HashAggOp{
+		Input: valuesOp(100),
+		Aggs:  []exec.CompiledAgg{{Fn: "count", T: types.TBigint}},
+		Out:   []types.T{types.TBigint},
+	}
+	r := &Runner{Mode: ModeMR, FS: fs, ScratchDir: "/scratch", ContainerLaunch: time.Millisecond}
+	op, shape := r.Prepare(agg)
+	rows, err := r.Run(op, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].I != 100 {
+		t.Fatalf("result: %v", rows)
+	}
+	// The spill must have touched the DFS.
+	if fs.IOStats().WriteOps == 0 {
+		t.Error("MR mode did not materialize to the DFS")
+	}
+	spills, _ := fs.ListRecursive("/scratch")
+	if len(spills) == 0 {
+		t.Error("no spill files under the scratch dir")
+	}
+}
+
+func TestContainerVsMRSpillCost(t *testing.T) {
+	fs := dfs.New()
+	mk := func() exec.Operator {
+		return &exec.SortOp{
+			Input: valuesOp(2000),
+			Keys:  []plan.SortKey{{Col: 0, Desc: true}},
+		}
+	}
+	mr := &Runner{Mode: ModeMR, FS: fs, ScratchDir: "/s1"}
+	opMR, shapeMR := mr.Prepare(mk())
+	rowsMR, err := mr.Run(opMR, shapeMR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tez := &Runner{Mode: ModeContainer, FS: fs, ScratchDir: "/s2"}
+	opTez, shapeTez := tez.Prepare(mk())
+	rowsTez, err := tez.Run(opTez, shapeTez)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowsMR[0], rowsTez[0]) || len(rowsMR) != len(rowsTez) {
+		t.Error("modes disagree on results")
+	}
+	// Only MR materializes.
+	if files, _ := fs.ListRecursive("/s2"); len(files) != 0 {
+		t.Error("container mode should not spill")
+	}
+}

@@ -1,0 +1,154 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New()
+	data := []byte("hello warehouse")
+	if err := fs.WriteFile("/wh/db/t/file_0000", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/wh/db/t/file_0000")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read back: %q %v", got, err)
+	}
+	// Files are immutable: rewriting fails.
+	if err := fs.WriteFile("/wh/db/t/file_0000", data); err == nil {
+		t.Error("overwrite should fail")
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/f", []byte("0123456789"))
+	got, err := fs.ReadAt("/f", 3, 4)
+	if err != nil || string(got) != "3456" {
+		t.Fatalf("ReadAt: %q %v", got, err)
+	}
+	got, err = fs.ReadAt("/f", 8, 100) // short read at EOF
+	if err != nil || string(got) != "89" {
+		t.Fatalf("short ReadAt: %q %v", got, err)
+	}
+	if _, err = fs.ReadAt("/f", 11, 1); err == nil {
+		t.Error("offset past EOF should fail")
+	}
+}
+
+func TestFileIDsUniqueAndStable(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/a", []byte("x"))
+	fs.WriteFile("/b", []byte("x"))
+	fa, _ := fs.Stat("/a")
+	fb, _ := fs.Stat("/b")
+	if fa.FileID == 0 || fa.FileID == fb.FileID {
+		t.Errorf("file ids not unique: %d %d", fa.FileID, fb.FileID)
+	}
+	// Delete and recreate: new generation, new id (cache invalidation hook).
+	fs.Remove("/a", false)
+	fs.WriteFile("/a", []byte("y"))
+	fa2, _ := fs.Stat("/a")
+	if fa2.FileID == fa.FileID {
+		t.Error("recreated file must get a fresh FileID")
+	}
+}
+
+func TestListAndListRecursive(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/wh/t/delta_1_1/f0", []byte("a"))
+	fs.WriteFile("/wh/t/delta_1_1/f1", []byte("b"))
+	fs.WriteFile("/wh/t/base_5/f0", []byte("c"))
+	infos, err := fs.List("/wh/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || !infos[0].IsDir || infos[0].Path != "/wh/t/base_5" {
+		t.Fatalf("List: %+v", infos)
+	}
+	all, err := fs.ListRecursive("/wh/t")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("ListRecursive: %+v %v", all, err)
+	}
+	if _, err := fs.List("/nope"); err == nil {
+		t.Error("List on missing dir should fail")
+	}
+}
+
+func TestRenameDirectoryAtomic(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/wh/t/.tmp_compact/f0", []byte("new base"))
+	fs.MkdirAll("/wh/t/.tmp_compact/sub")
+	if err := fs.Rename("/wh/t/.tmp_compact", "/wh/t/base_10"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/wh/t/.tmp_compact") {
+		t.Error("source still exists after rename")
+	}
+	got, err := fs.ReadFile("/wh/t/base_10/f0")
+	if err != nil || string(got) != "new base" {
+		t.Fatalf("renamed file: %q %v", got, err)
+	}
+	if fi, err := fs.Stat("/wh/t/base_10/sub"); err != nil || !fi.IsDir {
+		t.Error("nested dir not renamed")
+	}
+	// Rename onto existing destination fails.
+	fs.MkdirAll("/x")
+	fs.MkdirAll("/y")
+	if err := fs.Rename("/x", "/y"); err == nil {
+		t.Error("rename onto existing dir should fail")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/d/a/f", []byte("1"))
+	if err := fs.Remove("/d", false); err == nil {
+		t.Error("non-recursive remove of non-empty dir should fail")
+	}
+	if err := fs.Remove("/d", true); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d/a/f") || fs.Exists("/d") {
+		t.Error("recursive remove left entries")
+	}
+}
+
+func TestIOStatsCountReads(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/f", make([]byte, 1000))
+	fs.ResetStats()
+	fs.ReadAt("/f", 0, 100)
+	fs.ReadAt("/f", 500, 100)
+	st := fs.IOStats()
+	if st.ReadOps != 2 || st.BytesRead != 200 {
+		t.Errorf("stats = %+v, want 2 ops / 200 bytes", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := fmt.Sprintf("/c/f%d", i)
+			if err := fs.WriteFile(p, []byte{byte(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := fs.ReadFile(p); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	infos, _ := fs.ListRecursive("/c")
+	if len(infos) != 20 {
+		t.Errorf("got %d files, want 20", len(infos))
+	}
+}

@@ -1,0 +1,517 @@
+// Package druid implements an embedded analogue of Apache Druid (paper §6):
+// an OLAP store for event data with time-partitioned, dimension-indexed
+// segments, queried through Druid's JSON query language over HTTP. Hive
+// federates to it through a storage handler, pushing computation as JSON
+// queries generated from the relational plan (paper Figure 6).
+//
+// Supported query types: scan, timeseries, groupBy and topN; filters:
+// selector, bound, and, or, not; aggregations: count, longSum, doubleSum,
+// doubleMin, doubleMax.
+package druid
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Column roles in a datasource.
+const (
+	TimeColumn = "__time"
+)
+
+// Schema describes a datasource: string dimensions and numeric metrics.
+type Schema struct {
+	Dimensions []string
+	Metrics    []string
+}
+
+// DataSource is a columnar, dimension-indexed event table.
+type DataSource struct {
+	mu      sync.RWMutex
+	name    string
+	schema  Schema
+	times   []int64 // microseconds since epoch
+	dims    map[string][]string
+	metrics map[string][]float64
+	// inverted index: dimension -> value -> sorted row ids
+	index map[string]map[string][]int
+}
+
+// Store holds datasources.
+type Store struct {
+	mu      sync.RWMutex
+	sources map[string]*DataSource
+}
+
+// NewStore creates an empty Druid store.
+func NewStore() *Store {
+	return &Store{sources: make(map[string]*DataSource)}
+}
+
+// CreateDataSource registers a datasource with the given schema.
+func (s *Store) CreateDataSource(name string, schema Schema) (*DataSource, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sources[name]; ok {
+		return nil, fmt.Errorf("druid: datasource %s exists", name)
+	}
+	ds := &DataSource{
+		name:    name,
+		schema:  schema,
+		dims:    map[string][]string{},
+		metrics: map[string][]float64{},
+		index:   map[string]map[string][]int{},
+	}
+	for _, d := range schema.Dimensions {
+		ds.dims[d] = nil
+		ds.index[d] = map[string][]int{}
+	}
+	for _, m := range schema.Metrics {
+		ds.metrics[m] = nil
+	}
+	s.sources[name] = ds
+	return ds, nil
+}
+
+// Get fetches a datasource.
+func (s *Store) Get(name string) (*DataSource, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.sources[name]
+	return ds, ok
+}
+
+// Drop removes a datasource.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sources, name)
+}
+
+// Schema returns the datasource schema.
+func (d *DataSource) Schema() Schema { return d.schema }
+
+// Rows returns the event count.
+func (d *DataSource) Rows() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.times)
+}
+
+// Event is one ingested row.
+type Event struct {
+	Time    int64
+	Dims    map[string]string
+	Metrics map[string]float64
+}
+
+// Insert ingests events, maintaining the inverted indexes.
+func (d *DataSource) Insert(events []Event) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range events {
+		row := len(d.times)
+		d.times = append(d.times, e.Time)
+		for _, dim := range d.schema.Dimensions {
+			v := e.Dims[dim]
+			d.dims[dim] = append(d.dims[dim], v)
+			d.index[dim][v] = append(d.index[dim][v], row)
+		}
+		for _, m := range d.schema.Metrics {
+			d.metrics[m] = append(d.metrics[m], e.Metrics[m])
+		}
+	}
+}
+
+// ---- JSON query model ----
+
+// Filter is Druid's JSON filter tree.
+type Filter struct {
+	Type        string    `json:"type"`
+	Dimension   string    `json:"dimension,omitempty"`
+	Value       string    `json:"value,omitempty"`
+	Lower       string    `json:"lower,omitempty"`
+	Upper       string    `json:"upper,omitempty"`
+	LowerStrict bool      `json:"lowerStrict,omitempty"`
+	UpperStrict bool      `json:"upperStrict,omitempty"`
+	Ordering    string    `json:"ordering,omitempty"` // "numeric" or lexicographic
+	Fields      []*Filter `json:"fields,omitempty"`
+	Field       *Filter   `json:"field,omitempty"`
+}
+
+// Aggregation is one aggregator spec.
+type Aggregation struct {
+	Type      string `json:"type"` // count, longSum, doubleSum, doubleMin, doubleMax
+	Name      string `json:"name"`
+	FieldName string `json:"fieldName,omitempty"`
+}
+
+// OrderByColumn orders groupBy output.
+type OrderByColumn struct {
+	Dimension string `json:"dimension"`
+	Direction string `json:"direction"` // ascending | descending
+}
+
+// LimitSpec caps and orders groupBy output.
+type LimitSpec struct {
+	Limit   int             `json:"limit"`
+	Columns []OrderByColumn `json:"columns"`
+}
+
+// Query is the JSON query envelope (paper Figure 6c).
+type Query struct {
+	QueryType    string        `json:"queryType"`
+	DataSource   string        `json:"dataSource"`
+	Granularity  string        `json:"granularity,omitempty"`
+	Dimension    string        `json:"dimension,omitempty"`
+	Dimensions   []string      `json:"dimensions,omitempty"`
+	Aggregations []Aggregation `json:"aggregations,omitempty"`
+	Filter       *Filter       `json:"filter,omitempty"`
+	Intervals    []string      `json:"intervals,omitempty"`
+	LimitSpec    *LimitSpec    `json:"limitSpec,omitempty"`
+	Threshold    int           `json:"threshold,omitempty"`
+	Metric       string        `json:"metric,omitempty"`
+	Columns      []string      `json:"columns,omitempty"` // scan projection
+}
+
+// ResultRow is one output row: column name to value.
+type ResultRow map[string]any
+
+// Execute runs a JSON query against the store.
+func (s *Store) Execute(q *Query) ([]ResultRow, error) {
+	ds, ok := s.Get(q.DataSource)
+	if !ok {
+		return nil, fmt.Errorf("druid: no such datasource %s", q.DataSource)
+	}
+	switch q.QueryType {
+	case "scan":
+		return ds.scan(q)
+	case "groupBy":
+		return ds.groupBy(q)
+	case "topN":
+		qq := *q
+		qq.Dimensions = []string{q.Dimension}
+		qq.LimitSpec = &LimitSpec{Limit: q.Threshold, Columns: []OrderByColumn{{Dimension: q.Metric, Direction: "descending"}}}
+		return ds.groupBy(&qq)
+	case "timeseries":
+		qq := *q
+		qq.Dimensions = nil
+		return ds.groupBy(&qq)
+	}
+	return nil, fmt.Errorf("druid: unsupported queryType %q", q.QueryType)
+}
+
+// matchRows returns the row ids selected by the filter, using the inverted
+// index for selector filters.
+func (d *DataSource) matchRows(f *Filter) ([]int, error) {
+	n := len(d.times)
+	if f == nil {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	switch f.Type {
+	case "selector":
+		idx, ok := d.index[f.Dimension]
+		if !ok {
+			return nil, fmt.Errorf("druid: unknown dimension %q", f.Dimension)
+		}
+		return idx[f.Value], nil
+	case "bound":
+		vals, ok := d.dims[f.Dimension]
+		if !ok {
+			return nil, fmt.Errorf("druid: unknown dimension %q", f.Dimension)
+		}
+		var out []int
+		numeric := f.Ordering == "numeric"
+		for i, v := range vals {
+			if boundMatch(v, f, numeric) {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	case "and":
+		cur, err := d.matchRows(f.Fields[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, sub := range f.Fields[1:] {
+			next, err := d.matchRows(sub)
+			if err != nil {
+				return nil, err
+			}
+			cur = intersectSorted(cur, next)
+		}
+		return cur, nil
+	case "or":
+		seen := map[int]bool{}
+		var out []int
+		for _, sub := range f.Fields {
+			rows, err := d.matchRows(sub)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				if !seen[r] {
+					seen[r] = true
+					out = append(out, r)
+				}
+			}
+		}
+		sort.Ints(out)
+		return out, nil
+	case "not":
+		inner, err := d.matchRows(f.Field)
+		if err != nil {
+			return nil, err
+		}
+		in := map[int]bool{}
+		for _, r := range inner {
+			in[r] = true
+		}
+		var out []int
+		for i := 0; i < len(d.times); i++ {
+			if !in[i] {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("druid: unsupported filter type %q", f.Type)
+}
+
+func boundMatch(v string, f *Filter, numeric bool) bool {
+	cmp := func(a, b string) int {
+		if numeric {
+			af, _ := strconv.ParseFloat(a, 64)
+			bf, _ := strconv.ParseFloat(b, 64)
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if f.Lower != "" {
+		c := cmp(v, f.Lower)
+		if c < 0 || (c == 0 && f.LowerStrict) {
+			return false
+		}
+	}
+	if f.Upper != "" {
+		c := cmp(v, f.Upper)
+		if c > 0 || (c == 0 && f.UpperStrict) {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func (d *DataSource) scan(q *Query) ([]ResultRow, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	rows, err := d.matchRows(q.Filter)
+	if err != nil {
+		return nil, err
+	}
+	cols := q.Columns
+	if len(cols) == 0 {
+		cols = append(append([]string{TimeColumn}, d.schema.Dimensions...), d.schema.Metrics...)
+	}
+	out := make([]ResultRow, 0, len(rows))
+	for _, r := range rows {
+		row := ResultRow{}
+		for _, c := range cols {
+			switch {
+			case c == TimeColumn:
+				row[c] = d.times[r]
+			case d.dims[c] != nil:
+				row[c] = d.dims[c][r]
+			case d.metrics[c] != nil:
+				row[c] = d.metrics[c][r]
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (d *DataSource) groupBy(q *Query) ([]ResultRow, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	rows, err := d.matchRows(q.Filter)
+	if err != nil {
+		return nil, err
+	}
+	type groupAgg struct {
+		key  []string
+		sums []float64
+		cnt  []int64
+	}
+	groups := map[string]*groupAgg{}
+	var order []string
+	for _, r := range rows {
+		keyParts := make([]string, len(q.Dimensions))
+		for i, dim := range q.Dimensions {
+			vals, ok := d.dims[dim]
+			if !ok {
+				return nil, fmt.Errorf("druid: unknown dimension %q", dim)
+			}
+			keyParts[i] = vals[r]
+		}
+		key := fmt.Sprint(keyParts)
+		g, ok := groups[key]
+		if !ok {
+			g = &groupAgg{key: keyParts, sums: make([]float64, len(q.Aggregations)), cnt: make([]int64, len(q.Aggregations))}
+			for i, a := range q.Aggregations {
+				if a.Type == "doubleMin" {
+					g.sums[i] = 1e308
+				}
+				if a.Type == "doubleMax" {
+					g.sums[i] = -1e308
+				}
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, a := range q.Aggregations {
+			switch a.Type {
+			case "count":
+				g.cnt[i]++
+			case "longSum", "doubleSum":
+				g.sums[i] += d.metricValue(a.FieldName, r)
+				g.cnt[i]++
+			case "doubleMin":
+				if v := d.metricValue(a.FieldName, r); v < g.sums[i] {
+					g.sums[i] = v
+				}
+				g.cnt[i]++
+			case "doubleMax":
+				if v := d.metricValue(a.FieldName, r); v > g.sums[i] {
+					g.sums[i] = v
+				}
+				g.cnt[i]++
+			}
+		}
+	}
+	out := make([]ResultRow, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		row := ResultRow{}
+		for i, dim := range q.Dimensions {
+			row[dim] = g.key[i]
+		}
+		for i, a := range q.Aggregations {
+			switch a.Type {
+			case "count":
+				row[a.Name] = g.cnt[i]
+			case "longSum":
+				row[a.Name] = int64(g.sums[i])
+			default:
+				row[a.Name] = g.sums[i]
+			}
+		}
+		out = append(out, row)
+	}
+	if q.LimitSpec != nil {
+		ls := q.LimitSpec
+		sort.SliceStable(out, func(i, j int) bool {
+			for _, c := range ls.Columns {
+				ci := compareAny(out[i][c.Dimension], out[j][c.Dimension])
+				if ci == 0 {
+					continue
+				}
+				if c.Direction == "descending" {
+					return ci > 0
+				}
+				return ci < 0
+			}
+			return false
+		})
+		if ls.Limit > 0 && len(out) > ls.Limit {
+			out = out[:ls.Limit]
+		}
+	}
+	return out, nil
+}
+
+func (d *DataSource) metricValue(field string, row int) float64 {
+	if m, ok := d.metrics[field]; ok {
+		return m[row]
+	}
+	if field == TimeColumn {
+		return float64(d.times[row])
+	}
+	if vals, ok := d.dims[field]; ok {
+		f, _ := strconv.ParseFloat(vals[row], 64)
+		return f
+	}
+	return 0
+}
+
+func compareAny(a, b any) int {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	as, bs := fmt.Sprint(a), fmt.Sprint(b)
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	}
+	return 0
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case json.Number:
+		f, err := x.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}

@@ -1,0 +1,117 @@
+package druid
+
+import (
+	"testing"
+)
+
+func testSource(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	ds, err := s.CreateDataSource("events", Schema{
+		Dimensions: []string{"d1", "city"},
+		Metrics:    []string{"m1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Insert([]Event{
+		{Time: 1, Dims: map[string]string{"d1": "a", "city": "sf"}, Metrics: map[string]float64{"m1": 1}},
+		{Time: 2, Dims: map[string]string{"d1": "b", "city": "ny"}, Metrics: map[string]float64{"m1": 2}},
+		{Time: 3, Dims: map[string]string{"d1": "a", "city": "sf"}, Metrics: map[string]float64{"m1": 3}},
+		{Time: 4, Dims: map[string]string{"d1": "a", "city": "ny"}, Metrics: map[string]float64{"m1": 4}},
+	})
+	return s
+}
+
+func TestGroupByWithFilterAndLimit(t *testing.T) {
+	s := testSource(t)
+	rows, err := s.Execute(&Query{
+		QueryType:  "groupBy",
+		DataSource: "events",
+		Dimensions: []string{"d1"},
+		Aggregations: []Aggregation{
+			{Type: "doubleSum", Name: "s", FieldName: "m1"},
+			{Type: "count", Name: "c"},
+		},
+		LimitSpec: &LimitSpec{Limit: 10, Columns: []OrderByColumn{{Dimension: "s", Direction: "descending"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0]["d1"] != "a" || rows[0]["s"].(float64) != 8 || rows[0]["c"].(int64) != 3 {
+		t.Errorf("groupBy rows: %+v", rows)
+	}
+}
+
+func TestSelectorAndBoundFilters(t *testing.T) {
+	s := testSource(t)
+	rows, err := s.Execute(&Query{
+		QueryType:  "scan",
+		DataSource: "events",
+		Filter: &Filter{Type: "and", Fields: []*Filter{
+			{Type: "selector", Dimension: "d1", Value: "a"},
+			{Type: "selector", Dimension: "city", Value: "sf"},
+		}},
+	})
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("and filter: %v %v", rows, err)
+	}
+	rows, err = s.Execute(&Query{
+		QueryType:    "groupBy",
+		DataSource:   "events",
+		Filter:       &Filter{Type: "not", Field: &Filter{Type: "selector", Dimension: "city", Value: "sf"}},
+		Aggregations: []Aggregation{{Type: "count", Name: "c"}},
+	})
+	if err != nil || rows[0]["c"].(int64) != 2 {
+		t.Fatalf("not filter: %v %v", rows, err)
+	}
+}
+
+func TestTopN(t *testing.T) {
+	s := testSource(t)
+	rows, err := s.Execute(&Query{
+		QueryType:    "topN",
+		DataSource:   "events",
+		Dimension:    "city",
+		Metric:       "s",
+		Threshold:    1,
+		Aggregations: []Aggregation{{Type: "doubleSum", Name: "s", FieldName: "m1"}},
+	})
+	if err != nil || len(rows) != 1 || rows[0]["city"] != "ny" {
+		t.Fatalf("topN: %v %v", rows, err)
+	}
+}
+
+func TestHTTPServerRoundTrip(t *testing.T) {
+	s := testSource(t)
+	srv, err := NewServer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL()}
+	rows, err := c.Query(&Query{
+		QueryType:    "timeseries",
+		DataSource:   "events",
+		Aggregations: []Aggregation{{Type: "doubleSum", Name: "total", FieldName: "m1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("timeseries rows: %+v", rows)
+	}
+	if v, _ := rows[0]["total"].(interface{ Float64() (float64, error) }); v != nil {
+		f, _ := v.Float64()
+		if f != 10 {
+			t.Errorf("total: %v", f)
+		}
+	}
+	// Bad query over HTTP returns an error, not a hang.
+	if _, err := c.Query(&Query{QueryType: "nope", DataSource: "events"}); err == nil {
+		t.Error("unsupported query type should fail")
+	}
+	if _, err := c.QueryJSON(`{"queryType":"scan","dataSource":"missing"}`); err == nil {
+		t.Error("missing datasource should fail")
+	}
+}

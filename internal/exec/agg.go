@@ -1,0 +1,516 @@
+package exec
+
+import (
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// CompiledAgg is one aggregate with its compiled argument.
+type CompiledAgg struct {
+	Fn       string
+	Arg      *CompiledExpr // nil for COUNT(*)
+	Distinct bool
+	T        types.T
+}
+
+// HashAggOp groups rows and computes aggregates, including grouping sets:
+// each input row is fed once per grouping set with the non-set columns
+// masked to NULL, and a __grouping_id column identifies the set
+// (paper §3.1 advanced OLAP operations).
+type HashAggOp struct {
+	Input        Operator
+	GroupExprs   []*CompiledExpr
+	Aggs         []CompiledAgg
+	GroupingSets [][]int
+	Out          []types.T
+	Stats        *RuntimeStats
+
+	groups  map[uint64][]*aggGroup
+	order   []*aggGroup
+	emitted int
+	done    bool
+}
+
+type aggGroup struct {
+	keys   []types.Datum
+	gid    int64
+	states []aggState
+}
+
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	sumScale int
+	min, max types.Datum
+	distinct map[uint64][]types.Datum
+}
+
+// Types implements Operator.
+func (a *HashAggOp) Types() []types.T { return a.Out }
+
+// Open implements Operator.
+func (a *HashAggOp) Open() error {
+	a.groups = make(map[uint64][]*aggGroup)
+	a.order = nil
+	a.emitted = 0
+	a.done = false
+	return a.Input.Open()
+}
+
+func (a *HashAggOp) consume() error {
+	sets := a.GroupingSets
+	if sets == nil {
+		all := make([]int, len(a.GroupExprs))
+		for i := range all {
+			all[i] = i
+		}
+		sets = [][]int{all}
+	}
+	for {
+		b, err := a.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		keyCols := make([]*vector.Vector, len(a.GroupExprs))
+		for i, g := range a.GroupExprs {
+			v, err := g.Eval(b)
+			if err != nil {
+				return err
+			}
+			keyCols[i] = v
+		}
+		argCols := make([]*vector.Vector, len(a.Aggs))
+		for i, ag := range a.Aggs {
+			if ag.Arg != nil {
+				v, err := ag.Arg.Eval(b)
+				if err != nil {
+					return err
+				}
+				argCols[i] = v
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			r := b.RowIdx(i)
+			for si, set := range sets {
+				keys := make([]types.Datum, len(a.GroupExprs))
+				gid := int64(0)
+				inSet := make([]bool, len(a.GroupExprs))
+				for _, c := range set {
+					inSet[c] = true
+				}
+				for c := range a.GroupExprs {
+					if inSet[c] {
+						keys[c] = keyCols[c].Get(r)
+					} else {
+						keys[c] = types.NullOf(keyCols[c].Type.Kind)
+						gid |= 1 << uint(c)
+					}
+				}
+				if a.GroupingSets == nil {
+					gid = 0
+				}
+				_ = si
+				g := a.lookup(keys, gid)
+				for ai := range a.Aggs {
+					var d types.Datum
+					if argCols[ai] != nil {
+						d = argCols[ai].Get(r)
+					}
+					g.states[ai].update(a.Aggs[ai], d)
+				}
+			}
+		}
+	}
+	// Global aggregate with no input rows still emits one row.
+	if len(a.GroupExprs) == 0 && len(a.order) == 0 {
+		a.lookup(nil, 0)
+	}
+	return nil
+}
+
+func (a *HashAggOp) lookup(keys []types.Datum, gid int64) *aggGroup {
+	h := uint64(1469598103934665603) ^ uint64(gid)*1099511628211
+	for _, k := range keys {
+		h = h*1099511628211 ^ k.Hash()
+	}
+	for _, g := range a.groups[h] {
+		if g.gid == gid && datumsEqual(g.keys, keys) {
+			return g
+		}
+	}
+	g := &aggGroup{keys: keys, gid: gid, states: make([]aggState, len(a.Aggs))}
+	a.groups[h] = append(a.groups[h], g)
+	a.order = append(a.order, g)
+	return g
+}
+
+func datumsEqual(a, b []types.Datum) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Null != b[i].Null {
+			return false
+		}
+		if !a[i].Null && a[i].Compare(b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *aggState) update(ag CompiledAgg, d types.Datum) {
+	if ag.Arg != nil && d.Null {
+		return // SQL aggregates skip NULLs
+	}
+	if ag.Distinct {
+		if s.distinct == nil {
+			s.distinct = make(map[uint64][]types.Datum)
+		}
+		h := d.Hash()
+		for _, seen := range s.distinct[h] {
+			if seen.Compare(d) == 0 {
+				return
+			}
+		}
+		s.distinct[h] = append(s.distinct[h], d)
+	}
+	s.count++
+	switch ag.Fn {
+	case "sum", "avg":
+		switch d.K {
+		case types.Float64:
+			s.sumF += d.F
+		case types.Decimal:
+			// Normalize to the widest scale seen.
+			sc := d.DecimalScale()
+			if sc > s.sumScale {
+				s.sumI *= types.Pow10(sc - s.sumScale)
+				s.sumScale = sc
+			}
+			s.sumI += d.I * types.Pow10(s.sumScale-sc)
+			s.sumF += d.Float()
+		default:
+			s.sumI += d.I
+			s.sumF += float64(d.I)
+		}
+	case "min":
+		if s.min.K == types.Unknown || d.Compare(s.min) < 0 {
+			s.min = d
+		}
+	case "max":
+		if s.max.K == types.Unknown || d.Compare(s.max) > 0 {
+			s.max = d
+		}
+	}
+}
+
+func (s *aggState) result(ag CompiledAgg) types.Datum {
+	switch ag.Fn {
+	case "count":
+		return types.NewBigint(s.count)
+	case "sum":
+		if s.count == 0 {
+			return types.NullOf(ag.T.Kind)
+		}
+		switch ag.T.Kind {
+		case types.Float64:
+			return types.NewDouble(s.sumF)
+		case types.Decimal:
+			v := s.sumI
+			if s.sumScale != ag.T.Scale {
+				if s.sumScale < ag.T.Scale {
+					v *= types.Pow10(ag.T.Scale - s.sumScale)
+				} else {
+					v /= types.Pow10(s.sumScale - ag.T.Scale)
+				}
+			}
+			return types.NewDecimal(v, ag.T.Scale)
+		default:
+			return types.NewBigint(s.sumI)
+		}
+	case "avg":
+		if s.count == 0 {
+			return types.NullOf(types.Float64)
+		}
+		return types.NewDouble(s.sumF / float64(s.count))
+	case "min":
+		if s.min.K == types.Unknown {
+			return types.NullOf(ag.T.Kind)
+		}
+		return s.min
+	case "max":
+		if s.max.K == types.Unknown {
+			return types.NullOf(ag.T.Kind)
+		}
+		return s.max
+	}
+	return types.NullOf(types.Unknown)
+}
+
+// Next implements Operator.
+func (a *HashAggOp) Next() (*vector.Batch, error) {
+	if !a.done {
+		if err := a.consume(); err != nil {
+			return nil, err
+		}
+		a.done = true
+	}
+	if a.emitted >= len(a.order) {
+		return nil, nil
+	}
+	n := len(a.order) - a.emitted
+	if n > vector.BatchSize {
+		n = vector.BatchSize
+	}
+	out := vector.NewBatch(a.Out, n)
+	for i := 0; i < n; i++ {
+		g := a.order[a.emitted+i]
+		c := 0
+		for _, k := range g.keys {
+			out.Cols[c].Set(i, k)
+			c++
+		}
+		for ai := range a.Aggs {
+			out.Cols[c].Set(i, g.states[ai].result(a.Aggs[ai]))
+			c++
+		}
+		if a.GroupingSets != nil {
+			out.Cols[c].Set(i, types.NewBigint(g.gid))
+		}
+	}
+	out.N = n
+	a.emitted += n
+	if a.Stats != nil {
+		a.Stats.Rows.Add(int64(n))
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (a *HashAggOp) Close() error {
+	a.groups, a.order = nil, nil
+	return a.Input.Close()
+}
+
+// CompileAggs compiles plan aggregate calls.
+func CompileAggs(aggs []plan.AggCall, inTypes []types.T) ([]CompiledAgg, error) {
+	out := make([]CompiledAgg, len(aggs))
+	for i, a := range aggs {
+		ca := CompiledAgg{Fn: a.Fn, Distinct: a.Distinct, T: a.T}
+		if a.Arg != nil {
+			e, err := Compile(a.Arg, inTypes)
+			if err != nil {
+				return nil, err
+			}
+			ca.Arg = e
+		}
+		out[i] = ca
+	}
+	return out, nil
+}
+
+// SortOp materializes and orders its input.
+type SortOp struct {
+	Input Operator
+	Keys  []plan.SortKey
+
+	rows    [][]types.Datum
+	sorted  bool
+	emitted int
+}
+
+// Types implements Operator.
+func (s *SortOp) Types() []types.T { return s.Input.Types() }
+
+// Open implements Operator.
+func (s *SortOp) Open() error {
+	s.rows, s.sorted, s.emitted = nil, false, 0
+	return s.Input.Open()
+}
+
+// Next implements Operator.
+func (s *SortOp) Next() (*vector.Batch, error) {
+	if !s.sorted {
+		for {
+			b, err := s.Input.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			for i := 0; i < b.N; i++ {
+				s.rows = append(s.rows, b.Row(i))
+			}
+		}
+		sortRows(s.rows, s.Keys)
+		s.sorted = true
+	}
+	if s.emitted >= len(s.rows) {
+		return nil, nil
+	}
+	n := len(s.rows) - s.emitted
+	if n > vector.BatchSize {
+		n = vector.BatchSize
+	}
+	out := vector.NewBatch(s.Types(), n)
+	for i := 0; i < n; i++ {
+		for c, d := range s.rows[s.emitted+i] {
+			out.Cols[c].Set(i, d)
+		}
+	}
+	out.N = n
+	s.emitted += n
+	return out, nil
+}
+
+// Close implements Operator.
+func (s *SortOp) Close() error {
+	s.rows = nil
+	return s.Input.Close()
+}
+
+func sortRows(rows [][]types.Datum, keys []plan.SortKey) {
+	less := func(a, b []types.Datum) bool {
+		for _, k := range keys {
+			x, y := a[k.Col], b[k.Col]
+			if x.Null || y.Null {
+				if x.Null && y.Null {
+					continue
+				}
+				// NULLS FIRST puts NULL before non-NULL regardless of dir.
+				if x.Null {
+					return k.NullsFirst
+				}
+				return !k.NullsFirst
+			}
+			c := x.Compare(y)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	stableSort(rows, less)
+}
+
+// stableSort is a merge sort keeping input order for equal keys.
+func stableSort(rows [][]types.Datum, less func(a, b []types.Datum) bool) {
+	if len(rows) < 2 {
+		return
+	}
+	tmp := make([][]types.Datum, len(rows))
+	var ms func(lo, hi int)
+	ms = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := (lo + hi) / 2
+		ms(lo, mid)
+		ms(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if less(rows[j], rows[i]) {
+				tmp[k] = rows[j]
+				j++
+			} else {
+				tmp[k] = rows[i]
+				i++
+			}
+			k++
+		}
+		for i < mid {
+			tmp[k] = rows[i]
+			i++
+			k++
+		}
+		for j < hi {
+			tmp[k] = rows[j]
+			j++
+			k++
+		}
+		copy(rows[lo:hi], tmp[lo:hi])
+	}
+	ms(0, len(rows))
+}
+
+// TopNOp keeps the N smallest rows under the sort keys without a full
+// materialized sort — the physical optimization for ORDER BY + LIMIT.
+type TopNOp struct {
+	Input Operator
+	Keys  []plan.SortKey
+	N     int64
+
+	rows    [][]types.Datum
+	done    bool
+	emitted int
+}
+
+// Types implements Operator.
+func (t *TopNOp) Types() []types.T { return t.Input.Types() }
+
+// Open implements Operator.
+func (t *TopNOp) Open() error {
+	t.rows, t.done, t.emitted = nil, false, 0
+	return t.Input.Open()
+}
+
+// Next implements Operator.
+func (t *TopNOp) Next() (*vector.Batch, error) {
+	if !t.done {
+		for {
+			b, err := t.Input.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			for i := 0; i < b.N; i++ {
+				t.rows = append(t.rows, b.Row(i))
+			}
+			// Periodically prune to bound memory.
+			if int64(len(t.rows)) > 4*t.N && int64(len(t.rows)) > 4096 {
+				sortRows(t.rows, t.Keys)
+				t.rows = t.rows[:t.N]
+			}
+		}
+		sortRows(t.rows, t.Keys)
+		if int64(len(t.rows)) > t.N {
+			t.rows = t.rows[:t.N]
+		}
+		t.done = true
+	}
+	if t.emitted >= len(t.rows) {
+		return nil, nil
+	}
+	n := len(t.rows) - t.emitted
+	if n > vector.BatchSize {
+		n = vector.BatchSize
+	}
+	out := vector.NewBatch(t.Types(), n)
+	for i := 0; i < n; i++ {
+		for c, d := range t.rows[t.emitted+i] {
+			out.Cols[c].Set(i, d)
+		}
+	}
+	out.N = n
+	t.emitted += n
+	return out, nil
+}
+
+// Close implements Operator.
+func (t *TopNOp) Close() error {
+	t.rows = nil
+	return t.Input.Close()
+}

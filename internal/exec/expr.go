@@ -1,0 +1,708 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// CompiledExpr is an executable expression over vector batches. Evaluation
+// is column-at-a-time with typed fast paths for arithmetic and comparisons
+// (the vectorized execution model of [39] that §5.1 builds on), falling
+// back to row-wise datum evaluation for rich operators (CASE, LIKE, CAST).
+type CompiledExpr struct {
+	T    types.T
+	eval func(b *vector.Batch) (*vector.Vector, error)
+}
+
+// Eval computes the expression for the batch's live rows. Positions not in
+// the selection are undefined.
+func (e *CompiledExpr) Eval(b *vector.Batch) (*vector.Vector, error) { return e.eval(b) }
+
+// EvalPredicate evaluates a boolean expression and returns the physical
+// indexes of live rows where it is TRUE (SQL ternary: NULL filters out).
+func EvalPredicate(e *CompiledExpr, b *vector.Batch) ([]int, error) {
+	v, err := e.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	sel := make([]int, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		r := b.RowIdx(i)
+		if !v.IsNull(r) && v.I64[r] != 0 {
+			sel = append(sel, r)
+		}
+	}
+	return sel, nil
+}
+
+// Compile turns a resolved plan expression into an executable one.
+// inTypes is the input row type (used only for validation).
+func Compile(r plan.Rex, inTypes []types.T) (*CompiledExpr, error) {
+	switch x := r.(type) {
+	case *plan.ColRef:
+		if x.Idx < 0 || (inTypes != nil && x.Idx >= len(inTypes)) {
+			return nil, fmt.Errorf("exec: column reference $%d out of range (%d cols)", x.Idx, len(inTypes))
+		}
+		idx := x.Idx
+		return &CompiledExpr{T: x.T, eval: func(b *vector.Batch) (*vector.Vector, error) {
+			return b.Cols[idx], nil
+		}}, nil
+	case *plan.Literal:
+		d := x.Val
+		t := x.T
+		return &CompiledExpr{T: t, eval: func(b *vector.Batch) (*vector.Vector, error) {
+			out := vector.New(t, b.Capacity())
+			for i := 0; i < b.N; i++ {
+				out.Set(b.RowIdx(i), d)
+			}
+			return out, nil
+		}}, nil
+	case *plan.Func:
+		return compileFunc(x, inTypes)
+	}
+	return nil, fmt.Errorf("exec: cannot compile %T", r)
+}
+
+// CompileAll compiles a slice of expressions.
+func CompileAll(rs []plan.Rex, inTypes []types.T) ([]*CompiledExpr, error) {
+	out := make([]*CompiledExpr, len(rs))
+	for i, r := range rs {
+		e, err := Compile(r, inTypes)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+func compileFunc(f *plan.Func, inTypes []types.T) (*CompiledExpr, error) {
+	args := make([]*CompiledExpr, len(f.Args))
+	for i, a := range f.Args {
+		c, err := Compile(a, inTypes)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = c
+	}
+	op := f.Op
+	t := f.T
+	switch {
+	case op == "+" || op == "-" || op == "*" || op == "/" || op == "%":
+		return compileArith(op, t, args)
+	case op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" || op == ">=":
+		return compileCompare(op, args)
+	case op == "and" || op == "or":
+		return compileLogical(op, args)
+	case op == "not":
+		return compileNot(args[0])
+	case op == "isnull" || op == "isnotnull":
+		want := op == "isnull"
+		a := args[0]
+		return &CompiledExpr{T: types.TBool, eval: func(b *vector.Batch) (*vector.Vector, error) {
+			v, err := a.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.New(types.TBool, b.Capacity())
+			for i := 0; i < b.N; i++ {
+				r := b.RowIdx(i)
+				if v.IsNull(r) == want {
+					out.I64[r] = 1
+				} else {
+					out.I64[r] = 0
+				}
+			}
+			return out, nil
+		}}, nil
+	case op == "in":
+		return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+			if vals[0].Null {
+				return types.NullOf(types.Boolean), nil
+			}
+			sawNull := false
+			for _, v := range vals[1:] {
+				if v.Null {
+					sawNull = true
+					continue
+				}
+				if vals[0].Compare(v) == 0 {
+					return types.NewBool(true), nil
+				}
+			}
+			if sawNull {
+				return types.NullOf(types.Boolean), nil
+			}
+			return types.NewBool(false), nil
+		})
+	case op == "like":
+		return compileLike(args)
+	case op == "case":
+		return compileCase(t, args)
+	case strings.HasPrefix(op, "cast:"):
+		target, err := types.ParseType(op[5:])
+		if err != nil {
+			return nil, err
+		}
+		return rowwise(target, args, func(vals []types.Datum) (types.Datum, error) {
+			return types.Cast(vals[0], target)
+		})
+	case strings.HasPrefix(op, "extract:"):
+		field := op[8:]
+		return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+			if vals[0].Null {
+				return types.NullOf(types.Int64), nil
+			}
+			v, err := types.DateField(vals[0], field)
+			if err != nil {
+				return types.Datum{}, err
+			}
+			return types.NewBigint(v), nil
+		})
+	case op == "coalesce":
+		return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+			for _, v := range vals {
+				if !v.Null {
+					return types.Cast(v, t)
+				}
+			}
+			return types.NullOf(t.Kind), nil
+		})
+	case op == "nullif":
+		return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+			if !vals[0].Null && !vals[1].Null && vals[0].Compare(vals[1]) == 0 {
+				return types.NullOf(t.Kind), nil
+			}
+			return vals[0], nil
+		})
+	case op == "if":
+		return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+			if !vals[0].Null && vals[0].I != 0 {
+				return types.Cast(vals[1], t)
+			}
+			return types.Cast(vals[2], t)
+		})
+	case op == "neg":
+		return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+			if vals[0].Null {
+				return types.NullOf(t.Kind), nil
+			}
+			switch vals[0].K {
+			case types.Float64:
+				return types.NewDouble(-vals[0].F), nil
+			case types.Decimal:
+				return types.NewDecimal(-vals[0].I, vals[0].DecimalScale()), nil
+			default:
+				return types.Datum{K: vals[0].K, I: -vals[0].I}, nil
+			}
+		})
+	case op == "concat":
+		return rowwise(types.TString, args, func(vals []types.Datum) (types.Datum, error) {
+			var sb strings.Builder
+			for _, v := range vals {
+				if v.Null {
+					return types.NullOf(types.String), nil
+				}
+				sb.WriteString(v.String())
+			}
+			return types.NewString(sb.String()), nil
+		})
+	case op == "substr":
+		return rowwise(types.TString, args, func(vals []types.Datum) (types.Datum, error) {
+			if vals[0].Null || vals[1].Null {
+				return types.NullOf(types.String), nil
+			}
+			s := vals[0].S
+			start := int(vals[1].I)
+			if start > 0 {
+				start--
+			} else if start < 0 {
+				start = len(s) + start
+			}
+			if start < 0 {
+				start = 0
+			}
+			if start > len(s) {
+				return types.NewString(""), nil
+			}
+			end := len(s)
+			if len(vals) == 3 && !vals[2].Null {
+				if n := int(vals[2].I); start+n < end {
+					end = start + n
+				}
+			}
+			return types.NewString(s[start:end]), nil
+		})
+	case op == "upper" || op == "lower" || op == "trim":
+		fn := strings.ToUpper
+		if op == "lower" {
+			fn = strings.ToLower
+		} else if op == "trim" {
+			fn = strings.TrimSpace
+		}
+		return rowwise(types.TString, args, func(vals []types.Datum) (types.Datum, error) {
+			if vals[0].Null {
+				return types.NullOf(types.String), nil
+			}
+			return types.NewString(fn(vals[0].S)), nil
+		})
+	case op == "length":
+		return rowwise(types.TBigint, args, func(vals []types.Datum) (types.Datum, error) {
+			if vals[0].Null {
+				return types.NullOf(types.Int64), nil
+			}
+			return types.NewBigint(int64(len(vals[0].S))), nil
+		})
+	case op == "abs":
+		return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+			v := vals[0]
+			if v.Null {
+				return v, nil
+			}
+			switch v.K {
+			case types.Float64:
+				return types.NewDouble(math.Abs(v.F)), nil
+			default:
+				if v.I < 0 {
+					v.I = -v.I
+				}
+				return v, nil
+			}
+		})
+	case op == "floor" || op == "ceil" || op == "ceiling":
+		fn := math.Floor
+		if op != "floor" {
+			fn = math.Ceil
+		}
+		return rowwise(types.TBigint, args, func(vals []types.Datum) (types.Datum, error) {
+			if vals[0].Null {
+				return types.NullOf(types.Int64), nil
+			}
+			return types.NewBigint(int64(fn(vals[0].Float()))), nil
+		})
+	case op == "round":
+		return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+			if vals[0].Null {
+				return types.NullOf(t.Kind), nil
+			}
+			digits := 0
+			if len(vals) == 2 && !vals[1].Null {
+				digits = int(vals[1].I)
+			}
+			p := math.Pow10(digits)
+			f := math.Round(vals[0].Float()*p) / p
+			if t.Kind == types.Float64 {
+				return types.NewDouble(f), nil
+			}
+			return types.Cast(types.NewDouble(f), t)
+		})
+	case op == "grouping":
+		return rowwise(types.TBigint, args, func(vals []types.Datum) (types.Datum, error) {
+			gid, pos := vals[0].I, vals[1].I
+			return types.NewBigint((gid >> uint(pos)) & 1), nil
+		})
+	case op == "rand":
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		return &CompiledExpr{T: types.TDouble, eval: func(b *vector.Batch) (*vector.Vector, error) {
+			out := vector.New(types.TDouble, b.Capacity())
+			for i := 0; i < b.N; i++ {
+				out.F64[b.RowIdx(i)] = rng.Float64()
+			}
+			return out, nil
+		}}, nil
+	case op == "current_date":
+		days := time.Now().UTC().Unix() / 86400
+		lit := &plan.Literal{Val: types.NewDate(days), T: types.TDate}
+		return Compile(lit, inTypes)
+	case op == "current_timestamp":
+		us := time.Now().UTC().UnixMicro()
+		lit := &plan.Literal{Val: types.NewTimestamp(us), T: types.TTimestamp}
+		return Compile(lit, inTypes)
+	}
+	return nil, fmt.Errorf("exec: unknown function %q", op)
+}
+
+// rowwise builds a datum-at-a-time evaluator over the live rows.
+func rowwise(t types.T, args []*CompiledExpr, fn func([]types.Datum) (types.Datum, error)) (*CompiledExpr, error) {
+	return &CompiledExpr{T: t, eval: func(b *vector.Batch) (*vector.Vector, error) {
+		cols := make([]*vector.Vector, len(args))
+		for i, a := range args {
+			v, err := a.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = v
+		}
+		out := vector.New(t, b.Capacity())
+		vals := make([]types.Datum, len(args))
+		for i := 0; i < b.N; i++ {
+			r := b.RowIdx(i)
+			for j, c := range cols {
+				vals[j] = c.Get(r)
+			}
+			d, err := fn(vals)
+			if err != nil {
+				return nil, err
+			}
+			out.Set(r, d)
+		}
+		return out, nil
+	}}, nil
+}
+
+func compileArith(op string, t types.T, args []*CompiledExpr) (*CompiledExpr, error) {
+	l, r := args[0], args[1]
+	// Fast path: both operands already share the result's representation.
+	if t.Kind == types.Int64 && intRepr(l.T) && intRepr(r.T) && op != "/" {
+		return &CompiledExpr{T: t, eval: func(b *vector.Batch) (*vector.Vector, error) {
+			lv, err := l.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := r.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.New(t, b.Capacity())
+			for i := 0; i < b.N; i++ {
+				p := b.RowIdx(i)
+				if lv.IsNull(p) || rv.IsNull(p) {
+					out.SetNull(p)
+					continue
+				}
+				a, c := lv.I64[p], rv.I64[p]
+				switch op {
+				case "+":
+					out.I64[p] = a + c
+				case "-":
+					out.I64[p] = a - c
+				case "*":
+					out.I64[p] = a * c
+				case "%":
+					if c == 0 {
+						out.SetNull(p)
+					} else {
+						out.I64[p] = a % c
+					}
+				}
+			}
+			return out, nil
+		}}, nil
+	}
+	if t.Kind == types.Float64 && l.T.Kind == types.Float64 && r.T.Kind == types.Float64 {
+		return &CompiledExpr{T: t, eval: func(b *vector.Batch) (*vector.Vector, error) {
+			lv, err := l.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := r.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.New(t, b.Capacity())
+			for i := 0; i < b.N; i++ {
+				p := b.RowIdx(i)
+				if lv.IsNull(p) || rv.IsNull(p) {
+					out.SetNull(p)
+					continue
+				}
+				a, c := lv.F64[p], rv.F64[p]
+				switch op {
+				case "+":
+					out.F64[p] = a + c
+				case "-":
+					out.F64[p] = a - c
+				case "*":
+					out.F64[p] = a * c
+				case "/":
+					if c == 0 {
+						out.SetNull(p)
+					} else {
+						out.F64[p] = a / c
+					}
+				case "%":
+					out.F64[p] = math.Mod(a, c)
+				}
+			}
+			return out, nil
+		}}, nil
+	}
+	// General path through datum arithmetic (decimals, temporals, mixes).
+	o := op[0]
+	return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+		d, err := types.Arith(o, vals[0], vals[1])
+		if err != nil {
+			return types.Datum{}, err
+		}
+		return types.Cast(d, t)
+	})
+}
+
+func intRepr(t types.T) bool {
+	switch t.Kind {
+	case types.Int32, types.Int64, types.Boolean:
+		return true
+	}
+	return false
+}
+
+func compileCompare(op string, args []*CompiledExpr) (*CompiledExpr, error) {
+	l, r := args[0], args[1]
+	cmpOK := func(c int) bool {
+		switch op {
+		case "=":
+			return c == 0
+		case "<>":
+			return c != 0
+		case "<":
+			return c < 0
+		case "<=":
+			return c <= 0
+		case ">":
+			return c > 0
+		default:
+			return c >= 0
+		}
+	}
+	// Fast paths for matching representations.
+	if intRepr(l.T) && intRepr(r.T) || l.T.Kind == r.T.Kind && (l.T.Kind == types.Date || l.T.Kind == types.Timestamp) ||
+		(l.T.Kind == types.Decimal && r.T.Kind == types.Decimal && l.T.Scale == r.T.Scale) {
+		return &CompiledExpr{T: types.TBool, eval: func(b *vector.Batch) (*vector.Vector, error) {
+			lv, err := l.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := r.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.New(types.TBool, b.Capacity())
+			for i := 0; i < b.N; i++ {
+				p := b.RowIdx(i)
+				if lv.IsNull(p) || rv.IsNull(p) {
+					out.SetNull(p)
+					continue
+				}
+				c := 0
+				switch {
+				case lv.I64[p] < rv.I64[p]:
+					c = -1
+				case lv.I64[p] > rv.I64[p]:
+					c = 1
+				}
+				if cmpOK(c) {
+					out.I64[p] = 1
+				}
+			}
+			return out, nil
+		}}, nil
+	}
+	if l.T.Kind == types.String && r.T.Kind == types.String {
+		return &CompiledExpr{T: types.TBool, eval: func(b *vector.Batch) (*vector.Vector, error) {
+			lv, err := l.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := r.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.New(types.TBool, b.Capacity())
+			for i := 0; i < b.N; i++ {
+				p := b.RowIdx(i)
+				if lv.IsNull(p) || rv.IsNull(p) {
+					out.SetNull(p)
+					continue
+				}
+				if cmpOK(strings.Compare(lv.Str[p], rv.Str[p])) {
+					out.I64[p] = 1
+				}
+			}
+			return out, nil
+		}}, nil
+	}
+	return rowwise(types.TBool, args, func(vals []types.Datum) (types.Datum, error) {
+		if vals[0].Null || vals[1].Null {
+			return types.NullOf(types.Boolean), nil
+		}
+		return types.NewBool(cmpOK(vals[0].Compare(vals[1]))), nil
+	})
+}
+
+func compileLogical(op string, args []*CompiledExpr) (*CompiledExpr, error) {
+	l, r := args[0], args[1]
+	isAnd := op == "and"
+	return &CompiledExpr{T: types.TBool, eval: func(b *vector.Batch) (*vector.Vector, error) {
+		lv, err := l.eval(b)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := r.eval(b)
+		if err != nil {
+			return nil, err
+		}
+		out := vector.New(types.TBool, b.Capacity())
+		for i := 0; i < b.N; i++ {
+			p := b.RowIdx(i)
+			ln, rn := lv.IsNull(p), rv.IsNull(p)
+			lt := !ln && lv.I64[p] != 0
+			rt := !rn && rv.I64[p] != 0
+			if isAnd {
+				switch {
+				case !ln && !lt, !rn && !rt:
+					out.I64[p] = 0
+				case ln || rn:
+					out.SetNull(p)
+				default:
+					out.I64[p] = 1
+				}
+			} else {
+				switch {
+				case lt || rt:
+					out.I64[p] = 1
+				case ln || rn:
+					out.SetNull(p)
+				default:
+					out.I64[p] = 0
+				}
+			}
+		}
+		return out, nil
+	}}, nil
+}
+
+func compileNot(a *CompiledExpr) (*CompiledExpr, error) {
+	return &CompiledExpr{T: types.TBool, eval: func(b *vector.Batch) (*vector.Vector, error) {
+		v, err := a.eval(b)
+		if err != nil {
+			return nil, err
+		}
+		out := vector.New(types.TBool, b.Capacity())
+		for i := 0; i < b.N; i++ {
+			p := b.RowIdx(i)
+			if v.IsNull(p) {
+				out.SetNull(p)
+				continue
+			}
+			if v.I64[p] == 0 {
+				out.I64[p] = 1
+			}
+		}
+		return out, nil
+	}}, nil
+}
+
+// likeMatcher compiles a SQL LIKE pattern ('%' any run, '_' one char).
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over pattern segments.
+	var match func(si, pi int) bool
+	match = func(si, pi int) bool {
+		for pi < len(pattern) {
+			switch pattern[pi] {
+			case '%':
+				for pi < len(pattern) && pattern[pi] == '%' {
+					pi++
+				}
+				if pi == len(pattern) {
+					return true
+				}
+				for k := si; k <= len(s); k++ {
+					if match(k, pi) {
+						return true
+					}
+				}
+				return false
+			case '_':
+				if si >= len(s) {
+					return false
+				}
+				si++
+				pi++
+			default:
+				if si >= len(s) || s[si] != pattern[pi] {
+					return false
+				}
+				si++
+				pi++
+			}
+		}
+		return si == len(s)
+	}
+	return match(0, 0)
+}
+
+func compileLike(args []*CompiledExpr) (*CompiledExpr, error) {
+	return rowwise(types.TBool, args, func(vals []types.Datum) (types.Datum, error) {
+		if vals[0].Null || vals[1].Null {
+			return types.NullOf(types.Boolean), nil
+		}
+		return types.NewBool(likeMatch(vals[0].S, vals[1].S)), nil
+	})
+}
+
+func compileCase(t types.T, args []*CompiledExpr) (*CompiledExpr, error) {
+	hasElse := len(args)%2 == 1
+	return rowwise(t, args, func(vals []types.Datum) (types.Datum, error) {
+		pairs := len(vals) / 2
+		for i := 0; i < pairs*2; i += 2 {
+			if c := vals[i]; !c.Null && c.I != 0 {
+				return types.Cast(vals[i+1], t)
+			}
+		}
+		if hasElse {
+			return types.Cast(vals[len(vals)-1], t)
+		}
+		return types.NullOf(t.Kind), nil
+	})
+}
+
+// EvalConst evaluates a constant (input-free, deterministic) expression at
+// plan time, for the optimizer's constant folding. Returns false when the
+// expression references inputs, is nondeterministic, or fails to evaluate.
+func EvalConst(r plan.Rex) (types.Datum, bool) {
+	if nondeterministic(r) {
+		return types.Datum{}, false
+	}
+	bits := map[int]bool{}
+	plan.InputBits(r, bits)
+	if len(bits) > 0 {
+		return types.Datum{}, false
+	}
+	e, err := Compile(r, nil)
+	if err != nil {
+		return types.Datum{}, false
+	}
+	// Evaluate over a one-row scratch batch (the dummy column only
+	// provides row capacity).
+	scratch := vector.NewBatch([]types.T{types.TBool}, 1)
+	scratch.N = 1
+	v, err := e.Eval(scratch)
+	if err != nil {
+		return types.Datum{}, false
+	}
+	return v.Get(0), true
+}
+
+func nondeterministic(r plan.Rex) bool {
+	f, ok := r.(*plan.Func)
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case "rand", "current_date", "current_timestamp":
+		return true
+	}
+	for _, a := range f.Args {
+		if nondeterministic(a) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,405 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// HashJoinOp joins two inputs. The right input is the build side. Equi-key
+// pairs drive the hash table; Residual (over the concatenated row) is
+// evaluated per candidate match. Semi/Anti emit only left columns; Single
+// enforces the scalar-subquery at-most-one-match guarantee.
+type HashJoinOp struct {
+	Left, Right Operator
+	Kind        plan.JoinKind
+	LeftKeys    []*CompiledExpr // over left row
+	RightKeys   []*CompiledExpr // over right row
+	Residual    *CompiledExpr   // over left++right row, may be nil
+	Ctx         *Context
+	Stats       *RuntimeStats
+	// BuildFilter, when non-nil, receives the build-side key values to
+	// populate a dynamic semijoin reducer (paper §4.6).
+	BuildFilter *RuntimeFilter
+
+	outTypes  []types.T
+	built     bool
+	rows      [][]types.Datum // build rows
+	buildKeys [][]types.Datum // build-side key values, parallel to rows
+	index     map[uint64][]int
+	matched   []bool
+	leftW     int
+	rightW    int
+	emittedRt bool
+	leftDone  bool
+	pending   *batchBuilder
+}
+
+// Types implements Operator.
+func (j *HashJoinOp) Types() []types.T {
+	if j.outTypes == nil {
+		lt := j.Left.Types()
+		switch j.Kind {
+		case plan.Semi, plan.Anti:
+			j.outTypes = lt
+		default:
+			j.outTypes = append(append([]types.T{}, lt...), j.Right.Types()...)
+		}
+		j.leftW = len(lt)
+		j.rightW = len(j.Right.Types())
+	}
+	return j.outTypes
+}
+
+// Open implements Operator.
+func (j *HashJoinOp) Open() error {
+	j.Types()
+	j.built = false
+	j.rows = nil
+	j.index = nil
+	j.matched = nil
+	j.emittedRt = false
+	j.leftDone = false
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	return j.Right.Open()
+}
+
+func (j *HashJoinOp) build() error {
+	j.index = make(map[uint64][]int)
+	limit := int64(0)
+	if j.Ctx != nil {
+		limit = j.Ctx.MemoryLimitRows
+	}
+	for {
+		b, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		keyCols := make([]*vector.Vector, len(j.RightKeys))
+		for i, k := range j.RightKeys {
+			v, err := k.Eval(b)
+			if err != nil {
+				return err
+			}
+			keyCols[i] = v
+		}
+		for i := 0; i < b.N; i++ {
+			r := b.RowIdx(i)
+			row := b.Row(i)
+			idx := len(j.rows)
+			j.rows = append(j.rows, row)
+			keys := make([]types.Datum, len(keyCols))
+			for k, kc := range keyCols {
+				keys[k] = kc.Get(r)
+			}
+			j.buildKeys = append(j.buildKeys, keys)
+			if limit > 0 && int64(len(j.rows)) > limit {
+				return ErrMemoryPressure{Operator: "hash join build", Rows: int64(len(j.rows))}
+			}
+			h := hashKeyAt(keyCols, r)
+			j.index[h] = append(j.index[h], idx)
+			if j.BuildFilter != nil && len(keyCols) > 0 {
+				d := keyCols[0].Get(r)
+				if !d.Null {
+					updateFilter(j.BuildFilter, d)
+				}
+			}
+		}
+	}
+	j.matched = make([]bool, len(j.rows))
+	if j.BuildFilter != nil {
+		finishFilter(j.BuildFilter)
+		j.BuildFilter.Publish()
+	}
+	j.built = true
+	return nil
+}
+
+func updateFilter(f *RuntimeFilter, d types.Datum) {
+	if f.Bloom == nil {
+		f.Bloom = NewBloom(4096)
+	}
+	f.Bloom.Add(d.Hash())
+	if f.Min.K == types.Unknown || d.Compare(f.Min) < 0 {
+		f.Min = d
+	}
+	if f.Max.K == types.Unknown || d.Compare(f.Max) > 0 {
+		f.Max = d
+	}
+	if f.Values != nil || len(f.Values) < 10000 {
+		f.Values = append(f.Values, d)
+	}
+}
+
+func finishFilter(f *RuntimeFilter) {
+	if len(f.Values) > 10000 {
+		f.Values = nil // too many values for dynamic partition pruning
+	}
+}
+
+func hashKeyAt(cols []*vector.Vector, r int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range cols {
+		h = h*1099511628211 ^ c.Get(r).Hash()
+	}
+	return h
+}
+
+// batchBuilder accumulates output rows into batches, queueing completed
+// batches so a single probe batch may fan out beyond one output batch.
+type batchBuilder struct {
+	ts    []types.T
+	b     *vector.Batch
+	n     int
+	cap   int
+	ready []*vector.Batch
+}
+
+func newBatchBuilder(ts []types.T) *batchBuilder {
+	return &batchBuilder{ts: ts, cap: vector.BatchSize}
+}
+
+func (bb *batchBuilder) add(row []types.Datum) {
+	if bb.b == nil {
+		bb.b = vector.NewBatch(bb.ts, bb.cap)
+		bb.n = 0
+	}
+	for c, d := range row {
+		bb.b.Cols[c].Set(bb.n, d)
+	}
+	bb.n++
+	if bb.n >= bb.cap {
+		bb.b.N = bb.n
+		bb.ready = append(bb.ready, bb.b)
+		bb.b = nil
+		bb.n = 0
+	}
+}
+
+func (bb *batchBuilder) full() bool { return len(bb.ready) > 0 }
+
+func (bb *batchBuilder) take() *vector.Batch {
+	if len(bb.ready) > 0 {
+		out := bb.ready[0]
+		bb.ready = bb.ready[1:]
+		return out
+	}
+	if bb.b == nil || bb.n == 0 {
+		return nil
+	}
+	out := bb.b
+	out.N = bb.n
+	bb.b = nil
+	bb.n = 0
+	return out
+}
+
+// Next implements Operator.
+func (j *HashJoinOp) Next() (*vector.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+		j.pending = newBatchBuilder(j.Types())
+	}
+	for {
+		if j.pending.full() {
+			out := j.pending.take()
+			j.bumpStats(out)
+			return out, nil
+		}
+		if j.leftDone {
+			// Right/full outer: emit unmatched build rows.
+			if (j.Kind == plan.Right || j.Kind == plan.Full) && !j.emittedRt {
+				j.emittedRt = true
+				nullLeft := make([]types.Datum, j.leftW)
+				lt := j.Left.Types()
+				for i := range nullLeft {
+					nullLeft[i] = types.NullOf(lt[i].Kind)
+				}
+				for i, m := range j.matched {
+					if !m {
+						j.pending.add(append(append([]types.Datum{}, nullLeft...), j.rows[i]...))
+					}
+				}
+			}
+			out := j.pending.take()
+			j.bumpStats(out)
+			return out, nil
+		}
+		b, err := j.Left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			j.leftDone = true
+			continue
+		}
+		if err := j.probeBatch(b); err != nil {
+			return nil, err
+		}
+		if out := j.pending.take(); out != nil {
+			j.bumpStats(out)
+			return out, nil
+		}
+	}
+}
+
+func (j *HashJoinOp) bumpStats(b *vector.Batch) {
+	if j.Stats != nil && b != nil {
+		j.Stats.Rows.Add(int64(b.N))
+	}
+}
+
+func (j *HashJoinOp) probeBatch(b *vector.Batch) error {
+	keyCols := make([]*vector.Vector, len(j.LeftKeys))
+	for i, k := range j.LeftKeys {
+		v, err := k.Eval(b)
+		if err != nil {
+			return err
+		}
+		keyCols[i] = v
+	}
+	nested := len(j.LeftKeys) == 0
+	for i := 0; i < b.N; i++ {
+		r := b.RowIdx(i)
+		leftRow := b.Row(i)
+		var candidates []int
+		if nested {
+			candidates = allRows(len(j.rows))
+		} else {
+			nullKey := false
+			for _, kc := range keyCols {
+				if kc.IsNull(r) {
+					nullKey = true
+					break
+				}
+			}
+			if !nullKey {
+				candidates = j.index[hashKeyAt(keyCols, r)]
+			}
+		}
+		matches := 0
+		for _, ci := range candidates {
+			right := j.rows[ci]
+			if !nested && !j.keysEqual(keyCols, r, ci) {
+				continue
+			}
+			if j.Residual != nil {
+				ok, err := j.evalResidual(leftRow, right)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			matches++
+			j.matched[ci] = true
+			switch j.Kind {
+			case plan.Semi:
+				// emit left once below
+			case plan.Anti:
+				// no emit
+			case plan.Single:
+				if matches > 1 {
+					return fmt.Errorf("exec: scalar subquery returned more than one row")
+				}
+				j.pending.add(append(append([]types.Datum{}, leftRow...), right...))
+			default:
+				j.pending.add(append(append([]types.Datum{}, leftRow...), right...))
+			}
+			if j.Kind == plan.Semi {
+				break
+			}
+		}
+		switch j.Kind {
+		case plan.Semi:
+			if matches > 0 {
+				j.pending.add(leftRow)
+			}
+		case plan.Anti:
+			if matches == 0 {
+				j.pending.add(leftRow)
+			}
+		case plan.Left, plan.Full, plan.Single:
+			if matches == 0 {
+				row := append([]types.Datum{}, leftRow...)
+				rt := j.Right.Types()
+				for _, t := range rt {
+					row = append(row, types.NullOf(t.Kind))
+				}
+				j.pending.add(row)
+			}
+		}
+	}
+	return nil
+}
+
+func allRows(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (j *HashJoinOp) keysEqual(probeCols []*vector.Vector, r int, buildIdx int) bool {
+	keys := j.buildKeys[buildIdx]
+	for k, kc := range probeCols {
+		pd := kc.Get(r)
+		bd := keys[k]
+		if pd.Null || bd.Null || pd.Compare(bd) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// evalOnRow evaluates a compiled expression against a single materialized
+// row by staging it into a one-row batch.
+func evalOnRow(e *CompiledExpr, row []types.Datum) (types.Datum, error) {
+	ts := make([]types.T, len(row))
+	for i, d := range row {
+		ts[i] = types.T{Kind: d.K}
+		if d.K == types.Decimal {
+			ts[i] = types.TDecimal(18, d.DecimalScale())
+		}
+	}
+	b := vector.NewBatch(ts, 1)
+	for c, d := range row {
+		b.Cols[c].Set(0, d)
+	}
+	b.N = 1
+	v, err := e.Eval(b)
+	if err != nil {
+		return types.Datum{}, err
+	}
+	return v.Get(0), nil
+}
+
+func (j *HashJoinOp) evalResidual(left, right []types.Datum) (bool, error) {
+	combined := append(append([]types.Datum{}, left...), right...)
+	d, err := evalOnRow(j.Residual, combined)
+	if err != nil {
+		return false, err
+	}
+	return !d.Null && d.I != 0, nil
+}
+
+// Close implements Operator.
+func (j *HashJoinOp) Close() error {
+	j.rows, j.index = nil, nil
+	if err := j.Left.Close(); err != nil {
+		j.Right.Close()
+		return err
+	}
+	return j.Right.Close()
+}

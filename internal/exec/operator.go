@@ -1,0 +1,388 @@
+// Package exec implements the vectorized physical operators (paper §2, §5):
+// scans over ACID snapshots with sargable predicate and Bloom pushdown,
+// filters and projections evaluated column-at-a-time over vector batches,
+// hash joins (including the semi/anti joins produced by subquery
+// decorrelation and the Single join guarding scalar subqueries), hash
+// aggregation with grouping sets, sort, limit, set operations and window
+// functions.
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/orc"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Operator is a pull-based vectorized operator. Next returns nil at end of
+// stream.
+type Operator interface {
+	Types() []types.T
+	Open() error
+	Next() (*vector.Batch, error)
+	Close() error
+}
+
+// RuntimeStats counts rows flowing out of an operator; HS2's reoptimization
+// compares them with the optimizer's estimates (paper §4.2).
+type RuntimeStats struct {
+	Name string
+	Rows atomic.Int64
+}
+
+// Context carries per-query execution state.
+type Context struct {
+	// Chunks, when non-nil, routes ORC reads through the LLAP cache.
+	Chunks orc.ChunkReader
+	// BloomFilters holds runtime semijoin reducers keyed by reducer id
+	// (paper §4.6): the build side registers, scans consult.
+	blooms map[int]*RuntimeFilter
+	// Stats per plan operator for reoptimization.
+	Stats []*RuntimeStats
+	// MemoryLimitRows aborts hash joins whose build side exceeds the
+	// limit, simulating executor memory pressure (drives reoptimization).
+	MemoryLimitRows int64
+	// spoolRows holds shared-work materializations keyed by spool id.
+	spoolRows map[int][][]types.Datum
+}
+
+// NewContext returns an empty execution context.
+func NewContext() *Context {
+	return &Context{blooms: make(map[int]*RuntimeFilter)}
+}
+
+// NewStats registers a named stats counter.
+func (c *Context) NewStats(name string) *RuntimeStats {
+	s := &RuntimeStats{Name: name}
+	c.Stats = append(c.Stats, s)
+	return s
+}
+
+// RuntimeFilter is the product of a semijoin reducer build: the min/max
+// range and Bloom filter of the join keys (paper §4.6), plus the exact
+// value set when small enough for dynamic partition pruning.
+type RuntimeFilter struct {
+	ready  chan struct{}
+	Min    types.Datum
+	Max    types.Datum
+	Bloom  *Bloom
+	Values []types.Datum // nil when too many for partition pruning
+}
+
+// RegisterFilter creates the placeholder for a reducer id.
+func (c *Context) RegisterFilter(id int) *RuntimeFilter {
+	f := &RuntimeFilter{ready: make(chan struct{})}
+	c.blooms[id] = f
+	return f
+}
+
+// Filter fetches a reducer, blocking until the build side publishes it.
+func (c *Context) Filter(id int) *RuntimeFilter {
+	f := c.blooms[id]
+	if f == nil {
+		return nil
+	}
+	<-f.ready
+	return f
+}
+
+// Publish marks the filter complete.
+func (f *RuntimeFilter) Publish() { close(f.ready) }
+
+// Bloom is a simple split Bloom filter over datum hashes for index
+// semijoins.
+type Bloom struct {
+	bits []uint64
+	k    int
+}
+
+// NewBloom sizes a filter for n values at ~10 bits per value.
+func NewBloom(n int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	words := (n*10 + 63) / 64
+	return &Bloom{bits: make([]uint64, words), k: 6}
+}
+
+// Add records a hash.
+func (b *Bloom) Add(h uint64) {
+	h1, h2 := uint32(h), uint32(h>>32)
+	n := uint32(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint32(i)*h2) % n
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// MayContain tests a hash.
+func (b *Bloom) MayContain(h uint64) bool {
+	h1, h2 := uint32(h), uint32(h>>32)
+	n := uint32(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint32(i)*h2) % n
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrMemoryPressure simulates an executor running out of memory; HS2
+// catches it and reoptimizes the query (paper §4.2).
+type ErrMemoryPressure struct {
+	Operator string
+	Rows     int64
+}
+
+func (e ErrMemoryPressure) Error() string {
+	return fmt.Sprintf("exec: %s exceeded memory budget at %d rows", e.Operator, e.Rows)
+}
+
+// ValuesOp emits a fixed set of rows.
+type ValuesOp struct {
+	Rows [][]types.Datum
+	Ts   []types.T
+	done bool
+}
+
+// Types implements Operator.
+func (v *ValuesOp) Types() []types.T { return v.Ts }
+
+// Open implements Operator.
+func (v *ValuesOp) Open() error { v.done = false; return nil }
+
+// Next implements Operator.
+func (v *ValuesOp) Next() (*vector.Batch, error) {
+	if v.done {
+		return nil, nil
+	}
+	v.done = true
+	b := vector.NewBatch(v.Ts, len(v.Rows))
+	for i, row := range v.Rows {
+		for c, d := range row {
+			b.Cols[c].Set(i, d)
+		}
+	}
+	b.N = len(v.Rows)
+	return b, nil
+}
+
+// Close implements Operator.
+func (v *ValuesOp) Close() error { return nil }
+
+// FilterOp keeps rows matching the predicate.
+type FilterOp struct {
+	Input Operator
+	Pred  *CompiledExpr
+	Stats *RuntimeStats
+}
+
+// Types implements Operator.
+func (f *FilterOp) Types() []types.T { return f.Input.Types() }
+
+// Open implements Operator.
+func (f *FilterOp) Open() error { return f.Input.Open() }
+
+// Next implements Operator.
+func (f *FilterOp) Next() (*vector.Batch, error) {
+	for {
+		b, err := f.Input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		sel, err := EvalPredicate(f.Pred, b)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		out := &vector.Batch{Cols: b.Cols, Sel: sel, N: len(sel)}
+		if f.Stats != nil {
+			f.Stats.Rows.Add(int64(out.N))
+		}
+		return out, nil
+	}
+}
+
+// Close implements Operator.
+func (f *FilterOp) Close() error { return f.Input.Close() }
+
+// ProjectOp evaluates expressions into a new batch.
+type ProjectOp struct {
+	Input Operator
+	Exprs []*CompiledExpr
+	Out   []types.T
+	Stats *RuntimeStats
+}
+
+// Types implements Operator.
+func (p *ProjectOp) Types() []types.T { return p.Out }
+
+// Open implements Operator.
+func (p *ProjectOp) Open() error { return p.Input.Open() }
+
+// Next implements Operator.
+func (p *ProjectOp) Next() (*vector.Batch, error) {
+	b, err := p.Input.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	cols := make([]*vector.Vector, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = v
+	}
+	out := &vector.Batch{Cols: cols, Sel: b.Sel, N: b.N}
+	if p.Stats != nil {
+		p.Stats.Rows.Add(int64(out.N))
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *ProjectOp) Close() error { return p.Input.Close() }
+
+// LimitOp stops after N rows.
+type LimitOp struct {
+	Input Operator
+	N     int64
+	seen  int64
+}
+
+// Types implements Operator.
+func (l *LimitOp) Types() []types.T { return l.Input.Types() }
+
+// Open implements Operator.
+func (l *LimitOp) Open() error { l.seen = 0; return l.Input.Open() }
+
+// Next implements Operator.
+func (l *LimitOp) Next() (*vector.Batch, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	b, err := l.Input.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	remain := l.N - l.seen
+	if int64(b.N) > remain {
+		if b.Sel == nil {
+			sel := make([]int, remain)
+			for i := range sel {
+				sel[i] = i
+			}
+			b = &vector.Batch{Cols: b.Cols, Sel: sel, N: int(remain)}
+		} else {
+			b = &vector.Batch{Cols: b.Cols, Sel: b.Sel[:remain], N: int(remain)}
+		}
+	}
+	l.seen += int64(b.N)
+	return b, nil
+}
+
+// Close implements Operator.
+func (l *LimitOp) Close() error { return l.Input.Close() }
+
+// Drain pulls every batch of an operator tree and returns the rows as
+// datum slices (convenience for tests and result fetching).
+func Drain(op Operator) ([][]types.Datum, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out [][]types.Datum
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		for i := 0; i < b.N; i++ {
+			out = append(out, b.Row(i))
+		}
+	}
+}
+
+// SpoolOp materializes a shared subtree once per query (shared work
+// optimizer, paper §4.5) and replays it for every consumer.
+type SpoolOp struct {
+	ID      int
+	Input   Operator
+	Ctx     *Context
+	emitted int
+}
+
+// Types implements Operator.
+func (s *SpoolOp) Types() []types.T { return s.Input.Types() }
+
+// Open implements Operator. Materialization is deferred to the first Next
+// so runtime semijoin reducers inside the shared subtree are not pulled
+// before their build sides have run.
+func (s *SpoolOp) Open() error {
+	s.emitted = 0
+	if s.Ctx.spoolRows == nil {
+		s.Ctx.spoolRows = map[int][][]types.Datum{}
+	}
+	return nil
+}
+
+func (s *SpoolOp) materialize() error {
+	if _, ok := s.Ctx.spoolRows[s.ID]; ok {
+		return nil // already materialized by a sibling
+	}
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	defer s.Input.Close()
+	var rows [][]types.Datum
+	for {
+		b, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+	s.Ctx.spoolRows[s.ID] = rows
+	return nil
+}
+
+// Next implements Operator.
+func (s *SpoolOp) Next() (*vector.Batch, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	rows := s.Ctx.spoolRows[s.ID]
+	if s.emitted >= len(rows) {
+		return nil, nil
+	}
+	n := len(rows) - s.emitted
+	if n > vector.BatchSize {
+		n = vector.BatchSize
+	}
+	b := vector.NewBatch(s.Types(), n)
+	for i := 0; i < n; i++ {
+		for c, d := range rows[s.emitted+i] {
+			b.Cols[c].Set(i, d)
+		}
+	}
+	b.N = n
+	s.emitted += n
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *SpoolOp) Close() error { return nil }

@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"repro/internal/acid"
+	"repro/internal/dfs"
+	"repro/internal/metastore"
+	"repro/internal/orc"
+	"repro/internal/plan"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// TableSplit is one unit of scan work: an unpartitioned table directory or
+// a single partition, with its snapshot and the partition key values.
+type TableSplit struct {
+	Loc        string
+	PartValues []types.Datum // one per partition key column
+	Valid      txn.ValidWriteIds
+}
+
+// RuntimeFilterBind attaches a dynamic semijoin reducer (paper §4.6) to a
+// scan output column: rows whose value falls outside the reducer's range or
+// Bloom filter are dropped at the scan.
+type RuntimeFilterBind struct {
+	FilterID int
+	OutCol   int
+}
+
+// PartPruneBind prunes entire splits using the value set of a reducer
+// (dynamic partition pruning, paper §4.6).
+type PartPruneBind struct {
+	FilterID int
+	PartKey  int // index into the table's partition key columns
+}
+
+// ScanOp reads an ACID table: it merges base and delta stores under the
+// split's WriteId snapshot, pushes the search argument into stripe
+// selection, fills partition key columns from the split, and applies
+// runtime semijoin reducers.
+type ScanOp struct {
+	FS    *dfs.FS
+	Table *metastore.Table
+	// Cols are table-column ordinals (data columns then partition keys).
+	Cols   []int
+	Meta   bool
+	Splits []TableSplit
+	Sarg   *orc.SearchArgument // over the ACID file schema (3 meta + data)
+	RF     []RuntimeFilterBind
+	Prune  []PartPruneBind
+	Ctx    *Context
+	Stats  *RuntimeStats
+
+	outTypes []types.T
+	splitIdx int
+	pending  []*vector.Batch
+	started  bool
+}
+
+// Types implements Operator.
+func (s *ScanOp) Types() []types.T {
+	if s.outTypes == nil {
+		if s.Meta {
+			s.outTypes = append(s.outTypes, types.TBigint, types.TBigint, types.TBigint)
+		}
+		all := plan.TableCols(s.Table)
+		for _, c := range s.Cols {
+			s.outTypes = append(s.outTypes, all[c].Type)
+		}
+	}
+	return s.outTypes
+}
+
+// Open implements Operator.
+func (s *ScanOp) Open() error {
+	s.Types()
+	s.splitIdx = 0
+	s.pending = nil
+	s.started = false
+	return nil
+}
+
+// dataColCount returns the number of stored (non-partition) columns.
+func (s *ScanOp) dataColCount() int { return len(s.Table.Cols) }
+
+// Next implements Operator.
+func (s *ScanOp) Next() (*vector.Batch, error) {
+	if !s.started {
+		s.started = true
+		if err := s.pruneSplits(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if len(s.pending) > 0 {
+			b := s.pending[0]
+			s.pending = s.pending[1:]
+			if s.Stats != nil {
+				s.Stats.Rows.Add(int64(b.N))
+			}
+			return b, nil
+		}
+		if s.splitIdx >= len(s.Splits) {
+			return nil, nil
+		}
+		split := s.Splits[s.splitIdx]
+		s.splitIdx++
+		if err := s.scanSplit(split); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pruneSplits applies dynamic partition pruning using runtime filters.
+func (s *ScanOp) pruneSplits() error {
+	if len(s.Prune) == 0 || s.Ctx == nil {
+		return nil
+	}
+	kept := s.Splits[:0]
+	for _, split := range s.Splits {
+		keep := true
+		for _, p := range s.Prune {
+			f := s.Ctx.Filter(p.FilterID)
+			if f == nil || f.Values == nil {
+				continue
+			}
+			if p.PartKey >= len(split.PartValues) {
+				continue
+			}
+			v := split.PartValues[p.PartKey]
+			found := false
+			for _, fv := range f.Values {
+				if fv.Compare(v) == 0 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			kept = append(kept, split)
+		}
+	}
+	s.Splits = kept
+	return nil
+}
+
+func (s *ScanOp) scanSplit(split TableSplit) error {
+	dataCols := make([]orc.Column, len(s.Table.Cols))
+	for i, c := range s.Table.Cols {
+		dataCols[i] = orc.Column{Name: c.Name, Type: c.Type}
+	}
+	snap, err := acid.OpenSnapshot(s.FS, split.Loc, dataCols, split.Valid)
+	if err != nil {
+		return err
+	}
+	if s.Ctx != nil && s.Ctx.Chunks != nil {
+		snap.SetChunkReader(s.Ctx.Chunks)
+	}
+	// Projection over the ACID file schema: meta first if requested, then
+	// the stored data columns among s.Cols; partition columns are filled
+	// from the split.
+	var proj []int
+	if s.Meta {
+		proj = append(proj, acid.MetaWriteID, acid.MetaFileID, acid.MetaRowID)
+	}
+	type colSource struct {
+		fromFile int // ordinal in the file read batch, -1 for partition col
+		partIdx  int
+	}
+	srcs := make([]colSource, len(s.Cols))
+	for i, c := range s.Cols {
+		if c < s.dataColCount() {
+			srcs[i] = colSource{fromFile: len(proj)}
+			proj = append(proj, acid.NumMetaCols+c)
+		} else {
+			srcs[i] = colSource{fromFile: -1, partIdx: c - s.dataColCount()}
+		}
+	}
+	return snap.Scan(proj, s.Sarg, func(fb *vector.Batch) error {
+		out := &vector.Batch{Sel: fb.Sel, N: fb.N}
+		next := 0
+		if s.Meta {
+			out.Cols = append(out.Cols, fb.Cols[0], fb.Cols[1], fb.Cols[2])
+			next = 3
+		}
+		for i := range s.Cols {
+			src := srcs[i]
+			if src.fromFile >= 0 {
+				out.Cols = append(out.Cols, fb.Cols[src.fromFile])
+				continue
+			}
+			// Partition key column: constant for the whole split.
+			pv := types.NullOf(types.Unknown)
+			if src.partIdx < len(split.PartValues) {
+				pv = split.PartValues[src.partIdx]
+			}
+			pcol := vector.New(s.outTypes[next+i], capOf(fb))
+			for r := 0; r < fb.N; r++ {
+				pcol.Set(fb.RowIdx(r), pv)
+			}
+			out.Cols = append(out.Cols, pcol)
+		}
+		_ = next
+		if len(s.RF) > 0 && s.Ctx != nil {
+			out = s.applyRuntimeFilters(out)
+			if out.N == 0 {
+				return nil
+			}
+		}
+		s.pending = append(s.pending, out)
+		return nil
+	})
+}
+
+func capOf(b *vector.Batch) int {
+	if c := b.Capacity(); c > 0 {
+		return c
+	}
+	return b.N
+}
+
+func (s *ScanOp) applyRuntimeFilters(b *vector.Batch) *vector.Batch {
+	sel := make([]int, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		r := b.RowIdx(i)
+		ok := true
+		for _, bind := range s.RF {
+			f := s.Ctx.Filter(bind.FilterID)
+			if f == nil {
+				continue
+			}
+			d := b.Cols[bind.OutCol].Get(r)
+			if d.Null {
+				ok = false
+				break
+			}
+			if f.Min.K != types.Unknown && (d.Compare(f.Min) < 0 || d.Compare(f.Max) > 0) {
+				ok = false
+				break
+			}
+			if f.Bloom != nil && !f.Bloom.MayContain(d.Hash()) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sel = append(sel, r)
+		}
+	}
+	return &vector.Batch{Cols: b.Cols, Sel: sel, N: len(sel)}
+}
+
+// Close implements Operator.
+func (s *ScanOp) Close() error { return nil }

@@ -1,0 +1,444 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/druid"
+	"repro/internal/exec"
+	"repro/internal/metastore"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// DruidHandlerName is the STORED BY class for Druid tables, matching the
+// paper's examples.
+const DruidHandlerName = "org.apache.hadoop.hive.druid.DruidStorageHandler"
+
+// DruidHandler federates to a Druid cluster over its HTTP JSON API.
+type DruidHandler struct {
+	Store  *druid.Store  // used by the hook to create datasources
+	Client *druid.Client // HTTP access for query execution
+}
+
+// NewDruidHandler wires a handler to a Druid store and server URL.
+func NewDruidHandler(store *druid.Store, baseURL string) *DruidHandler {
+	return &DruidHandler{Store: store, Client: &druid.Client{BaseURL: baseURL}}
+}
+
+// Name implements StorageHandler.
+func (h *DruidHandler) Name() string { return DruidHandlerName }
+
+// Hook implements StorageHandler.
+func (h *DruidHandler) Hook() metastore.Hook { return &druidHook{h: h} }
+
+type druidHook struct{ h *DruidHandler }
+
+// OnCreateTable maps or creates the Druid datasource. When the table names
+// an existing datasource through the druid.datasource property, columns
+// are inferred from Druid metadata (paper §6.1); otherwise a datasource is
+// created from the declared columns: __time TIMESTAMP, STRING columns as
+// dimensions, numeric columns as metrics.
+func (hk *druidHook) OnCreateTable(t *metastore.Table) error {
+	name := t.Props["druid.datasource"]
+	if name == "" {
+		name = t.FullName()
+		t.Props["druid.datasource"] = name
+	}
+	if ds, ok := hk.h.Store.Get(name); ok {
+		if len(t.Cols) == 0 {
+			// Infer schema from Druid metadata.
+			sch := ds.Schema()
+			t.Cols = append(t.Cols, metastore.Column{Name: druid.TimeColumn, Type: types.TTimestamp})
+			for _, d := range sch.Dimensions {
+				t.Cols = append(t.Cols, metastore.Column{Name: d, Type: types.TString})
+			}
+			for _, m := range sch.Metrics {
+				t.Cols = append(t.Cols, metastore.Column{Name: m, Type: types.TDouble})
+			}
+		}
+		return nil
+	}
+	if len(t.Cols) == 0 {
+		return fmt.Errorf("federation: druid datasource %s does not exist and no columns declared", name)
+	}
+	sch := druid.Schema{}
+	for _, c := range t.Cols {
+		switch {
+		case c.Name == druid.TimeColumn:
+		case c.Type.Kind == types.String:
+			sch.Dimensions = append(sch.Dimensions, c.Name)
+		default:
+			sch.Metrics = append(sch.Metrics, c.Name)
+		}
+	}
+	_, err := hk.h.Store.CreateDataSource(name, sch)
+	return err
+}
+
+// OnDropTable drops the datasource for managed Druid tables.
+func (hk *druidHook) OnDropTable(t *metastore.Table) error {
+	if !t.External {
+		hk.h.Store.Drop(t.Props["druid.datasource"])
+	}
+	return nil
+}
+
+// CreateReader implements StorageHandler: it sends the pushed JSON query
+// (or a full scan) over HTTP and decodes the rows.
+func (h *DruidHandler) CreateReader(t *metastore.Table, fields []plan.Field, pushedQuery string) (exec.Operator, error) {
+	query := pushedQuery
+	if query == "" {
+		q := druid.Query{QueryType: "scan", DataSource: t.Props["druid.datasource"]}
+		for _, f := range fields {
+			q.Columns = append(q.Columns, f.Name)
+		}
+		b, err := json.Marshal(q)
+		if err != nil {
+			return nil, err
+		}
+		query = string(b)
+	}
+	rows, err := h.Client.QueryJSON(query)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(fields))
+	for i, f := range fields {
+		names[i] = f.Name
+	}
+	decoded, err := decodeResultRows(rows, fields, names)
+	if err != nil {
+		return nil, err
+	}
+	ts := make([]types.T, len(fields))
+	for i, f := range fields {
+		ts[i] = f.T
+	}
+	return &rowsOp{rows: decoded, ts: ts}, nil
+}
+
+// druidWriter ingests rows into the datasource.
+type druidWriter struct {
+	ds   *druid.DataSource
+	cols []metastore.Column
+	buf  []druid.Event
+}
+
+// Writer implements StorageHandler.
+func (h *DruidHandler) Writer(t *metastore.Table) (RowWriter, error) {
+	ds, ok := h.Store.Get(t.Props["druid.datasource"])
+	if !ok {
+		return nil, fmt.Errorf("federation: no datasource for %s", t.FullName())
+	}
+	return &druidWriter{ds: ds, cols: t.Cols}, nil
+}
+
+func (w *druidWriter) WriteRow(row []types.Datum) error {
+	e := druid.Event{Dims: map[string]string{}, Metrics: map[string]float64{}}
+	for i, c := range w.cols {
+		if i >= len(row) {
+			break
+		}
+		d := row[i]
+		switch {
+		case c.Name == druid.TimeColumn:
+			if !d.Null {
+				e.Time = d.I
+			}
+		case c.Type.Kind == types.String:
+			e.Dims[c.Name] = formatDatum(d)
+		default:
+			if !d.Null {
+				e.Metrics[c.Name] = d.Float()
+			}
+		}
+	}
+	w.buf = append(w.buf, e)
+	if len(w.buf) >= 4096 {
+		w.ds.Insert(w.buf)
+		w.buf = w.buf[:0]
+	}
+	return nil
+}
+
+func (w *druidWriter) Close() error {
+	if len(w.buf) > 0 {
+		w.ds.Insert(w.buf)
+		w.buf = nil
+	}
+	return nil
+}
+
+// Pushdown folds Filter/Aggregate/Sort/Limit subtrees over a Druid scan
+// into one JSON query (paper Figure 6). Supported shapes, innermost first:
+//
+//	Scan [+filters]                          -> scan query
+//	Aggregate(Scan [+filters])               -> groupBy
+//	Limit(Sort(Aggregate(Scan [+filters])))  -> groupBy with limitSpec
+func (h *DruidHandler) Pushdown(rel plan.Rel) *plan.ForeignScan {
+	var limit *plan.Limit
+	var sortNode *plan.Sort
+	cur := rel
+	if l, ok := cur.(*plan.Limit); ok {
+		if s, ok := l.Input.(*plan.Sort); ok {
+			limit, sortNode = l, s
+			cur = s.Input
+		}
+	}
+	switch node := cur.(type) {
+	case *plan.Aggregate:
+		return h.pushAggregate(node, sortNode, limit)
+	case *plan.Scan:
+		if limit != nil {
+			return nil
+		}
+		return h.pushScan(node)
+	}
+	return nil
+}
+
+func (h *DruidHandler) pushScan(s *plan.Scan) *plan.ForeignScan {
+	if s.Table.StorageHandler != DruidHandlerName || s.Meta {
+		return nil
+	}
+	filter, ok := h.filterOf(s)
+	if !ok {
+		return nil
+	}
+	q := druid.Query{QueryType: "scan", DataSource: s.Table.Props["druid.datasource"], Filter: filter}
+	fields := s.Schema()
+	for _, f := range fields {
+		q.Columns = append(q.Columns, f.Name)
+	}
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil
+	}
+	// Druid returns rows keyed by column name; keep names as fields.
+	return &plan.ForeignScan{
+		Handler: DruidHandlerName,
+		Table:   s.Table,
+		Query:   string(body),
+		Pushed:  "scan+filter",
+		Fields:  fields,
+	}
+}
+
+// filterOf converts the scan's pushed predicates into a Druid filter.
+func (h *DruidHandler) filterOf(s *plan.Scan) (*druid.Filter, bool) {
+	if len(s.Filter) == 0 {
+		return nil, true
+	}
+	var fields []*druid.Filter
+	schema := s.Schema()
+	for _, pred := range s.Filter {
+		f, ok := rexToDruidFilter(pred, schema)
+		if !ok {
+			return nil, false
+		}
+		fields = append(fields, f)
+	}
+	if len(fields) == 1 {
+		return fields[0], true
+	}
+	return &druid.Filter{Type: "and", Fields: fields}, true
+}
+
+// rexToDruidFilter translates a predicate into Druid's filter JSON.
+func rexToDruidFilter(r plan.Rex, schema []plan.Field) (*druid.Filter, bool) {
+	fn, ok := r.(*plan.Func)
+	if !ok {
+		return nil, false
+	}
+	dimOf := func(e plan.Rex) (string, bool, bool) { // name, isNumeric, ok
+		c, ok := e.(*plan.ColRef)
+		if !ok || c.Idx >= len(schema) {
+			return "", false, false
+		}
+		return schema[c.Idx].Name, c.T.Numeric() || c.T.Kind == types.Timestamp, true
+	}
+	litOf := func(e plan.Rex) (string, bool) {
+		l, ok := e.(*plan.Literal)
+		if !ok || l.Val.Null {
+			return "", false
+		}
+		return l.Val.String(), true
+	}
+	switch fn.Op {
+	case "=", "<", "<=", ">", ">=":
+		if len(fn.Args) != 2 {
+			return nil, false
+		}
+		dim, numeric, ok := dimOf(fn.Args[0])
+		val, ok2 := litOf(fn.Args[1])
+		op := fn.Op
+		if !ok || !ok2 {
+			// try reversed operand order
+			dim, numeric, ok = dimOf(fn.Args[1])
+			val, ok2 = litOf(fn.Args[0])
+			if !ok || !ok2 {
+				return nil, false
+			}
+			op = flip(op)
+		}
+		ordering := ""
+		if numeric {
+			ordering = "numeric"
+		}
+		switch op {
+		case "=":
+			if numeric {
+				return &druid.Filter{Type: "bound", Dimension: dim, Lower: val, Upper: val, Ordering: ordering}, true
+			}
+			return &druid.Filter{Type: "selector", Dimension: dim, Value: val}, true
+		case "<":
+			return &druid.Filter{Type: "bound", Dimension: dim, Upper: val, UpperStrict: true, Ordering: ordering}, true
+		case "<=":
+			return &druid.Filter{Type: "bound", Dimension: dim, Upper: val, Ordering: ordering}, true
+		case ">":
+			return &druid.Filter{Type: "bound", Dimension: dim, Lower: val, LowerStrict: true, Ordering: ordering}, true
+		case ">=":
+			return &druid.Filter{Type: "bound", Dimension: dim, Lower: val, Ordering: ordering}, true
+		}
+	case "and", "or":
+		var subs []*druid.Filter
+		for _, a := range fn.Args {
+			f, ok := rexToDruidFilter(a, schema)
+			if !ok {
+				return nil, false
+			}
+			subs = append(subs, f)
+		}
+		return &druid.Filter{Type: fn.Op, Fields: subs}, true
+	case "in":
+		dim, _, ok := dimOf(fn.Args[0])
+		if !ok {
+			return nil, false
+		}
+		var subs []*druid.Filter
+		for _, a := range fn.Args[1:] {
+			val, ok := litOf(a)
+			if !ok {
+				return nil, false
+			}
+			subs = append(subs, &druid.Filter{Type: "selector", Dimension: dim, Value: val})
+		}
+		return &druid.Filter{Type: "or", Fields: subs}, true
+	}
+	return nil, false
+}
+
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// pushAggregate folds Aggregate(Scan) into a groupBy query, with an
+// optional Sort+Limit as limitSpec (the Figure 6 pattern).
+func (h *DruidHandler) pushAggregate(agg *plan.Aggregate, sortNode *plan.Sort, limit *plan.Limit) *plan.ForeignScan {
+	scan, ok := agg.Input.(*plan.Scan)
+	if !ok || scan.Table.StorageHandler != DruidHandlerName || scan.Meta {
+		return nil
+	}
+	if agg.GroupingSets != nil {
+		return nil
+	}
+	filter, ok := h.filterOf(scan)
+	if !ok {
+		return nil
+	}
+	schema := scan.Schema()
+	q := druid.Query{
+		QueryType:   "groupBy",
+		DataSource:  scan.Table.Props["druid.datasource"],
+		Granularity: "all",
+		Filter:      filter,
+	}
+	outFields := agg.Schema()
+	var outNames []string
+	for _, g := range agg.GroupBy {
+		c, ok := g.(*plan.ColRef)
+		if !ok || c.T.Kind != types.String {
+			return nil // only plain string dimensions push down
+		}
+		q.Dimensions = append(q.Dimensions, schema[c.Idx].Name)
+		outNames = append(outNames, schema[c.Idx].Name)
+	}
+	for i, a := range agg.Aggs {
+		name := fmt.Sprintf("a%d", i)
+		spec := druid.Aggregation{Name: name}
+		switch a.Fn {
+		case "count":
+			if a.Distinct {
+				return nil
+			}
+			spec.Type = "count"
+		case "sum":
+			c, ok := a.Arg.(*plan.ColRef)
+			if !ok {
+				return nil
+			}
+			spec.Type = "doubleSum"
+			if a.T.Kind == types.Int64 {
+				spec.Type = "longSum"
+			}
+			spec.FieldName = schema[c.Idx].Name
+		case "min", "max":
+			c, ok := a.Arg.(*plan.ColRef)
+			if !ok {
+				return nil
+			}
+			spec.Type = "doubleMin"
+			if a.Fn == "max" {
+				spec.Type = "doubleMax"
+			}
+			spec.FieldName = schema[c.Idx].Name
+		default:
+			return nil
+		}
+		q.Aggregations = append(q.Aggregations, spec)
+		outNames = append(outNames, name)
+	}
+	pushed := "groupBy"
+	if sortNode != nil && limit != nil {
+		ls := &druid.LimitSpec{Limit: int(limit.N)}
+		for _, k := range sortNode.Keys {
+			if k.Col >= len(outNames) {
+				return nil
+			}
+			dir := "ascending"
+			if k.Desc {
+				dir = "descending"
+			}
+			ls.Columns = append(ls.Columns, druid.OrderByColumn{Dimension: outNames[k.Col], Direction: dir})
+		}
+		q.LimitSpec = ls
+		pushed = "groupBy+sort+limit"
+	}
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil
+	}
+	// Output fields carry the Druid result keys as names.
+	fields := make([]plan.Field, len(outFields))
+	for i := range outFields {
+		fields[i] = plan.Field{Name: outNames[i], T: outFields[i].T}
+	}
+	return &plan.ForeignScan{
+		Handler: DruidHandlerName,
+		Table:   scan.Table,
+		Query:   string(body),
+		Pushed:  pushed,
+		Fields:  fields,
+	}
+}

@@ -1,0 +1,111 @@
+package federation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/druid"
+	"repro/internal/exec"
+	"repro/internal/metastore"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+func druidFixture(t *testing.T) (*metastore.Metastore, *Registry, *metastore.Table) {
+	t.Helper()
+	ms := metastore.New(dfs.New(), "/wh")
+	store := druid.NewStore()
+	srv, err := druid.NewServer(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	reg := NewRegistry()
+	reg.Register(ms, NewDruidHandler(store, srv.URL()))
+	tbl := &metastore.Table{
+		DB: "default", Name: "events", External: false,
+		StorageHandler: DruidHandlerName,
+		Props:          map[string]string{"druid.datasource": "events"},
+		Cols: []metastore.Column{
+			{Name: druid.TimeColumn, Type: types.TTimestamp},
+			{Name: "d1", Type: types.TString},
+			{Name: "m1", Type: types.TDouble},
+		},
+	}
+	if err := ms.CreateTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return ms, reg, tbl
+}
+
+func TestHookCreatesDatasourceAndWriterIngests(t *testing.T) {
+	_, reg, tbl := druidFixture(t)
+	h, _ := reg.Handler(DruidHandlerName)
+	w, err := h.Writer(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteRow([]types.Datum{types.NewTimestamp(1), types.NewString("a"), types.NewDouble(2)})
+	w.WriteRow([]types.Datum{types.NewTimestamp(2), types.NewString("b"), types.NewDouble(3)})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Read back through the input format (full scan over HTTP).
+	op, err := h.CreateReader(tbl, plan.NewScan(tbl, "events").Schema(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+func TestPushdownGroupBySortLimit(t *testing.T) {
+	_, reg, tbl := druidFixture(t)
+	scan := plan.NewScan(tbl, "events")
+	scan.Filter = []plan.Rex{plan.NewFunc("=", types.TBool,
+		&plan.ColRef{Idx: 1, T: types.TString}, plan.NewLiteral(types.NewString("a")))}
+	agg := &plan.Aggregate{
+		Input:   scan,
+		GroupBy: []plan.Rex{&plan.ColRef{Idx: 1, T: types.TString}},
+		Aggs:    []plan.AggCall{{Fn: "sum", Arg: &plan.ColRef{Idx: 2, T: types.TDouble}, T: types.TDouble}},
+	}
+	top := &plan.Limit{Input: &plan.Sort{Input: agg, Keys: []plan.SortKey{{Col: 1, Desc: true}}}, N: 5}
+	out := reg.PushComputation(top)
+	fs, ok := out.(*plan.ForeignScan)
+	if !ok {
+		t.Fatalf("not folded: %T\n%s", out, plan.Explain(out))
+	}
+	for _, want := range []string{`"queryType":"groupBy"`, `"limit":5`, `"selector"`, `"descending"`} {
+		if !strings.Contains(fs.Query, want) {
+			t.Errorf("generated JSON missing %s:\n%s", want, fs.Query)
+		}
+	}
+	if fs.Pushed != "groupBy+sort+limit" {
+		t.Errorf("pushed marker: %s", fs.Pushed)
+	}
+}
+
+func TestPushdownRefusesUnsupportedShapes(t *testing.T) {
+	_, reg, tbl := druidFixture(t)
+	scan := plan.NewScan(tbl, "events")
+	// COUNT(DISTINCT) cannot push.
+	agg := &plan.Aggregate{
+		Input:   scan,
+		GroupBy: []plan.Rex{&plan.ColRef{Idx: 1, T: types.TString}},
+		Aggs:    []plan.AggCall{{Fn: "count", Distinct: true, Arg: &plan.ColRef{Idx: 2, T: types.TDouble}, T: types.TBigint}},
+	}
+	out := reg.PushComputation(agg)
+	if _, folded := out.(*plan.ForeignScan); folded {
+		t.Error("count distinct must not push to Druid")
+	}
+	// The scan below may still fold; the aggregate must remain local.
+	if _, isAgg := out.(*plan.Aggregate); !isAgg {
+		t.Errorf("aggregate should stay local: %T", out)
+	}
+}

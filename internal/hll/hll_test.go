@@ -1,0 +1,84 @@
+package hll
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func estimateOf(n int, offset int64) int64 {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.Add(types.NewBigint(offset + int64(i)).Hash())
+	}
+	return s.Estimate()
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 10000, 200000} {
+		got := estimateOf(n, 0)
+		errFrac := math.Abs(float64(got)-float64(n)) / float64(n)
+		if errFrac > 0.05 {
+			t.Errorf("n=%d: estimate %d off by %.1f%%", n, got, errFrac*100)
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := New()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 500; i++ {
+			s.Add(types.NewBigint(int64(i)).Hash())
+		}
+	}
+	got := s.Estimate()
+	if got < 450 || got > 550 {
+		t.Errorf("500 distinct over 10 rounds: estimate %d", got)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b, u := New(), New(), New()
+	for i := 0; i < 3000; i++ {
+		h := types.NewBigint(int64(i)).Hash()
+		a.Add(h)
+		u.Add(h)
+	}
+	for i := 2000; i < 6000; i++ { // overlaps [2000,3000)
+		h := types.NewBigint(int64(i)).Hash()
+		b.Add(h)
+		u.Add(h)
+	}
+	a.Merge(b)
+	if a.Estimate() != u.Estimate() {
+		t.Errorf("merge %d != union %d (merge must be lossless)", a.Estimate(), u.Estimate())
+	}
+	n := a.Estimate()
+	if n < 5600 || n > 6400 {
+		t.Errorf("union of 6000 distinct: estimate %d", n)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 1234; i++ {
+		s.Add(types.NewBigint(int64(i * 7)).Hash())
+	}
+	back, err := FromBytes(s.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != s.Estimate() {
+		t.Errorf("round trip changed estimate: %d vs %d", back.Estimate(), s.Estimate())
+	}
+	if _, err := FromBytes([]byte{1, 2}); err == nil {
+		t.Error("truncated sketch should fail")
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	if got := New().Estimate(); got != 0 {
+		t.Errorf("empty sketch estimate = %d", got)
+	}
+}

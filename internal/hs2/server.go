@@ -1,0 +1,241 @@
+// Package hs2 implements HiveServer2: sessions, the driver pipeline of
+// paper Figure 2 (parse → logical plan → optimize → physical plan → task
+// DAG → runtime), DML/DDL execution over the ACID layer, query
+// reoptimization (§4.2), the query results cache (§4.3), materialized view
+// maintenance (§4.4), workload management (§5.2) and federation (§6).
+//
+// Configuration profiles reproduce the paper's version comparison: profile
+// "1.2" disables the optimizations Hive 1.2 lacked and rejects the SQL
+// constructs it did not support; profile "3.1" enables everything.
+package hs2
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/federation"
+	"repro/internal/llap"
+	"repro/internal/metastore"
+	"repro/internal/mv"
+	"repro/internal/resultcache"
+	"repro/internal/types"
+	"repro/internal/wm"
+)
+
+// Config sizes an embedded warehouse.
+type Config struct {
+	FS            *dfs.FS // nil = fresh in-memory DFS
+	WarehouseRoot string  // default /warehouse
+	Executors     int     // LLAP executor pool size; default 8
+	CacheBytes    int64   // LLAP cache capacity; default 64 MiB
+}
+
+// Server is the embedded HiveServer2 plus its LLAP deployment.
+type Server struct {
+	MS        *metastore.Metastore
+	FS        *dfs.FS
+	Registry  *federation.Registry
+	Cache     *llap.Cache
+	MetaCache *llap.MetadataCache
+	Daemons   *llap.Daemons
+	Results   *resultcache.Cache
+
+	mu       sync.Mutex
+	wmgr     *wm.Manager
+	defaults map[string]string
+}
+
+// NewServer boots a warehouse.
+func NewServer(cfg Config) *Server {
+	if cfg.FS == nil {
+		cfg.FS = dfs.New()
+	}
+	if cfg.WarehouseRoot == "" {
+		cfg.WarehouseRoot = "/warehouse"
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 8
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	s := &Server{
+		MS:        metastore.New(cfg.FS, cfg.WarehouseRoot),
+		FS:        cfg.FS,
+		Registry:  federation.NewRegistry(),
+		Cache:     llap.NewCache(cfg.FS, cfg.CacheBytes),
+		MetaCache: llap.NewMetadataCache(),
+		Daemons:   llap.NewDaemons(cfg.Executors),
+		Results:   resultcache.New(256),
+		defaults: map[string]string{
+			"hive.profile":                     "3.1",
+			"hive.execution.mode":              "llap",
+			"hive.llap.enabled":                "true",
+			"hive.optimize.join.reorder":       "true",
+			"hive.optimize.semijoin":           "true",
+			"hive.optimize.sharedwork":         "true",
+			"hive.optimize.prunecols":          "true",
+			"hive.materializedview.rewriting":  "true",
+			"hive.query.results.cache.enabled": "true",
+			"hive.container.launch.ms":         "3",
+			"hive.exec.memory.limit.rows":      "0",
+			"hive.query.reexecution.enabled":   "true",
+			"hive.query.reexecution.strategy":  "overlay",
+		},
+	}
+	return s
+}
+
+// WorkloadManager returns the active workload manager, if a resource plan
+// has been activated.
+func (s *Server) WorkloadManager() *wm.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wmgr
+}
+
+// Session is one client connection with its own configuration overlay.
+type Session struct {
+	srv         *Server
+	db          string
+	conf        map[string]string
+	User        string
+	Application string
+	// LastRewriteUsedMV reports whether the previous query was answered
+	// from a materialized view (observability for tests and examples).
+	LastRewriteUsedMV bool
+	// LastCacheHit reports whether the previous query came from the
+	// results cache.
+	LastCacheHit bool
+	// LastPlan is the EXPLAIN rendering of the previous query's plan.
+	LastPlan string
+	// Reexecutions counts reoptimization retries in this session.
+	Reexecutions int
+}
+
+// NewSession opens a session in the default database.
+func (s *Server) NewSession() *Session {
+	return &Session{srv: s, db: "default", conf: map[string]string{}}
+}
+
+// Conf reads a configuration key (session overlay over server defaults).
+func (s *Session) Conf(key string) string {
+	if v, ok := s.conf[key]; ok {
+		return v
+	}
+	s.srv.mu.Lock()
+	defer s.srv.mu.Unlock()
+	return s.srv.defaults[key]
+}
+
+func (s *Session) confBool(key string) bool {
+	v := strings.ToLower(s.Conf(key))
+	return v == "true" || v == "1"
+}
+
+func (s *Session) confInt(key string) int64 {
+	n, _ := strconv.ParseInt(s.Conf(key), 10, 64)
+	return n
+}
+
+// v12 reports whether the session emulates Hive 1.2 (paper §7.1 baseline).
+func (s *Session) v12() bool { return s.Conf("hive.profile") == "1.2" }
+
+// SetConf sets a session configuration key.
+func (s *Session) SetConf(key, value string) {
+	key = strings.ToLower(key)
+	s.conf[key] = value
+	if key == "hive.profile" && value == "1.2" {
+		// Hive 1.2: Tez containers without LLAP, no CBO join reordering,
+		// no shared work, no semijoin reduction, no result cache, no MVs.
+		for k, v := range map[string]string{
+			"hive.execution.mode":              "container",
+			"hive.llap.enabled":                "false",
+			"hive.optimize.join.reorder":       "false",
+			"hive.optimize.semijoin":           "false",
+			"hive.optimize.sharedwork":         "false",
+			"hive.materializedview.rewriting":  "false",
+			"hive.query.results.cache.enabled": "false",
+		} {
+			s.conf[k] = v
+		}
+	}
+	if key == "hive.profile" && value == "3.1" {
+		for _, k := range []string{
+			"hive.execution.mode", "hive.llap.enabled",
+			"hive.optimize.join.reorder", "hive.optimize.semijoin",
+			"hive.optimize.sharedwork", "hive.materializedview.rewriting",
+			"hive.query.results.cache.enabled",
+		} {
+			delete(s.conf, k)
+		}
+	}
+}
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    [][]types.Datum
+}
+
+// String renders the result as pipe-separated lines.
+func (r *Result) String() string {
+	var b strings.Builder
+	for i, row := range r.Rows {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		for j, d := range row {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(d.String())
+		}
+	}
+	return b.String()
+}
+
+// mvRewriter builds the rewriter bound to this session's analyzer.
+func (s *Session) mvRewriter() *mv.Rewriter {
+	return &mv.Rewriter{
+		MS: s.srv.MS,
+		AnalyzeView: func(viewSQL, db string) (p planRel, err error) {
+			return s.analyzeSQL(viewSQL, db)
+		},
+	}
+}
+
+// admission acquires workload-manager resources when a plan is active.
+func (s *Session) admission() (release func(), pool string, err error) {
+	mgr := s.srv.WorkloadManager()
+	if mgr == nil {
+		return func() {}, "", nil
+	}
+	pool = mgr.PoolFor(s.User, s.Application)
+	if pool == "" {
+		return func() {}, "", nil
+	}
+	adm, err := mgr.Admit(pool)
+	if err != nil {
+		return nil, "", err
+	}
+	return adm.Release, pool, nil
+}
+
+// checkTriggers evaluates workload triggers after execution; a KILL
+// trigger turns into an error, reproducing §5.2 semantics.
+func (s *Session) checkTriggers(pool string, elapsed time.Duration) error {
+	mgr := s.srv.WorkloadManager()
+	if mgr == nil || pool == "" {
+		return nil
+	}
+	action, _ := mgr.Evaluate(pool, wm.QueryMetrics{TotalRuntimeMS: elapsed.Milliseconds()})
+	if action == wm.ActionKill {
+		return fmt.Errorf("hs2: query killed by workload manager trigger in pool %s", pool)
+	}
+	return nil
+}

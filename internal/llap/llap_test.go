@@ -1,0 +1,134 @@
+package llap
+
+import (
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/types"
+)
+
+func TestCacheHitAvoidsFS(t *testing.T) {
+	fs := dfs.New()
+	fs.WriteFile("/f", make([]byte, 4096))
+	c := NewCache(fs, 1<<20)
+	if _, err := c.ReadChunk("/f", 1, 0, 0, 0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	if _, err := c.ReadChunk("/f", 1, 0, 0, 0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.IOStats().ReadOps; got != 0 {
+		t.Errorf("cache hit touched the fs: %d reads", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestCacheKeyIncludesFileID(t *testing.T) {
+	fs := dfs.New()
+	fs.WriteFile("/f", []byte("old content padding pad"))
+	c := NewCache(fs, 1<<20)
+	c.ReadChunk("/f", 1, 0, 0, 0, 3)
+	// A new file generation (new FileID) must not see the old bytes: the
+	// MVCC property of §5.1.
+	fs.Remove("/f", false)
+	fs.WriteFile("/f", []byte("NEW content padding pad"))
+	got, err := c.ReadChunk("/f", 2, 0, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "NEW" {
+		t.Errorf("stale cache served for new file generation: %q", got)
+	}
+}
+
+func TestCacheEvictionRespectsCapacity(t *testing.T) {
+	fs := dfs.New()
+	fs.WriteFile("/f", make([]byte, 1<<16))
+	c := NewCache(fs, 4096) // room for 4 x 1 KiB chunks
+	for i := 0; i < 10; i++ {
+		if _, err := c.ReadChunk("/f", 1, i, 0, int64(i*1024), 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.UsedBytes > 4096 {
+		t.Errorf("cache exceeded capacity: %d", st.UsedBytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("expected evictions")
+	}
+}
+
+func TestCacheLRFUPrefersFrequent(t *testing.T) {
+	fs := dfs.New()
+	fs.WriteFile("/f", make([]byte, 1<<16))
+	c := NewCache(fs, 2048)
+	// Chunk A accessed many times, B once, then C forces an eviction.
+	for i := 0; i < 8; i++ {
+		c.ReadChunk("/f", 1, 0, 0, 0, 1024)
+	}
+	c.ReadChunk("/f", 1, 1, 0, 1024, 1024)
+	c.ReadChunk("/f", 1, 2, 0, 2048, 1024) // evicts one of A/B
+	fs.ResetStats()
+	c.ReadChunk("/f", 1, 0, 0, 0, 1024) // A should still be cached
+	if fs.IOStats().ReadOps != 0 {
+		t.Error("frequently used chunk was evicted before the cold one")
+	}
+}
+
+func TestMetadataCache(t *testing.T) {
+	fs := dfs.New()
+	w := orc.NewWriter(fs, "/t/f", []orc.Column{{Name: "x", Type: types.TInt}}, orc.WriterOptions{})
+	w.WriteRow([]types.Datum{types.NewInt(1)})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMetadataCache()
+	r1, err := mc.Reader(fs, "/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mc.Reader(fs, "/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 || mc.Hits() != 1 {
+		t.Error("metadata cache did not reuse the reader")
+	}
+	// Replacing the file invalidates by FileID.
+	fs.Remove("/t/f", false)
+	w = orc.NewWriter(fs, "/t/f", []orc.Column{{Name: "x", Type: types.TInt}}, orc.WriterOptions{})
+	w.WriteRow([]types.Datum{types.NewInt(2)})
+	w.Close()
+	r3, err := mc.Reader(fs, "/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("metadata cache served a stale reader for a new generation")
+	}
+}
+
+func TestDaemonsPool(t *testing.T) {
+	d := NewDaemons(4)
+	rel := d.Acquire(3)
+	if _, ok := d.TryAcquire(2); ok {
+		t.Error("over-acquisition should fail")
+	}
+	if r2, ok := d.TryAcquire(1); !ok {
+		t.Error("one slot should remain")
+	} else {
+		r2()
+	}
+	rel()
+	if r, ok := d.TryAcquire(4); !ok {
+		t.Error("all slots should be free again")
+	} else {
+		r()
+	}
+}

@@ -1,0 +1,465 @@
+// Package metastore implements the Hive Metastore (HMS): the catalog of
+// every data source queryable by the warehouse (paper §2). It stores
+// databases, tables, partitions, integrity constraints, additive column
+// statistics (with HyperLogLog NDV sketches, §4.1), materialized view
+// metadata (§4.4), workload-management resource plans (§5.2), and composes
+// the transaction manager (§3.2).
+//
+// Hive persists HMS state in an RDBMS via DataNucleus; here state is
+// persisted as JSON into the warehouse file system, which plays the same
+// role (durable, external to query execution).
+package metastore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dfs"
+	"repro/internal/hll"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Column is a named, typed column.
+type Column struct {
+	Name string
+	Type types.T
+}
+
+// ForeignKey declares a referential constraint used by the optimizer's
+// constraint-based transformations (paper §4.1, §4.4).
+type ForeignKey struct {
+	Cols     []string
+	RefTable string // "db.table"
+	RefCols  []string
+}
+
+// Constraints carries the declared integrity constraints of a table.
+// They are informational (not enforced on write), exactly as in Hive where
+// the optimizer exploits RELY NOVALIDATE constraints.
+type Constraints struct {
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+	UniqueKeys  [][]string
+	NotNull     []string
+}
+
+// Table is the catalog entry for a table or materialized view.
+type Table struct {
+	DB       string
+	Name     string
+	Cols     []Column
+	PartKeys []Column
+	Location string
+	// Props are TBLPROPERTIES key-value pairs; materialized views use
+	// them e.g. for the allowed staleness window (paper §4.4).
+	Props map[string]string
+	// StorageHandler names the external system backing the table
+	// (paper §6.1); empty means native ACID ORC storage.
+	StorageHandler string
+	External       bool
+	Constraints    Constraints
+
+	// Materialized view fields (paper §4.4).
+	IsMaterializedView bool
+	ViewSQL            string
+	RewriteEnabled     bool
+	// SnapshotWriteIds records, per source table, the WriteId high
+	// watermark the view contents reflect; incremental rebuild and
+	// staleness checks compare these against current table state.
+	SnapshotWriteIds map[string]int64
+
+	Partitions map[string]*Partition
+}
+
+// FullName returns "db.name".
+func (t *Table) FullName() string { return t.DB + "." + t.Name }
+
+// Col returns the position of a named column, or -1.
+func (t *Table) Col(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsPartKey reports whether name is a partition column.
+func (t *Table) IsPartKey(name string) bool {
+	for _, c := range t.PartKeys {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Partition is one horizontal slice of a partitioned table, stored in its
+// own directory (paper §3.1, Figure 3).
+type Partition struct {
+	Values   []string // one per partition key, rendered as strings
+	Location string
+}
+
+// Spec renders the canonical partition spec, e.g. "sold_date_sk=5".
+func PartitionSpec(keys []Column, values []string) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.Name + "=" + values[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// ColStats are per-column statistics. They are additive: merging the stats
+// of two row sets yields the stats of their union (paper §4.1).
+type ColStats struct {
+	Min       *types.Datum
+	Max       *types.Datum
+	NullCount int64
+	NDV       *hll.Sketch
+}
+
+// Merge folds other into s.
+func (s *ColStats) Merge(other *ColStats) {
+	if other == nil {
+		return
+	}
+	if s.Min == nil || (other.Min != nil && other.Min.Compare(*s.Min) < 0) {
+		s.Min = other.Min
+	}
+	if s.Max == nil || (other.Max != nil && other.Max.Compare(*s.Max) > 0) {
+		s.Max = other.Max
+	}
+	s.NullCount += other.NullCount
+	if other.NDV != nil {
+		if s.NDV == nil {
+			s.NDV = hll.New()
+		}
+		s.NDV.Merge(other.NDV)
+	}
+}
+
+// NDVEstimate returns the estimated distinct count, 0 when unknown.
+func (s *ColStats) NDVEstimate() int64 {
+	if s == nil || s.NDV == nil {
+		return 0
+	}
+	return s.NDV.Estimate()
+}
+
+// TableStats aggregates table cardinality and column statistics.
+type TableStats struct {
+	RowCount int64
+	Cols     map[string]*ColStats
+}
+
+// Merge folds other into s additively.
+func (s *TableStats) Merge(other *TableStats) {
+	if other == nil {
+		return
+	}
+	s.RowCount += other.RowCount
+	if s.Cols == nil {
+		s.Cols = make(map[string]*ColStats)
+	}
+	for name, cs := range other.Cols {
+		if mine, ok := s.Cols[name]; ok {
+			mine.Merge(cs)
+		} else {
+			cp := *cs
+			s.Cols[name] = &cp
+		}
+	}
+}
+
+// Hook receives notifications for metastore events on tables backed by a
+// given storage handler (paper §6.1's "Metastore hook").
+type Hook interface {
+	OnCreateTable(t *Table) error
+	OnDropTable(t *Table) error
+}
+
+// Metastore is the in-process HMS.
+type Metastore struct {
+	mu    sync.RWMutex
+	fs    *dfs.FS
+	root  string
+	dbs   map[string]map[string]*Table
+	stats map[string]*TableStats
+	hooks map[string]Hook
+	plans map[string]*ResourcePlan
+	txns  *txn.Manager
+}
+
+// New creates a metastore over the given file system with the given
+// warehouse root directory (e.g. "/warehouse").
+func New(fs *dfs.FS, root string) *Metastore {
+	fs.MkdirAll(root)
+	m := &Metastore{
+		fs:    fs,
+		root:  root,
+		dbs:   map[string]map[string]*Table{"default": {}},
+		stats: make(map[string]*TableStats),
+		hooks: make(map[string]Hook),
+		plans: make(map[string]*ResourcePlan),
+		txns:  txn.NewManager(),
+	}
+	return m
+}
+
+// Txns returns the transaction manager built on this metastore.
+func (m *Metastore) Txns() *txn.Manager { return m.txns }
+
+// FS returns the warehouse file system.
+func (m *Metastore) FS() *dfs.FS { return m.fs }
+
+// Root returns the warehouse root directory.
+func (m *Metastore) Root() string { return m.root }
+
+// RegisterHook installs a storage-handler hook under the handler name.
+func (m *Metastore) RegisterHook(handler string, h Hook) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hooks[handler] = h
+}
+
+// CreateDatabase adds a database.
+func (m *Metastore) CreateDatabase(name string) error {
+	name = strings.ToLower(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dbs[name]; ok {
+		return fmt.Errorf("metastore: database %s already exists", name)
+	}
+	m.dbs[name] = map[string]*Table{}
+	m.fs.MkdirAll(m.root + "/" + name + ".db")
+	return nil
+}
+
+// Databases lists database names.
+func (m *Metastore) Databases() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.dbs))
+	for name := range m.dbs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateTable registers a table. When Location is empty a canonical
+// warehouse path is assigned. Fires the storage handler hook, if any.
+func (m *Metastore) CreateTable(t *Table) error {
+	t.DB = strings.ToLower(t.DB)
+	t.Name = strings.ToLower(t.Name)
+	m.mu.Lock()
+	tables, ok := m.dbs[t.DB]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("metastore: no such database %s", t.DB)
+	}
+	if _, ok := tables[t.Name]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("metastore: table %s.%s already exists", t.DB, t.Name)
+	}
+	if t.Location == "" {
+		t.Location = m.root + "/" + t.DB + ".db/" + t.Name
+	}
+	if t.Props == nil {
+		t.Props = map[string]string{}
+	}
+	if t.Partitions == nil {
+		t.Partitions = map[string]*Partition{}
+	}
+	seen := map[string]bool{}
+	for _, c := range append(append([]Column{}, t.Cols...), t.PartKeys...) {
+		if seen[c.Name] {
+			m.mu.Unlock()
+			return fmt.Errorf("metastore: duplicate column %s in %s", c.Name, t.Name)
+		}
+		seen[c.Name] = true
+	}
+	tables[t.Name] = t
+	m.fs.MkdirAll(t.Location)
+	hook := m.hooks[t.StorageHandler]
+	m.mu.Unlock()
+	if hook != nil {
+		if err := hook.OnCreateTable(t); err != nil {
+			m.mu.Lock()
+			delete(tables, t.Name)
+			m.mu.Unlock()
+			return fmt.Errorf("metastore: storage handler rejected create: %v", err)
+		}
+	}
+	return nil
+}
+
+// GetTable fetches a table by database and name.
+func (m *Metastore) GetTable(db, name string) (*Table, error) {
+	db, name = strings.ToLower(db), strings.ToLower(name)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	tables, ok := m.dbs[db]
+	if !ok {
+		return nil, fmt.Errorf("metastore: no such database %s", db)
+	}
+	t, ok := tables[name]
+	if !ok {
+		return nil, fmt.Errorf("metastore: no such table %s.%s", db, name)
+	}
+	return t, nil
+}
+
+// Tables lists table names in a database.
+func (m *Metastore) Tables(db string) ([]string, error) {
+	db = strings.ToLower(db)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	tables, ok := m.dbs[db]
+	if !ok {
+		return nil, fmt.Errorf("metastore: no such database %s", db)
+	}
+	out := make([]string, 0, len(tables))
+	for name := range tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DropTable removes a table and (for managed tables) its data, firing the
+// storage handler hook.
+func (m *Metastore) DropTable(db, name string) error {
+	db, name = strings.ToLower(db), strings.ToLower(name)
+	m.mu.Lock()
+	tables, ok := m.dbs[db]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("metastore: no such database %s", db)
+	}
+	t, ok := tables[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("metastore: no such table %s.%s", db, name)
+	}
+	delete(tables, name)
+	delete(m.stats, t.FullName())
+	hook := m.hooks[t.StorageHandler]
+	m.mu.Unlock()
+	if !t.External && m.fs.Exists(t.Location) {
+		if err := m.fs.Remove(t.Location, true); err != nil {
+			return err
+		}
+	}
+	if hook != nil {
+		return hook.OnDropTable(t)
+	}
+	return nil
+}
+
+// AddPartition registers (idempotently) a partition with the given key
+// values and creates its directory.
+func (m *Metastore) AddPartition(db, name string, values []string) (*Partition, error) {
+	t, err := m.GetTable(db, name)
+	if err != nil {
+		return nil, err
+	}
+	if len(values) != len(t.PartKeys) {
+		return nil, fmt.Errorf("metastore: %s has %d partition keys, got %d values", t.FullName(), len(t.PartKeys), len(values))
+	}
+	spec := PartitionSpec(t.PartKeys, values)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := t.Partitions[spec]; ok {
+		return p, nil
+	}
+	p := &Partition{Values: values, Location: t.Location + "/" + spec}
+	t.Partitions[spec] = p
+	m.fs.MkdirAll(p.Location)
+	return p, nil
+}
+
+// PartitionsOf returns all partitions sorted by spec.
+func (m *Metastore) PartitionsOf(t *Table) []*Partition {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	specs := make([]string, 0, len(t.Partitions))
+	for s := range t.Partitions {
+		specs = append(specs, s)
+	}
+	sort.Strings(specs)
+	out := make([]*Partition, len(specs))
+	for i, s := range specs {
+		out[i] = t.Partitions[s]
+	}
+	return out
+}
+
+// DropPartition removes one partition and its data.
+func (m *Metastore) DropPartition(db, name string, values []string) error {
+	t, err := m.GetTable(db, name)
+	if err != nil {
+		return err
+	}
+	spec := PartitionSpec(t.PartKeys, values)
+	m.mu.Lock()
+	p, ok := t.Partitions[spec]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("metastore: no such partition %s of %s", spec, t.FullName())
+	}
+	delete(t.Partitions, spec)
+	m.mu.Unlock()
+	if m.fs.Exists(p.Location) {
+		return m.fs.Remove(p.Location, true)
+	}
+	return nil
+}
+
+// MergeStats folds delta statistics into the table's stats additively
+// (paper §4.1: inserts and partitions add onto existing statistics).
+func (m *Metastore) MergeStats(fullName string, delta *TableStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.stats[fullName]
+	if !ok {
+		cur = &TableStats{Cols: map[string]*ColStats{}}
+		m.stats[fullName] = cur
+	}
+	cur.Merge(delta)
+}
+
+// SetStats replaces the table's statistics (used by ANALYZE-style full
+// recomputation and by tests).
+func (m *Metastore) SetStats(fullName string, s *TableStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats[fullName] = s
+}
+
+// Stats returns the stats for a table, or nil when none are recorded.
+func (m *Metastore) Stats(fullName string) *TableStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats[fullName]
+}
+
+// MaterializedViews returns every MV with rewriting enabled.
+func (m *Metastore) MaterializedViews() []*Table {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []*Table
+	for _, tables := range m.dbs {
+		for _, t := range tables {
+			if t.IsMaterializedView {
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}

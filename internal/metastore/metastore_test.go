@@ -1,0 +1,293 @@
+package metastore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/hll"
+	"repro/internal/types"
+)
+
+func newTestMS() *Metastore {
+	return New(dfs.New(), "/warehouse")
+}
+
+func storeSales() *Table {
+	return &Table{
+		DB:   "default",
+		Name: "store_sales",
+		Cols: []Column{
+			{Name: "item_sk", Type: types.TBigint},
+			{Name: "customer_sk", Type: types.TBigint},
+			{Name: "quantity", Type: types.TInt},
+			{Name: "sales_price", Type: types.TDecimal(7, 2)},
+		},
+		PartKeys: []Column{{Name: "sold_date_sk", Type: types.TInt}},
+	}
+}
+
+func TestCreateGetDropTable(t *testing.T) {
+	ms := newTestMS()
+	if err := ms.CreateTable(storeSales()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ms.GetTable("DEFAULT", "STORE_SALES") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Location != "/warehouse/default.db/store_sales" {
+		t.Errorf("location = %s", got.Location)
+	}
+	if !ms.FS().Exists(got.Location) {
+		t.Error("table directory not created")
+	}
+	if err := ms.CreateTable(storeSales()); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if err := ms.DropTable("default", "store_sales"); err != nil {
+		t.Fatal(err)
+	}
+	if ms.FS().Exists(got.Location) {
+		t.Error("managed table data should be removed on drop")
+	}
+	if _, err := ms.GetTable("default", "store_sales"); err == nil {
+		t.Error("dropped table still visible")
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	ms := newTestMS()
+	bad := storeSales()
+	bad.PartKeys = []Column{{Name: "item_sk", Type: types.TInt}}
+	if err := ms.CreateTable(bad); err == nil {
+		t.Error("partition key duplicating a column should be rejected")
+	}
+}
+
+func TestDatabases(t *testing.T) {
+	ms := newTestMS()
+	if err := ms.CreateDatabase("tpcds"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.CreateDatabase("tpcds"); err == nil {
+		t.Error("duplicate database should fail")
+	}
+	tbl := storeSales()
+	tbl.DB = "tpcds"
+	if err := ms.CreateTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ms.Tables("tpcds")
+	if err != nil || len(names) != 1 || names[0] != "store_sales" {
+		t.Errorf("Tables = %v, %v", names, err)
+	}
+	if err := ms.CreateTable(&Table{DB: "nope", Name: "x"}); err == nil {
+		t.Error("create in missing db should fail")
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	ms := newTestMS()
+	ms.CreateTable(storeSales())
+	tbl, _ := ms.GetTable("default", "store_sales")
+	p, err := ms.AddPartition("default", "store_sales", []string{"1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Location != tbl.Location+"/sold_date_sk=1" {
+		t.Errorf("partition location = %s", p.Location)
+	}
+	if !ms.FS().Exists(p.Location) {
+		t.Error("partition dir missing")
+	}
+	// Idempotent.
+	p2, _ := ms.AddPartition("default", "store_sales", []string{"1"})
+	if p2 != p {
+		t.Error("AddPartition should be idempotent")
+	}
+	ms.AddPartition("default", "store_sales", []string{"2"})
+	parts := ms.PartitionsOf(tbl)
+	if len(parts) != 2 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	if _, err := ms.AddPartition("default", "store_sales", []string{"1", "2"}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := ms.DropPartition("default", "store_sales", []string{"1"}); err != nil {
+		t.Fatal(err)
+	}
+	if ms.FS().Exists(p.Location) {
+		t.Error("dropped partition dir should be removed")
+	}
+}
+
+func TestStatsAdditiveMerge(t *testing.T) {
+	ms := newTestMS()
+	mk := func(lo, hi int64, n int) *TableStats {
+		cs := &ColStats{NDV: hll.New()}
+		for i := lo; i <= hi; i++ {
+			d := types.NewBigint(i)
+			cs.NDV.Add(d.Hash())
+		}
+		lod, hid := types.NewBigint(lo), types.NewBigint(hi)
+		cs.Min, cs.Max = &lod, &hid
+		return &TableStats{RowCount: int64(n), Cols: map[string]*ColStats{"k": cs}}
+	}
+	ms.MergeStats("default.t", mk(0, 999, 1000))
+	ms.MergeStats("default.t", mk(500, 1499, 1000))
+	got := ms.Stats("default.t")
+	if got.RowCount != 2000 {
+		t.Errorf("rowcount = %d", got.RowCount)
+	}
+	cs := got.Cols["k"]
+	if cs.Min.I != 0 || cs.Max.I != 1499 {
+		t.Errorf("min/max = %v/%v", cs.Min, cs.Max)
+	}
+	ndv := cs.NDVEstimate()
+	if ndv < 1400 || ndv > 1600 {
+		t.Errorf("merged NDV = %d, want ~1500 (lossless merge)", ndv)
+	}
+}
+
+type recordingHook struct{ created, dropped []string }
+
+func (h *recordingHook) OnCreateTable(t *Table) error {
+	h.created = append(h.created, t.FullName())
+	return nil
+}
+func (h *recordingHook) OnDropTable(t *Table) error {
+	h.dropped = append(h.dropped, t.FullName())
+	return nil
+}
+
+func TestStorageHandlerHooks(t *testing.T) {
+	ms := newTestMS()
+	h := &recordingHook{}
+	ms.RegisterHook("druid", h)
+	tbl := &Table{DB: "default", Name: "d1", StorageHandler: "druid", External: true}
+	if err := ms.CreateTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.DropTable("default", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.created) != 1 || len(h.dropped) != 1 {
+		t.Errorf("hook calls: %v %v", h.created, h.dropped)
+	}
+}
+
+type rejectingHook struct{}
+
+func (rejectingHook) OnCreateTable(*Table) error { return fmt.Errorf("no") }
+func (rejectingHook) OnDropTable(*Table) error   { return nil }
+
+func TestHookRejectionRollsBack(t *testing.T) {
+	ms := newTestMS()
+	ms.RegisterHook("bad", rejectingHook{})
+	err := ms.CreateTable(&Table{DB: "default", Name: "x", StorageHandler: "bad"})
+	if err == nil {
+		t.Fatal("create should fail when hook rejects")
+	}
+	if _, err := ms.GetTable("default", "x"); err == nil {
+		t.Error("rejected table should not remain registered")
+	}
+}
+
+func TestResourcePlans(t *testing.T) {
+	ms := newTestMS()
+	if _, err := ms.CreateResourcePlan("daytime"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.AddPool("daytime", Pool{Name: "bi", AllocFraction: 0.8, QueryParallelism: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.AddPool("daytime", Pool{Name: "etl", AllocFraction: 0.2, QueryParallelism: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.AddPool("daytime", Pool{Name: "over", AllocFraction: 0.5, QueryParallelism: 1}); err == nil {
+		t.Error("over-allocation should fail")
+	}
+	if err := ms.AddTrigger("daytime", Trigger{
+		Name: "downgrade", Metric: "total_runtime", Threshold: 3000,
+		Action: ActionMoveToPool, TargetPool: "etl", Pools: []string{"bi"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.AddMapping("daytime", Mapping{Kind: "application", Name: "visualization_app", Pool: "bi"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.SetDefaultPool("daytime", "etl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.ActivateResourcePlan("daytime"); err != nil {
+		t.Fatal(err)
+	}
+	if ms.ActiveResourcePlan().Name != "daytime" {
+		t.Error("plan not active")
+	}
+	// Activating another plan deactivates the first.
+	ms.CreateResourcePlan("nighttime")
+	ms.AddPool("nighttime", Pool{Name: "all", AllocFraction: 1, QueryParallelism: 10})
+	ms.ActivateResourcePlan("nighttime")
+	if ms.ActiveResourcePlan().Name != "nighttime" {
+		t.Error("second plan should now be active")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	fs := dfs.New()
+	ms := New(fs, "/warehouse")
+	ms.CreateDatabase("tpcds")
+	tbl := storeSales()
+	tbl.DB = "tpcds"
+	tbl.Constraints.PrimaryKey = []string{"item_sk"}
+	ms.CreateTable(tbl)
+	ms.AddPartition("tpcds", "store_sales", []string{"7"})
+	cs := &ColStats{NDV: hll.New()}
+	for i := 0; i < 500; i++ {
+		cs.NDV.Add(types.NewBigint(int64(i)).Hash())
+	}
+	ms.MergeStats("tpcds.store_sales", &TableStats{RowCount: 500, Cols: map[string]*ColStats{"item_sk": cs}})
+	ms.CreateResourcePlan("p")
+	ms.AddPool("p", Pool{Name: "q", AllocFraction: 1, QueryParallelism: 3})
+	if err := ms.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	ms2 := New(fs, "/warehouse")
+	ok, err := ms2.Load()
+	if !ok || err != nil {
+		t.Fatalf("load: %v %v", ok, err)
+	}
+	got, err := ms2.GetTable("tpcds", "store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cols) != 4 || got.Cols[3].Type.String() != "DECIMAL(7,2)" {
+		t.Errorf("schema lost: %+v", got.Cols)
+	}
+	if got.Constraints.PrimaryKey[0] != "item_sk" {
+		t.Error("constraints lost")
+	}
+	if len(got.Partitions) != 1 {
+		t.Error("partitions lost")
+	}
+	st := ms2.Stats("tpcds.store_sales")
+	if st == nil || st.RowCount != 500 {
+		t.Fatalf("stats lost: %+v", st)
+	}
+	ndv := st.Cols["item_sk"].NDVEstimate()
+	if ndv < 450 || ndv > 550 {
+		t.Errorf("NDV sketch lost precision: %d", ndv)
+	}
+	if _, err := ms2.GetResourcePlan("p"); err != nil {
+		t.Error("resource plan lost")
+	}
+
+	// Fresh metastore on empty fs: Load reports not found.
+	ms3 := New(dfs.New(), "/warehouse")
+	if ok, _ := ms3.Load(); ok {
+		t.Error("load on empty fs should report absence")
+	}
+}

@@ -1,0 +1,113 @@
+package metastore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/hll"
+	"repro/internal/types"
+)
+
+// Persistence: Hive's HMS stores its state in an RDBMS. Here the catalog is
+// serialized as JSON into the warehouse file system at <root>/_hms/catalog,
+// versioned by generation so the write-once file system can be used as the
+// durable store.
+
+type persistedColStats struct {
+	Min, Max  *types.Datum
+	NullCount int64
+	NDV       []byte
+}
+
+type persistedTableStats struct {
+	RowCount int64
+	Cols     map[string]persistedColStats
+}
+
+type persistedCatalog struct {
+	Generation int64
+	DBs        map[string]map[string]*Table
+	Stats      map[string]persistedTableStats
+	Plans      map[string]*ResourcePlan
+}
+
+// Save persists the full catalog. Each save writes a new generation file;
+// Load reads the highest generation.
+func (m *Metastore) Save() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pc := persistedCatalog{
+		DBs:   m.dbs,
+		Stats: map[string]persistedTableStats{},
+		Plans: m.plans,
+	}
+	for name, ts := range m.stats {
+		pts := persistedTableStats{RowCount: ts.RowCount, Cols: map[string]persistedColStats{}}
+		for col, cs := range ts.Cols {
+			p := persistedColStats{Min: cs.Min, Max: cs.Max, NullCount: cs.NullCount}
+			if cs.NDV != nil {
+				p.NDV = cs.NDV.Bytes()
+			}
+			pts.Cols[col] = p
+		}
+		pc.Stats[name] = pts
+	}
+	dir := m.root + "/_hms"
+	m.fs.MkdirAll(dir)
+	gen := int64(1)
+	if infos, err := m.fs.List(dir); err == nil {
+		gen = int64(len(infos)) + 1
+	}
+	pc.Generation = gen
+	data, err := json.Marshal(pc)
+	if err != nil {
+		return fmt.Errorf("metastore: marshal catalog: %v", err)
+	}
+	return m.fs.WriteFile(fmt.Sprintf("%s/catalog_%08d.json", dir, gen), data)
+}
+
+// Load restores the newest persisted catalog generation, replacing
+// in-memory state. Returns false when no catalog has been saved.
+func (m *Metastore) Load() (bool, error) {
+	dir := m.root + "/_hms"
+	infos, err := m.fs.List(dir)
+	if err != nil || len(infos) == 0 {
+		return false, nil
+	}
+	latest := infos[len(infos)-1].Path
+	data, err := m.fs.ReadFile(latest)
+	if err != nil {
+		return false, err
+	}
+	var pc persistedCatalog
+	if err := json.Unmarshal(data, &pc); err != nil {
+		return false, fmt.Errorf("metastore: corrupt catalog %s: %v", latest, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dbs = pc.DBs
+	if m.dbs == nil {
+		m.dbs = map[string]map[string]*Table{"default": {}}
+	}
+	m.plans = pc.Plans
+	if m.plans == nil {
+		m.plans = map[string]*ResourcePlan{}
+	}
+	m.stats = map[string]*TableStats{}
+	for name, pts := range pc.Stats {
+		ts := &TableStats{RowCount: pts.RowCount, Cols: map[string]*ColStats{}}
+		for col, p := range pts.Cols {
+			cs := &ColStats{Min: p.Min, Max: p.Max, NullCount: p.NullCount}
+			if len(p.NDV) > 0 {
+				sk, err := hll.FromBytes(p.NDV)
+				if err != nil {
+					return false, fmt.Errorf("metastore: corrupt NDV sketch for %s.%s: %v", name, col, err)
+				}
+				cs.NDV = sk
+			}
+			ts.Cols[col] = cs
+		}
+		m.stats[name] = ts
+	}
+	return true, nil
+}

@@ -1,0 +1,200 @@
+package metastore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TriggerAction is what a workload-management trigger does when it fires.
+type TriggerAction uint8
+
+// Trigger actions (paper §5.2).
+const (
+	ActionMoveToPool TriggerAction = iota
+	ActionKill
+)
+
+// Trigger initiates an action based on runtime query metrics, e.g.
+// "WHEN total_runtime > 3000 THEN MOVE etl".
+type Trigger struct {
+	Name       string
+	Metric     string // e.g. "total_runtime" (milliseconds), "shuffle_bytes"
+	Threshold  int64
+	Action     TriggerAction
+	TargetPool string // for ActionMoveToPool
+	Pools      []string
+}
+
+// Pool is a share of cluster resources with a concurrency cap.
+type Pool struct {
+	Name             string
+	AllocFraction    float64
+	QueryParallelism int
+}
+
+// Mapping routes incoming queries to pools by user, group or application.
+type Mapping struct {
+	Kind string // "user", "group", "application"
+	Name string
+	Pool string
+}
+
+// ResourcePlan is a self-contained resource-sharing configuration
+// (paper §5.2). HMS persists resource plans; only one is active at a time.
+type ResourcePlan struct {
+	Name        string
+	Pools       map[string]*Pool
+	Mappings    []Mapping
+	Triggers    []Trigger
+	DefaultPool string
+	Enabled     bool
+	Active      bool
+}
+
+// CreateResourcePlan registers a new, disabled resource plan.
+func (m *Metastore) CreateResourcePlan(name string) (*ResourcePlan, error) {
+	name = strings.ToLower(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.plans[name]; ok {
+		return nil, fmt.Errorf("metastore: resource plan %s already exists", name)
+	}
+	p := &ResourcePlan{Name: name, Pools: map[string]*Pool{}}
+	m.plans[name] = p
+	return p, nil
+}
+
+// GetResourcePlan fetches a plan by name.
+func (m *Metastore) GetResourcePlan(name string) (*ResourcePlan, error) {
+	name = strings.ToLower(name)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	p, ok := m.plans[name]
+	if !ok {
+		return nil, fmt.Errorf("metastore: no such resource plan %s", name)
+	}
+	return p, nil
+}
+
+// AddPool adds a pool to a plan.
+func (m *Metastore) AddPool(plan string, pool Pool) error {
+	p, err := m.GetResourcePlan(plan)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if pool.QueryParallelism <= 0 {
+		return fmt.Errorf("metastore: pool %s needs positive query_parallelism", pool.Name)
+	}
+	total := pool.AllocFraction
+	for _, existing := range p.Pools {
+		total += existing.AllocFraction
+	}
+	if total > 1.0+1e-9 {
+		return fmt.Errorf("metastore: plan %s pools exceed 100%% allocation", plan)
+	}
+	p.Pools[pool.Name] = &pool
+	return nil
+}
+
+// AddTrigger attaches a trigger to one or more pools of a plan.
+func (m *Metastore) AddTrigger(plan string, tr Trigger) error {
+	p, err := m.GetResourcePlan(plan)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, pool := range tr.Pools {
+		if _, ok := p.Pools[pool]; !ok {
+			return fmt.Errorf("metastore: plan %s has no pool %s", plan, pool)
+		}
+	}
+	if tr.Action == ActionMoveToPool {
+		if _, ok := p.Pools[tr.TargetPool]; !ok {
+			return fmt.Errorf("metastore: plan %s has no target pool %s", plan, tr.TargetPool)
+		}
+	}
+	p.Triggers = append(p.Triggers, tr)
+	return nil
+}
+
+// AddMapping routes an application/user/group to a pool.
+func (m *Metastore) AddMapping(plan string, mp Mapping) error {
+	p, err := m.GetResourcePlan(plan)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := p.Pools[mp.Pool]; !ok {
+		return fmt.Errorf("metastore: plan %s has no pool %s", plan, mp.Pool)
+	}
+	p.Mappings = append(p.Mappings, mp)
+	return nil
+}
+
+// SetDefaultPool sets the pool used when no mapping matches.
+func (m *Metastore) SetDefaultPool(plan, pool string) error {
+	p, err := m.GetResourcePlan(plan)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := p.Pools[pool]; !ok {
+		return fmt.Errorf("metastore: plan %s has no pool %s", plan, pool)
+	}
+	p.DefaultPool = pool
+	return nil
+}
+
+// ActivateResourcePlan enables and activates a plan, deactivating any other
+// active plan (only one plan is active per deployment, paper §5.2).
+func (m *Metastore) ActivateResourcePlan(name string) (*ResourcePlan, error) {
+	p, err := m.GetResourcePlan(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, other := range m.plans {
+		other.Active = false
+	}
+	p.Enabled = true
+	p.Active = true
+	return p, nil
+}
+
+// ActiveResourcePlan returns the currently active plan, or nil.
+func (m *Metastore) ActiveResourcePlan() *ResourcePlan {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, p := range m.plans {
+		if p.Active {
+			return p
+		}
+	}
+	return nil
+}
+
+// AttachRuleToPool finds a trigger by name across all plans and adds the
+// pool to its applicable set ("ADD RULE r TO pool", paper §5.2).
+func (m *Metastore) AttachRuleToPool(rule, pool string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.plans {
+		for i := range p.Triggers {
+			if p.Triggers[i].Name != rule {
+				continue
+			}
+			if _, ok := p.Pools[pool]; !ok {
+				return fmt.Errorf("metastore: plan %s has no pool %s", p.Name, pool)
+			}
+			p.Triggers[i].Pools = append(p.Triggers[i].Pools, pool)
+			return nil
+		}
+	}
+	return fmt.Errorf("metastore: no rule named %s", rule)
+}

@@ -1,0 +1,155 @@
+package mv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/dfs"
+	"repro/internal/metastore"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+func fixture(t *testing.T) (*metastore.Metastore, *Rewriter) {
+	t.Helper()
+	ms := metastore.New(dfs.New(), "/wh")
+	for _, tbl := range []*metastore.Table{
+		{DB: "default", Name: "sales", Cols: []metastore.Column{
+			{Name: "item", Type: types.TBigint},
+			{Name: "amount", Type: types.TDecimal(7, 2)},
+			{Name: "year", Type: types.TInt},
+		}},
+		{DB: "default", Name: "dim", Cols: []metastore.Column{
+			{Name: "d_item", Type: types.TBigint},
+			{Name: "cat", Type: types.TString},
+		}},
+	} {
+		if err := ms.CreateTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rw := &Rewriter{
+		MS: ms,
+		AnalyzeView: func(viewSQL, db string) (plan.Rel, error) {
+			st, err := sql.Parse(viewSQL)
+			if err != nil {
+				return nil, err
+			}
+			return analyze.New(ms, db).AnalyzeSelect(st.(*sql.SelectStmt))
+		},
+	}
+	return ms, rw
+}
+
+func registerMV(t *testing.T, ms *metastore.Metastore, name, viewSQL string, cols []metastore.Column) *metastore.Table {
+	t.Helper()
+	mvT := &metastore.Table{
+		DB: "default", Name: name, Cols: cols,
+		IsMaterializedView: true, RewriteEnabled: true,
+		ViewSQL:          viewSQL,
+		SnapshotWriteIds: map[string]int64{},
+	}
+	if err := ms.CreateTable(mvT); err != nil {
+		t.Fatal(err)
+	}
+	return mvT
+}
+
+const viewSQL = `SELECT cat, year, SUM(amount) AS s, COUNT(*) AS c
+	FROM sales, dim WHERE item = d_item GROUP BY cat, year`
+
+var mvCols = []metastore.Column{
+	{Name: "cat", Type: types.TString},
+	{Name: "year", Type: types.TInt},
+	{Name: "s", Type: types.TDecimal(38, 2)},
+	{Name: "c", Type: types.TBigint},
+}
+
+func analyzeQuery(t *testing.T, ms *metastore.Metastore, q string) plan.Rel {
+	t.Helper()
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := analyze.New(ms, "default").AnalyzeSelect(st.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestFullContainmentRewrite(t *testing.T) {
+	ms, rw := fixture(t)
+	registerMV(t, ms, "mv1", viewSQL, mvCols)
+	rel := analyzeQuery(t, ms, `SELECT cat, SUM(amount) FROM sales, dim
+		WHERE item = d_item GROUP BY cat`)
+	out, changed := rw.Rewrite(rel, "default")
+	if !changed {
+		t.Fatalf("query should rewrite onto the view:\n%s", plan.Explain(rel))
+	}
+	s := plan.Explain(out)
+	if !strings.Contains(s, "default.mv1") || strings.Contains(s, "default.sales") {
+		t.Errorf("rewritten plan should scan only the view:\n%s", s)
+	}
+}
+
+func TestResidualFilterRewrite(t *testing.T) {
+	ms, rw := fixture(t)
+	registerMV(t, ms, "mv1", viewSQL, mvCols)
+	// Extra predicate on a grouping column: becomes a residual filter over
+	// the materialization (Figure 4b).
+	rel := analyzeQuery(t, ms, `SELECT cat, SUM(amount) FROM sales, dim
+		WHERE item = d_item AND year = 2018 GROUP BY cat`)
+	out, changed := rw.Rewrite(rel, "default")
+	if !changed {
+		t.Fatalf("contained query should rewrite")
+	}
+	s := plan.Explain(out)
+	if !strings.Contains(s, "default.mv1") {
+		t.Errorf("plan:\n%s", s)
+	}
+	if !strings.Contains(s, "2018") {
+		t.Errorf("residual filter lost:\n%s", s)
+	}
+}
+
+func TestNonContainedQueriesNotRewritten(t *testing.T) {
+	ms, rw := fixture(t)
+	registerMV(t, ms, "mv1", viewSQL, mvCols)
+	for _, q := range []string{
+		// Filter on a non-grouped base column.
+		`SELECT cat, SUM(amount) FROM sales, dim WHERE item = d_item AND amount > 5 GROUP BY cat`,
+		// Different table set.
+		`SELECT year, SUM(amount) FROM sales GROUP BY year`,
+		// AVG does not re-aggregate.
+		`SELECT cat, AVG(amount) FROM sales, dim WHERE item = d_item GROUP BY cat`,
+	} {
+		rel := analyzeQuery(t, ms, q)
+		if _, changed := rw.Rewrite(rel, "default"); changed {
+			t.Errorf("query must not rewrite: %s", q)
+		}
+	}
+}
+
+func TestStaleViewSkipped(t *testing.T) {
+	ms, rw := fixture(t)
+	mvT := registerMV(t, ms, "mv1", viewSQL, mvCols)
+	// Record a snapshot, then advance the source table's writeid.
+	mvT.SnapshotWriteIds["default.sales"] = 0
+	tm := ms.Txns()
+	id := tm.Begin()
+	tm.AllocateWriteId(id, "default.sales")
+	tm.Commit(id)
+	rel := analyzeQuery(t, ms, `SELECT cat, SUM(amount) FROM sales, dim
+		WHERE item = d_item GROUP BY cat`)
+	if _, changed := rw.Rewrite(rel, "default"); changed {
+		t.Error("stale view must not be used")
+	}
+	// Allowing staleness re-enables it (paper §4.4 staleness window).
+	mvT.Props["materialized.view.allow.stale"] = "true"
+	if _, changed := rw.Rewrite(rel, "default"); !changed {
+		t.Error("explicitly allowed staleness should permit the rewrite")
+	}
+}

@@ -1,0 +1,242 @@
+package opt
+
+import (
+	"repro/internal/metastore"
+	"repro/internal/plan"
+)
+
+// RowEstimate predicts output cardinality from metastore statistics
+// (table row counts, column NDV sketches and min/max; paper §4.1).
+func (o *Optimizer) RowEstimate(rel plan.Rel) float64 {
+	switch x := rel.(type) {
+	case *plan.Scan:
+		rows := o.tableRows(x.Table)
+		sel := 1.0
+		for _, f := range x.Filter {
+			sel *= o.selectivity(x, f)
+		}
+		return rows * sel
+	case *plan.ForeignScan:
+		return 10000
+	case *plan.Values:
+		return float64(len(x.Rows))
+	case *plan.Filter:
+		return o.RowEstimate(x.Input) * 0.25
+	case *plan.Project, *plan.Window:
+		return o.RowEstimate(rel.Children()[0])
+	case *plan.Spool:
+		return o.RowEstimate(x.Input)
+	case *plan.Sort:
+		return o.RowEstimate(x.Input)
+	case *plan.Limit:
+		in := o.RowEstimate(x.Input)
+		if float64(x.N) < in {
+			return float64(x.N)
+		}
+		return in
+	case *plan.Aggregate:
+		in := o.RowEstimate(x.Input)
+		groups := in / 4
+		if ndv := o.groupNDV(x); ndv > 0 && ndv < groups {
+			groups = ndv
+		}
+		if len(x.GroupBy) == 0 {
+			return 1
+		}
+		if groups < 1 {
+			groups = 1
+		}
+		return groups
+	case *plan.Join:
+		l, r := o.RowEstimate(x.Left), o.RowEstimate(x.Right)
+		switch x.Kind {
+		case plan.Cross:
+			return l * r
+		case plan.Semi:
+			return l * 0.5
+		case plan.Anti:
+			return l * 0.5
+		case plan.Single, plan.Left:
+			return l
+		default:
+			ndv := o.joinKeyNDV(x)
+			if ndv < 1 {
+				ndv = maxf(l, r)
+			}
+			est := l * r / maxf(ndv, 1)
+			if est < 1 {
+				est = 1
+			}
+			return est
+		}
+	case *plan.SetOp:
+		l, r := o.RowEstimate(x.Left), o.RowEstimate(x.Right)
+		switch x.Kind {
+		case plan.Union:
+			return l + r
+		case plan.Intersect:
+			return minf(l, r) / 2
+		default:
+			return l / 2
+		}
+	}
+	return 1000
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (o *Optimizer) tableRows(t *metastore.Table) float64 {
+	if st := o.MS.Stats(t.FullName()); st != nil && st.RowCount > 0 {
+		return float64(st.RowCount)
+	}
+	return 10000
+}
+
+// selectivity estimates one pushed predicate on a scan.
+func (o *Optimizer) selectivity(s *plan.Scan, f plan.Rex) float64 {
+	fn, ok := f.(*plan.Func)
+	if !ok {
+		return 0.25
+	}
+	switch fn.Op {
+	case "=":
+		if col, okc := scanFilterColumn(s, fn); okc {
+			if ndv := o.colNDV(s.Table, col); ndv > 0 {
+				return 1 / float64(ndv)
+			}
+		}
+		return 0.05
+	case "<", "<=", ">", ">=":
+		return 1.0 / 3
+	case "in":
+		return 0.1
+	case "like":
+		return 0.25
+	case "and":
+		sel := 1.0
+		for _, a := range fn.Args {
+			sel *= o.selectivity(s, a)
+		}
+		return sel
+	case "or":
+		sel := 0.0
+		for _, a := range fn.Args {
+			sel += o.selectivity(s, a)
+		}
+		return minf(sel, 1)
+	}
+	return 0.25
+}
+
+// scanFilterColumn extracts the scan column name compared in an
+// equality/range predicate, if one side is a plain column.
+func scanFilterColumn(s *plan.Scan, fn *plan.Func) (string, bool) {
+	if len(fn.Args) != 2 {
+		return "", false
+	}
+	for _, a := range fn.Args {
+		if c, ok := a.(*plan.ColRef); ok {
+			fields := s.Schema()
+			if c.Idx < len(fields) {
+				return fields[c.Idx].Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (o *Optimizer) colNDV(t *metastore.Table, col string) int64 {
+	st := o.MS.Stats(t.FullName())
+	if st == nil {
+		return 0
+	}
+	cs := st.Cols[col]
+	if cs == nil {
+		return 0
+	}
+	return cs.NDVEstimate()
+}
+
+// groupNDV multiplies the NDVs of group-by columns that are direct scan
+// columns.
+func (o *Optimizer) groupNDV(a *plan.Aggregate) float64 {
+	scan := findOnlyScan(a.Input)
+	if scan == nil {
+		return 0
+	}
+	total := 1.0
+	found := false
+	for _, g := range a.GroupBy {
+		c, ok := g.(*plan.ColRef)
+		if !ok {
+			continue
+		}
+		fields := a.Input.Schema()
+		if c.Idx >= len(fields) {
+			continue
+		}
+		if ndv := o.colNDV(scan.Table, fields[c.Idx].Name); ndv > 0 {
+			total *= float64(ndv)
+			found = true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return total
+}
+
+// joinKeyNDV returns the max NDV across equi-key columns of the join.
+func (o *Optimizer) joinKeyNDV(j *plan.Join) float64 {
+	leftW := len(j.Left.Schema())
+	best := 0.0
+	for _, c := range plan.Conjuncts(j.Cond) {
+		fn, ok := c.(*plan.Func)
+		if !ok || fn.Op != "=" || len(fn.Args) != 2 {
+			continue
+		}
+		for _, arg := range fn.Args {
+			cr, ok := arg.(*plan.ColRef)
+			if !ok {
+				continue
+			}
+			var side plan.Rel
+			idx := cr.Idx
+			if idx < leftW {
+				side = j.Left
+			} else {
+				side = j.Right
+				idx -= leftW
+			}
+			if scan, col, _, ok := traceToScan(side, idx); ok {
+				if ndv := o.colNDV(scan.Table, col); float64(ndv) > best {
+					best = float64(ndv)
+				}
+			}
+		}
+	}
+	return best
+}
+
+func findOnlyScan(rel plan.Rel) *plan.Scan {
+	if s, ok := rel.(*plan.Scan); ok {
+		return s
+	}
+	kids := rel.Children()
+	if len(kids) == 1 {
+		return findOnlyScan(kids[0])
+	}
+	return nil
+}

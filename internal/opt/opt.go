@@ -1,0 +1,355 @@
+// Package opt implements the query optimizer (paper §4): a multi-stage
+// rule pipeline in the style of Hive-on-Calcite. Stage one applies an
+// exhaustive fixpoint of logical rewrites (constant folding, predicate
+// simplification and pushdown); stage two is the cost-based planner
+// (statistics-driven join reordering); stage three runs pre-execution
+// physical rewrites (column pruning, dynamic semijoin reduction, shared
+// work optimization).
+package opt
+
+import (
+	"repro/internal/exec"
+	"repro/internal/metastore"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Options toggles individual optimizations; the v1.2 profile in HS2
+// disables the ones Hive 1.2 lacked (paper §7.1).
+type Options struct {
+	JoinReorder bool
+	Semijoin    bool
+	SharedWork  bool
+	PruneCols   bool
+}
+
+// AllOn enables everything (the v3.1 profile).
+func AllOn() Options {
+	return Options{JoinReorder: true, Semijoin: true, SharedWork: true, PruneCols: true}
+}
+
+// Optimizer rewrites logical plans.
+type Optimizer struct {
+	MS   *metastore.Metastore
+	Opts Options
+
+	nextReducer int
+}
+
+// New creates an optimizer.
+func New(ms *metastore.Metastore, opts Options) *Optimizer {
+	return &Optimizer{MS: ms, Opts: opts}
+}
+
+// Optimize runs the full pipeline.
+func (o *Optimizer) Optimize(rel plan.Rel) plan.Rel {
+	// Stage 1: exhaustive logical rewrites to fixpoint.
+	for i := 0; i < 10; i++ {
+		before := rel.Digest()
+		rel = o.foldConstants(rel)
+		rel = o.pushFilters(rel)
+		if rel.Digest() == before {
+			break
+		}
+	}
+	// Stage 2: cost-based join reordering.
+	if o.Opts.JoinReorder {
+		rel = o.reorderJoins(rel)
+		rel = o.pushFilters(rel)
+	}
+	// Stage 3: physical rewrites. Shared work runs first: both column
+	// pruning (branch-specific projections) and semijoin reducers (unique
+	// ids) would make otherwise-identical subtrees digest differently and
+	// defeat the merge. Pruning afterwards still narrows unshared scans;
+	// spooled subtrees keep their full width, the same compromise Hive
+	// makes when merging equal scans with different consumers.
+	if o.Opts.SharedWork {
+		rel = o.sharedWork(rel)
+	}
+	if o.Opts.PruneCols {
+		rel = o.pruneColumns(rel)
+	}
+	if o.Opts.Semijoin {
+		rel = o.addSemijoinReducers(rel)
+	}
+	return rel
+}
+
+// rewriteChildren rebuilds a node with transformed children.
+func rewriteChildren(rel plan.Rel, f func(plan.Rel) plan.Rel) plan.Rel {
+	switch x := rel.(type) {
+	case *plan.Filter:
+		return &plan.Filter{Input: f(x.Input), Cond: x.Cond}
+	case *plan.Project:
+		return &plan.Project{Input: f(x.Input), Exprs: x.Exprs, Names: x.Names}
+	case *plan.Join:
+		return &plan.Join{Kind: x.Kind, Left: f(x.Left), Right: f(x.Right), Cond: x.Cond, ReducerID: x.ReducerID}
+	case *plan.Aggregate:
+		return &plan.Aggregate{Input: f(x.Input), GroupBy: x.GroupBy, Aggs: x.Aggs, GroupingSets: x.GroupingSets, Names: x.Names}
+	case *plan.Window:
+		return &plan.Window{Input: f(x.Input), Fns: x.Fns, Names: x.Names}
+	case *plan.Sort:
+		return &plan.Sort{Input: f(x.Input), Keys: x.Keys}
+	case *plan.Limit:
+		return &plan.Limit{Input: f(x.Input), N: x.N}
+	case *plan.SetOp:
+		return &plan.SetOp{Kind: x.Kind, All: x.All, Left: f(x.Left), Right: f(x.Right)}
+	case *plan.Spool:
+		return &plan.Spool{ID: x.ID, Input: f(x.Input)}
+	default:
+		return rel
+	}
+}
+
+// ---- Constant folding & simplification ----
+
+func (o *Optimizer) foldConstants(rel plan.Rel) plan.Rel {
+	rel = rewriteChildren(rel, o.foldConstants)
+	switch x := rel.(type) {
+	case *plan.Filter:
+		cond := foldRex(x.Cond)
+		if plan.IsLiteralTrue(cond) {
+			return x.Input
+		}
+		return &plan.Filter{Input: x.Input, Cond: cond}
+	case *plan.Project:
+		exprs := make([]plan.Rex, len(x.Exprs))
+		for i, e := range x.Exprs {
+			exprs[i] = foldRex(e)
+		}
+		return &plan.Project{Input: x.Input, Exprs: exprs, Names: x.Names}
+	case *plan.Join:
+		if x.Cond == nil {
+			return rel
+		}
+		return &plan.Join{Kind: x.Kind, Left: x.Left, Right: x.Right, Cond: foldRex(x.Cond), ReducerID: x.ReducerID}
+	}
+	return rel
+}
+
+// foldRex simplifies an expression tree: all-constant subtrees evaluate at
+// plan time, boolean identities collapse.
+func foldRex(e plan.Rex) plan.Rex {
+	f, ok := e.(*plan.Func)
+	if !ok {
+		return e
+	}
+	args := make([]plan.Rex, len(f.Args))
+	allConst := true
+	for i, a := range f.Args {
+		args[i] = foldRex(a)
+		if _, isLit := args[i].(*plan.Literal); !isLit {
+			allConst = false
+		}
+	}
+	nf := &plan.Func{Op: f.Op, Args: args, T: f.T}
+	if allConst {
+		if d, ok := exec.EvalConst(nf); ok {
+			return &plan.Literal{Val: d, T: f.T}
+		}
+	}
+	switch f.Op {
+	case "and":
+		var keep []plan.Rex
+		for _, a := range args {
+			if plan.IsLiteralTrue(a) {
+				continue
+			}
+			if lit, ok := a.(*plan.Literal); ok && !lit.Val.Null && lit.Val.I == 0 {
+				return a // FALSE dominates
+			}
+			keep = append(keep, a)
+		}
+		if len(keep) == 0 {
+			return plan.NewLiteral(types.NewBool(true))
+		}
+		return plan.AndAll(keep)
+	case "or":
+		for _, a := range args {
+			if plan.IsLiteralTrue(a) {
+				return a
+			}
+		}
+	}
+	return nf
+}
+
+// ---- Predicate pushdown ----
+
+func (o *Optimizer) pushFilters(rel plan.Rel) plan.Rel {
+	rel = rewriteChildren(rel, o.pushFilters)
+	f, ok := rel.(*plan.Filter)
+	if !ok {
+		return rel
+	}
+	// Merge stacked filters first.
+	if inner, ok := f.Input.(*plan.Filter); ok {
+		return o.pushFilters(&plan.Filter{
+			Input: inner.Input,
+			Cond:  plan.AndAll([]plan.Rex{inner.Cond, f.Cond}),
+		})
+	}
+	conjs := plan.Conjuncts(f.Cond)
+	var kept []plan.Rex
+	input := f.Input
+	for _, c := range conjs {
+		pushed, newInput := o.pushConjunct(c, input)
+		if pushed {
+			input = newInput
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	if cond := plan.AndAll(kept); cond != nil {
+		return &plan.Filter{Input: input, Cond: cond}
+	}
+	return input
+}
+
+// pushConjunct attempts to push one predicate below the input node.
+func (o *Optimizer) pushConjunct(c plan.Rex, input plan.Rel) (bool, plan.Rel) {
+	switch x := input.(type) {
+	case *plan.Scan:
+		// Terminal: record on the scan (used for sargs, partition pruning
+		// and stripe skipping); the residual filter still runs above, so
+		// correctness never depends on the pushdown.
+		ns := *x
+		ns.Filter = append(append([]plan.Rex{}, x.Filter...), c)
+		return true, &ns
+	case *plan.Project:
+		if windowUnsafe(c) {
+			return false, input
+		}
+		subst, ok := substituteProject(c, x.Exprs)
+		if !ok {
+			return false, input
+		}
+		pushedDown, newChild := o.pushConjunct(subst, x.Input)
+		if !pushedDown {
+			newChild = &plan.Filter{Input: x.Input, Cond: subst}
+		}
+		return true, &plan.Project{Input: newChild, Exprs: x.Exprs, Names: x.Names}
+	case *plan.Filter:
+		pushed, newChild := o.pushConjunct(c, x.Input)
+		if !pushed {
+			return true, &plan.Filter{Input: x.Input, Cond: plan.AndAll([]plan.Rex{x.Cond, c})}
+		}
+		return true, &plan.Filter{Input: newChild, Cond: x.Cond}
+	case *plan.Join:
+		leftW := len(x.Left.Schema())
+		bits := map[int]bool{}
+		plan.InputBits(c, bits)
+		allLeft, allRight := true, true
+		for i := range bits {
+			if i >= leftW {
+				allLeft = false
+			} else {
+				allRight = false
+			}
+		}
+		if allLeft && (x.Kind == plan.Inner || x.Kind == plan.Left || x.Kind == plan.Semi || x.Kind == plan.Anti || x.Kind == plan.Cross || x.Kind == plan.Single) {
+			pushed, newLeft := o.pushConjunct(c, x.Left)
+			if !pushed {
+				newLeft = &plan.Filter{Input: x.Left, Cond: c}
+			}
+			return true, &plan.Join{Kind: x.Kind, Left: newLeft, Right: x.Right, Cond: x.Cond, ReducerID: x.ReducerID}
+		}
+		if allRight && (x.Kind == plan.Inner || x.Kind == plan.Right || x.Kind == plan.Cross) {
+			shifted := plan.ShiftCols(c, -leftW)
+			pushed, newRight := o.pushConjunct(shifted, x.Right)
+			if !pushed {
+				newRight = &plan.Filter{Input: x.Right, Cond: shifted}
+			}
+			return true, &plan.Join{Kind: x.Kind, Left: x.Left, Right: newRight, Cond: x.Cond, ReducerID: x.ReducerID}
+		}
+		// Predicates spanning both sides of an inner/cross join become
+		// join conditions (turning comma-style cross joins into hash
+		// joins) — the JoinConditionPush rule.
+		if x.Kind == plan.Inner || x.Kind == plan.Cross {
+			kind := plan.Inner
+			return true, &plan.Join{
+				Kind: kind, Left: x.Left, Right: x.Right,
+				Cond: plan.AndAll([]plan.Rex{x.Cond, c}), ReducerID: x.ReducerID,
+			}
+		}
+		return false, input
+	case *plan.Aggregate:
+		// Push only predicates over plain group-by columns.
+		if x.GroupingSets != nil {
+			return false, input
+		}
+		bits := map[int]bool{}
+		plan.InputBits(c, bits)
+		for i := range bits {
+			if i >= len(x.GroupBy) {
+				return false, input
+			}
+		}
+		subst, ok := substituteProject(c, x.GroupBy)
+		if !ok {
+			return false, input
+		}
+		pushed, newChild := o.pushConjunct(subst, x.Input)
+		if !pushed {
+			newChild = &plan.Filter{Input: x.Input, Cond: subst}
+		}
+		return true, &plan.Aggregate{Input: newChild, GroupBy: x.GroupBy, Aggs: x.Aggs, GroupingSets: x.GroupingSets, Names: x.Names}
+	case *plan.SetOp:
+		pushedL, newL := o.pushConjunct(c, x.Left)
+		if !pushedL {
+			newL = &plan.Filter{Input: x.Left, Cond: c}
+		}
+		pushedR, newR := o.pushConjunct(c, x.Right)
+		if !pushedR {
+			newR = &plan.Filter{Input: x.Right, Cond: c}
+		}
+		return true, &plan.SetOp{Kind: x.Kind, All: x.All, Left: newL, Right: newR}
+	}
+	return false, input
+}
+
+// substituteProject rewrites a predicate over a Project's output into one
+// over its input by inlining the projected expressions.
+func substituteProject(c plan.Rex, exprs []plan.Rex) (plan.Rex, bool) {
+	ok := true
+	var sub func(e plan.Rex) plan.Rex
+	sub = func(e plan.Rex) plan.Rex {
+		switch x := e.(type) {
+		case *plan.ColRef:
+			if x.Idx >= len(exprs) {
+				ok = false
+				return e
+			}
+			return exprs[x.Idx]
+		case *plan.Func:
+			args := make([]plan.Rex, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = sub(a)
+			}
+			return &plan.Func{Op: x.Op, Args: args, T: x.T}
+		default:
+			return e
+		}
+	}
+	out := sub(c)
+	return out, ok
+}
+
+// windowUnsafe reports whether a predicate must not move below the node it
+// sits on (nondeterministic expressions).
+func windowUnsafe(c plan.Rex) bool {
+	f, ok := c.(*plan.Func)
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case "rand":
+		return true
+	}
+	for _, a := range f.Args {
+		if windowUnsafe(a) {
+			return true
+		}
+	}
+	return false
+}

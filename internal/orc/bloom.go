@@ -1,0 +1,82 @@
+package orc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// bloomFilter is a split-block style Bloom filter over datum hashes, used by
+// the index semijoin reduction (paper §4.6) and the I/O elevator's pushdown
+// (paper §5.1) to skip stripes that provably do not contain a key.
+type bloomFilter struct {
+	bits []uint64
+	k    int
+}
+
+// newBloom sizes a filter for n values at roughly bitsPerValue bits each.
+func newBloom(n, bitsPerValue int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * bitsPerValue
+	words := (nbits + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	k := int(float64(bitsPerValue) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return &bloomFilter{bits: make([]uint64, words), k: k}
+}
+
+func (b *bloomFilter) add(h uint64) {
+	h1, h2 := uint32(h), uint32(h>>32)
+	n := uint32(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint32(i)*h2) % n
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+func (b *bloomFilter) mayContain(h uint64) bool {
+	h1, h2 := uint32(h), uint32(h>>32)
+	n := uint32(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint32(i)*h2) % n
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddDatum records a value in the filter.
+func (b *bloomFilter) addDatum(d types.Datum) { b.add(d.Hash()) }
+
+func (b *bloomFilter) bytes() []byte {
+	out := make([]byte, 4+8*len(b.bits))
+	binary.LittleEndian.PutUint32(out, uint32(b.k))
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(out[4+8*i:], w)
+	}
+	return out
+}
+
+func bloomFromBytes(data []byte) (*bloomFilter, error) {
+	if len(data) < 12 || (len(data)-4)%8 != 0 {
+		return nil, fmt.Errorf("orc: corrupt bloom filter (%d bytes)", len(data))
+	}
+	k := int(binary.LittleEndian.Uint32(data))
+	words := (len(data) - 4) / 8
+	b := &bloomFilter{bits: make([]uint64, words), k: k}
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(data[4+8*i:])
+	}
+	return b, nil
+}

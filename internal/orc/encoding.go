@@ -1,0 +1,265 @@
+// Package orc implements the columnar file format used for warehouse
+// storage, modeled on Apache ORC (paper §2, §5.1): data is written in
+// stripes (row groups) of encoded column chunks with per-stripe min/max
+// statistics and optional Bloom filters in the file footer, enabling
+// projection pushdown and sargable-predicate stripe skipping.
+//
+// Layout:
+//
+//	[stripe 0][stripe 1]...[footer JSON][uint32 footer length]["GORC"]
+//
+// Column encodings: integers (and all I64-backed kinds) use run-length
+// encoding with zig-zag varints; doubles are fixed-width little endian;
+// strings use dictionary encoding when profitable, otherwise direct
+// length-prefixed bytes. Each column chunk carries a presence bitmap when
+// the column contains NULLs.
+package orc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoding identifies how a column chunk's values are encoded.
+type Encoding uint8
+
+// Column chunk encodings.
+const (
+	EncodeRLE    Encoding = iota // zig-zag varint runs (integer kinds)
+	EncodeDouble                 // fixed 8-byte little endian
+	EncodeDirect                 // length-prefixed strings
+	EncodeDict                   // dictionary + RLE indexes
+)
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func putUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+// encodeRLE encodes int64 values as a sequence of runs. Each run is either
+// a repeat run (header = count<<1 | 1, then one zig-zag value and a zig-zag
+// delta applied per repetition) or a literal run (header = count<<1, then
+// count zig-zag values). Repeat runs capture both constant and arithmetic
+// sequences, which covers RowIds, WriteIds and sorted keys well.
+func encodeRLE(vals []int64) []byte {
+	out := make([]byte, 0, len(vals))
+	i := 0
+	for i < len(vals) {
+		// Find the longest arithmetic run starting at i.
+		runLen := 1
+		var delta int64
+		if i+1 < len(vals) {
+			delta = vals[i+1] - vals[i]
+			runLen = 2
+			for i+runLen < len(vals) && vals[i+runLen]-vals[i+runLen-1] == delta {
+				runLen++
+			}
+		}
+		if runLen >= 3 {
+			out = putUvarint(out, uint64(runLen)<<1|1)
+			out = putUvarint(out, zigzag(vals[i]))
+			out = putUvarint(out, zigzag(delta))
+			i += runLen
+			continue
+		}
+		// Literal run: extend until the next arithmetic run of length >= 3.
+		start := i
+		i++
+		for i < len(vals) {
+			if i+2 < len(vals) && vals[i+1]-vals[i] == vals[i+2]-vals[i+1] {
+				break
+			}
+			i++
+		}
+		n := i - start
+		out = putUvarint(out, uint64(n)<<1)
+		for j := start; j < start+n; j++ {
+			out = putUvarint(out, zigzag(vals[j]))
+		}
+	}
+	return out
+}
+
+// decodeRLE decodes n values encoded by encodeRLE.
+func decodeRLE(data []byte, n int) ([]int64, error) {
+	out := make([]int64, 0, n)
+	pos := 0
+	for len(out) < n {
+		header, w := binary.Uvarint(data[pos:])
+		if w <= 0 {
+			return nil, fmt.Errorf("orc: corrupt RLE header at %d", pos)
+		}
+		pos += w
+		count := int(header >> 1)
+		if header&1 == 1 {
+			base, w := binary.Uvarint(data[pos:])
+			if w <= 0 {
+				return nil, fmt.Errorf("orc: corrupt RLE base at %d", pos)
+			}
+			pos += w
+			deltaU, w := binary.Uvarint(data[pos:])
+			if w <= 0 {
+				return nil, fmt.Errorf("orc: corrupt RLE delta at %d", pos)
+			}
+			pos += w
+			v := unzigzag(base)
+			delta := unzigzag(deltaU)
+			for j := 0; j < count; j++ {
+				out = append(out, v)
+				v += delta
+			}
+		} else {
+			for j := 0; j < count; j++ {
+				u, w := binary.Uvarint(data[pos:])
+				if w <= 0 {
+					return nil, fmt.Errorf("orc: corrupt RLE literal at %d", pos)
+				}
+				pos += w
+				out = append(out, unzigzag(u))
+			}
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("orc: RLE decoded %d values, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+func encodeDoubles(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeDoubles(data []byte, n int) ([]float64, error) {
+	if len(data) < 8*n {
+		return nil, fmt.Errorf("orc: double chunk too short: %d bytes for %d values", len(data), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+func encodeStringsDirect(vals []string) []byte {
+	var out []byte
+	for _, s := range vals {
+		out = putUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	return out
+}
+
+func decodeStringsDirect(data []byte, n int) ([]string, error) {
+	out := make([]string, 0, n)
+	pos := 0
+	for len(out) < n {
+		l, w := binary.Uvarint(data[pos:])
+		if w <= 0 {
+			return nil, fmt.Errorf("orc: corrupt string length at %d", pos)
+		}
+		pos += w
+		if pos+int(l) > len(data) {
+			return nil, fmt.Errorf("orc: string overruns chunk at %d", pos)
+		}
+		out = append(out, string(data[pos:pos+int(l)]))
+		pos += int(l)
+	}
+	return out, nil
+}
+
+// encodeStringsDict writes a dictionary (sorted unique values) followed by
+// RLE-encoded indexes. Returns nil if a dictionary would not be profitable
+// (more than half the values are distinct).
+func encodeStringsDict(vals []string) []byte {
+	uniq := make(map[string]int, len(vals)/4)
+	order := []string{}
+	for _, s := range vals {
+		if _, ok := uniq[s]; !ok {
+			uniq[s] = 0
+			order = append(order, s)
+			if len(order)*2 > len(vals) {
+				return nil
+			}
+		}
+	}
+	// Assign ids in first-seen order (no sort needed for correctness).
+	for i, s := range order {
+		uniq[s] = i
+	}
+	var out []byte
+	out = putUvarint(out, uint64(len(order)))
+	for _, s := range order {
+		out = putUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	idx := make([]int64, len(vals))
+	for i, s := range vals {
+		idx[i] = int64(uniq[s])
+	}
+	return append(out, encodeRLE(idx)...)
+}
+
+func decodeStringsDict(data []byte, n int) ([]string, error) {
+	pos := 0
+	dictN, w := binary.Uvarint(data[pos:])
+	if w <= 0 {
+		return nil, fmt.Errorf("orc: corrupt dictionary size")
+	}
+	pos += w
+	dict := make([]string, dictN)
+	for i := range dict {
+		l, w := binary.Uvarint(data[pos:])
+		if w <= 0 {
+			return nil, fmt.Errorf("orc: corrupt dictionary entry %d", i)
+		}
+		pos += w
+		if pos+int(l) > len(data) {
+			return nil, fmt.Errorf("orc: dictionary entry overruns chunk")
+		}
+		dict[i] = string(data[pos : pos+int(l)])
+		pos += int(l)
+	}
+	idx, err := decodeRLE(data[pos:], n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i, id := range idx {
+		if id < 0 || id >= int64(dictN) {
+			return nil, fmt.Errorf("orc: dictionary index %d out of range", id)
+		}
+		out[i] = dict[id]
+	}
+	return out, nil
+}
+
+// encodePresence packs a non-null bitmap, one bit per row (1 = present).
+func encodePresence(nulls []bool) []byte {
+	out := make([]byte, (len(nulls)+7)/8)
+	for i, isNull := range nulls {
+		if !isNull {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+func decodePresence(data []byte, n int) ([]bool, error) {
+	if len(data) < (n+7)/8 {
+		return nil, fmt.Errorf("orc: presence bitmap too short")
+	}
+	nulls := make([]bool, n)
+	for i := 0; i < n; i++ {
+		nulls[i] = data[i/8]&(1<<(i%8)) == 0
+	}
+	return nulls, nil
+}

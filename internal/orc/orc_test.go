@@ -1,0 +1,368 @@
+package orc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dfs"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{1},
+		{5, 5, 5, 5, 5},
+		{1, 2, 3, 4, 5, 6},
+		{9, 7, 5, 3, 1},
+		{1, 100, -3, 7, 7, 7, 7, 2, 1},
+		{0, 0, 1, 0, 0, 0, 42},
+	}
+	for _, vals := range cases {
+		enc := encodeRLE(vals)
+		dec, err := decodeRLE(enc, len(vals))
+		if err != nil {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if len(vals) > 0 && !reflect.DeepEqual(dec, vals) {
+			t.Errorf("RLE roundtrip %v -> %v", vals, dec)
+		}
+	}
+}
+
+func TestRLEQuick(t *testing.T) {
+	f := func(vals []int64) bool {
+		enc := encodeRLE(vals)
+		dec, err := decodeRLE(enc, len(vals))
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(dec) == 0
+		}
+		return reflect.DeepEqual(dec, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = int64(i) // pure arithmetic sequence
+	}
+	enc := encodeRLE(vals)
+	if len(enc) > 64 {
+		t.Errorf("arithmetic run encoded to %d bytes, want tiny", len(enc))
+	}
+}
+
+func TestStringDictSelection(t *testing.T) {
+	lowCard := make([]string, 1000)
+	for i := range lowCard {
+		lowCard[i] = []string{"a", "b", "c"}[i%3]
+	}
+	if enc := encodeStringsDict(lowCard); enc == nil {
+		t.Error("low-cardinality column should use dictionary")
+	} else {
+		dec, err := decodeStringsDict(enc, len(lowCard))
+		if err != nil || !reflect.DeepEqual(dec, lowCard) {
+			t.Errorf("dict roundtrip failed: %v", err)
+		}
+	}
+	highCard := make([]string, 100)
+	for i := range highCard {
+		highCard[i] = string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i%26))
+	}
+	// Mostly unique: dictionary should refuse.
+	uniq := map[string]bool{}
+	for _, s := range highCard {
+		uniq[s] = true
+	}
+	if len(uniq)*2 > len(highCard) {
+		if enc := encodeStringsDict(highCard); enc != nil {
+			t.Error("high-cardinality column should not use dictionary")
+		}
+	}
+}
+
+func writeTestFile(t *testing.T, fs *dfs.FS, path string, n int, opts WriterOptions) []Column {
+	t.Helper()
+	schema := []Column{
+		{Name: "id", Type: types.TBigint},
+		{Name: "price", Type: types.TDouble},
+		{Name: "name", Type: types.TString},
+		{Name: "qty", Type: types.TInt},
+	}
+	w := NewWriter(fs, path, schema, opts)
+	for i := 0; i < n; i++ {
+		row := []types.Datum{
+			types.NewBigint(int64(i)),
+			types.NewDouble(float64(i) * 1.5),
+			types.NewString([]string{"alpha", "beta", "gamma"}[i%3]),
+			types.NewInt(int32(i % 100)),
+		}
+		if i%7 == 0 {
+			row[3] = types.NullOf(types.Int32)
+		}
+		if err := w.WriteRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	fs := dfs.New()
+	const n = 2500
+	writeTestFile(t, fs, "/t/f0", n, WriterOptions{StripeRows: 1000})
+	r, err := NewReader(fs, "/t/f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != n || r.NumStripes() != 3 {
+		t.Fatalf("rows=%d stripes=%d", r.Rows(), r.NumStripes())
+	}
+	total := 0
+	for s := 0; s < r.NumStripes(); s++ {
+		b, err := r.ReadStripe(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			g := total + i
+			if b.Cols[0].I64[i] != int64(g) {
+				t.Fatalf("stripe %d row %d id=%d want %d", s, i, b.Cols[0].I64[i], g)
+			}
+			if b.Cols[1].F64[i] != float64(g)*1.5 {
+				t.Fatalf("price mismatch at %d", g)
+			}
+			if b.Cols[2].Str[i] != []string{"alpha", "beta", "gamma"}[g%3] {
+				t.Fatalf("name mismatch at %d", g)
+			}
+			if g%7 == 0 {
+				if !b.Cols[3].IsNull(i) {
+					t.Fatalf("row %d should be NULL", g)
+				}
+			} else if b.Cols[3].IsNull(i) || b.Cols[3].I64[i] != int64(g%100) {
+				t.Fatalf("qty mismatch at %d", g)
+			}
+		}
+		total += b.N
+	}
+	if total != n {
+		t.Fatalf("read %d rows, want %d", total, n)
+	}
+}
+
+func TestProjectionPushdownReadsLess(t *testing.T) {
+	fs := dfs.New()
+	writeTestFile(t, fs, "/t/f1", 5000, WriterOptions{StripeRows: 5000})
+	r, err := NewReader(fs, "/t/f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	if _, err := r.ReadStripe(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	allBytes := fs.IOStats().BytesRead
+	fs.ResetStats()
+	if _, err := r.ReadStripe(0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	oneBytes := fs.IOStats().BytesRead
+	if oneBytes*2 >= allBytes {
+		t.Errorf("projection did not reduce I/O: one=%d all=%d", oneBytes, allBytes)
+	}
+}
+
+func TestStripeSkippingByMinMax(t *testing.T) {
+	fs := dfs.New()
+	writeTestFile(t, fs, "/t/f2", 3000, WriterOptions{StripeRows: 1000})
+	r, err := NewReader(fs, "/t/f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id is 0..2999 in stripe-sized runs; id = 1500 only in stripe 1.
+	sarg := &SearchArgument{Preds: []Predicate{{Col: 0, Op: PredEQ, Values: []types.Datum{types.NewBigint(1500)}}}}
+	var matched []int
+	for s := 0; s < r.NumStripes(); s++ {
+		if r.StripeCanMatch(s, sarg) {
+			matched = append(matched, s)
+		}
+	}
+	if !reflect.DeepEqual(matched, []int{1}) {
+		t.Errorf("matched stripes %v, want [1]", matched)
+	}
+	// Range predicate spanning stripes 1 and 2.
+	sarg = &SearchArgument{Preds: []Predicate{{Col: 0, Op: PredGE, Values: []types.Datum{types.NewBigint(1999)}}}}
+	matched = nil
+	for s := 0; s < r.NumStripes(); s++ {
+		if r.StripeCanMatch(s, sarg) {
+			matched = append(matched, s)
+		}
+	}
+	if !reflect.DeepEqual(matched, []int{1, 2}) {
+		t.Errorf("GE matched %v, want [1 2]", matched)
+	}
+}
+
+func TestBloomFilterSkipping(t *testing.T) {
+	fs := dfs.New()
+	schema := []Column{{Name: "k", Type: types.TBigint}}
+	w := NewWriter(fs, "/t/bloom", schema, WriterOptions{
+		StripeRows:   1000,
+		BloomColumns: map[string]bool{"k": true},
+	})
+	// Only even keys present.
+	for i := 0; i < 2000; i += 2 {
+		w.WriteRow([]types.Datum{types.NewBigint(int64(i))})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(fs, "/t/bloom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An odd key inside the min/max range: min/max cannot skip, bloom should.
+	sarg := &SearchArgument{Preds: []Predicate{{Col: 0, Op: PredEQ, Values: []types.Datum{types.NewBigint(501)}}}}
+	if r.StripeCanMatch(0, sarg) {
+		t.Error("bloom filter failed to skip absent key (fp possible but unlikely)")
+	}
+	// A present key must never be skipped.
+	sarg = &SearchArgument{Preds: []Predicate{{Col: 0, Op: PredEQ, Values: []types.Datum{types.NewBigint(500)}}}}
+	if !r.StripeCanMatch(0, sarg) {
+		t.Error("bloom filter wrongly skipped a present key")
+	}
+}
+
+func TestAllNullColumn(t *testing.T) {
+	fs := dfs.New()
+	schema := []Column{{Name: "x", Type: types.TInt}}
+	w := NewWriter(fs, "/t/nulls", schema, WriterOptions{})
+	for i := 0; i < 10; i++ {
+		w.WriteRow([]types.Datum{types.NullOf(types.Int32)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(fs, "/t/nulls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ReadStripe(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if !b.Cols[0].IsNull(i) {
+			t.Fatal("expected all NULL")
+		}
+	}
+	// Equality on an all-NULL stripe can always be skipped.
+	sarg := &SearchArgument{Preds: []Predicate{{Col: 0, Op: PredEQ, Values: []types.Datum{types.NewInt(1)}}}}
+	if r.StripeCanMatch(0, sarg) {
+		t.Error("all-NULL stripe should be skippable for equality")
+	}
+	sarg = &SearchArgument{Preds: []Predicate{{Col: 0, Op: PredIsNull}}}
+	if !r.StripeCanMatch(0, sarg) {
+		t.Error("IS NULL must match all-NULL stripe")
+	}
+}
+
+func TestBatchWrite(t *testing.T) {
+	fs := dfs.New()
+	b := vector.NewBatch([]types.T{types.TBigint, types.TString}, 100)
+	for i := 0; i < 100; i++ {
+		b.Cols[0].Set(i, types.NewBigint(int64(i)))
+		b.Cols[1].Set(i, types.NewString("v"))
+	}
+	b.N = 100
+	schema := []Column{{Name: "a", Type: types.TBigint}, {Name: "b", Type: types.TString}}
+	w := NewWriter(fs, "/t/batch", schema, WriterOptions{StripeRows: 30})
+	if err := w.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(fs, "/t/batch")
+	if r.Rows() != 100 || r.NumStripes() != 4 {
+		t.Errorf("rows=%d stripes=%d, want 100/4", r.Rows(), r.NumStripes())
+	}
+}
+
+func TestDecimalAndDateColumns(t *testing.T) {
+	fs := dfs.New()
+	schema := []Column{
+		{Name: "amount", Type: types.TDecimal(7, 2)},
+		{Name: "d", Type: types.TDate},
+	}
+	w := NewWriter(fs, "/t/dec", schema, WriterOptions{})
+	w.WriteRow([]types.Datum{types.NewDecimal(1099, 2), types.NewDate(17000)})
+	w.WriteRow([]types.Datum{types.NewDecimal(-50, 2), types.NewDate(17001)})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(fs, "/t/dec")
+	b, err := r.ReadStripe(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Cols[0].Get(0).String(); got != "10.99" {
+		t.Errorf("decimal readback = %s", got)
+	}
+	if got := b.Cols[1].Get(1).String(); got != "2016-07-19" {
+		t.Errorf("date readback = %s", got)
+	}
+}
+
+func TestCorruptFile(t *testing.T) {
+	fs := dfs.New()
+	fs.WriteFile("/junk", []byte("not an orc file at all"))
+	if _, err := NewReader(fs, "/junk"); err == nil {
+		t.Error("reading junk should fail")
+	}
+	if _, err := NewReader(fs, "/missing"); err == nil {
+		t.Error("reading missing file should fail")
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	bf := newBloom(10000, 10)
+	rng := rand.New(rand.NewSource(7))
+	present := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		h := rng.Uint64()
+		present[h] = true
+		bf.add(h)
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		h := rng.Uint64()
+		if present[h] {
+			continue
+		}
+		if bf.mayContain(h) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Errorf("bloom fp rate %.3f too high", rate)
+	}
+	for h := range present {
+		if !bf.mayContain(h) {
+			t.Fatal("bloom must never have false negatives")
+		}
+	}
+}

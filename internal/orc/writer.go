@@ -1,0 +1,245 @@
+package orc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+const magic = "GORC"
+
+// Column describes one column of the file schema.
+type Column struct {
+	Name string
+	Type types.T
+}
+
+// columnMeta is the footer's persisted form of a column chunk.
+type columnMeta struct {
+	Offset      int64 // relative to stripe start
+	Length      int64
+	Encoding    Encoding
+	HasNulls    bool
+	NullCount   int64
+	Min         *types.Datum // nil when the chunk is all NULL
+	Max         *types.Datum
+	BloomOffset int64 // relative to stripe start; 0 length = no bloom
+	BloomLength int64
+}
+
+// StripeInfo records where a stripe lives and its per-column statistics.
+type StripeInfo struct {
+	Offset  int64
+	Length  int64
+	Rows    int
+	Columns []columnMeta
+}
+
+// footer is the JSON trailer of a file.
+type footer struct {
+	Names   []string
+	Types   []string
+	Rows    int64
+	Stripes []StripeInfo
+}
+
+// WriterOptions configures file writing.
+type WriterOptions struct {
+	StripeRows   int             // rows per stripe; default 8192
+	BloomColumns map[string]bool // column names to build Bloom filters for
+	BloomBits    int             // bits per value; default 10
+}
+
+// Writer streams rows into an ORC-like file. Close finalizes the footer.
+type Writer struct {
+	fs      *dfs.FS
+	path    string
+	schema  []Column
+	opts    WriterOptions
+	buf     *vector.Batch
+	bufN    int
+	data    []byte
+	stripes []StripeInfo
+	rows    int64
+	closed  bool
+}
+
+// NewWriter creates a writer for the given schema. The file is materialized
+// in memory and committed to the file system atomically on Close, matching
+// HDFS write-once semantics.
+func NewWriter(fs *dfs.FS, path string, schema []Column, opts WriterOptions) *Writer {
+	if opts.StripeRows <= 0 {
+		opts.StripeRows = 8192
+	}
+	if opts.BloomBits <= 0 {
+		opts.BloomBits = 10
+	}
+	ts := make([]types.T, len(schema))
+	for i, c := range schema {
+		ts[i] = c.Type
+	}
+	return &Writer{
+		fs:     fs,
+		path:   path,
+		schema: schema,
+		opts:   opts,
+		buf:    vector.NewBatch(ts, opts.StripeRows),
+	}
+}
+
+// WriteRow appends one row given as datums in schema order.
+func (w *Writer) WriteRow(row []types.Datum) error {
+	if len(row) != len(w.schema) {
+		return fmt.Errorf("orc: row has %d columns, schema has %d", len(row), len(w.schema))
+	}
+	for c, d := range row {
+		w.buf.Cols[c].Set(w.bufN, d)
+	}
+	w.bufN++
+	w.rows++
+	if w.bufN == w.opts.StripeRows {
+		return w.flushStripe()
+	}
+	return nil
+}
+
+// WriteBatch appends all live rows of a batch (column types must match).
+func (w *Writer) WriteBatch(b *vector.Batch) error {
+	for i := 0; i < b.N; i++ {
+		r := b.RowIdx(i)
+		for c := range w.schema {
+			w.buf.Cols[c].CopyRow(w.bufN, b.Cols[c], r)
+		}
+		w.bufN++
+		w.rows++
+		if w.bufN == w.opts.StripeRows {
+			if err := w.flushStripe(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Writer) flushStripe() error {
+	if w.bufN == 0 {
+		return nil
+	}
+	stripeStart := int64(len(w.data))
+	info := StripeInfo{Offset: stripeStart, Rows: w.bufN}
+	for c, col := range w.schema {
+		vec := w.buf.Cols[c]
+		meta, encoded, bloom := encodeColumn(vec, w.bufN, w.opts.BloomColumns[col.Name], w.opts.BloomBits)
+		meta.Offset = int64(len(w.data)) - stripeStart
+		meta.Length = int64(len(encoded))
+		w.data = append(w.data, encoded...)
+		if bloom != nil {
+			meta.BloomOffset = int64(len(w.data)) - stripeStart
+			meta.BloomLength = int64(len(bloom))
+			w.data = append(w.data, bloom...)
+		}
+		info.Columns = append(info.Columns, meta)
+	}
+	info.Length = int64(len(w.data)) - stripeStart
+	w.stripes = append(w.stripes, info)
+	// Reset the buffer for the next stripe.
+	w.bufN = 0
+	for _, v := range w.buf.Cols {
+		v.Nulls = nil
+	}
+	return nil
+}
+
+// encodeColumn encodes one column chunk: [presence?][values] plus optional
+// bloom bytes, and computes min/max/null statistics.
+func encodeColumn(vec *vector.Vector, n int, wantBloom bool, bloomBits int) (columnMeta, []byte, []byte) {
+	var meta columnMeta
+	var minD, maxD *types.Datum
+	nonNull := 0
+	for i := 0; i < n; i++ {
+		if vec.IsNull(i) {
+			meta.NullCount++
+			continue
+		}
+		nonNull++
+		d := vec.Get(i)
+		if minD == nil {
+			dc := d
+			minD, maxD = &dc, &dc
+			continue
+		}
+		if d.Compare(*minD) < 0 {
+			dc := d
+			minD = &dc
+		}
+		if d.Compare(*maxD) > 0 {
+			dc := d
+			maxD = &dc
+		}
+	}
+	meta.Min, meta.Max = minD, maxD
+	meta.HasNulls = meta.NullCount > 0
+
+	var out []byte
+	if meta.HasNulls {
+		out = append(out, encodePresence(vec.Nulls[:n])...)
+	}
+	switch vec.Type.Kind {
+	case types.Float64:
+		meta.Encoding = EncodeDouble
+		out = append(out, encodeDoubles(vec.F64[:n])...)
+	case types.String:
+		if dict := encodeStringsDict(vec.Str[:n]); dict != nil {
+			meta.Encoding = EncodeDict
+			out = append(out, dict...)
+		} else {
+			meta.Encoding = EncodeDirect
+			out = append(out, encodeStringsDirect(vec.Str[:n])...)
+		}
+	default:
+		meta.Encoding = EncodeRLE
+		out = append(out, encodeRLE(vec.I64[:n])...)
+	}
+
+	var bloomBytes []byte
+	if wantBloom && nonNull > 0 {
+		bf := newBloom(nonNull, bloomBits)
+		for i := 0; i < n; i++ {
+			if !vec.IsNull(i) {
+				bf.addDatum(vec.Get(i))
+			}
+		}
+		bloomBytes = bf.bytes()
+	}
+	return meta, out, bloomBytes
+}
+
+// Close flushes the final stripe and commits the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return fmt.Errorf("orc: writer already closed")
+	}
+	w.closed = true
+	if err := w.flushStripe(); err != nil {
+		return err
+	}
+	ft := footer{Rows: w.rows, Stripes: w.stripes}
+	for _, c := range w.schema {
+		ft.Names = append(ft.Names, c.Name)
+		ft.Types = append(ft.Types, c.Type.String())
+	}
+	fb, err := json.Marshal(ft)
+	if err != nil {
+		return fmt.Errorf("orc: encode footer: %v", err)
+	}
+	w.data = append(w.data, fb...)
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(fb)))
+	w.data = append(w.data, lenBuf[:]...)
+	w.data = append(w.data, magic...)
+	return w.fs.WriteFile(w.path, w.data)
+}

@@ -1,0 +1,125 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metastore"
+	"repro/internal/types"
+)
+
+func testTable() *metastore.Table {
+	return &metastore.Table{
+		DB: "d", Name: "t",
+		Cols: []metastore.Column{
+			{Name: "a", Type: types.TBigint},
+			{Name: "b", Type: types.TString},
+		},
+		PartKeys: []metastore.Column{{Name: "p", Type: types.TInt}},
+	}
+}
+
+func TestScanSchemaIncludesPartitionKeys(t *testing.T) {
+	s := NewScan(testTable(), "x")
+	fields := s.Schema()
+	if len(fields) != 3 || fields[2].Name != "p" || fields[0].Table != "x" {
+		t.Errorf("schema: %+v", fields)
+	}
+}
+
+func TestScanMetaColumns(t *testing.T) {
+	s := NewScan(testTable(), "")
+	s.Meta = true
+	fields := s.Schema()
+	if len(fields) != 6 || fields[0].Name != "__writeid" {
+		t.Errorf("meta schema: %+v", fields)
+	}
+}
+
+func TestDigestsDistinguishPlans(t *testing.T) {
+	s1 := NewScan(testTable(), "")
+	s2 := NewScan(testTable(), "")
+	if s1.Digest() != s2.Digest() {
+		t.Error("identical scans must share a digest")
+	}
+	f := &Filter{Input: s1, Cond: NewFunc("=", types.TBool,
+		&ColRef{Idx: 0, T: types.TBigint}, NewLiteral(types.NewBigint(1)))}
+	if f.Digest() == s1.Digest() {
+		t.Error("filter digest must differ from its input")
+	}
+}
+
+func TestCommutativeDigestNormalization(t *testing.T) {
+	a := &ColRef{Idx: 0, T: types.TBigint}
+	b := &ColRef{Idx: 1, T: types.TBigint}
+	d1 := NewFunc("=", types.TBool, a, b).Digest()
+	d2 := NewFunc("=", types.TBool, b, a).Digest()
+	if d1 != d2 {
+		t.Errorf("a=b and b=a digests differ: %s vs %s", d1, d2)
+	}
+	d1 = NewFunc("<", types.TBool, a, b).Digest()
+	d2 = NewFunc("<", types.TBool, b, a).Digest()
+	if d1 == d2 {
+		t.Error("a<b and b<a must differ")
+	}
+}
+
+func TestConjunctsAndAndAll(t *testing.T) {
+	a := NewLiteral(types.NewBool(true))
+	b := NewFunc("=", types.TBool, &ColRef{Idx: 0, T: types.TBigint}, NewLiteral(types.NewBigint(1)))
+	c := NewFunc("and", types.TBool, a, b)
+	parts := Conjuncts(c)
+	if len(parts) != 2 {
+		t.Errorf("conjuncts: %d", len(parts))
+	}
+	back := AndAll(parts)
+	if back == nil || len(Conjuncts(back)) != 2 {
+		t.Error("AndAll lost conjuncts")
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+}
+
+func TestShiftAndRemapCols(t *testing.T) {
+	e := NewFunc("+", types.TBigint,
+		&ColRef{Idx: 2, T: types.TBigint}, &ColRef{Idx: 5, T: types.TBigint})
+	shifted := ShiftCols(e, -2)
+	bits := map[int]bool{}
+	InputBits(shifted, bits)
+	if !bits[0] || !bits[3] || len(bits) != 2 {
+		t.Errorf("shifted bits: %v", bits)
+	}
+	if MaxCol(shifted) != 3 {
+		t.Errorf("max col: %d", MaxCol(shifted))
+	}
+}
+
+func TestJoinSchemaSemantics(t *testing.T) {
+	l := NewScan(testTable(), "l")
+	r := NewScan(testTable(), "r")
+	inner := &Join{Kind: Inner, Left: l, Right: r}
+	if len(inner.Schema()) != 6 {
+		t.Errorf("inner join width: %d", len(inner.Schema()))
+	}
+	semi := &Join{Kind: Semi, Left: l, Right: r}
+	if len(semi.Schema()) != 3 {
+		t.Errorf("semi join width: %d", len(semi.Schema()))
+	}
+}
+
+func TestExplainRendersTree(t *testing.T) {
+	s := NewScan(testTable(), "")
+	agg := &Aggregate{
+		Input:   s,
+		GroupBy: []Rex{&ColRef{Idx: 1, T: types.TString}},
+		Aggs:    []AggCall{{Fn: "count", T: types.TBigint}},
+	}
+	top := &Limit{Input: &Sort{Input: agg, Keys: []SortKey{{Col: 1, Desc: true}}}, N: 5}
+	out := Explain(top)
+	for _, want := range []string{"Limit 5", "Sort", "Aggregate", "TableScan d.t"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,562 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metastore"
+	"repro/internal/types"
+)
+
+// Field is one output column of a relational operator.
+type Field struct {
+	Table string // qualifier (table alias), may be empty
+	Name  string
+	T     types.T
+}
+
+// Rel is a logical relational operator.
+type Rel interface {
+	Children() []Rel
+	Schema() []Field
+	Digest() string
+}
+
+// JoinKind enumerates logical join types.
+type JoinKind uint8
+
+// Join kinds. Single is a scalar-subquery join: left outer on the condition
+// with a runtime guarantee of at most one match per left row.
+const (
+	Inner JoinKind = iota
+	Left
+	Right
+	Full
+	Cross
+	Semi
+	Anti
+	Single
+)
+
+func (k JoinKind) String() string {
+	return [...]string{"inner", "left", "right", "full", "cross", "semi", "anti", "single"}[k]
+}
+
+// Scan reads a table (or materialized view). Cols lists the ordinals of the
+// table's columns (data columns then partition keys) that the scan emits.
+// Filter holds pushed-down predicates over the scan's output. PartFilter
+// holds predicates that reference only partition keys (used for static and
+// dynamic partition pruning, §4.6).
+type Scan struct {
+	Table  *metastore.Table
+	Alias  string
+	Cols   []int
+	Filter []Rex
+	// Meta requests the three ACID system columns (__writeid, __fileid,
+	// __rowid) as the first outputs; UPDATE/DELETE/MERGE plans use them to
+	// address the rows they modify (paper §3.2).
+	Meta bool
+	// RF attaches dynamic semijoin reducers (paper §4.6) produced by join
+	// build sides to scan output columns.
+	RF     []RuntimeBind
+	fields []Field
+}
+
+// RuntimeBind links a runtime semijoin reducer to a scan column. When the
+// column is a partition key, the reducer's value set prunes whole
+// partitions (dynamic partition pruning); otherwise the min/max range and
+// Bloom filter drop rows and stripes (index semijoin).
+type RuntimeBind struct {
+	ID         int
+	Col        int // scan output ordinal
+	PartKeyIdx int // >= 0 when the column is a partition key
+}
+
+// TableCols returns the logical column list of a table: data columns
+// followed by partition key columns.
+func TableCols(t *metastore.Table) []metastore.Column {
+	out := append([]metastore.Column{}, t.Cols...)
+	return append(out, t.PartKeys...)
+}
+
+// NewScan builds a scan of every column.
+func NewScan(t *metastore.Table, alias string) *Scan {
+	all := TableCols(t)
+	cols := make([]int, len(all))
+	for i := range cols {
+		cols[i] = i
+	}
+	return &Scan{Table: t, Alias: alias, Cols: cols}
+}
+
+// Children implements Rel.
+func (s *Scan) Children() []Rel { return nil }
+
+// Schema implements Rel.
+func (s *Scan) Schema() []Field {
+	if s.fields == nil {
+		all := TableCols(s.Table)
+		alias := s.Alias
+		if alias == "" {
+			alias = s.Table.Name
+		}
+		if s.Meta {
+			for _, m := range []string{"__writeid", "__fileid", "__rowid"} {
+				s.fields = append(s.fields, Field{Table: alias, Name: m, T: types.TBigint})
+			}
+		}
+		for _, c := range s.Cols {
+			s.fields = append(s.fields, Field{Table: alias, Name: all[c].Name, T: all[c].Type})
+		}
+	}
+	return s.fields
+}
+
+// Digest implements Rel.
+func (s *Scan) Digest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scan(%s cols=%v", s.Table.FullName(), s.Cols)
+	if s.Meta {
+		b.WriteString(" meta")
+	}
+	for _, rf := range s.RF {
+		fmt.Fprintf(&b, " rf%d@%d", rf.ID, rf.Col)
+	}
+	for _, f := range s.Filter {
+		b.WriteString(" f=")
+		b.WriteString(f.Digest())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Values is an inline constant relation.
+type Values struct {
+	Rows  [][]types.Datum
+	Types []types.T
+	Names []string
+}
+
+// Children implements Rel.
+func (v *Values) Children() []Rel { return nil }
+
+// Schema implements Rel.
+func (v *Values) Schema() []Field {
+	out := make([]Field, len(v.Types))
+	for i := range v.Types {
+		name := fmt.Sprintf("col%d", i)
+		if i < len(v.Names) && v.Names[i] != "" {
+			name = v.Names[i]
+		}
+		out[i] = Field{Name: name, T: v.Types[i]}
+	}
+	return out
+}
+
+// Digest implements Rel.
+func (v *Values) Digest() string {
+	var b strings.Builder
+	b.WriteString("values(")
+	for i, r := range v.Rows {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		for j, d := range r {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(d.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Filter keeps rows satisfying Cond.
+type Filter struct {
+	Input Rel
+	Cond  Rex
+}
+
+// Children implements Rel.
+func (f *Filter) Children() []Rel { return []Rel{f.Input} }
+
+// Schema implements Rel.
+func (f *Filter) Schema() []Field { return f.Input.Schema() }
+
+// Digest implements Rel.
+func (f *Filter) Digest() string {
+	return "filter(" + f.Cond.Digest() + "," + f.Input.Digest() + ")"
+}
+
+// Project computes expressions over the input.
+type Project struct {
+	Input Rel
+	Exprs []Rex
+	Names []string
+}
+
+// Children implements Rel.
+func (p *Project) Children() []Rel { return []Rel{p.Input} }
+
+// Schema implements Rel.
+func (p *Project) Schema() []Field {
+	out := make([]Field, len(p.Exprs))
+	for i, e := range p.Exprs {
+		name := ""
+		if i < len(p.Names) {
+			name = p.Names[i]
+		}
+		if name == "" {
+			if c, ok := e.(*ColRef); ok {
+				in := p.Input.Schema()
+				if c.Idx < len(in) {
+					name = in[c.Idx].Name
+					out[i] = Field{Table: in[c.Idx].Table, Name: name, T: e.Type()}
+					continue
+				}
+			}
+			name = fmt.Sprintf("_c%d", i)
+		}
+		out[i] = Field{Name: name, T: e.Type()}
+	}
+	return out
+}
+
+// Digest implements Rel.
+func (p *Project) Digest() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.Digest()
+	}
+	return "project(" + strings.Join(parts, ",") + "," + p.Input.Digest() + ")"
+}
+
+// Join combines two inputs. For Semi/Anti the output schema is the left
+// input only; for Single it is left plus right.
+type Join struct {
+	Kind  JoinKind
+	Left  Rel
+	Right Rel
+	Cond  Rex // over concatenated (left ++ right) schema
+	// ReducerID, when non-zero, publishes the build (right) side's first
+	// equi-key values as a runtime semijoin reducer under this id.
+	ReducerID int
+}
+
+// Children implements Rel.
+func (j *Join) Children() []Rel { return []Rel{j.Left, j.Right} }
+
+// Schema implements Rel.
+func (j *Join) Schema() []Field {
+	l := j.Left.Schema()
+	switch j.Kind {
+	case Semi, Anti:
+		return l
+	}
+	out := append([]Field{}, l...)
+	for _, f := range j.Right.Schema() {
+		g := f
+		if j.Kind == Left || j.Kind == Full || j.Kind == Single {
+			// outer side may produce NULLs; type unchanged
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Digest implements Rel.
+func (j *Join) Digest() string {
+	cond := "true"
+	if j.Cond != nil {
+		cond = j.Cond.Digest()
+	}
+	return fmt.Sprintf("join[%s](%s,%s,%s)", j.Kind, cond, j.Left.Digest(), j.Right.Digest())
+}
+
+// Aggregate groups by GroupBy expressions and computes Aggs. The output
+// schema is the group columns followed by one column per aggregate, plus a
+// trailing BIGINT __grouping_id column when GroupingSets is non-nil
+// (paper §3.1 advanced OLAP).
+type Aggregate struct {
+	Input        Rel
+	GroupBy      []Rex
+	Aggs         []AggCall
+	GroupingSets [][]int // indexes into GroupBy; nil for plain GROUP BY
+	Names        []string
+}
+
+// Children implements Rel.
+func (a *Aggregate) Children() []Rel { return []Rel{a.Input} }
+
+// Schema implements Rel.
+func (a *Aggregate) Schema() []Field {
+	var out []Field
+	for i, g := range a.GroupBy {
+		name := fmt.Sprintf("_g%d", i)
+		if i < len(a.Names) && a.Names[i] != "" {
+			name = a.Names[i]
+		}
+		out = append(out, Field{Name: name, T: g.Type()})
+	}
+	for i, ag := range a.Aggs {
+		name := fmt.Sprintf("_a%d", i)
+		if k := len(a.GroupBy) + i; k < len(a.Names) && a.Names[k] != "" {
+			name = a.Names[k]
+		}
+		out = append(out, Field{Name: name, T: ag.T})
+	}
+	if a.GroupingSets != nil {
+		out = append(out, Field{Name: "__grouping_id", T: types.TBigint})
+	}
+	return out
+}
+
+// Digest implements Rel.
+func (a *Aggregate) Digest() string {
+	var b strings.Builder
+	b.WriteString("agg(g=")
+	for i, g := range a.GroupBy {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(g.Digest())
+	}
+	b.WriteString(" a=")
+	for i, ag := range a.Aggs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(ag.Digest())
+	}
+	if a.GroupingSets != nil {
+		fmt.Fprintf(&b, " sets=%v", a.GroupingSets)
+	}
+	b.WriteByte(',')
+	b.WriteString(a.Input.Digest())
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Window computes window functions; output = input columns ++ one column
+// per function.
+type Window struct {
+	Input Rel
+	Fns   []WindowFn
+	Names []string
+}
+
+// Children implements Rel.
+func (w *Window) Children() []Rel { return []Rel{w.Input} }
+
+// Schema implements Rel.
+func (w *Window) Schema() []Field {
+	out := append([]Field{}, w.Input.Schema()...)
+	for i, fn := range w.Fns {
+		name := fmt.Sprintf("_w%d", i)
+		if i < len(w.Names) && w.Names[i] != "" {
+			name = w.Names[i]
+		}
+		out = append(out, Field{Name: name, T: fn.T})
+	}
+	return out
+}
+
+// Digest implements Rel.
+func (w *Window) Digest() string {
+	parts := make([]string, len(w.Fns))
+	for i, fn := range w.Fns {
+		parts[i] = fn.Digest()
+	}
+	return "window(" + strings.Join(parts, ";") + "," + w.Input.Digest() + ")"
+}
+
+// Sort orders rows by the given keys.
+type Sort struct {
+	Input Rel
+	Keys  []SortKey
+}
+
+// Children implements Rel.
+func (s *Sort) Children() []Rel { return []Rel{s.Input} }
+
+// Schema implements Rel.
+func (s *Sort) Schema() []Field { return s.Input.Schema() }
+
+// Digest implements Rel.
+func (s *Sort) Digest() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.Digest()
+	}
+	return "sort(" + strings.Join(parts, ",") + "," + s.Input.Digest() + ")"
+}
+
+// Limit keeps the first N rows.
+type Limit struct {
+	Input Rel
+	N     int64
+}
+
+// Children implements Rel.
+func (l *Limit) Children() []Rel { return []Rel{l.Input} }
+
+// Schema implements Rel.
+func (l *Limit) Schema() []Field { return l.Input.Schema() }
+
+// Digest implements Rel.
+func (l *Limit) Digest() string {
+	return fmt.Sprintf("limit(%d,%s)", l.N, l.Input.Digest())
+}
+
+// SetOpKind enumerates set operations.
+type SetOpKind uint8
+
+// Set operations.
+const (
+	Union SetOpKind = iota
+	Intersect
+	Except
+)
+
+func (k SetOpKind) String() string {
+	return [...]string{"union", "intersect", "except"}[k]
+}
+
+// SetOp combines two inputs with identical arity.
+type SetOp struct {
+	Kind  SetOpKind
+	All   bool
+	Left  Rel
+	Right Rel
+}
+
+// Children implements Rel.
+func (s *SetOp) Children() []Rel { return []Rel{s.Left, s.Right} }
+
+// Schema implements Rel.
+func (s *SetOp) Schema() []Field { return s.Left.Schema() }
+
+// Digest implements Rel.
+func (s *SetOp) Digest() string {
+	all := ""
+	if s.All {
+		all = " all"
+	}
+	return fmt.Sprintf("%s%s(%s,%s)", s.Kind, all, s.Left.Digest(), s.Right.Digest())
+}
+
+// ForeignScan reads from an external system through a storage handler
+// (paper §6). Query carries the pushed-down query in the external system's
+// language (e.g. Druid JSON, Figure 6); Pushed describes which operators
+// were folded in, for EXPLAIN.
+type ForeignScan struct {
+	Handler string
+	Table   *metastore.Table
+	Query   string
+	Pushed  string
+	Fields  []Field
+}
+
+// Children implements Rel.
+func (f *ForeignScan) Children() []Rel { return nil }
+
+// Schema implements Rel.
+func (f *ForeignScan) Schema() []Field { return f.Fields }
+
+// Digest implements Rel.
+func (f *ForeignScan) Digest() string {
+	return fmt.Sprintf("foreign[%s](%s,%s)", f.Handler, f.Table.FullName(), f.Query)
+}
+
+// Explain renders a plan tree as an indented string.
+func Explain(r Rel) string {
+	var b strings.Builder
+	explain(&b, r, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, r Rel, depth int) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	switch x := r.(type) {
+	case *Scan:
+		fmt.Fprintf(b, "TableScan %s", x.Table.FullName())
+		if len(x.Filter) > 0 {
+			parts := make([]string, len(x.Filter))
+			for i, f := range x.Filter {
+				parts[i] = f.Digest()
+			}
+			fmt.Fprintf(b, " filter=[%s]", strings.Join(parts, " AND "))
+		}
+		fmt.Fprintf(b, " cols=%v", x.Cols)
+		for _, rf := range x.RF {
+			if rf.PartKeyIdx >= 0 {
+				fmt.Fprintf(b, " dynamic-partition-prune(rf%d)", rf.ID)
+			} else {
+				fmt.Fprintf(b, " semijoin-reducer(rf%d@$%d)", rf.ID, rf.Col)
+			}
+		}
+	case *ForeignScan:
+		fmt.Fprintf(b, "ForeignScan[%s] %s pushed=[%s]", x.Handler, x.Table.FullName(), x.Pushed)
+	case *Values:
+		fmt.Fprintf(b, "Values rows=%d", len(x.Rows))
+	case *Filter:
+		fmt.Fprintf(b, "Filter %s", x.Cond.Digest())
+	case *Project:
+		parts := make([]string, len(x.Exprs))
+		for i, e := range x.Exprs {
+			parts[i] = e.Digest()
+		}
+		fmt.Fprintf(b, "Project %s", strings.Join(parts, ", "))
+	case *Join:
+		cond := "true"
+		if x.Cond != nil {
+			cond = x.Cond.Digest()
+		}
+		fmt.Fprintf(b, "Join[%s] %s", x.Kind, cond)
+		if x.ReducerID != 0 {
+			fmt.Fprintf(b, " builds-reducer(rf%d)", x.ReducerID)
+		}
+	case *Aggregate:
+		fmt.Fprintf(b, "Aggregate groups=%d aggs=%d", len(x.GroupBy), len(x.Aggs))
+		if x.GroupingSets != nil {
+			fmt.Fprintf(b, " sets=%d", len(x.GroupingSets))
+		}
+	case *Window:
+		fmt.Fprintf(b, "Window fns=%d", len(x.Fns))
+	case *Sort:
+		fmt.Fprintf(b, "Sort keys=%d", len(x.Keys))
+	case *Limit:
+		fmt.Fprintf(b, "Limit %d", x.N)
+	case *SetOp:
+		fmt.Fprintf(b, "SetOp[%s all=%v]", x.Kind, x.All)
+	case *Spool:
+		fmt.Fprintf(b, "Spool shared=%d", x.ID)
+	default:
+		fmt.Fprintf(b, "%T", r)
+	}
+	b.WriteByte('\n')
+	for _, c := range r.Children() {
+		explain(b, c, depth+1)
+	}
+}
+
+// Spool marks a subtree whose result is computed once and shared by every
+// consumer — the product of the shared work optimizer (paper §4.5). All
+// Spool nodes with the same ID share one materialization.
+type Spool struct {
+	ID    int
+	Input Rel
+}
+
+// Children implements Rel.
+func (s *Spool) Children() []Rel { return []Rel{s.Input} }
+
+// Schema implements Rel.
+func (s *Spool) Schema() []Field { return s.Input.Schema() }
+
+// Digest implements Rel.
+func (s *Spool) Digest() string {
+	return fmt.Sprintf("spool#%d(%s)", s.ID, s.Input.Digest())
+}

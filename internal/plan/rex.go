@@ -1,0 +1,253 @@
+// Package plan defines the logical relational algebra the analyzer produces
+// and the optimizer transforms — the role Apache Calcite's RelNode/RexNode
+// trees play in Hive (paper §2, §4.1). Nodes carry resolved column
+// ordinals, types, and canonical digests used for plan matching by the
+// materialized-view rewriter, the shared-work optimizer and the query
+// result cache.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Rex is a scalar (row-level) expression over the input row of a Rel.
+type Rex interface {
+	Type() types.T
+	Digest() string
+}
+
+// ColRef references column Idx of the operator's input row.
+type ColRef struct {
+	Idx int
+	T   types.T
+}
+
+// Type implements Rex.
+func (c *ColRef) Type() types.T { return c.T }
+
+// Digest implements Rex.
+func (c *ColRef) Digest() string { return fmt.Sprintf("$%d", c.Idx) }
+
+// Literal is a constant.
+type Literal struct {
+	Val types.Datum
+	T   types.T
+}
+
+// Type implements Rex.
+func (l *Literal) Type() types.T { return l.T }
+
+// Digest implements Rex.
+func (l *Literal) Digest() string {
+	if l.Val.Null {
+		return "NULL:" + l.T.String()
+	}
+	if l.Val.K == types.String {
+		return "'" + l.Val.S + "'"
+	}
+	return l.Val.String()
+}
+
+// NewLiteral builds a literal from a datum.
+func NewLiteral(d types.Datum) *Literal {
+	t := types.T{Kind: d.K}
+	if d.K == types.Decimal {
+		t = types.TDecimal(18, d.DecimalScale())
+	}
+	return &Literal{Val: d, T: t}
+}
+
+// Func is an n-ary operation. Op names are lower-case ("+", "=", "and",
+// "or", "not", "like", "case", "cast", "extract:year", "coalesce", ...).
+type Func struct {
+	Op   string
+	Args []Rex
+	T    types.T
+}
+
+// Type implements Rex.
+func (f *Func) Type() types.T { return f.T }
+
+// Digest implements Rex.
+func (f *Func) Digest() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.Digest()
+	}
+	// Commutative operators get order-normalized digests so a=b matches b=a.
+	switch f.Op {
+	case "+", "*", "=", "and", "or":
+		if len(parts) == 2 && parts[0] > parts[1] {
+			parts[0], parts[1] = parts[1], parts[0]
+		}
+	}
+	return f.Op + "(" + strings.Join(parts, ",") + ")" + ":" + f.T.String()
+}
+
+// NewFunc constructs a Func with an explicit result type.
+func NewFunc(op string, t types.T, args ...Rex) *Func {
+	return &Func{Op: op, Args: args, T: t}
+}
+
+// Conjuncts splits a boolean expression on AND.
+func Conjuncts(e Rex) []Rex {
+	f, ok := e.(*Func)
+	if ok && f.Op == "and" {
+		var out []Rex
+		for _, a := range f.Args {
+			out = append(out, Conjuncts(a)...)
+		}
+		return out
+	}
+	if e == nil {
+		return nil
+	}
+	return []Rex{e}
+}
+
+// AndAll combines conjuncts back into one expression (nil when empty).
+func AndAll(conds []Rex) Rex {
+	var out Rex
+	for _, c := range conds {
+		if c == nil {
+			continue
+		}
+		if out == nil {
+			out = c
+		} else {
+			out = NewFunc("and", types.TBool, out, c)
+		}
+	}
+	return out
+}
+
+// InputBits reports which input columns an expression references.
+func InputBits(e Rex, bits map[int]bool) {
+	switch x := e.(type) {
+	case *ColRef:
+		bits[x.Idx] = true
+	case *Func:
+		for _, a := range x.Args {
+			InputBits(a, bits)
+		}
+	}
+}
+
+// ShiftCols returns a copy of e with every ColRef index shifted by delta.
+func ShiftCols(e Rex, delta int) Rex {
+	return RemapCols(e, func(i int) int { return i + delta })
+}
+
+// RemapCols returns a copy of e with ColRef indexes remapped by f.
+func RemapCols(e Rex, f func(int) int) Rex {
+	switch x := e.(type) {
+	case *ColRef:
+		return &ColRef{Idx: f(x.Idx), T: x.T}
+	case *Func:
+		args := make([]Rex, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = RemapCols(a, f)
+		}
+		return &Func{Op: x.Op, Args: args, T: x.T}
+	default:
+		return e
+	}
+}
+
+// MaxCol returns the largest ColRef index in e, or -1.
+func MaxCol(e Rex) int {
+	max := -1
+	bits := map[int]bool{}
+	InputBits(e, bits)
+	for i := range bits {
+		if i > max {
+			max = i
+		}
+	}
+	return max
+}
+
+// IsLiteralTrue reports whether e is the constant TRUE.
+func IsLiteralTrue(e Rex) bool {
+	l, ok := e.(*Literal)
+	return ok && !l.Val.Null && l.Val.K == types.Boolean && l.Val.I != 0
+}
+
+// AggCall is one aggregate function application.
+type AggCall struct {
+	Fn       string // count, sum, avg, min, max
+	Arg      Rex    // nil for COUNT(*)
+	Distinct bool
+	T        types.T
+}
+
+// Digest returns the canonical form of the aggregate.
+func (a AggCall) Digest() string {
+	s := a.Fn + "("
+	if a.Distinct {
+		s += "distinct "
+	}
+	if a.Arg != nil {
+		s += a.Arg.Digest()
+	} else {
+		s += "*"
+	}
+	return s + ")"
+}
+
+// SortKey orders by one output column of the input.
+type SortKey struct {
+	Col        int
+	Desc       bool
+	NullsFirst bool
+}
+
+// Digest renders a sort key.
+func (k SortKey) Digest() string {
+	d := fmt.Sprintf("$%d", k.Col)
+	if k.Desc {
+		d += " desc"
+	}
+	if k.NullsFirst {
+		d += " nf"
+	}
+	return d
+}
+
+// WindowFn is one windowed function application (paper §3.1 OLAP support).
+type WindowFn struct {
+	Fn          string // row_number, rank, dense_rank, sum, avg, min, max, count
+	Arg         Rex
+	PartitionBy []int
+	OrderBy     []SortKey
+	T           types.T
+}
+
+// Digest renders a window function.
+func (w WindowFn) Digest() string {
+	var b strings.Builder
+	b.WriteString(w.Fn)
+	b.WriteByte('(')
+	if w.Arg != nil {
+		b.WriteString(w.Arg.Digest())
+	}
+	b.WriteString(") over(p=")
+	for i, p := range w.PartitionBy {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "$%d", p)
+	}
+	b.WriteString(" o=")
+	for i, k := range w.OrderBy {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k.Digest())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

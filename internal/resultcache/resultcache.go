@@ -1,0 +1,130 @@
+// Package resultcache implements HS2's query results cache (paper §4.3):
+// entries are keyed by the resolved query representation plus the
+// transactional snapshot of every table read, so transactional consistency
+// decides validity. A pending-entry mode protects against a thundering
+// herd of identical queries racing to refill after an invalidating write.
+package resultcache
+
+import (
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Snapshot maps each table read by the query to the WriteId high watermark
+// it was answered under.
+type Snapshot map[string]int64
+
+func snapshotEqual(a, b Snapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+type entry struct {
+	columns  []string
+	rows     [][]types.Datum
+	snapshot Snapshot
+}
+
+type pending struct {
+	done chan struct{}
+}
+
+// Cache is one HS2 instance's results cache.
+type Cache struct {
+	mu         sync.Mutex
+	entries    map[string]*entry
+	pendings   map[string]*pending
+	maxEntries int
+
+	hits, misses, waits int64
+}
+
+// New creates a cache bounded to maxEntries results.
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &Cache{
+		entries:    make(map[string]*entry),
+		pendings:   make(map[string]*pending),
+		maxEntries: maxEntries,
+	}
+}
+
+// Outcome reports what Lookup decided.
+type Outcome int
+
+// Lookup outcomes.
+const (
+	Hit        Outcome = iota
+	MissFill           // caller should run the query and call Fill/Abandon
+	MissWaited         // caller waited for a pending fill; retry Lookup
+)
+
+// Lookup probes the cache. On Hit the cached rows are returned. On
+// MissFill the caller owns refilling (pending-entry mode: concurrent
+// identical queries will wait rather than also running). On MissWaited
+// another query just filled or abandoned; the caller should retry.
+func (c *Cache) Lookup(key string, current Snapshot) ([]string, [][]types.Datum, Outcome) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && snapshotEqual(e.snapshot, current) {
+		c.hits++
+		cols, rows := e.columns, e.rows
+		c.mu.Unlock()
+		return cols, rows, Hit
+	}
+	if p, ok := c.pendings[key]; ok {
+		c.waits++
+		c.mu.Unlock()
+		<-p.done
+		return nil, nil, MissWaited
+	}
+	c.misses++
+	c.pendings[key] = &pending{done: make(chan struct{})}
+	c.mu.Unlock()
+	return nil, nil, MissFill
+}
+
+// Fill completes a MissFill with results. Stale entries for the key are
+// replaced; the pending marker is released.
+func (c *Cache) Fill(key string, columns []string, rows [][]types.Datum, snap Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.maxEntries {
+		for k := range c.entries {
+			delete(c.entries, k) // evict arbitrary entry; bounded memory
+			break
+		}
+	}
+	c.entries[key] = &entry{columns: columns, rows: rows, snapshot: snap}
+	if p, ok := c.pendings[key]; ok {
+		close(p.done)
+		delete(c.pendings, key)
+	}
+}
+
+// Abandon releases a MissFill without caching (e.g. nondeterministic
+// query or execution error).
+func (c *Cache) Abandon(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.pendings[key]; ok {
+		close(p.done)
+		delete(c.pendings, key)
+	}
+}
+
+// Stats returns hit/miss/wait counters.
+func (c *Cache) Stats() (hits, misses, waits int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.waits
+}

@@ -1,0 +1,96 @@
+package resultcache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func row(v int64) []types.Datum { return []types.Datum{types.NewBigint(v)} }
+
+func TestHitMissAndInvalidation(t *testing.T) {
+	c := New(8)
+	snap := Snapshot{"db.t": 5}
+	_, _, out := c.Lookup("q1", snap)
+	if out != MissFill {
+		t.Fatalf("first lookup: %v", out)
+	}
+	c.Fill("q1", []string{"a"}, [][]types.Datum{row(1)}, snap)
+	cols, rows, out := c.Lookup("q1", snap)
+	if out != Hit || cols[0] != "a" || rows[0][0].I != 1 {
+		t.Fatalf("hit: %v %v %v", cols, rows, out)
+	}
+	// A different snapshot (after a write) misses.
+	_, _, out = c.Lookup("q1", Snapshot{"db.t": 6})
+	if out != MissFill {
+		t.Fatalf("stale snapshot should miss: %v", out)
+	}
+	c.Abandon("q1")
+}
+
+func TestPendingEntryBlocksThunderingHerd(t *testing.T) {
+	c := New(8)
+	snap := Snapshot{"db.t": 1}
+	if _, _, out := c.Lookup("q", snap); out != MissFill {
+		t.Fatal("expected fill ownership")
+	}
+	var wg sync.WaitGroup
+	results := make([]Outcome, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, out := c.Lookup("q", snap)
+			results[i] = out
+		}(i)
+	}
+	c.Fill("q", []string{"x"}, [][]types.Datum{row(7)}, snap)
+	wg.Wait()
+	for i, out := range results {
+		// A waiter either blocked on the pending entry (MissWaited) or ran
+		// after the fill and saw the fresh entry (Hit); it must never be
+		// handed fill ownership while another query is computing.
+		if out != MissWaited && out != Hit {
+			t.Errorf("waiter %d got %v, want MissWaited or Hit", i, out)
+		}
+	}
+	// Retry after wait is a hit.
+	if _, _, out := c.Lookup("q", snap); out != Hit {
+		t.Errorf("post-fill lookup: %v", out)
+	}
+}
+
+func TestAbandonReleasesWaiters(t *testing.T) {
+	c := New(8)
+	snap := Snapshot{}
+	c.Lookup("q", snap) // MissFill: we own it
+	done := make(chan Outcome, 1)
+	go func() {
+		_, _, out := c.Lookup("q", snap)
+		done <- out
+	}()
+	c.Abandon("q")
+	// The waiter either blocked on the pending entry (MissWaited) or ran
+	// after the abandon and took over the fill (MissFill); both are
+	// correct — the essential property is that it does not hang.
+	out := <-done
+	if out == MissFill {
+		c.Abandon("q")
+	} else if out != MissWaited {
+		t.Errorf("waiter after abandon: %v", out)
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 5; i++ {
+		key := string(rune('a' + i))
+		c.Lookup(key, Snapshot{})
+		c.Fill(key, nil, nil, Snapshot{})
+	}
+	hits, misses, _ := c.Stats()
+	if misses != 5 || hits != 0 {
+		t.Errorf("stats: %d hits %d misses", hits, misses)
+	}
+}

@@ -1,0 +1,664 @@
+package sql
+
+import (
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar expression node.
+type Expr interface{ expr() }
+
+// ---- Query statements ----
+
+// CTE is one WITH-clause entry.
+type CTE struct {
+	Name   string
+	Select *SelectStmt
+}
+
+// SelectStmt is a full query: optional CTEs, a set-operation body, and
+// outer ORDER BY / LIMIT.
+type SelectStmt struct {
+	With    []CTE
+	Body    QueryExpr
+	OrderBy []OrderItem
+	Limit   int64 // -1 when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// QueryExpr is either a *SelectCore or a *SetOp tree.
+type QueryExpr interface{ queryExpr() }
+
+// SetOpKind enumerates UNION / INTERSECT / EXCEPT.
+type SetOpKind uint8
+
+// Set operation kinds.
+const (
+	SetUnion SetOpKind = iota
+	SetIntersect
+	SetExcept
+)
+
+func (k SetOpKind) String() string {
+	switch k {
+	case SetIntersect:
+		return "INTERSECT"
+	case SetExcept:
+		return "EXCEPT"
+	}
+	return "UNION"
+}
+
+// SetOp combines two query expressions.
+type SetOp struct {
+	Kind  SetOpKind
+	All   bool
+	Left  QueryExpr
+	Right QueryExpr
+}
+
+func (*SetOp) queryExpr() {}
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool   // SELECT *
+	TableStar string // SELECT t.*
+}
+
+// SelectCore is a single SELECT block.
+type SelectCore struct {
+	Distinct     bool
+	Items        []SelectItem
+	From         TableRef // nil for "SELECT <exprs>"
+	Where        Expr
+	GroupBy      []Expr
+	GroupingSets [][]Expr // non-nil when GROUPING SETS/ROLLUP/CUBE used
+	Having       Expr
+}
+
+func (*SelectCore) queryExpr() {}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr       Expr
+	Desc       bool
+	NullsFirst *bool // nil = default (NULLS FIRST asc / LAST desc)
+}
+
+// ---- Table references ----
+
+// TableRef is a FROM-clause item.
+type TableRef interface{ tableRef() }
+
+// TableName references a catalog table, optionally aliased.
+type TableName struct {
+	DB    string // empty = current database
+	Name  string
+	Alias string
+}
+
+func (*TableName) tableRef() {}
+
+// Qualified renders db.name (db may be empty).
+func (t *TableName) Qualified() string {
+	if t.DB == "" {
+		return t.Name
+	}
+	return t.DB + "." + t.Name
+}
+
+// JoinKind enumerates join types.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinCross
+	JoinSemi
+	JoinAnti
+)
+
+func (k JoinKind) String() string {
+	return [...]string{"INNER", "LEFT", "RIGHT", "FULL", "CROSS", "SEMI", "ANTI"}[k]
+}
+
+// Join is a binary join between two table references.
+type Join struct {
+	Kind  JoinKind
+	Left  TableRef
+	Right TableRef
+	On    Expr
+}
+
+func (*Join) tableRef() {}
+
+// SubqueryRef is a derived table in FROM.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (*SubqueryRef) tableRef() {}
+
+// ---- Expressions ----
+
+// Ident is a (possibly qualified) column reference.
+type Ident struct {
+	Qualifier string
+	Name      string
+}
+
+func (*Ident) expr() {}
+
+func (id *Ident) String() string {
+	if id.Qualifier != "" {
+		return id.Qualifier + "." + id.Name
+	}
+	return id.Name
+}
+
+// Lit is a literal constant.
+type Lit struct{ Val types.Datum }
+
+func (*Lit) expr() {}
+
+// BinExpr is a binary operation; Op is one of
+// + - * / % = <> < <= > >= AND OR ||.
+type BinExpr struct {
+	Op string
+	L  Expr
+	R  Expr
+}
+
+func (*BinExpr) expr() {}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op string // "NOT", "-"
+	E  Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// WindowSpec is an OVER clause.
+type WindowSpec struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+}
+
+// Call is a function call, possibly aggregate or windowed.
+type Call struct {
+	Name     string
+	Args     []Expr
+	Distinct bool
+	Star     bool // COUNT(*)
+	Over     *WindowSpec
+}
+
+func (*Call) expr() {}
+
+// When is one CASE branch.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr
+}
+
+func (*CaseExpr) expr() {}
+
+// CastExpr is CAST(e AS type).
+type CastExpr struct {
+	E    Expr
+	Type types.T
+}
+
+func (*CastExpr) expr() {}
+
+// InExpr is "e [NOT] IN (list)" or "e [NOT] IN (subquery)".
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Sub  *SelectStmt
+	Not  bool
+}
+
+func (*InExpr) expr() {}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Sub *SelectStmt
+	Not bool
+}
+
+func (*ExistsExpr) expr() {}
+
+// SubqueryExpr is a scalar subquery.
+type SubqueryExpr struct{ Sub *SelectStmt }
+
+func (*SubqueryExpr) expr() {}
+
+// BetweenExpr is "e [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// LikeExpr is "e [NOT] LIKE pattern".
+type LikeExpr struct {
+	E, Pattern Expr
+	Not        bool
+}
+
+func (*LikeExpr) expr() {}
+
+// IsNullExpr is "e IS [NOT] NULL".
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// IntervalExpr is INTERVAL '<n>' unit.
+type IntervalExpr struct {
+	Value Expr
+	Unit  string // DAY, MONTH, YEAR, HOUR, MINUTE, SECOND
+}
+
+func (*IntervalExpr) expr() {}
+
+// ExtractExpr is EXTRACT(field FROM e).
+type ExtractExpr struct {
+	Field string
+	From  Expr
+}
+
+func (*ExtractExpr) expr() {}
+
+// ---- DML ----
+
+// InsertStmt is INSERT INTO/OVERWRITE ... VALUES | SELECT.
+type InsertStmt struct {
+	Table     *TableName
+	Columns   []string
+	Partition map[string]Expr // static partition spec values (nil exprs = dynamic)
+	Overwrite bool
+	Select    *SelectStmt
+	Values    [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// MultiInsertStmt is Hive's "FROM src INSERT INTO a SELECT ... INSERT INTO
+// b SELECT ..." which writes multiple tables in one transaction (§3.2).
+type MultiInsertStmt struct {
+	From    TableRef
+	Inserts []*InsertStmt // each Select has From == nil; uses shared From
+}
+
+func (*MultiInsertStmt) stmt() {}
+
+// UpdateStmt is UPDATE t SET c = e, ... [WHERE ...].
+type UpdateStmt struct {
+	Table *TableName
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET column = expr.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table *TableName
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// MergeClause is one WHEN [NOT] MATCHED branch.
+type MergeClause struct {
+	Matched bool
+	And     Expr // optional extra condition
+	Delete  bool
+	Set     []Assignment // update when Matched && !Delete
+	Values  []Expr       // insert values when !Matched
+}
+
+// MergeStmt is MERGE INTO target USING source ON cond WHEN ... .
+type MergeStmt struct {
+	Target *TableName
+	Source TableRef
+	On     Expr
+	When   []MergeClause
+}
+
+func (*MergeStmt) stmt() {}
+
+// ---- DDL ----
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name    string
+	Type    types.T
+	NotNull bool
+}
+
+// ForeignKeyDef is a table-level FOREIGN KEY constraint.
+type ForeignKeyDef struct {
+	Cols     []string
+	RefTable *TableName
+	RefCols  []string
+}
+
+// CreateTableStmt is CREATE [EXTERNAL] TABLE.
+type CreateTableStmt struct {
+	Table       *TableName
+	IfNotExists bool
+	External    bool
+	Cols        []ColumnDef
+	PartKeys    []ColumnDef
+	PrimaryKey  []string
+	ForeignKeys []ForeignKeyDef
+	UniqueKeys  [][]string
+	StoredBy    string // storage handler class name
+	TblProps    map[string]string
+	AsSelect    *SelectStmt // CTAS
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateMaterializedViewStmt is CREATE MATERIALIZED VIEW ... AS SELECT.
+type CreateMaterializedViewStmt struct {
+	Name           *TableName
+	DisableRewrite bool
+	StoredBy       string
+	TblProps       map[string]string
+	Query          *SelectStmt
+	QueryText      string // original SQL of the defining query
+}
+
+func (*CreateMaterializedViewStmt) stmt() {}
+
+// AlterMVRebuildStmt is ALTER MATERIALIZED VIEW name REBUILD.
+type AlterMVRebuildStmt struct{ Name *TableName }
+
+func (*AlterMVRebuildStmt) stmt() {}
+
+// DropStmt drops a table, view or database.
+type DropStmt struct {
+	Kind     string // "table", "materialized view", "database"
+	Name     *TableName
+	IfExists bool
+}
+
+func (*DropStmt) stmt() {}
+
+// AlterTableDropPartitionStmt is ALTER TABLE t DROP PARTITION (k=v,...).
+type AlterTableDropPartitionStmt struct {
+	Table *TableName
+	Spec  map[string]Expr
+}
+
+func (*AlterTableDropPartitionStmt) stmt() {}
+
+// CreateDatabaseStmt is CREATE DATABASE [IF NOT EXISTS] name.
+type CreateDatabaseStmt struct {
+	Name        string
+	IfNotExists bool
+}
+
+func (*CreateDatabaseStmt) stmt() {}
+
+// UseStmt switches the current database.
+type UseStmt struct{ DB string }
+
+func (*UseStmt) stmt() {}
+
+// ShowStmt is SHOW TABLES | DATABASES.
+type ShowStmt struct{ What string }
+
+func (*ShowStmt) stmt() {}
+
+// ExplainStmt wraps another statement.
+type ExplainStmt struct{ Inner Statement }
+
+func (*ExplainStmt) stmt() {}
+
+// SetStmt is SET key = value (session configuration).
+type SetStmt struct {
+	Key   string
+	Value string
+}
+
+func (*SetStmt) stmt() {}
+
+// AnalyzeStmt is ANALYZE TABLE t COMPUTE STATISTICS.
+type AnalyzeStmt struct{ Table *TableName }
+
+func (*AnalyzeStmt) stmt() {}
+
+// ---- Workload management DDL (paper §5.2) ----
+
+// CreateResourcePlanStmt is CREATE RESOURCE PLAN name.
+type CreateResourcePlanStmt struct{ Name string }
+
+func (*CreateResourcePlanStmt) stmt() {}
+
+// CreatePoolStmt is CREATE POOL plan.pool WITH alloc_fraction=..,
+// query_parallelism=...
+type CreatePoolStmt struct {
+	Plan             string
+	Pool             string
+	AllocFraction    float64
+	QueryParallelism int
+}
+
+func (*CreatePoolStmt) stmt() {}
+
+// CreateRuleStmt is CREATE RULE name IN plan WHEN metric > n THEN MOVE pool
+// | KILL.
+type CreateRuleStmt struct {
+	Name      string
+	Plan      string
+	Metric    string
+	Threshold int64
+	Kill      bool
+	MovePool  string
+}
+
+func (*CreateRuleStmt) stmt() {}
+
+// AddRuleStmt is ADD RULE name TO pool.
+type AddRuleStmt struct {
+	Rule string
+	Pool string
+}
+
+func (*AddRuleStmt) stmt() {}
+
+// CreateMappingStmt is CREATE APPLICATION|USER MAPPING name IN plan TO pool.
+type CreateMappingStmt struct {
+	Kind string // "application" or "user"
+	Name string
+	Plan string
+	Pool string
+}
+
+func (*CreateMappingStmt) stmt() {}
+
+// AlterPlanStmt is ALTER PLAN name SET DEFAULT POOL = pool
+// or ALTER RESOURCE PLAN name ENABLE ACTIVATE.
+type AlterPlanStmt struct {
+	Plan           string
+	DefaultPool    string
+	EnableActivate bool
+}
+
+func (*AlterPlanStmt) stmt() {}
+
+// FormatExpr renders an expression back to SQL-ish text; used for EXPLAIN,
+// digests and error messages.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	formatExpr(&b, e)
+	return b.String()
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Ident:
+		b.WriteString(x.String())
+	case *Lit:
+		if x.Val.K == types.String && !x.Val.Null {
+			b.WriteByte('\'')
+			b.WriteString(x.Val.S)
+			b.WriteByte('\'')
+		} else {
+			b.WriteString(x.Val.String())
+		}
+	case *BinExpr:
+		b.WriteByte('(')
+		formatExpr(b, x.L)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		formatExpr(b, x.R)
+		b.WriteByte(')')
+	case *UnaryExpr:
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		formatExpr(b, x.E)
+	case *Call:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		}
+		if x.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, a)
+		}
+		b.WriteByte(')')
+		if x.Over != nil {
+			b.WriteString(" OVER(...)")
+		}
+	case *CaseExpr:
+		b.WriteString("CASE")
+		if x.Operand != nil {
+			b.WriteByte(' ')
+			formatExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			formatExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			formatExpr(b, w.Then)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			formatExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	case *CastExpr:
+		b.WriteString("CAST(")
+		formatExpr(b, x.E)
+		b.WriteString(" AS ")
+		b.WriteString(x.Type.String())
+		b.WriteByte(')')
+	case *InExpr:
+		formatExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if x.Sub != nil {
+			b.WriteString("<subquery>")
+		}
+		for i, v := range x.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, v)
+		}
+		b.WriteByte(')')
+	case *ExistsExpr:
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS(<subquery>)")
+	case *SubqueryExpr:
+		b.WriteString("(<subquery>)")
+	case *BetweenExpr:
+		formatExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		formatExpr(b, x.Lo)
+		b.WriteString(" AND ")
+		formatExpr(b, x.Hi)
+	case *LikeExpr:
+		formatExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" LIKE ")
+		formatExpr(b, x.Pattern)
+	case *IsNullExpr:
+		formatExpr(b, x.E)
+		b.WriteString(" IS ")
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("NULL")
+	case *IntervalExpr:
+		b.WriteString("INTERVAL ")
+		formatExpr(b, x.Value)
+		b.WriteByte(' ')
+		b.WriteString(x.Unit)
+	case *ExtractExpr:
+		b.WriteString("EXTRACT(")
+		b.WriteString(x.Field)
+		b.WriteString(" FROM ")
+		formatExpr(b, x.From)
+		b.WriteByte(')')
+	default:
+		fmtUnknown(b, e)
+	}
+}
+
+func fmtUnknown(b *strings.Builder, e Expr) {
+	b.WriteString("<expr>")
+	_ = e
+}

@@ -1,0 +1,202 @@
+// Package sql implements the HiveQL frontend: a lexer, an abstract syntax
+// tree, and a recursive-descent parser covering the SQL surface the paper
+// exercises (§3.1): SELECT with joins, correlated subqueries, set
+// operations, grouping sets, window functions; ACID DML including MERGE and
+// Hive multi-insert; DDL with PARTITIONED BY, constraints, materialized
+// views; and the workload-management resource plan statements (§5.2).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int
+}
+
+var keywords = map[string]bool{}
+
+func init() {
+	for _, k := range strings.Fields(`
+		SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT DISTINCT ALL AS
+		JOIN INNER LEFT RIGHT FULL OUTER CROSS SEMI ANTI ON USING
+		UNION INTERSECT EXCEPT MINUS WITH
+		AND OR NOT IN EXISTS BETWEEN LIKE IS NULL TRUE FALSE
+		CASE WHEN THEN ELSE END CAST ASC DESC NULLS FIRST LAST
+		INSERT INTO OVERWRITE VALUES UPDATE SET DELETE MERGE MATCHED
+		TABLE CREATE DROP ALTER EXTERNAL IF PARTITIONED PARTITION
+		STORED TBLPROPERTIES CLUSTERED BUCKETS ROW FORMAT
+		PRIMARY FOREIGN KEY REFERENCES UNIQUE CONSTRAINT RELY NOVALIDATE DISABLE
+		MATERIALIZED VIEW REBUILD REWRITE ENABLE DATABASE SCHEMA SHOW TABLES DATABASES
+		EXPLAIN ANALYZE COMPUTE STATISTICS DESCRIBE USE
+		RESOURCE PLAN POOL RULE MOVE KILL TO ADD MAPPING APPLICATION USER DEFAULT ACTIVATE
+		INTERVAL EXTRACT OVER ROWS RANGE UNBOUNDED PRECEDING FOLLOWING CURRENT
+		GROUPING SETS ROLLUP CUBE
+		DAY DAYS MONTH MONTHS YEAR YEARS HOUR MINUTE SECOND
+	`) {
+		keywords[k] = true
+	}
+}
+
+// Lex tokenizes a statement. It returns an error for unterminated strings
+// or illegal characters.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sql: unterminated comment at %d", i)
+			}
+			i += end + 4
+		case c == '\'':
+			var sb strings.Builder
+			j := i + 1
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < n && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				if src[j] == '\\' && j+1 < n {
+					switch src[j+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\'':
+						sb.WriteByte('\'')
+					case '\\':
+						sb.WriteByte('\\')
+					default:
+						sb.WriteByte(src[j+1])
+					}
+					j += 2
+					continue
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: i})
+			i = j + 1
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: src[i+1 : j], Pos: i})
+			i = j + 1
+		case c == '`':
+			j := i + 1
+			for j < n && src[j] != '`' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sql: unterminated identifier at %d", i)
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[i+1 : j], Pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i
+			seenDot, seenExp := false, false
+			for j < n {
+				d := src[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && j > i {
+					seenExp = true
+					j++
+					if j < n && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[i:j], Pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: i})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: i})
+			}
+			i = j
+		default:
+			for _, op := range []string{"<=", ">=", "<>", "!=", "==", "||"} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, Token{Kind: TokOp, Text: op, Pos: i})
+					i += 2
+					goto next
+				}
+			}
+			if strings.ContainsRune("+-*/%(),.;=<>", rune(c)) {
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: i})
+				i++
+				goto next
+			}
+			return nil, fmt.Errorf("sql: illegal character %q at %d", c, i)
+		next:
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

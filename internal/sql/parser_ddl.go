@@ -1,0 +1,933 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ---- DML ----
+
+// parseInsert parses INSERT INTO/OVERWRITE. When withSource is false the
+// SELECT body's FROM clause is omitted (multi-insert branch).
+func (p *parser) parseInsert(withSource bool) (*InsertStmt, error) {
+	if err := p.expect("INSERT"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{}
+	switch {
+	case p.accept("INTO"):
+	case p.accept("OVERWRITE"):
+		st.Overwrite = true
+	default:
+		return nil, p.errf("expected INTO or OVERWRITE")
+	}
+	p.accept("TABLE")
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = tn
+	if p.accept("PARTITION") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st.Partition = map[string]Expr{}
+		for {
+			k, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			var v Expr
+			if p.accept("=") {
+				v, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			st.Partition[k] = v
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.at("(") {
+		// Could be column list or VALUES-less select; column list only
+		// contains identifiers followed by ')' then VALUES|SELECT.
+		save := p.pos
+		p.pos++
+		var cols []string
+		ok := true
+		for {
+			if p.cur().Kind != TokIdent {
+				ok = false
+				break
+			}
+			cols = append(cols, strings.ToLower(p.cur().Text))
+			p.pos++
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if ok && p.accept(")") && (p.at("VALUES") || p.at("SELECT") || p.at("WITH")) {
+			st.Columns = cols
+		} else {
+			p.pos = save
+		}
+	}
+	switch {
+	case p.accept("VALUES"):
+		for {
+			row, err := p.parseParenExprList()
+			if err != nil {
+				return nil, err
+			}
+			st.Values = append(st.Values, row)
+			if !p.accept(",") {
+				break
+			}
+		}
+	case p.at("SELECT") || p.at("WITH") || p.at("("):
+		if withSource {
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			st.Select = sel
+		} else {
+			sel, err := p.parseBodylessSelect()
+			if err != nil {
+				return nil, err
+			}
+			st.Select = sel
+		}
+	default:
+		return nil, p.errf("expected VALUES or SELECT in INSERT")
+	}
+	return st, nil
+}
+
+// parseBodylessSelect parses the "SELECT ... [WHERE] [GROUP BY]" branch of a
+// multi-insert, which inherits the statement-level FROM.
+func (p *parser) parseBodylessSelect() (*SelectStmt, error) {
+	if err := p.expect("SELECT"); err != nil {
+		return nil, err
+	}
+	core := &SelectCore{}
+	if p.accept("DISTINCT") {
+		core.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		core.Items = append(core.Items, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		core.Where = e
+	}
+	if p.accept("GROUP") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		if err := p.parseGroupBy(core); err != nil {
+			return nil, err
+		}
+	}
+	return &SelectStmt{Body: core, Limit: -1}, nil
+}
+
+// parseMultiInsert parses "FROM src INSERT ... INSERT ...".
+func (p *parser) parseMultiInsert() (Statement, error) {
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRefList()
+	if err != nil {
+		return nil, err
+	}
+	st := &MultiInsertStmt{From: from}
+	for p.at("INSERT") {
+		ins, err := p.parseInsert(false)
+		if err != nil {
+			return nil, err
+		}
+		st.Inserts = append(st.Inserts, ins)
+	}
+	if len(st.Inserts) == 0 {
+		return nil, p.errf("multi-insert requires at least one INSERT")
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.pos++ // UPDATE
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: tn}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, Assignment{Column: col, Value: val})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.pos++ // DELETE
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: tn}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseMerge() (Statement, error) {
+	p.pos++ // MERGE
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	target, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		target.Alias = a
+	} else if p.cur().Kind == TokIdent {
+		target.Alias = strings.ToLower(p.cur().Text)
+		p.pos++
+	}
+	if err := p.expect("USING"); err != nil {
+		return nil, err
+	}
+	source, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("ON"); err != nil {
+		return nil, err
+	}
+	on, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	st := &MergeStmt{Target: target, Source: source, On: on}
+	for p.accept("WHEN") {
+		cl := MergeClause{Matched: true}
+		if p.accept("NOT") {
+			cl.Matched = false
+		}
+		if err := p.expect("MATCHED"); err != nil {
+			return nil, err
+		}
+		if p.accept("AND") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			cl.And = cond
+		}
+		if err := p.expect("THEN"); err != nil {
+			return nil, err
+		}
+		switch {
+		case cl.Matched && p.accept("UPDATE"):
+			if err := p.expect("SET"); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				val, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				cl.Set = append(cl.Set, Assignment{Column: col, Value: val})
+				if !p.accept(",") {
+					break
+				}
+			}
+		case cl.Matched && p.accept("DELETE"):
+			cl.Delete = true
+		case !cl.Matched && p.accept("INSERT"):
+			if err := p.expect("VALUES"); err != nil {
+				return nil, err
+			}
+			vals, err := p.parseParenExprList()
+			if err != nil {
+				return nil, err
+			}
+			cl.Values = vals
+		default:
+			return nil, p.errf("unsupported MERGE action")
+		}
+		st.When = append(st.When, cl)
+	}
+	if len(st.When) == 0 {
+		return nil, p.errf("MERGE requires at least one WHEN clause")
+	}
+	return st, nil
+}
+
+// ---- DDL ----
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.pos++ // CREATE
+	switch {
+	case p.at("TABLE") || p.at("EXTERNAL"):
+		return p.parseCreateTable()
+	case p.at("MATERIALIZED"):
+		return p.parseCreateMV()
+	case p.accept("DATABASE") || p.accept("SCHEMA"):
+		st := &CreateDatabaseStmt{}
+		if p.accept("IF") {
+			p.expect("NOT")
+			p.expect("EXISTS")
+			st.IfNotExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Name = name
+		return st, nil
+	case p.accept("RESOURCE"):
+		if err := p.expect("PLAN"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateResourcePlanStmt{Name: name}, nil
+	case p.accept("POOL"):
+		return p.parseCreatePool()
+	case p.accept("RULE"):
+		return p.parseCreateRule()
+	case p.at("APPLICATION") || p.at("USER"):
+		kind := strings.ToLower(p.cur().Text)
+		p.pos++
+		if err := p.expect("MAPPING"); err != nil {
+			return nil, err
+		}
+		var name string
+		if p.cur().Kind == TokString {
+			name = p.cur().Text
+			p.pos++
+		} else {
+			n, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			name = n
+		}
+		if err := p.expect("IN"); err != nil {
+			return nil, err
+		}
+		plan, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("TO"); err != nil {
+			return nil, err
+		}
+		pool, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateMappingStmt{Kind: kind, Name: name, Plan: plan, Pool: pool}, nil
+	}
+	return nil, p.errf("unsupported CREATE %q", p.cur().Text)
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	st := &CreateTableStmt{TblProps: map[string]string{}}
+	if p.accept("EXTERNAL") {
+		st.External = true
+	}
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	if p.accept("IF") {
+		p.expect("NOT")
+		p.expect("EXISTS")
+		st.IfNotExists = true
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = tn
+	if p.accept("(") {
+		for {
+			switch {
+			case p.accept("PRIMARY"):
+				if err := p.expect("KEY"); err != nil {
+					return nil, err
+				}
+				cols, err := p.parseIdentList()
+				if err != nil {
+					return nil, err
+				}
+				st.PrimaryKey = cols
+				p.skipConstraintSuffix()
+			case p.accept("FOREIGN"):
+				if err := p.expect("KEY"); err != nil {
+					return nil, err
+				}
+				cols, err := p.parseIdentList()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("REFERENCES"); err != nil {
+					return nil, err
+				}
+				ref, err := p.parseTableName()
+				if err != nil {
+					return nil, err
+				}
+				refCols, err := p.parseIdentList()
+				if err != nil {
+					return nil, err
+				}
+				st.ForeignKeys = append(st.ForeignKeys, ForeignKeyDef{Cols: cols, RefTable: ref, RefCols: refCols})
+				p.skipConstraintSuffix()
+			case p.accept("UNIQUE"):
+				cols, err := p.parseIdentList()
+				if err != nil {
+					return nil, err
+				}
+				st.UniqueKeys = append(st.UniqueKeys, cols)
+				p.skipConstraintSuffix()
+			case p.accept("CONSTRAINT"):
+				if _, err := p.ident(); err != nil { // constraint name
+					return nil, err
+				}
+				continue // loop handles the PRIMARY/FOREIGN/UNIQUE that follows
+			default:
+				col, err := p.parseColumnDef()
+				if err != nil {
+					return nil, err
+				}
+				st.Cols = append(st.Cols, col)
+			}
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		switch {
+		case p.accept("PARTITIONED"):
+			if err := p.expect("BY"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.parseColumnDef()
+				if err != nil {
+					return nil, err
+				}
+				st.PartKeys = append(st.PartKeys, col)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		case p.accept("STORED"):
+			if p.accept("BY") {
+				if p.cur().Kind != TokString {
+					return nil, p.errf("expected storage handler class string")
+				}
+				st.StoredBy = p.cur().Text
+				p.pos++
+			} else if p.accept("AS") {
+				if _, err := p.ident(); err != nil { // ORC, PARQUET, ... accepted
+					return nil, err
+				}
+			}
+		case p.accept("TBLPROPERTIES"):
+			props, err := p.parseProps()
+			if err != nil {
+				return nil, err
+			}
+			for k, v := range props {
+				st.TblProps[k] = v
+			}
+		case p.accept("AS"):
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			st.AsSelect = sel
+		default:
+			return st, nil
+		}
+	}
+}
+
+func (p *parser) parseColumnDef() (ColumnDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	t, err := p.parseTypeName()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	cd := ColumnDef{Name: name, Type: t}
+	if p.accept("NOT") {
+		if err := p.expect("NULL"); err != nil {
+			return ColumnDef{}, err
+		}
+		cd.NotNull = true
+		p.skipConstraintSuffix()
+	}
+	return cd, nil
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return out, p.expect(")")
+}
+
+// skipConstraintSuffix consumes optional DISABLE NOVALIDATE RELY markers.
+func (p *parser) skipConstraintSuffix() {
+	for p.accept("DISABLE") || p.accept("NOVALIDATE") || p.accept("RELY") || p.accept("ENABLE") {
+	}
+}
+
+func (p *parser) parseProps() (map[string]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	props := map[string]string{}
+	for {
+		if p.cur().Kind != TokString {
+			return nil, p.errf("expected property key string")
+		}
+		k := p.cur().Text
+		p.pos++
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != TokString {
+			return nil, p.errf("expected property value string")
+		}
+		props[k] = p.cur().Text
+		p.pos++
+		if !p.accept(",") {
+			break
+		}
+	}
+	return props, p.expect(")")
+}
+
+func (p *parser) parseCreateMV() (Statement, error) {
+	p.pos++ // MATERIALIZED
+	if err := p.expect("VIEW"); err != nil {
+		return nil, err
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateMaterializedViewStmt{Name: tn, TblProps: map[string]string{}}
+	for {
+		switch {
+		case p.accept("DISABLE"):
+			if err := p.expect("REWRITE"); err != nil {
+				return nil, err
+			}
+			st.DisableRewrite = true
+		case p.accept("STORED"):
+			if err := p.expect("BY"); err != nil {
+				return nil, err
+			}
+			if p.cur().Kind != TokString {
+				return nil, p.errf("expected storage handler class string")
+			}
+			st.StoredBy = p.cur().Text
+			p.pos++
+		case p.accept("TBLPROPERTIES"):
+			props, err := p.parseProps()
+			if err != nil {
+				return nil, err
+			}
+			for k, v := range props {
+				st.TblProps[k] = v
+			}
+		case p.accept("AS"):
+			start := p.cur().Pos
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			st.Query = sel
+			end := p.cur().Pos
+			st.QueryText = strings.TrimSpace(strings.TrimSuffix(p.src[start:min(end, len(p.src))], ";"))
+			return st, nil
+		default:
+			return nil, p.errf("expected AS SELECT in CREATE MATERIALIZED VIEW")
+		}
+	}
+}
+
+func (p *parser) parseAlter() (Statement, error) {
+	p.pos++ // ALTER
+	switch {
+	case p.accept("MATERIALIZED"):
+		if err := p.expect("VIEW"); err != nil {
+			return nil, err
+		}
+		tn, err := p.parseTableName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("REBUILD"); err != nil {
+			return nil, err
+		}
+		return &AlterMVRebuildStmt{Name: tn}, nil
+	case p.accept("TABLE"):
+		tn, err := p.parseTableName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("DROP"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("PARTITION"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		spec := map[string]Expr{}
+		for {
+			k, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			spec[k] = v
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &AlterTableDropPartitionStmt{Table: tn, Spec: spec}, nil
+	case p.accept("PLAN"):
+		plan, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("SET"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("DEFAULT"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("POOL"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		pool, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &AlterPlanStmt{Plan: plan, DefaultPool: pool}, nil
+	case p.accept("RESOURCE"):
+		if err := p.expect("PLAN"); err != nil {
+			return nil, err
+		}
+		plan, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("ENABLE"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("ACTIVATE"); err != nil {
+			return nil, err
+		}
+		return &AlterPlanStmt{Plan: plan, EnableActivate: true}, nil
+	}
+	return nil, p.errf("unsupported ALTER %q", p.cur().Text)
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.pos++ // DROP
+	st := &DropStmt{}
+	switch {
+	case p.accept("TABLE"):
+		st.Kind = "table"
+	case p.accept("MATERIALIZED"):
+		if err := p.expect("VIEW"); err != nil {
+			return nil, err
+		}
+		st.Kind = "materialized view"
+	case p.accept("DATABASE") || p.accept("SCHEMA"):
+		st.Kind = "database"
+	default:
+		return nil, p.errf("unsupported DROP %q", p.cur().Text)
+	}
+	if p.accept("IF") {
+		p.expect("EXISTS")
+		st.IfExists = true
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = tn
+	return st, nil
+}
+
+func (p *parser) parseCreatePool() (Statement, error) {
+	// CREATE POOL plan.pool WITH alloc_fraction=0.8, query_parallelism=5
+	plan, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("."); err != nil {
+		return nil, err
+	}
+	pool, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &CreatePoolStmt{Plan: plan, Pool: pool}
+	if err := p.expect("WITH"); err != nil {
+		return nil, err
+	}
+	for {
+		key, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != TokNumber {
+			return nil, p.errf("expected number for %s", key)
+		}
+		val := p.cur().Text
+		p.pos++
+		switch key {
+		case "alloc_fraction":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, p.errf("bad alloc_fraction %q", val)
+			}
+			st.AllocFraction = f
+		case "query_parallelism":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, p.errf("bad query_parallelism %q", val)
+			}
+			st.QueryParallelism = n
+		default:
+			return nil, p.errf("unknown pool option %q", key)
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreateRule() (Statement, error) {
+	// CREATE RULE name IN plan WHEN metric > n THEN MOVE pool | KILL
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("IN"); err != nil {
+		return nil, err
+	}
+	plan, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("WHEN"); err != nil {
+		return nil, err
+	}
+	metric, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokNumber {
+		return nil, p.errf("expected threshold number")
+	}
+	threshold, err := strconv.ParseInt(p.cur().Text, 10, 64)
+	if err != nil {
+		return nil, p.errf("bad threshold %q", p.cur().Text)
+	}
+	p.pos++
+	if err := p.expect("THEN"); err != nil {
+		return nil, err
+	}
+	st := &CreateRuleStmt{Name: name, Plan: plan, Metric: metric, Threshold: threshold}
+	switch {
+	case p.accept("MOVE"):
+		pool, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.MovePool = pool
+	case p.accept("KILL"):
+		st.Kill = true
+	default:
+		return nil, p.errf("expected MOVE or KILL")
+	}
+	return st, nil
+}
+
+func (p *parser) parseAddRule() (Statement, error) {
+	p.pos++ // ADD
+	if err := p.expect("RULE"); err != nil {
+		return nil, err
+	}
+	rule, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("TO"); err != nil {
+		return nil, err
+	}
+	pool, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &AddRuleStmt{Rule: rule, Pool: pool}, nil
+}
+
+func (p *parser) parseSet() (Statement, error) {
+	p.pos++ // SET
+	key, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(".") {
+		part, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		key += "." + part
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	var val strings.Builder
+	for !p.atEOF() && !p.at(";") {
+		val.WriteString(p.cur().Text)
+		p.pos++
+	}
+	return &SetStmt{Key: key, Value: strings.TrimSpace(val.String())}, nil
+}
+
+func (p *parser) parseAnalyze() (Statement, error) {
+	p.pos++ // ANALYZE
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("COMPUTE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("STATISTICS"); err != nil {
+		return nil, err
+	}
+	return &AnalyzeStmt{Table: tn}, nil
+}

@@ -1,0 +1,116 @@
+package sql
+
+// IsDeterministic reports whether a SELECT avoids nondeterministic
+// functions (rand) and runtime constants (current_date,
+// current_timestamp); only deterministic queries enter the results cache
+// (paper §4.3).
+func IsDeterministic(sel *SelectStmt) bool {
+	det := true
+	var checkExpr func(e Expr)
+	var checkSelect func(ss *SelectStmt)
+	checkExpr = func(e Expr) {
+		if e == nil || !det {
+			return
+		}
+		switch x := e.(type) {
+		case *Call:
+			switch x.Name {
+			case "rand", "current_date", "current_timestamp", "unix_timestamp":
+				det = false
+				return
+			}
+			for _, a := range x.Args {
+				checkExpr(a)
+			}
+			if x.Over != nil {
+				for _, p := range x.Over.PartitionBy {
+					checkExpr(p)
+				}
+				for _, o := range x.Over.OrderBy {
+					checkExpr(o.Expr)
+				}
+			}
+		case *BinExpr:
+			checkExpr(x.L)
+			checkExpr(x.R)
+		case *UnaryExpr:
+			checkExpr(x.E)
+		case *CaseExpr:
+			checkExpr(x.Operand)
+			for _, w := range x.Whens {
+				checkExpr(w.Cond)
+				checkExpr(w.Then)
+			}
+			checkExpr(x.Else)
+		case *CastExpr:
+			checkExpr(x.E)
+		case *BetweenExpr:
+			checkExpr(x.E)
+			checkExpr(x.Lo)
+			checkExpr(x.Hi)
+		case *LikeExpr:
+			checkExpr(x.E)
+			checkExpr(x.Pattern)
+		case *IsNullExpr:
+			checkExpr(x.E)
+		case *InExpr:
+			checkExpr(x.E)
+			for _, v := range x.List {
+				checkExpr(v)
+			}
+			if x.Sub != nil {
+				checkSelect(x.Sub)
+			}
+		case *ExistsExpr:
+			checkSelect(x.Sub)
+		case *SubqueryExpr:
+			checkSelect(x.Sub)
+		case *IntervalExpr:
+			checkExpr(x.Value)
+		case *ExtractExpr:
+			checkExpr(x.From)
+		}
+	}
+	var checkBody func(q QueryExpr)
+	checkBody = func(q QueryExpr) {
+		switch b := q.(type) {
+		case *SetOp:
+			checkBody(b.Left)
+			checkBody(b.Right)
+		case *SelectCore:
+			for _, it := range b.Items {
+				checkExpr(it.Expr)
+			}
+			checkExpr(b.Where)
+			checkExpr(b.Having)
+			for _, g := range b.GroupBy {
+				checkExpr(g)
+			}
+			checkFrom(b.From, checkSelect)
+		}
+	}
+	checkSelect = func(ss *SelectStmt) {
+		if ss == nil || !det {
+			return
+		}
+		for _, cte := range ss.With {
+			checkSelect(cte.Select)
+		}
+		checkBody(ss.Body)
+		for _, o := range ss.OrderBy {
+			checkExpr(o.Expr)
+		}
+	}
+	checkSelect(sel)
+	return det
+}
+
+func checkFrom(tr TableRef, checkSelect func(*SelectStmt)) {
+	switch x := tr.(type) {
+	case *SubqueryRef:
+		checkSelect(x.Select)
+	case *Join:
+		checkFrom(x.Left, checkSelect)
+		checkFrom(x.Right, checkSelect)
+	}
+}

@@ -1,0 +1,185 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LockMode is the strength of a lock request.
+type LockMode uint8
+
+// Lock modes: common operations take shared locks; only reader/writer
+// disrupting operations (DROP TABLE, DROP PARTITION) take exclusive locks
+// (paper §3.2).
+const (
+	LockShared LockMode = iota
+	LockExclusive
+)
+
+// LockRequest names a lockable scope. For partitioned tables the
+// granularity is a partition; for unpartitioned tables the whole table
+// (empty Partition).
+type LockRequest struct {
+	Table     string
+	Partition string
+	Mode      LockMode
+}
+
+type lockKey struct {
+	table     string
+	partition string
+}
+
+type lockState struct {
+	sharedBy  map[int64]int // txn -> count
+	exclusive int64         // txn holding exclusive, 0 if none
+}
+
+// LockManager grants shared/exclusive locks with blocking waits.
+type LockManager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks map[lockKey]*lockState
+	held  map[int64][]lockKey
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	lm := &LockManager{
+		locks: make(map[lockKey]*lockState),
+		held:  make(map[int64][]lockKey),
+	}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// Acquire blocks until every requested lock is granted or the timeout
+// elapses. Requests are granted atomically (all or nothing) to avoid
+// deadlocks between multi-scope requests.
+func (lm *LockManager) Acquire(txnID int64, reqs []LockRequest, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for {
+		if lm.grantableLocked(txnID, reqs) {
+			for _, r := range reqs {
+				lm.grantLocked(txnID, r)
+			}
+			return nil
+		}
+		if timeout >= 0 && time.Now().After(deadline) {
+			return fmt.Errorf("txn: lock timeout for txn %d", txnID)
+		}
+		// Wake periodically so the deadline is honored even without signals.
+		waker := time.AfterFunc(10*time.Millisecond, lm.cond.Broadcast)
+		lm.cond.Wait()
+		waker.Stop()
+	}
+}
+
+// TryAcquire attempts the grant without blocking.
+func (lm *LockManager) TryAcquire(txnID int64, reqs []LockRequest) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if !lm.grantableLocked(txnID, reqs) {
+		return false
+	}
+	for _, r := range reqs {
+		lm.grantLocked(txnID, r)
+	}
+	return true
+}
+
+func (lm *LockManager) grantableLocked(txnID int64, reqs []LockRequest) bool {
+	for _, r := range reqs {
+		k := lockKey{r.Table, r.Partition}
+		if st := lm.locks[k]; st != nil {
+			if st.exclusive != 0 && st.exclusive != txnID {
+				return false
+			}
+			if r.Mode == LockExclusive {
+				for holder := range st.sharedBy {
+					if holder != txnID {
+						return false
+					}
+				}
+			}
+		}
+		// A table-level exclusive also conflicts with partition locks and
+		// vice versa: check the enclosing table scope.
+		if r.Partition != "" {
+			if tst := lm.locks[lockKey{r.Table, ""}]; tst != nil {
+				if tst.exclusive != 0 && tst.exclusive != txnID {
+					return false
+				}
+				if r.Mode == LockExclusive {
+					for holder := range tst.sharedBy {
+						if holder != txnID {
+							return false
+						}
+					}
+				}
+			}
+		} else if r.Mode == LockExclusive {
+			for other, ost := range lm.locks {
+				if other.table != r.Table || other.partition == "" {
+					continue
+				}
+				if ost.exclusive != 0 && ost.exclusive != txnID {
+					return false
+				}
+				for holder := range ost.sharedBy {
+					if holder != txnID {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (lm *LockManager) grantLocked(txnID int64, r LockRequest) {
+	k := lockKey{r.Table, r.Partition}
+	st := lm.locks[k]
+	if st == nil {
+		st = &lockState{sharedBy: make(map[int64]int)}
+		lm.locks[k] = st
+	}
+	if r.Mode == LockExclusive {
+		st.exclusive = txnID
+	} else {
+		st.sharedBy[txnID]++
+	}
+	lm.held[txnID] = append(lm.held[txnID], k)
+}
+
+// releaseAll frees every lock held by the transaction.
+func (lm *LockManager) releaseAll(txnID int64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, k := range lm.held[txnID] {
+		st := lm.locks[k]
+		if st == nil {
+			continue
+		}
+		if st.exclusive == txnID {
+			st.exclusive = 0
+		}
+		if n := st.sharedBy[txnID]; n > 1 {
+			st.sharedBy[txnID] = n - 1
+		} else {
+			delete(st.sharedBy, txnID)
+		}
+		if st.exclusive == 0 && len(st.sharedBy) == 0 {
+			delete(lm.locks, k)
+		}
+	}
+	delete(lm.held, txnID)
+	lm.cond.Broadcast()
+}
+
+// Release frees every lock held by the transaction (public entry point for
+// read-only queries that lock without a full transaction lifecycle).
+func (lm *LockManager) Release(txnID int64) { lm.releaseAll(txnID) }

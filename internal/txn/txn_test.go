@@ -1,0 +1,304 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTxnIdsMonotonic(t *testing.T) {
+	m := NewManager()
+	a, b, c := m.Begin(), m.Begin(), m.Begin()
+	if !(a < b && b < c) {
+		t.Errorf("txn ids not monotonic: %d %d %d", a, b, c)
+	}
+}
+
+func TestWriteIdPerTableScoped(t *testing.T) {
+	m := NewManager()
+	t1, t2 := m.Begin(), m.Begin()
+	w1a, _ := m.AllocateWriteId(t1, "db.a")
+	w2a, _ := m.AllocateWriteId(t2, "db.a")
+	w1b, _ := m.AllocateWriteId(t1, "db.b")
+	if w1a != 1 || w2a != 2 {
+		t.Errorf("writeids on db.a: %d %d", w1a, w2a)
+	}
+	if w1b != 1 {
+		t.Errorf("writeid on db.b should restart at 1, got %d", w1b)
+	}
+	// Same txn, same table: same WriteId.
+	again, _ := m.AllocateWriteId(t1, "db.a")
+	if again != w1a {
+		t.Errorf("re-allocation changed writeid: %d vs %d", again, w1a)
+	}
+	if _, err := m.AllocateWriteId(999, "db.a"); err == nil {
+		t.Error("allocation for unknown txn should fail")
+	}
+}
+
+func TestSnapshotIsolationVisibility(t *testing.T) {
+	m := NewManager()
+	writer := m.Begin()
+	w, _ := m.AllocateWriteId(writer, "db.t")
+
+	// Snapshot taken while writer is open: writer's data invisible.
+	snap := m.GetSnapshot()
+	valid := m.GetValidWriteIds("db.t", snap)
+	if valid.Valid(w) {
+		t.Error("open txn's writeid should be invalid in concurrent snapshot")
+	}
+
+	m.Commit(writer)
+	// Old snapshot still must not see it (repeatable snapshot).
+	valid = m.GetValidWriteIds("db.t", snap)
+	if valid.Valid(w) {
+		t.Error("snapshot taken before commit must not see the write")
+	}
+	// Fresh snapshot sees it.
+	valid = m.GetValidWriteIds("db.t", m.GetSnapshot())
+	if !valid.Valid(w) {
+		t.Error("fresh snapshot should see committed write")
+	}
+}
+
+func TestAbortedWritesNeverVisible(t *testing.T) {
+	m := NewManager()
+	bad := m.Begin()
+	w, _ := m.AllocateWriteId(bad, "db.t")
+	m.Abort(bad)
+	valid := m.GetValidWriteIds("db.t", m.GetSnapshot())
+	if valid.Valid(w) {
+		t.Error("aborted write visible")
+	}
+	// High watermark still advances past the aborted id.
+	if valid.HighWater != w {
+		t.Errorf("high water %d, want %d", valid.HighWater, w)
+	}
+}
+
+func TestFutureWritesInvisible(t *testing.T) {
+	m := NewManager()
+	snap := m.GetSnapshot()
+	later := m.Begin()
+	w, _ := m.AllocateWriteId(later, "db.t")
+	m.Commit(later)
+	valid := m.GetValidWriteIds("db.t", snap)
+	if valid.Valid(w) {
+		t.Error("write from txn begun after snapshot is visible")
+	}
+}
+
+func TestFirstCommitWins(t *testing.T) {
+	m := NewManager()
+	t1, t2 := m.Begin(), m.Begin()
+	m.AddWriteSet(t1, "db.t", "p=1", OpUpdate)
+	m.AddWriteSet(t2, "db.t", "p=1", OpDelete)
+	if err := m.Commit(t1); err != nil {
+		t.Fatalf("first commit should win: %v", err)
+	}
+	err := m.Commit(t2)
+	var conflict ErrConflict
+	if !errors.As(err, &conflict) {
+		t.Fatalf("second commit should conflict, got %v", err)
+	}
+	if st, _ := m.TxnStatus(t2); st != StatusAborted {
+		t.Error("conflicting txn should be aborted")
+	}
+}
+
+func TestInsertsNeverConflict(t *testing.T) {
+	m := NewManager()
+	t1, t2 := m.Begin(), m.Begin()
+	m.AddWriteSet(t1, "db.t", "p=1", OpInsert)
+	m.AddWriteSet(t2, "db.t", "p=1", OpInsert)
+	if err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(t2); err != nil {
+		t.Errorf("concurrent inserts must not conflict: %v", err)
+	}
+}
+
+func TestNoConflictDifferentPartitions(t *testing.T) {
+	m := NewManager()
+	t1, t2 := m.Begin(), m.Begin()
+	m.AddWriteSet(t1, "db.t", "p=1", OpUpdate)
+	m.AddWriteSet(t2, "db.t", "p=2", OpUpdate)
+	if err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(t2); err != nil {
+		t.Errorf("updates to different partitions must not conflict: %v", err)
+	}
+}
+
+func TestSerialUpdatesNoConflict(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	m.AddWriteSet(t1, "db.t", "", OpUpdate)
+	m.Commit(t1)
+	// t2 begins after t1 committed: no conflict.
+	t2 := m.Begin()
+	m.AddWriteSet(t2, "db.t", "", OpUpdate)
+	if err := m.Commit(t2); err != nil {
+		t.Errorf("serial updates should not conflict: %v", err)
+	}
+}
+
+func TestCommitAbortStateMachine(t *testing.T) {
+	m := NewManager()
+	id := m.Begin()
+	if err := m.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(id); err == nil {
+		t.Error("double commit should fail")
+	}
+	if err := m.Abort(id); err == nil {
+		t.Error("abort after commit should fail")
+	}
+	if err := m.Commit(12345); err == nil {
+		t.Error("commit of unknown txn should fail")
+	}
+}
+
+func TestCompactorValidWriteIdsBoundedByOpenTxn(t *testing.T) {
+	m := NewManager()
+	c1 := m.Begin()
+	m.AllocateWriteId(c1, "db.t")
+	m.Commit(c1) // writeid 1 committed
+	open := m.Begin()
+	m.AllocateWriteId(open, "db.t") // writeid 2 open
+	c2 := m.Begin()
+	m.AllocateWriteId(c2, "db.t")
+	m.Commit(c2) // writeid 3 committed but above an open writeid
+
+	v := m.CompactorValidWriteIds("db.t")
+	if v.HighWater != 1 {
+		t.Errorf("compactor high water %d, want 1 (bounded by open txn)", v.HighWater)
+	}
+	m.Commit(open)
+	v = m.CompactorValidWriteIds("db.t")
+	if v.HighWater != 3 {
+		t.Errorf("after commit, compactor high water %d, want 3", v.HighWater)
+	}
+}
+
+func TestSharedLocksCoexistExclusiveBlocks(t *testing.T) {
+	lm := NewLockManager()
+	if !lm.TryAcquire(1, []LockRequest{{Table: "t", Mode: LockShared}}) {
+		t.Fatal("first shared lock")
+	}
+	if !lm.TryAcquire(2, []LockRequest{{Table: "t", Mode: LockShared}}) {
+		t.Fatal("second shared lock should coexist")
+	}
+	if lm.TryAcquire(3, []LockRequest{{Table: "t", Mode: LockExclusive}}) {
+		t.Fatal("exclusive should block while shared held")
+	}
+	lm.Release(1)
+	lm.Release(2)
+	if !lm.TryAcquire(3, []LockRequest{{Table: "t", Mode: LockExclusive}}) {
+		t.Fatal("exclusive after releases")
+	}
+	if lm.TryAcquire(4, []LockRequest{{Table: "t", Mode: LockShared}}) {
+		t.Fatal("shared should block while exclusive held")
+	}
+}
+
+func TestPartitionVsTableLockInteraction(t *testing.T) {
+	lm := NewLockManager()
+	if !lm.TryAcquire(1, []LockRequest{{Table: "t", Partition: "p=1", Mode: LockShared}}) {
+		t.Fatal("partition shared")
+	}
+	// DROP TABLE needs table-level exclusive: must conflict with the
+	// partition reader.
+	if lm.TryAcquire(2, []LockRequest{{Table: "t", Mode: LockExclusive}}) {
+		t.Fatal("table exclusive must wait for partition locks")
+	}
+	// Another partition is still lockable.
+	if !lm.TryAcquire(3, []LockRequest{{Table: "t", Partition: "p=2", Mode: LockExclusive}}) {
+		t.Fatal("unrelated partition should be free")
+	}
+	lm.Release(1)
+	lm.Release(3)
+	if !lm.TryAcquire(2, []LockRequest{{Table: "t", Mode: LockExclusive}}) {
+		t.Fatal("table exclusive after partition released")
+	}
+	// Partition shared under table exclusive must block.
+	if lm.TryAcquire(4, []LockRequest{{Table: "t", Partition: "p=9", Mode: LockShared}}) {
+		t.Fatal("partition lock must respect table exclusive")
+	}
+}
+
+func TestBlockingAcquireWakesUp(t *testing.T) {
+	lm := NewLockManager()
+	lm.TryAcquire(1, []LockRequest{{Table: "t", Mode: LockExclusive}})
+	done := make(chan error, 1)
+	go func() {
+		done <- lm.Acquire(2, []LockRequest{{Table: "t", Mode: LockShared}}, 2*time.Second)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	lm.Release(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked acquire should succeed after release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("acquire did not wake up")
+	}
+}
+
+func TestAcquireTimeout(t *testing.T) {
+	lm := NewLockManager()
+	lm.TryAcquire(1, []LockRequest{{Table: "t", Mode: LockExclusive}})
+	err := lm.Acquire(2, []LockRequest{{Table: "t", Mode: LockShared}}, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("acquire should time out")
+	}
+}
+
+func TestConcurrentWritersExactlyOneWins(t *testing.T) {
+	m := NewManager()
+	const writers = 8
+	var wg sync.WaitGroup
+	results := make([]error, writers)
+	ids := make([]int64, writers)
+	for i := 0; i < writers; i++ {
+		ids[i] = m.Begin()
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.AddWriteSet(ids[i], "db.t", "row-scope", OpUpdate)
+			results[i] = m.Commit(ids[i])
+		}(i)
+	}
+	wg.Wait()
+	wins := 0
+	for _, err := range results {
+		if err == nil {
+			wins++
+		} else {
+			var c ErrConflict
+			if !errors.As(err, &c) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}
+	}
+	if wins != 1 {
+		t.Errorf("%d winners, want exactly 1", wins)
+	}
+}
+
+func TestCommitReleasesLocks(t *testing.T) {
+	m := NewManager()
+	id := m.Begin()
+	m.Locks().TryAcquire(id, []LockRequest{{Table: "t", Mode: LockExclusive}})
+	m.Commit(id)
+	if !m.Locks().TryAcquire(m.Begin(), []LockRequest{{Table: "t", Mode: LockExclusive}}) {
+		t.Error("locks not released at commit")
+	}
+}

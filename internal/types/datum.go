@@ -1,0 +1,649 @@
+package types
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Datum is a single SQL scalar value. It is a compact tagged union: numeric
+// kinds live in I or F, strings in S, nested values in List (structs and
+// arrays) or List as alternating key/value pairs (maps). NULL is represented
+// by Null==true with the Kind still carrying the static type.
+type Datum struct {
+	K    Kind
+	Null bool
+	I    int64 // Boolean(0/1), Int32, Int64, Decimal unscaled, Date days, Timestamp micros, Interval micros
+	F    float64
+	S    string
+	List []Datum
+}
+
+// NullOf returns a NULL datum of the given kind.
+func NullOf(k Kind) Datum { return Datum{K: k, Null: true} }
+
+// NewBool returns a BOOLEAN datum.
+func NewBool(b bool) Datum {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Datum{K: Boolean, I: i}
+}
+
+// NewInt returns an INT datum.
+func NewInt(v int32) Datum { return Datum{K: Int32, I: int64(v)} }
+
+// NewBigint returns a BIGINT datum.
+func NewBigint(v int64) Datum { return Datum{K: Int64, I: v} }
+
+// NewDouble returns a DOUBLE datum.
+func NewDouble(v float64) Datum { return Datum{K: Float64, F: v} }
+
+// NewString returns a STRING datum.
+func NewString(s string) Datum { return Datum{K: String, S: s} }
+
+// NewDecimal returns a DECIMAL datum with the given unscaled value and scale.
+// The scale is carried in F's bits via the type system at plan time; the datum
+// itself stores scale in the high bits of... no: datums carry scale in the
+// companion type. For standalone use the scale is stored in the S field as a
+// decimal string rendering when needed. Here we keep unscaled value + scale.
+func NewDecimal(unscaled int64, scale int) Datum {
+	return Datum{K: Decimal, I: unscaled, F: float64(scale)}
+}
+
+// DecimalScale returns the scale of a DECIMAL datum.
+func (d Datum) DecimalScale() int { return int(d.F) }
+
+// NewDate returns a DATE datum for the given days since the Unix epoch.
+func NewDate(days int64) Datum { return Datum{K: Date, I: days} }
+
+// NewTimestamp returns a TIMESTAMP datum for the given microseconds since
+// the Unix epoch.
+func NewTimestamp(micros int64) Datum { return Datum{K: Timestamp, I: micros} }
+
+// NewInterval returns a day-time INTERVAL datum in microseconds.
+func NewInterval(micros int64) Datum { return Datum{K: Interval, I: micros} }
+
+// NewArray returns an ARRAY datum.
+func NewArray(elems ...Datum) Datum { return Datum{K: Array, List: elems} }
+
+// NewStruct returns a STRUCT datum.
+func NewStruct(fields ...Datum) Datum { return Datum{K: Struct, List: fields} }
+
+// Bool returns the boolean value; valid only for Boolean datums.
+func (d Datum) Bool() bool { return d.I != 0 }
+
+// Float returns the value as float64, widening integer kinds.
+func (d Datum) Float() float64 {
+	switch d.K {
+	case Float64:
+		return d.F
+	case Decimal:
+		return float64(d.I) / pow10f(d.DecimalScale())
+	default:
+		return float64(d.I)
+	}
+}
+
+func pow10f(n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}
+
+// Pow10 returns 10^n as int64 (n must be small and non-negative).
+func Pow10(n int) int64 {
+	p := int64(1)
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}
+
+// Compare orders two datums. NULL sorts first (NULLS FIRST semantics); the
+// caller is responsible for SQL ternary logic when NULL must yield unknown.
+// Mixed numeric kinds compare by value.
+func (d Datum) Compare(o Datum) int {
+	if d.Null || o.Null {
+		switch {
+		case d.Null && o.Null:
+			return 0
+		case d.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	// Fast path: same kind.
+	if d.K == o.K {
+		switch d.K {
+		case String:
+			return strings.Compare(d.S, o.S)
+		case Float64:
+			return cmpFloat(d.F, o.F)
+		case Decimal:
+			if d.DecimalScale() == o.DecimalScale() {
+				return cmpInt(d.I, o.I)
+			}
+			return cmpFloat(d.Float(), o.Float())
+		case Array, Struct:
+			for i := 0; i < len(d.List) && i < len(o.List); i++ {
+				if c := d.List[i].Compare(o.List[i]); c != 0 {
+					return c
+				}
+			}
+			return cmpInt(int64(len(d.List)), int64(len(o.List)))
+		default:
+			return cmpInt(d.I, o.I)
+		}
+	}
+	// Cross-kind numeric / temporal comparison by widened value.
+	if isNumKind(d.K) && isNumKind(o.K) {
+		if d.K != Float64 && o.K != Float64 && d.K != Decimal && o.K != Decimal {
+			return cmpInt(d.I, o.I)
+		}
+		return cmpFloat(d.Float(), o.Float())
+	}
+	if (d.K == Date || d.K == Timestamp) && (o.K == Date || o.K == Timestamp) {
+		return cmpInt(d.micros(), o.micros())
+	}
+	// String vs numeric: compare as the numeric side when parseable.
+	if d.K == String && isNumKind(o.K) {
+		if f, err := strconv.ParseFloat(d.S, 64); err == nil {
+			return cmpFloat(f, o.Float())
+		}
+	}
+	if o.K == String && isNumKind(d.K) {
+		if f, err := strconv.ParseFloat(o.S, 64); err == nil {
+			return cmpFloat(d.Float(), f)
+		}
+	}
+	// Fall back to string rendering for stability.
+	return strings.Compare(d.String(), o.String())
+}
+
+func (d Datum) micros() int64 {
+	if d.K == Date {
+		return d.I * 86400 * 1e6
+	}
+	return d.I
+}
+
+func isNumKind(k Kind) bool {
+	return k == Int32 || k == Int64 || k == Float64 || k == Decimal || k == Boolean
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a stable hash for grouping and join keys. Numeric kinds that
+// compare equal hash equal (integers are hashed by value).
+func (d Datum) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	if d.Null {
+		h.WriteByte(0)
+		return h.Sum64()
+	}
+	switch d.K {
+	case String:
+		h.WriteByte(1)
+		h.WriteString(d.S)
+	case Float64:
+		h.WriteByte(2)
+		// Hash integral floats as their integer value so INT 3 == DOUBLE 3.0.
+		if d.F == math.Trunc(d.F) && math.Abs(d.F) < 1e15 {
+			writeUint64(&h, uint64(int64(d.F)))
+		} else {
+			writeUint64(&h, math.Float64bits(d.F))
+		}
+	case Decimal:
+		f := d.Float()
+		if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+			h.WriteByte(2)
+			writeUint64(&h, uint64(int64(f)))
+		} else {
+			h.WriteByte(2)
+			writeUint64(&h, math.Float64bits(f))
+		}
+	case Array, Struct, Map:
+		h.WriteByte(3)
+		for _, e := range d.List {
+			writeUint64(&h, e.Hash())
+		}
+	default:
+		h.WriteByte(2)
+		writeUint64(&h, uint64(d.I))
+	}
+	return h.Sum64()
+}
+
+func writeUint64(h *maphash.Hash, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// String renders the datum the way query results print it.
+func (d Datum) String() string {
+	if d.Null {
+		return "NULL"
+	}
+	switch d.K {
+	case Boolean:
+		if d.I != 0 {
+			return "true"
+		}
+		return "false"
+	case Float64:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case Decimal:
+		return FormatDecimal(d.I, d.DecimalScale())
+	case String:
+		return d.S
+	case Date:
+		return time.Unix(d.I*86400, 0).UTC().Format("2006-01-02")
+	case Timestamp:
+		return time.UnixMicro(d.I).UTC().Format("2006-01-02 15:04:05.000000")
+	case Interval:
+		return fmt.Sprintf("INTERVAL %d us", d.I)
+	case Array:
+		parts := make([]string, len(d.List))
+		for i, e := range d.List {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case Struct:
+		parts := make([]string, len(d.List))
+		for i, e := range d.List {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	return strconv.FormatInt(d.I, 10)
+}
+
+// FormatDecimal renders an unscaled decimal value with the given scale.
+func FormatDecimal(unscaled int64, scale int) string {
+	if scale == 0 {
+		return strconv.FormatInt(unscaled, 10)
+	}
+	neg := unscaled < 0
+	if neg {
+		unscaled = -unscaled
+	}
+	s := strconv.FormatInt(unscaled, 10)
+	for len(s) <= scale {
+		s = "0" + s
+	}
+	out := s[:len(s)-scale] + "." + s[len(s)-scale:]
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// ParseDate parses "YYYY-MM-DD" into days since epoch.
+func ParseDate(s string) (int64, error) {
+	t, err := time.ParseInLocation("2006-01-02", s, time.UTC)
+	if err != nil {
+		return 0, fmt.Errorf("types: bad date %q: %v", s, err)
+	}
+	return t.Unix() / 86400, nil
+}
+
+// ParseTimestamp parses "YYYY-MM-DD[ HH:MM:SS[.ffffff]]" into micros.
+func ParseTimestamp(s string) (int64, error) {
+	for _, layout := range []string{"2006-01-02 15:04:05.999999", "2006-01-02 15:04:05", "2006-01-02"} {
+		if t, err := time.ParseInLocation(layout, s, time.UTC); err == nil {
+			return t.UnixMicro(), nil
+		}
+	}
+	return 0, fmt.Errorf("types: bad timestamp %q", s)
+}
+
+// DateField extracts a component (year, month, day, quarter, dow) from a
+// DATE or TIMESTAMP datum.
+func DateField(d Datum, field string) (int64, error) {
+	var t time.Time
+	switch d.K {
+	case Date:
+		t = time.Unix(d.I*86400, 0).UTC()
+	case Timestamp:
+		t = time.UnixMicro(d.I).UTC()
+	default:
+		return 0, fmt.Errorf("types: EXTRACT from non-temporal %s", d.K)
+	}
+	switch strings.ToLower(field) {
+	case "year":
+		return int64(t.Year()), nil
+	case "month", "moy":
+		return int64(t.Month()), nil
+	case "day", "dom":
+		return int64(t.Day()), nil
+	case "quarter":
+		return int64((int(t.Month())-1)/3 + 1), nil
+	case "dow":
+		return int64(t.Weekday()), nil
+	case "hour":
+		return int64(t.Hour()), nil
+	case "minute":
+		return int64(t.Minute()), nil
+	case "second":
+		return int64(t.Second()), nil
+	}
+	return 0, fmt.Errorf("types: unknown EXTRACT field %q", field)
+}
+
+// Cast converts d to the target type, returning an error for impossible
+// conversions. NULL casts to NULL of the target kind.
+func Cast(d Datum, to T) (Datum, error) {
+	if d.Null {
+		return NullOf(to.Kind), nil
+	}
+	if d.K == to.Kind && to.Kind != Decimal {
+		return d, nil
+	}
+	switch to.Kind {
+	case Boolean:
+		switch d.K {
+		case Boolean:
+			return d, nil
+		case Int32, Int64:
+			return NewBool(d.I != 0), nil
+		case String:
+			b, err := strconv.ParseBool(strings.ToLower(d.S))
+			if err != nil {
+				return Datum{}, fmt.Errorf("types: cannot cast %q to BOOLEAN", d.S)
+			}
+			return NewBool(b), nil
+		}
+	case Int32, Int64:
+		var v int64
+		switch d.K {
+		case Boolean, Int32, Int64:
+			v = d.I
+		case Float64:
+			v = int64(d.F)
+		case Decimal:
+			v = d.I / Pow10(d.DecimalScale())
+		case Date, Timestamp:
+			v = d.I
+		case String:
+			f, err := strconv.ParseFloat(strings.TrimSpace(d.S), 64)
+			if err != nil {
+				return Datum{}, fmt.Errorf("types: cannot cast %q to %s", d.S, to.Kind)
+			}
+			v = int64(f)
+		default:
+			return Datum{}, castErr(d, to)
+		}
+		if to.Kind == Int32 {
+			return NewInt(int32(v)), nil
+		}
+		return NewBigint(v), nil
+	case Float64:
+		switch d.K {
+		case Boolean, Int32, Int64:
+			return NewDouble(float64(d.I)), nil
+		case Float64:
+			return d, nil
+		case Decimal:
+			return NewDouble(d.Float()), nil
+		case String:
+			f, err := strconv.ParseFloat(strings.TrimSpace(d.S), 64)
+			if err != nil {
+				return Datum{}, fmt.Errorf("types: cannot cast %q to DOUBLE", d.S)
+			}
+			return NewDouble(f), nil
+		default:
+			return Datum{}, castErr(d, to)
+		}
+	case Decimal:
+		switch d.K {
+		case Int32, Int64:
+			return NewDecimal(d.I*Pow10(to.Scale), to.Scale), nil
+		case Float64:
+			return NewDecimal(int64(math.Round(d.F*pow10f(to.Scale))), to.Scale), nil
+		case Decimal:
+			from := d.DecimalScale()
+			if from == to.Scale {
+				return d, nil
+			}
+			if from < to.Scale {
+				return NewDecimal(d.I*Pow10(to.Scale-from), to.Scale), nil
+			}
+			return NewDecimal(d.I/Pow10(from-to.Scale), to.Scale), nil
+		case String:
+			dec, err := ParseDecimal(strings.TrimSpace(d.S), to.Scale)
+			if err != nil {
+				return Datum{}, err
+			}
+			return dec, nil
+		default:
+			return Datum{}, castErr(d, to)
+		}
+	case String:
+		return NewString(d.String()), nil
+	case Date:
+		switch d.K {
+		case String:
+			days, err := ParseDate(strings.TrimSpace(d.S))
+			if err != nil {
+				return Datum{}, err
+			}
+			return NewDate(days), nil
+		case Timestamp:
+			return NewDate(d.I / (86400 * 1e6)), nil
+		case Int32, Int64:
+			return NewDate(d.I), nil
+		default:
+			return Datum{}, castErr(d, to)
+		}
+	case Timestamp:
+		switch d.K {
+		case String:
+			us, err := ParseTimestamp(strings.TrimSpace(d.S))
+			if err != nil {
+				return Datum{}, err
+			}
+			return NewTimestamp(us), nil
+		case Date:
+			return NewTimestamp(d.I * 86400 * 1e6), nil
+		case Int32, Int64:
+			return NewTimestamp(d.I), nil
+		default:
+			return Datum{}, castErr(d, to)
+		}
+	}
+	return Datum{}, castErr(d, to)
+}
+
+func castErr(d Datum, to T) error {
+	return fmt.Errorf("types: cannot cast %s to %s", d.K, to.Kind)
+}
+
+// ParseDecimal parses a decimal literal like "-12.345" to the given scale.
+func ParseDecimal(s string, scale int) (Datum, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	intPart, fracPart := s, ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart, fracPart = s[:i], s[i+1:]
+	}
+	if intPart == "" {
+		intPart = "0"
+	}
+	// Truncate or zero-pad the fraction to the requested scale.
+	if len(fracPart) > scale {
+		fracPart = fracPart[:scale]
+	}
+	for len(fracPart) < scale {
+		fracPart += "0"
+	}
+	v, err := strconv.ParseInt(intPart+fracPart, 10, 64)
+	if err != nil {
+		return Datum{}, fmt.Errorf("types: bad decimal %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return NewDecimal(v, scale), nil
+}
+
+// Arith applies a binary arithmetic operator (+ - * / %) to two non-NULL
+// datums, widening to their common supertype. Division always yields DOUBLE
+// unless both sides are decimals of equal scale.
+func Arith(op byte, a, b Datum) (Datum, error) {
+	if a.Null || b.Null {
+		return NullOf(resultKind(op, a, b)), nil
+	}
+	// Temporal +/- interval.
+	if (a.K == Date || a.K == Timestamp) && b.K == Interval {
+		us := a.micros()
+		switch op {
+		case '+':
+			us += b.I
+		case '-':
+			us -= b.I
+		default:
+			return Datum{}, fmt.Errorf("types: bad temporal op %c", op)
+		}
+		if a.K == Date {
+			return NewDate(us / (86400 * 1e6)), nil
+		}
+		return NewTimestamp(us), nil
+	}
+	if a.K == Interval && (b.K == Date || b.K == Timestamp) && op == '+' {
+		return Arith('+', b, a)
+	}
+	// Date - int => date shifted by days (Hive date_sub semantics).
+	if a.K == Date && (b.K == Int32 || b.K == Int64) {
+		switch op {
+		case '+':
+			return NewDate(a.I + b.I), nil
+		case '-':
+			return NewDate(a.I - b.I), nil
+		}
+	}
+	useFloat := a.K == Float64 || b.K == Float64 || op == '/'
+	if a.K == Decimal || b.K == Decimal {
+		if op != '/' && a.K != Float64 && b.K != Float64 {
+			return decimalArith(op, a, b)
+		}
+		useFloat = true
+	}
+	if useFloat {
+		x, y := a.Float(), b.Float()
+		switch op {
+		case '+':
+			return NewDouble(x + y), nil
+		case '-':
+			return NewDouble(x - y), nil
+		case '*':
+			return NewDouble(x * y), nil
+		case '/':
+			if y == 0 {
+				return NullOf(Float64), nil
+			}
+			return NewDouble(x / y), nil
+		case '%':
+			if y == 0 {
+				return NullOf(Float64), nil
+			}
+			return NewDouble(math.Mod(x, y)), nil
+		}
+	}
+	x, y := a.I, b.I
+	outK := Int64
+	if a.K == Int32 && b.K == Int32 {
+		outK = Int32
+	}
+	var v int64
+	switch op {
+	case '+':
+		v = x + y
+	case '-':
+		v = x - y
+	case '*':
+		v = x * y
+	case '%':
+		if y == 0 {
+			return NullOf(outK), nil
+		}
+		v = x % y
+	default:
+		return Datum{}, fmt.Errorf("types: unknown operator %c", op)
+	}
+	return Datum{K: outK, I: v}, nil
+}
+
+func decimalArith(op byte, a, b Datum) (Datum, error) {
+	sa, sb := 0, 0
+	if a.K == Decimal {
+		sa = a.DecimalScale()
+	}
+	if b.K == Decimal {
+		sb = b.DecimalScale()
+	}
+	switch op {
+	case '+', '-':
+		s := sa
+		if sb > s {
+			s = sb
+		}
+		av := a.I * Pow10(s-sa)
+		bv := b.I * Pow10(s-sb)
+		if op == '+' {
+			return NewDecimal(av+bv, s), nil
+		}
+		return NewDecimal(av-bv, s), nil
+	case '*':
+		return NewDecimal(a.I*b.I, sa+sb), nil
+	}
+	return Datum{}, fmt.Errorf("types: bad decimal op %c", op)
+}
+
+func resultKind(op byte, a, b Datum) Kind {
+	if op == '/' || a.K == Float64 || b.K == Float64 {
+		return Float64
+	}
+	if a.K == Decimal || b.K == Decimal {
+		return Decimal
+	}
+	if a.K == Date || a.K == Timestamp {
+		return a.K
+	}
+	return Int64
+}

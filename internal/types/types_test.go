@@ -1,0 +1,268 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseType(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"int", "INT"},
+		{"INTEGER", "INT"},
+		{"bigint", "BIGINT"},
+		{"double", "DOUBLE"},
+		{"string", "STRING"},
+		{"varchar(20)", "STRING"},
+		{"decimal(7,2)", "DECIMAL(7,2)"},
+		{"DECIMAL", "DECIMAL(10,0)"},
+		{"date", "DATE"},
+		{"timestamp", "TIMESTAMP"},
+		{"array<int>", "ARRAY<INT>"},
+		{"map<string,double>", "MAP<STRING,DOUBLE>"},
+		{"array<map<string,int>>", "ARRAY<MAP<STRING,INT>>"},
+	}
+	for _, c := range cases {
+		got, err := ParseType(c.in)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", c.in, err)
+		}
+		if got.String() != c.want {
+			t.Errorf("ParseType(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseType("frobnicator"); err == nil {
+		t.Error("ParseType accepted unknown type")
+	}
+	if _, err := ParseType("map<string>"); err == nil {
+		t.Error("ParseType accepted malformed map")
+	}
+}
+
+func TestCommonSupertype(t *testing.T) {
+	cases := []struct {
+		a, b, want T
+	}{
+		{TInt, TBigint, TBigint},
+		{TBigint, TDouble, TDouble},
+		{TInt, TDecimal(7, 2), TDecimal(7, 2)},
+		{TDecimal(7, 2), TDouble, TDouble},
+		{TString, TInt, TInt},
+		{TDate, TTimestamp, TTimestamp},
+		{TDate, TInterval, TDate},
+		{TString, TString, TString},
+	}
+	for _, c := range cases {
+		got, ok := CommonSupertype(c.a, c.b)
+		if !ok || got.Kind != c.want.Kind {
+			t.Errorf("CommonSupertype(%s,%s) = %s,%v want %s", c.a, c.b, got, ok, c.want)
+		}
+	}
+	if _, ok := CommonSupertype(TBool, TDate); ok {
+		t.Error("CommonSupertype(BOOLEAN,DATE) should fail")
+	}
+}
+
+func TestDatumCompare(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewBigint(5), NewInt(5), 0},
+		{NewDouble(1.5), NewInt(1), 1},
+		{NewString("abc"), NewString("abd"), -1},
+		{NewDecimal(150, 2), NewDecimal(150, 2), 0},  // 1.50 == 1.50
+		{NewDecimal(150, 2), NewDecimal(15, 1), 0},   // 1.50 == 1.5
+		{NewDecimal(151, 2), NewInt(1), 1},           // 1.51 > 1
+		{NullOf(Int32), NewInt(0), -1},               // NULLS FIRST
+		{NullOf(Int32), NullOf(String), 0},           // NULL == NULL for sorting
+		{NewDate(10), NewTimestamp(10 * 86400e6), 0}, // same instant
+		{NewString("12"), NewInt(13), -1},            // numeric coercion
+		{NewBool(true), NewBool(false), 1},
+	}
+	for i, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("case %d: %v.Compare(%v) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("case %d: reverse compare = %d, want %d", i, got, -c.want)
+		}
+	}
+}
+
+func TestDatumHashEqualImpliesHashEqual(t *testing.T) {
+	pairs := [][2]Datum{
+		{NewInt(42), NewBigint(42)},
+		{NewInt(3), NewDouble(3.0)},
+		{NewDecimal(300, 2), NewInt(3)},
+		{NewString("x"), NewString("x")},
+	}
+	for _, p := range pairs {
+		if p[0].Compare(p[1]) != 0 {
+			t.Fatalf("%v and %v should compare equal", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal datums %v, %v hash differently", p[0], p[1])
+		}
+	}
+	if NewString("a").Hash() == NewString("b").Hash() {
+		t.Error("suspicious: distinct strings hash equal")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{NewInt(7), "7"},
+		{NewBool(true), "true"},
+		{NewDecimal(-1234, 2), "-12.34"},
+		{NewDecimal(5, 3), "0.005"},
+		{NullOf(Int32), "NULL"},
+		{NewDate(0), "1970-01-01"},
+		{NewArray(NewInt(1), NewInt(2)), "[1,2]"},
+		{NewStruct(NewInt(1), NewString("a")), "{1,a}"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestCast(t *testing.T) {
+	d, err := Cast(NewString("12.75"), TDecimal(7, 2))
+	if err != nil || d.String() != "12.75" {
+		t.Errorf("cast string->decimal: %v %v", d, err)
+	}
+	d, err = Cast(NewDecimal(1275, 2), TBigint)
+	if err != nil || d.I != 12 {
+		t.Errorf("cast decimal->bigint: %v %v", d, err)
+	}
+	d, err = Cast(NewString("2018-03-04"), TDate)
+	if err != nil || d.String() != "2018-03-04" {
+		t.Errorf("cast string->date: %v %v", d, err)
+	}
+	d, err = Cast(NewDate(17964), TTimestamp)
+	if err != nil || d.K != Timestamp {
+		t.Errorf("cast date->timestamp: %v %v", d, err)
+	}
+	d, err = Cast(NullOf(String), TInt)
+	if err != nil || !d.Null || d.K != Int32 {
+		t.Errorf("cast NULL: %v %v", d, err)
+	}
+	if _, err = Cast(NewString("zebra"), TInt); err == nil {
+		t.Error("cast 'zebra'->INT should fail")
+	}
+	d, err = Cast(NewDecimal(15, 1), TDecimal(10, 3)) // 1.5 -> 1.500
+	if err != nil || d.I != 1500 || d.DecimalScale() != 3 {
+		t.Errorf("decimal rescale: %v %v", d, err)
+	}
+}
+
+func TestArith(t *testing.T) {
+	mustI := func(d Datum, err error) int64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.I
+	}
+	if v := mustI(Arith('+', NewInt(2), NewInt(3))); v != 5 {
+		t.Errorf("2+3 = %d", v)
+	}
+	if d, _ := Arith('/', NewInt(7), NewInt(2)); d.F != 3.5 {
+		t.Errorf("7/2 = %v, want 3.5 (division widens to double)", d)
+	}
+	if d, _ := Arith('/', NewInt(7), NewInt(0)); !d.Null {
+		t.Errorf("7/0 = %v, want NULL", d)
+	}
+	d, _ := Arith('+', NewDecimal(150, 2), NewDecimal(5, 1)) // 1.50 + 0.5 = 2.00
+	if d.String() != "2.00" {
+		t.Errorf("decimal add = %s", d)
+	}
+	d, _ = Arith('*', NewDecimal(25, 1), NewDecimal(25, 1)) // 2.5*2.5 = 6.25
+	if d.String() != "6.25" {
+		t.Errorf("decimal mul = %s", d)
+	}
+	d, _ = Arith('+', NewDate(10), NewInt(5))
+	if d.K != Date || d.I != 15 {
+		t.Errorf("date+int = %v", d)
+	}
+	d, _ = Arith('+', NewDate(0), NewInterval(86400*1e6*3))
+	if d.K != Date || d.I != 3 {
+		t.Errorf("date+interval = %v", d)
+	}
+	d, _ = Arith('+', NullOf(Int32), NewInt(1))
+	if !d.Null {
+		t.Errorf("NULL+1 = %v, want NULL", d)
+	}
+}
+
+func TestDateField(t *testing.T) {
+	days, err := ParseDate("2018-03-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDate(days)
+	for field, want := range map[string]int64{"year": 2018, "month": 3, "day": 15, "quarter": 1} {
+		got, err := DateField(d, field)
+		if err != nil || got != want {
+			t.Errorf("DateField(%s) = %d,%v want %d", field, got, err, want)
+		}
+	}
+	if _, err := DateField(NewInt(1), "year"); err == nil {
+		t.Error("DateField on INT should fail")
+	}
+}
+
+// Property: Compare is antisymmetric and Cast(x, T(x)) is identity for int64.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		da, db := NewBigint(a), NewBigint(b)
+		return da.Compare(db) == -db.Compare(da)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decimal formatting round-trips through ParseDecimal.
+func TestQuickDecimalRoundTrip(t *testing.T) {
+	f := func(v int64, scaleRaw uint8) bool {
+		scale := int(scaleRaw % 6)
+		if v > math.MaxInt64/1000 || v < math.MinInt64/1000 {
+			return true // avoid overflow in formatting paths
+		}
+		d := NewDecimal(v, scale)
+		back, err := ParseDecimal(d.String(), scale)
+		if err != nil {
+			return false
+		}
+		return back.I == v && back.DecimalScale() == scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: date parse/format round-trips.
+func TestQuickDateRoundTrip(t *testing.T) {
+	f := func(raw int32) bool {
+		days := int64(raw % 40000) // within sane year range
+		if days < 0 {
+			days = -days
+		}
+		s := NewDate(days).String()
+		back, err := ParseDate(s)
+		return err == nil && back == days
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package vector implements the columnar batch representation used by the
+// vectorized execution engine and the LLAP I/O elevator (paper §5.1): data is
+// processed in fixed-size batches of column vectors, each a typed slice plus
+// a null mask, with an optional selection vector identifying the live rows.
+package vector
+
+import (
+	"repro/internal/types"
+)
+
+// BatchSize is the default number of rows in a full batch.
+const BatchSize = 1024
+
+// Vector is a single column of values. Exactly one of I64, F64, Str is the
+// backing store, chosen by the type kind:
+//
+//	I64: BOOLEAN (0/1), INT, BIGINT, DECIMAL (unscaled), DATE, TIMESTAMP, INTERVAL
+//	F64: DOUBLE
+//	Str: STRING
+//
+// Nulls[i] reports whether row i is NULL. A nil Nulls slice means
+// "no nulls in this vector", which fast paths exploit.
+type Vector struct {
+	Type  types.T
+	Nulls []bool
+	I64   []int64
+	F64   []float64
+	Str   []string
+}
+
+// New returns a vector of the given type with capacity for n rows, length n.
+func New(t types.T, n int) *Vector {
+	v := &Vector{Type: t}
+	switch t.Kind {
+	case types.Float64:
+		v.F64 = make([]float64, n)
+	case types.String:
+		v.Str = make([]string, n)
+	default:
+		v.I64 = make([]int64, n)
+	}
+	return v
+}
+
+// Len returns the number of physical rows in the vector.
+func (v *Vector) Len() int {
+	switch v.Type.Kind {
+	case types.Float64:
+		return len(v.F64)
+	case types.String:
+		return len(v.Str)
+	default:
+		return len(v.I64)
+	}
+}
+
+// Resize sets the physical length to n, reallocating if needed.
+func (v *Vector) Resize(n int) {
+	switch v.Type.Kind {
+	case types.Float64:
+		if cap(v.F64) >= n {
+			v.F64 = v.F64[:n]
+		} else {
+			nf := make([]float64, n)
+			copy(nf, v.F64)
+			v.F64 = nf
+		}
+	case types.String:
+		if cap(v.Str) >= n {
+			v.Str = v.Str[:n]
+		} else {
+			ns := make([]string, n)
+			copy(ns, v.Str)
+			v.Str = ns
+		}
+	default:
+		if cap(v.I64) >= n {
+			v.I64 = v.I64[:n]
+		} else {
+			ni := make([]int64, n)
+			copy(ni, v.I64)
+			v.I64 = ni
+		}
+	}
+	if v.Nulls != nil {
+		if cap(v.Nulls) >= n {
+			old := len(v.Nulls)
+			v.Nulls = v.Nulls[:n]
+			for i := old; i < n; i++ {
+				v.Nulls[i] = false
+			}
+		} else {
+			nn := make([]bool, n)
+			copy(nn, v.Nulls)
+			v.Nulls = nn
+		}
+	}
+}
+
+// IsNull reports whether row i is NULL.
+func (v *Vector) IsNull(i int) bool { return v.Nulls != nil && v.Nulls[i] }
+
+// SetNull marks row i as NULL, allocating the null mask on first use.
+func (v *Vector) SetNull(i int) {
+	if v.Nulls == nil {
+		v.Nulls = make([]bool, v.Len())
+	}
+	v.Nulls[i] = true
+}
+
+// Get materializes row i as a Datum. Not for hot loops.
+func (v *Vector) Get(i int) types.Datum {
+	if v.IsNull(i) {
+		return types.NullOf(v.Type.Kind)
+	}
+	switch v.Type.Kind {
+	case types.Float64:
+		return types.NewDouble(v.F64[i])
+	case types.String:
+		return types.NewString(v.Str[i])
+	case types.Decimal:
+		return types.NewDecimal(v.I64[i], v.Type.Scale)
+	default:
+		return types.Datum{K: v.Type.Kind, I: v.I64[i]}
+	}
+}
+
+// Set stores a Datum into row i. The datum must already have the vector's
+// type (use types.Cast upstream).
+func (v *Vector) Set(i int, d types.Datum) {
+	if d.Null {
+		v.SetNull(i)
+		return
+	}
+	if v.Nulls != nil {
+		v.Nulls[i] = false
+	}
+	switch v.Type.Kind {
+	case types.Float64:
+		v.F64[i] = d.Float()
+	case types.String:
+		v.Str[i] = d.S
+	case types.Decimal:
+		// Normalize to the vector's scale.
+		ds := d.DecimalScale()
+		switch {
+		case d.K != types.Decimal:
+			v.I64[i] = d.I * types.Pow10(v.Type.Scale)
+		case ds == v.Type.Scale:
+			v.I64[i] = d.I
+		case ds < v.Type.Scale:
+			v.I64[i] = d.I * types.Pow10(v.Type.Scale-ds)
+		default:
+			v.I64[i] = d.I / types.Pow10(ds-v.Type.Scale)
+		}
+	default:
+		v.I64[i] = d.I
+	}
+}
+
+// CopyRow copies row src of from into row dst of v. Types must match.
+func (v *Vector) CopyRow(dst int, from *Vector, src int) {
+	if from.IsNull(src) {
+		v.SetNull(dst)
+		return
+	}
+	if v.Nulls != nil {
+		v.Nulls[dst] = false
+	}
+	switch v.Type.Kind {
+	case types.Float64:
+		v.F64[dst] = from.F64[src]
+	case types.String:
+		v.Str[dst] = from.Str[src]
+	default:
+		v.I64[dst] = from.I64[src]
+	}
+}
+
+// Batch is a set of equal-length column vectors plus an optional selection
+// vector. When Sel is non-nil, only rows Sel[0:N] are live; otherwise rows
+// 0..N-1 are live.
+type Batch struct {
+	Cols []*Vector
+	Sel  []int
+	N    int
+}
+
+// NewBatch allocates a batch with one vector per type, each sized to cap rows.
+func NewBatch(ts []types.T, capacity int) *Batch {
+	cols := make([]*Vector, len(ts))
+	for i, t := range ts {
+		cols[i] = New(t, capacity)
+	}
+	return &Batch{Cols: cols}
+}
+
+// Capacity returns the physical row capacity of the batch.
+func (b *Batch) Capacity() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// RowIdx maps a live-row ordinal to a physical row index.
+func (b *Batch) RowIdx(i int) int {
+	if b.Sel != nil {
+		return b.Sel[i]
+	}
+	return i
+}
+
+// Row materializes live row i as a slice of datums. Not for hot loops.
+func (b *Batch) Row(i int) []types.Datum {
+	r := b.RowIdx(i)
+	out := make([]types.Datum, len(b.Cols))
+	for c, col := range b.Cols {
+		out[c] = col.Get(r)
+	}
+	return out
+}
+
+// Compact rewrites the batch so the live rows become physical rows 0..N-1
+// and drops the selection vector. This simplifies operators that need dense
+// input (e.g. shuffle writers).
+func (b *Batch) Compact() {
+	if b.Sel == nil {
+		return
+	}
+	for _, col := range b.Cols {
+		switch col.Type.Kind {
+		case types.Float64:
+			for i := 0; i < b.N; i++ {
+				col.F64[i] = col.F64[b.Sel[i]]
+			}
+		case types.String:
+			for i := 0; i < b.N; i++ {
+				col.Str[i] = col.Str[b.Sel[i]]
+			}
+		default:
+			for i := 0; i < b.N; i++ {
+				col.I64[i] = col.I64[b.Sel[i]]
+			}
+		}
+		if col.Nulls != nil {
+			for i := 0; i < b.N; i++ {
+				col.Nulls[i] = col.Nulls[b.Sel[i]]
+			}
+		}
+	}
+	b.Sel = nil
+}
+
+// Types returns the column types of the batch.
+func (b *Batch) Types() []types.T {
+	ts := make([]types.T, len(b.Cols))
+	for i, c := range b.Cols {
+		ts[i] = c.Type
+	}
+	return ts
+}

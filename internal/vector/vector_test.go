@@ -1,0 +1,145 @@
+package vector
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestVectorSetGetRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ types.T
+		d   types.Datum
+	}{
+		{types.TInt, types.NewInt(42)},
+		{types.TBigint, types.NewBigint(-7)},
+		{types.TDouble, types.NewDouble(2.5)},
+		{types.TString, types.NewString("hello")},
+		{types.TBool, types.NewBool(true)},
+		{types.TDate, types.NewDate(17000)},
+		{types.TDecimal(7, 2), types.NewDecimal(1234, 2)},
+	}
+	for _, c := range cases {
+		v := New(c.typ, 4)
+		v.Set(2, c.d)
+		got := v.Get(2)
+		if got.Compare(c.d) != 0 {
+			t.Errorf("%s: got %v want %v", c.typ, got, c.d)
+		}
+	}
+}
+
+func TestVectorNulls(t *testing.T) {
+	v := New(types.TInt, 3)
+	if v.IsNull(1) {
+		t.Error("fresh vector should have no nulls")
+	}
+	v.Set(1, types.NullOf(types.Int32))
+	if !v.IsNull(1) || v.IsNull(0) {
+		t.Error("null mask wrong after SetNull")
+	}
+	v.Set(1, types.NewInt(9))
+	if v.IsNull(1) || v.Get(1).I != 9 {
+		t.Error("overwriting a null should clear the mask")
+	}
+}
+
+func TestVectorDecimalRescale(t *testing.T) {
+	v := New(types.TDecimal(10, 3), 1)
+	v.Set(0, types.NewDecimal(15, 1)) // 1.5 -> 1.500
+	if v.I64[0] != 1500 {
+		t.Errorf("rescale up: %d", v.I64[0])
+	}
+	v.Set(0, types.NewBigint(2)) // 2 -> 2.000
+	if v.I64[0] != 2000 {
+		t.Errorf("int into decimal: %d", v.I64[0])
+	}
+}
+
+func TestVectorResize(t *testing.T) {
+	v := New(types.TString, 2)
+	v.Set(0, types.NewString("a"))
+	v.SetNull(1)
+	v.Resize(5)
+	if v.Len() != 5 || v.Str[0] != "a" || !v.IsNull(1) || v.IsNull(4) {
+		t.Errorf("resize lost data: len=%d", v.Len())
+	}
+	v.Resize(1)
+	if v.Len() != 1 || v.Str[0] != "a" {
+		t.Error("shrink lost data")
+	}
+}
+
+func TestBatchSelectionAndCompact(t *testing.T) {
+	b := NewBatch([]types.T{types.TInt, types.TString}, 8)
+	for i := 0; i < 8; i++ {
+		b.Cols[0].Set(i, types.NewInt(int32(i)))
+		b.Cols[1].Set(i, types.NewString(string(rune('a'+i))))
+	}
+	b.Sel = []int{1, 3, 5}
+	b.N = 3
+	row := b.Row(1)
+	if row[0].I != 3 || row[1].S != "d" {
+		t.Errorf("Row(1) = %v", row)
+	}
+	b.Compact()
+	if b.Sel != nil || b.N != 3 {
+		t.Fatal("compact did not clear selection")
+	}
+	if b.Cols[0].I64[0] != 1 || b.Cols[0].I64[1] != 3 || b.Cols[0].I64[2] != 5 {
+		t.Errorf("compact ints: %v", b.Cols[0].I64[:3])
+	}
+	if b.Cols[1].Str[2] != "f" {
+		t.Errorf("compact strings: %v", b.Cols[1].Str[:3])
+	}
+}
+
+func TestBatchCompactWithNulls(t *testing.T) {
+	b := NewBatch([]types.T{types.TInt}, 4)
+	b.Cols[0].Set(0, types.NewInt(0))
+	b.Cols[0].SetNull(1)
+	b.Cols[0].Set(2, types.NewInt(2))
+	b.Cols[0].SetNull(3)
+	b.Sel = []int{1, 2}
+	b.N = 2
+	b.Compact()
+	if !b.Cols[0].IsNull(0) || b.Cols[0].IsNull(1) || b.Cols[0].I64[1] != 2 {
+		t.Error("null mask not compacted correctly")
+	}
+}
+
+func TestCopyRow(t *testing.T) {
+	src := New(types.TString, 2)
+	src.Set(0, types.NewString("x"))
+	src.SetNull(1)
+	dst := New(types.TString, 2)
+	dst.CopyRow(0, src, 1)
+	dst.CopyRow(1, src, 0)
+	if !dst.IsNull(0) || dst.Str[1] != "x" {
+		t.Error("CopyRow wrong")
+	}
+}
+
+// Property: for any int64 values, storing then reading through the Datum
+// interface is the identity.
+func TestQuickBigintRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		v := New(types.TBigint, len(vals))
+		for i, x := range vals {
+			v.Set(i, types.NewBigint(x))
+		}
+		for i, x := range vals {
+			if v.Get(i).I != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package wm implements the LLAP workload manager (paper §5.2): resource
+// plans with pools (a fraction of cluster executors plus a query
+// concurrency cap), mappings that route queries to pools, and triggers that
+// move or kill queries based on runtime metrics. Idle pool resources can be
+// borrowed by queries from other pools until the owning pool claims them.
+package wm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metastore"
+)
+
+// Action is a trigger outcome.
+type Action int
+
+// Trigger outcomes.
+const (
+	ActionNone Action = iota
+	ActionMove
+	ActionKill
+)
+
+// QueryMetrics feeds trigger evaluation.
+type QueryMetrics struct {
+	TotalRuntimeMS int64
+	ShuffleBytes   int64
+}
+
+type poolState struct {
+	pool      metastore.Pool
+	executors int
+	inUse     int
+	running   int
+	waiters   int
+}
+
+// Manager admits queries to pools and evaluates triggers.
+type Manager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	plan  *metastore.ResourcePlan
+	total int
+	pools map[string]*poolState
+}
+
+// NewManager instantiates the active resource plan over a cluster with the
+// given total executor count.
+func NewManager(plan *metastore.ResourcePlan, totalExecutors int) (*Manager, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("wm: nil resource plan")
+	}
+	m := &Manager{plan: plan, total: totalExecutors, pools: map[string]*poolState{}}
+	m.cond = sync.NewCond(&m.mu)
+	for name, p := range plan.Pools {
+		execs := int(p.AllocFraction * float64(totalExecutors))
+		if execs < 1 {
+			execs = 1
+		}
+		m.pools[name] = &poolState{pool: *p, executors: execs}
+	}
+	return m, nil
+}
+
+// PoolFor routes a query by application and user through the plan's
+// mappings, falling back to the default pool.
+func (m *Manager) PoolFor(user, application string) string {
+	for _, mp := range m.plan.Mappings {
+		switch mp.Kind {
+		case "application":
+			if mp.Name == application {
+				return mp.Pool
+			}
+		case "user":
+			if mp.Name == user {
+				return mp.Pool
+			}
+		}
+	}
+	return m.plan.DefaultPool
+}
+
+// Admission is a granted admission; Release returns the resources.
+type Admission struct {
+	m         *Manager
+	Pool      string
+	Executors int
+	released  bool
+}
+
+// Admit blocks until the pool has a concurrency slot, then grants the
+// query its executor share. Idle executors from other pools are borrowed
+// when the home pool is exhausted (paper §5.2).
+func (m *Manager) Admit(pool string) (*Admission, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.pools[pool]
+	if !ok {
+		return nil, fmt.Errorf("wm: no such pool %q", pool)
+	}
+	ps.waiters++
+	for ps.running >= ps.pool.QueryParallelism {
+		m.cond.Wait()
+	}
+	ps.waiters--
+	ps.running++
+	// Executor share: the pool's executors divided by its parallelism,
+	// topped up from idle pools when available.
+	share := ps.executors / ps.pool.QueryParallelism
+	if share < 1 {
+		share = 1
+	}
+	granted := share
+	if avail := ps.executors - ps.inUse; granted > avail {
+		granted = avail
+	}
+	// Borrow idle capacity from other pools (reclaimed when they admit).
+	if granted < share {
+		for _, other := range m.pools {
+			if other == ps {
+				continue
+			}
+			if other.waiters == 0 && other.running == 0 {
+				idle := other.executors - other.inUse
+				if idle > 0 {
+					take := share - granted
+					if take > idle {
+						take = idle
+					}
+					other.inUse += take
+					granted += take
+					if granted == share {
+						break
+					}
+				}
+			}
+		}
+	}
+	if granted < 1 {
+		granted = 1
+	}
+	ps.inUse += minInt(granted, ps.executors-ps.inUse)
+	return &Admission{m: m, Pool: pool, Executors: granted}, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Release returns the admission's resources.
+func (a *Admission) Release() {
+	a.m.mu.Lock()
+	defer a.m.mu.Unlock()
+	if a.released {
+		return
+	}
+	a.released = true
+	ps := a.m.pools[a.Pool]
+	ps.running--
+	ps.inUse -= minInt(a.Executors, ps.inUse)
+	// Over-borrowed executors drain from other pools opportunistically: we
+	// simply clamp them to zero lower bound during future admissions.
+	for _, other := range a.m.pools {
+		if other.inUse < 0 {
+			other.inUse = 0
+		}
+	}
+	a.m.cond.Broadcast()
+}
+
+// Evaluate checks the plan's triggers for a query in the admission's pool
+// and returns the fired action (the first matching trigger wins).
+func (m *Manager) Evaluate(pool string, metrics QueryMetrics) (Action, string) {
+	for _, tr := range m.plan.Triggers {
+		applies := false
+		for _, p := range tr.Pools {
+			if p == pool {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			continue
+		}
+		var value int64
+		switch tr.Metric {
+		case "total_runtime":
+			value = metrics.TotalRuntimeMS
+		case "shuffle_bytes":
+			value = metrics.ShuffleBytes
+		default:
+			continue
+		}
+		if value > tr.Threshold {
+			if tr.Action == metastore.ActionKill {
+				return ActionKill, ""
+			}
+			return ActionMove, tr.TargetPool
+		}
+	}
+	return ActionNone, ""
+}
+
+// Move re-homes a running query to another pool (e.g. a downgrade trigger):
+// the old admission is released and a new one acquired in the target pool.
+// Query fragments are easier to preempt than containers (paper §5.2), which
+// is what makes this operation cheap in LLAP.
+func (m *Manager) Move(a *Admission, target string) (*Admission, error) {
+	a.Release()
+	return m.Admit(target)
+}
+
+// PoolSnapshot reports a pool's state for tests and monitoring.
+func (m *Manager) PoolSnapshot(pool string) (running, inUse, executors int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.pools[pool]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("wm: no such pool %q", pool)
+	}
+	return ps.running, ps.inUse, ps.executors, nil
+}

@@ -1,0 +1,119 @@
+package wm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metastore"
+)
+
+func paperPlan(t *testing.T) *metastore.ResourcePlan {
+	t.Helper()
+	p := &metastore.ResourcePlan{
+		Name: "daytime",
+		Pools: map[string]*metastore.Pool{
+			"bi":  {Name: "bi", AllocFraction: 0.8, QueryParallelism: 2},
+			"etl": {Name: "etl", AllocFraction: 0.2, QueryParallelism: 4},
+		},
+		Mappings: []metastore.Mapping{
+			{Kind: "application", Name: "visualization_app", Pool: "bi"},
+		},
+		Triggers: []metastore.Trigger{{
+			Name: "downgrade", Metric: "total_runtime", Threshold: 3000,
+			Action: metastore.ActionMoveToPool, TargetPool: "etl", Pools: []string{"bi"},
+		}},
+		DefaultPool: "etl",
+	}
+	return p
+}
+
+func TestMappingRoutesQueries(t *testing.T) {
+	m, err := NewManager(paperPlan(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PoolFor("x", "visualization_app"); got != "bi" {
+		t.Errorf("application mapping: %s", got)
+	}
+	if got := m.PoolFor("x", "other_app"); got != "etl" {
+		t.Errorf("default pool: %s", got)
+	}
+}
+
+func TestAdmissionConcurrencyCap(t *testing.T) {
+	m, _ := NewManager(paperPlan(t), 10)
+	a1, err := m.Admit("bi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.Admit("bi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third admission must block until a release (parallelism=2).
+	done := make(chan *Admission, 1)
+	go func() {
+		a3, _ := m.Admit("bi")
+		done <- a3
+	}()
+	select {
+	case <-done:
+		t.Fatal("third admission should have blocked")
+	case <-time.After(30 * time.Millisecond):
+	}
+	a1.Release()
+	select {
+	case a3 := <-done:
+		a3.Release()
+	case <-time.After(time.Second):
+		t.Fatal("admission did not wake after release")
+	}
+	a2.Release()
+}
+
+func TestExecutorSharesAndBorrowing(t *testing.T) {
+	m, _ := NewManager(paperPlan(t), 10)
+	a, _ := m.Admit("bi") // bi has 8 executors, parallelism 2 -> share 4
+	if a.Executors < 4 {
+		t.Errorf("bi admission got %d executors, want >= 4", a.Executors)
+	}
+	a.Release()
+	running, inUse, _, _ := m.PoolSnapshot("bi")
+	if running != 0 || inUse != 0 {
+		t.Errorf("release did not return resources: running=%d inUse=%d", running, inUse)
+	}
+}
+
+func TestTriggers(t *testing.T) {
+	m, _ := NewManager(paperPlan(t), 10)
+	action, target := m.Evaluate("bi", QueryMetrics{TotalRuntimeMS: 5000})
+	if action != ActionMove || target != "etl" {
+		t.Errorf("downgrade trigger: %v -> %s", action, target)
+	}
+	action, _ = m.Evaluate("bi", QueryMetrics{TotalRuntimeMS: 100})
+	if action != ActionNone {
+		t.Errorf("under threshold: %v", action)
+	}
+	// Trigger does not apply to pools it is not attached to.
+	action, _ = m.Evaluate("etl", QueryMetrics{TotalRuntimeMS: 5000})
+	if action != ActionNone {
+		t.Errorf("unattached pool: %v", action)
+	}
+}
+
+func TestMoveRehomesQuery(t *testing.T) {
+	m, _ := NewManager(paperPlan(t), 10)
+	a, _ := m.Admit("bi")
+	moved, err := m.Move(a, "etl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Pool != "etl" {
+		t.Errorf("moved to %s", moved.Pool)
+	}
+	running, _, _, _ := m.PoolSnapshot("bi")
+	if running != 0 {
+		t.Error("bi slot not released by move")
+	}
+	moved.Release()
+}
