@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+# check is the CI gate: vet, build, race-test the concurrency-sensitive
+# packages, then run the full suite.
+check: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race ./internal/exec/... ./internal/llap/... ./internal/resultcache/...
+
+test:
+	$(GO) test ./...
+
+# bench reruns the paper figures and the PR 1 parallel speedup numbers.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -11,6 +11,7 @@ package hive
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -100,6 +101,49 @@ func BenchmarkFigure8(b *testing.B) {
 			b.StopTimer()
 			bench.PrintFigure8(os.Stdout, timings)
 			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkParallelSpeedup measures morsel-driven intra-query parallelism
+// (hive.parallelism) on scan/agg- and join-heavy queries over the
+// day-partitioned TPC-DS fact table. The LLAP data cache is disabled so
+// every iteration pays the simulated storage latency — the cold-scan cost
+// that parallel workers overlap, as LLAP executor slots do in the paper's
+// Table 1. Executors are oversized so the pool never caps the DOP.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	queries := []struct{ name, sql string }{
+		{"scan_agg", `SELECT ss_sold_date_sk, COUNT(*), SUM(ss_sales_price), AVG(ss_quantity)
+			FROM store_sales GROUP BY ss_sold_date_sk`},
+		{"join_agg", `SELECT i_category, SUM(ss_sales_price), COUNT(*)
+			FROM store_sales, item WHERE ss_item_sk = i_item_sk GROUP BY i_category`},
+	}
+	dops := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		dops = append(dops, n)
+	}
+	for _, q := range queries {
+		for _, dop := range dops {
+			b.Run(fmt.Sprintf("%s/dop=%d", q.name, dop), func(b *testing.B) {
+				wh, err := Open(Config{DiskLatency: true, Executors: 4 * runtime.NumCPU()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { wh.Close() })
+				s := wh.Session()
+				if err := bench.SetupTPCDS(func(q string) error { _, err := s.Exec(q); return err }, bench.SmallTPCDS()); err != nil {
+					b.Fatal(err)
+				}
+				s.SetConf("hive.query.results.cache.enabled", "false")
+				s.SetConf("hive.llap.enabled", "false")
+				s.SetConf("hive.parallelism", fmt.Sprint(dop))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Exec(q.sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

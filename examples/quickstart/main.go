@@ -33,4 +33,13 @@ func main() {
 	// Partition pruning: only the sold_date_sk=2 directory is read.
 	res = s.MustExec(`SELECT COUNT(*) FROM store_sales WHERE sold_date_sk = 2`)
 	fmt.Println("rows on day 2:", res)
+
+	// Intra-query parallelism: LLAP fragments fan out over executor
+	// slots, with partitions scanned morsel-style by parallel workers.
+	// The default is the machine's CPU count; tune it per session.
+	s.SetConf("hive.parallelism", "4")
+	res = s.MustExec(`SELECT sold_date_sk, SUM(quantity) FROM store_sales
+		GROUP BY sold_date_sk ORDER BY sold_date_sk`)
+	fmt.Println("quantity by day (parallel):")
+	fmt.Println(res)
 }

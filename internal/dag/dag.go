@@ -122,8 +122,17 @@ type Runner struct {
 	ScratchDir string
 	// Daemons, in LLAP mode, is the persistent executor pool.
 	Daemons *llap.Daemons
+	// DOP is the intra-query degree of parallelism (hive.parallelism).
+	// In LLAP mode, fragments fan out across executor slots morsel-style;
+	// MR and container modes stay serial, reproducing the paper's
+	// single-threaded-per-task baselines.
+	DOP int
+	// Ctx is the execution context parallel operators borrow executor
+	// slots through.
+	Ctx *exec.Context
 
-	spillSeq int
+	spillSeq     int
+	parallelized bool
 }
 
 // Prepare instruments the operator tree for the runner's mode and returns
@@ -132,6 +141,9 @@ func (r *Runner) Prepare(op exec.Operator) (exec.Operator, DAG) {
 	d := Analyze(op)
 	if r.Mode == ModeMR && r.FS != nil {
 		op = r.insertSpills(op)
+	}
+	if r.Mode == ModeLLAP && r.DOP > 1 {
+		op, r.parallelized = exec.Parallelize(op, r.Ctx, r.DOP)
 	}
 	return op, d
 }
@@ -149,7 +161,17 @@ func (r *Runner) Run(op exec.Operator, d DAG) ([][]types.Datum, error) {
 		time.Sleep(time.Duration(d.Vertices) * r.ContainerLaunch / 2)
 	case ModeLLAP:
 		if r.Daemons != nil {
-			release := r.Daemons.Acquire(d.Vertices)
+			// When Prepare actually parallelized the plan, the fragments
+			// run as one coordinated pipeline: admission takes a single
+			// executor and the parallel operators borrow more as they run
+			// (TryAcquire), so a wide DAG cannot starve its own workers.
+			// Plans that stayed serial keep the one-executor-per-fragment
+			// accounting.
+			n := d.Vertices
+			if r.parallelized {
+				n = 1
+			}
+			release := r.Daemons.Acquire(n)
 			defer release()
 		}
 	}

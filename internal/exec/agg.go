@@ -26,16 +26,133 @@ type HashAggOp struct {
 	Out          []types.T
 	Stats        *RuntimeStats
 
-	groups  map[uint64][]*aggGroup
-	order   []*aggGroup
+	table   *groupTable
 	emitted int
 	done    bool
 }
 
 type aggGroup struct {
+	h      uint64 // bucket hash, kept for partial-aggregate merging
 	keys   []types.Datum
 	gid    int64
 	states []aggState
+}
+
+// groupTable is a hash table of aggregation groups in insertion order. It
+// serves both the serial HashAggOp and, as the thread-local partial and
+// final tables, the two-phase ParallelHashAggOp.
+type groupTable struct {
+	groups map[uint64][]*aggGroup
+	order  []*aggGroup
+}
+
+func newGroupTable() *groupTable {
+	return &groupTable{groups: make(map[uint64][]*aggGroup)}
+}
+
+// groupSeed is the initial hash for a group key under a grouping id.
+func groupSeed(gid int64) uint64 {
+	return 1469598103934665603 ^ uint64(gid)*vector.HashPrime
+}
+
+// findOrAdd locates the group for (h, gid, key values at row r); mask[c]
+// false means column c is masked to NULL by the grouping set. Key datums
+// are materialized only when a new group is created.
+func (t *groupTable) findOrAdd(h uint64, gid int64, keyCols []*vector.Vector, r int, mask []bool, nAggs int) *aggGroup {
+	for _, g := range t.groups[h] {
+		if g.gid == gid && groupKeysMatch(g.keys, keyCols, r, mask) {
+			return g
+		}
+	}
+	keys := make([]types.Datum, len(keyCols))
+	for c, kc := range keyCols {
+		if mask == nil || mask[c] {
+			keys[c] = kc.Get(r)
+		} else {
+			keys[c] = types.NullOf(kc.Type.Kind)
+		}
+	}
+	g := &aggGroup{h: h, keys: keys, gid: gid, states: make([]aggState, nAggs)}
+	t.insert(g)
+	return g
+}
+
+func (t *groupTable) insert(g *aggGroup) {
+	t.groups[g.h] = append(t.groups[g.h], g)
+	t.order = append(t.order, g)
+}
+
+// groupKeysMatch compares stored group keys against row r of the key
+// vectors. Masked columns are NULL on both sides by construction.
+func groupKeysMatch(keys []types.Datum, keyCols []*vector.Vector, r int, mask []bool) bool {
+	for c, kc := range keyCols {
+		if mask != nil && !mask[c] {
+			continue
+		}
+		sk := keys[c]
+		null := kc.IsNull(r)
+		if sk.Null != null {
+			return false
+		}
+		if !null && sk.Compare(kc.Get(r)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// merge folds a partial table into t: groups with equal keys merge their
+// aggregate states, new groups are appended in the partial's order.
+func (t *groupTable) merge(o *groupTable, aggs []CompiledAgg) {
+	if o == nil {
+		return
+	}
+	for _, g := range o.order {
+		var dst *aggGroup
+		for _, fg := range t.groups[g.h] {
+			if fg.gid == g.gid && datumsEqual(fg.keys, g.keys) {
+				dst = fg
+				break
+			}
+		}
+		if dst == nil {
+			t.insert(g)
+			continue
+		}
+		for ai := range aggs {
+			dst.states[ai].merge(aggs[ai], &g.states[ai])
+		}
+	}
+}
+
+// emitBatch renders groups starting at ordinal start into a batch, or nil
+// when exhausted.
+func (t *groupTable) emitBatch(start int, out []types.T, aggs []CompiledAgg, gsets [][]int) *vector.Batch {
+	if start >= len(t.order) {
+		return nil
+	}
+	n := len(t.order) - start
+	if n > vector.BatchSize {
+		n = vector.BatchSize
+	}
+	b := vector.NewBatch(out, n)
+	for i := 0; i < n; i++ {
+		g := t.order[start+i]
+		c := 0
+		for _, k := range g.keys {
+			b.Cols[c].Set(i, k)
+			c++
+		}
+		for ai := range aggs {
+			b.Cols[c].Set(i, g.states[ai].result(aggs[ai]))
+			c++
+		}
+		if gsets != nil {
+			b.Cols[c].Set(i, types.NewBigint(g.gid))
+		}
+	}
+	b.N = n
+	return b
 }
 
 type aggState struct {
@@ -52,8 +169,7 @@ func (a *HashAggOp) Types() []types.T { return a.Out }
 
 // Open implements Operator.
 func (a *HashAggOp) Open() error {
-	a.groups = make(map[uint64][]*aggGroup)
-	a.order = nil
+	a.table = newGroupTable()
 	a.emitted = 0
 	a.done = false
 	return a.Input.Open()
@@ -68,6 +184,24 @@ func (a *HashAggOp) consume() error {
 		}
 		sets = [][]int{all}
 	}
+	// Per-set column masks and grouping ids are row-independent.
+	masks := make([][]bool, len(sets))
+	gids := make([]int64, len(sets))
+	for si, set := range sets {
+		mask := make([]bool, len(a.GroupExprs))
+		for _, c := range set {
+			mask[c] = true
+		}
+		masks[si] = mask
+		if a.GroupingSets != nil {
+			for c, in := range mask {
+				if !in {
+					gids[si] |= 1 << uint(c)
+				}
+			}
+		}
+	}
+	var colHash [][]uint64
 	for {
 		b, err := a.Input.Next()
 		if err != nil {
@@ -94,28 +228,35 @@ func (a *HashAggOp) consume() error {
 				argCols[i] = v
 			}
 		}
+		// Raw per-column key hashes, column-at-a-time (no per-row datums).
+		if colHash == nil {
+			colHash = make([][]uint64, len(keyCols))
+		}
+		for c, kc := range keyCols {
+			if cap(colHash[c]) < b.N {
+				colHash[c] = make([]uint64, b.N)
+			} else {
+				colHash[c] = colHash[c][:b.N]
+				for i := range colHash[c] {
+					colHash[c][i] = 0
+				}
+			}
+			kc.HashInto(b.Sel, b.N, colHash[c])
+		}
 		for i := 0; i < b.N; i++ {
 			r := b.RowIdx(i)
-			for si, set := range sets {
-				keys := make([]types.Datum, len(a.GroupExprs))
-				gid := int64(0)
-				inSet := make([]bool, len(a.GroupExprs))
-				for _, c := range set {
-					inSet[c] = true
-				}
-				for c := range a.GroupExprs {
-					if inSet[c] {
-						keys[c] = keyCols[c].Get(r)
+			for si := range sets {
+				mask := masks[si]
+				gid := gids[si]
+				h := groupSeed(gid)
+				for c := range keyCols {
+					if mask[c] {
+						h = h*vector.HashPrime ^ colHash[c][i]
 					} else {
-						keys[c] = types.NullOf(keyCols[c].Type.Kind)
-						gid |= 1 << uint(c)
+						h = h*vector.HashPrime ^ vector.NullHash
 					}
 				}
-				if a.GroupingSets == nil {
-					gid = 0
-				}
-				_ = si
-				g := a.lookup(keys, gid)
+				g := a.table.findOrAdd(h, gid, keyCols, r, mask, len(a.Aggs))
 				for ai := range a.Aggs {
 					var d types.Datum
 					if argCols[ai] != nil {
@@ -127,26 +268,10 @@ func (a *HashAggOp) consume() error {
 		}
 	}
 	// Global aggregate with no input rows still emits one row.
-	if len(a.GroupExprs) == 0 && len(a.order) == 0 {
-		a.lookup(nil, 0)
+	if len(a.GroupExprs) == 0 && len(a.table.order) == 0 {
+		a.table.findOrAdd(groupSeed(0), 0, nil, 0, nil, len(a.Aggs))
 	}
 	return nil
-}
-
-func (a *HashAggOp) lookup(keys []types.Datum, gid int64) *aggGroup {
-	h := uint64(1469598103934665603) ^ uint64(gid)*1099511628211
-	for _, k := range keys {
-		h = h*1099511628211 ^ k.Hash()
-	}
-	for _, g := range a.groups[h] {
-		if g.gid == gid && datumsEqual(g.keys, keys) {
-			return g
-		}
-	}
-	g := &aggGroup{keys: keys, gid: gid, states: make([]aggState, len(a.Aggs))}
-	a.groups[h] = append(a.groups[h], g)
-	a.order = append(a.order, g)
-	return g
 }
 
 func datumsEqual(a, b []types.Datum) bool {
@@ -210,6 +335,39 @@ func (s *aggState) update(ag CompiledAgg, d types.Datum) {
 	}
 }
 
+// merge folds another partial state into s (two-phase parallel
+// aggregation). Distinct states replay the other side's value set through
+// update so deduplication and sums stay exact; plain states combine
+// counts, sums (normalizing decimal scales) and extrema directly.
+func (s *aggState) merge(ag CompiledAgg, o *aggState) {
+	if ag.Distinct {
+		for _, vs := range o.distinct {
+			for _, d := range vs {
+				s.update(ag, d)
+			}
+		}
+		return
+	}
+	s.count += o.count
+	switch ag.Fn {
+	case "sum", "avg":
+		if o.sumScale > s.sumScale {
+			s.sumI *= types.Pow10(o.sumScale - s.sumScale)
+			s.sumScale = o.sumScale
+		}
+		s.sumI += o.sumI * types.Pow10(s.sumScale-o.sumScale)
+		s.sumF += o.sumF
+	case "min":
+		if o.min.K != types.Unknown && (s.min.K == types.Unknown || o.min.Compare(s.min) < 0) {
+			s.min = o.min
+		}
+	case "max":
+		if o.max.K != types.Unknown && (s.max.K == types.Unknown || o.max.Compare(s.max) > 0) {
+			s.max = o.max
+		}
+	}
+}
+
 func (s *aggState) result(ag CompiledAgg) types.Datum {
 	switch ag.Fn {
 	case "count":
@@ -261,40 +419,20 @@ func (a *HashAggOp) Next() (*vector.Batch, error) {
 		}
 		a.done = true
 	}
-	if a.emitted >= len(a.order) {
+	out := a.table.emitBatch(a.emitted, a.Out, a.Aggs, a.GroupingSets)
+	if out == nil {
 		return nil, nil
 	}
-	n := len(a.order) - a.emitted
-	if n > vector.BatchSize {
-		n = vector.BatchSize
-	}
-	out := vector.NewBatch(a.Out, n)
-	for i := 0; i < n; i++ {
-		g := a.order[a.emitted+i]
-		c := 0
-		for _, k := range g.keys {
-			out.Cols[c].Set(i, k)
-			c++
-		}
-		for ai := range a.Aggs {
-			out.Cols[c].Set(i, g.states[ai].result(a.Aggs[ai]))
-			c++
-		}
-		if a.GroupingSets != nil {
-			out.Cols[c].Set(i, types.NewBigint(g.gid))
-		}
-	}
-	out.N = n
-	a.emitted += n
+	a.emitted += out.N
 	if a.Stats != nil {
-		a.Stats.Rows.Add(int64(n))
+		a.Stats.Rows.Add(int64(out.N))
 	}
 	return out, nil
 }
 
 // Close implements Operator.
 func (a *HashAggOp) Close() error {
-	a.groups, a.order = nil, nil
+	a.table = nil
 	return a.Input.Close()
 }
 

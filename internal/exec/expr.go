@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/plan"
@@ -309,12 +310,17 @@ func compileFunc(f *plan.Func, inTypes []types.T) (*CompiledExpr, error) {
 			return types.NewBigint((gid >> uint(pos)) & 1), nil
 		})
 	case op == "rand":
+		// The compiled expression may be shared by parallel worker
+		// pipelines; rand.Rand is not goroutine-safe.
+		var mu sync.Mutex
 		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 		return &CompiledExpr{T: types.TDouble, eval: func(b *vector.Batch) (*vector.Vector, error) {
 			out := vector.New(types.TDouble, b.Capacity())
+			mu.Lock()
 			for i := 0; i < b.N; i++ {
 				out.F64[b.RowIdx(i)] = rng.Float64()
 			}
+			mu.Unlock()
 			return out, nil
 		}}, nil
 	case op == "current_date":

@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/plan"
 	"repro/internal/types"
@@ -12,6 +14,11 @@ import (
 // pairs drive the hash table; Residual (over the concatenated row) is
 // evaluated per candidate match. Semi/Anti emit only left columns; Single
 // enforces the scalar-subquery at-most-one-match guarantee.
+//
+// The build is partitioned: rows are materialized in parallel (when
+// Ctx.DOP > 1) and fanned into hash-disjoint partitions, each with its own
+// index — the parallel partitioned build of morsel-driven engines. A
+// Shared build lets parallel probe-pipeline clones probe one table.
 type HashJoinOp struct {
 	Left, Right Operator
 	Kind        plan.JoinKind
@@ -23,13 +30,15 @@ type HashJoinOp struct {
 	// BuildFilter, when non-nil, receives the build-side key values to
 	// populate a dynamic semijoin reducer (paper §4.6).
 	BuildFilter *RuntimeFilter
+	// Shared, when non-nil, holds the build input and its partitioned hash
+	// table, built exactly once and probed by every worker clone. Clones
+	// have a nil Right.
+	Shared *sharedBuild
 
 	outTypes  []types.T
+	rtTypes   []types.T
 	built     bool
-	rows      [][]types.Datum // build rows
-	buildKeys [][]types.Datum // build-side key values, parallel to rows
-	index     map[uint64][]int
-	matched   []bool
+	parts     []buildPartition
 	leftW     int
 	rightW    int
 	emittedRt bool
@@ -37,18 +46,46 @@ type HashJoinOp struct {
 	pending   *batchBuilder
 }
 
+// buildPartition is one hash-disjoint slice of the build side.
+type buildPartition struct {
+	rows    [][]types.Datum
+	keys    [][]types.Datum // build-side key values, parallel to rows
+	index   map[uint64][]int
+	matched []bool // allocated only for right/full outer joins
+}
+
+// sharedBuild owns the build input of a parallelized join: the first probe
+// worker to need the hash table builds it (opening, draining and closing
+// the input exactly once); the rest wait and share it.
+type sharedBuild struct {
+	right Operator
+	once  sync.Once
+	parts []buildPartition
+	err   error
+}
+
+// buildRow is a materialized build-side row with its key hash, staged
+// thread-locally before partition fan-in.
+type buildRow struct {
+	row  []types.Datum
+	keys []types.Datum
+	h    uint64
+}
+
 // Types implements Operator.
 func (j *HashJoinOp) Types() []types.T {
 	if j.outTypes == nil {
 		lt := j.Left.Types()
+		rt := j.Right.Types()
 		switch j.Kind {
 		case plan.Semi, plan.Anti:
 			j.outTypes = lt
 		default:
-			j.outTypes = append(append([]types.T{}, lt...), j.Right.Types()...)
+			j.outTypes = append(append([]types.T{}, lt...), rt...)
 		}
 		j.leftW = len(lt)
-		j.rightW = len(j.Right.Types())
+		j.rightW = len(rt)
+		j.rtTypes = rt
 	}
 	return j.outTypes
 }
@@ -57,68 +94,207 @@ func (j *HashJoinOp) Types() []types.T {
 func (j *HashJoinOp) Open() error {
 	j.Types()
 	j.built = false
-	j.rows = nil
-	j.index = nil
-	j.matched = nil
+	j.parts = nil
 	j.emittedRt = false
 	j.leftDone = false
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
-	return j.Right.Open()
+	if j.Right != nil && j.Shared == nil {
+		return j.Right.Open()
+	}
+	return nil
 }
 
+// build produces the partitioned hash table, publishing the semijoin
+// reducer exactly once even on failure so parallel scan workers blocked on
+// it can always proceed.
 func (j *HashJoinOp) build() error {
-	j.index = make(map[uint64][]int)
-	limit := int64(0)
+	var err error
+	if j.Shared != nil {
+		j.Shared.once.Do(func() {
+			j.Shared.parts, j.Shared.err = j.runSharedBuild()
+		})
+		j.parts, err = j.Shared.parts, j.Shared.err
+	} else {
+		j.parts, err = j.buildPartitions(j.Right)
+		if j.BuildFilter != nil {
+			j.finishBuildFilter(err)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if j.Kind == plan.Right || j.Kind == plan.Full {
+		for pi := range j.parts {
+			j.parts[pi].matched = make([]bool, len(j.parts[pi].rows))
+		}
+	}
+	j.built = true
+	return nil
+}
+
+func (j *HashJoinOp) runSharedBuild() ([]buildPartition, error) {
+	var parts []buildPartition
+	err := j.Shared.right.Open()
+	if err == nil {
+		parts, err = j.buildPartitions(j.Shared.right)
+		if cerr := j.Shared.right.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if j.BuildFilter != nil {
+		j.finishBuildFilter(err)
+	}
+	return parts, err
+}
+
+// finishBuildFilter publishes the semijoin reducer; a failed build resets
+// it to a pass-through first so no rows are wrongly pruned.
+func (j *HashJoinOp) finishBuildFilter(err error) {
+	f := j.BuildFilter
+	if err != nil {
+		f.Bloom, f.Values = nil, nil
+		f.Min, f.Max = types.Datum{}, types.Datum{}
+	} else {
+		finishFilter(f)
+	}
+	f.Publish()
+}
+
+// buildPartitions drains the build input and constructs the partitioned
+// hash table. With Ctx.DOP > 1 it borrows executor slots: workers consume
+// batches from a feeder channel, materialize rows thread-locally, then
+// each worker owns one partition and collects its rows lock-free.
+func (j *HashJoinOp) buildPartitions(right Operator) ([]buildPartition, error) {
+	dop, release := 1, func() {}
+	if j.Ctx != nil && j.Ctx.DOP > 1 {
+		extra, rel := j.Ctx.AcquireExtra(j.Ctx.DOP - 1)
+		dop, release = 1+extra, rel
+	}
+	defer release()
+
+	var limit int64
 	if j.Ctx != nil {
 		limit = j.Ctx.MemoryLimitRows
 	}
-	for {
-		b, err := j.Right.Next()
-		if err != nil {
-			return err
-		}
-		if b == nil {
-			break
-		}
-		keyCols := make([]*vector.Vector, len(j.RightKeys))
-		for i, k := range j.RightKeys {
-			v, err := k.Eval(b)
-			if err != nil {
-				return err
+	var total atomic.Int64
+	locals := make([][]buildRow, dop)
+
+	var err error
+	if dop == 1 {
+		// Serial: consume inline, preserving exact input order.
+		for err == nil {
+			var b *vector.Batch
+			b, err = right.Next()
+			if err != nil || b == nil {
+				break
 			}
-			keyCols[i] = v
+			err = j.consumeBuildBatch(b, &locals[0], &total, limit)
 		}
-		for i := 0; i < b.N; i++ {
-			r := b.RowIdx(i)
-			row := b.Row(i)
-			idx := len(j.rows)
-			j.rows = append(j.rows, row)
-			keys := make([]types.Datum, len(keyCols))
-			for k, kc := range keyCols {
-				keys[k] = kc.Get(r)
+	} else {
+		feed := make(chan *vector.Batch, dop)
+		errs := make([]error, dop)
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < dop; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for b := range feed {
+					if errs[w] != nil {
+						continue // drain after failure
+					}
+					if errs[w] = j.consumeBuildBatch(b, &locals[w], &total, limit); errs[w] != nil {
+						failed.Store(true)
+					}
+				}
+			}(w)
+		}
+		for !failed.Load() {
+			b, ferr := right.Next()
+			if ferr != nil {
+				err = ferr
+				break
 			}
-			j.buildKeys = append(j.buildKeys, keys)
-			if limit > 0 && int64(len(j.rows)) > limit {
-				return ErrMemoryPressure{Operator: "hash join build", Rows: int64(len(j.rows))}
+			if b == nil {
+				break
 			}
-			h := hashKeyAt(keyCols, r)
-			j.index[h] = append(j.index[h], idx)
-			if j.BuildFilter != nil && len(keyCols) > 0 {
-				d := keyCols[0].Get(r)
-				if !d.Null {
-					updateFilter(j.BuildFilter, d)
+			feed <- b
+		}
+		close(feed)
+		wg.Wait()
+		for _, werr := range errs {
+			if err == nil && werr != nil {
+				err = werr
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Partition fan-in: worker p collects every staged row whose hash maps
+	// to partition p. Lock-free — each partition has exactly one writer.
+	parts := make([]buildPartition, dop)
+	var wg sync.WaitGroup
+	for p := 0; p < dop; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			part := &parts[p]
+			part.index = make(map[uint64][]int)
+			for _, local := range locals {
+				for i := range local {
+					br := &local[i]
+					if dop > 1 && int(br.h%uint64(dop)) != p {
+						continue
+					}
+					idx := len(part.rows)
+					part.rows = append(part.rows, br.row)
+					part.keys = append(part.keys, br.keys)
+					part.index[br.h] = append(part.index[br.h], idx)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	if j.BuildFilter != nil && len(j.RightKeys) > 0 {
+		for pi := range parts {
+			for _, keys := range parts[pi].keys {
+				if len(keys) > 0 && !keys[0].Null {
+					updateFilter(j.BuildFilter, keys[0])
 				}
 			}
 		}
 	}
-	j.matched = make([]bool, len(j.rows))
-	if j.BuildFilter != nil {
-		finishFilter(j.BuildFilter)
-		j.BuildFilter.Publish()
+	return parts, nil
+}
+
+// consumeBuildBatch materializes one build batch into a worker-local
+// staging area, hashing keys column-at-a-time.
+func (j *HashJoinOp) consumeBuildBatch(b *vector.Batch, local *[]buildRow, total *atomic.Int64, limit int64) error {
+	keyCols := make([]*vector.Vector, len(j.RightKeys))
+	for i, k := range j.RightKeys {
+		v, err := k.Eval(b)
+		if err != nil {
+			return err
+		}
+		keyCols[i] = v
 	}
-	j.built = true
+	hs := hashKeys(keyCols, b)
+	for i := 0; i < b.N; i++ {
+		r := b.RowIdx(i)
+		keys := make([]types.Datum, len(keyCols))
+		for k, kc := range keyCols {
+			keys[k] = kc.Get(r)
+		}
+		*local = append(*local, buildRow{row: b.Row(i), keys: keys, h: hs[i]})
+	}
+	if n := total.Add(int64(b.N)); limit > 0 && n > limit {
+		return ErrMemoryPressure{Operator: "hash join build", Rows: n}
+	}
 	return nil
 }
 
@@ -144,12 +320,18 @@ func finishFilter(f *RuntimeFilter) {
 	}
 }
 
-func hashKeyAt(cols []*vector.Vector, r int) uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range cols {
-		h = h*1099511628211 ^ c.Get(r).Hash()
+// hashKeys computes the combined key hash of every live row in the batch,
+// column-at-a-time over the key vectors — no per-row datum materialization
+// on the probe hot path.
+func hashKeys(cols []*vector.Vector, b *vector.Batch) []uint64 {
+	hs := make([]uint64, b.N)
+	for i := range hs {
+		hs[i] = vector.HashSeed
 	}
-	return h
+	for _, c := range cols {
+		c.HashInto(b.Sel, b.N, hs)
+	}
+	return hs
 }
 
 // batchBuilder accumulates output rows into batches, queueing completed
@@ -224,9 +406,12 @@ func (j *HashJoinOp) Next() (*vector.Batch, error) {
 				for i := range nullLeft {
 					nullLeft[i] = types.NullOf(lt[i].Kind)
 				}
-				for i, m := range j.matched {
-					if !m {
-						j.pending.add(append(append([]types.Datum{}, nullLeft...), j.rows[i]...))
+				for pi := range j.parts {
+					p := &j.parts[pi]
+					for i, m := range p.matched {
+						if !m {
+							j.pending.add(append(append([]types.Datum{}, nullLeft...), p.rows[i]...))
+						}
 					}
 				}
 			}
@@ -268,12 +453,26 @@ func (j *HashJoinOp) probeBatch(b *vector.Batch) error {
 		keyCols[i] = v
 	}
 	nested := len(j.LeftKeys) == 0
+	var hs []uint64
+	if !nested {
+		hs = hashKeys(keyCols, b)
+	}
 	for i := 0; i < b.N; i++ {
 		r := b.RowIdx(i)
 		leftRow := b.Row(i)
-		var candidates []int
+		matches := 0
 		if nested {
-			candidates = allRows(len(j.rows))
+			for pi := range j.parts {
+				p := &j.parts[pi]
+				m, err := j.probeCandidates(p, allRows(len(p.rows)), keyCols, r, leftRow, matches)
+				if err != nil {
+					return err
+				}
+				matches = m
+				if j.Kind == plan.Semi && matches > 0 {
+					break
+				}
+			}
 		} else {
 			nullKey := false
 			for _, kc := range keyCols {
@@ -282,42 +481,14 @@ func (j *HashJoinOp) probeBatch(b *vector.Batch) error {
 					break
 				}
 			}
-			if !nullKey {
-				candidates = j.index[hashKeyAt(keyCols, r)]
-			}
-		}
-		matches := 0
-		for _, ci := range candidates {
-			right := j.rows[ci]
-			if !nested && !j.keysEqual(keyCols, r, ci) {
-				continue
-			}
-			if j.Residual != nil {
-				ok, err := j.evalResidual(leftRow, right)
+			if !nullKey && len(j.parts) > 0 {
+				h := hs[i]
+				p := &j.parts[h%uint64(len(j.parts))]
+				m, err := j.probeCandidates(p, p.index[h], keyCols, r, leftRow, matches)
 				if err != nil {
 					return err
 				}
-				if !ok {
-					continue
-				}
-			}
-			matches++
-			j.matched[ci] = true
-			switch j.Kind {
-			case plan.Semi:
-				// emit left once below
-			case plan.Anti:
-				// no emit
-			case plan.Single:
-				if matches > 1 {
-					return fmt.Errorf("exec: scalar subquery returned more than one row")
-				}
-				j.pending.add(append(append([]types.Datum{}, leftRow...), right...))
-			default:
-				j.pending.add(append(append([]types.Datum{}, leftRow...), right...))
-			}
-			if j.Kind == plan.Semi {
-				break
+				matches = m
 			}
 		}
 		switch j.Kind {
@@ -332,8 +503,7 @@ func (j *HashJoinOp) probeBatch(b *vector.Batch) error {
 		case plan.Left, plan.Full, plan.Single:
 			if matches == 0 {
 				row := append([]types.Datum{}, leftRow...)
-				rt := j.Right.Types()
-				for _, t := range rt {
+				for _, t := range j.rtTypes {
 					row = append(row, types.NullOf(t.Kind))
 				}
 				j.pending.add(row)
@@ -341,6 +511,49 @@ func (j *HashJoinOp) probeBatch(b *vector.Batch) error {
 		}
 	}
 	return nil
+}
+
+// probeCandidates tests the candidate build rows of one partition against
+// a probe row, emitting matching output rows; it returns the running match
+// count for the probe row.
+func (j *HashJoinOp) probeCandidates(p *buildPartition, candidates []int, keyCols []*vector.Vector, r int, leftRow []types.Datum, matches int) (int, error) {
+	nested := len(j.LeftKeys) == 0
+	for _, ci := range candidates {
+		right := p.rows[ci]
+		if !nested && !keysEqual(keyCols, r, p.keys[ci]) {
+			continue
+		}
+		if j.Residual != nil {
+			ok, err := j.evalResidual(leftRow, right)
+			if err != nil {
+				return matches, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		matches++
+		if p.matched != nil {
+			p.matched[ci] = true
+		}
+		switch j.Kind {
+		case plan.Semi:
+			// emit left once in probeBatch
+		case plan.Anti:
+			// no emit
+		case plan.Single:
+			if matches > 1 {
+				return matches, fmt.Errorf("exec: scalar subquery returned more than one row")
+			}
+			j.pending.add(append(append([]types.Datum{}, leftRow...), right...))
+		default:
+			j.pending.add(append(append([]types.Datum{}, leftRow...), right...))
+		}
+		if j.Kind == plan.Semi {
+			break
+		}
+	}
+	return matches, nil
 }
 
 func allRows(n int) []int {
@@ -351,11 +564,10 @@ func allRows(n int) []int {
 	return out
 }
 
-func (j *HashJoinOp) keysEqual(probeCols []*vector.Vector, r int, buildIdx int) bool {
-	keys := j.buildKeys[buildIdx]
+func keysEqual(probeCols []*vector.Vector, r int, buildKeys []types.Datum) bool {
 	for k, kc := range probeCols {
 		pd := kc.Get(r)
-		bd := keys[k]
+		bd := buildKeys[k]
 		if pd.Null || bd.Null || pd.Compare(bd) != 0 {
 			return false
 		}
@@ -396,10 +608,12 @@ func (j *HashJoinOp) evalResidual(left, right []types.Datum) (bool, error) {
 
 // Close implements Operator.
 func (j *HashJoinOp) Close() error {
-	j.rows, j.index = nil, nil
-	if err := j.Left.Close(); err != nil {
-		j.Right.Close()
-		return err
+	j.parts = nil
+	err := j.Left.Close()
+	if j.Right != nil && j.Shared == nil {
+		if cerr := j.Right.Close(); err == nil {
+			err = cerr
+		}
 	}
-	return j.Right.Close()
+	return err
 }

@@ -32,6 +32,13 @@ type RuntimeStats struct {
 	Rows atomic.Int64
 }
 
+// SlotPool grants executor slots to parallel operators without blocking.
+// *llap.Daemons satisfies it; a nil pool means parallelism is unbounded.
+type SlotPool interface {
+	TryAcquire(n int) (release func(), ok bool)
+	Executors() int
+}
+
 // Context carries per-query execution state.
 type Context struct {
 	// Chunks, when non-nil, routes ORC reads through the LLAP cache.
@@ -46,11 +53,41 @@ type Context struct {
 	MemoryLimitRows int64
 	// spoolRows holds shared-work materializations keyed by spool id.
 	spoolRows map[int][][]types.Datum
+	// DOP is the requested degree of intra-operator parallelism
+	// (hive.parallelism). 1 or 0 means serial execution.
+	DOP int
+	// Slots, when non-nil, is the LLAP executor pool parallel operators
+	// borrow additional workers from (paper §5.1). The coordinating
+	// fragment always owns one implicit slot, so execution never blocks
+	// on an exhausted pool — it just runs narrower.
+	Slots SlotPool
 }
 
 // NewContext returns an empty execution context.
 func NewContext() *Context {
 	return &Context{blooms: make(map[int]*RuntimeFilter)}
+}
+
+// AcquireExtra grants up to n additional executor slots beyond the one the
+// caller already owns, without blocking: if the pool cannot satisfy n it
+// grants what it can (possibly zero). The returned release must be called
+// when the parallel phase ends.
+func (c *Context) AcquireExtra(n int) (granted int, release func()) {
+	if n <= 0 {
+		return 0, func() {}
+	}
+	if c.Slots == nil {
+		return n, func() {}
+	}
+	if max := c.Slots.Executors(); n > max {
+		n = max
+	}
+	for k := n; k > 0; k-- {
+		if rel, ok := c.Slots.TryAcquire(k); ok {
+			return k, rel
+		}
+	}
+	return 0, func() {}
 }
 
 // NewStats registers a named stats counter.

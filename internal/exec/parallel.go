@@ -1,0 +1,481 @@
+// Morsel-driven parallel execution (paper §3, §5): query fragments run on
+// multiple LLAP executor slots at once. A ParallelOp fans a cloned operator
+// pipeline out across worker goroutines that steal table splits from a
+// shared queue (the morsel-driven scheduling of Leis et al. that LLAP
+// executors embody) and merges result batches through a bounded channel.
+// Hash aggregation runs in two phases — thread-local partial aggregates
+// merged into a final table, the paper's map-side aggregation — and hash
+// join builds are partitioned across workers (join.go).
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// statMerge folds a worker-local row counter into the plan-level counter
+// when the parallel operator closes.
+type statMerge struct{ from, to *RuntimeStats }
+
+func mergeStats(merges []statMerge) {
+	for _, m := range merges {
+		m.to.Rows.Add(m.from.Rows.Swap(0))
+	}
+}
+
+// ParallelOp is the generic exchange operator: it runs N worker pipelines
+// (clones of one subtree sharing a morsel queue and build tables) on their
+// own goroutines and merges their output batches through a bounded channel.
+// Batch order across workers is nondeterministic, as in any parallel
+// shuffle-less exchange.
+type ParallelOp struct {
+	Workers []Operator
+	Ctx     *Context
+	merges  []statMerge
+
+	started bool
+	out     chan *vector.Batch
+	done    chan struct{}
+	stop    sync.Once
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	err     error
+	release func()
+}
+
+// Types implements Operator.
+func (p *ParallelOp) Types() []types.T { return p.Workers[0].Types() }
+
+// Open implements Operator. Workers are opened on their own goroutines at
+// the first Next, so that upstream build sides (runtime filters, join
+// hash tables) run before any worker can block on them. All launch state
+// is reset so the operator honors the Open-after-Close contract.
+func (p *ParallelOp) Open() error {
+	p.started = false
+	p.err = nil
+	p.stop = sync.Once{}
+	p.out = nil
+	p.done = nil
+	p.release = nil
+	return nil
+}
+
+// start acquires executor slots and launches the workers. The coordinator
+// always owns one implicit slot, so at least one worker runs even when the
+// pool is exhausted; extra workers are granted without blocking.
+func (p *ParallelOp) start() {
+	p.started = true
+	extra, release := len(p.Workers)-1, func() {}
+	if p.Ctx != nil {
+		extra, release = p.Ctx.AcquireExtra(len(p.Workers) - 1)
+	}
+	p.release = release
+	n := 1 + extra
+	if n > len(p.Workers) {
+		n = len(p.Workers)
+	}
+	p.out = make(chan *vector.Batch, 2*n)
+	p.done = make(chan struct{})
+	for w := 0; w < n; w++ {
+		p.wg.Add(1)
+		go p.runWorker(p.Workers[w])
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.out)
+	}()
+}
+
+func (p *ParallelOp) runWorker(w Operator) {
+	defer p.wg.Done()
+	if err := w.Open(); err != nil {
+		p.fail(err)
+		return
+	}
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		b, err := w.Next()
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		if b == nil {
+			return
+		}
+		select {
+		case p.out <- b:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+func (p *ParallelOp) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+	p.stop.Do(func() { close(p.done) })
+}
+
+// Next implements Operator: it merges worker batches in arrival order.
+func (p *ParallelOp) Next() (*vector.Batch, error) {
+	if !p.started {
+		p.start()
+	}
+	if b, ok := <-p.out; ok {
+		return b, nil
+	}
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return nil, p.err
+}
+
+// Close implements Operator.
+func (p *ParallelOp) Close() error {
+	if p.started {
+		p.stop.Do(func() { close(p.done) })
+		p.wg.Wait()
+		if p.release != nil {
+			p.release()
+		}
+	}
+	var first error
+	for _, w := range p.Workers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	mergeStats(p.merges)
+	return first
+}
+
+// ParallelHashAggOp is the two-phase parallel aggregation: each worker
+// pipeline feeds a thread-local partial aggregation (the paper's map-side
+// aggregation), and the partials merge into one final group table before
+// emission. Merging states — not results — keeps AVG, DISTINCT and
+// decimal-scale handling exact.
+type ParallelHashAggOp struct {
+	Workers      []Operator
+	GroupExprs   []*CompiledExpr
+	Aggs         []CompiledAgg
+	GroupingSets [][]int
+	Out          []types.T
+	Ctx          *Context
+	Stats        *RuntimeStats
+	merges       []statMerge
+
+	table   *groupTable
+	emitted int
+	done    bool
+}
+
+// Types implements Operator.
+func (a *ParallelHashAggOp) Types() []types.T { return a.Out }
+
+// Open implements Operator. Worker pipelines open on their goroutines.
+func (a *ParallelHashAggOp) Open() error {
+	a.table = newGroupTable()
+	a.emitted = 0
+	a.done = false
+	return nil
+}
+
+// run executes both phases: parallel partial aggregation, then an ordered
+// merge (worker 0's groups first) into the final table.
+func (a *ParallelHashAggOp) run() error {
+	extra, release := len(a.Workers)-1, func() {}
+	if a.Ctx != nil {
+		extra, release = a.Ctx.AcquireExtra(len(a.Workers) - 1)
+	}
+	defer release()
+	n := 1 + extra
+	if n > len(a.Workers) {
+		n = len(a.Workers)
+	}
+	locals := make([]*groupTable, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := &HashAggOp{
+				Input: a.Workers[w], GroupExprs: a.GroupExprs, Aggs: a.Aggs,
+				GroupingSets: a.GroupingSets, Out: a.Out,
+			}
+			if err := local.Open(); err != nil {
+				errs[w] = err
+				return
+			}
+			if err := local.consume(); err != nil {
+				errs[w] = err
+				return
+			}
+			locals[w] = local.table
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, local := range locals {
+		a.table.merge(local, a.Aggs)
+	}
+	// A parallel global aggregate over zero workers' rows still emits one
+	// row: every local already contributed its empty group, merged above.
+	if len(a.GroupExprs) == 0 && len(a.table.order) == 0 {
+		a.table.findOrAdd(groupSeed(0), 0, nil, 0, nil, len(a.Aggs))
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (a *ParallelHashAggOp) Next() (*vector.Batch, error) {
+	if !a.done {
+		if err := a.run(); err != nil {
+			return nil, err
+		}
+		a.done = true
+	}
+	b := a.table.emitBatch(a.emitted, a.Out, a.Aggs, a.GroupingSets)
+	if b == nil {
+		return nil, nil
+	}
+	a.emitted += b.N
+	if a.Stats != nil {
+		a.Stats.Rows.Add(int64(b.N))
+	}
+	return b, nil
+}
+
+// Close implements Operator.
+func (a *ParallelHashAggOp) Close() error {
+	a.table = nil
+	var first error
+	for _, w := range a.Workers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	mergeStats(a.merges)
+	return first
+}
+
+// Parallelize rewrites a physical operator tree for intra-query parallelism
+// at degree dop: scans fan out over shared morsel queues, aggregations
+// become two-phase, and hash joins share a partitioned build table across
+// probe-pipeline clones. Serial semantics are preserved exactly; only the
+// order of result rows (for queries without ORDER BY) may change. The
+// second result reports whether any parallel operator was inserted — a
+// false means the tree came back unchanged (e.g. single-split scans only).
+func Parallelize(op Operator, ctx *Context, dop int) (Operator, bool) {
+	if dop <= 1 {
+		return op, false
+	}
+	p := &parallelizer{ctx: ctx, dop: dop}
+	op = p.rec(op)
+	return op, p.changed
+}
+
+type parallelizer struct {
+	ctx     *Context
+	dop     int
+	changed bool
+}
+
+func (p *parallelizer) rec(op Operator) Operator {
+	switch x := op.(type) {
+	case *HashAggOp:
+		if workers, merges, ok := p.cloneWorkers(x.Input); ok {
+			p.changed = true
+			return &ParallelHashAggOp{
+				Workers: workers, GroupExprs: x.GroupExprs, Aggs: x.Aggs,
+				GroupingSets: x.GroupingSets, Out: x.Out, Ctx: p.ctx,
+				Stats: x.Stats, merges: merges,
+			}
+		}
+		x.Input = p.rec(x.Input)
+		return x
+	case *ScanOp, *FilterOp, *ProjectOp:
+		if workers, merges, ok := p.cloneWorkers(op); ok {
+			p.changed = true
+			return &ParallelOp{Workers: workers, Ctx: p.ctx, merges: merges}
+		}
+		switch y := op.(type) {
+		case *FilterOp:
+			y.Input = p.rec(y.Input)
+		case *ProjectOp:
+			y.Input = p.rec(y.Input)
+		}
+		return op
+	case *HashJoinOp:
+		if workers, merges, ok := p.cloneWorkers(op); ok {
+			p.changed = true
+			return &ParallelOp{Workers: workers, Ctx: p.ctx, merges: merges}
+		}
+		x.Left = p.rec(x.Left)
+		x.Right = p.rec(x.Right)
+		return x
+	case *SortOp:
+		x.Input = p.rec(x.Input)
+		return x
+	case *TopNOp:
+		x.Input = p.rec(x.Input)
+		return x
+	case *WindowOp:
+		x.Input = p.rec(x.Input)
+		return x
+	case *LimitOp:
+		x.Input = p.rec(x.Input)
+		return x
+	case *SpoolOp:
+		x.Input = p.rec(x.Input)
+		return x
+	case *SetOpOp:
+		x.Left = p.rec(x.Left)
+		x.Right = p.rec(x.Right)
+		return x
+	case *UnionAllOp:
+		for i, in := range x.Inputs {
+			x.Inputs[i] = p.rec(in)
+		}
+		return x
+	}
+	return op
+}
+
+// clonable reports whether op is a morsel pipeline — a chain of stateless
+// per-batch operators (filter, project, hashed join probe) over a table
+// scan — that can be cloned per worker. Right/full outer joins stay serial
+// (their unmatched-build emission is a global pass), as do nested-loop
+// probes and anything with shared mutable state (spools).
+func clonable(op Operator) bool {
+	switch x := op.(type) {
+	case *ScanOp:
+		return true
+	case *FilterOp:
+		return clonable(x.Input)
+	case *ProjectOp:
+		return clonable(x.Input)
+	case *HashJoinOp:
+		if x.Kind == plan.Right || x.Kind == plan.Full || len(x.LeftKeys) == 0 {
+			return false
+		}
+		return clonable(x.Left)
+	}
+	return false
+}
+
+// morselCount returns the number of splits the pipeline's base scan will
+// distribute; parallelism is pointless below two morsels.
+func morselCount(op Operator) int {
+	switch x := op.(type) {
+	case *ScanOp:
+		return len(x.Splits)
+	case *FilterOp:
+		return morselCount(x.Input)
+	case *ProjectOp:
+		return morselCount(x.Input)
+	case *HashJoinOp:
+		return morselCount(x.Left)
+	}
+	return 0
+}
+
+// cloneWorkers turns a clonable pipeline into worker pipelines that share
+// one morsel queue (and, for joins, one build table). The worker count is
+// the requested DOP capped by the morsel count (extra workers would never
+// receive a split) and the executor pool size (extra workers would never
+// receive a slot). The original operators are mutated to carry the shared
+// state and then templated.
+func (p *parallelizer) cloneWorkers(op Operator) ([]Operator, []statMerge, bool) {
+	mc := morselCount(op)
+	if !clonable(op) || mc < 2 {
+		return nil, nil, false
+	}
+	n := p.dop
+	if mc < n {
+		n = mc
+	}
+	if p.ctx != nil && p.ctx.Slots != nil {
+		if e := p.ctx.Slots.Executors() + 1; e < n { // +1: the coordinator's implicit slot
+			n = e
+		}
+	}
+	if n < 2 {
+		return nil, nil, false
+	}
+	p.prepareShared(op)
+	workers := make([]Operator, n)
+	var merges []statMerge
+	for w := range workers {
+		workers[w] = clonePipeline(op, &merges)
+	}
+	return workers, merges, true
+}
+
+// prepareShared attaches the cross-worker state to the template pipeline:
+// scans get the shared split queue, joins get the shared build (whose own
+// input subtree is parallelized recursively).
+func (p *parallelizer) prepareShared(op Operator) {
+	switch x := op.(type) {
+	case *ScanOp:
+		if x.Shared == nil {
+			x.Shared = NewSplitQueue(x.Splits)
+			x.Splits = nil
+		}
+	case *FilterOp:
+		p.prepareShared(x.Input)
+	case *ProjectOp:
+		p.prepareShared(x.Input)
+	case *HashJoinOp:
+		if x.Shared == nil {
+			x.Types() // resolve output schema while Right is still attached
+			x.Shared = &sharedBuild{right: p.rec(x.Right)}
+			x.Right = nil
+		}
+		p.prepareShared(x.Left)
+	}
+}
+
+// clonePipeline deep-copies the pipeline operators, sharing compiled
+// expressions (pure) and the prepared shared state. Scans get per-worker
+// stats counters, merged back into the plan counter on Close.
+func clonePipeline(op Operator, merges *[]statMerge) Operator {
+	switch x := op.(type) {
+	case *ScanOp:
+		clone := &ScanOp{
+			FS: x.FS, Table: x.Table, Cols: x.Cols, Meta: x.Meta,
+			Sarg: x.Sarg, RF: x.RF, Prune: x.Prune, Ctx: x.Ctx, Shared: x.Shared,
+		}
+		if x.Stats != nil {
+			ws := &RuntimeStats{Name: x.Stats.Name}
+			clone.Stats = ws
+			*merges = append(*merges, statMerge{from: ws, to: x.Stats})
+		}
+		return clone
+	case *FilterOp:
+		return &FilterOp{Input: clonePipeline(x.Input, merges), Pred: x.Pred, Stats: x.Stats}
+	case *ProjectOp:
+		return &ProjectOp{Input: clonePipeline(x.Input, merges), Exprs: x.Exprs, Out: x.Out, Stats: x.Stats}
+	case *HashJoinOp:
+		return &HashJoinOp{
+			Left: clonePipeline(x.Left, merges), Kind: x.Kind,
+			LeftKeys: x.LeftKeys, RightKeys: x.RightKeys, Residual: x.Residual,
+			Ctx: x.Ctx, Stats: x.Stats, Shared: x.Shared, BuildFilter: x.BuildFilter,
+			outTypes: x.outTypes, leftW: x.leftW, rightW: x.rightW, rtTypes: x.rtTypes,
+		}
+	}
+	return op
+}

@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// runDOP executes a query like testWarehouse.run but parallelizes the
+// physical tree at the given degree first.
+func (w *testWarehouse) runDOP(q string, dop int) ([]string, error) {
+	st, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := analyze.New(w.ms, "default").AnalyzeSelect(st.(*sql.SelectStmt))
+	if err != nil {
+		return nil, err
+	}
+	ctx := NewContext()
+	ctx.DOP = dop
+	comp := &Compiler{Ctx: ctx, MakeScan: w.makeScan(ctx)}
+	op, err := comp.Compile(rel)
+	if err != nil {
+		return nil, err
+	}
+	op, _ = Parallelize(op, ctx, dop)
+	rows, err := Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, d := range r {
+			parts[j] = d.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out, nil
+}
+
+// TestParallelMatchesSerial runs a spread of scan/filter/agg/join shapes at
+// several degrees of parallelism and requires the same multiset of rows as
+// serial execution.
+func TestParallelMatchesSerial(t *testing.T) {
+	w := newTestWarehouse(t)
+	queries := []string{
+		`SELECT item_sk, qty FROM sales`,
+		`SELECT item_sk, qty FROM sales WHERE qty > 1`,
+		`SELECT ds, COUNT(*), SUM(qty), AVG(qty), MIN(price), MAX(price) FROM sales GROUP BY ds`,
+		`SELECT item_sk, SUM(qty) FROM sales GROUP BY item_sk`,
+		`SELECT COUNT(*), SUM(price) FROM sales`,
+		`SELECT COUNT(DISTINCT item_sk) FROM sales`,
+		`SELECT category, SUM(s.qty * s.price) FROM sales s, items i
+		   WHERE s.item_sk = i.item_sk GROUP BY category`,
+		`SELECT s.item_sk, i.category FROM sales s LEFT JOIN items i
+		   ON s.item_sk = i.item_sk AND i.category = 'Sports'`,
+		`SELECT item_sk FROM sales WHERE EXISTS
+		   (SELECT 1 FROM items WHERE items.item_sk = sales.item_sk AND category = 'Books')`,
+		`SELECT item_sk FROM sales WHERE NOT EXISTS
+		   (SELECT 1 FROM items WHERE items.item_sk = sales.item_sk AND category = 'Books')`,
+		`SELECT ds, item_sk, SUM(qty) FROM sales GROUP BY ROLLUP (ds, item_sk)`,
+	}
+	for _, q := range queries {
+		want, err := w.run(q)
+		if err != nil {
+			t.Fatalf("serial %s: %v", q, err)
+		}
+		sort.Strings(want)
+		for _, dop := range []int{2, 4, 7} {
+			got, err := w.runDOP(q, dop)
+			if err != nil {
+				t.Fatalf("dop=%d %s: %v", dop, q, err)
+			}
+			sort.Strings(got)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("dop=%d %s:\n got %v\nwant %v", dop, q, got, want)
+			}
+		}
+	}
+}
+
+// salesScan builds a ScanOp over every partition of the sales table.
+func (w *testWarehouse) salesScan(ctx *Context) *ScanOp {
+	w.t.Helper()
+	tbl, _ := w.ms.GetTable("default", "sales")
+	tm := w.ms.Txns()
+	valid := tm.GetValidWriteIds(tbl.FullName(), tm.GetSnapshot())
+	var splits []TableSplit
+	for _, p := range w.ms.PartitionsOf(tbl) {
+		d, err := types.Cast(types.NewString(p.Values[0]), tbl.PartKeys[0].Type)
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		splits = append(splits, TableSplit{Loc: p.Location, PartValues: []types.Datum{d}, Valid: valid})
+	}
+	return &ScanOp{FS: w.ms.FS(), Table: tbl, Cols: []int{0, 1}, Splits: splits, Ctx: ctx}
+}
+
+// TestParallelOpExchange drives the generic exchange directly: workers
+// sharing a morsel queue must emit every split exactly once, and
+// per-worker scan stats must merge back on Close.
+func TestParallelOpExchange(t *testing.T) {
+	w := newTestWarehouse(t)
+	ctx := NewContext()
+	scan := w.salesScan(ctx)
+	scan.Stats = ctx.NewStats("scan")
+	par, changed := Parallelize(scan, ctx, 4)
+	if !changed {
+		t.Fatal("Parallelize reported no change for a multi-split scan")
+	}
+	pop, ok := par.(*ParallelOp)
+	if !ok {
+		t.Fatalf("expected ParallelOp, got %T", par)
+	}
+	// DOP 4 capped at the morsel count: sales has two partition splits.
+	if len(pop.Workers) != 2 {
+		t.Fatalf("expected 2 workers, got %d", len(pop.Workers))
+	}
+	rows, err := Drain(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("expected 8 rows, got %d", len(rows))
+	}
+	if got := scan.Stats.Rows.Load(); got != 8 {
+		t.Fatalf("merged scan stats = %d, want 8", got)
+	}
+}
+
+// TestParallelHashAggTwoPhase checks the partial/merge path against known
+// group results, including AVG and DISTINCT whose states must merge, not
+// their results.
+func TestParallelHashAggTwoPhase(t *testing.T) {
+	w := newTestWarehouse(t)
+	got, err := w.runDOP(`SELECT ds, AVG(qty), COUNT(DISTINCT item_sk) FROM sales GROUP BY ds`, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	want := []string{"1|2.25|4", "2|2.5|4"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// TestParallelMemoryPressure verifies that a build-side overflow inside a
+// parallel plan still surfaces ErrMemoryPressure (reoptimization trigger).
+func TestParallelMemoryPressure(t *testing.T) {
+	w := newTestWarehouse(t)
+	st, _ := sql.Parse(`SELECT category, SUM(qty) FROM sales s, items i WHERE s.item_sk = i.item_sk GROUP BY category`)
+	rel, err := analyze.New(w.ms, "default").AnalyzeSelect(st.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext()
+	ctx.DOP = 4
+	ctx.MemoryLimitRows = 2
+	comp := &Compiler{Ctx: ctx, MakeScan: w.makeScan(ctx)}
+	op, err := comp.Compile(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _ = Parallelize(op, ctx, 4)
+	_, err = Drain(op)
+	if _, ok := err.(ErrMemoryPressure); !ok {
+		t.Fatalf("expected ErrMemoryPressure, got %v", err)
+	}
+}
+
+// TestVectorHashCrossKind ensures the vectorized key hash agrees across
+// numeric representations that compare equal, so joins between INT,
+// DOUBLE and DECIMAL keys keep finding their partners.
+func TestVectorHashCrossKind(t *testing.T) {
+	iv := vector.New(types.TBigint, 1)
+	iv.I64[0] = 3
+	dv := vector.New(types.TDouble, 1)
+	dv.F64[0] = 3.0
+	cv := vector.New(types.TDecimal(7, 2), 1)
+	cv.I64[0] = 300 // 3.00
+	hi, hd, hc := iv.HashAt(0), dv.HashAt(0), cv.HashAt(0)
+	if hi != hd || hi != hc {
+		t.Fatalf("hashes differ: int=%x double=%x decimal=%x", hi, hd, hc)
+	}
+	sv := vector.New(types.TString, 2)
+	sv.Str[0], sv.Str[1] = "a", "b"
+	if sv.HashAt(0) == sv.HashAt(1) {
+		t.Fatal("distinct strings hash equal")
+	}
+	nv := vector.New(types.TBigint, 1)
+	nv.SetNull(0)
+	if nv.HashAt(0) != vector.NullHash {
+		t.Fatal("null hash mismatch")
+	}
+}
+
+// TestParallelEarlyClose pulls only part of an exchange's output through
+// a LIMIT and closes; workers blocked on the bounded channel must unwind
+// without hanging or leaking.
+func TestParallelEarlyClose(t *testing.T) {
+	w := newTestWarehouse(t)
+	for _, q := range []string{
+		`SELECT item_sk FROM sales LIMIT 3`,
+		`SELECT item_sk FROM sales WHERE qty >= 1 LIMIT 1`,
+	} {
+		rows, err := w.runDOP(q, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want := 3
+		if strings.Contains(q, "LIMIT 1") {
+			want = 1
+		}
+		if len(rows) != want {
+			t.Fatalf("%s: got %d rows, want %d", q, len(rows), want)
+		}
+	}
+}
+
+// TestSplitQueueSteal checks the morsel dispenser hands out each split
+// exactly once across many concurrent takers.
+func TestSplitQueueSteal(t *testing.T) {
+	splits := make([]TableSplit, 100)
+	for i := range splits {
+		splits[i].Loc = fmt.Sprintf("/s%d", i)
+	}
+	q := NewSplitQueue(splits)
+	taken := make(chan string, len(splits))
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func() {
+			for {
+				s, ok := q.take(nil)
+				if !ok {
+					done <- struct{}{}
+					return
+				}
+				taken <- s.Loc
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	close(taken)
+	seen := map[string]bool{}
+	for loc := range taken {
+		if seen[loc] {
+			t.Fatalf("split %s taken twice", loc)
+		}
+		seen[loc] = true
+	}
+	if len(seen) != len(splits) {
+		t.Fatalf("took %d splits, want %d", len(seen), len(splits))
+	}
+}

@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/acid"
 	"repro/internal/dfs"
 	"repro/internal/metastore"
@@ -34,6 +37,33 @@ type PartPruneBind struct {
 	PartKey  int // index into the table's partition key columns
 }
 
+// SplitQueue is a shared morsel dispenser: parallel scan workers steal
+// splits from it through an atomic index (morsel-driven scheduling after
+// Leis et al.; LLAP executors process scan fragments the same way). The
+// first taker applies dynamic partition pruning once for everyone.
+type SplitQueue struct {
+	splits []TableSplit
+	next   atomic.Int64
+	prune  sync.Once
+}
+
+// NewSplitQueue shares the given splits between workers.
+func NewSplitQueue(splits []TableSplit) *SplitQueue {
+	return &SplitQueue{splits: splits}
+}
+
+// take returns the next unclaimed split, pruning the list once first.
+func (q *SplitQueue) take(prune func([]TableSplit) []TableSplit) (TableSplit, bool) {
+	if prune != nil {
+		q.prune.Do(func() { q.splits = prune(q.splits) })
+	}
+	i := int(q.next.Add(1) - 1)
+	if i >= len(q.splits) {
+		return TableSplit{}, false
+	}
+	return q.splits[i], true
+}
+
 // ScanOp reads an ACID table: it merges base and delta stores under the
 // split's WriteId snapshot, pushes the search argument into stripe
 // selection, fills partition key columns from the split, and applies
@@ -50,6 +80,9 @@ type ScanOp struct {
 	Prune  []PartPruneBind
 	Ctx    *Context
 	Stats  *RuntimeStats
+	// Shared, when non-nil, overrides Splits: this scan is one worker of a
+	// parallel scan and steals its splits from the shared morsel queue.
+	Shared *SplitQueue
 
 	outTypes []types.T
 	splitIdx int
@@ -87,8 +120,8 @@ func (s *ScanOp) dataColCount() int { return len(s.Table.Cols) }
 func (s *ScanOp) Next() (*vector.Batch, error) {
 	if !s.started {
 		s.started = true
-		if err := s.pruneSplits(); err != nil {
-			return nil, err
+		if s.Shared == nil {
+			s.Splits = s.pruneList(s.Splits)
 		}
 	}
 	for {
@@ -100,24 +133,37 @@ func (s *ScanOp) Next() (*vector.Batch, error) {
 			}
 			return b, nil
 		}
-		if s.splitIdx >= len(s.Splits) {
+		split, ok := s.nextSplit()
+		if !ok {
 			return nil, nil
 		}
-		split := s.Splits[s.splitIdx]
-		s.splitIdx++
 		if err := s.scanSplit(split); err != nil {
 			return nil, err
 		}
 	}
 }
 
-// pruneSplits applies dynamic partition pruning using runtime filters.
-func (s *ScanOp) pruneSplits() error {
-	if len(s.Prune) == 0 || s.Ctx == nil {
-		return nil
+// nextSplit claims the next morsel, either from this operator's own split
+// list or from the shared work-stealing queue.
+func (s *ScanOp) nextSplit() (TableSplit, bool) {
+	if s.Shared != nil {
+		return s.Shared.take(s.pruneList)
 	}
-	kept := s.Splits[:0]
-	for _, split := range s.Splits {
+	if s.splitIdx >= len(s.Splits) {
+		return TableSplit{}, false
+	}
+	split := s.Splits[s.splitIdx]
+	s.splitIdx++
+	return split, true
+}
+
+// pruneList applies dynamic partition pruning using runtime filters.
+func (s *ScanOp) pruneList(splits []TableSplit) []TableSplit {
+	if len(s.Prune) == 0 || s.Ctx == nil {
+		return splits
+	}
+	kept := make([]TableSplit, 0, len(splits))
+	for _, split := range splits {
 		keep := true
 		for _, p := range s.Prune {
 			f := s.Ctx.Filter(p.FilterID)
@@ -144,8 +190,7 @@ func (s *ScanOp) pruneSplits() error {
 			kept = append(kept, split)
 		}
 	}
-	s.Splits = kept
-	return nil
+	return kept
 }
 
 func (s *ScanOp) scanSplit(split TableSplit) error {

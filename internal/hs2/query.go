@@ -2,6 +2,7 @@ package hs2
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/analyze"
@@ -411,6 +412,17 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 	if mode == dag.ModeLLAP && s.confBool("hive.llap.enabled") {
 		ctx.Chunks = s.srv.Cache
 	}
+	// Intra-query parallelism rides on LLAP executor slots (paper §5.1);
+	// MR and container modes stay serial like the paper's baselines.
+	dop := 1
+	if mode == dag.ModeLLAP {
+		dop = int(s.confInt("hive.parallelism"))
+		if dop <= 0 {
+			dop = runtime.NumCPU()
+		}
+		ctx.DOP = dop
+		ctx.Slots = s.srv.Daemons
+	}
 	comp := &exec.Compiler{
 		Ctx:      ctx,
 		MakeScan: s.makeScanFactory(ctx),
@@ -433,6 +445,8 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 		FS:              s.srv.FS,
 		ScratchDir:      scratch,
 		Daemons:         s.srv.Daemons,
+		DOP:             dop,
+		Ctx:             ctx,
 	}
 	op, shape := runner.Prepare(op)
 	rows, err := runner.Run(op, shape)

@@ -11,6 +11,7 @@ package hs2
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -85,6 +86,10 @@ func NewServer(cfg Config) *Server {
 			"hive.exec.memory.limit.rows":      "0",
 			"hive.query.reexecution.enabled":   "true",
 			"hive.query.reexecution.strategy":  "overlay",
+			// Intra-query parallelism: LLAP fragments fan out over this
+			// many executor slots (morsel-driven scans, two-phase
+			// aggregation, partitioned join builds).
+			"hive.parallelism": strconv.Itoa(runtime.NumCPU()),
 		},
 	}
 	return s

@@ -1,6 +1,9 @@
 package llap
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dfs"
@@ -128,6 +131,84 @@ func TestDaemonsPool(t *testing.T) {
 	rel()
 	if r, ok := d.TryAcquire(4); !ok {
 		t.Error("all slots should be free again")
+	} else {
+		r()
+	}
+}
+
+// TestCacheConcurrentStress hammers the data cache from many goroutines
+// with a capacity small enough to force constant insert/evict churn,
+// modeling parallel morsel-driven scans sharing one LLAP cache. Run with
+// -race; correctness here is "right bytes, no data races, bounded size".
+func TestCacheConcurrentStress(t *testing.T) {
+	fs := dfs.New()
+	const files = 8
+	for f := 0; f < files; f++ {
+		data := make([]byte, 8192)
+		for i := range data {
+			data[i] = byte(f)
+		}
+		fs.WriteFile(fmt.Sprintf("/f%d", f), data)
+	}
+	// Capacity of ~4 chunks so concurrent readers evict each other.
+	c := NewCache(fs, 4*1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				f := (w + i) % files
+				off := int64((i % 8) * 1024)
+				data, err := c.ReadChunk(fmt.Sprintf("/f%d", f), uint64(f+1), i%4, w%3, off, 1024)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(data) != 1024 || data[0] != byte(f) {
+					t.Errorf("wrong chunk content for file %d", f)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.UsedBytes > 4*1024 {
+		t.Errorf("cache over capacity: %d bytes", st.UsedBytes)
+	}
+	if st.Hits+st.Misses != 8*300 {
+		t.Errorf("lost reads: hits %d misses %d", st.Hits, st.Misses)
+	}
+}
+
+// TestDaemonsConcurrentTryAcquire checks slot accounting under concurrent
+// acquire/release from parallel operators.
+func TestDaemonsConcurrentTryAcquire(t *testing.T) {
+	d := NewDaemons(4)
+	var inUse atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 1 + (w+i)%3
+				rel, ok := d.TryAcquire(n)
+				if !ok {
+					continue
+				}
+				if cur := inUse.Add(int64(n)); cur > 4 {
+					t.Errorf("pool over-committed: %d slots in use", cur)
+				}
+				inUse.Add(int64(-n))
+				rel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r, ok := d.TryAcquire(4); !ok {
+		t.Error("slots leaked: full pool unavailable after stress")
 	} else {
 		r()
 	}

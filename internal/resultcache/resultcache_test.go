@@ -94,3 +94,38 @@ func TestEvictionBound(t *testing.T) {
 		t.Errorf("stats: %d hits %d misses", hits, misses)
 	}
 }
+
+// TestConcurrentStress exercises the pending-entry protocol from many
+// goroutines racing identical and distinct queries with fills, abandons
+// and snapshot invalidations. Run with -race.
+func TestConcurrentStress(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				key := string(rune('a' + i%12))
+				snap := Snapshot{"t": int64(i % 3)}
+				cols, rows, out := c.Lookup(key, snap)
+				switch out {
+				case Hit:
+					if len(cols) != 1 || len(rows) != 1 {
+						t.Error("hit returned wrong shape")
+						return
+					}
+				case MissFill:
+					if i%7 == 0 {
+						c.Abandon(key)
+					} else {
+						c.Fill(key, []string{"c"}, [][]types.Datum{{types.NewBigint(int64(w))}}, snap)
+					}
+				case MissWaited:
+					// retry next round
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

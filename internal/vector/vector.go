@@ -5,6 +5,8 @@
 package vector
 
 import (
+	"math"
+
 	"repro/internal/types"
 )
 
@@ -174,6 +176,78 @@ func (v *Vector) CopyRow(dst int, from *Vector, src int) {
 		v.Str[dst] = from.Str[src]
 	default:
 		v.I64[dst] = from.I64[src]
+	}
+}
+
+// Hashing constants for the column-at-a-time key hashing used by hash
+// joins and hash aggregation. Combined hashes follow FNV-1a mixing:
+// h = h*HashPrime ^ columnHash.
+const (
+	// HashSeed is the initial value for a combined multi-column key hash.
+	HashSeed uint64 = 14695981039346656037
+	// HashPrime is the FNV-1a multiplier used to combine column hashes.
+	HashPrime uint64 = 1099511628211
+	// NullHash is the hash of a NULL value in any column.
+	NullHash uint64 = 0x9e3779b97f4a7c15
+)
+
+// mix64 is the splitmix64 finalizer, used to spread raw values over the
+// whole 64-bit space before FNV combination.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashAt returns the hash of physical row r. Values of different numeric
+// kinds that compare equal hash equal (INT 3, DOUBLE 3.0 and DECIMAL 3.00
+// all hash as integer 3), mirroring types.Datum.Hash semantics without
+// materializing a Datum.
+func (v *Vector) HashAt(r int) uint64 {
+	if v.Nulls != nil && v.Nulls[r] {
+		return NullHash
+	}
+	switch v.Type.Kind {
+	case types.String:
+		h := HashSeed
+		s := v.Str[r]
+		for j := 0; j < len(s); j++ {
+			h = (h ^ uint64(s[j])) * HashPrime
+		}
+		return mix64(h ^ 1)
+	case types.Float64:
+		return hashNumeric(v.F64[r])
+	case types.Decimal:
+		return hashNumeric(float64(v.I64[r]) / float64(types.Pow10(v.Type.Scale)))
+	default:
+		return mix64(uint64(v.I64[r]))
+	}
+}
+
+func hashNumeric(f float64) uint64 {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return mix64(uint64(int64(f)))
+	}
+	return mix64(math.Float64bits(f))
+}
+
+// HashInto folds each live row's hash into dst, one slot per live row:
+// dst[i] = dst[i]*HashPrime ^ hash(row i). Callers seed dst (HashSeed for
+// the first column, or a raw zero to extract per-column hashes) and call
+// HashInto once per key column, hashing column-at-a-time instead of
+// materializing per-row datums.
+func (v *Vector) HashInto(sel []int, n int, dst []uint64) {
+	if sel != nil {
+		for i := 0; i < n; i++ {
+			dst[i] = dst[i]*HashPrime ^ v.HashAt(sel[i])
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = dst[i]*HashPrime ^ v.HashAt(i)
 	}
 }
 

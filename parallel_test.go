@@ -1,0 +1,88 @@
+package hive
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestParallelismEndToEnd runs TPC-DS-shaped queries through the full
+// HS2 → DAG → LLAP path at several hive.parallelism settings and checks
+// the result multiset matches serial execution. This exercises morsel
+// scans over the partitioned fact table, two-phase aggregation, shared
+// partitioned join builds and semijoin reducers under real executor-slot
+// accounting.
+func TestParallelismEndToEnd(t *testing.T) {
+	wh, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	s := wh.Session()
+	if err := bench.SetupTPCDS(func(q string) error { _, err := s.Exec(q); return err }, bench.TinyTPCDS()); err != nil {
+		t.Fatal(err)
+	}
+	s.SetConf("hive.query.results.cache.enabled", "false")
+
+	queries := []string{
+		`SELECT ss_sold_date_sk, COUNT(*), SUM(ss_sales_price) FROM store_sales GROUP BY ss_sold_date_sk`,
+		`SELECT i_category, SUM(ss_sales_price), AVG(ss_quantity) FROM store_sales, item
+		   WHERE ss_item_sk = i_item_sk GROUP BY i_category`,
+		`SELECT COUNT(DISTINCT ss_customer_sk) FROM store_sales`,
+		`SELECT ss_customer_sk, SUM(ss_sales_price) AS s FROM store_sales, item
+		   WHERE ss_item_sk = i_item_sk AND i_category = 'Music' AND i_brand = 'brandA'
+		   GROUP BY ss_customer_sk ORDER BY s DESC LIMIT 10`,
+		`SELECT ss_item_sk FROM store_sales WHERE ss_quantity > 8 AND NOT EXISTS
+		   (SELECT 1 FROM store_returns WHERE sr_item_sk = ss_item_sk)`,
+	}
+	for _, q := range queries {
+		s.SetConf("hive.parallelism", "1")
+		base, err := s.Exec(q)
+		if err != nil {
+			t.Fatalf("serial %s: %v", q, err)
+		}
+		want := sortedLines(base)
+		for _, dop := range []string{"2", "4", "8"} {
+			s.SetConf("hive.parallelism", dop)
+			res, err := s.Exec(q)
+			if err != nil {
+				t.Fatalf("dop=%s %s: %v", dop, q, err)
+			}
+			if got := sortedLines(res); got != want {
+				t.Errorf("dop=%s %s:\n got %q\nwant %q", dop, q, got, want)
+			}
+		}
+	}
+}
+
+func sortedLines(r *Result) string {
+	lines := strings.Split(r.String(), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestParallelismBoundedBySlots shrinks the executor pool to one slot and
+// confirms parallel queries still complete (the coordinator always owns an
+// implicit slot) and produce correct results.
+func TestParallelismBoundedBySlots(t *testing.T) {
+	wh, err := Open(Config{Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	s := wh.Session()
+	if err := bench.SetupTPCDS(func(q string) error { _, err := s.Exec(q); return err }, bench.TinyTPCDS()); err != nil {
+		t.Fatal(err)
+	}
+	s.SetConf("hive.query.results.cache.enabled", "false")
+	s.SetConf("hive.parallelism", "8")
+	res, err := s.Exec(`SELECT COUNT(*), SUM(ss_quantity) FROM store_sales`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.String(), "2000|") {
+		t.Fatalf("unexpected result %q", res.String())
+	}
+}
