@@ -2,8 +2,9 @@ GO ?= go
 
 .PHONY: check build test vet race bench
 
-# check is the CI gate: vet, build, race-test the concurrency-sensitive
-# packages, then run the full suite.
+# check is the CI gate: vet, build, a -race short-test pass over every
+# package (catches data races in the parallel scan/agg/join paths and the
+# stripe-granular morsel sharing), then the full suite.
 check: vet build race test
 
 vet:
@@ -13,7 +14,7 @@ build:
 	$(GO) build ./...
 
 race:
-	$(GO) test -race ./internal/exec/... ./internal/llap/... ./internal/resultcache/...
+	$(GO) test -race -short ./...
 
 test:
 	$(GO) test ./...

@@ -112,11 +112,18 @@ func BenchmarkFigure8(b *testing.B) {
 // that parallel workers overlap, as LLAP executor slots do in the paper's
 // Table 1. Executors are oversized so the pool never caps the DOP.
 func BenchmarkParallelSpeedup(b *testing.B) {
-	queries := []struct{ name, sql string }{
-		{"scan_agg", `SELECT ss_sold_date_sk, COUNT(*), SUM(ss_sales_price), AVG(ss_quantity)
+	queries := []struct {
+		name, sql string
+		flat      bool // needs the unpartitioned store_sales_flat copy
+	}{
+		{name: "scan_agg", sql: `SELECT ss_sold_date_sk, COUNT(*), SUM(ss_sales_price), AVG(ss_quantity)
 			FROM store_sales GROUP BY ss_sold_date_sk`},
-		{"join_agg", `SELECT i_category, SUM(ss_sales_price), COUNT(*)
+		{name: "join_agg", sql: `SELECT i_category, SUM(ss_sales_price), COUNT(*)
 			FROM store_sales, item WHERE ss_item_sk = i_item_sk GROUP BY i_category`},
+		// Unpartitioned fact table: a single directory split that only
+		// stripe-granular morsels (PR 2) can fan out across workers.
+		{name: "unpart_scan_agg", flat: true, sql: `SELECT ss_sold_date_sk, COUNT(*), SUM(ss_sales_price), AVG(ss_quantity)
+			FROM store_sales_flat GROUP BY ss_sold_date_sk`},
 	}
 	dops := []int{1, 2, 4}
 	if n := runtime.NumCPU(); n > 4 {
@@ -133,6 +140,11 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 				s := wh.Session()
 				if err := bench.SetupTPCDS(func(q string) error { _, err := s.Exec(q); return err }, bench.SmallTPCDS()); err != nil {
 					b.Fatal(err)
+				}
+				if q.flat {
+					if err := bench.SetupUnpartitionedSales(func(q string) error { _, err := s.Exec(q); return err }, bench.SmallTPCDS()); err != nil {
+						b.Fatal(err)
+					}
 				}
 				s.SetConf("hive.query.results.cache.enabled", "false")
 				s.SetConf("hive.llap.enabled", "false")

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dfs"
 	"repro/internal/orc"
@@ -134,17 +135,31 @@ func (iw *InsertWriter) Rows() int64 { return iw.nextRow }
 // Close finalizes the delta file.
 func (iw *InsertWriter) Close() error { return iw.w.Close() }
 
+// DeleteMetaDeleter is the position of the deleting write's id in delete
+// delta files. The first three columns identify the record being deleted
+// (paper §3.2); the fourth stamps the write that performed the delete, so
+// compacted (multi-write) delete deltas stay filterable per row against a
+// snapshot even after the original single-write directories are cleaned.
+const DeleteMetaDeleter = 3
+
+// DeleteSchema returns the schema of delete delta files: the deleted
+// record's identifier plus the deleting write id.
+func DeleteSchema() []orc.Column {
+	return append(MetaColumns(), orc.Column{Name: "__deleter", Type: types.TBigint})
+}
+
 // DeleteWriter records deleted row identifiers in a delete_delta_W_W
-// directory. Deleted records store only the identifier of the record being
-// deleted (paper §3.2).
+// directory. Deleted records store the identifier of the record being
+// deleted (paper §3.2) plus the deleting write id.
 type DeleteWriter struct {
-	w *orc.Writer
+	w       *orc.Writer
+	writeID int64
 }
 
 // NewDeleteWriter opens a delete-delta writer for the given write.
 func NewDeleteWriter(fs *dfs.FS, loc string, writeID int64, fileID int64) *DeleteWriter {
 	path := fmt.Sprintf("%s/%s/file_%05d", loc, deleteDirName(writeID, writeID), fileID)
-	return &DeleteWriter{w: orc.NewWriter(fs, path, MetaColumns(), orc.WriterOptions{})}
+	return &DeleteWriter{w: orc.NewWriter(fs, path, DeleteSchema(), orc.WriterOptions{}), writeID: writeID}
 }
 
 // Delete records one row key as deleted.
@@ -153,6 +168,7 @@ func (dw *DeleteWriter) Delete(k RowKey) error {
 		types.NewBigint(k.WriteID),
 		types.NewBigint(k.FileID),
 		types.NewBigint(k.RowID),
+		types.NewBigint(dw.writeID),
 	})
 }
 
@@ -170,6 +186,13 @@ type Snapshot struct {
 	dataDirs []storeDir
 	deletes  map[RowKey]struct{}
 	chunks   orc.ChunkReader
+
+	// readers caches opened file readers (footers) keyed by path, so the
+	// stripe enumeration of Splits and the per-range scans of many workers
+	// pay the footer read once per file. Guarded by mu; orc.Reader itself
+	// is safe for concurrent stripe reads.
+	mu      sync.Mutex
+	readers map[string]*orc.Reader
 }
 
 // OpenSnapshot lists the directory, selects the newest usable base,
@@ -246,9 +269,11 @@ func OpenSnapshot(fs *dfs.FS, loc string, dataCols []orc.Column, valid txn.Valid
 
 // dropCovered removes directories whose WriteId range is strictly contained
 // in a wider directory of the same kind (the wider one is the compacted
-// replacement).
+// replacement). The result is a fresh slice: filtering in place (dirs[:0])
+// would overwrite entries of dirs while the inner coverage loop still reads
+// them, corrupting the caller's slice.
 func dropCovered(dirs []storeDir) []storeDir {
-	out := dirs[:0]
+	out := make([]storeDir, 0, len(dirs))
 	for _, d := range dirs {
 		covered := false
 		for _, o := range dirs {
@@ -280,6 +305,12 @@ func anyInvalidUpTo(valid txn.ValidWriteIds, hi int64) bool {
 func (s *Snapshot) SetChunkReader(cr orc.ChunkReader) { s.chunks = cr }
 
 func (s *Snapshot) loadDeletes(d storeDir) error {
+	// Dir-level validity first, before any file listing or stripe I/O: a
+	// single-write delete delta from an open or aborted transaction
+	// contributes nothing, so reading its stripes is wasted work.
+	if d.min == d.max && !s.valid.Valid(d.min) {
+		return nil
+	}
 	files, err := s.fs.ListRecursive(d.path)
 	if err != nil {
 		return err
@@ -297,16 +328,18 @@ func (s *Snapshot) loadDeletes(d storeDir) error {
 			if err != nil {
 				return err
 			}
-			// The delete-delta file's own rows are stamped by the deleting
-			// transaction via the directory's write id range; validity of
-			// the delete itself is the directory-level check plus, for
-			// compacted delete deltas, nothing further (compaction only
-			// keeps committed deletes). For single-write dirs, check the
-			// directory write id.
-			if d.min == d.max && !s.valid.Valid(d.min) {
-				continue
-			}
+			// A delete record stores the identifier of the record being
+			// deleted plus the write that deleted it. Single-write dirs
+			// were validated above as a whole. Multi-write dirs are
+			// compacted delete deltas that may fold writes this snapshot
+			// cannot see (an older snapshot reading a newer compacted
+			// delta), so each row's deleter WriteID must be valid here —
+			// deletes performed by invisible writes must not be applied.
+			multi := d.min != d.max && len(b.Cols) > DeleteMetaDeleter
 			for i := 0; i < b.N; i++ {
+				if multi && !s.valid.Valid(b.Cols[DeleteMetaDeleter].I64[i]) {
+					continue
+				}
 				s.deletes[RowKey{
 					WriteID: b.Cols[MetaWriteID].I64[i],
 					FileID:  b.Cols[MetaFileID].I64[i],
@@ -318,6 +351,35 @@ func (s *Snapshot) loadDeletes(d storeDir) error {
 	return nil
 }
 
+// openReader returns a (possibly cached) reader for one data file, with
+// the snapshot's chunk source installed.
+func (s *Snapshot) openReader(path string) (*orc.Reader, error) {
+	s.mu.Lock()
+	r, ok := s.readers[path]
+	s.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := orc.NewReader(s.fs, path)
+	if err != nil {
+		return nil, err
+	}
+	if s.chunks != nil {
+		r.SetChunkReader(s.chunks)
+	}
+	s.mu.Lock()
+	if s.readers == nil {
+		s.readers = make(map[string]*orc.Reader)
+	}
+	if prev, ok := s.readers[path]; ok {
+		r = prev // another worker won the race; share its reader
+	} else {
+		s.readers[path] = r
+	}
+	s.mu.Unlock()
+	return r, nil
+}
+
 // DeleteCount returns the number of visible deleted row keys.
 func (s *Snapshot) DeleteCount() int { return len(s.deletes) }
 
@@ -327,49 +389,63 @@ func (s *Snapshot) DeleteCount() int { return len(s.deletes) }
 // full-schema ordinals and used both for stripe skipping and, for PredBloom
 // reducers, row filtering is left to the caller.
 func (s *Snapshot) Scan(projection []int, sarg *orc.SearchArgument, fn func(*vector.Batch) error) error {
-	full := FullSchema(s.dataCols)
-	if projection == nil {
-		projection = make([]int, len(full))
-		for i := range projection {
-			projection[i] = i
-		}
-	}
-	// Always read the system columns for validity and anti-join checks,
-	// then project down to what the caller asked for.
-	readCols := make([]int, 0, NumMetaCols+len(projection))
-	readCols = append(readCols, MetaWriteID, MetaFileID, MetaRowID)
-	for _, p := range projection {
-		readCols = append(readCols, p)
-	}
+	projection, readCols := s.readColsFor(projection)
 	for _, d := range s.dataDirs {
 		files, err := s.fs.ListRecursive(d.path)
 		if err != nil {
 			return err
 		}
 		for _, fi := range files {
-			r, err := orc.NewReader(s.fs, fi.Path)
-			if err != nil {
+			if err := s.scanFile(fi.Path, d, 0, -1, readCols, sarg, len(projection), fn); err != nil {
 				return err
 			}
-			if s.chunks != nil {
-				r.SetChunkReader(s.chunks)
-			}
-			for st := 0; st < r.NumStripes(); st++ {
-				if sarg != nil && !r.StripeCanMatch(st, sarg) {
-					continue
-				}
-				b, err := r.ReadStripe(st, readCols)
-				if err != nil {
-					return err
-				}
-				out := s.filterBatch(b, d, len(projection))
-				if out.N == 0 {
-					continue
-				}
-				if err := fn(out); err != nil {
-					return err
-				}
-			}
+		}
+	}
+	return nil
+}
+
+// readColsFor normalizes a projection over the full ACID schema (nil =
+// everything) and prepends the system columns, which are always read for
+// validity and delete anti-join checks.
+func (s *Snapshot) readColsFor(projection []int) (proj, readCols []int) {
+	if projection == nil {
+		projection = make([]int, NumMetaCols+len(s.dataCols))
+		for i := range projection {
+			projection[i] = i
+		}
+	}
+	readCols = make([]int, 0, NumMetaCols+len(projection))
+	readCols = append(readCols, MetaWriteID, MetaFileID, MetaRowID)
+	readCols = append(readCols, projection...)
+	return projection, readCols
+}
+
+// scanFile streams the visible rows of stripes [lo, hi) of one data file
+// (hi < 0 means every stripe), applying search-argument stripe skipping and
+// snapshot filtering. Safe for concurrent use by parallel scan workers: it
+// only reads immutable snapshot state.
+func (s *Snapshot) scanFile(path string, d storeDir, lo, hi int, readCols []int, sarg *orc.SearchArgument, projN int, fn func(*vector.Batch) error) error {
+	r, err := s.openReader(path)
+	if err != nil {
+		return err
+	}
+	if hi < 0 || hi > r.NumStripes() {
+		hi = r.NumStripes()
+	}
+	for st := lo; st < hi; st++ {
+		if sarg != nil && !r.StripeCanMatch(st, sarg) {
+			continue
+		}
+		b, err := r.ReadStripe(st, readCols)
+		if err != nil {
+			return err
+		}
+		out := s.filterBatch(b, d, projN)
+		if out.N == 0 {
+			continue
+		}
+		if err := fn(out); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -134,7 +134,7 @@ func (c *Compactor) Minor(valid txn.ValidWriteIds) error {
 		if c.fs.Exists(tmp) {
 			c.fs.Remove(tmp, true)
 		}
-		dw := orc.NewWriter(c.fs, tmp+"/file_00000", MetaColumns(), orc.WriterOptions{})
+		dw := orc.NewWriter(c.fs, tmp+"/file_00000", DeleteSchema(), orc.WriterOptions{})
 		wrote := false
 		for _, d := range toMerge {
 			if err := c.copyDir(d, dw, valid, &wrote); err != nil {
@@ -167,9 +167,17 @@ func (c *Compactor) copyDir(d storeDir, w *orc.Writer, valid txn.ValidWriteIds, 
 			if err != nil {
 				return err
 			}
+			// Insert rows are stamped by their writing transaction in
+			// MetaWriteID; delete records carry the deleting write in the
+			// trailing deleter column, which is the one that decides
+			// whether the delete itself is committed.
+			validCol := MetaWriteID
+			if d.kind == kindDeleteDelta && len(b.Cols) > DeleteMetaDeleter {
+				validCol = DeleteMetaDeleter
+			}
 			sel := make([]int, 0, b.N)
 			for i := 0; i < b.N; i++ {
-				if valid.Valid(b.Cols[MetaWriteID].I64[i]) {
+				if valid.Valid(b.Cols[validCol].I64[i]) {
 					sel = append(sel, i)
 				}
 			}

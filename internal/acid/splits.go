@@ -1,0 +1,130 @@
+package acid
+
+// This file implements stripe-granular split enumeration (paper §5.1):
+// LLAP splits scan work at the ORC stripe level so the I/O elevator and
+// executors pipeline independently, and so morsel-driven scheduling (Leis
+// et al.) hands out fine-grained, roughly uniform units that work-stealing
+// can balance. A Snapshot enumerates the stripes of every data file it
+// covers once, on the coordinator; workers then scan disjoint stripe
+// ranges through the same snapshot, sharing its immutably-published delete
+// set instead of re-reading delete deltas per split.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/orc"
+	"repro/internal/vector"
+)
+
+// ScanRange is one stripe-granular unit of scan work: the contiguous
+// stripes [StripeLo, StripeHi) of a single data file visible in the
+// snapshot.
+type ScanRange struct {
+	File     string
+	StripeLo int
+	StripeHi int
+	// Rows is the stored row count of the range (before snapshot and
+	// delete filtering), used to balance ranges across workers.
+	Rows int64
+}
+
+// Splits enumerates stripe ranges over every data file the snapshot
+// covers. targetStripes bounds the stripes per range (<= 0 means one);
+// within a file, ranges are cut so their stored row counts come out as
+// even as stripe boundaries allow, which keeps morsels uniform when stripe
+// sizes are skewed (small final stripes, mixed writer configurations).
+// Ranges never span files.
+//
+// Enumeration reads only footers, and reads them concurrently — the
+// paper's LLAP I/O elevator decouples I/O from execution the same way —
+// because split listing runs serially on the coordinator before any
+// worker starts. The opened readers stay cached on the snapshot, so the
+// workers' range scans never re-read a footer.
+func (s *Snapshot) Splits(targetStripes int) ([]ScanRange, error) {
+	if targetStripes <= 0 {
+		targetStripes = 1
+	}
+	var paths []string
+	for _, d := range s.dataDirs {
+		files, err := s.fs.ListRecursive(d.path)
+		if err != nil {
+			return nil, err
+		}
+		for _, fi := range files {
+			paths = append(paths, fi.Path)
+		}
+	}
+	readers := make([]*orc.Reader, len(paths))
+	errs := make([]error, len(paths))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16)
+	for i, p := range paths {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			readers[i], errs[i] = s.openReader(p)
+		}(i, p)
+	}
+	wg.Wait()
+	var out []ScanRange
+	for i, r := range readers {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, fileRanges(r, paths[i], targetStripes)...)
+	}
+	return out, nil
+}
+
+// fileRanges cuts one file's stripes into at most ceil(n/targetStripes)
+// ranges with balanced stored row counts. Empty files (zero stripes)
+// produce no ranges.
+func fileRanges(r *orc.Reader, path string, targetStripes int) []ScanRange {
+	n := r.NumStripes()
+	if n == 0 {
+		return nil
+	}
+	nRanges := (n + targetStripes - 1) / targetStripes
+	var total int64
+	for i := 0; i < n; i++ {
+		total += int64(r.StripeRows(i))
+	}
+	share := total / int64(nRanges)
+	out := make([]ScanRange, 0, nRanges)
+	lo, acc := 0, int64(0)
+	for i := 0; i < n; i++ {
+		acc += int64(r.StripeRows(i))
+		rangesLeft := nRanges - len(out) - 1
+		stripesLeft := n - i - 1
+		// Cut at the row share, or when the remaining stripes are exactly
+		// enough to keep every remaining range non-empty.
+		if rangesLeft > 0 && (acc >= share || stripesLeft == rangesLeft) {
+			out = append(out, ScanRange{File: path, StripeLo: lo, StripeHi: i + 1, Rows: acc})
+			lo, acc = i+1, 0
+		}
+	}
+	return append(out, ScanRange{File: path, StripeLo: lo, StripeHi: n, Rows: acc})
+}
+
+// ScanRange streams the visible rows of one stripe range, exactly as Scan
+// would for those stripes: the same projection semantics, search-argument
+// stripe skipping, snapshot validity filtering and delete anti-join against
+// the snapshot's shared delete set. Safe to call from multiple goroutines
+// on one Snapshot — the delete set is loaded once at OpenSnapshot and only
+// read here.
+func (s *Snapshot) ScanRange(r ScanRange, projection []int, sarg *orc.SearchArgument, fn func(*vector.Batch) error) error {
+	dir := r.File
+	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+		dir = dir[:i]
+	}
+	d, ok := parseStoreDir(dir)
+	if !ok {
+		return fmt.Errorf("acid: %s is not inside a base or delta directory", r.File)
+	}
+	projection, readCols := s.readColsFor(projection)
+	return s.scanFile(r.File, d, r.StripeLo, r.StripeHi, readCols, sarg, len(projection), fn)
+}

@@ -1,0 +1,385 @@
+package acid
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/orc"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// TestDropCoveredDoesNotCorruptInput is the regression test for the
+// in-place filter bug: the old implementation built its result in
+// `dirs[:0]`, overwriting entries of the input while the inner coverage
+// loop still read them. With an interleaved covered/uncovered ordering the
+// write frontier shifts below the read positions, so surviving entries get
+// clobbered with duplicates of earlier keepers — corrupting the caller's
+// slice (OpenSnapshot's candidate list, which stripe-granular split
+// enumeration now walks again after the call).
+func TestDropCoveredDoesNotCorruptInput(t *testing.T) {
+	mk := func(lo, hi int64) storeDir {
+		return storeDir{kind: kindDelta, min: lo, max: hi, path: fmt.Sprintf("/wh/t/delta_%07d_%07d", lo, hi)}
+	}
+	// Interleaved: covered, keeper, covered, wide keeper, covered, keeper.
+	in := []storeDir{
+		mk(2, 3),   // covered by 1..6
+		mk(8, 8),   // keeper
+		mk(4, 5),   // covered by 1..6
+		mk(1, 6),   // wide keeper (the compacted replacement)
+		mk(5, 6),   // covered by 1..6
+		mk(10, 10), // keeper
+	}
+	orig := make([]storeDir, len(in))
+	copy(orig, in)
+
+	got := dropCovered(in)
+
+	want := []storeDir{mk(8, 8), mk(1, 6), mk(10, 10)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dropCovered result:\n got  %v\nwant %v", got, want)
+	}
+	// The input must come back untouched: the old code left in =
+	// [8_8, 1_6, 10_10, 1_6, 5_6, 10_10] — live dirs compared against
+	// clobbered duplicates, and a caller re-reading its slice would
+	// double-count compacted rows.
+	if !reflect.DeepEqual(in, orig) {
+		t.Errorf("dropCovered corrupted its input:\n got  %v\nwant %v", in, orig)
+	}
+}
+
+// multiWriteDeleteDelta writes a compacted-form (multi-write) delete delta
+// covering writes [lo, hi], with one delete record per entry: victim key
+// plus the deleting write id.
+func multiWriteDeleteDelta(t *testing.T, e *env, lo, hi int64, dels []struct {
+	victim  RowKey
+	deleter int64
+}) {
+	t.Helper()
+	path := fmt.Sprintf("%s/%s/file_00000", e.loc, deleteDirName(lo, hi))
+	w := orc.NewWriter(e.fs, path, DeleteSchema(), orc.WriterOptions{})
+	for _, d := range dels {
+		if err := w.WriteRow([]types.Datum{
+			types.NewBigint(d.victim.WriteID),
+			types.NewBigint(d.victim.FileID),
+			types.NewBigint(d.victim.RowID),
+			types.NewBigint(d.deleter),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactedDeleteDeltaRespectsSnapshot: a compacted (multi-write)
+// delete delta folds deletes from several writes. An older snapshot whose
+// high watermark sits inside that range must apply only the deletes its
+// snapshot can see — the old code added every row of a multi-write dir to
+// the delete set unconditionally, so deletes performed by invisible writes
+// leaked into old snapshots.
+func TestCompactedDeleteDeltaRespectsSnapshot(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 6) // write 1
+	keys := e.scanKeys(t)
+	// Snapshot before any deletes.
+	oldSnap := e.tm.GetSnapshot()
+	// Two deleting transactions (writes 2 and 3), then a snapshot between
+	// them would be write-2-visible only; emulate the compactor's output: a
+	// single delete_delta_2_3 folding both, with per-row deleter stamps.
+	midSnap := oldSnap
+	{
+		id := e.tm.Begin()
+		w, _ := e.tm.AllocateWriteId(id, "t")
+		if w != 2 {
+			t.Fatalf("expected write id 2, got %d", w)
+		}
+		dw := NewDeleteWriter(e.fs, e.loc, w, 0)
+		if err := dw.Delete(keys[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := dw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.tm.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+		midSnap = e.tm.GetSnapshot()
+		id = e.tm.Begin()
+		w, _ = e.tm.AllocateWriteId(id, "t")
+		dw = NewDeleteWriter(e.fs, e.loc, w, 0)
+		if err := dw.Delete(keys[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := dw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.tm.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The compacted replacement (minor compaction of the two delete dirs).
+	multiWriteDeleteDelta(t, e, 2, 3, []struct {
+		victim  RowKey
+		deleter int64
+	}{
+		{victim: keys[0], deleter: 2},
+		{victim: keys[1], deleter: 3},
+	})
+	// Drop the original single-write dirs, as the cleaner would: the
+	// compacted dir is now the only source of deletes.
+	for _, w := range []int64{2, 3} {
+		if err := e.fs.Remove(e.loc+"/"+deleteDirName(w, w), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Current snapshot: both deletes visible.
+	if got := e.readIDs(t); !equalIDs(got, wantIDs(0, 6, 0, 1)) {
+		t.Errorf("current snapshot: %v", got)
+	}
+	// Mid snapshot (only write 2 visible): only the first delete applies.
+	if got := e.readIDsAt(t, midSnap); !equalIDs(got, wantIDs(0, 6, 0)) {
+		t.Errorf("mid snapshot leaked an invisible delete: %v", got)
+	}
+	// Old snapshot (no deletes visible): all rows survive.
+	if got := e.readIDsAt(t, oldSnap); !equalIDs(got, wantIDs(0, 6)) {
+		t.Errorf("old snapshot leaked deletes: %v", got)
+	}
+}
+
+// TestAbortedDeleteDeltaSkipsIO: the dir-level validity check must run
+// before any file of an invalid single-write delete delta is listed or
+// read. The old code paid a footer open plus a stripe read per file before
+// discarding the directory.
+func TestAbortedDeleteDeltaSkipsIO(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 4)
+	keys := e.scanKeys(t)
+	id := e.tm.Begin()
+	w, _ := e.tm.AllocateWriteId(id, "t")
+	dw := NewDeleteWriter(e.fs, e.loc, w, 0)
+	if err := dw.Delete(keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e.tm.Abort(id)
+
+	valid := e.tm.GetValidWriteIds("t", e.tm.GetSnapshot())
+	e.fs.ResetStats()
+	s, err := OpenSnapshot(e.fs, e.loc, testCols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DeleteCount() != 0 {
+		t.Fatalf("aborted delete applied: %d deletes", s.DeleteCount())
+	}
+	// OpenSnapshot's only file reads are delete-delta loads; the aborted
+	// dir is the sole delete delta, so no read ops may be charged.
+	if st := e.fs.IOStats(); st.ReadOps != 0 {
+		t.Errorf("aborted delete delta cost %d read ops, want 0", st.ReadOps)
+	}
+}
+
+// splitsEnv builds a snapshot over inserts with configurable stripe sizes.
+func splitsEnv(t *testing.T, stripeRows int, batches []int) (*env, *Snapshot) {
+	t.Helper()
+	e := newEnv()
+	next := int64(0)
+	for _, n := range batches {
+		id := e.tm.Begin()
+		w, err := e.tm.AllocateWriteId(id, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		iw := NewInsertWriter(e.fs, e.loc, w, 0, testCols, orc.WriterOptions{StripeRows: stripeRows})
+		for i := 0; i < n; i++ {
+			if err := iw.WriteRow([]types.Datum{types.NewBigint(next), types.NewString("v")}); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if err := iw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.tm.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := e.tm.GetValidWriteIds("t", e.tm.GetSnapshot())
+	s, err := OpenSnapshot(e.fs, e.loc, testCols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, s
+}
+
+// TestSplitsRangeBalancing drives Snapshot.Splits over skewed stripe
+// sizes, single-stripe files and empty deltas, checking coverage and
+// balance invariants.
+func TestSplitsRangeBalancing(t *testing.T) {
+	cases := []struct {
+		name          string
+		stripeRows    int
+		batches       []int // rows per insert transaction (= per file)
+		targetStripes int
+		wantRanges    int
+	}{
+		// 16 uniform stripes of 4 rows in one file, 4 stripes per morsel.
+		{name: "uniform", stripeRows: 4, batches: []int{64}, targetStripes: 4, wantRanges: 4},
+		// Skew: 3 full stripes and a 1-row runt; two ranges must split the
+		// rows 8/5, not 12/1.
+		{name: "skewed_tail", stripeRows: 4, batches: []int{13}, targetStripes: 2, wantRanges: 2},
+		// Single-stripe files each become exactly one range.
+		{name: "single_stripe_files", stripeRows: 8, batches: []int{3, 5, 2}, targetStripes: 4, wantRanges: 3},
+		// Empty delta directories (a committed insert of zero rows)
+		// contribute no ranges: 2 stripes + 0 + 1 stripe at target 2.
+		{name: "empty_delta", stripeRows: 4, batches: []int{8, 0, 4}, targetStripes: 2, wantRanges: 2},
+		// target <= 0 defaults to one stripe per morsel.
+		{name: "default_target", stripeRows: 4, batches: []int{16}, targetStripes: 0, wantRanges: 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, s := splitsEnv(t, tc.stripeRows, tc.batches)
+			ranges, err := s.Splits(tc.targetStripes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ranges) != tc.wantRanges {
+				t.Fatalf("got %d ranges %v, want %d", len(ranges), ranges, tc.wantRanges)
+			}
+			// Invariants: ranges are non-empty, never span files, cover
+			// each file's stripes exactly once, in order.
+			perFile := map[string]int{}
+			var totalRows int64
+			for _, r := range ranges {
+				if r.StripeHi <= r.StripeLo {
+					t.Errorf("empty range %+v", r)
+				}
+				if r.StripeLo != perFile[r.File] {
+					t.Errorf("gap or overlap at %+v (next stripe for %s is %d)", r, r.File, perFile[r.File])
+				}
+				perFile[r.File] = r.StripeHi
+				if tc.targetStripes > 0 && r.StripeHi-r.StripeLo > tc.targetStripes {
+					t.Errorf("range %+v exceeds target %d stripes", r, tc.targetStripes)
+				}
+				totalRows += r.Rows
+			}
+			var want int64
+			for _, n := range tc.batches {
+				want += int64(n)
+			}
+			if totalRows != want {
+				t.Errorf("ranges account for %d rows, want %d", totalRows, want)
+			}
+			if tc.name == "skewed_tail" {
+				if ranges[0].Rows != 8 || ranges[1].Rows != 5 {
+					t.Errorf("skewed split rows = %d/%d, want 8/5", ranges[0].Rows, ranges[1].Rows)
+				}
+			}
+		})
+	}
+}
+
+// TestScanRangeMatchesScan verifies that the union of ScanRange calls over
+// Splits returns exactly the rows of a whole-snapshot Scan, under live
+// delete deltas, for every target granularity.
+func TestScanRangeMatchesScan(t *testing.T) {
+	e, _ := splitsEnv(t, 4, []int{30, 10, 25})
+	keys := e.scanKeys(t)
+	e.deleteKeys(t, []RowKey{keys[3], keys[17], keys[40], keys[62]})
+	valid := e.tm.GetValidWriteIds("t", e.tm.GetSnapshot())
+	s, err := OpenSnapshot(e.fs, e.loc, testCols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(scan func(fn func(*vector.Batch) error) error) []int64 {
+		var out []int64
+		if err := scan(func(b *vector.Batch) error {
+			for i := 0; i < b.N; i++ {
+				out = append(out, b.Cols[0].I64[b.RowIdx(i)])
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	proj := []int{NumMetaCols + 0}
+	want := collect(func(fn func(*vector.Batch) error) error {
+		return s.Scan(proj, nil, fn)
+	})
+	for _, target := range []int{1, 2, 3, 100} {
+		ranges, err := s.Splits(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(func(fn func(*vector.Batch) error) error {
+			for _, r := range ranges {
+				if err := s.ScanRange(r, proj, nil, fn); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("target=%d: ScanRange union %v != Scan %v", target, got, want)
+		}
+	}
+	// A file outside any store directory is rejected.
+	if err := s.ScanRange(ScanRange{File: "/wh/t/stray_file"}, proj, nil, func(*vector.Batch) error { return nil }); err == nil {
+		t.Error("ScanRange accepted a file outside base/delta directories")
+	}
+}
+
+// TestSplitsShareDeleteSet confirms delete deltas are loaded once per
+// snapshot, not re-read per stripe range: scanning every range performs no
+// further reads of the delete delta files.
+func TestSplitsShareDeleteSet(t *testing.T) {
+	e, _ := splitsEnv(t, 4, []int{40})
+	keys := e.scanKeys(t)
+	e.deleteKeys(t, []RowKey{keys[5], keys[25]})
+	valid := e.tm.GetValidWriteIds("t", e.tm.GetSnapshot())
+	s, err := OpenSnapshot(e.fs, e.loc, testCols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DeleteCount() != 2 {
+		t.Fatalf("delete set = %d, want 2", s.DeleteCount())
+	}
+	ranges, err := s.Splits(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the delete delta from disk: the snapshot's delete set was
+	// published at OpenSnapshot, so range scans must still apply both
+	// deletes without ever touching the directory again.
+	_, _, delDirs, err := ListStores(e.fs, e.loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delDirs) != 1 {
+		t.Fatalf("expected 1 delete delta, got %v", delDirs)
+	}
+	if err := e.fs.Remove(delDirs[0], true); err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, r := range ranges {
+		if err := s.ScanRange(r, []int{NumMetaCols}, nil, func(b *vector.Batch) error {
+			rows += b.N
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rows != 38 {
+		t.Errorf("scanned %d rows, want 38", rows)
+	}
+}

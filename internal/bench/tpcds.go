@@ -168,6 +168,34 @@ func SetupTPCDS(exec func(string) error, sc TPCDSScale) error {
 	return nil
 }
 
+// SetupUnpartitionedSales copies store_sales into store_sales_flat, an
+// unpartitioned table with the date key as a plain column. One insert
+// transaction per day keeps the directory shaped like a real ACID table
+// (many delta files), which is exactly the case stripe-granular morsels
+// parallelize: the table is a single directory split, so before PR 2 it
+// scanned serially at any DOP. Requires SetupTPCDS to have run.
+func SetupUnpartitionedSales(exec func(string) error, sc TPCDSScale) error {
+	ddl := `CREATE TABLE store_sales_flat (
+		ss_item_sk BIGINT, ss_customer_sk BIGINT, ss_store_sk BIGINT,
+		ss_promo_sk BIGINT, ss_ticket_number BIGINT, ss_quantity INT,
+		ss_list_price DECIMAL(7,2), ss_sales_price DECIMAL(7,2),
+		ss_sold_date_sk INT)`
+	if err := exec(ddl); err != nil {
+		return err
+	}
+	for day := 1; day <= sc.DateDays; day++ {
+		ins := fmt.Sprintf(`INSERT INTO store_sales_flat
+			SELECT ss_item_sk, ss_customer_sk, ss_store_sk, ss_promo_sk,
+			       ss_ticket_number, ss_quantity, ss_list_price, ss_sales_price,
+			       ss_sold_date_sk
+			FROM store_sales WHERE ss_sold_date_sk = %d`, day)
+		if err := exec(ins); err != nil {
+			return err
+		}
+	}
+	return exec("ANALYZE TABLE store_sales_flat COMPUTE STATISTICS")
+}
+
 func skewed(rng *rand.Rand, n int) int {
 	// 60% of rows hit the first 20% of keys.
 	if rng.Float64() < 0.6 {

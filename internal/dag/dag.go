@@ -130,6 +130,11 @@ type Runner struct {
 	// Ctx is the execution context parallel operators borrow executor
 	// slots through.
 	Ctx *exec.Context
+	// TargetStripes bounds the stripes per morsel when LLAP-mode plans
+	// refine directory splits into stripe-granular scan ranges
+	// (hive.split.target.stripes; paper §5.1). 0 means one stripe per
+	// morsel.
+	TargetStripes int
 
 	spillSeq     int
 	parallelized bool
@@ -143,6 +148,13 @@ func (r *Runner) Prepare(op exec.Operator) (exec.Operator, DAG) {
 		op = r.insertSpills(op)
 	}
 	if r.Mode == ModeLLAP && r.DOP > 1 {
+		// Stripe-granular split enumeration happens inside Parallelize,
+		// once, on the coordinator: every worker then steals (file, stripe
+		// range) morsels and reads them through the shared per-directory
+		// snapshot handle carried in the splits.
+		if r.Ctx != nil {
+			r.Ctx.TargetStripes = r.TargetStripes
+		}
 		op, r.parallelized = exec.Parallelize(op, r.Ctx, r.DOP)
 	}
 	return op, d

@@ -56,6 +56,11 @@ type Context struct {
 	// DOP is the requested degree of intra-operator parallelism
 	// (hive.parallelism). 1 or 0 means serial execution.
 	DOP int
+	// TargetStripes bounds the stripes per morsel when the parallel
+	// planner refines directory splits into stripe-granular scan ranges
+	// (hive.split.target.stripes). 0 or negative means one stripe per
+	// morsel.
+	TargetStripes int
 	// Slots, when non-nil, is the LLAP executor pool parallel operators
 	// borrow additional workers from (paper §5.1). The coordinating
 	// fragment always owns one implicit slot, so execution never blocks

@@ -11,6 +11,7 @@ package exec
 import (
 	"sync"
 
+	"repro/internal/acid"
 	"repro/internal/plan"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -400,8 +401,12 @@ func morselCount(op Operator) int {
 // receive a slot). The original operators are mutated to carry the shared
 // state and then templated.
 func (p *parallelizer) cloneWorkers(op Operator) ([]Operator, []statMerge, bool) {
+	if !clonable(op) {
+		return nil, nil, false
+	}
+	p.expandSplits(op)
 	mc := morselCount(op)
-	if !clonable(op) || mc < 2 {
+	if mc < 2 {
 		return nil, nil, false
 	}
 	n := p.dop
@@ -423,6 +428,73 @@ func (p *parallelizer) cloneWorkers(op Operator) ([]Operator, []statMerge, bool)
 		workers[w] = clonePipeline(op, &merges)
 	}
 	return workers, merges, true
+}
+
+// expandSplits walks a clonable pipeline to its base scan and refines
+// coarse directory splits into stripe-granular morsels (paper §5.1) before
+// the morsel count caps the worker fan-out. Without this, an unpartitioned
+// table is a single whole-directory morsel and scans serially no matter
+// the DOP.
+func (p *parallelizer) expandSplits(op Operator) {
+	switch x := op.(type) {
+	case *ScanOp:
+		p.expandScanSplits(x)
+	case *FilterOp:
+		p.expandSplits(x.Input)
+	case *ProjectOp:
+		p.expandSplits(x.Input)
+	case *HashJoinOp:
+		p.expandSplits(x.Left)
+	}
+}
+
+// expandScanSplits replaces the scan's directory splits with stripe ranges
+// enumerated once, here on the coordinator, through one shared snapshot
+// per directory (its delete set loads once and is read-only afterwards,
+// so every worker reuses it). Expansion runs only when the directory
+// morsels cannot keep the workers busy — partitioned tables with plenty of
+// partitions keep their coarse splits and skip the footer reads — and
+// never when dynamic partition pruning is bound: pruning runs at first
+// take, after the build side publishes its filter, and enumerating
+// partitions it would discard wastes snapshot opens and footer reads.
+// Any enumeration failure falls back to the unexpanded split: stripe
+// morsels are an optimization, never a correctness requirement.
+func (p *parallelizer) expandScanSplits(s *ScanOp) {
+	if s.Shared != nil || len(s.Splits) == 0 || len(s.Splits) >= 2*p.dop || len(s.Prune) > 0 {
+		return
+	}
+	target := 0
+	if p.ctx != nil {
+		target = p.ctx.TargetStripes
+	}
+	out := make([]TableSplit, 0, len(s.Splits))
+	for _, sp := range s.Splits {
+		if sp.File != "" {
+			out = append(out, sp)
+			continue
+		}
+		snap, err := acid.OpenSnapshot(s.FS, sp.Loc, s.dataColumns(), sp.Valid)
+		if err != nil {
+			out = append(out, sp)
+			continue
+		}
+		if s.Ctx != nil && s.Ctx.Chunks != nil {
+			snap.SetChunkReader(s.Ctx.Chunks)
+		}
+		ranges, err := snap.Splits(target)
+		if err != nil || len(ranges) == 0 {
+			out = append(out, sp)
+			continue
+		}
+		for _, rg := range ranges {
+			out = append(out, TableSplit{
+				Loc: sp.Loc, PartValues: sp.PartValues, Valid: sp.Valid,
+				File: rg.File, StripeLo: rg.StripeLo, StripeHi: rg.StripeHi,
+				Snap: snap,
+			})
+		}
+	}
+	s.Splits = out
 }
 
 // prepareShared attaches the cross-worker state to the template pipeline:

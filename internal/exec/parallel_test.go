@@ -2,11 +2,15 @@ package exec
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
 
+	"repro/internal/acid"
 	"repro/internal/analyze"
+	"repro/internal/metastore"
+	"repro/internal/orc"
 	"repro/internal/sql"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -120,9 +124,11 @@ func TestParallelOpExchange(t *testing.T) {
 	if !ok {
 		t.Fatalf("expected ParallelOp, got %T", par)
 	}
-	// DOP 4 capped at the morsel count: sales has two partition splits.
-	if len(pop.Workers) != 2 {
-		t.Fatalf("expected 2 workers, got %d", len(pop.Workers))
+	// Stripe expansion turns the two partition splits (two stripes each,
+	// StripeRows=2) into four stripe-granular morsels, so DOP 4 gets its
+	// full worker fan-out instead of being capped at the partition count.
+	if len(pop.Workers) != 4 {
+		t.Fatalf("expected 4 workers, got %d", len(pop.Workers))
 	}
 	rows, err := Drain(pop)
 	if err != nil {
@@ -221,6 +227,127 @@ func TestParallelEarlyClose(t *testing.T) {
 		}
 		if len(rows) != want {
 			t.Fatalf("%s: got %d rows, want %d", q, len(rows), want)
+		}
+	}
+}
+
+// TestStripeGranularParallelScanACID builds an unpartitioned ACID table —
+// one directory split, which PR 1's whole-directory morsels scanned
+// serially — with live delete deltas, and checks that the stripe-granular
+// parallel scan fans out across workers yet returns row-identical results
+// to the serial scan. Run under -race: all workers share one snapshot's
+// delete set and one morsel queue.
+func TestStripeGranularParallelScanACID(t *testing.T) {
+	w := newTestWarehouse(t)
+	tbl := &metastore.Table{
+		DB: "default", Name: "events",
+		Cols: []metastore.Column{
+			{Name: "id", Type: types.TBigint},
+			{Name: "v", Type: types.TInt},
+		},
+	}
+	if err := w.ms.CreateTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ = w.ms.GetTable("default", "events")
+	tm := w.ms.Txns()
+	cols := []orc.Column{{Name: "id", Type: types.TBigint}, {Name: "v", Type: types.TInt}}
+	// Several insert transactions with small stripes: many stripe morsels.
+	next := int64(0)
+	for _, n := range []int{37, 23, 1, 40} {
+		id := tm.Begin()
+		wid, _ := tm.AllocateWriteId(id, tbl.FullName())
+		iw := acid.NewInsertWriter(w.ms.FS(), tbl.Location, wid, 0, cols, orc.WriterOptions{StripeRows: 8})
+		for i := 0; i < n; i++ {
+			if err := iw.WriteRow([]types.Datum{types.NewBigint(next), types.NewInt(int32(next % 7))}); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if err := iw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tm.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Live delete delta: drop every id divisible by 9.
+	valid := tm.GetValidWriteIds(tbl.FullName(), tm.GetSnapshot())
+	snap, err := acid.OpenSnapshot(w.ms.FS(), tbl.Location, cols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doomed []acid.RowKey
+	snap.Scan([]int{acid.MetaWriteID, acid.MetaFileID, acid.MetaRowID, acid.NumMetaCols}, nil,
+		func(b *vector.Batch) error {
+			for i := 0; i < b.N; i++ {
+				r := b.RowIdx(i)
+				if b.Cols[3].I64[r]%9 == 0 {
+					doomed = append(doomed, acid.RowKey{
+						WriteID: b.Cols[0].I64[r], FileID: b.Cols[1].I64[r], RowID: b.Cols[2].I64[r],
+					})
+				}
+			}
+			return nil
+		})
+	id := tm.Begin()
+	wid, _ := tm.AllocateWriteId(id, tbl.FullName())
+	dw := acid.NewDeleteWriter(w.ms.FS(), tbl.Location, wid, 0)
+	for _, k := range doomed {
+		dw.Delete(k)
+	}
+	dw.Close()
+	tm.Commit(id)
+
+	serialScan := func() *ScanOp {
+		return &ScanOp{FS: w.ms.FS(), Table: tbl, Cols: []int{0, 1}, Splits: w.splitsOf(tbl)}
+	}
+	want, err := Drain(serialScan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 101-12 { // 101 rows minus ids 0,9,...,99
+		t.Fatalf("serial scan returned %d rows", len(want))
+	}
+	render := func(rows [][]types.Datum) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = r[0].String() + "|" + r[1].String()
+		}
+		sort.Strings(out)
+		return out
+	}
+	wantR := render(want)
+	for _, target := range []int{1, 3} {
+		for _, dop := range []int{2, 4, 8} {
+			ctx := NewContext()
+			ctx.TargetStripes = target
+			scan := serialScan()
+			scan.Ctx = ctx
+			par, changed := Parallelize(scan, ctx, dop)
+			if !changed {
+				t.Fatalf("target=%d dop=%d: unpartitioned scan stayed serial", target, dop)
+			}
+			// The planner must have refined the single directory split into
+			// stripe-granular morsels sharing one snapshot.
+			if scan.Shared == nil {
+				t.Fatalf("target=%d dop=%d: scan has no shared morsel queue", target, dop)
+			}
+			if len(scan.Shared.splits) < 2 {
+				t.Fatalf("target=%d dop=%d: only %d morsels", target, dop, len(scan.Shared.splits))
+			}
+			for _, sp := range scan.Shared.splits {
+				if sp.File == "" || sp.Snap == nil {
+					t.Fatalf("target=%d dop=%d: split %+v is not stripe-granular", target, dop, sp)
+				}
+			}
+			got, err := Drain(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotR := render(got); !reflect.DeepEqual(gotR, wantR) {
+				t.Errorf("target=%d dop=%d: parallel rows differ\n got %v\nwant %v", target, dop, gotR, wantR)
+			}
 		}
 	}
 }

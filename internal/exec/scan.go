@@ -14,12 +14,22 @@ import (
 	"repro/internal/vector"
 )
 
-// TableSplit is one unit of scan work: an unpartitioned table directory or
-// a single partition, with its snapshot and the partition key values.
+// TableSplit is one unit of scan work, with its snapshot and the partition
+// key values. The zero value of the stripe fields makes the split a whole
+// table/partition directory — the granularity MR and container modes scan
+// at. The parallel planner refines directory splits into stripe-granular
+// morsels (paper §5.1): File names one data file and [StripeLo, StripeHi)
+// the stripes to read through Snap, the ACID snapshot shared by every
+// split of the same directory so delete deltas load once, not per morsel.
 type TableSplit struct {
 	Loc        string
 	PartValues []types.Datum // one per partition key column
 	Valid      txn.ValidWriteIds
+
+	File     string
+	StripeLo int
+	StripeHi int
+	Snap     *acid.Snapshot
 }
 
 // RuntimeFilterBind attaches a dynamic semijoin reducer (paper §4.6) to a
@@ -194,16 +204,16 @@ func (s *ScanOp) pruneList(splits []TableSplit) []TableSplit {
 }
 
 func (s *ScanOp) scanSplit(split TableSplit) error {
-	dataCols := make([]orc.Column, len(s.Table.Cols))
-	for i, c := range s.Table.Cols {
-		dataCols[i] = orc.Column{Name: c.Name, Type: c.Type}
-	}
-	snap, err := acid.OpenSnapshot(s.FS, split.Loc, dataCols, split.Valid)
-	if err != nil {
-		return err
-	}
-	if s.Ctx != nil && s.Ctx.Chunks != nil {
-		snap.SetChunkReader(s.Ctx.Chunks)
+	snap := split.Snap
+	if snap == nil {
+		var err error
+		snap, err = acid.OpenSnapshot(s.FS, split.Loc, s.dataColumns(), split.Valid)
+		if err != nil {
+			return err
+		}
+		if s.Ctx != nil && s.Ctx.Chunks != nil {
+			snap.SetChunkReader(s.Ctx.Chunks)
+		}
 	}
 	// Projection over the ACID file schema: meta first if requested, then
 	// the stored data columns among s.Cols; partition columns are filled
@@ -225,7 +235,7 @@ func (s *ScanOp) scanSplit(split TableSplit) error {
 			srcs[i] = colSource{fromFile: -1, partIdx: c - s.dataColCount()}
 		}
 	}
-	return snap.Scan(proj, s.Sarg, func(fb *vector.Batch) error {
+	emit := func(fb *vector.Batch) error {
 		out := &vector.Batch{Sel: fb.Sel, N: fb.N}
 		next := 0
 		if s.Meta {
@@ -258,7 +268,22 @@ func (s *ScanOp) scanSplit(split TableSplit) error {
 		}
 		s.pending = append(s.pending, out)
 		return nil
-	})
+	}
+	if split.File != "" {
+		return snap.ScanRange(acid.ScanRange{
+			File: split.File, StripeLo: split.StripeLo, StripeHi: split.StripeHi,
+		}, proj, s.Sarg, emit)
+	}
+	return snap.Scan(proj, s.Sarg, emit)
+}
+
+// dataColumns returns the table's stored columns as an ORC schema.
+func (s *ScanOp) dataColumns() []orc.Column {
+	dataCols := make([]orc.Column, len(s.Table.Cols))
+	for i, c := range s.Table.Cols {
+		dataCols[i] = orc.Column{Name: c.Name, Type: c.Type}
+	}
+	return dataCols
 }
 
 func capOf(b *vector.Batch) int {

@@ -1,0 +1,29 @@
+//go:build stress
+
+package hll
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestEstimateAccuracyRandomSeed is the seed-randomized twin of
+// TestEstimateAccuracy: it hashes with types.Datum.Hash, whose maphash
+// seed differs per process, so repeated `go test -tags stress -count N`
+// runs exercise fresh hash streams. A slightly wider error budget absorbs
+// unlucky seeds while still catching real estimator regressions.
+func TestEstimateAccuracyRandomSeed(t *testing.T) {
+	for _, n := range []int{1000, 10000, 200000} {
+		s := New()
+		for i := 0; i < n; i++ {
+			s.Add(types.NewBigint(int64(i)).Hash())
+		}
+		got := s.Estimate()
+		errFrac := math.Abs(float64(got)-float64(n)) / float64(n)
+		if errFrac > 0.08 {
+			t.Errorf("n=%d: estimate %d off by %.1f%%", n, got, errFrac*100)
+		}
+	}
+}

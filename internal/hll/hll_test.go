@@ -3,14 +3,24 @@ package hll
 import (
 	"math"
 	"testing"
-
-	"repro/internal/types"
 )
+
+// testHash is a fixed, process-independent 64-bit mixer (splitmix64).
+// Production callers hash datums with types.Datum.Hash, whose maphash seed
+// is randomized per process; using it here made estimate-accuracy
+// assertions flake across runs (the sketch's error depends on the hash
+// stream). The seed-randomized variant still runs under -tags stress.
+func testHash(x int64) uint64 {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 func estimateOf(n int, offset int64) int64 {
 	s := New()
 	for i := 0; i < n; i++ {
-		s.Add(types.NewBigint(offset + int64(i)).Hash())
+		s.Add(testHash(offset + int64(i)))
 	}
 	return s.Estimate()
 }
@@ -29,7 +39,7 @@ func TestDuplicatesDoNotInflate(t *testing.T) {
 	s := New()
 	for round := 0; round < 10; round++ {
 		for i := 0; i < 500; i++ {
-			s.Add(types.NewBigint(int64(i)).Hash())
+			s.Add(testHash(int64(i)))
 		}
 	}
 	got := s.Estimate()
@@ -41,12 +51,12 @@ func TestDuplicatesDoNotInflate(t *testing.T) {
 func TestMergeEqualsUnion(t *testing.T) {
 	a, b, u := New(), New(), New()
 	for i := 0; i < 3000; i++ {
-		h := types.NewBigint(int64(i)).Hash()
+		h := testHash(int64(i))
 		a.Add(h)
 		u.Add(h)
 	}
 	for i := 2000; i < 6000; i++ { // overlaps [2000,3000)
-		h := types.NewBigint(int64(i)).Hash()
+		h := testHash(int64(i))
 		b.Add(h)
 		u.Add(h)
 	}
@@ -63,7 +73,7 @@ func TestMergeEqualsUnion(t *testing.T) {
 func TestSerializationRoundTrip(t *testing.T) {
 	s := New()
 	for i := 0; i < 1234; i++ {
-		s.Add(types.NewBigint(int64(i * 7)).Hash())
+		s.Add(testHash(int64(i * 7)))
 	}
 	back, err := FromBytes(s.Bytes())
 	if err != nil {

@@ -447,6 +447,7 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 		Daemons:         s.srv.Daemons,
 		DOP:             dop,
 		Ctx:             ctx,
+		TargetStripes:   int(s.confInt("hive.split.target.stripes")),
 	}
 	op, shape := runner.Prepare(op)
 	rows, err := runner.Run(op, shape)

@@ -90,6 +90,10 @@ func NewServer(cfg Config) *Server {
 			// many executor slots (morsel-driven scans, two-phase
 			// aggregation, partitioned join builds).
 			"hive.parallelism": strconv.Itoa(runtime.NumCPU()),
+			// Stripes per morsel when parallel plans split scans at ORC
+			// stripe granularity (paper §5.1). 1 maximizes work-stealing
+			// balance; larger values amortize per-morsel overhead.
+			"hive.split.target.stripes": "1",
 		},
 	}
 	return s

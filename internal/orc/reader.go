@@ -102,6 +102,10 @@ func (r *Reader) NumStripes() int { return len(r.ft.Stripes) }
 // Stripe returns metadata for stripe i.
 func (r *Reader) Stripe(i int) StripeInfo { return r.ft.Stripes[i] }
 
+// StripeRows returns the row count of stripe i, used to balance
+// stripe-granular scan ranges across workers.
+func (r *Reader) StripeRows(i int) int { return r.ft.Stripes[i].Rows }
+
 // FileID returns the unique file generation id (cache key component).
 func (r *Reader) FileID() uint64 { return r.fileID }
 

@@ -1,6 +1,7 @@
 package hive
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -15,6 +16,9 @@ import (
 // partitioned join builds and semijoin reducers under real executor-slot
 // accounting.
 func TestParallelismEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping TPC-DS setup; TestUnpartitionedStripeParallelism covers the parallel paths")
+	}
 	wh, err := Open(Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -63,10 +67,83 @@ func sortedLines(r *Result) string {
 	return strings.Join(lines, "\n")
 }
 
+// TestUnpartitionedStripeParallelism covers the PR 2 tentpole end to end:
+// an unpartitioned ACID table is a single directory split, which used to
+// scan serially at any DOP. With stripe-granular morsels the LLAP path
+// fans it out across executor slots, and results must stay byte-identical
+// to the serial MR and container paths even while delete deltas are live.
+func TestUnpartitionedStripeParallelism(t *testing.T) {
+	wh, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	s := wh.Session()
+	s.MustExec(`CREATE TABLE flat (k BIGINT, v STRING, q INT)`)
+	// Multiple insert transactions -> multiple delta files to split.
+	for batch := 0; batch < 8; batch++ {
+		ins := "INSERT INTO flat VALUES "
+		for i := 0; i < 100; i++ {
+			k := batch*100 + i
+			if i > 0 {
+				ins += ", "
+			}
+			ins += fmt.Sprintf("(%d, 'v%d', %d)", k, k, k%10)
+		}
+		s.MustExec(ins)
+	}
+	// Active delete deltas over committed data.
+	s.MustExec(`DELETE FROM flat WHERE q = 3`)
+	s.MustExec(`DELETE FROM flat WHERE k >= 700 AND q = 5`)
+	s.SetConf("hive.query.results.cache.enabled", "false")
+
+	queries := []string{
+		`SELECT k, v, q FROM flat`,
+		`SELECT q, COUNT(*), SUM(k) FROM flat GROUP BY q`,
+		`SELECT COUNT(*), MIN(k), MAX(k) FROM flat WHERE q <> 4`,
+	}
+	type variant struct {
+		name string
+		conf map[string]string
+	}
+	variants := []variant{
+		{"mr", map[string]string{"hive.execution.mode": "mr", "hive.llap.enabled": "false"}},
+		{"container", map[string]string{"hive.execution.mode": "container", "hive.llap.enabled": "false"}},
+		{"llap_dop4", map[string]string{"hive.execution.mode": "llap", "hive.llap.enabled": "true", "hive.parallelism": "4"}},
+		{"llap_dop8_target3", map[string]string{"hive.execution.mode": "llap", "hive.llap.enabled": "true", "hive.parallelism": "8", "hive.split.target.stripes": "3"}},
+	}
+	for _, q := range queries {
+		s.SetConf("hive.execution.mode", "llap")
+		s.SetConf("hive.llap.enabled", "true")
+		s.SetConf("hive.parallelism", "1")
+		s.SetConf("hive.split.target.stripes", "1")
+		base, err := s.Exec(q)
+		if err != nil {
+			t.Fatalf("serial llap %s: %v", q, err)
+		}
+		want := sortedLines(base)
+		for _, v := range variants {
+			for k, val := range v.conf {
+				s.SetConf(k, val)
+			}
+			res, err := s.Exec(q)
+			if err != nil {
+				t.Fatalf("%s %s: %v", v.name, q, err)
+			}
+			if got := sortedLines(res); got != want {
+				t.Errorf("%s %s: results diverge from serial\n got %q\nwant %q", v.name, q, got, want)
+			}
+		}
+	}
+}
+
 // TestParallelismBoundedBySlots shrinks the executor pool to one slot and
 // confirms parallel queries still complete (the coordinator always owns an
 // implicit slot) and produce correct results.
 func TestParallelismBoundedBySlots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping TPC-DS setup")
+	}
 	wh, err := Open(Config{Executors: 1})
 	if err != nil {
 		t.Fatal(err)
