@@ -19,6 +19,11 @@ race:
 test:
 	$(GO) test ./...
 
-# bench reruns the paper figures and the PR 1 parallel speedup numbers.
+# bench reruns the paper figures and the parallel speedup numbers. Filter
+# the parallel-speedup cases with CASES, e.g.:
+#
+#	make bench CASES=sort_topn
+#	make bench CASES='order_by|sort_topn'
+BENCHRE = $(if $(CASES),BenchmarkParallelSpeedup/($(CASES)),.)
 bench:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) test -run xxx -bench '$(BENCHRE)' -benchmem .

@@ -124,6 +124,13 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 		// stripe-granular morsels (PR 2) can fan out across workers.
 		{name: "unpart_scan_agg", flat: true, sql: `SELECT ss_sold_date_sk, COUNT(*), SUM(ss_sales_price), AVG(ss_quantity)
 			FROM store_sales_flat GROUP BY ss_sold_date_sk`},
+		// ORDER BY over the whole fact table: per-worker sorted runs
+		// streamed through the loser-tree merge exchange (PR 3). Before
+		// the parallel sort, the coordinator re-serialized every row.
+		{name: "order_by", sql: bench.OrderBySQL},
+		// ORDER BY + LIMIT: per-worker bounded heaps with the limit
+		// pushed into each run (PR 3).
+		{name: "sort_topn", sql: bench.SortTopNSQL},
 	}
 	dops := []int{1, 2, 4}
 	if n := runtime.NumCPU(); n > 4 {

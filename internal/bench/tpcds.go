@@ -196,6 +196,20 @@ func SetupUnpartitionedSales(exec func(string) error, sc TPCDSScale) error {
 	return exec("ANALYZE TABLE store_sales_flat COMPUTE STATISTICS")
 }
 
+// OrderBySQL and SortTopNSQL are the ORDER BY-heavy cases of
+// BenchmarkParallelSpeedup (PR 3). OrderBySQL produces one globally sorted
+// stream over the whole fact table — per-worker sorted runs through the
+// order-preserving merge exchange. SortTopNSQL is the ORDER BY + LIMIT
+// shape that per-worker bounded heaps answer with at most workers×N rows
+// ever reaching the coordinator. Both sort keys end with the unique ticket
+// number, so parallel output is byte-identical to serial.
+const (
+	OrderBySQL = `SELECT ss_ticket_number, ss_item_sk, ss_customer_sk, ss_sales_price
+		FROM store_sales ORDER BY ss_sales_price DESC, ss_ticket_number`
+	SortTopNSQL = `SELECT ss_ticket_number, ss_item_sk, ss_customer_sk, ss_sales_price
+		FROM store_sales ORDER BY ss_sales_price DESC, ss_ticket_number LIMIT 100`
+)
+
 func skewed(rng *rand.Rand, n int) int {
 	// 60% of rows hit the first 20% of keys.
 	if rng.Float64() < 0.6 {

@@ -135,6 +135,12 @@ type Runner struct {
 	// (hive.split.target.stripes; paper §5.1). 0 means one stripe per
 	// morsel.
 	TargetStripes int
+	// SerialSort keeps Sort/TopN on the coordinator even in LLAP-mode
+	// parallel plans (hive.sort.parallel=false). The zero value leaves
+	// the parallel placement on — per-worker sorted runs streamed through
+	// an order-preserving loser-tree merge — matching exec.NewContext, so
+	// callers that never heard of the knob get the default behavior.
+	SerialSort bool
 
 	spillSeq     int
 	parallelized bool
@@ -154,6 +160,7 @@ func (r *Runner) Prepare(op exec.Operator) (exec.Operator, DAG) {
 		// snapshot handle carried in the splits.
 		if r.Ctx != nil {
 			r.Ctx.TargetStripes = r.TargetStripes
+			r.Ctx.SortParallel = !r.SerialSort
 		}
 		op, r.parallelized = exec.Parallelize(op, r.Ctx, r.DOP)
 	}

@@ -452,203 +452,3 @@ func CompileAggs(aggs []plan.AggCall, inTypes []types.T) ([]CompiledAgg, error) 
 	}
 	return out, nil
 }
-
-// SortOp materializes and orders its input.
-type SortOp struct {
-	Input Operator
-	Keys  []plan.SortKey
-
-	rows    [][]types.Datum
-	sorted  bool
-	emitted int
-}
-
-// Types implements Operator.
-func (s *SortOp) Types() []types.T { return s.Input.Types() }
-
-// Open implements Operator.
-func (s *SortOp) Open() error {
-	s.rows, s.sorted, s.emitted = nil, false, 0
-	return s.Input.Open()
-}
-
-// Next implements Operator.
-func (s *SortOp) Next() (*vector.Batch, error) {
-	if !s.sorted {
-		for {
-			b, err := s.Input.Next()
-			if err != nil {
-				return nil, err
-			}
-			if b == nil {
-				break
-			}
-			for i := 0; i < b.N; i++ {
-				s.rows = append(s.rows, b.Row(i))
-			}
-		}
-		sortRows(s.rows, s.Keys)
-		s.sorted = true
-	}
-	if s.emitted >= len(s.rows) {
-		return nil, nil
-	}
-	n := len(s.rows) - s.emitted
-	if n > vector.BatchSize {
-		n = vector.BatchSize
-	}
-	out := vector.NewBatch(s.Types(), n)
-	for i := 0; i < n; i++ {
-		for c, d := range s.rows[s.emitted+i] {
-			out.Cols[c].Set(i, d)
-		}
-	}
-	out.N = n
-	s.emitted += n
-	return out, nil
-}
-
-// Close implements Operator.
-func (s *SortOp) Close() error {
-	s.rows = nil
-	return s.Input.Close()
-}
-
-func sortRows(rows [][]types.Datum, keys []plan.SortKey) {
-	less := func(a, b []types.Datum) bool {
-		for _, k := range keys {
-			x, y := a[k.Col], b[k.Col]
-			if x.Null || y.Null {
-				if x.Null && y.Null {
-					continue
-				}
-				// NULLS FIRST puts NULL before non-NULL regardless of dir.
-				if x.Null {
-					return k.NullsFirst
-				}
-				return !k.NullsFirst
-			}
-			c := x.Compare(y)
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	}
-	stableSort(rows, less)
-}
-
-// stableSort is a merge sort keeping input order for equal keys.
-func stableSort(rows [][]types.Datum, less func(a, b []types.Datum) bool) {
-	if len(rows) < 2 {
-		return
-	}
-	tmp := make([][]types.Datum, len(rows))
-	var ms func(lo, hi int)
-	ms = func(lo, hi int) {
-		if hi-lo < 2 {
-			return
-		}
-		mid := (lo + hi) / 2
-		ms(lo, mid)
-		ms(mid, hi)
-		i, j, k := lo, mid, lo
-		for i < mid && j < hi {
-			if less(rows[j], rows[i]) {
-				tmp[k] = rows[j]
-				j++
-			} else {
-				tmp[k] = rows[i]
-				i++
-			}
-			k++
-		}
-		for i < mid {
-			tmp[k] = rows[i]
-			i++
-			k++
-		}
-		for j < hi {
-			tmp[k] = rows[j]
-			j++
-			k++
-		}
-		copy(rows[lo:hi], tmp[lo:hi])
-	}
-	ms(0, len(rows))
-}
-
-// TopNOp keeps the N smallest rows under the sort keys without a full
-// materialized sort — the physical optimization for ORDER BY + LIMIT.
-type TopNOp struct {
-	Input Operator
-	Keys  []plan.SortKey
-	N     int64
-
-	rows    [][]types.Datum
-	done    bool
-	emitted int
-}
-
-// Types implements Operator.
-func (t *TopNOp) Types() []types.T { return t.Input.Types() }
-
-// Open implements Operator.
-func (t *TopNOp) Open() error {
-	t.rows, t.done, t.emitted = nil, false, 0
-	return t.Input.Open()
-}
-
-// Next implements Operator.
-func (t *TopNOp) Next() (*vector.Batch, error) {
-	if !t.done {
-		for {
-			b, err := t.Input.Next()
-			if err != nil {
-				return nil, err
-			}
-			if b == nil {
-				break
-			}
-			for i := 0; i < b.N; i++ {
-				t.rows = append(t.rows, b.Row(i))
-			}
-			// Periodically prune to bound memory.
-			if int64(len(t.rows)) > 4*t.N && int64(len(t.rows)) > 4096 {
-				sortRows(t.rows, t.Keys)
-				t.rows = t.rows[:t.N]
-			}
-		}
-		sortRows(t.rows, t.Keys)
-		if int64(len(t.rows)) > t.N {
-			t.rows = t.rows[:t.N]
-		}
-		t.done = true
-	}
-	if t.emitted >= len(t.rows) {
-		return nil, nil
-	}
-	n := len(t.rows) - t.emitted
-	if n > vector.BatchSize {
-		n = vector.BatchSize
-	}
-	out := vector.NewBatch(t.Types(), n)
-	for i := 0; i < n; i++ {
-		for c, d := range t.rows[t.emitted+i] {
-			out.Cols[c].Set(i, d)
-		}
-	}
-	out.N = n
-	t.emitted += n
-	return out, nil
-}
-
-// Close implements Operator.
-func (t *TopNOp) Close() error {
-	t.rows = nil
-	return t.Input.Close()
-}

@@ -117,6 +117,16 @@ func (c *Compiler) Compile(r plan.Rel) (Operator, error) {
 		return &SortOp{Input: in, Keys: x.Keys}, nil
 
 	case *plan.Limit:
+		// LIMIT 0 needs no input at all: emit an empty result with the
+		// subtree's schema and skip compiling (and ever running) the
+		// input.
+		if x.N == 0 {
+			var ts []types.T
+			for _, f := range x.Schema() {
+				ts = append(ts, f.T)
+			}
+			return &ValuesOp{Ts: ts}, nil
+		}
 		// ORDER BY + LIMIT fuses into TopN.
 		if s, ok := x.Input.(*plan.Sort); ok {
 			in, err := c.Compile(s.Input)

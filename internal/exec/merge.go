@@ -1,0 +1,338 @@
+// Order-preserving parallel sort (paper §5.1): the parallel planner places
+// Sort/TopN below the exchange, so every worker produces a locally sorted
+// run over its share of the morsel stream, and the coordinator merges the
+// runs through a streaming loser-tree k-way merge (MergeOp) instead of the
+// unordered bounded-channel exchange. TopN parallelizes with per-worker
+// bounded heaps merged into one final heap (ParallelTopNOp) — the LIMIT is
+// pushed into every run. This removes the last coordinator-serialized
+// relational operator in the parallel path: the coordinator's share of an
+// ORDER BY drops from the full O(n log n) sort to the O(n log k) merge.
+package exec
+
+import (
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// runCursor streams one worker's sorted run batch by batch; the current
+// row is (b, i) in place — never materialized to a datum slice, this is
+// the merge's hot loop — and b == nil marks an exhausted run.
+type runCursor struct {
+	ch <-chan *vector.Batch
+	b  *vector.Batch
+	i  int // live-row ordinal within b
+}
+
+// advance moves to the run's next row, pulling a new batch from the worker
+// when the current one is spent; it reports false at end of run.
+func (c *runCursor) advance() bool {
+	for {
+		if c.b != nil && c.i+1 < c.b.N {
+			c.i++
+			return true
+		}
+		b, ok := <-c.ch
+		if !ok {
+			c.b = nil
+			return false
+		}
+		if b.N == 0 {
+			continue
+		}
+		c.b, c.i = b, 0
+		return true
+	}
+}
+
+// live reports whether the cursor still has a current row.
+func (c *runCursor) live() bool { return c.b != nil }
+
+// loserTree is the k-way merge tournament: leaves are run cursors, each
+// internal node stores the loser of the match played there and the overall
+// winner (the smallest current row) sits at tree[0]. Advancing the winner
+// replays only its leaf-to-root path — O(log k) comparisons per row versus
+// O(k) for rescanning every run head.
+type loserTree struct {
+	size int // leaf count padded to a power of two
+	tree []int
+	runs []*runCursor
+	cmp  func(ab *vector.Batch, ai int, bb *vector.Batch, bi int) int
+}
+
+// newLoserTree builds the tournament; every cursor must already be primed
+// (advanced to its first row, or exhausted).
+func newLoserTree(runs []*runCursor, cmp func(ab *vector.Batch, ai int, bb *vector.Batch, bi int) int) *loserTree {
+	size := 1
+	for size < len(runs) {
+		size *= 2
+	}
+	lt := &loserTree{size: size, tree: make([]int, size), runs: runs, cmp: cmp}
+	if size == 1 {
+		lt.tree[0] = 0
+		return lt
+	}
+	lt.tree[0] = lt.build(1)
+	return lt
+}
+
+// build plays the full tournament under node t, storing each match's loser
+// at its node, and returns the winner. Leaves beyond the real run count are
+// the padding of the power-of-two tree and lose every match.
+func (lt *loserTree) build(t int) int {
+	if t >= lt.size {
+		leaf := t - lt.size
+		if leaf >= len(lt.runs) {
+			return -1
+		}
+		return leaf
+	}
+	a, b := lt.build(2*t), lt.build(2*t+1)
+	if lt.beats(a, b) {
+		lt.tree[t] = b
+		return a
+	}
+	lt.tree[t] = a
+	return b
+}
+
+// beats reports whether contestant a wins (orders before) contestant b.
+// Exhausted runs and padding lose to live runs; ties go to the lower run
+// index, making the merge deterministic for a given run assignment.
+func (lt *loserTree) beats(a, b int) bool {
+	if a < 0 || !lt.runs[a].live() {
+		return false
+	}
+	if b < 0 || !lt.runs[b].live() {
+		return true
+	}
+	ca, cb := lt.runs[a], lt.runs[b]
+	if c := lt.cmp(ca.b, ca.i, cb.b, cb.i); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// winner returns the run index holding the smallest current row, or -1 when
+// every run is exhausted.
+func (lt *loserTree) winner() int {
+	w := lt.tree[0]
+	if w < 0 || !lt.runs[w].live() {
+		return -1
+	}
+	return w
+}
+
+// fix replays leaf s's path to the root after its cursor advanced: at each
+// node the stored loser and the incoming winner play again, the loser stays
+// and the winner moves up.
+func (lt *loserTree) fix(s int) {
+	winner := s
+	for t := (lt.size + s) / 2; t > 0; t /= 2 {
+		if lt.beats(lt.tree[t], winner) {
+			lt.tree[t], winner = winner, lt.tree[t]
+		}
+	}
+	lt.tree[0] = winner
+}
+
+// MergeOp is the order-preserving exchange: worker pipelines each emit a
+// run already sorted by Keys (the planner wraps clones in SortOp) on their
+// own goroutines, and Next streams globally ordered batches out of a
+// loser-tree merge over the runs. It shares ParallelOp's exchange
+// lifecycle but gives every run its own bounded channel — per-run channels
+// preserve each run's order, which the shared arrival-order channel
+// deliberately does not — so a Close mid-merge (LIMIT satisfied upstream)
+// unwinds workers blocked on their sends without leaking goroutines.
+type MergeOp struct {
+	// Workers must each produce rows sorted by Keys, in freshly allocated
+	// batches (the merge holds a batch reference while the worker runs
+	// ahead; SortOp and TopNOp, the planner's runs, satisfy both).
+	Workers []Operator
+	Keys    []plan.SortKey
+	Ctx     *Context
+	merges  []statMerge
+
+	exchange
+	chans   []chan *vector.Batch
+	cursors []*runCursor
+	lt      *loserTree
+}
+
+// Types implements Operator.
+func (m *MergeOp) Types() []types.T { return m.Workers[0].Types() }
+
+// Open implements Operator. Workers launch at the first Next so upstream
+// build sides run before any worker can block on them.
+func (m *MergeOp) Open() error {
+	m.reset()
+	m.chans, m.cursors, m.lt = nil, nil, nil
+	return nil
+}
+
+// start acquires executor slots and launches the sorted-run workers, one
+// ordered channel each, closed when its run ends so the merge sees EOF.
+func (m *MergeOp) start() {
+	n := m.begin(m.Ctx, len(m.Workers))
+	m.chans = make([]chan *vector.Batch, n)
+	m.cursors = make([]*runCursor, n)
+	for w := 0; w < n; w++ {
+		ch := make(chan *vector.Batch, 2)
+		m.chans[w] = ch
+		m.cursors[w] = &runCursor{ch: ch}
+		m.wg.Add(1)
+		go func(i int, wk Operator) {
+			defer m.wg.Done()
+			defer close(m.chans[i])
+			m.drainWorker(wk, func(b *vector.Batch) bool {
+				select {
+				case m.chans[i] <- b:
+					return true
+				case <-m.done:
+					return false
+				}
+			})
+		}(w, m.Workers[w])
+	}
+}
+
+// Next implements Operator: it streams the next batch of globally ordered
+// rows out of the loser tree, copying winner rows until the batch fills or
+// every run is exhausted.
+func (m *MergeOp) Next() (*vector.Batch, error) {
+	if !m.started {
+		m.start()
+	}
+	if m.lt == nil {
+		for _, c := range m.cursors {
+			if !c.advance() {
+				if err := m.firstErr(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		m.lt = newLoserTree(m.cursors, sortCompareAt(m.Keys))
+	}
+	var out *vector.Batch
+	n := 0
+	for n < vector.BatchSize {
+		w := m.lt.winner()
+		if w < 0 {
+			break
+		}
+		if out == nil {
+			out = vector.NewBatch(m.Types(), vector.BatchSize)
+		}
+		cur := m.cursors[w]
+		r := cur.b.RowIdx(cur.i)
+		for c := range out.Cols {
+			out.Cols[c].CopyRow(n, cur.b.Cols[c], r)
+		}
+		n++
+		if !cur.advance() {
+			// A run that ends because its worker failed ended *early*:
+			// everything merged from here on would wrongly skip its unsent
+			// rows, and a downstream LIMIT could return that broken prefix
+			// without ever reaching end-of-stream. The error is recorded
+			// before the failed channel closes (drainWorker fails, then the
+			// goroutine's defer closes the channel), so checking at every
+			// exhaustion catches the failure before one bad row is emitted.
+			if err := m.firstErr(); err != nil {
+				return nil, err
+			}
+		}
+		m.lt.fix(w)
+	}
+	if n == 0 {
+		// Every run ended — cleanly or because the shutdown drained the
+		// rest after a failure. Surface the first error either way.
+		return nil, m.firstErr()
+	}
+	out.N = n
+	return out, nil
+}
+
+// Close implements Operator.
+func (m *MergeOp) Close() error {
+	m.shutdown()
+	return closeWorkers(m.Workers, m.merges)
+}
+
+// ParallelTopNOp is the two-phase parallel TopN: every worker pipeline
+// feeds a thread-local bounded heap of its N best rows (the LIMIT pushed
+// into the run), and the per-worker survivors merge through one final heap
+// before emission — at most workers×N rows ever reach the coordinator.
+type ParallelTopNOp struct {
+	Workers []Operator
+	Keys    []plan.SortKey
+	N       int64
+	Ctx     *Context
+	merges  []statMerge
+
+	rows    [][]types.Datum
+	done    bool
+	emitted int
+}
+
+// Types implements Operator.
+func (t *ParallelTopNOp) Types() []types.T { return t.Workers[0].Types() }
+
+// Open implements Operator. Worker pipelines open on their goroutines.
+func (t *ParallelTopNOp) Open() error {
+	t.rows, t.emitted = nil, 0
+	// N == 0 short-circuits to EOF without ever opening a worker,
+	// mirroring the serial TopNOp.
+	t.done = t.N <= 0
+	return nil
+}
+
+// run executes both phases: parallel per-worker TopN, then the final heap
+// merge. Ties across workers follow run assignment, which is dynamic —
+// like every parallel exchange here, only key order is deterministic.
+func (t *ParallelTopNOp) run() error {
+	locals := make([][][]types.Datum, len(t.Workers))
+	err := runPhased(t.Ctx, len(t.Workers), func(w int) error {
+		local := &TopNOp{Input: t.Workers[w], Keys: t.Keys, N: t.N}
+		if err := local.Open(); err != nil {
+			return err
+		}
+		if err := local.consume(); err != nil {
+			return err
+		}
+		locals[w] = local.rows
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	final := newTopNHeap(t.Keys, t.N)
+	for _, rows := range locals {
+		for _, r := range rows {
+			final.push(r)
+		}
+	}
+	t.rows = final.sorted()
+	return nil
+}
+
+// Next implements Operator.
+func (t *ParallelTopNOp) Next() (*vector.Batch, error) {
+	if !t.done {
+		if err := t.run(); err != nil {
+			return nil, err
+		}
+		t.done = true
+	}
+	out := emitRows(t.rows, t.emitted, t.Types())
+	if out == nil {
+		return nil, nil
+	}
+	t.emitted += out.N
+	return out, nil
+}
+
+// Close implements Operator.
+func (t *ParallelTopNOp) Close() error {
+	t.rows = nil
+	return closeWorkers(t.Workers, t.merges)
+}

@@ -1,0 +1,32 @@
+//go:build stress
+
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestLoserTreeMergePropertyRandomSeed is the seed-randomized twin of
+// TestLoserTreeMergeProperty: each `go test -tags stress` run exercises
+// fresh run partitions, batch sizes and key sets (the hll pattern).
+func TestLoserTreeMergePropertyRandomSeed(t *testing.T) {
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 500; trial++ {
+		runMergeTrial(t, rng)
+	}
+}
+
+// TestTopNHeapRandomSeed is the seed-randomized twin of
+// TestTopNHeapMatchesStableSort.
+func TestTopNHeapRandomSeed(t *testing.T) {
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 1000; trial++ {
+		runTopNHeapTrial(t, rng)
+	}
+}

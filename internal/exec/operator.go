@@ -61,6 +61,11 @@ type Context struct {
 	// (hive.split.target.stripes). 0 or negative means one stripe per
 	// morsel.
 	TargetStripes int
+	// SortParallel lets the parallel planner move Sort/TopN below the
+	// exchange: per-worker sorted runs streamed through an order-
+	// preserving merge (hive.sort.parallel). NewContext enables it, the
+	// server default.
+	SortParallel bool
 	// Slots, when non-nil, is the LLAP executor pool parallel operators
 	// borrow additional workers from (paper §5.1). The coordinating
 	// fragment always owns one implicit slot, so execution never blocks
@@ -70,7 +75,7 @@ type Context struct {
 
 // NewContext returns an empty execution context.
 func NewContext() *Context {
-	return &Context{blooms: make(map[int]*RuntimeFilter)}
+	return &Context{blooms: make(map[int]*RuntimeFilter), SortParallel: true}
 }
 
 // AcquireExtra grants up to n additional executor slots beyond the one the

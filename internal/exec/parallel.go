@@ -27,6 +27,128 @@ func mergeStats(merges []statMerge) {
 	}
 }
 
+// exchange is the worker lifecycle every parallel exchange operator
+// shares: executor-slot acquisition, the first-error latch, cooperative
+// shutdown of worker goroutines and slot return. ParallelOp and MergeOp
+// embed it so slot accounting and shutdown ordering exist exactly once;
+// only where batches go (one shared channel vs one ordered channel per
+// run) differs between them.
+type exchange struct {
+	started bool
+	done    chan struct{}
+	stop    sync.Once
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	err     error
+	release func()
+}
+
+// reset clears launch state for the Open-after-Close contract.
+func (e *exchange) reset() {
+	e.started = false
+	e.done = nil
+	e.stop = sync.Once{}
+	e.err = nil
+	e.release = nil
+}
+
+// grantWorkers borrows executor slots for up to want workers and returns
+// how many may run plus the slot release. The coordinator always owns one
+// implicit slot, so at least one worker runs even when the pool is
+// exhausted; extra workers are granted without blocking. Every parallel
+// operator — streaming exchange or two-phase — sizes itself here.
+func grantWorkers(ctx *Context, want int) (int, func()) {
+	extra, release := want-1, func() {}
+	if ctx != nil {
+		extra, release = ctx.AcquireExtra(want - 1)
+	}
+	n := 1 + extra
+	if n > want {
+		n = want
+	}
+	return n, release
+}
+
+// begin marks the exchange started and borrows slots for up to want
+// workers, returning how many may run.
+func (e *exchange) begin(ctx *Context, want int) int {
+	e.started = true
+	e.done = make(chan struct{})
+	n, release := grantWorkers(ctx, want)
+	e.release = release
+	return n
+}
+
+func (e *exchange) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.stop.Do(func() { close(e.done) })
+}
+
+func (e *exchange) firstErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// shutdown unwinds the worker goroutines — done unblocks any send — waits
+// for them, and returns the borrowed slots. Idempotent; a no-op before the
+// first Next.
+func (e *exchange) shutdown() {
+	if !e.started {
+		return
+	}
+	e.stop.Do(func() { close(e.done) })
+	e.wg.Wait()
+	if e.release != nil {
+		e.release()
+	}
+}
+
+// drainWorker runs one worker pipeline: open, pull batches, hand each to
+// send until EOF, error or shutdown (send reports false when the exchange
+// is closing). Callers run it on a goroutine they registered with wg.
+func (e *exchange) drainWorker(w Operator, send func(*vector.Batch) bool) {
+	if err := w.Open(); err != nil {
+		e.fail(err)
+		return
+	}
+	for {
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		b, err := w.Next()
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		if b == nil {
+			return
+		}
+		if !send(b) {
+			return
+		}
+	}
+}
+
+// closeWorkers tears down every worker pipeline and folds the per-worker
+// stat counters back into the plan counters.
+func closeWorkers(workers []Operator, merges []statMerge) error {
+	var first error
+	for _, w := range workers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	mergeStats(merges)
+	return first
+}
+
 // ParallelOp is the generic exchange operator: it runs N worker pipelines
 // (clones of one subtree sharing a morsel queue and build tables) on their
 // own goroutines and merges their output batches through a bounded channel.
@@ -37,14 +159,8 @@ type ParallelOp struct {
 	Ctx     *Context
 	merges  []statMerge
 
-	started bool
-	out     chan *vector.Batch
-	done    chan struct{}
-	stop    sync.Once
-	wg      sync.WaitGroup
-	errMu   sync.Mutex
-	err     error
-	release func()
+	exchange
+	out chan *vector.Batch
 }
 
 // Types implements Operator.
@@ -52,37 +168,23 @@ func (p *ParallelOp) Types() []types.T { return p.Workers[0].Types() }
 
 // Open implements Operator. Workers are opened on their own goroutines at
 // the first Next, so that upstream build sides (runtime filters, join
-// hash tables) run before any worker can block on them. All launch state
-// is reset so the operator honors the Open-after-Close contract.
+// hash tables) run before any worker can block on them.
 func (p *ParallelOp) Open() error {
-	p.started = false
-	p.err = nil
-	p.stop = sync.Once{}
+	p.reset()
 	p.out = nil
-	p.done = nil
-	p.release = nil
 	return nil
 }
 
-// start acquires executor slots and launches the workers. The coordinator
-// always owns one implicit slot, so at least one worker runs even when the
-// pool is exhausted; extra workers are granted without blocking.
+// start acquires executor slots and launches the workers.
 func (p *ParallelOp) start() {
-	p.started = true
-	extra, release := len(p.Workers)-1, func() {}
-	if p.Ctx != nil {
-		extra, release = p.Ctx.AcquireExtra(len(p.Workers) - 1)
-	}
-	p.release = release
-	n := 1 + extra
-	if n > len(p.Workers) {
-		n = len(p.Workers)
-	}
+	n := p.begin(p.Ctx, len(p.Workers))
 	p.out = make(chan *vector.Batch, 2*n)
-	p.done = make(chan struct{})
 	for w := 0; w < n; w++ {
 		p.wg.Add(1)
-		go p.runWorker(p.Workers[w])
+		go func(wk Operator) {
+			defer p.wg.Done()
+			p.drainWorker(wk, p.send)
+		}(p.Workers[w])
 	}
 	go func() {
 		p.wg.Wait()
@@ -90,41 +192,13 @@ func (p *ParallelOp) start() {
 	}()
 }
 
-func (p *ParallelOp) runWorker(w Operator) {
-	defer p.wg.Done()
-	if err := w.Open(); err != nil {
-		p.fail(err)
-		return
+func (p *ParallelOp) send(b *vector.Batch) bool {
+	select {
+	case p.out <- b:
+		return true
+	case <-p.done:
+		return false
 	}
-	for {
-		select {
-		case <-p.done:
-			return
-		default:
-		}
-		b, err := w.Next()
-		if err != nil {
-			p.fail(err)
-			return
-		}
-		if b == nil {
-			return
-		}
-		select {
-		case p.out <- b:
-		case <-p.done:
-			return
-		}
-	}
-}
-
-func (p *ParallelOp) fail(err error) {
-	p.errMu.Lock()
-	if p.err == nil {
-		p.err = err
-	}
-	p.errMu.Unlock()
-	p.stop.Do(func() { close(p.done) })
 }
 
 // Next implements Operator: it merges worker batches in arrival order.
@@ -135,28 +209,13 @@ func (p *ParallelOp) Next() (*vector.Batch, error) {
 	if b, ok := <-p.out; ok {
 		return b, nil
 	}
-	p.errMu.Lock()
-	defer p.errMu.Unlock()
-	return nil, p.err
+	return nil, p.firstErr()
 }
 
 // Close implements Operator.
 func (p *ParallelOp) Close() error {
-	if p.started {
-		p.stop.Do(func() { close(p.done) })
-		p.wg.Wait()
-		if p.release != nil {
-			p.release()
-		}
-	}
-	var first error
-	for _, w := range p.Workers {
-		if err := w.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	mergeStats(p.merges)
-	return first
+	p.shutdown()
+	return closeWorkers(p.Workers, p.merges)
 }
 
 // ParallelHashAggOp is the two-phase parallel aggregation: each worker
@@ -190,38 +249,21 @@ func (a *ParallelHashAggOp) Open() error {
 	return nil
 }
 
-// run executes both phases: parallel partial aggregation, then an ordered
-// merge (worker 0's groups first) into the final table.
-func (a *ParallelHashAggOp) run() error {
-	extra, release := len(a.Workers)-1, func() {}
-	if a.Ctx != nil {
-		extra, release = a.Ctx.AcquireExtra(len(a.Workers) - 1)
-	}
+// runPhased is the first phase of the two-phase operators (thread-local
+// partials, then a merge): it runs fn(w) for each of up to want workers on
+// its own goroutine — capped by the slots AcquireExtra grants — and
+// returns the first error. Workers beyond the cap never run; they hold no
+// state, since every pipeline steals from the shared morsel queue.
+func runPhased(ctx *Context, want int, fn func(w int) error) error {
+	n, release := grantWorkers(ctx, want)
 	defer release()
-	n := 1 + extra
-	if n > len(a.Workers) {
-		n = len(a.Workers)
-	}
-	locals := make([]*groupTable, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			local := &HashAggOp{
-				Input: a.Workers[w], GroupExprs: a.GroupExprs, Aggs: a.Aggs,
-				GroupingSets: a.GroupingSets, Out: a.Out,
-			}
-			if err := local.Open(); err != nil {
-				errs[w] = err
-				return
-			}
-			if err := local.consume(); err != nil {
-				errs[w] = err
-				return
-			}
-			locals[w] = local.table
+			errs[w] = fn(w)
 		}(w)
 	}
 	wg.Wait()
@@ -229,6 +271,30 @@ func (a *ParallelHashAggOp) run() error {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// run executes both phases: parallel partial aggregation, then an ordered
+// merge (worker 0's groups first) into the final table.
+func (a *ParallelHashAggOp) run() error {
+	locals := make([]*groupTable, len(a.Workers))
+	err := runPhased(a.Ctx, len(a.Workers), func(w int) error {
+		local := &HashAggOp{
+			Input: a.Workers[w], GroupExprs: a.GroupExprs, Aggs: a.Aggs,
+			GroupingSets: a.GroupingSets, Out: a.Out,
+		}
+		if err := local.Open(); err != nil {
+			return err
+		}
+		if err := local.consume(); err != nil {
+			return err
+		}
+		locals[w] = local.table
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	for _, local := range locals {
 		a.table.merge(local, a.Aggs)
@@ -263,14 +329,7 @@ func (a *ParallelHashAggOp) Next() (*vector.Batch, error) {
 // Close implements Operator.
 func (a *ParallelHashAggOp) Close() error {
 	a.table = nil
-	var first error
-	for _, w := range a.Workers {
-		if err := w.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	mergeStats(a.merges)
-	return first
+	return closeWorkers(a.Workers, a.merges)
 }
 
 // Parallelize rewrites a physical operator tree for intra-query parallelism
@@ -293,6 +352,13 @@ type parallelizer struct {
 	ctx     *Context
 	dop     int
 	changed bool
+}
+
+// sortParallel reports whether Sort/TopN may move below the exchange
+// (hive.sort.parallel). A nil context — operator trees built outside the
+// HS2 path — keeps the feature on, matching the server default.
+func (p *parallelizer) sortParallel() bool {
+	return p.ctx == nil || p.ctx.SortParallel
 }
 
 func (p *parallelizer) rec(op Operator) Operator {
@@ -329,15 +395,46 @@ func (p *parallelizer) rec(op Operator) Operator {
 		x.Right = p.rec(x.Right)
 		return x
 	case *SortOp:
+		// Parallel ORDER BY: the sort moves below the exchange — every
+		// worker sorts its share of the morsel stream into a local run,
+		// and the order-preserving MergeOp streams the runs through a
+		// loser-tree k-way merge on the coordinator.
+		if p.sortParallel() {
+			if workers, merges, ok := p.cloneWorkers(x.Input); ok {
+				p.changed = true
+				runs := make([]Operator, len(workers))
+				for i, w := range workers {
+					runs[i] = &SortOp{Input: w, Keys: x.Keys}
+				}
+				return &MergeOp{Workers: runs, Keys: x.Keys, Ctx: p.ctx, merges: merges}
+			}
+		}
 		x.Input = p.rec(x.Input)
 		return x
 	case *TopNOp:
+		// Parallel TopN: the LIMIT pushes into every worker's run as a
+		// thread-local bounded heap; survivors merge into one final heap.
+		if p.sortParallel() && x.N > 0 {
+			if workers, merges, ok := p.cloneWorkers(x.Input); ok {
+				p.changed = true
+				return &ParallelTopNOp{Workers: workers, Keys: x.Keys, N: x.N, Ctx: p.ctx, merges: merges}
+			}
+		}
 		x.Input = p.rec(x.Input)
 		return x
 	case *WindowOp:
 		x.Input = p.rec(x.Input)
 		return x
 	case *LimitOp:
+		// An unfused LIMIT directly over a sort (trees built outside the
+		// compiler's TopN fusion) is still a TopN: push the limit into
+		// per-worker runs rather than serializing the sort.
+		if s, ok := x.Input.(*SortOp); ok && p.sortParallel() && x.N > 0 {
+			if workers, merges, ok := p.cloneWorkers(s.Input); ok {
+				p.changed = true
+				return &ParallelTopNOp{Workers: workers, Keys: s.Keys, N: x.N, Ctx: p.ctx, merges: merges}
+			}
+		}
 		x.Input = p.rec(x.Input)
 		return x
 	case *SpoolOp:
@@ -483,6 +580,10 @@ func (p *parallelizer) expandScanSplits(s *ScanOp) {
 		}
 		ranges, err := snap.Splits(target)
 		if err != nil || len(ranges) == 0 {
+			// Enumeration failed but the snapshot is open with its delete
+			// set loaded; carry it so the scan does not reopen the
+			// directory and reload every delete delta at execution time.
+			sp.Snap = snap
 			out = append(out, sp)
 			continue
 		}

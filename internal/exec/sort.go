@@ -1,0 +1,361 @@
+// Sorting operators: full materialized sort (ORDER BY), bounded-heap TopN
+// (ORDER BY + LIMIT) and the row comparator they share with the parallel
+// merge exchange (merge.go). Under a parallel plan each worker produces a
+// locally sorted run with these same operators, so the comparator must be
+// identical across the serial sort, the per-worker runs and the k-way
+// merge for parallel ORDER BY to reproduce serial output exactly.
+package exec
+
+import (
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// compareKey orders two datums under one sort key: negative when x comes
+// first. NULLS FIRST puts NULL before non-NULL regardless of direction.
+// It is the single ordering definition shared by SortOp, the TopN heaps,
+// the loser-tree merge and the parallel planner's sorted-run workers.
+func compareKey(k plan.SortKey, x, y types.Datum) int {
+	if x.Null || y.Null {
+		if x.Null && y.Null {
+			return 0
+		}
+		first := -1
+		if !k.NullsFirst {
+			first = 1
+		}
+		if x.Null {
+			return first
+		}
+		return -first
+	}
+	c := x.Compare(y)
+	if k.Desc {
+		return -c
+	}
+	return c
+}
+
+// sortCompare builds the 3-way row comparator for a key set; a single call
+// answers both orderings, which the heaps and the loser tree need to
+// detect ties without comparing twice.
+func sortCompare(keys []plan.SortKey) func(a, b []types.Datum) int {
+	return func(a, b []types.Datum) int {
+		for _, k := range keys {
+			if c := compareKey(k, a[k.Col], b[k.Col]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+// sortCompareAt is sortCompare over batch rows in place — the allocation-
+// free form for the merge's hot loop (Batch.Row materializes a datum slice
+// per call and is documented as not for hot loops).
+func sortCompareAt(keys []plan.SortKey) func(ab *vector.Batch, ai int, bb *vector.Batch, bi int) int {
+	return func(ab *vector.Batch, ai int, bb *vector.Batch, bi int) int {
+		ar, br := ab.RowIdx(ai), bb.RowIdx(bi)
+		for _, k := range keys {
+			if c := compareKey(k, ab.Cols[k.Col].Get(ar), bb.Cols[k.Col].Get(br)); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+func sortLess(keys []plan.SortKey) func(a, b []types.Datum) bool {
+	cmp := sortCompare(keys)
+	return func(a, b []types.Datum) bool { return cmp(a, b) < 0 }
+}
+
+func sortRows(rows [][]types.Datum, keys []plan.SortKey) {
+	stableSort(rows, sortLess(keys))
+}
+
+// stableSort is a merge sort keeping input order for equal keys.
+func stableSort(rows [][]types.Datum, less func(a, b []types.Datum) bool) {
+	if len(rows) < 2 {
+		return
+	}
+	tmp := make([][]types.Datum, len(rows))
+	var ms func(lo, hi int)
+	ms = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := (lo + hi) / 2
+		ms(lo, mid)
+		ms(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if less(rows[j], rows[i]) {
+				tmp[k] = rows[j]
+				j++
+			} else {
+				tmp[k] = rows[i]
+				i++
+			}
+			k++
+		}
+		for i < mid {
+			tmp[k] = rows[i]
+			i++
+			k++
+		}
+		for j < hi {
+			tmp[k] = rows[j]
+			j++
+			k++
+		}
+		copy(rows[lo:hi], tmp[lo:hi])
+	}
+	ms(0, len(rows))
+}
+
+// emitRows renders rows starting at ordinal start into a batch, or nil when
+// exhausted (shared emission loop of the materializing operators).
+func emitRows(rows [][]types.Datum, start int, ts []types.T) *vector.Batch {
+	if start >= len(rows) {
+		return nil
+	}
+	n := len(rows) - start
+	if n > vector.BatchSize {
+		n = vector.BatchSize
+	}
+	out := vector.NewBatch(ts, n)
+	for i := 0; i < n; i++ {
+		for c, d := range rows[start+i] {
+			out.Cols[c].Set(i, d)
+		}
+	}
+	out.N = n
+	return out
+}
+
+// SortOp materializes and orders its input. Under a parallel plan the
+// planner clones it below the merge exchange, one locally sorted run per
+// worker (paper §5.1: every relational operator runs on the executor
+// slots, the coordinator only merges).
+type SortOp struct {
+	Input Operator
+	Keys  []plan.SortKey
+
+	rows    [][]types.Datum
+	sorted  bool
+	emitted int
+}
+
+// Types implements Operator.
+func (s *SortOp) Types() []types.T { return s.Input.Types() }
+
+// Open implements Operator.
+func (s *SortOp) Open() error {
+	s.rows, s.sorted, s.emitted = nil, false, 0
+	return s.Input.Open()
+}
+
+// Next implements Operator.
+func (s *SortOp) Next() (*vector.Batch, error) {
+	if !s.sorted {
+		for {
+			b, err := s.Input.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			for i := 0; i < b.N; i++ {
+				s.rows = append(s.rows, b.Row(i))
+			}
+		}
+		sortRows(s.rows, s.Keys)
+		s.sorted = true
+	}
+	out := emitRows(s.rows, s.emitted, s.Types())
+	if out == nil {
+		return nil, nil
+	}
+	s.emitted += out.N
+	return out, nil
+}
+
+// Close implements Operator.
+func (s *SortOp) Close() error {
+	s.rows = nil
+	return s.Input.Close()
+}
+
+// topNHeap is a bounded max-heap keeping the limit smallest rows under a
+// key comparator. Ties order by arrival: the heap both evicts latest-among-
+// equals and sorts earliest-first, so its output matches a stable sort
+// truncated to the limit — serial TopN results are unchanged by the heap.
+type topNHeap struct {
+	limit   int64
+	cmp     func(a, b []types.Datum) int
+	rows    [][]types.Datum
+	seqs    []int64
+	nextSeq int64
+}
+
+func newTopNHeap(keys []plan.SortKey, limit int64) *topNHeap {
+	return &topNHeap{limit: limit, cmp: sortCompare(keys)}
+}
+
+// before reports whether row (a, seqA) orders ahead of (b, seqB): by the
+// sort keys, then by arrival order.
+func (h *topNHeap) before(a []types.Datum, seqA int64, b []types.Datum, seqB int64) bool {
+	if c := h.cmp(a, b); c != 0 {
+		return c < 0
+	}
+	return seqA < seqB
+}
+
+// beforeAt compares heap slots.
+func (h *topNHeap) beforeAt(i, j int) bool {
+	return h.before(h.rows[i], h.seqs[i], h.rows[j], h.seqs[j])
+}
+
+// push offers a row; when the heap is full it replaces the current worst
+// row if the offer orders ahead of it, else drops the offer.
+func (h *topNHeap) push(row []types.Datum) {
+	if h.limit <= 0 {
+		return
+	}
+	seq := h.nextSeq
+	h.nextSeq++
+	if int64(len(h.rows)) < h.limit {
+		h.rows = append(h.rows, row)
+		h.seqs = append(h.seqs, seq)
+		h.up(len(h.rows) - 1)
+		return
+	}
+	if h.before(row, seq, h.rows[0], h.seqs[0]) {
+		h.rows[0], h.seqs[0] = row, seq
+		h.down(0, len(h.rows))
+	}
+}
+
+func (h *topNHeap) swap(i, j int) {
+	h.rows[i], h.rows[j] = h.rows[j], h.rows[i]
+	h.seqs[i], h.seqs[j] = h.seqs[j], h.seqs[i]
+}
+
+// up restores the max-heap invariant (root = worst kept row) from leaf i.
+func (h *topNHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.beforeAt(p, i) {
+			h.swap(p, i)
+			i = p
+			continue
+		}
+		return
+	}
+}
+
+// down restores the invariant from node i over the first n slots.
+func (h *topNHeap) down(i, n int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && h.beforeAt(worst, l) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && h.beforeAt(worst, r) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.swap(i, worst)
+		i = worst
+	}
+}
+
+// sorted extracts the kept rows in key order (heap sort in place; the heap
+// is spent afterwards).
+func (h *topNHeap) sorted() [][]types.Datum {
+	for n := len(h.rows) - 1; n > 0; n-- {
+		h.swap(0, n)
+		h.down(0, n)
+	}
+	return h.rows
+}
+
+// TopNOp keeps the N smallest rows under the sort keys in a bounded heap
+// instead of a full materialized sort — the physical optimization for
+// ORDER BY + LIMIT. N == 0 short-circuits to EOF without opening or
+// draining the input.
+type TopNOp struct {
+	Input Operator
+	Keys  []plan.SortKey
+	N     int64
+
+	rows    [][]types.Datum
+	done    bool
+	emitted int
+	opened  bool
+}
+
+// Types implements Operator.
+func (t *TopNOp) Types() []types.T { return t.Input.Types() }
+
+// Open implements Operator.
+func (t *TopNOp) Open() error {
+	t.rows, t.emitted = nil, 0
+	if t.N <= 0 {
+		// LIMIT 0: the input is never opened, let alone drained.
+		t.done, t.opened = true, false
+		return nil
+	}
+	t.done, t.opened = false, true
+	return t.Input.Open()
+}
+
+// consume drains the input into a bounded heap of the N best rows. The
+// parallel planner reuses it for per-worker runs (merge.go).
+func (t *TopNOp) consume() error {
+	h := newTopNHeap(t.Keys, t.N)
+	for {
+		b, err := t.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			h.push(b.Row(i))
+		}
+	}
+	t.rows = h.sorted()
+	return nil
+}
+
+// Next implements Operator.
+func (t *TopNOp) Next() (*vector.Batch, error) {
+	if !t.done {
+		if err := t.consume(); err != nil {
+			return nil, err
+		}
+		t.done = true
+	}
+	out := emitRows(t.rows, t.emitted, t.Types())
+	if out == nil {
+		return nil, nil
+	}
+	t.emitted += out.N
+	return out, nil
+}
+
+// Close implements Operator.
+func (t *TopNOp) Close() error {
+	t.rows = nil
+	if !t.opened {
+		return nil
+	}
+	return t.Input.Close()
+}

@@ -448,6 +448,7 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 		DOP:             dop,
 		Ctx:             ctx,
 		TargetStripes:   int(s.confInt("hive.split.target.stripes")),
+		SerialSort:      !s.confBool("hive.sort.parallel"),
 	}
 	op, shape := runner.Prepare(op)
 	rows, err := runner.Run(op, shape)

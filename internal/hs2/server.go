@@ -94,6 +94,11 @@ func NewServer(cfg Config) *Server {
 			// stripe granularity (paper §5.1). 1 maximizes work-stealing
 			// balance; larger values amortize per-morsel overhead.
 			"hive.split.target.stripes": "1",
+			// Parallel ORDER BY / TopN: workers produce locally sorted
+			// runs (with the LIMIT pushed into each) merged through an
+			// order-preserving loser-tree exchange. false keeps the sort
+			// on the coordinator.
+			"hive.sort.parallel": "true",
 		},
 	}
 	return s

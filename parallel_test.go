@@ -40,8 +40,14 @@ func TestParallelismEndToEnd(t *testing.T) {
 		   GROUP BY ss_customer_sk ORDER BY s DESC LIMIT 10`,
 		`SELECT ss_item_sk FROM store_sales WHERE ss_quantity > 8 AND NOT EXISTS
 		   (SELECT 1 FROM store_returns WHERE sr_item_sk = ss_item_sk)`,
+		`SELECT ss_ticket_number, ss_sales_price FROM store_sales ORDER BY ss_ticket_number`,
 	}
-	for _, q := range queries {
+	// ORDER BY queries additionally verify ordering against serial: the
+	// sort-column sequence must match exactly (it is tie-permutation
+	// proof — equal multisets correctly sorted render the same key
+	// sequence even when tied rows interleave differently across runs).
+	ordCol := map[int]int{3: 1, 5: 0}
+	for qi, q := range queries {
 		s.SetConf("hive.parallelism", "1")
 		base, err := s.Exec(q)
 		if err != nil {
@@ -57,8 +63,22 @@ func TestParallelismEndToEnd(t *testing.T) {
 			if got := sortedLines(res); got != want {
 				t.Errorf("dop=%s %s:\n got %q\nwant %q", dop, q, got, want)
 			}
+			if col, ok := ordCol[qi]; ok {
+				if got, want := columnSeq(res, col), columnSeq(base, col); got != want {
+					t.Errorf("dop=%s %s: sort-key sequence diverges from serial\n got %q\nwant %q", dop, q, got, want)
+				}
+			}
 		}
 	}
+}
+
+// columnSeq renders one output column in row order.
+func columnSeq(r *Result, col int) string {
+	vals := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		vals[i] = row[col].String()
+	}
+	return strings.Join(vals, ",")
 }
 
 func sortedLines(r *Result) string {
@@ -133,6 +153,87 @@ func TestUnpartitionedStripeParallelism(t *testing.T) {
 			if got := sortedLines(res); got != want {
 				t.Errorf("%s %s: results diverge from serial\n got %q\nwant %q", v.name, q, got, want)
 			}
+		}
+	}
+}
+
+// TestParallelOrderByMatchesSerial is the PR 3 ordering regression: ORDER
+// BY and ORDER BY ... LIMIT results must be byte-identical between serial
+// execution (hive.parallelism=1) and parallel runs at DOP 1/2/4/8 — in
+// output order, not as a multiset — across NULL ordering, DESC keys and
+// tied keys. Queries assert stable-order columns only where the sort keys
+// are unique per row (tie order across dynamically assigned runs is
+// legitimately nondeterministic, so the tie query projects only its key).
+// Disabling hive.sort.parallel must also reproduce serial output.
+func TestParallelOrderByMatchesSerial(t *testing.T) {
+	wh, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	s := wh.Session()
+	s.MustExec(`CREATE TABLE ord (k BIGINT, nv BIGINT, grp INT, tag STRING)`)
+	// Several insert transactions -> several delta files -> stripe morsels.
+	for batch := 0; batch < 6; batch++ {
+		ins := "INSERT INTO ord VALUES "
+		for i := 0; i < 80; i++ {
+			k := batch*80 + i
+			if i > 0 {
+				ins += ", "
+			}
+			nv := fmt.Sprint(k % 13)
+			if k%7 == 0 {
+				nv = "NULL" // NULLs interleaved through every run
+			}
+			ins += fmt.Sprintf("(%d, %s, %d, 't%04d')", k, nv, k%5, k)
+		}
+		s.MustExec(ins)
+	}
+	s.SetConf("hive.query.results.cache.enabled", "false")
+
+	queries := []string{
+		// Unique key, both directions.
+		`SELECT k, tag FROM ord ORDER BY k`,
+		`SELECT k, tag FROM ord ORDER BY k DESC`,
+		// NULL ordering under ASC and DESC, unique tiebreak.
+		`SELECT nv, k FROM ord ORDER BY nv, k`,
+		`SELECT nv, k FROM ord ORDER BY nv DESC, k DESC`,
+		// Ties on grp resolved by a unique column.
+		`SELECT grp, k FROM ord ORDER BY grp, k DESC`,
+		// Pure-tie query: only the key is projected, so equal rows render
+		// identically and the ordered output is still byte-comparable.
+		`SELECT grp FROM ord ORDER BY grp`,
+		// TopN: limits pushed into per-worker runs.
+		`SELECT k, tag FROM ord ORDER BY k DESC LIMIT 7`,
+		`SELECT nv, k FROM ord ORDER BY nv, k LIMIT 9`,
+		`SELECT k FROM ord ORDER BY k LIMIT 0`,
+	}
+	for _, q := range queries {
+		s.SetConf("hive.parallelism", "1")
+		s.SetConf("hive.sort.parallel", "true")
+		base, err := s.Exec(q)
+		if err != nil {
+			t.Fatalf("serial %s: %v", q, err)
+		}
+		want := base.String()
+		for _, dop := range []string{"1", "2", "4", "8"} {
+			s.SetConf("hive.parallelism", dop)
+			res, err := s.Exec(q)
+			if err != nil {
+				t.Fatalf("dop=%s %s: %v", dop, q, err)
+			}
+			if got := res.String(); got != want {
+				t.Errorf("dop=%s %s: ordered output diverges from serial\n got %q\nwant %q", dop, q, got, want)
+			}
+		}
+		s.SetConf("hive.parallelism", "4")
+		s.SetConf("hive.sort.parallel", "false")
+		res, err := s.Exec(q)
+		if err != nil {
+			t.Fatalf("sort.parallel=false %s: %v", q, err)
+		}
+		if got := res.String(); got != want {
+			t.Errorf("sort.parallel=false %s: output diverges\n got %q\nwant %q", q, got, want)
 		}
 	}
 }
