@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race spill bench
 
 # check is the CI gate: vet, build, a -race short-test pass over every
-# package (catches data races in the parallel scan/agg/join paths and the
-# stripe-granular morsel sharing), then the full suite.
-check: vet build race test
+# package (catches data races in the parallel scan/agg/join paths, the
+# stripe-granular morsel sharing and the shared memory governor), the
+# full suite, then the constrained-budget spill regressions — the spill
+# path can never silently rot because check always executes it.
+check: vet build race test spill
 
 vet:
 	$(GO) vet ./...
@@ -19,11 +21,19 @@ race:
 test:
 	$(GO) test ./...
 
-# bench reruns the paper figures and the parallel speedup numbers. Filter
-# the parallel-speedup cases with CASES, e.g.:
+# spill reruns the memory-governed regressions at tiny budgets: external
+# sort vs in-memory property tests, agg/join spill equivalence, scratch
+# cleanup, and the end-to-end beyond-memory byte-identity checks.
+spill:
+	$(GO) test -run 'Spill|ExternalSort|BeyondMemory|Governor|ScratchCleanup|MemoryTriggers' ./internal/exec ./internal/wm .
+
+# bench reruns the paper figures, the parallel speedup numbers and the
+# beyond-memory (spilling) cases. Filter the parallel-speedup and
+# beyond-memory cases with CASES, e.g.:
 #
 #	make bench CASES=sort_topn
 #	make bench CASES='order_by|sort_topn'
-BENCHRE = $(if $(CASES),BenchmarkParallelSpeedup/($(CASES)),.)
+#	make bench CASES='sort/budget256k'        # BenchmarkBeyondMemory
+BENCHRE = $(if $(CASES),(BenchmarkParallelSpeedup|BenchmarkBeyondMemory)/($(CASES)),.)
 bench:
 	$(GO) test -run xxx -bench '$(BENCHRE)' -benchmem .

@@ -167,6 +167,61 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkBeyondMemory runs sort and aggregation over inputs much larger
+// than a deliberately tiny hive.query.max.memory, so every iteration
+// exercises the spill paths of PR 4 end to end: external sorted runs
+// merged through the loser tree, and hash-partitioned aggregate partials
+// re-aggregated partition at a time. The unlimited variants of the same
+// queries are the no-spill baselines the budgeted runs are compared
+// against (BENCH_PR4.json).
+func BenchmarkBeyondMemory(b *testing.B) {
+	cases := []struct {
+		name, sql string
+	}{
+		// Whole-fact-table ORDER BY: ~20000 rows materialize in the sort.
+		{name: "sort", sql: bench.OrderBySQL},
+		// High-cardinality GROUP BY: one group per ticket.
+		{name: "agg", sql: `SELECT ss_ticket_number, COUNT(*), SUM(ss_sales_price)
+			FROM store_sales GROUP BY ss_ticket_number`},
+	}
+	budgets := []struct {
+		name, value string
+	}{
+		{"unlimited", "0"},
+		// Far below the working set (~2-4 MB materialized rows): forces
+		// many spilled runs / partial flushes per query.
+		{"budget256k", "262144"},
+	}
+	for _, c := range cases {
+		for _, bud := range budgets {
+			b.Run(fmt.Sprintf("%s/%s", c.name, bud.name), func(b *testing.B) {
+				wh, err := Open(Config{DiskLatency: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { wh.Close() })
+				s := wh.Session()
+				if err := bench.SetupTPCDS(func(q string) error { _, err := s.Exec(q); return err }, bench.SmallTPCDS()); err != nil {
+					b.Fatal(err)
+				}
+				s.SetConf("hive.query.results.cache.enabled", "false")
+				s.SetConf("hive.parallelism", "4")
+				s.SetConf("hive.query.max.memory", bud.value)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Exec(c.sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if bud.value != "0" && s.inner.LastSpilledBytes == 0 {
+					b.Fatal("budgeted beyond_memory case did not spill")
+				}
+			})
+		}
+	}
+}
+
 // q88-style query whose branches compute the same join subexpression with
 // different aggregates on top: the shared work optimizer's showcase
 // (paper §4.5, §7.1 reports 2.7x on q88). The common filtered join is

@@ -157,7 +157,7 @@ func (a *Analyzer) buildSelect(sel *sql.SelectStmt, outer *scope, corrOut *[]cor
 
 	switch body := sel.Body.(type) {
 	case *sql.SelectCore:
-		return a.buildCore(body, cur, sel.OrderBy, sel.Limit, corrOut)
+		return a.buildCore(body, cur, sel.OrderBy, sel.Limit, sel.Offset, corrOut)
 	case *sql.SetOp:
 		rel, fields, err := a.buildSetOp(body, cur)
 		if err != nil {
@@ -172,7 +172,7 @@ func (a *Analyzer) buildSelect(sel *sql.SelectStmt, outer *scope, corrOut *[]cor
 			rel = &plan.Sort{Input: rel, Keys: keys}
 		}
 		if sel.Limit >= 0 {
-			rel = &plan.Limit{Input: rel, N: sel.Limit}
+			rel = &plan.Limit{Input: rel, N: sel.Limit, Offset: sel.Offset}
 		}
 		return rel, fields, nil
 	}
@@ -215,7 +215,7 @@ func (a *Analyzer) buildSetOp(op *sql.SetOp, outer *scope) (plan.Rel, []plan.Fie
 	build := func(q sql.QueryExpr) (plan.Rel, []plan.Field, error) {
 		switch b := q.(type) {
 		case *sql.SelectCore:
-			return a.buildCore(b, outer, nil, -1, nil)
+			return a.buildCore(b, outer, nil, -1, 0, nil)
 		case *sql.SetOp:
 			return a.buildSetOp(b, outer)
 		}
@@ -372,7 +372,7 @@ func (b *builder) buildFrom(tr sql.TableRef, outer *scope) (plan.Rel, []plan.Fie
 
 // buildCore analyzes one SELECT core with optional outer ORDER BY/LIMIT.
 // corrOut receives decorrelated predicates when this core is a subquery.
-func (a *Analyzer) buildCore(core *sql.SelectCore, outer *scope, orderBy []sql.OrderItem, limit int64, corrOut *[]corrPred) (plan.Rel, []plan.Field, error) {
+func (a *Analyzer) buildCore(core *sql.SelectCore, outer *scope, orderBy []sql.OrderItem, limit, offset int64, corrOut *[]corrPred) (plan.Rel, []plan.Field, error) {
 	b := &builder{a: a}
 	rel, fields, err := b.buildFrom(core.From, outer)
 	if err != nil {
@@ -524,7 +524,7 @@ func (a *Analyzer) buildCore(core *sql.SelectCore, outer *scope, orderBy []sql.O
 		b.rel = &plan.Sort{Input: b.rel, Keys: keys}
 	}
 	if limit >= 0 {
-		b.rel = &plan.Limit{Input: b.rel, N: limit}
+		b.rel = &plan.Limit{Input: b.rel, N: limit, Offset: offset}
 	}
 	// Trim hidden (sort-only and correlation) columns unless a subquery
 	// caller needs the correlation columns in the output.

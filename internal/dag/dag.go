@@ -17,6 +17,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/exec"
 	"repro/internal/llap"
+	"repro/internal/spill"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
@@ -147,8 +148,20 @@ type Runner struct {
 }
 
 // Prepare instruments the operator tree for the runner's mode and returns
-// the tree to execute plus its DAG shape.
+// the tree to execute plus its DAG shape. The execution context inherits
+// the runner's DFS and scratch directory when the caller has not set them,
+// so memory-governed operator spills (exec mem.go) work in every mode —
+// MR, container and LLAP plans all block on sorts, aggregates and join
+// builds.
 func (r *Runner) Prepare(op exec.Operator) (exec.Operator, DAG) {
+	if r.Ctx != nil {
+		if r.Ctx.FS == nil {
+			r.Ctx.FS = r.FS
+		}
+		if r.Ctx.ScratchDir == "" {
+			r.Ctx.ScratchDir = r.ScratchDir
+		}
+	}
 	d := Analyze(op)
 	if r.Mode == ModeMR && r.FS != nil {
 		op = r.insertSpills(op)
@@ -278,7 +291,7 @@ func (s *SpillExchangeOp) materialize() error {
 	}
 	// Serialize through the DFS: the write and read-back charge the
 	// simulated storage costs that dominate MapReduce stage boundaries.
-	data := encodeRows(rows)
+	data := spill.EncodeRows(rows)
 	s.gen++
 	path := fmt.Sprintf("%s_g%d", s.Path, s.gen)
 	if err := s.FS.WriteFile(path, data); err != nil {
@@ -288,7 +301,7 @@ func (s *SpillExchangeOp) materialize() error {
 	if err != nil {
 		return err
 	}
-	s.rows, err = decodeRows(back, s.Types())
+	s.rows, err = spill.DecodeRows(back)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/exec"
 	"repro/internal/plan"
+	"repro/internal/spill"
 	"repro/internal/types"
 )
 
@@ -17,8 +18,8 @@ func TestCodecRoundTrip(t *testing.T) {
 		{types.NullOf(types.Int64), types.NewString(""), types.NewDecimal(-1234, 2)},
 		{types.NewBool(true), types.NewDate(17000), types.NewTimestamp(1234567)},
 	}
-	data := encodeRows(rows)
-	back, err := decodeRows(data, nil)
+	data := spill.EncodeRows(rows)
+	back, err := spill.DecodeRows(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestCodecRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if _, err := decodeRows(data[:3], nil); err == nil {
+	if _, err := spill.DecodeRows(data[:3]); err == nil {
 		t.Error("truncated spill should fail")
 	}
 }

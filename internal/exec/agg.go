@@ -17,7 +17,10 @@ type CompiledAgg struct {
 // HashAggOp groups rows and computes aggregates, including grouping sets:
 // each input row is fed once per grouping set with the non-set columns
 // masked to NULL, and a __grouping_id column identifies the set
-// (paper §3.1 advanced OLAP operations).
+// (paper §3.1 advanced OLAP operations). Group state is memory-governed:
+// when the query budget denies growth the accumulated groups spill to
+// hash-partitioned scratch files and the drain re-aggregates one
+// partition at a time (aggspill.go).
 type HashAggOp struct {
 	Input        Operator
 	GroupExprs   []*CompiledExpr
@@ -25,10 +28,10 @@ type HashAggOp struct {
 	GroupingSets [][]int
 	Out          []types.T
 	Stats        *RuntimeStats
+	Ctx          *Context
 
-	table   *groupTable
-	emitted int
-	done    bool
+	sink *spillAggTable
+	done bool
 }
 
 type aggGroup struct {
@@ -55,15 +58,31 @@ func groupSeed(gid int64) uint64 {
 	return 1469598103934665603 ^ uint64(gid)*vector.HashPrime
 }
 
-// findOrAdd locates the group for (h, gid, key values at row r); mask[c]
-// false means column c is masked to NULL by the grouping set. Key datums
-// are materialized only when a new group is created.
-func (t *groupTable) findOrAdd(h uint64, gid int64, keyCols []*vector.Vector, r int, mask []bool, nAggs int) *aggGroup {
+// lookup locates the group for (h, gid, key values at row r), or nil;
+// mask[c] false means column c is masked to NULL by the grouping set.
+func (t *groupTable) lookup(h uint64, gid int64, keyCols []*vector.Vector, r int, mask []bool) *aggGroup {
 	for _, g := range t.groups[h] {
 		if g.gid == gid && groupKeysMatch(g.keys, keyCols, r, mask) {
 			return g
 		}
 	}
+	return nil
+}
+
+// lookupKeys locates the group for already-materialized key datums, or nil
+// (partial-aggregate merging and spill-partition re-aggregation).
+func (t *groupTable) lookupKeys(h uint64, gid int64, keys []types.Datum) *aggGroup {
+	for _, g := range t.groups[h] {
+		if g.gid == gid && datumsEqual(g.keys, keys) {
+			return g
+		}
+	}
+	return nil
+}
+
+// newAggGroup materializes a group's key datums (only when the group is
+// actually created).
+func newAggGroup(h uint64, gid int64, keyCols []*vector.Vector, r int, mask []bool, nAggs int) *aggGroup {
 	keys := make([]types.Datum, len(keyCols))
 	for c, kc := range keyCols {
 		if mask == nil || mask[c] {
@@ -72,14 +91,28 @@ func (t *groupTable) findOrAdd(h uint64, gid int64, keyCols []*vector.Vector, r 
 			keys[c] = types.NullOf(kc.Type.Kind)
 		}
 	}
-	g := &aggGroup{h: h, keys: keys, gid: gid, states: make([]aggState, nAggs)}
-	t.insert(g)
-	return g
+	return &aggGroup{h: h, keys: keys, gid: gid, states: make([]aggState, nAggs)}
 }
 
 func (t *groupTable) insert(g *aggGroup) {
 	t.groups[g.h] = append(t.groups[g.h], g)
 	t.order = append(t.order, g)
+}
+
+// mergeInto folds one complete group into t — equal keys merge aggregate
+// states, new keys insert — and reports whether the group was inserted
+// (so callers can account the new residency). Every merge in the engine
+// (partial tables, re-read spill partitions, the partition-aligned final
+// merge) goes through here.
+func (t *groupTable) mergeInto(g *aggGroup, aggs []CompiledAgg) bool {
+	if dst := t.lookupKeys(g.h, g.gid, g.keys); dst != nil {
+		for ai := range aggs {
+			dst.states[ai].merge(aggs[ai], &g.states[ai])
+		}
+		return false
+	}
+	t.insert(g)
+	return true
 }
 
 // groupKeysMatch compares stored group keys against row r of the key
@@ -99,30 +132,6 @@ func groupKeysMatch(keys []types.Datum, keyCols []*vector.Vector, r int, mask []
 		}
 	}
 	return true
-}
-
-// merge folds a partial table into t: groups with equal keys merge their
-// aggregate states, new groups are appended in the partial's order.
-func (t *groupTable) merge(o *groupTable, aggs []CompiledAgg) {
-	if o == nil {
-		return
-	}
-	for _, g := range o.order {
-		var dst *aggGroup
-		for _, fg := range t.groups[g.h] {
-			if fg.gid == g.gid && datumsEqual(fg.keys, g.keys) {
-				dst = fg
-				break
-			}
-		}
-		if dst == nil {
-			t.insert(g)
-			continue
-		}
-		for ai := range aggs {
-			dst.states[ai].merge(aggs[ai], &g.states[ai])
-		}
-	}
 }
 
 // emitBatch renders groups starting at ordinal start into a batch, or nil
@@ -162,6 +171,11 @@ type aggState struct {
 	sumScale int
 	min, max types.Datum
 	distinct map[uint64][]types.Datum
+	// dorder keeps the distinct values in arrival order. Spill encoding
+	// and partial-state merging replay it instead of iterating the map, so
+	// non-associative accumulations (SUM(DISTINCT) over DOUBLE) fold in a
+	// deterministic order — the order the serial in-memory pass used.
+	dorder []types.Datum
 }
 
 // Types implements Operator.
@@ -169,8 +183,7 @@ func (a *HashAggOp) Types() []types.T { return a.Out }
 
 // Open implements Operator.
 func (a *HashAggOp) Open() error {
-	a.table = newGroupTable()
-	a.emitted = 0
+	a.sink = newSpillAggTable(a.Ctx, a.Aggs, len(a.GroupExprs))
 	a.done = false
 	return a.Input.Open()
 }
@@ -256,22 +269,34 @@ func (a *HashAggOp) consume() error {
 						h = h*vector.HashPrime ^ vector.NullHash
 					}
 				}
-				g := a.table.findOrAdd(h, gid, keyCols, r, mask, len(a.Aggs))
+				g, err := a.sink.findOrAdd(h, gid, keyCols, r, mask)
+				if err != nil {
+					return err
+				}
+				var extra int64
 				for ai := range a.Aggs {
 					var d types.Datum
 					if argCols[ai] != nil {
 						d = argCols[ai].Get(r)
 					}
-					g.states[ai].update(a.Aggs[ai], d)
+					extra += g.states[ai].update(a.Aggs[ai], d)
+				}
+				// Accounted only after every aggregate of the row applied:
+				// noteStateGrowth may spill the table, and g must be
+				// complete when it goes to disk.
+				if extra > 0 {
+					if err := a.sink.noteStateGrowth(extra); err != nil {
+						return err
+					}
 				}
 			}
 		}
 	}
 	// Global aggregate with no input rows still emits one row.
-	if len(a.GroupExprs) == 0 && len(a.table.order) == 0 {
-		a.table.findOrAdd(groupSeed(0), 0, nil, 0, nil, len(a.Aggs))
+	if len(a.GroupExprs) == 0 && a.sink.groupCount() == 0 {
+		a.sink.addEmpty()
 	}
-	return nil
+	return a.sink.finish()
 }
 
 func datumsEqual(a, b []types.Datum) bool {
@@ -289,21 +314,28 @@ func datumsEqual(a, b []types.Datum) bool {
 	return true
 }
 
-func (s *aggState) update(ag CompiledAgg, d types.Datum) {
+// update folds one value into the state. It returns the estimated bytes
+// the state grew by (DISTINCT value sets are the only unbounded part), so
+// callers can account the growth against the memory governor.
+func (s *aggState) update(ag CompiledAgg, d types.Datum) int64 {
 	if ag.Arg != nil && d.Null {
-		return // SQL aggregates skip NULLs
+		return 0 // SQL aggregates skip NULLs
 	}
+	var grew int64
 	if ag.Distinct {
 		if s.distinct == nil {
 			s.distinct = make(map[uint64][]types.Datum)
+			grew += 48
 		}
 		h := d.Hash()
 		for _, seen := range s.distinct[h] {
 			if seen.Compare(d) == 0 {
-				return
+				return grew
 			}
 		}
 		s.distinct[h] = append(s.distinct[h], d)
+		s.dorder = append(s.dorder, d)
+		grew += 2 * (datumBytes(d) + 24)
 	}
 	s.count++
 	switch ag.Fn {
@@ -333,6 +365,7 @@ func (s *aggState) update(ag CompiledAgg, d types.Datum) {
 			s.max = d
 		}
 	}
+	return grew
 }
 
 // merge folds another partial state into s (two-phase parallel
@@ -341,10 +374,8 @@ func (s *aggState) update(ag CompiledAgg, d types.Datum) {
 // counts, sums (normalizing decimal scales) and extrema directly.
 func (s *aggState) merge(ag CompiledAgg, o *aggState) {
 	if ag.Distinct {
-		for _, vs := range o.distinct {
-			for _, d := range vs {
-				s.update(ag, d)
-			}
+		for _, d := range o.dorder {
+			s.update(ag, d)
 		}
 		return
 	}
@@ -419,11 +450,10 @@ func (a *HashAggOp) Next() (*vector.Batch, error) {
 		}
 		a.done = true
 	}
-	out := a.table.emitBatch(a.emitted, a.Out, a.Aggs, a.GroupingSets)
-	if out == nil {
-		return nil, nil
+	out, err := a.sink.nextBatch(a.Out, a.GroupingSets)
+	if err != nil || out == nil {
+		return nil, err
 	}
-	a.emitted += out.N
 	if a.Stats != nil {
 		a.Stats.Rows.Add(int64(out.N))
 	}
@@ -432,7 +462,8 @@ func (a *HashAggOp) Next() (*vector.Batch, error) {
 
 // Close implements Operator.
 func (a *HashAggOp) Close() error {
-	a.table = nil
+	a.sink.close()
+	a.sink = nil
 	return a.Input.Close()
 }
 

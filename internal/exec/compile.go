@@ -92,7 +92,7 @@ func (c *Compiler) Compile(r plan.Rel) (Operator, error) {
 		for _, f := range x.Schema() {
 			out = append(out, f.T)
 		}
-		op := &HashAggOp{Input: in, GroupExprs: groups, Aggs: aggs, GroupingSets: x.GroupingSets, Out: out}
+		op := &HashAggOp{Input: in, GroupExprs: groups, Aggs: aggs, GroupingSets: x.GroupingSets, Out: out, Ctx: c.Ctx}
 		if c.CollectStats {
 			op.Stats = c.Ctx.NewStats("aggregate")
 		}
@@ -114,7 +114,7 @@ func (c *Compiler) Compile(r plan.Rel) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &SortOp{Input: in, Keys: x.Keys}, nil
+		return &SortOp{Input: in, Keys: x.Keys, Ctx: c.Ctx}, nil
 
 	case *plan.Limit:
 		// LIMIT 0 needs no input at all: emit an empty result with the
@@ -127,19 +127,20 @@ func (c *Compiler) Compile(r plan.Rel) (Operator, error) {
 			}
 			return &ValuesOp{Ts: ts}, nil
 		}
-		// ORDER BY + LIMIT fuses into TopN.
+		// ORDER BY + LIMIT [OFFSET] fuses into TopN: the heap keeps
+		// offset+limit rows and emission skips the offset.
 		if s, ok := x.Input.(*plan.Sort); ok {
 			in, err := c.Compile(s.Input)
 			if err != nil {
 				return nil, err
 			}
-			return &TopNOp{Input: in, Keys: s.Keys, N: x.N}, nil
+			return &TopNOp{Input: in, Keys: s.Keys, N: x.N, Offset: x.Offset}, nil
 		}
 		in, err := c.Compile(x.Input)
 		if err != nil {
 			return nil, err
 		}
-		return &LimitOp{Input: in, N: x.N}, nil
+		return &LimitOp{Input: in, N: x.N, Offset: x.Offset}, nil
 
 	case *plan.Spool:
 		in, err := c.Compile(x.Input)

@@ -148,35 +148,18 @@ func (w *testWarehouse) makeScan(ctx *Context) func(s *plan.Scan) (Operator, err
 	}
 }
 
-// run executes a SQL query end to end and returns rows rendered as strings.
-func (w *testWarehouse) run(q string) ([]string, error) {
+// analyzeSQL parses and analyzes a SELECT against the test catalog.
+func (w *testWarehouse) analyzeSQL(q string) (plan.Rel, error) {
 	st, err := sql.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := analyze.New(w.ms, "default").AnalyzeSelect(st.(*sql.SelectStmt))
-	if err != nil {
-		return nil, err
-	}
-	ctx := NewContext()
-	comp := &Compiler{Ctx: ctx, MakeScan: w.makeScan(ctx)}
-	op, err := comp.Compile(rel)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := Drain(op)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, len(rows))
-	for i, r := range rows {
-		parts := make([]string, len(r))
-		for j, d := range r {
-			parts[j] = d.String()
-		}
-		out[i] = strings.Join(parts, "|")
-	}
-	return out, nil
+	return analyze.New(w.ms, "default").AnalyzeSelect(st.(*sql.SelectStmt))
+}
+
+// run executes a SQL query end to end and returns rows rendered as strings.
+func (w *testWarehouse) run(q string) ([]string, error) {
+	return w.runWith(NewContext(), q)
 }
 
 func (w *testWarehouse) mustRun(q string) []string {

@@ -6,9 +6,15 @@ import (
 	"sync/atomic"
 
 	"repro/internal/plan"
+	"repro/internal/spill"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
+
+// joinSpillParts is the Grace fan-out: spilled build and probe rows
+// partition by key hash across this many file sets, and the
+// partition-by-partition probe holds one build partition at a time.
+const joinSpillParts = 16
 
 // HashJoinOp joins two inputs. The right input is the build side. Equi-key
 // pairs drive the hash table; Residual (over the concatenated row) is
@@ -19,6 +25,14 @@ import (
 // Ctx.DOP > 1) and fanned into hash-disjoint partitions, each with its own
 // index — the parallel partitioned build of morsel-driven engines. A
 // Shared build lets parallel probe-pipeline clones probe one table.
+//
+// The build is memory-governed: when the query budget denies growth the
+// join Grace-partitions — build rows spill to hash-partitioned scratch
+// files, probe rows partition to scratch the same way, and the probe then
+// runs partition by partition, each small enough to index in memory.
+// Matching keys hash equal, so every match pair lands in the same
+// partition and the per-partition probes reuse the in-memory probe path
+// unchanged.
 type HashJoinOp struct {
 	Left, Right Operator
 	Kind        plan.JoinKind
@@ -44,6 +58,16 @@ type HashJoinOp struct {
 	emittedRt bool
 	leftDone  bool
 	pending   *batchBuilder
+
+	// Grace state: non-nil graceBuild means the build side spilled and the
+	// probe runs partition by partition.
+	res        *Reservation
+	graceBuild [][]string          // build partition -> spill files
+	probeBufs  [][][]types.Datum   // buffered probe rows per partition
+	probeFiles [][]string          // probe partition -> spill files
+	gracePart  int                 // next partition to load
+	partLoaded bool
+	probePull  func() (*vector.Batch, error) // loaded partition's probe replay
 }
 
 // buildPartition is one hash-disjoint slice of the build side.
@@ -56,12 +80,18 @@ type buildPartition struct {
 
 // sharedBuild owns the build input of a parallelized join: the first probe
 // worker to need the hash table builds it (opening, draining and closing
-// the input exactly once); the rest wait and share it.
+// the input exactly once); the rest wait and share it. When the build
+// Grace-spilled, grace carries the partition files every clone reads (each
+// clone spills and replays its own probe share independently) and
+// cleanOnce removes them exactly once at Close, after the exchange has
+// finished every clone.
 type sharedBuild struct {
-	right Operator
-	once  sync.Once
-	parts []buildPartition
-	err   error
+	right     Operator
+	once      sync.Once
+	parts     []buildPartition
+	grace     [][]string
+	err       error
+	cleanOnce sync.Once
 }
 
 // buildRow is a materialized build-side row with its key hash, staged
@@ -97,6 +127,12 @@ func (j *HashJoinOp) Open() error {
 	j.parts = nil
 	j.emittedRt = false
 	j.leftDone = false
+	j.graceBuild, j.probeBufs, j.probeFiles = nil, nil, nil
+	j.gracePart, j.partLoaded, j.probePull = 0, false, nil
+	j.res = nil
+	if j.Ctx != nil {
+		j.res = j.Ctx.Governor().Reserve("hashjoin")
+	}
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
@@ -106,18 +142,19 @@ func (j *HashJoinOp) Open() error {
 	return nil
 }
 
-// build produces the partitioned hash table, publishing the semijoin
-// reducer exactly once even on failure so parallel scan workers blocked on
-// it can always proceed.
+// build produces the partitioned hash table — or, when the build side
+// spilled, the Grace partition files — publishing the semijoin reducer
+// exactly once even on failure so parallel scan workers blocked on it can
+// always proceed.
 func (j *HashJoinOp) build() error {
 	var err error
 	if j.Shared != nil {
 		j.Shared.once.Do(func() {
-			j.Shared.parts, j.Shared.err = j.runSharedBuild()
+			j.Shared.parts, j.Shared.grace, j.Shared.err = j.runSharedBuild()
 		})
-		j.parts, err = j.Shared.parts, j.Shared.err
+		j.parts, j.graceBuild, err = j.Shared.parts, j.Shared.grace, j.Shared.err
 	} else {
-		j.parts, err = j.buildPartitions(j.Right)
+		j.parts, j.graceBuild, err = j.buildPartitions(j.Right)
 		if j.BuildFilter != nil {
 			j.finishBuildFilter(err)
 		}
@@ -125,7 +162,7 @@ func (j *HashJoinOp) build() error {
 	if err != nil {
 		return err
 	}
-	if j.Kind == plan.Right || j.Kind == plan.Full {
+	if (j.Kind == plan.Right || j.Kind == plan.Full) && j.graceBuild == nil {
 		for pi := range j.parts {
 			j.parts[pi].matched = make([]bool, len(j.parts[pi].rows))
 		}
@@ -134,11 +171,12 @@ func (j *HashJoinOp) build() error {
 	return nil
 }
 
-func (j *HashJoinOp) runSharedBuild() ([]buildPartition, error) {
+func (j *HashJoinOp) runSharedBuild() ([]buildPartition, [][]string, error) {
 	var parts []buildPartition
+	var grace [][]string
 	err := j.Shared.right.Open()
 	if err == nil {
-		parts, err = j.buildPartitions(j.Shared.right)
+		parts, grace, err = j.buildPartitions(j.Shared.right)
 		if cerr := j.Shared.right.Close(); err == nil {
 			err = cerr
 		}
@@ -146,7 +184,7 @@ func (j *HashJoinOp) runSharedBuild() ([]buildPartition, error) {
 	if j.BuildFilter != nil {
 		j.finishBuildFilter(err)
 	}
-	return parts, err
+	return parts, grace, err
 }
 
 // finishBuildFilter publishes the semijoin reducer; a failed build resets
@@ -166,7 +204,16 @@ func (j *HashJoinOp) finishBuildFilter(err error) {
 // hash table. With Ctx.DOP > 1 it borrows executor slots: workers consume
 // batches from a feeder channel, materialize rows thread-locally, then
 // each worker owns one partition and collects its rows lock-free.
-func (j *HashJoinOp) buildPartitions(right Operator) ([]buildPartition, error) {
+//
+// The parallel staging runs until the governor first denies a
+// reservation: the workers stop, everything staged Grace-flushes to
+// hash-partitioned spill files, and the rest of the input continues on
+// the single-threaded spilling loop — so a budgeted build that fits keeps
+// the full parallel speedup and only an actual overflow pays the serial
+// Grace path, returning partition files instead of an in-memory table.
+// Nested-loop builds (no equi keys) cannot Grace-partition — every probe
+// row must see every build row — so they force-grow instead.
+func (j *HashJoinOp) buildPartitions(right Operator) ([]buildPartition, [][]string, error) {
 	dop, release := 1, func() {}
 	if j.Ctx != nil && j.Ctx.DOP > 1 {
 		extra, rel := j.Ctx.AcquireExtra(j.Ctx.DOP - 1)
@@ -180,19 +227,16 @@ func (j *HashJoinOp) buildPartitions(right Operator) ([]buildPartition, error) {
 	}
 	var total atomic.Int64
 	locals := make([][]buildRow, dop)
+	_, spillable := j.Ctx.spillTarget()
+	canGrace := spillable && len(j.RightKeys) > 0
 
 	var err error
-	if dop == 1 {
-		// Serial: consume inline, preserving exact input order.
-		for err == nil {
-			var b *vector.Batch
-			b, err = right.Next()
-			if err != nil || b == nil {
-				break
-			}
-			err = j.consumeBuildBatch(b, &locals[0], &total, limit)
-		}
-	} else {
+	if dop > 1 {
+		// Parallel staging runs until the first denied reservation: the
+		// workers stop, the staged rows Grace-flush, and the remainder of
+		// the input continues on the serial spilling loop below. Budgeted
+		// queries whose build fits keep the full parallel build.
+		var graceNeeded atomic.Bool
 		feed := make(chan *vector.Batch, dop)
 		errs := make([]error, dop)
 		var failed atomic.Bool
@@ -205,13 +249,23 @@ func (j *HashJoinOp) buildPartitions(right Operator) ([]buildPartition, error) {
 					if errs[w] != nil {
 						continue // drain after failure
 					}
-					if errs[w] = j.consumeBuildBatch(b, &locals[w], &total, limit); errs[w] != nil {
+					var sz int64
+					if sz, errs[w] = j.consumeBuildBatch(b, &locals[w], &total, limit); errs[w] != nil {
 						failed.Store(true)
+					}
+					if !j.res.Grow(sz) {
+						// Staged either way; keep accounting exact and
+						// signal the Grace switch (unless this build can
+						// only ever stay in memory).
+						j.res.ForceGrow(sz)
+						if canGrace {
+							graceNeeded.Store(true)
+						}
 					}
 				}
 			}(w)
 		}
-		for !failed.Load() {
+		for !failed.Load() && !graceNeeded.Load() {
 			b, ferr := right.Next()
 			if ferr != nil {
 				err = ferr
@@ -229,9 +283,51 @@ func (j *HashJoinOp) buildPartitions(right Operator) ([]buildPartition, error) {
 				err = werr
 			}
 		}
+		if err == nil && graceNeeded.Load() {
+			// Hand every worker's staging to the serial loop's slot and
+			// flush it as the first Grace partitions.
+			for w := 1; w < dop; w++ {
+				locals[0] = append(locals[0], locals[w]...)
+				locals[w] = nil
+			}
+			err = j.flushBuildSpill(&locals[0])
+		}
+	}
+	if err == nil && (dop == 1 || j.graceBuild != nil) {
+		// Serial: consume inline (the whole input, or whatever the
+		// parallel staging left after the Grace switch).
+		for err == nil {
+			var b *vector.Batch
+			var sz int64
+			b, err = right.Next()
+			if err != nil || b == nil {
+				break
+			}
+			sz, err = j.consumeBuildBatch(b, &locals[0], &total, limit)
+			if err != nil || j.res.Grow(sz) {
+				continue
+			}
+			// The staged rows are resident either way; take the bytes,
+			// then Grace-flush once enough has accumulated. Nested-loop
+			// builds (no equi keys) can never flush.
+			j.res.ForceGrow(sz)
+			if !canGrace || !j.res.ShouldSpill() {
+				continue
+			}
+			err = j.flushBuildSpill(&locals[0])
+		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+
+	if j.graceBuild != nil {
+		// The build spilled at least once: flush the staged remainder so
+		// the whole build side is on disk, partitioned by key hash.
+		if err := j.flushBuildSpill(&locals[0]); err != nil {
+			return nil, nil, err
+		}
+		return nil, j.graceBuild, nil
 	}
 
 	// Partition fan-in: worker p collects every staged row whose hash maps
@@ -269,33 +365,74 @@ func (j *HashJoinOp) buildPartitions(right Operator) ([]buildPartition, error) {
 			}
 		}
 	}
-	return parts, nil
+	return parts, nil, nil
+}
+
+// flushBuildSpill Grace-partitions the staged build rows into per-partition
+// spill files — each row serialized as its key hash, key values and data
+// row, so partition reloads rebuild the hash index without re-evaluating
+// key expressions — and frees their memory. The semijoin reducer is fed
+// here, since spilled rows never reach the in-memory filter pass.
+func (j *HashJoinOp) flushBuildSpill(local *[]buildRow) error {
+	if j.graceBuild == nil {
+		j.graceBuild = make([][]string, joinSpillParts)
+	}
+	buckets := make([][][]types.Datum, joinSpillParts)
+	for i := range *local {
+		br := &(*local)[i]
+		if j.BuildFilter != nil && len(br.keys) > 0 && !br.keys[0].Null {
+			updateFilter(j.BuildFilter, br.keys[0])
+		}
+		p := int(br.h % joinSpillParts)
+		row := make([]types.Datum, 0, 1+len(br.keys)+len(br.row))
+		row = append(row, types.NewBigint(int64(br.h)))
+		row = append(row, br.keys...)
+		row = append(row, br.row...)
+		buckets[p] = append(buckets[p], row)
+	}
+	for p, rows := range buckets {
+		if len(rows) == 0 {
+			continue
+		}
+		path, err := writeRunFile(j.Ctx, fmt.Sprintf("join_build_p%02d", p), rows)
+		if err != nil {
+			return err
+		}
+		j.graceBuild[p] = append(j.graceBuild[p], path)
+	}
+	*local = nil
+	j.res.Release()
+	return nil
 }
 
 // consumeBuildBatch materializes one build batch into a worker-local
-// staging area, hashing keys column-at-a-time.
-func (j *HashJoinOp) consumeBuildBatch(b *vector.Batch, local *[]buildRow, total *atomic.Int64, limit int64) error {
+// staging area, hashing keys column-at-a-time. It returns the estimated
+// bytes staged, which the caller accounts against the memory governor.
+func (j *HashJoinOp) consumeBuildBatch(b *vector.Batch, local *[]buildRow, total *atomic.Int64, limit int64) (int64, error) {
 	keyCols := make([]*vector.Vector, len(j.RightKeys))
 	for i, k := range j.RightKeys {
 		v, err := k.Eval(b)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		keyCols[i] = v
 	}
 	hs := hashKeys(keyCols, b)
+	var sz int64
 	for i := 0; i < b.N; i++ {
 		r := b.RowIdx(i)
 		keys := make([]types.Datum, len(keyCols))
 		for k, kc := range keyCols {
 			keys[k] = kc.Get(r)
 		}
-		*local = append(*local, buildRow{row: b.Row(i), keys: keys, h: hs[i]})
+		row := b.Row(i)
+		*local = append(*local, buildRow{row: row, keys: keys, h: hs[i]})
+		sz += rowBytes(row) + rowBytes(keys) + 16
 	}
 	if n := total.Add(int64(b.N)); limit > 0 && n > limit {
-		return ErrMemoryPressure{Operator: "hash join build", Rows: n}
+		return sz, ErrMemoryPressure{Operator: "hash join build", Rows: n}
 	}
-	return nil
+	return sz, nil
 }
 
 func updateFilter(f *RuntimeFilter, d types.Datum) {
@@ -391,6 +528,9 @@ func (j *HashJoinOp) Next() (*vector.Batch, error) {
 		}
 		j.pending = newBatchBuilder(j.Types())
 	}
+	if j.graceBuild != nil {
+		return j.graceNext()
+	}
 	for {
 		if j.pending.full() {
 			out := j.pending.take()
@@ -401,18 +541,8 @@ func (j *HashJoinOp) Next() (*vector.Batch, error) {
 			// Right/full outer: emit unmatched build rows.
 			if (j.Kind == plan.Right || j.Kind == plan.Full) && !j.emittedRt {
 				j.emittedRt = true
-				nullLeft := make([]types.Datum, j.leftW)
-				lt := j.Left.Types()
-				for i := range nullLeft {
-					nullLeft[i] = types.NullOf(lt[i].Kind)
-				}
 				for pi := range j.parts {
-					p := &j.parts[pi]
-					for i, m := range p.matched {
-						if !m {
-							j.pending.add(append(append([]types.Datum{}, nullLeft...), p.rows[i]...))
-						}
-					}
+					j.emitUnmatched(&j.parts[pi])
 				}
 			}
 			out := j.pending.take()
@@ -440,6 +570,220 @@ func (j *HashJoinOp) Next() (*vector.Batch, error) {
 func (j *HashJoinOp) bumpStats(b *vector.Batch) {
 	if j.Stats != nil && b != nil {
 		j.Stats.Rows.Add(int64(b.N))
+	}
+}
+
+// graceNext drives the spilled join: first the whole probe input
+// partitions to scratch by key hash, then each partition's build rows load
+// into a one-partition hash table and its probe rows replay through the
+// ordinary probe path (len(parts) == 1, so every replayed row probes the
+// loaded partition). Right/full outer joins emit their unmatched build
+// rows per partition, right after that partition's probe finishes.
+func (j *HashJoinOp) graceNext() (*vector.Batch, error) {
+	if !j.leftDone {
+		for {
+			b, err := j.Left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			if err := j.spillProbeBatch(b); err != nil {
+				return nil, err
+			}
+		}
+		if err := j.flushProbeBufs(); err != nil {
+			return nil, err
+		}
+		j.leftDone = true
+	}
+	for {
+		if j.pending.full() {
+			out := j.pending.take()
+			j.bumpStats(out)
+			return out, nil
+		}
+		if j.partLoaded {
+			b, err := j.probePull()
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				if err := j.probeBatch(b); err != nil {
+					return nil, err
+				}
+				if out := j.pending.take(); out != nil {
+					j.bumpStats(out)
+					return out, nil
+				}
+				continue
+			}
+			// Partition exhausted: emit its unmatched build rows (right/
+			// full), then drop it and its files.
+			if j.Kind == plan.Right || j.Kind == plan.Full {
+				j.emitUnmatched(&j.parts[0])
+			}
+			j.freeGracePart()
+			continue
+		}
+		if j.gracePart >= joinSpillParts {
+			out := j.pending.take()
+			j.bumpStats(out)
+			return out, nil
+		}
+		if err := j.loadGracePart(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// spillProbeBatch partitions one probe batch into per-partition buffers by
+// key hash, flushing every buffer to scratch when the governor denies the
+// growth.
+func (j *HashJoinOp) spillProbeBatch(b *vector.Batch) error {
+	keyCols := make([]*vector.Vector, len(j.LeftKeys))
+	for i, k := range j.LeftKeys {
+		v, err := k.Eval(b)
+		if err != nil {
+			return err
+		}
+		keyCols[i] = v
+	}
+	hs := hashKeys(keyCols, b)
+	if j.probeBufs == nil {
+		j.probeBufs = make([][][]types.Datum, joinSpillParts)
+	}
+	var sz int64
+	for i := 0; i < b.N; i++ {
+		row := b.Row(i)
+		p := int(hs[i] % joinSpillParts)
+		j.probeBufs[p] = append(j.probeBufs[p], row)
+		sz += rowBytes(row)
+	}
+	if j.res.Grow(sz) {
+		return nil
+	}
+	j.res.ForceGrow(sz)
+	if !j.res.ShouldSpill() {
+		return nil // too little buffered for a flush worth its files
+	}
+	return j.flushProbeBufs()
+}
+
+// flushProbeBufs writes every buffered probe partition to scratch and
+// frees the buffers.
+func (j *HashJoinOp) flushProbeBufs() error {
+	if j.probeBufs == nil {
+		return nil
+	}
+	if j.probeFiles == nil {
+		j.probeFiles = make([][]string, joinSpillParts)
+	}
+	for p, rows := range j.probeBufs {
+		if len(rows) == 0 {
+			continue
+		}
+		path, err := writeRunFile(j.Ctx, fmt.Sprintf("join_probe_p%02d", p), rows)
+		if err != nil {
+			return err
+		}
+		j.probeFiles[p] = append(j.probeFiles[p], path)
+		j.probeBufs[p] = nil
+	}
+	j.res.Release()
+	return nil
+}
+
+// loadGracePart rebuilds partition gracePart's hash table from its build
+// spill files (single-level Grace: one partition is assumed to fit once
+// loaded) and queues its probe files for replay.
+func (j *HashJoinOp) loadGracePart() error {
+	fs, _ := j.Ctx.spillTarget()
+	p := j.gracePart
+	part := buildPartition{index: make(map[uint64][]int)}
+	nk := len(j.RightKeys)
+	var bytes int64
+	for _, path := range j.graceBuild[p] {
+		r, err := spill.OpenReader(fs, path)
+		if err != nil {
+			return err
+		}
+		for {
+			rows, err := r.Next()
+			if err != nil {
+				return err
+			}
+			if rows == nil {
+				break
+			}
+			for _, row := range rows {
+				if len(row) < 1+nk {
+					return fmt.Errorf("exec: truncated spilled join build row")
+				}
+				h := uint64(row[0].I)
+				idx := len(part.rows)
+				part.rows = append(part.rows, row[1+nk:])
+				part.keys = append(part.keys, row[1:1+nk])
+				part.index[h] = append(part.index[h], idx)
+				bytes += rowBytes(row)
+			}
+		}
+	}
+	if j.Kind == plan.Right || j.Kind == plan.Full {
+		part.matched = make([]bool, len(part.rows))
+	}
+	j.res.ForceGrow(bytes)
+	j.parts = []buildPartition{part}
+	j.partLoaded = true
+	var probeFiles []string
+	if j.probeFiles != nil {
+		probeFiles = j.probeFiles[p]
+	}
+	// The partition's probe rows stream back through the shared run-file
+	// puller (merge.go), one block resident at a time.
+	j.probePull = runFilePuller(fs, probeFiles, j.Left.Types())
+	return nil
+}
+
+// freeGracePart drops the loaded partition and removes its spill files.
+// Shared-build clones keep the shared build files — other clones may still
+// need them; sharedBuild removes them once at Close.
+func (j *HashJoinOp) freeGracePart() {
+	p := j.gracePart
+	if fs, ok := j.Ctx.spillTarget(); ok {
+		if j.Shared == nil {
+			for _, path := range j.graceBuild[p] {
+				fs.Remove(path, false)
+			}
+			j.graceBuild[p] = nil
+		}
+		if j.probeFiles != nil {
+			for _, path := range j.probeFiles[p] {
+				fs.Remove(path, false)
+			}
+			j.probeFiles[p] = nil
+		}
+	}
+	j.parts = nil
+	j.partLoaded = false
+	j.probePull = nil
+	j.res.Release()
+	j.gracePart++
+}
+
+// emitUnmatched appends null-extended rows for the partition's unmatched
+// build rows (right/full outer).
+func (j *HashJoinOp) emitUnmatched(p *buildPartition) {
+	nullLeft := make([]types.Datum, j.leftW)
+	lt := j.Left.Types()
+	for i := range nullLeft {
+		nullLeft[i] = types.NullOf(lt[i].Kind)
+	}
+	for i, m := range p.matched {
+		if !m {
+			j.pending.add(append(append([]types.Datum{}, nullLeft...), p.rows[i]...))
+		}
 	}
 }
 
@@ -606,9 +950,33 @@ func (j *HashJoinOp) evalResidual(left, right []types.Datum) (bool, error) {
 	return !d.Null && d.I != 0, nil
 }
 
-// Close implements Operator.
+// Close implements Operator. Any Grace spill files still on disk — the
+// probe never ran, or ended early on error or a satisfied LIMIT — are
+// removed; shared build files are removed exactly once, after the
+// exchange has finished every clone.
 func (j *HashJoinOp) Close() error {
+	if fs, ok := j.Ctx.spillTarget(); ok && j.graceBuild != nil {
+		removeBuild := func() {
+			for _, files := range j.graceBuild {
+				for _, path := range files {
+					fs.Remove(path, false)
+				}
+			}
+		}
+		if j.Shared != nil {
+			j.Shared.cleanOnce.Do(removeBuild)
+		} else {
+			removeBuild()
+		}
+		for _, files := range j.probeFiles {
+			for _, path := range files {
+				fs.Remove(path, false)
+			}
+		}
+	}
 	j.parts = nil
+	j.graceBuild, j.probeBufs, j.probeFiles = nil, nil, nil
+	j.res.Release()
 	err := j.Left.Close()
 	if j.Right != nil && j.Shared == nil {
 		if cerr := j.Right.Close(); err == nil {

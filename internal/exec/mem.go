@@ -1,0 +1,262 @@
+// Per-query memory governance (paper §4.4, §5.2): LLAP daemons run many
+// concurrent fragments in one long-lived process, which is only viable when
+// each query's memory is bounded and blocking operators degrade gracefully
+// instead of OOM-ing the shared daemon. A Governor is the query's atomic
+// byte accountant: operators take Reservations, grow them as they
+// materialize state, and a denied grow is the spill signal — the operator
+// moves state to the DFS scratch directory, shrinks its reservation, and
+// carries on beyond memory. Peak and spilled bytes feed workload-manager
+// triggers (wm.QueryMetrics).
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/dfs"
+	"repro/internal/spill"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Governor is the per-query memory accountant shared by every operator of
+// one query, across all of its worker goroutines.
+type Governor struct {
+	// budget is the session's hive.query.max.memory in bytes; 0 or
+	// negative means unlimited (grows never deny, accounting still runs so
+	// peak is observable).
+	budget  int64
+	used    atomic.Int64
+	peak    atomic.Int64
+	spilled atomic.Int64
+}
+
+// NewGovernor returns a governor enforcing budget bytes (<= 0: unlimited).
+func NewGovernor(budget int64) *Governor {
+	return &Governor{budget: budget}
+}
+
+// Budget returns the configured budget (0 = unlimited).
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// UsedBytes returns the bytes currently reserved.
+func (g *Governor) UsedBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.used.Load()
+}
+
+// PeakBytes returns the high-water mark of reserved bytes.
+func (g *Governor) PeakBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
+}
+
+// SpilledBytes returns the total bytes written to spill files.
+func (g *Governor) SpilledBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.spilled.Load()
+}
+
+// NoteSpill records bytes written to a spill file.
+func (g *Governor) NoteSpill(n int64) {
+	if g == nil || n <= 0 {
+		return
+	}
+	g.spilled.Add(n)
+}
+
+func (g *Governor) bumpPeak(now int64) {
+	for {
+		p := g.peak.Load()
+		if now <= p || g.peak.CompareAndSwap(p, now) {
+			return
+		}
+	}
+}
+
+// Reserve opens a named per-operator reservation. Safe on a nil governor:
+// the returned nil reservation grants every grow (unlimited).
+func (g *Governor) Reserve(op string) *Reservation {
+	if g == nil {
+		return nil
+	}
+	return &Reservation{g: g, op: op}
+}
+
+// Reservation tracks one operator's share of the query budget. A nil
+// reservation is valid and unlimited, so operators built without a Context
+// (tests, embedded trees) need no special casing.
+type Reservation struct {
+	g    *Governor
+	op   string
+	held atomic.Int64
+}
+
+// Grow asks for n more bytes; false means the budget is exhausted and the
+// operator should spill. The bytes are NOT held after a denial, but the
+// peak still observes them: the state was resident at the moment of the
+// request, and only the spill that follows evicts it.
+func (r *Reservation) Grow(n int64) bool {
+	if r == nil || n <= 0 {
+		return true
+	}
+	now := r.g.used.Add(n)
+	r.g.bumpPeak(now)
+	if b := r.g.budget; b > 0 && now > b {
+		r.g.used.Add(-n)
+		return false
+	}
+	r.held.Add(n)
+	return true
+}
+
+// ForceGrow takes n bytes unconditionally — the minimum working set an
+// operator needs even on the spill path (e.g. the single row in flight, or
+// one reloaded partition).
+func (r *Reservation) ForceGrow(n int64) {
+	if r == nil || n <= 0 {
+		return
+	}
+	now := r.g.used.Add(n)
+	r.held.Add(n)
+	r.g.bumpPeak(now)
+}
+
+// Shrink returns n bytes (clamped to the held amount). The clamp is a CAS
+// loop: reservations are shared across a query's worker goroutines, and a
+// check-then-subtract could drive held negative under concurrent shrinks.
+func (r *Reservation) Shrink(n int64) {
+	if r == nil || n <= 0 {
+		return
+	}
+	for {
+		h := r.held.Load()
+		take := n
+		if take > h {
+			take = h
+		}
+		if take <= 0 {
+			return
+		}
+		if r.held.CompareAndSwap(h, h-take) {
+			r.g.used.Add(-take)
+			return
+		}
+	}
+}
+
+// Held returns the bytes currently held by this reservation.
+func (r *Reservation) Held() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.held.Load()
+}
+
+// ShouldSpill reports whether spilling this reservation's state is worth
+// it after a denied grow: it must hold enough that flushing frees a useful
+// fraction of the budget. A denial with almost nothing resident — another
+// operator is pinning the budget — overshoots via ForceGrow instead;
+// spilling a near-empty table would write one tiny file per row and turn
+// the drain into a seek storm.
+func (r *Reservation) ShouldSpill() bool {
+	if r == nil {
+		return false
+	}
+	// A quarter of the budget per flush keeps spill files big enough that
+	// the drain's per-read seek cost stays amortized; the overshoot this
+	// tolerates is bounded by one floor per concurrently-denied operator.
+	floor := r.g.budget / 4
+	if floor < 256 {
+		floor = 256
+	}
+	return r.held.Load() >= floor
+}
+
+// Release returns everything held. Idempotent; Close paths call it
+// unconditionally.
+func (r *Reservation) Release() {
+	if r == nil {
+		return
+	}
+	if h := r.held.Swap(0); h > 0 {
+		r.g.used.Add(-h)
+	}
+}
+
+// datumBytes estimates the in-memory footprint of one datum: the tagged
+// union struct plus string payload.
+func datumBytes(d types.Datum) int64 {
+	n := int64(48)
+	n += int64(len(d.S))
+	for _, e := range d.List {
+		n += datumBytes(e)
+	}
+	return n
+}
+
+// rowBytes estimates a materialized row: slice header plus datums.
+func rowBytes(row []types.Datum) int64 {
+	n := int64(24)
+	for _, d := range row {
+		n += datumBytes(d)
+	}
+	return n
+}
+
+// writeRunFile spills rows as one block-framed run file under a fresh
+// prefix-named scratch path, notes the bytes with the governor, and
+// returns the file's path — the one write path every spilling operator
+// (sort runs, agg partitions, join build/probe partitions) shares.
+func writeRunFile(ctx *Context, prefix string, rows [][]types.Datum) (string, error) {
+	fs, _ := ctx.spillTarget()
+	w := spill.NewWriter(fs, ctx.SpillPath(prefix))
+	for start := 0; start < len(rows); start += vector.BatchSize {
+		end := start + vector.BatchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		w.Append(rows[start:end])
+	}
+	n, err := w.Close()
+	if err != nil {
+		return "", err
+	}
+	ctx.Governor().NoteSpill(n)
+	return w.Path(), nil
+}
+
+// spillTarget reports where this query's operators may spill. ok is false
+// when the context has no scratch filesystem — then denial-driven spilling
+// is impossible and operators fall back to ForceGrow.
+func (c *Context) spillTarget() (fs *dfs.FS, ok bool) {
+	if c == nil || c.FS == nil || c.ScratchDir == "" {
+		return nil, false
+	}
+	return c.FS, true
+}
+
+// SpillPath returns a fresh unique scratch-file path for an operator spill.
+// Safe for concurrent use by parallel workers.
+func (c *Context) SpillPath(prefix string) string {
+	return fmt.Sprintf("%s/%s_%06d", c.ScratchDir, prefix, c.spillSeq.Add(1))
+}
+
+// Governor returns the query's memory governor (nil when ungoverned).
+func (c *Context) Governor() *Governor {
+	if c == nil {
+		return nil
+	}
+	return c.Mem
+}

@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGovernorGrowDenyAndPeak(t *testing.T) {
+	g := NewGovernor(1000)
+	r := g.Reserve("op")
+	if !r.Grow(600) {
+		t.Fatal("600 of 1000 denied")
+	}
+	if r.Grow(500) {
+		t.Fatal("1100 of 1000 granted")
+	}
+	if g.UsedBytes() != 600 {
+		t.Fatalf("denied grow must not hold bytes: used=%d", g.UsedBytes())
+	}
+	if !r.Grow(400) {
+		t.Fatal("exactly at budget denied")
+	}
+	r.ForceGrow(300) // past budget, unconditional
+	if g.UsedBytes() != 1300 || g.PeakBytes() != 1300 {
+		t.Fatalf("used=%d peak=%d", g.UsedBytes(), g.PeakBytes())
+	}
+	r.Shrink(5000) // clamped to held
+	if g.UsedBytes() != 0 {
+		t.Fatalf("shrink past held: used=%d", g.UsedBytes())
+	}
+	if g.PeakBytes() != 1300 {
+		t.Fatalf("peak must survive shrink: %d", g.PeakBytes())
+	}
+	g.NoteSpill(123)
+	if g.SpilledBytes() != 123 {
+		t.Fatalf("spilled=%d", g.SpilledBytes())
+	}
+}
+
+func TestGovernorNilAndUnlimited(t *testing.T) {
+	var g *Governor
+	r := g.Reserve("op")
+	if !r.Grow(1 << 40) {
+		t.Fatal("nil governor must grant everything")
+	}
+	r.Release()
+	g.NoteSpill(1)
+	if g.SpilledBytes() != 0 || g.PeakBytes() != 0 {
+		t.Fatal("nil governor accounts nothing")
+	}
+
+	u := NewGovernor(0)
+	ur := u.Reserve("op")
+	if !ur.Grow(1 << 40) {
+		t.Fatal("unlimited budget denied")
+	}
+	if u.PeakBytes() != 1<<40 {
+		t.Fatal("unlimited budget still tracks peak")
+	}
+	ur.Release()
+	if u.UsedBytes() != 0 {
+		t.Fatal("release leak")
+	}
+}
+
+// TestGovernorConcurrent hammers one governor from many goroutines — the
+// shape of parallel worker reservations — and checks conservation. Run
+// under -race via `make race`.
+func TestGovernorConcurrent(t *testing.T) {
+	g := NewGovernor(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := g.Reserve("worker")
+			for i := 0; i < 2000; i++ {
+				if !r.Grow(100) {
+					g.NoteSpill(100)
+					r.Release()
+				}
+			}
+			r.Release()
+		}()
+	}
+	wg.Wait()
+	if g.UsedBytes() != 0 {
+		t.Fatalf("conservation violated: used=%d after all releases", g.UsedBytes())
+	}
+	// Peak observes denied requests too, so it may overshoot the budget by
+	// at most one in-flight request per worker.
+	if g.PeakBytes() == 0 || g.PeakBytes() > 1<<20+8*100 {
+		t.Fatalf("peak out of range: %d", g.PeakBytes())
+	}
+}

@@ -7,33 +7,47 @@
 // pushed into every run. This removes the last coordinator-serialized
 // relational operator in the parallel path: the coordinator's share of an
 // ORDER BY drops from the full O(n log n) sort to the O(n log k) merge.
+//
+// The same loser tree also drains the external sort (sort.go): run cursors
+// are source-agnostic, so worker channels, spilled run files on the DFS
+// and in-memory row slices merge uniformly.
 package exec
 
 import (
+	"repro/internal/dfs"
 	"repro/internal/plan"
+	"repro/internal/spill"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
 
-// runCursor streams one worker's sorted run batch by batch; the current
-// row is (b, i) in place — never materialized to a datum slice, this is
-// the merge's hot loop — and b == nil marks an exhausted run.
+// runCursor streams one sorted run batch by batch; the current row is
+// (b, i) in place — never materialized to a datum slice, this is the
+// merge's hot loop — and b == nil marks an exhausted run. pull supplies the
+// next batch from whatever backs the run (a worker channel, a spill file,
+// a row slice); returning (nil, nil) ends the run, and a pull error parks
+// in err and ends the run too.
 type runCursor struct {
-	ch <-chan *vector.Batch
-	b  *vector.Batch
-	i  int // live-row ordinal within b
+	pull func() (*vector.Batch, error)
+	b    *vector.Batch
+	i    int // live-row ordinal within b
+	err  error
 }
 
-// advance moves to the run's next row, pulling a new batch from the worker
-// when the current one is spent; it reports false at end of run.
+// advance moves to the run's next row, pulling a new batch when the
+// current one is spent; it reports false at end of run (check err).
 func (c *runCursor) advance() bool {
 	for {
 		if c.b != nil && c.i+1 < c.b.N {
 			c.i++
 			return true
 		}
-		b, ok := <-c.ch
-		if !ok {
+		b, err := c.pull()
+		if err != nil {
+			c.b, c.err = nil, err
+			return false
+		}
+		if b == nil {
 			c.b = nil
 			return false
 		}
@@ -47,6 +61,76 @@ func (c *runCursor) advance() bool {
 
 // live reports whether the cursor still has a current row.
 func (c *runCursor) live() bool { return c.b != nil }
+
+// chanRunCursor wraps a worker's ordered batch channel (MergeOp's runs).
+func chanRunCursor(ch <-chan *vector.Batch) *runCursor {
+	return &runCursor{pull: func() (*vector.Batch, error) {
+		b, ok := <-ch
+		if !ok {
+			return nil, nil
+		}
+		return b, nil
+	}}
+}
+
+// runFilePuller streams the given spill files, in order, back as batches
+// — one block of rows in memory at a time. It backs both the file-run
+// cursors of the external sort merge and the Grace join's probe replay.
+func runFilePuller(fs *dfs.FS, paths []string, ts []types.T) func() (*vector.Batch, error) {
+	var r *spill.Reader
+	var rows [][]types.Datum
+	file, start := 0, 0
+	return func() (*vector.Batch, error) {
+		for {
+			if start < len(rows) {
+				b := emitRows(rows, start, ts)
+				start += b.N
+				return b, nil
+			}
+			if r == nil {
+				if file >= len(paths) {
+					return nil, nil
+				}
+				rr, err := spill.OpenReader(fs, paths[file])
+				if err != nil {
+					return nil, err
+				}
+				file++
+				r = rr
+			}
+			var err error
+			rows, err = r.Next()
+			if err != nil {
+				return nil, err
+			}
+			if rows == nil {
+				r = nil
+				continue
+			}
+			start = 0
+		}
+	}
+}
+
+// fileRunCursor streams one spilled sorted run back from the DFS — k
+// file-backed runs cost k resident blocks, not k whole runs, which is what
+// makes the merge beyond-memory capable.
+func fileRunCursor(fs *dfs.FS, path string, ts []types.T) *runCursor {
+	return &runCursor{pull: runFilePuller(fs, []string{path}, ts)}
+}
+
+// memRunCursor emits an in-memory sorted run.
+func memRunCursor(rows [][]types.Datum, ts []types.T) *runCursor {
+	start := 0
+	return &runCursor{pull: func() (*vector.Batch, error) {
+		b := emitRows(rows, start, ts)
+		if b == nil {
+			return nil, nil
+		}
+		start += b.N
+		return b, nil
+	}}
+}
 
 // loserTree is the k-way merge tournament: leaves are run cursors, each
 // internal node stores the loser of the match played there and the overall
@@ -123,6 +207,22 @@ func (lt *loserTree) winner() int {
 	return w
 }
 
+// challenger returns the run that would win the tournament if run s were
+// exhausted: the best among the losers stored on s's leaf-to-root path.
+// It returns -1 when no other run is live.
+func (lt *loserTree) challenger(s int) int {
+	best := -1
+	for t := (lt.size + s) / 2; t > 0; t /= 2 {
+		if lt.beats(lt.tree[t], best) {
+			best = lt.tree[t]
+		}
+	}
+	if best < 0 || !lt.runs[best].live() {
+		return -1
+	}
+	return best
+}
+
 // fix replays leaf s's path to the root after its cursor advanced: at each
 // node the stored loser and the incoming winner play again, the loser stays
 // and the winner moves up.
@@ -134,6 +234,105 @@ func (lt *loserTree) fix(s int) {
 		}
 	}
 	lt.tree[0] = winner
+}
+
+// copySpan copies live rows lo..hi-1 of b into out starting at row n. The
+// runs the merge consumes emit dense batches (no selection vector), which
+// take the multi-row CopyRows path — one slice copy per column.
+func copySpan(out *vector.Batch, n int, b *vector.Batch, lo, hi int) {
+	if b.Sel == nil {
+		for c := range out.Cols {
+			out.Cols[c].CopyRows(n, b.Cols[c], lo, hi-lo)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		r := b.Sel[i]
+		for c := range out.Cols {
+			out.Cols[c].CopyRow(n+(i-lo), b.Cols[c], r)
+		}
+	}
+}
+
+// emit streams the next batch of globally ordered rows out of the tree, or
+// nil when every run is exhausted. Consecutive winners from the same run
+// gather into multi-row span copies: once winner w is known, its
+// challenger (the run that would win were w exhausted) is read off w's
+// leaf-to-root path, and w's rows keep copying — without replaying the
+// tournament — for as long as they beat the challenger's current row,
+// which stands still the whole streak. Skewed merges pay one fix() per
+// streak instead of one per row, and the copies vectorize per column.
+//
+// onEnd, when non-nil, runs every time a run is exhausted, before any row
+// from another run is emitted. MergeOp surfaces worker errors there: a run
+// that ended because its worker failed ended *early*, and everything
+// merged past it would wrongly skip its unsent rows — a downstream LIMIT
+// could return that broken prefix without ever reaching end-of-stream.
+func (lt *loserTree) emit(ts []types.T, onEnd func() error) (*vector.Batch, error) {
+	var out *vector.Batch
+	n := 0
+	for n < vector.BatchSize {
+		w := lt.winner()
+		if w < 0 {
+			break
+		}
+		if out == nil {
+			out = vector.NewBatch(ts, vector.BatchSize)
+		}
+		cur := lt.runs[w]
+		var cb *runCursor
+		ch := lt.challenger(w)
+		if ch >= 0 {
+			cb = lt.runs[ch]
+		}
+		for n < vector.BatchSize {
+			// Rows within a run are sorted, so the rows still beating the
+			// challenger form a prefix of the current batch's remainder.
+			lo := cur.i
+			hi := lo + 1
+			if cb == nil {
+				hi = lo + (cur.b.N - lo)
+				if room := vector.BatchSize - n; hi-lo > room {
+					hi = lo + room
+				}
+			} else {
+				for hi < cur.b.N && n+(hi-lo) < vector.BatchSize {
+					c := lt.cmp(cur.b, hi, cb.b, cb.i)
+					if c < 0 || (c == 0 && w < ch) {
+						hi++
+					} else {
+						break
+					}
+				}
+			}
+			copySpan(out, n, cur.b, lo, hi)
+			n += hi - lo
+			cur.i = hi - 1
+			if !cur.advance() {
+				if cur.err != nil {
+					return nil, cur.err
+				}
+				if onEnd != nil {
+					if err := onEnd(); err != nil {
+						return nil, err
+					}
+				}
+				break
+			}
+			if cb != nil {
+				c := lt.cmp(cur.b, cur.i, cb.b, cb.i)
+				if !(c < 0 || (c == 0 && w < ch)) {
+					break
+				}
+			}
+		}
+		lt.fix(w)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out.N = n
+	return out, nil
 }
 
 // MergeOp is the order-preserving exchange: worker pipelines each emit a
@@ -179,7 +378,7 @@ func (m *MergeOp) start() {
 	for w := 0; w < n; w++ {
 		ch := make(chan *vector.Batch, 2)
 		m.chans[w] = ch
-		m.cursors[w] = &runCursor{ch: ch}
+		m.cursors[w] = chanRunCursor(ch)
 		m.wg.Add(1)
 		go func(i int, wk Operator) {
 			defer m.wg.Done()
@@ -197,8 +396,10 @@ func (m *MergeOp) start() {
 }
 
 // Next implements Operator: it streams the next batch of globally ordered
-// rows out of the loser tree, copying winner rows until the batch fills or
-// every run is exhausted.
+// rows out of the loser tree. Worker errors are surfaced whenever a run
+// ends (the error is recorded before the failed channel closes, so the
+// check catches the failure before one bad row is emitted) and at end of
+// merge.
 func (m *MergeOp) Next() (*vector.Batch, error) {
 	if !m.started {
 		m.start()
@@ -213,42 +414,15 @@ func (m *MergeOp) Next() (*vector.Batch, error) {
 		}
 		m.lt = newLoserTree(m.cursors, sortCompareAt(m.Keys))
 	}
-	var out *vector.Batch
-	n := 0
-	for n < vector.BatchSize {
-		w := m.lt.winner()
-		if w < 0 {
-			break
-		}
-		if out == nil {
-			out = vector.NewBatch(m.Types(), vector.BatchSize)
-		}
-		cur := m.cursors[w]
-		r := cur.b.RowIdx(cur.i)
-		for c := range out.Cols {
-			out.Cols[c].CopyRow(n, cur.b.Cols[c], r)
-		}
-		n++
-		if !cur.advance() {
-			// A run that ends because its worker failed ended *early*:
-			// everything merged from here on would wrongly skip its unsent
-			// rows, and a downstream LIMIT could return that broken prefix
-			// without ever reaching end-of-stream. The error is recorded
-			// before the failed channel closes (drainWorker fails, then the
-			// goroutine's defer closes the channel), so checking at every
-			// exhaustion catches the failure before one bad row is emitted.
-			if err := m.firstErr(); err != nil {
-				return nil, err
-			}
-		}
-		m.lt.fix(w)
+	out, err := m.lt.emit(m.Types(), m.firstErr)
+	if err != nil {
+		return nil, err
 	}
-	if n == 0 {
+	if out == nil {
 		// Every run ended — cleanly or because the shutdown drained the
 		// rest after a failure. Surface the first error either way.
 		return nil, m.firstErr()
 	}
-	out.N = n
 	return out, nil
 }
 
@@ -259,13 +433,16 @@ func (m *MergeOp) Close() error {
 }
 
 // ParallelTopNOp is the two-phase parallel TopN: every worker pipeline
-// feeds a thread-local bounded heap of its N best rows (the LIMIT pushed
-// into the run), and the per-worker survivors merge through one final heap
-// before emission — at most workers×N rows ever reach the coordinator.
+// feeds a thread-local bounded heap of its best rows (the LIMIT — plus any
+// OFFSET — pushed into the run), and the per-worker survivors merge
+// through one final heap before emission, where the offset rows are
+// skipped exactly once — at most workers×(offset+limit) rows ever reach
+// the coordinator.
 type ParallelTopNOp struct {
 	Workers []Operator
 	Keys    []plan.SortKey
 	N       int64
+	Offset  int64
 	Ctx     *Context
 	merges  []statMerge
 
@@ -290,9 +467,10 @@ func (t *ParallelTopNOp) Open() error {
 // merge. Ties across workers follow run assignment, which is dynamic —
 // like every parallel exchange here, only key order is deterministic.
 func (t *ParallelTopNOp) run() error {
+	keep := t.N + t.Offset
 	locals := make([][][]types.Datum, len(t.Workers))
 	err := runPhased(t.Ctx, len(t.Workers), func(w int) error {
-		local := &TopNOp{Input: t.Workers[w], Keys: t.Keys, N: t.N}
+		local := &TopNOp{Input: t.Workers[w], Keys: t.Keys, N: keep}
 		if err := local.Open(); err != nil {
 			return err
 		}
@@ -305,13 +483,13 @@ func (t *ParallelTopNOp) run() error {
 	if err != nil {
 		return err
 	}
-	final := newTopNHeap(t.Keys, t.N)
+	final := newTopNHeap(t.Keys, keep)
 	for _, rows := range locals {
 		for _, r := range rows {
 			final.push(r)
 		}
 	}
-	t.rows = final.sorted()
+	t.rows = dropOffset(final.sorted(), t.Offset)
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/dfs"
 	"repro/internal/orc"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -71,6 +72,17 @@ type Context struct {
 	// fragment always owns one implicit slot, so execution never blocks
 	// on an exhausted pool — it just runs narrower.
 	Slots SlotPool
+	// Mem is the per-query memory governor (hive.query.max.memory). The
+	// blocking operators reserve through it and spill to ScratchDir when a
+	// reservation is denied. nil means ungoverned (unlimited, no peak
+	// accounting).
+	Mem *Governor
+	// FS and ScratchDir locate the query's DFS scratch directory for
+	// operator spills. Both unset means spilling is impossible and denied
+	// reservations are force-granted instead.
+	FS         *dfs.FS
+	ScratchDir string
+	spillSeq   atomic.Int64
 }
 
 // NewContext returns an empty execution context.
@@ -296,42 +308,63 @@ func (p *ProjectOp) Next() (*vector.Batch, error) {
 // Close implements Operator.
 func (p *ProjectOp) Close() error { return p.Input.Close() }
 
-// LimitOp stops after N rows.
+// LimitOp skips the first Offset rows, then stops after N more.
 type LimitOp struct {
-	Input Operator
-	N     int64
-	seen  int64
+	Input   Operator
+	N       int64
+	Offset  int64
+	seen    int64
+	skipped int64
 }
 
 // Types implements Operator.
 func (l *LimitOp) Types() []types.T { return l.Input.Types() }
 
 // Open implements Operator.
-func (l *LimitOp) Open() error { l.seen = 0; return l.Input.Open() }
+func (l *LimitOp) Open() error { l.seen, l.skipped = 0, 0; return l.Input.Open() }
 
 // Next implements Operator.
 func (l *LimitOp) Next() (*vector.Batch, error) {
-	if l.seen >= l.N {
-		return nil, nil
-	}
-	b, err := l.Input.Next()
-	if err != nil || b == nil {
-		return nil, err
-	}
-	remain := l.N - l.seen
-	if int64(b.N) > remain {
-		if b.Sel == nil {
-			sel := make([]int, remain)
-			for i := range sel {
-				sel[i] = i
-			}
-			b = &vector.Batch{Cols: b.Cols, Sel: sel, N: int(remain)}
-		} else {
-			b = &vector.Batch{Cols: b.Cols, Sel: b.Sel[:remain], N: int(remain)}
+	for {
+		if l.seen >= l.N {
+			return nil, nil
 		}
+		b, err := l.Input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		// Drop whole batches inside the offset, slice the straddling one.
+		if skip := l.Offset - l.skipped; skip > 0 {
+			if int64(b.N) <= skip {
+				l.skipped += int64(b.N)
+				continue
+			}
+			l.skipped = l.Offset
+			if b.Sel == nil {
+				sel := make([]int, int64(b.N)-skip)
+				for i := range sel {
+					sel[i] = int(skip) + i
+				}
+				b = &vector.Batch{Cols: b.Cols, Sel: sel, N: len(sel)}
+			} else {
+				b = &vector.Batch{Cols: b.Cols, Sel: b.Sel[skip:], N: b.N - int(skip)}
+			}
+		}
+		remain := l.N - l.seen
+		if int64(b.N) > remain {
+			if b.Sel == nil {
+				sel := make([]int, remain)
+				for i := range sel {
+					sel[i] = i
+				}
+				b = &vector.Batch{Cols: b.Cols, Sel: sel, N: int(remain)}
+			} else {
+				b = &vector.Batch{Cols: b.Cols, Sel: b.Sel[:remain], N: int(remain)}
+			}
+		}
+		l.seen += int64(b.N)
+		return b, nil
 	}
-	l.seen += int64(b.N)
-	return b, nil
 }
 
 // Close implements Operator.

@@ -222,7 +222,10 @@ func (p *ParallelOp) Close() error {
 // pipeline feeds a thread-local partial aggregation (the paper's map-side
 // aggregation), and the partials merge into one final group table before
 // emission. Merging states — not results — keeps AVG, DISTINCT and
-// decimal-scale handling exact.
+// decimal-scale handling exact. Both phases are memory-governed: worker
+// partials spill hash-partitioned group files against the shared budget,
+// and the coordinator's merge table spills the same way when the combined
+// group set does not fit (aggspill.go).
 type ParallelHashAggOp struct {
 	Workers      []Operator
 	GroupExprs   []*CompiledExpr
@@ -233,9 +236,19 @@ type ParallelHashAggOp struct {
 	Stats        *RuntimeStats
 	merges       []statMerge
 
-	table   *groupTable
-	emitted int
-	done    bool
+	sink   *spillAggTable
+	locals []*HashAggOp
+	done   bool
+
+	// spilledMode drives the partition-aligned drain: when any worker
+	// partial spilled, the final merge processes one hash partition of
+	// every partial at a time instead of folding whole partials into one
+	// coordinator table (which would just re-spill what the workers
+	// already wrote).
+	spilledMode bool
+	partIdx     int
+	partTable   *groupTable
+	partEmit    int
 }
 
 // Types implements Operator.
@@ -243,9 +256,10 @@ func (a *ParallelHashAggOp) Types() []types.T { return a.Out }
 
 // Open implements Operator. Worker pipelines open on their goroutines.
 func (a *ParallelHashAggOp) Open() error {
-	a.table = newGroupTable()
-	a.emitted = 0
-	a.done = false
+	a.sink = newSpillAggTable(a.Ctx, a.Aggs, len(a.GroupExprs))
+	a.locals = nil
+	a.done, a.spilledMode = false, false
+	a.partIdx, a.partTable, a.partEmit = 0, nil, 0
 	return nil
 }
 
@@ -275,14 +289,18 @@ func runPhased(ctx *Context, want int, fn func(w int) error) error {
 	return nil
 }
 
-// run executes both phases: parallel partial aggregation, then an ordered
-// merge (worker 0's groups first) into the final table.
+// run executes the first phase (parallel partial aggregation) and, when
+// nothing spilled, the in-memory merge (worker 0's groups first) into the
+// final table. When any partial spilled, the merge is deferred to the
+// partition-aligned drain: every sink partitions by the same group hash,
+// so partition p of all partials merges — and emits — as one bounded unit,
+// and the coordinator never re-spills rows the workers already wrote.
 func (a *ParallelHashAggOp) run() error {
-	locals := make([]*groupTable, len(a.Workers))
+	a.locals = make([]*HashAggOp, len(a.Workers))
 	err := runPhased(a.Ctx, len(a.Workers), func(w int) error {
 		local := &HashAggOp{
 			Input: a.Workers[w], GroupExprs: a.GroupExprs, Aggs: a.Aggs,
-			GroupingSets: a.GroupingSets, Out: a.Out,
+			GroupingSets: a.GroupingSets, Out: a.Out, Ctx: a.Ctx,
 		}
 		if err := local.Open(); err != nil {
 			return err
@@ -290,21 +308,96 @@ func (a *ParallelHashAggOp) run() error {
 		if err := local.consume(); err != nil {
 			return err
 		}
-		locals[w] = local.table
+		a.locals[w] = local
 		return nil
 	})
 	if err != nil {
-		return err
+		return err // Close drops any spilled partials
 	}
-	for _, local := range locals {
-		a.table.merge(local, a.Aggs)
+	for _, local := range a.locals {
+		if local != nil && local.sink.spilled {
+			a.spilledMode = true
+		}
+	}
+	if a.spilledMode {
+		// Seal every partial: spilled ones flush their remainders so each
+		// partition is entirely on disk; resident ones are filtered by
+		// hash at drain time — and hand their accounting back now, since
+		// the drain re-accounts each group as its partition loads (holding
+		// both would charge the shared budget twice for the same bytes).
+		for _, local := range a.locals {
+			if local == nil {
+				continue
+			}
+			if local.sink.spilled {
+				if err := local.sink.finish(); err != nil {
+					return err
+				}
+			} else {
+				local.sink.releaseResident()
+			}
+		}
+		return nil
+	}
+	// In-memory merge. Ownership of the partials' groups transfers to the
+	// final sink, which re-accounts each group as it merges; releasing the
+	// partials' reservations first keeps the shared budget from being
+	// pinned by both sides of the handoff at once.
+	for _, local := range a.locals {
+		if local != nil {
+			local.sink.releaseResident()
+		}
+	}
+	for _, local := range a.locals {
+		if local == nil {
+			continue // worker beyond the granted slot cap: never ran
+		}
+		if err := local.sink.drainGroups(a.sink.mergeGroup); err != nil {
+			return err
+		}
 	}
 	// A parallel global aggregate over zero workers' rows still emits one
 	// row: every local already contributed its empty group, merged above.
-	if len(a.GroupExprs) == 0 && len(a.table.order) == 0 {
-		a.table.findOrAdd(groupSeed(0), 0, nil, 0, nil, len(a.Aggs))
+	if len(a.GroupExprs) == 0 && a.sink.groupCount() == 0 {
+		a.sink.addEmpty()
 	}
-	return nil
+	return a.sink.finish()
+}
+
+// nextPartitionBatch is the spilled-mode drain: merge partition partIdx
+// across every partial, emit it, free it, move on. One partition of the
+// final group set is resident at a time.
+func (a *ParallelHashAggOp) nextPartitionBatch() (*vector.Batch, error) {
+	for {
+		if a.partTable != nil {
+			if b := a.partTable.emitBatch(a.partEmit, a.Out, a.Aggs, a.GroupingSets); b != nil {
+				a.partEmit += b.N
+				return b, nil
+			}
+			a.partTable, a.partEmit = nil, 0
+			a.sink.res.Release()
+			a.partIdx++
+		}
+		if a.partIdx >= aggSpillParts {
+			return nil, nil
+		}
+		t := newGroupTable()
+		for _, local := range a.locals {
+			if local == nil {
+				continue
+			}
+			err := local.sink.partitionGroups(a.partIdx, func(g *aggGroup) error {
+				if t.mergeInto(g, a.Aggs) {
+					a.sink.res.ForceGrow(groupBytes(g))
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		a.partTable = t
+	}
 }
 
 // Next implements Operator.
@@ -315,11 +408,16 @@ func (a *ParallelHashAggOp) Next() (*vector.Batch, error) {
 		}
 		a.done = true
 	}
-	b := a.table.emitBatch(a.emitted, a.Out, a.Aggs, a.GroupingSets)
-	if b == nil {
-		return nil, nil
+	var b *vector.Batch
+	var err error
+	if a.spilledMode {
+		b, err = a.nextPartitionBatch()
+	} else {
+		b, err = a.sink.nextBatch(a.Out, a.GroupingSets)
 	}
-	a.emitted += b.N
+	if err != nil || b == nil {
+		return nil, err
+	}
 	if a.Stats != nil {
 		a.Stats.Rows.Add(int64(b.N))
 	}
@@ -328,7 +426,14 @@ func (a *ParallelHashAggOp) Next() (*vector.Batch, error) {
 
 // Close implements Operator.
 func (a *ParallelHashAggOp) Close() error {
-	a.table = nil
+	for _, local := range a.locals {
+		if local != nil {
+			local.sink.close()
+		}
+	}
+	a.locals, a.partTable = nil, nil
+	a.sink.close()
+	a.sink = nil
 	return closeWorkers(a.Workers, a.merges)
 }
 
@@ -404,7 +509,7 @@ func (p *parallelizer) rec(op Operator) Operator {
 				p.changed = true
 				runs := make([]Operator, len(workers))
 				for i, w := range workers {
-					runs[i] = &SortOp{Input: w, Keys: x.Keys}
+					runs[i] = &SortOp{Input: w, Keys: x.Keys, Ctx: p.ctx}
 				}
 				return &MergeOp{Workers: runs, Keys: x.Keys, Ctx: p.ctx, merges: merges}
 			}
@@ -417,7 +522,7 @@ func (p *parallelizer) rec(op Operator) Operator {
 		if p.sortParallel() && x.N > 0 {
 			if workers, merges, ok := p.cloneWorkers(x.Input); ok {
 				p.changed = true
-				return &ParallelTopNOp{Workers: workers, Keys: x.Keys, N: x.N, Ctx: p.ctx, merges: merges}
+				return &ParallelTopNOp{Workers: workers, Keys: x.Keys, N: x.N, Offset: x.Offset, Ctx: p.ctx, merges: merges}
 			}
 		}
 		x.Input = p.rec(x.Input)
@@ -432,7 +537,7 @@ func (p *parallelizer) rec(op Operator) Operator {
 		if s, ok := x.Input.(*SortOp); ok && p.sortParallel() && x.N > 0 {
 			if workers, merges, ok := p.cloneWorkers(s.Input); ok {
 				p.changed = true
-				return &ParallelTopNOp{Workers: workers, Keys: s.Keys, N: x.N, Ctx: p.ctx, merges: merges}
+				return &ParallelTopNOp{Workers: workers, Keys: s.Keys, N: x.N, Offset: x.Offset, Ctx: p.ctx, merges: merges}
 			}
 		}
 		x.Input = p.rec(x.Input)

@@ -1,9 +1,18 @@
-// Sorting operators: full materialized sort (ORDER BY), bounded-heap TopN
-// (ORDER BY + LIMIT) and the row comparator they share with the parallel
-// merge exchange (merge.go). Under a parallel plan each worker produces a
-// locally sorted run with these same operators, so the comparator must be
-// identical across the serial sort, the per-worker runs and the k-way
-// merge for parallel ORDER BY to reproduce serial output exactly.
+// Sorting operators: memory-governed external sort (ORDER BY), bounded-heap
+// TopN (ORDER BY + LIMIT [OFFSET]) and the row comparator they share with
+// the parallel merge exchange (merge.go). Under a parallel plan each worker
+// produces a locally sorted run with these same operators, so the
+// comparator must be identical across the serial sort, the per-worker runs
+// and the k-way merge for parallel ORDER BY to reproduce serial output
+// exactly.
+//
+// SortOp is beyond-memory capable: rows are accounted against the query's
+// memory governor, and when a reservation is denied the accumulated rows
+// stable-sort into a run spilled to the DFS scratch directory. The drain
+// then merges the file-backed runs and the in-memory remainder through the
+// same loser tree the parallel merge uses. Runs spill in arrival order and
+// ties break toward the lower run index, so the merged output reproduces
+// the in-memory stable sort byte for byte.
 package exec
 
 import (
@@ -135,17 +144,37 @@ func emitRows(rows [][]types.Datum, start int, ts []types.T) *vector.Batch {
 	return out
 }
 
-// SortOp materializes and orders its input. Under a parallel plan the
-// planner clones it below the merge exchange, one locally sorted run per
-// worker (paper §5.1: every relational operator runs on the executor
-// slots, the coordinator only merges).
+// dropOffset discards the first off rows (OFFSET), tolerating an offset
+// past end of result.
+func dropOffset(rows [][]types.Datum, off int64) [][]types.Datum {
+	if off <= 0 {
+		return rows
+	}
+	if off >= int64(len(rows)) {
+		return nil
+	}
+	return rows[off:]
+}
+
+// SortOp materializes and orders its input, spilling sorted runs to the
+// scratch directory when the memory governor denies growth. Under a
+// parallel plan the planner clones it below the merge exchange, one locally
+// sorted run per worker (paper §5.1: every relational operator runs on the
+// executor slots, the coordinator only merges) — each clone accounts and
+// spills independently against the shared governor.
 type SortOp struct {
 	Input Operator
 	Keys  []plan.SortKey
+	// Ctx supplies the memory governor and spill target; nil means
+	// ungoverned in-memory sorting (operator trees built outside a query).
+	Ctx *Context
 
 	rows    [][]types.Datum
 	sorted  bool
 	emitted int
+	res     *Reservation
+	runs    []string // spilled run files, in arrival order
+	lt      *loserTree
 }
 
 // Types implements Operator.
@@ -154,26 +183,90 @@ func (s *SortOp) Types() []types.T { return s.Input.Types() }
 // Open implements Operator.
 func (s *SortOp) Open() error {
 	s.rows, s.sorted, s.emitted = nil, false, 0
+	s.runs, s.lt = nil, nil
+	s.res = s.Ctx.Governor().Reserve("sort")
 	return s.Input.Open()
+}
+
+// spillRun stable-sorts the accumulated rows into a run file and frees
+// their memory. Runs are written in arrival order, which the drain's
+// tie-break exploits to reproduce the stable in-memory sort.
+func (s *SortOp) spillRun() error {
+	sortRows(s.rows, s.Keys)
+	path, err := writeRunFile(s.Ctx, "sort_run", s.rows)
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, path)
+	s.rows = nil
+	s.res.Release()
+	return nil
+}
+
+// consume drains the input, accounting batch by batch and spilling a run
+// whenever the governor denies the reservation.
+func (s *SortOp) consume() error {
+	for {
+		b, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		var sz int64
+		for i := 0; i < b.N; i++ {
+			row := b.Row(i)
+			s.rows = append(s.rows, row)
+			sz += rowBytes(row)
+		}
+		if s.res.Grow(sz) {
+			continue
+		}
+		// The rows are resident either way; take the bytes, then cut a run
+		// if enough has accumulated. Without a scratch directory the
+		// budget is observable but not enforceable here.
+		s.res.ForceGrow(sz)
+		if _, ok := s.Ctx.spillTarget(); !ok || !s.res.ShouldSpill() {
+			continue
+		}
+		if err := s.spillRun(); err != nil {
+			return err
+		}
+	}
 }
 
 // Next implements Operator.
 func (s *SortOp) Next() (*vector.Batch, error) {
 	if !s.sorted {
-		for {
-			b, err := s.Input.Next()
-			if err != nil {
-				return nil, err
-			}
-			if b == nil {
-				break
-			}
-			for i := 0; i < b.N; i++ {
-				s.rows = append(s.rows, b.Row(i))
-			}
+		if err := s.consume(); err != nil {
+			return nil, err
 		}
 		sortRows(s.rows, s.Keys)
+		if len(s.runs) > 0 {
+			// External drain: merge the file-backed runs and the in-memory
+			// remainder. The remainder holds the latest-arrived rows, so it
+			// takes the highest run index — ties resolve toward earlier
+			// arrival, exactly like the stable in-memory sort.
+			fs, _ := s.Ctx.spillTarget()
+			cursors := make([]*runCursor, 0, len(s.runs)+1)
+			for _, path := range s.runs {
+				cursors = append(cursors, fileRunCursor(fs, path, s.Types()))
+			}
+			if len(s.rows) > 0 {
+				cursors = append(cursors, memRunCursor(s.rows, s.Types()))
+			}
+			for _, c := range cursors {
+				if !c.advance() && c.err != nil {
+					return nil, c.err
+				}
+			}
+			s.lt = newLoserTree(cursors, sortCompareAt(s.Keys))
+		}
 		s.sorted = true
+	}
+	if s.lt != nil {
+		return s.lt.emit(s.Types(), nil)
 	}
 	out := emitRows(s.rows, s.emitted, s.Types())
 	if out == nil {
@@ -183,9 +276,17 @@ func (s *SortOp) Next() (*vector.Batch, error) {
 	return out, nil
 }
 
-// Close implements Operator.
+// Close implements Operator. Spilled run files are removed here, so a
+// query that closes its operators — normally or mid-error — leaves no
+// scratch files behind.
 func (s *SortOp) Close() error {
-	s.rows = nil
+	if fs, ok := s.Ctx.spillTarget(); ok {
+		for _, path := range s.runs {
+			fs.Remove(path, false)
+		}
+	}
+	s.rows, s.runs, s.lt = nil, nil, nil
+	s.res.Release()
 	return s.Input.Close()
 }
 
@@ -285,14 +386,16 @@ func (h *topNHeap) sorted() [][]types.Datum {
 	return h.rows
 }
 
-// TopNOp keeps the N smallest rows under the sort keys in a bounded heap
-// instead of a full materialized sort — the physical optimization for
-// ORDER BY + LIMIT. N == 0 short-circuits to EOF without opening or
-// draining the input.
+// TopNOp keeps the (N + Offset) smallest rows under the sort keys in a
+// bounded heap instead of a full materialized sort — the physical
+// optimization for ORDER BY + LIMIT [OFFSET]. The offset rows are skipped
+// at emission. N == 0 short-circuits to EOF without opening or draining
+// the input.
 type TopNOp struct {
-	Input Operator
-	Keys  []plan.SortKey
-	N     int64
+	Input  Operator
+	Keys   []plan.SortKey
+	N      int64
+	Offset int64
 
 	rows    [][]types.Datum
 	done    bool
@@ -318,7 +421,7 @@ func (t *TopNOp) Open() error {
 // consume drains the input into a bounded heap of the N best rows. The
 // parallel planner reuses it for per-worker runs (merge.go).
 func (t *TopNOp) consume() error {
-	h := newTopNHeap(t.Keys, t.N)
+	h := newTopNHeap(t.Keys, t.N+t.Offset)
 	for {
 		b, err := t.Input.Next()
 		if err != nil {
@@ -331,7 +434,7 @@ func (t *TopNOp) consume() error {
 			h.push(b.Row(i))
 		}
 	}
-	t.rows = h.sorted()
+	t.rows = dropOffset(h.sorted(), t.Offset)
 	return nil
 }
 

@@ -1,0 +1,21 @@
+//go:build stress
+
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestExternalSortPropertyRandomSeed is the seed-randomized twin of
+// TestExternalSortProperty: each `go test -tags stress` run exercises
+// fresh input sizes, batch shapes and budgets (the hll pattern).
+func TestExternalSortPropertyRandomSeed(t *testing.T) {
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 300; trial++ {
+		runExternalSortTrial(t, rng)
+	}
+}

@@ -86,7 +86,7 @@ func (r *Registry) PushComputation(rel plan.Rel) plan.Rel {
 	case *plan.Sort:
 		return &plan.Sort{Input: r.PushComputation(x.Input), Keys: x.Keys}
 	case *plan.Limit:
-		return &plan.Limit{Input: r.PushComputation(x.Input), N: x.N}
+		return &plan.Limit{Input: r.PushComputation(x.Input), N: x.N, Offset: x.Offset}
 	case *plan.SetOp:
 		return &plan.SetOp{Kind: x.Kind, All: x.All, Left: r.PushComputation(x.Left), Right: r.PushComputation(x.Right)}
 	case *plan.Spool:

@@ -423,6 +423,25 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 		ctx.DOP = dop
 		ctx.Slots = s.srv.Daemons
 	}
+	// Memory governance: the blocking operators account against the
+	// session budget and spill to the query scratch directory when denied
+	// (hive.query.max.memory; 0 keeps accounting for peak observability
+	// without ever denying). The server-wide query sequence keeps
+	// concurrent queries' scratch directories disjoint — a shared
+	// directory would let the first finisher's sweep delete the other's
+	// live spill files.
+	scratch := fmt.Sprintf("%s/_scratch/q%d_%d", s.srv.MS.Root(), time.Now().UnixNano(), s.srv.querySeq.Add(1))
+	ctx.Mem = exec.NewGovernor(s.confInt("hive.query.max.memory"))
+	ctx.FS = s.srv.FS
+	ctx.ScratchDir = scratch
+	defer func() {
+		// The scratch directory must not outlive the query, however it
+		// ended: operators remove their spill files on Close, and this
+		// sweep catches anything an abnormal unwind left behind.
+		s.srv.FS.Remove(scratch, true)
+		s.LastPeakMemoryBytes = ctx.Mem.PeakBytes()
+		s.LastSpilledBytes = ctx.Mem.SpilledBytes()
+	}()
 	comp := &exec.Compiler{
 		Ctx:      ctx,
 		MakeScan: s.makeScanFactory(ctx),
@@ -438,7 +457,6 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 	if err != nil {
 		return nil, err
 	}
-	scratch := fmt.Sprintf("%s/_scratch/q%d", s.srv.MS.Root(), time.Now().UnixNano())
 	runner := &dag.Runner{
 		Mode:            mode,
 		ContainerLaunch: time.Duration(s.confInt("hive.container.launch.ms")) * time.Millisecond,
@@ -451,11 +469,7 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 		SerialSort:      !s.confBool("hive.sort.parallel"),
 	}
 	op, shape := runner.Prepare(op)
-	rows, err := runner.Run(op, shape)
-	if mode == dag.ModeMR {
-		s.srv.FS.Remove(scratch, true)
-	}
-	return rows, err
+	return runner.Run(op, shape)
 }
 
 // makeScanFactory builds ACID scan operators: splits per partition with

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dfs"
@@ -48,6 +49,9 @@ type Server struct {
 	mu       sync.Mutex
 	wmgr     *wm.Manager
 	defaults map[string]string
+	// querySeq disambiguates per-query scratch directories across
+	// concurrent sessions (a wall-clock tick alone can collide).
+	querySeq atomic.Int64
 }
 
 // NewServer boots a warehouse.
@@ -99,6 +103,12 @@ func NewServer(cfg Config) *Server {
 			// order-preserving loser-tree exchange. false keeps the sort
 			// on the coordinator.
 			"hive.sort.parallel": "true",
+			// Per-query memory budget in bytes for the blocking operators
+			// (sort, hash aggregate, hash join build). 0 means unlimited;
+			// a positive budget makes Sort spill sorted runs, HashAgg
+			// spill partitioned partials and hash joins Grace-partition to
+			// the query scratch directory instead of growing past it.
+			"hive.query.max.memory": "0",
 		},
 	}
 	return s
@@ -129,6 +139,11 @@ type Session struct {
 	LastPlan string
 	// Reexecutions counts reoptimization retries in this session.
 	Reexecutions int
+	// LastPeakMemoryBytes and LastSpilledBytes report the previous query's
+	// memory governor accounting (observability for tests, monitoring and
+	// workload-management triggers).
+	LastPeakMemoryBytes int64
+	LastSpilledBytes    int64
 }
 
 // NewSession opens a session in the default database.
@@ -241,13 +256,19 @@ func (s *Session) admission() (release func(), pool string, err error) {
 }
 
 // checkTriggers evaluates workload triggers after execution; a KILL
-// trigger turns into an error, reproducing §5.2 semantics.
+// trigger turns into an error, reproducing §5.2 semantics. Memory metrics
+// come from the last run's governor, closing the loop between operator
+// memory accounting and resource-plan guardrails (paper §4.4).
 func (s *Session) checkTriggers(pool string, elapsed time.Duration) error {
 	mgr := s.srv.WorkloadManager()
 	if mgr == nil || pool == "" {
 		return nil
 	}
-	action, _ := mgr.Evaluate(pool, wm.QueryMetrics{TotalRuntimeMS: elapsed.Milliseconds()})
+	action, _ := mgr.Evaluate(pool, wm.QueryMetrics{
+		TotalRuntimeMS:  elapsed.Milliseconds(),
+		PeakMemoryBytes: s.LastPeakMemoryBytes,
+		SpilledBytes:    s.LastSpilledBytes,
+	})
 	if action == wm.ActionKill {
 		return fmt.Errorf("hs2: query killed by workload manager trigger in pool %s", pool)
 	}

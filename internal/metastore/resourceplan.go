@@ -18,7 +18,7 @@ const (
 // "WHEN total_runtime > 3000 THEN MOVE etl".
 type Trigger struct {
 	Name       string
-	Metric     string // e.g. "total_runtime" (milliseconds), "shuffle_bytes"
+	Metric     string // "total_runtime" (ms), "shuffle_bytes", "peak_memory", "spilled_bytes"
 	Threshold  int64
 	Action     TriggerAction
 	TargetPool string // for ActionMoveToPool

@@ -209,7 +209,7 @@ func (r *Rewriter) Rewrite(rel plan.Rel, db string) (plan.Rel, bool) {
 		case *plan.Sort:
 			return &plan.Sort{Input: visit(x.Input), Keys: x.Keys}
 		case *plan.Limit:
-			return &plan.Limit{Input: visit(x.Input), N: x.N}
+			return &plan.Limit{Input: visit(x.Input), N: x.N, Offset: x.Offset}
 		case *plan.Join:
 			return &plan.Join{Kind: x.Kind, Left: visit(x.Left), Right: visit(x.Right), Cond: x.Cond, ReducerID: x.ReducerID}
 		case *plan.SetOp:

@@ -91,7 +91,7 @@ func rewriteChildren(rel plan.Rel, f func(plan.Rel) plan.Rel) plan.Rel {
 	case *plan.Sort:
 		return &plan.Sort{Input: f(x.Input), Keys: x.Keys}
 	case *plan.Limit:
-		return &plan.Limit{Input: f(x.Input), N: x.N}
+		return &plan.Limit{Input: f(x.Input), N: x.N, Offset: x.Offset}
 	case *plan.SetOp:
 		return &plan.SetOp{Kind: x.Kind, All: x.All, Left: f(x.Left), Right: f(x.Right)}
 	case *plan.Spool:

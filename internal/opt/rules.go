@@ -602,7 +602,7 @@ func (o *Optimizer) prune(rel plan.Rel, need []bool) (plan.Rel, []int) {
 
 	case *plan.Limit:
 		in, m := o.prune(x.Input, need)
-		return &plan.Limit{Input: in, N: x.N}, m
+		return &plan.Limit{Input: in, N: x.N, Offset: x.Offset}, m
 
 	case *plan.Spool:
 		allNeed := make([]bool, len(x.Input.Schema()))

@@ -392,10 +392,11 @@ func (s *Sort) Digest() string {
 	return "sort(" + strings.Join(parts, ",") + "," + s.Input.Digest() + ")"
 }
 
-// Limit keeps the first N rows.
+// Limit keeps N rows after skipping the first Offset.
 type Limit struct {
-	Input Rel
-	N     int64
+	Input  Rel
+	N      int64
+	Offset int64
 }
 
 // Children implements Rel.
@@ -406,7 +407,7 @@ func (l *Limit) Schema() []Field { return l.Input.Schema() }
 
 // Digest implements Rel.
 func (l *Limit) Digest() string {
-	return fmt.Sprintf("limit(%d,%s)", l.N, l.Input.Digest())
+	return fmt.Sprintf("limit(%d,%d,%s)", l.N, l.Offset, l.Input.Digest())
 }
 
 // SetOpKind enumerates set operations.
@@ -529,6 +530,9 @@ func explain(b *strings.Builder, r Rel, depth int) {
 		fmt.Fprintf(b, "Sort keys=%d", len(x.Keys))
 	case *Limit:
 		fmt.Fprintf(b, "Limit %d", x.N)
+		if x.Offset > 0 {
+			fmt.Fprintf(b, " offset=%d", x.Offset)
+		}
 	case *SetOp:
 		fmt.Fprintf(b, "SetOp[%s all=%v]", x.Kind, x.All)
 	case *Spool:

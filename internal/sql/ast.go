@@ -21,12 +21,13 @@ type CTE struct {
 }
 
 // SelectStmt is a full query: optional CTEs, a set-operation body, and
-// outer ORDER BY / LIMIT.
+// outer ORDER BY / LIMIT [OFFSET].
 type SelectStmt struct {
 	With    []CTE
 	Body    QueryExpr
 	OrderBy []OrderItem
 	Limit   int64 // -1 when absent
+	Offset  int64 // 0 when absent; only meaningful with Limit >= 0
 }
 
 func (*SelectStmt) stmt() {}

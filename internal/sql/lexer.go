@@ -36,7 +36,7 @@ var keywords = map[string]bool{}
 
 func init() {
 	for _, k := range strings.Fields(`
-		SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT DISTINCT ALL AS
+		SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET DISTINCT ALL AS
 		JOIN INNER LEFT RIGHT FULL OUTER CROSS SEMI ANTI ON USING
 		UNION INTERSECT EXCEPT MINUS WITH
 		AND OR NOT IN EXISTS BETWEEN LIKE IS NULL TRUE FALSE

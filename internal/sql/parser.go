@@ -211,6 +211,18 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 		p.pos++
 		st.Limit = n
+		if p.accept("OFFSET") {
+			t := p.cur()
+			if t.Kind != TokNumber {
+				return nil, p.errf("expected OFFSET count, got %q", t.Text)
+			}
+			off, err := strconv.ParseInt(t.Text, 10, 64)
+			if err != nil {
+				return nil, p.errf("bad OFFSET %q", t.Text)
+			}
+			p.pos++
+			st.Offset = off
+		}
 	}
 	return st, nil
 }

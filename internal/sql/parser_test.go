@@ -73,6 +73,23 @@ func TestSimpleSelect(t *testing.T) {
 	}
 }
 
+func TestLimitOffsetParsing(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t ORDER BY a LIMIT 10 OFFSET 25")
+	if sel.Limit != 10 || sel.Offset != 25 {
+		t.Errorf("limit/offset: %d/%d", sel.Limit, sel.Offset)
+	}
+	sel = mustSelect(t, "SELECT a FROM t LIMIT 5")
+	if sel.Limit != 5 || sel.Offset != 0 {
+		t.Errorf("limit without offset: %d/%d", sel.Limit, sel.Offset)
+	}
+	if _, err := Parse("SELECT a FROM t LIMIT 5 OFFSET x"); err == nil {
+		t.Error("non-numeric OFFSET must fail")
+	}
+	if _, err := Parse("SELECT a FROM t OFFSET 5"); err == nil {
+		t.Error("OFFSET without LIMIT must fail")
+	}
+}
+
 func TestJoinParsing(t *testing.T) {
 	sel := mustSelect(t, `SELECT * FROM store_sales ss
 		JOIN item ON ss.item_sk = item.i_item_sk

@@ -179,6 +179,31 @@ func (v *Vector) CopyRow(dst int, from *Vector, src int) {
 	}
 }
 
+// CopyRows copies n consecutive physical rows starting at src of from into
+// consecutive rows starting at dst of v — the multi-row form of CopyRow for
+// gather batching, one slice copy per column instead of one call per row.
+// Types must match.
+func (v *Vector) CopyRows(dst int, from *Vector, src, n int) {
+	switch v.Type.Kind {
+	case types.Float64:
+		copy(v.F64[dst:dst+n], from.F64[src:src+n])
+	case types.String:
+		copy(v.Str[dst:dst+n], from.Str[src:src+n])
+	default:
+		copy(v.I64[dst:dst+n], from.I64[src:src+n])
+	}
+	if from.Nulls != nil {
+		if v.Nulls == nil {
+			v.Nulls = make([]bool, v.Len())
+		}
+		copy(v.Nulls[dst:dst+n], from.Nulls[src:src+n])
+	} else if v.Nulls != nil {
+		for i := dst; i < dst+n; i++ {
+			v.Nulls[i] = false
+		}
+	}
+}
+
 // Hashing constants for the column-at-a-time key hashing used by hash
 // joins and hash aggregation. Combined hashes follow FNV-1a mixing:
 // h = h*HashPrime ^ columnHash.

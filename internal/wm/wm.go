@@ -22,10 +22,15 @@ const (
 	ActionKill
 )
 
-// QueryMetrics feeds trigger evaluation.
+// QueryMetrics feeds trigger evaluation. PeakMemoryBytes and SpilledBytes
+// come from the query's memory governor (paper §4.4: resource-plan
+// guardrails act on runtime metrics), so plans can move or kill queries
+// that blow past their memory share or thrash the scratch disk.
 type QueryMetrics struct {
-	TotalRuntimeMS int64
-	ShuffleBytes   int64
+	TotalRuntimeMS  int64
+	ShuffleBytes    int64
+	PeakMemoryBytes int64
+	SpilledBytes    int64
 }
 
 type poolState struct {
@@ -192,6 +197,10 @@ func (m *Manager) Evaluate(pool string, metrics QueryMetrics) (Action, string) {
 			value = metrics.TotalRuntimeMS
 		case "shuffle_bytes":
 			value = metrics.ShuffleBytes
+		case "peak_memory":
+			value = metrics.PeakMemoryBytes
+		case "spilled_bytes":
+			value = metrics.SpilledBytes
 		default:
 			continue
 		}

@@ -117,3 +117,36 @@ func TestMoveRehomesQuery(t *testing.T) {
 	}
 	moved.Release()
 }
+
+// TestMemoryTriggers covers the paper §4.4 loop closed by the memory
+// governor: resource-plan triggers acting on peak memory and spilled
+// bytes.
+func TestMemoryTriggers(t *testing.T) {
+	p := paperPlan(t)
+	p.Triggers = []metastore.Trigger{
+		{
+			Name: "mem_hog", Metric: "peak_memory", Threshold: 1 << 20,
+			Action: metastore.ActionMoveToPool, TargetPool: "etl", Pools: []string{"bi"},
+		},
+		{
+			Name: "spill_storm", Metric: "spilled_bytes", Threshold: 1 << 24,
+			Action: metastore.ActionKill, Pools: []string{"bi"},
+		},
+	}
+	m, err := NewManager(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := m.Evaluate("bi", QueryMetrics{PeakMemoryBytes: 1 << 19}); a != ActionNone {
+		t.Errorf("under-threshold peak fired %v", a)
+	}
+	if a, pool := m.Evaluate("bi", QueryMetrics{PeakMemoryBytes: 2 << 20}); a != ActionMove || pool != "etl" {
+		t.Errorf("peak_memory: got %v %q", a, pool)
+	}
+	if a, _ := m.Evaluate("bi", QueryMetrics{SpilledBytes: 1 << 25}); a != ActionKill {
+		t.Errorf("spilled_bytes kill: got %v", a)
+	}
+	if a, _ := m.Evaluate("etl", QueryMetrics{SpilledBytes: 1 << 25}); a != ActionNone {
+		t.Errorf("trigger leaked outside its pool: %v", a)
+	}
+}
