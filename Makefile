@@ -22,10 +22,14 @@ test:
 	$(GO) test ./...
 
 # spill reruns the memory-governed regressions at tiny budgets: external
-# sort vs in-memory property tests, agg/join spill equivalence, scratch
-# cleanup, and the end-to-end beyond-memory byte-identity checks.
+# sort vs in-memory property tests, agg/join spill equivalence, the
+# window/spool spill paths added in PR 5, scratch cleanup, and the
+# end-to-end beyond-memory byte-identity checks — plus a -race pass over
+# one spool hammered by concurrent worker consumers, so the shared-cursor
+# and single-flight paths are exercised with the detector on every check.
 spill:
-	$(GO) test -run 'Spill|ExternalSort|BeyondMemory|Governor|ScratchCleanup|MemoryTriggers' ./internal/exec ./internal/wm .
+	$(GO) test -run 'Spill|ExternalSort|BeyondMemory|Governor|ScratchCleanup|MemoryTriggers|WindowSpill|SpoolS' ./internal/exec ./internal/wm .
+	$(GO) test -race -run 'SpoolSingleFlight|SpoolCursor|SpoolSharedParallelRace' ./internal/exec .
 
 # bench reruns the paper figures, the parallel speedup numbers and the
 # beyond-memory (spilling) cases. Filter the parallel-speedup and

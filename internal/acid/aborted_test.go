@@ -1,0 +1,183 @@
+package acid
+
+import (
+	"testing"
+
+	"repro/internal/orc"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// insertAborted writes rows in a transaction that then aborts, returning
+// the (permanently dead) writeID.
+func (e *env) insertAborted(t *testing.T, vals ...int64) int64 {
+	t.Helper()
+	id := e.tm.Begin()
+	w, err := e.tm.AllocateWriteId(id, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iw := NewInsertWriter(e.fs, e.loc, w, 0, testCols, orc.WriterOptions{})
+	for _, v := range vals {
+		if err := iw.WriteRow([]types.Datum{types.NewBigint(v), types.NewString("dead")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := iw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.tm.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestBaseSelectionOverAbortedGap is the regression for the permanent
+// base rejection: a compacted base whose watermark skips over an aborted
+// write only must be accepted (compaction excludes aborted data), while a
+// base over a still-open write must not be.
+func TestBaseSelectionOverAbortedGap(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 5)       // w1, committed
+	e.insertAborted(t, 777) // w2, aborted: a gap below every later base
+	e.insert(t, 5, 10)      // w3, committed
+
+	c := NewCompactor(e.fs, e.loc, testCols, orc.WriterOptions{})
+	if err := c.Major(e.tm.CompactorValidWriteIds("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Clean(e.fs, e.loc); err != nil {
+		t.Fatal(err)
+	}
+	bases, deltas, _, _ := ListStores(e.fs, e.loc)
+	if len(bases) != 1 || len(deltas) != 0 {
+		t.Fatalf("compaction+clean left bases=%v deltas=%v", bases, deltas)
+	}
+	// The deltas are gone, so reading anything at all requires accepting
+	// the base across the aborted gap at w2.
+	got := e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 10)) {
+		t.Fatalf("base over aborted gap not used: got %v, want 0..9", got)
+	}
+	for _, v := range got {
+		if v == 777 {
+			t.Fatal("aborted data leaked through the compacted base")
+		}
+	}
+
+	// A still-open (or not-yet-visible committed) write below the base
+	// watermark must keep rejecting the base: such a base could contain
+	// rows this snapshot must not see.
+	openValid := txn.ValidWriteIds{Table: "t", HighWater: 3, Invalid: map[int64]bool{2: true}}
+	s, err := OpenSnapshot(e.fs, e.loc, testCols, openValid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err = s.Scan(nil, nil, func(b *vector.Batch) error { n += b.N; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("base over a still-open gap was read: %d rows visible", n)
+	}
+}
+
+// TestDeleteLoadingPrunesAborted checks both sides of the delete-delta
+// pruning: delete records written by aborted transactions never apply, and
+// delete records aimed at aborted rows are dropped from the in-memory
+// delete set (the victim is permanently invisible, so the entry could
+// never match).
+func TestDeleteLoadingPrunesAborted(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 10) // w1
+	keys := e.scanKeys(t)
+
+	// w2: delete of a live row, aborted — must not hide anything.
+	id := e.tm.Begin()
+	w2, _ := e.tm.AllocateWriteId(id, "t")
+	dw := NewDeleteWriter(e.fs, e.loc, w2, 0)
+	if err := dw.Delete(keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.tm.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// w3: aborted insert; w4: committed delete aimed at the aborted row.
+	w3 := e.insertAborted(t, 888)
+	e.deleteKeys(t, []RowKey{{WriteID: w3, FileID: 0, RowID: 0}})
+
+	valid := e.tm.GetValidWriteIds("t", e.tm.GetSnapshot())
+	s, err := OpenSnapshot(e.fs, e.loc, testCols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither delete survives loading: w2's whole directory is an aborted
+	// write's, and w4's only record targets a permanently dead row.
+	if n := s.DeleteCount(); n != 0 {
+		t.Errorf("delete set holds %d entries, want 0 (aborted deleter + aborted victim)", n)
+	}
+	got := e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 10)) {
+		t.Errorf("visible ids: %v, want 0..9", got)
+	}
+}
+
+// TestCompactedDeleteDeltaAbortedDeleterRows covers the per-row deleter
+// check on a multi-write (compacted-shape) delete delta that folds an
+// aborted write's records next to a committed write's: only the committed
+// deleter's record may apply.
+func TestCompactedDeleteDeltaAbortedDeleterRows(t *testing.T) {
+	e := newEnv()
+	e.insert(t, 0, 10) // w1
+	keys := e.scanKeys(t)
+
+	// w2 aborts without writing anything; w3 commits a delete of key 3 so
+	// the txn manager knows both ids.
+	id := e.tm.Begin()
+	w2, _ := e.tm.AllocateWriteId(id, "t")
+	if err := e.tm.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+	e.deleteKeys(t, []RowKey{keys[3]}) // w3
+
+	// Hand-build a compacted delete delta spanning w2..w3. It covers (and
+	// thereby drops) w3's single-write directory, so it must carry w3's
+	// key-3 record itself — exactly what a real minor compaction would
+	// write — plus the aborted w2's record aimed at key 5 and a second w3
+	// record aimed at key 7.
+	w3 := w2 + 1
+	path := e.loc + "/" + deleteDirName(w2, w3) + "/file_00000"
+	dw := orc.NewWriter(e.fs, path, DeleteSchema(), orc.WriterOptions{})
+	for _, rec := range []struct {
+		k   RowKey
+		del int64
+	}{
+		{keys[3], w3},
+		{keys[5], w2},
+		{keys[7], w3},
+	} {
+		err := dw.WriteRow([]types.Datum{
+			types.NewBigint(rec.k.WriteID),
+			types.NewBigint(rec.k.FileID),
+			types.NewBigint(rec.k.RowID),
+			types.NewBigint(rec.del),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := e.readIDs(t)
+	if !equalIDs(got, wantIDs(0, 10, 3, 7)) {
+		t.Errorf("visible ids: %v, want 0..9 minus {3,7} (aborted deleter's record must not hide 5)", got)
+	}
+}

@@ -257,6 +257,13 @@ func OpenSnapshot(fs *dfs.FS, loc string, dataCols []orc.Column, valid txn.Valid
 		if d.kind != kindDeleteDelta || d.max <= s.baseMax || d.min > valid.HighWater {
 			continue
 		}
+		// A single-write delete delta from an aborted transaction is dead
+		// forever: its deletes were never committed and compaction drops
+		// them. Pruning it here (not just at load time) also keeps it from
+		// participating in coverage decisions.
+		if d.min == d.max && valid.AbortedWrite(d.min) {
+			continue
+		}
 		delCandidates = append(delCandidates, d)
 	}
 	for _, d := range dropCovered(delCandidates) {
@@ -292,9 +299,17 @@ func dropCovered(dirs []storeDir) []storeDir {
 	return out
 }
 
+// anyInvalidUpTo reports whether a still-relevant invalid write sits at or
+// below hi — the test deciding if a compacted base covering writes up to hi
+// may be read. Aborted writes do not count: compaction only folds committed
+// data, so an aborted id below the base watermark is a permanent gap the
+// base correctly excludes, and rejecting the base for it would pin every
+// snapshot to the pre-compaction stores forever. Still-open writes (and
+// writes committed after this snapshot) do count: a base built once they
+// commit would contain rows this snapshot must not see.
 func anyInvalidUpTo(valid txn.ValidWriteIds, hi int64) bool {
 	for w := range valid.Invalid {
-		if w <= hi {
+		if w <= hi && !valid.AbortedWrite(w) {
 			return true
 		}
 	}
@@ -334,14 +349,24 @@ func (s *Snapshot) loadDeletes(d storeDir) error {
 			// compacted delete deltas that may fold writes this snapshot
 			// cannot see (an older snapshot reading a newer compacted
 			// delta), so each row's deleter WriteID must be valid here —
-			// deletes performed by invisible writes must not be applied.
+			// deletes performed by aborted or otherwise invisible writes
+			// must not be applied.
 			multi := d.min != d.max && len(b.Cols) > DeleteMetaDeleter
 			for i := 0; i < b.N; i++ {
+				// Valid covers aborted deleters too: Aborted is a subset
+				// of Invalid by construction.
 				if multi && !s.valid.Valid(b.Cols[DeleteMetaDeleter].I64[i]) {
 					continue
 				}
+				// A delete aimed at an aborted write's row is dead weight:
+				// the victim is permanently invisible, so the entry would
+				// never match in the scan's anti-join.
+				w := b.Cols[MetaWriteID].I64[i]
+				if s.valid.AbortedWrite(w) {
+					continue
+				}
 				s.deletes[RowKey{
-					WriteID: b.Cols[MetaWriteID].I64[i],
+					WriteID: w,
 					FileID:  b.Cols[MetaFileID].I64[i],
 					RowID:   b.Cols[MetaRowID].I64[i],
 				}] = struct{}{}

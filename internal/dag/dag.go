@@ -142,6 +142,11 @@ type Runner struct {
 	// an order-preserving loser-tree merge — matching exec.NewContext, so
 	// callers that never heard of the knob get the default behavior.
 	SerialSort bool
+	// SerialSpool keeps spooled (shared-work) subtrees out of worker
+	// pipelines (hive.spool.parallel=false). Zero value = spools may feed
+	// parallel regions through a shared consumption cursor, matching
+	// exec.NewContext.
+	SerialSpool bool
 
 	spillSeq     int
 	parallelized bool
@@ -174,6 +179,7 @@ func (r *Runner) Prepare(op exec.Operator) (exec.Operator, DAG) {
 		if r.Ctx != nil {
 			r.Ctx.TargetStripes = r.TargetStripes
 			r.Ctx.SortParallel = !r.SerialSort
+			r.Ctx.SpoolParallel = !r.SerialSpool
 		}
 		op, r.parallelized = exec.Parallelize(op, r.Ctx, r.DOP)
 	}
@@ -207,7 +213,14 @@ func (r *Runner) Run(op exec.Operator, d DAG) ([][]types.Datum, error) {
 			defer release()
 		}
 	}
-	return exec.Drain(op)
+	rows, err := exec.Drain(op)
+	if r.Ctx != nil {
+		// Shared spools outlive any single consumer's Close (a join build
+		// side closes before the probe replays); reclaim them now that the
+		// whole tree has closed.
+		r.Ctx.CloseSpools()
+	}
+	return rows, err
 }
 
 // insertSpills wraps every pipeline breaker's inputs with a DFS

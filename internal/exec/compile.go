@@ -107,7 +107,7 @@ func (c *Compiler) Compile(r plan.Rel) (Operator, error) {
 		for _, f := range x.Schema() {
 			out = append(out, f.T)
 		}
-		return &WindowOp{Input: in, Fns: x.Fns, Out: out}, nil
+		return &WindowOp{Input: in, Fns: x.Fns, Out: out, Ctx: c.Ctx}, nil
 
 	case *plan.Sort:
 		in, err := c.Compile(x.Input)

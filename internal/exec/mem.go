@@ -237,6 +237,95 @@ func writeRunFile(ctx *Context, prefix string, rows [][]types.Datum) (string, er
 	return w.Path(), nil
 }
 
+// rowStore is the governed arrival-order row store shared by operators
+// that materialize and replay their input verbatim (window input chunks,
+// spool replay buffers): rows accumulate under a reservation and flush to
+// run files when the governor denies growth. The stored order is always
+// arrival order — runs in flush order, then the resident tail.
+type rowStore struct {
+	ctx     *Context
+	res     *Reservation
+	prefix  string
+	rows    [][]types.Datum
+	runs    []string
+	spilled bool
+}
+
+// newRowStore opens a store accounting under op's reservation, spilling
+// prefix-named run files.
+func newRowStore(ctx *Context, op, prefix string) *rowStore {
+	return &rowStore{ctx: ctx, res: ctx.Governor().Reserve(op), prefix: prefix}
+}
+
+// appendBatch materializes and accounts one input batch, flushing the
+// resident rows as an arrival-order run file when the reservation is
+// denied and holds enough to be worth a file.
+func (st *rowStore) appendBatch(b *vector.Batch) error {
+	var sz int64
+	for i := 0; i < b.N; i++ {
+		row := b.Row(i)
+		st.rows = append(st.rows, row)
+		sz += rowBytes(row)
+	}
+	if st.res.Grow(sz) {
+		return nil
+	}
+	st.res.ForceGrow(sz)
+	if _, ok := st.ctx.spillTarget(); !ok || !st.res.ShouldSpill() {
+		return nil
+	}
+	path, err := writeRunFile(st.ctx, st.prefix, st.rows)
+	if err != nil {
+		return err
+	}
+	st.runs = append(st.runs, path)
+	st.rows = nil
+	st.res.Release()
+	st.spilled = true
+	return nil
+}
+
+// replay returns a fresh pull over the stored content in arrival order.
+// Safe for concurrent replays once writing has stopped: each pull owns
+// its readers and the store is read-only.
+func (st *rowStore) replay(ts []types.T) func() (*vector.Batch, error) {
+	var filePull func() (*vector.Batch, error)
+	if len(st.runs) > 0 {
+		fs, _ := st.ctx.spillTarget()
+		filePull = runFilePuller(fs, st.runs, ts)
+	}
+	mem := 0
+	return func() (*vector.Batch, error) {
+		if filePull != nil {
+			b, err := filePull()
+			if err != nil || b != nil {
+				return b, err
+			}
+			filePull = nil
+		}
+		b := emitRows(st.rows, mem, ts)
+		if b == nil {
+			return nil, nil
+		}
+		mem += b.N
+		return b, nil
+	}
+}
+
+// close removes the run files and returns the reservation.
+func (st *rowStore) close() {
+	if st == nil {
+		return
+	}
+	if fs, ok := st.ctx.spillTarget(); ok {
+		for _, path := range st.runs {
+			fs.Remove(path, false)
+		}
+	}
+	st.rows, st.runs = nil, nil
+	st.res.Release()
+}
+
 // spillTarget reports where this query's operators may spill. ok is false
 // when the context has no scratch filesystem — then denial-driven spilling
 // is impossible and operators fall back to ForceGrow.

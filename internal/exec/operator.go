@@ -9,6 +9,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/dfs"
@@ -52,8 +53,10 @@ type Context struct {
 	// MemoryLimitRows aborts hash joins whose build side exceeds the
 	// limit, simulating executor memory pressure (drives reoptimization).
 	MemoryLimitRows int64
-	// spoolRows holds shared-work materializations keyed by spool id.
-	spoolRows map[int][][]types.Datum
+	// spools holds the shared-work materializations keyed by spool id
+	// (spool.go); spoolMu guards map access for parallel worker clones.
+	spoolMu sync.Mutex
+	spools  map[int]*sharedSpool
 	// DOP is the requested degree of intra-operator parallelism
 	// (hive.parallelism). 1 or 0 means serial execution.
 	DOP int
@@ -67,6 +70,11 @@ type Context struct {
 	// preserving merge (hive.sort.parallel). NewContext enables it, the
 	// server default.
 	SortParallel bool
+	// SpoolParallel lets the parallel planner admit spooled subtrees into
+	// worker pipelines: clones of one consumer split the published spool
+	// content through a shared cursor (hive.spool.parallel). NewContext
+	// enables it, the server default.
+	SpoolParallel bool
 	// Slots, when non-nil, is the LLAP executor pool parallel operators
 	// borrow additional workers from (paper §5.1). The coordinating
 	// fragment always owns one implicit slot, so execution never blocks
@@ -87,7 +95,7 @@ type Context struct {
 
 // NewContext returns an empty execution context.
 func NewContext() *Context {
-	return &Context{blooms: make(map[int]*RuntimeFilter), SortParallel: true}
+	return &Context{blooms: make(map[int]*RuntimeFilter), SortParallel: true, SpoolParallel: true}
 }
 
 // AcquireExtra grants up to n additional executor slots beyond the one the
@@ -391,78 +399,3 @@ func Drain(op Operator) ([][]types.Datum, error) {
 		}
 	}
 }
-
-// SpoolOp materializes a shared subtree once per query (shared work
-// optimizer, paper §4.5) and replays it for every consumer.
-type SpoolOp struct {
-	ID      int
-	Input   Operator
-	Ctx     *Context
-	emitted int
-}
-
-// Types implements Operator.
-func (s *SpoolOp) Types() []types.T { return s.Input.Types() }
-
-// Open implements Operator. Materialization is deferred to the first Next
-// so runtime semijoin reducers inside the shared subtree are not pulled
-// before their build sides have run.
-func (s *SpoolOp) Open() error {
-	s.emitted = 0
-	if s.Ctx.spoolRows == nil {
-		s.Ctx.spoolRows = map[int][][]types.Datum{}
-	}
-	return nil
-}
-
-func (s *SpoolOp) materialize() error {
-	if _, ok := s.Ctx.spoolRows[s.ID]; ok {
-		return nil // already materialized by a sibling
-	}
-	if err := s.Input.Open(); err != nil {
-		return err
-	}
-	defer s.Input.Close()
-	var rows [][]types.Datum
-	for {
-		b, err := s.Input.Next()
-		if err != nil {
-			return err
-		}
-		if b == nil {
-			break
-		}
-		for i := 0; i < b.N; i++ {
-			rows = append(rows, b.Row(i))
-		}
-	}
-	s.Ctx.spoolRows[s.ID] = rows
-	return nil
-}
-
-// Next implements Operator.
-func (s *SpoolOp) Next() (*vector.Batch, error) {
-	if err := s.materialize(); err != nil {
-		return nil, err
-	}
-	rows := s.Ctx.spoolRows[s.ID]
-	if s.emitted >= len(rows) {
-		return nil, nil
-	}
-	n := len(rows) - s.emitted
-	if n > vector.BatchSize {
-		n = vector.BatchSize
-	}
-	b := vector.NewBatch(s.Types(), n)
-	for i := 0; i < n; i++ {
-		for c, d := range rows[s.emitted+i] {
-			b.Cols[c].Set(i, d)
-		}
-	}
-	b.N = n
-	s.emitted += n
-	return b, nil
-}
-
-// Close implements Operator.
-func (s *SpoolOp) Close() error { return nil }

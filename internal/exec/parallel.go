@@ -466,6 +466,12 @@ func (p *parallelizer) sortParallel() bool {
 	return p.ctx == nil || p.ctx.SortParallel
 }
 
+// spoolParallel reports whether spooled subtrees may feed worker pipelines
+// (hive.spool.parallel), same nil-context default as sortParallel.
+func (p *parallelizer) spoolParallel() bool {
+	return p.ctx == nil || p.ctx.SpoolParallel
+}
+
 func (p *parallelizer) rec(op Operator) Operator {
 	switch x := op.(type) {
 	case *HashAggOp:
@@ -558,24 +564,34 @@ func (p *parallelizer) rec(op Operator) Operator {
 	return op
 }
 
+// spoolMorsels is the morsel count assumed for a spooled source: its row
+// count is unknown until runtime materialization, so admission assumes
+// enough batches to keep every worker busy and lets the shared cursor
+// starve surplus workers naturally when the spool turns out small.
+const spoolMorsels = 1 << 20
+
 // clonable reports whether op is a morsel pipeline — a chain of stateless
 // per-batch operators (filter, project, hashed join probe) over a table
-// scan — that can be cloned per worker. Right/full outer joins stay serial
-// (their unmatched-build emission is a global pass), as do nested-loop
-// probes and anything with shared mutable state (spools).
-func clonable(op Operator) bool {
+// scan or a published spool — that can be cloned per worker. Right/full
+// outer joins stay serial (their unmatched-build emission is a global
+// pass), as do nested-loop probes. Spools qualify when hive.spool.parallel
+// is on: materialization is single-flight and the published content is
+// immutable, so clones can split it through a shared cursor.
+func (p *parallelizer) clonable(op Operator) bool {
 	switch x := op.(type) {
 	case *ScanOp:
 		return true
+	case *SpoolOp:
+		return p.spoolParallel()
 	case *FilterOp:
-		return clonable(x.Input)
+		return p.clonable(x.Input)
 	case *ProjectOp:
-		return clonable(x.Input)
+		return p.clonable(x.Input)
 	case *HashJoinOp:
 		if x.Kind == plan.Right || x.Kind == plan.Full || len(x.LeftKeys) == 0 {
 			return false
 		}
-		return clonable(x.Left)
+		return p.clonable(x.Left)
 	}
 	return false
 }
@@ -586,6 +602,8 @@ func morselCount(op Operator) int {
 	switch x := op.(type) {
 	case *ScanOp:
 		return len(x.Splits)
+	case *SpoolOp:
+		return spoolMorsels
 	case *FilterOp:
 		return morselCount(x.Input)
 	case *ProjectOp:
@@ -603,7 +621,7 @@ func morselCount(op Operator) int {
 // receive a slot). The original operators are mutated to carry the shared
 // state and then templated.
 func (p *parallelizer) cloneWorkers(op Operator) ([]Operator, []statMerge, bool) {
-	if !clonable(op) {
+	if !p.clonable(op) {
 		return nil, nil, false
 	}
 	p.expandSplits(op)
@@ -705,13 +723,20 @@ func (p *parallelizer) expandScanSplits(s *ScanOp) {
 
 // prepareShared attaches the cross-worker state to the template pipeline:
 // scans get the shared split queue, joins get the shared build (whose own
-// input subtree is parallelized recursively).
+// input subtree is parallelized recursively), spools get the shared
+// consumption cursor their clones split the published content through.
 func (p *parallelizer) prepareShared(op Operator) {
 	switch x := op.(type) {
 	case *ScanOp:
 		if x.Shared == nil {
 			x.Shared = NewSplitQueue(x.Splits)
 			x.Splits = nil
+		}
+	case *SpoolOp:
+		if x.Cursor == nil {
+			x.Types() // resolve the schema while single-threaded
+			x.Cursor = &spoolCursor{}
+			x.Input = p.rec(x.Input)
 		}
 	case *FilterOp:
 		p.prepareShared(x.Input)
@@ -743,6 +768,10 @@ func clonePipeline(op Operator, merges *[]statMerge) Operator {
 			*merges = append(*merges, statMerge{from: ws, to: x.Stats})
 		}
 		return clone
+	case *SpoolOp:
+		// Clones share the input operator (only the single-flight
+		// materialization winner ever runs it) and the consumption cursor.
+		return &SpoolOp{ID: x.ID, Input: x.Input, Ctx: x.Ctx, Cursor: x.Cursor, ts: x.ts}
 	case *FilterOp:
 		return &FilterOp{Input: clonePipeline(x.Input, merges), Pred: x.Pred, Stats: x.Stats}
 	case *ProjectOp:

@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// genOp emits n rows (i, i*3) across many batches and counts its Opens, so
+// spool tests can assert single-flight materialization.
+type genOp struct {
+	n     int
+	opens atomic.Int64
+	pos   int
+}
+
+func (g *genOp) Types() []types.T { return []types.T{types.TBigint, types.TBigint} }
+func (g *genOp) Open() error      { g.opens.Add(1); g.pos = 0; return nil }
+func (g *genOp) Close() error     { return nil }
+func (g *genOp) Next() (*vector.Batch, error) {
+	if g.pos >= g.n {
+		return nil, nil
+	}
+	n := g.n - g.pos
+	if n > vector.BatchSize {
+		n = vector.BatchSize
+	}
+	b := vector.NewBatch(g.Types(), n)
+	for i := 0; i < n; i++ {
+		b.Cols[0].Set(i, types.NewBigint(int64(g.pos+i)))
+		b.Cols[1].Set(i, types.NewBigint(int64(g.pos+i)*3))
+	}
+	b.N = n
+	g.pos += n
+	return b, nil
+}
+
+// drainSpool pulls every row's first column out of one consumer.
+func drainSpool(t *testing.T, op Operator) []int64 {
+	t.Helper()
+	rows, err := Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].I
+	}
+	return out
+}
+
+// TestSpoolSingleFlightReplay runs many full-replay consumers of one spool
+// concurrently: the input must open exactly once and every consumer must
+// see every row in order. Run under -race this is the concurrency-safety
+// proof for the shared materialization.
+func TestSpoolSingleFlightReplay(t *testing.T) {
+	for _, budget := range []int64{0, 4096} {
+		env := newSpillEnv(budget)
+		in := &genOp{n: 3000}
+		const consumers = 8
+		var wg sync.WaitGroup
+		results := make([][]int64, consumers)
+		for c := 0; c < consumers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				sp := &SpoolOp{ID: 7, Input: in, Ctx: env.ctx}
+				results[c] = drainSpool(t, sp)
+			}(c)
+		}
+		wg.Wait()
+		if got := in.opens.Load(); got != 1 {
+			t.Fatalf("budget=%d: input opened %d times, want 1 (single-flight)", budget, got)
+		}
+		for c, got := range results {
+			if len(got) != 3000 {
+				t.Fatalf("budget=%d consumer %d: %d rows, want 3000", budget, c, len(got))
+			}
+			for i, v := range got {
+				if v != int64(i) {
+					t.Fatalf("budget=%d consumer %d: row %d = %d, want %d (replay must preserve arrival order)", budget, c, i, v, i)
+				}
+			}
+		}
+		if budget > 0 && env.ctx.Governor().SpilledBytes() == 0 {
+			t.Fatalf("4K budget over 3000 rows did not spill the spool")
+		}
+		env.ctx.CloseSpools()
+		if leaks := env.leakedFiles(t); len(leaks) != 0 {
+			t.Fatalf("budget=%d: CloseSpools leaked %v", budget, leaks)
+		}
+	}
+}
+
+// TestSpoolCursorSplitsContent drives one consumer's worker clones through
+// a shared cursor: every row must reach exactly one clone and the union
+// must be the full content — the invariant that lets the parallel planner
+// admit spooled subtrees into worker pipelines.
+func TestSpoolCursorSplitsContent(t *testing.T) {
+	for _, budget := range []int64{0, 4096} {
+		env := newSpillEnv(budget)
+		in := &genOp{n: 5000}
+		cursor := &spoolCursor{}
+		const clones = 6
+		var wg sync.WaitGroup
+		parts := make([][]int64, clones)
+		for c := 0; c < clones; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				sp := &SpoolOp{ID: 3, Input: in, Ctx: env.ctx, Cursor: cursor}
+				parts[c] = drainSpool(t, sp)
+			}(c)
+		}
+		wg.Wait()
+		if got := in.opens.Load(); got != 1 {
+			t.Fatalf("budget=%d: input opened %d times, want 1", budget, got)
+		}
+		seen := make(map[int64]int)
+		total := 0
+		for _, part := range parts {
+			total += len(part)
+			for _, v := range part {
+				seen[v]++
+			}
+		}
+		if total != 5000 {
+			t.Fatalf("budget=%d: clones saw %d rows total, want 5000 (each row exactly once)", budget, total)
+		}
+		for v, n := range seen {
+			if n != 1 {
+				t.Fatalf("budget=%d: row %d delivered %d times", budget, v, n)
+			}
+		}
+		env.ctx.CloseSpools()
+		if leaks := env.leakedFiles(t); len(leaks) != 0 {
+			t.Fatalf("budget=%d: leaked %v", budget, leaks)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+//go:build stress
+
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestWindowSpillOperatorRandomSeed is the seed-randomized twin of
+// TestWindowSpillOperatorEquivalence.
+func TestWindowSpillOperatorRandomSeed(t *testing.T) {
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 200; trial++ {
+		runWindowOperatorTrial(t, rng)
+	}
+}

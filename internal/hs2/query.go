@@ -467,6 +467,7 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 		Ctx:             ctx,
 		TargetStripes:   int(s.confInt("hive.split.target.stripes")),
 		SerialSort:      !s.confBool("hive.sort.parallel"),
+		SerialSpool:     !s.confBool("hive.spool.parallel"),
 	}
 	op, shape := runner.Prepare(op)
 	return runner.Run(op, shape)

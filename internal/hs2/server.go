@@ -103,11 +103,18 @@ func NewServer(cfg Config) *Server {
 			// order-preserving loser-tree exchange. false keeps the sort
 			// on the coordinator.
 			"hive.sort.parallel": "true",
+			// Shared-work spools feeding parallel regions: worker clones
+			// of one consumer split the published spool content through a
+			// shared cursor (materialization itself is single-flight).
+			// false keeps spooled subtrees on serial pipelines.
+			"hive.spool.parallel": "true",
 			// Per-query memory budget in bytes for the blocking operators
-			// (sort, hash aggregate, hash join build). 0 means unlimited;
-			// a positive budget makes Sort spill sorted runs, HashAgg
-			// spill partitioned partials and hash joins Grace-partition to
-			// the query scratch directory instead of growing past it.
+			// (sort, hash aggregate, hash join build, window, spool). 0
+			// means unlimited; a positive budget makes Sort spill sorted
+			// runs, HashAgg spill partitioned partials, hash joins
+			// Grace-partition, windows run an external partition pass and
+			// spools flush their replay buffer to the query scratch
+			// directory instead of growing past it.
 			"hive.query.max.memory": "0",
 		},
 	}

@@ -1,0 +1,59 @@
+package txn
+
+import "testing"
+
+// TestValidWriteIdsAbortedSubset checks that reader and compactor write-id
+// lists single out aborted writes from still-open ones: both are invalid,
+// but only aborted ids land in the Aborted set.
+func TestValidWriteIdsAbortedSubset(t *testing.T) {
+	m := NewManager()
+
+	committed := m.Begin()
+	wCommitted, _ := m.AllocateWriteId(committed, "t")
+	if err := m.Commit(committed); err != nil {
+		t.Fatal(err)
+	}
+
+	aborted := m.Begin()
+	wAborted, _ := m.AllocateWriteId(aborted, "t")
+	if err := m.Abort(aborted); err != nil {
+		t.Fatal(err)
+	}
+
+	open := m.Begin()
+	wOpen, _ := m.AllocateWriteId(open, "t")
+
+	v := m.GetValidWriteIds("t", m.GetSnapshot())
+	if !v.Valid(wCommitted) {
+		t.Errorf("committed write %d not valid", wCommitted)
+	}
+	if v.Valid(wAborted) || !v.AbortedWrite(wAborted) {
+		t.Errorf("aborted write %d: valid=%v aborted=%v, want invalid+aborted", wAborted, v.Valid(wAborted), v.AbortedWrite(wAborted))
+	}
+	if v.Valid(wOpen) || v.AbortedWrite(wOpen) {
+		t.Errorf("open write %d: valid=%v aborted=%v, want invalid+not-aborted", wOpen, v.Valid(wOpen), v.AbortedWrite(wOpen))
+	}
+
+	// A transaction aborting after the snapshot was taken is still marked
+	// aborted: aborts are final, the data was never visible.
+	lateAbort := m.Begin()
+	wLate, _ := m.AllocateWriteId(lateAbort, "t")
+	snap := m.GetSnapshot()
+	if err := m.Abort(lateAbort); err != nil {
+		t.Fatal(err)
+	}
+	v = m.GetValidWriteIds("t", snap)
+	if v.Valid(wLate) || !v.AbortedWrite(wLate) {
+		t.Errorf("late-aborted write %d: valid=%v aborted=%v", wLate, v.Valid(wLate), v.AbortedWrite(wLate))
+	}
+
+	// Compactor view: aborted ids are invalid+aborted, open ids bound the
+	// high watermark.
+	cv := m.CompactorValidWriteIds("t")
+	if !cv.AbortedWrite(wAborted) {
+		t.Errorf("compactor view misses aborted write %d", wAborted)
+	}
+	if cv.HighWater >= wOpen {
+		t.Errorf("compactor high water %d reaches open write %d", cv.HighWater, wOpen)
+	}
+}

@@ -75,6 +75,14 @@ type ValidWriteIds struct {
 	Table     string
 	HighWater int64
 	Invalid   map[int64]bool
+	// Aborted marks the subset of Invalid whose transactions have aborted.
+	// An abort is final, so these write ids are permanently dead — unlike
+	// still-open ids, which may yet commit. Readers use the distinction for
+	// base-file selection: compaction excludes aborted data, so a compacted
+	// base whose watermark only skips over aborted ids is safe to read,
+	// while one covering a still-open (or invisible-but-committed) write is
+	// not. Delete-delta loading prunes aborted deleters the same way.
+	Aborted map[int64]bool
 }
 
 // Valid reports whether a row stamped with writeID is visible.
@@ -83,6 +91,12 @@ func (v ValidWriteIds) Valid(writeID int64) bool {
 		return false
 	}
 	return !v.Invalid[writeID]
+}
+
+// AbortedWrite reports whether writeID belongs to an aborted transaction —
+// permanently invisible, as opposed to merely invisible to this snapshot.
+func (v ValidWriteIds) AbortedWrite(writeID int64) bool {
+	return v.Aborted[writeID]
 }
 
 // ErrConflict is returned by Commit when first-commit-wins resolution
@@ -257,22 +271,28 @@ func (m *Manager) TxnStatus(txnID int64) (Status, bool) {
 // GetValidWriteIds projects a snapshot onto one table (paper §3.2): the
 // returned list has the table's WriteId high watermark and the invalid
 // WriteIds (those of open/aborted transactions or of transactions above
-// the snapshot's high watermark).
+// the snapshot's high watermark), with the aborted subset singled out so
+// readers can tell permanently-dead writes from still-pending ones.
 func (m *Manager) GetValidWriteIds(table string, snap Snapshot) ValidWriteIds {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := ValidWriteIds{Table: table, Invalid: make(map[int64]bool)}
+	out := ValidWriteIds{Table: table, Invalid: make(map[int64]bool), Aborted: make(map[int64]bool)}
 	for _, rec := range m.tableWrites[table] {
 		if rec.writeID > out.HighWater {
 			out.HighWater = rec.writeID
 		}
-		if rec.txnID > snap.HighWater || snap.Invalid[rec.txnID] {
+		// An abort is final, so "aborted now" marks the write dead even if
+		// the snapshot predates the abort (the data was never visible).
+		aborted := false
+		if st, ok := m.txns[rec.txnID]; ok && st.status == StatusAborted {
+			aborted = true
+		}
+		if aborted {
 			out.Invalid[rec.writeID] = true
+			out.Aborted[rec.writeID] = true
 			continue
 		}
-		// Also invalid if the transaction aborted after the snapshot was
-		// taken but is known aborted now and was invalid in the snapshot.
-		if st, ok := m.txns[rec.txnID]; ok && st.status == StatusAborted {
+		if rec.txnID > snap.HighWater || snap.Invalid[rec.txnID] {
 			out.Invalid[rec.writeID] = true
 		}
 	}
@@ -286,7 +306,7 @@ func (m *Manager) GetValidWriteIds(table string, snap Snapshot) ValidWriteIds {
 func (m *Manager) CompactorValidWriteIds(table string) ValidWriteIds {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := ValidWriteIds{Table: table, Invalid: make(map[int64]bool)}
+	out := ValidWriteIds{Table: table, Invalid: make(map[int64]bool), Aborted: make(map[int64]bool)}
 	// High watermark: largest prefix of writeids whose txns are resolved.
 	recs := append([]writeRecord(nil), m.tableWrites[table]...)
 	sort.Slice(recs, func(i, j int) bool { return recs[i].writeID < recs[j].writeID })
@@ -297,6 +317,7 @@ func (m *Manager) CompactorValidWriteIds(table string) ValidWriteIds {
 			return out
 		case StatusAborted:
 			out.Invalid[rec.writeID] = true
+			out.Aborted[rec.writeID] = true
 			out.HighWater = rec.writeID
 		default:
 			out.HighWater = rec.writeID

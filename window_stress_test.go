@@ -1,0 +1,21 @@
+//go:build stress
+
+package hive
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestWindowSpillPropertyRandomSeed is the seed-randomized twin of
+// TestWindowSpillProperty: each `go test -tags stress` run exercises fresh
+// row counts, tie shapes and budgets (the hll pattern).
+func TestWindowSpillPropertyRandomSeed(t *testing.T) {
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 20; trial++ {
+		runWindowSpillTrial(t, rng)
+	}
+}
