@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race spill bench
+.PHONY: check build test vet race spill hammer bench
 
 # check is the CI gate: vet, build, a -race short-test pass over every
 # package (catches data races in the parallel scan/agg/join paths, the
@@ -30,6 +30,15 @@ test:
 spill:
 	$(GO) test -run 'Spill|ExternalSort|BeyondMemory|Governor|ScratchCleanup|MemoryTriggers|WindowSpill|SpoolS' ./internal/exec ./internal/wm .
 	$(GO) test -race -run 'SpoolSingleFlight|SpoolCursor|SpoolSharedParallelRace' ./internal/exec .
+
+# hammer is the multi-tenant overload gate: ~200 concurrent sessions
+# across two memory-budgeted WM pools (tiny lookups + beyond-memory
+# aggregations) under -race, plus the admission accounting invariants,
+# queue-timeout/cancel paths and the query-timeout release test. The
+# -short variant of the same tests rides every `make check` via the
+# race target.
+hammer:
+	$(GO) test -race -count=1 -run 'AdmissionHammer|QueryTimeoutReleasesAdmission|SessionCloseCancelsQuery|AccountingInvariants|QueueTimeout|QueueDeadline|BoundedQueue|AdmitContextCanceled' ./internal/wm .
 
 # bench reruns the paper figures, the parallel speedup numbers and the
 # beyond-memory (spilling) cases. Filter the parallel-speedup and

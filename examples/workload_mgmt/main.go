@@ -11,7 +11,7 @@ import (
 )
 
 func main() {
-	wh, err := hive.Open(hive.Config{Executors: 16})
+	wh, err := hive.Open(hive.Config{Executors: 16, MemoryBytes: 64 << 20})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -20,8 +20,8 @@ func main() {
 
 	for _, stmt := range []string{
 		`CREATE RESOURCE PLAN daytime`,
-		`CREATE POOL daytime.bi WITH alloc_fraction=0.8, query_parallelism=5`,
-		`CREATE POOL daytime.etl WITH alloc_fraction=0.2, query_parallelism=20`,
+		`CREATE POOL daytime.bi WITH alloc_fraction=0.8, query_parallelism=5, memory_fraction=0.7`,
+		`CREATE POOL daytime.etl WITH alloc_fraction=0.2, query_parallelism=20, memory_fraction=0.3`,
 		`CREATE RULE downgrade IN daytime WHEN total_runtime > 3000 THEN MOVE etl`,
 		`ADD RULE downgrade TO bi`,
 		`CREATE APPLICATION MAPPING visualization_app IN daytime TO bi`,
@@ -42,7 +42,13 @@ func main() {
 	fmt.Println("\nBI query result (admitted via pool bi):")
 	fmt.Println(res)
 
+	// With Config.MemoryBytes set, each pool also holds a memory budget
+	// (memory_fraction share) that admission reserves estimated peaks
+	// against; Stats exposes the full accounting.
 	mgr := wh.Server().WorkloadManager()
-	running, inUse, execs, _ := mgr.PoolSnapshot("bi")
-	fmt.Printf("\npool bi: %d running, %d executors in use of %d\n", running, inUse, execs)
+	for _, pool := range []string{"bi", "etl"} {
+		st, _ := mgr.Stats(pool)
+		fmt.Printf("\npool %s: %d running, %d/%d executors in use, %d of %d budget bytes reserved\n",
+			pool, st.Running, st.ExecInUse, st.Executors, st.MemInUse, st.MemBudget)
+	}
 }

@@ -32,6 +32,9 @@ type Config struct {
 	Executors int
 	// CacheBytes is the LLAP data cache capacity (default 64 MiB).
 	CacheBytes int64
+	// MemoryBytes is the aggregate memory budget workload-management
+	// pools admit queries against (0 = memory admission off).
+	MemoryBytes int64
 	// DiskLatency enables the simulated storage latency model, making
 	// I/O savings (caching, pushdown) visible in wall-clock time.
 	DiskLatency bool
@@ -53,9 +56,10 @@ func Open(cfg Config) (*Warehouse, error) {
 		fs.SetLatency(DefaultLatency())
 	}
 	srv := hs2.NewServer(hs2.Config{
-		FS:         fs,
-		Executors:  cfg.Executors,
-		CacheBytes: cfg.CacheBytes,
+		FS:          fs,
+		Executors:   cfg.Executors,
+		CacheBytes:  cfg.CacheBytes,
+		MemoryBytes: cfg.MemoryBytes,
 	})
 	store := druid.NewStore()
 	dsrv, err := druid.NewServer(store)
@@ -122,6 +126,10 @@ func (s *Session) MustExec(sql string) *Result {
 
 // SetConf sets a session configuration key, e.g. hive.profile=1.2.
 func (s *Session) SetConf(key, value string) { s.inner.SetConf(key, value) }
+
+// Close ends the session, canceling any query it has queued or running
+// (the workload manager releases its admission and queue position).
+func (s *Session) Close() { s.inner.Close() }
 
 // SetUser identifies the session for workload management mappings.
 func (s *Session) SetUser(user, application string) {

@@ -213,7 +213,9 @@ func (r *Runner) Run(op exec.Operator, d DAG) ([][]types.Datum, error) {
 			defer release()
 		}
 	}
-	rows, err := exec.Drain(op)
+	// Drain with cancellation: the exec context's GoCtx (session close,
+	// hive.query.timeout) stops the pipeline between batches.
+	rows, err := exec.DrainContext(r.Ctx, op)
 	if r.Ctx != nil {
 		// Shared spools outlive any single consumer's Close (a join build
 		// side closes before the probe replays); reclaim them now that the

@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,22 @@ type Context struct {
 	FS         *dfs.FS
 	ScratchDir string
 	spillSeq   atomic.Int64
+	// GoCtx carries the query's cancellation signal (client disconnect,
+	// session close, hive.query.timeout). Operators with long row loops
+	// check it between batches; nil means never canceled.
+	GoCtx context.Context
+}
+
+// CheckCanceled reports the query's cancellation as an error, nil while
+// the query may keep running. Cheap enough to call once per batch.
+func (c *Context) CheckCanceled() error {
+	if c == nil || c.GoCtx == nil {
+		return nil
+	}
+	if err := c.GoCtx.Err(); err != nil {
+		return fmt.Errorf("exec: query canceled: %w", err)
+	}
+	return nil
 }
 
 // NewContext returns an empty execution context.
@@ -381,12 +398,23 @@ func (l *LimitOp) Close() error { return l.Input.Close() }
 // Drain pulls every batch of an operator tree and returns the rows as
 // datum slices (convenience for tests and result fetching).
 func Drain(op Operator) ([][]types.Datum, error) {
+	return DrainContext(nil, op)
+}
+
+// DrainContext is Drain with per-batch cancellation checks against the
+// context's GoCtx: a timed-out or disconnected query stops between
+// batches, and the deferred Close releases operator state (governor
+// reservations, spill files) on the way out.
+func DrainContext(c *Context, op Operator) ([][]types.Datum, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
 	defer op.Close()
 	var out [][]types.Datum
 	for {
+		if err := c.CheckCanceled(); err != nil {
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, err

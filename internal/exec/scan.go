@@ -134,6 +134,12 @@ func (s *ScanOp) Next() (*vector.Batch, error) {
 			s.Splits = s.pruneList(s.Splits)
 		}
 	}
+	// Scans are where long queries spend their input phase, so this is the
+	// cancellation point that makes hive.query.timeout and client
+	// disconnects effective even under a blocking operator upstream.
+	if err := s.Ctx.CheckCanceled(); err != nil {
+		return nil, err
+	}
 	for {
 		if len(s.pending) > 0 {
 			b := s.pending[0]

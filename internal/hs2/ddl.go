@@ -303,6 +303,7 @@ func (s *Session) executeWM(st sql.Statement) (*Result, error) {
 	case *sql.CreatePoolStmt:
 		return &Result{}, ms.AddPool(x.Plan, metastore.Pool{
 			Name: x.Pool, AllocFraction: x.AllocFraction, QueryParallelism: x.QueryParallelism,
+			MemFraction: x.MemFraction,
 		})
 	case *sql.CreateRuleStmt:
 		action := metastore.ActionMoveToPool
@@ -326,7 +327,7 @@ func (s *Session) executeWM(st sql.Statement) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			mgr, err := wm.NewManager(p, s.srv.Daemons.Executors())
+			mgr, err := wm.NewManagerWithMemory(p, s.srv.Daemons.Executors(), s.srv.memoryBytes)
 			if err != nil {
 				return nil, err
 			}

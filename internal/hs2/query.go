@@ -1,6 +1,7 @@
 package hs2
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/sql"
 	"repro/internal/txn"
 	"repro/internal/types"
+	"repro/internal/wm"
 )
 
 type planRel = plan.Rel
@@ -369,16 +371,32 @@ func (s *Session) executeQuery(sel *sql.SelectStmt, text string) (*Result, error
 
 // runPlan compiles the physical plan, chooses a runtime mode, executes
 // with workload-management admission, and reoptimizes on runtime errors.
+// The whole run — including the admission queue wait — is bounded by the
+// session's hive.query.timeout and canceled by Session.Close.
 func (s *Session) runPlan(rel plan.Rel) ([][]types.Datum, error) {
-	release, pool, err := s.admission()
+	qctx := s.ctx
+	if qctx == nil {
+		qctx = context.Background()
+	}
+	if ms := s.confInt("hive.query.timeout"); ms > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+	// The digest keys the workload manager's peak-memory history: repeats
+	// of a plan shape are admitted against their observed footprint.
+	digest := s.db + "|" + rel.Digest()
+	adm, pool, err := s.admission(qctx, digest)
 	if err != nil {
 		return nil, err
 	}
-	defer release()
+	if adm != nil {
+		defer adm.Release()
+	}
 	start := time.Now()
 
 	memLimit := s.confInt("hive.exec.memory.limit.rows")
-	rows, err := s.runOnce(rel, memLimit)
+	rows, err := s.runOnce(qctx, rel, memLimit, adm)
 	if err != nil {
 		if _, pressure := err.(exec.ErrMemoryPressure); pressure && s.confBool("hive.query.reexecution.enabled") {
 			// Paper §4.2: reexecute with overlay configuration (more
@@ -387,11 +405,17 @@ func (s *Session) runPlan(rel plan.Rel) ([][]types.Datum, error) {
 			if s.Conf("hive.query.reexecution.strategy") == "reoptimize" {
 				rel = opt.New(s.srv.MS, s.optimizerOptions()).Optimize(rel)
 			}
-			rows, err = s.runOnce(rel, 0)
+			rows, err = s.runOnce(qctx, rel, 0, adm)
 		}
-		if err != nil {
-			return nil, err
-		}
+	}
+	// Feed the observed peak back into the admission estimate history —
+	// the governor accounts peaks even for failed runs, and a killed
+	// memory hog is exactly what the next admission should know about.
+	if mgr := s.srv.WorkloadManager(); mgr != nil && pool != "" {
+		mgr.Observe(digest, s.LastPeakMemoryBytes)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if terr := s.checkTriggers(pool, time.Since(start)); terr != nil {
 		return nil, terr
@@ -399,7 +423,7 @@ func (s *Session) runPlan(rel plan.Rel) ([][]types.Datum, error) {
 	return rows, nil
 }
 
-func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error) {
+func (s *Session) runOnce(qctx context.Context, rel plan.Rel, memLimit int64, adm *wm.Admission) ([][]types.Datum, error) {
 	ctx := exec.NewContext()
 	ctx.MemoryLimitRows = memLimit
 	mode := dag.ModeLLAP
@@ -420,6 +444,12 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 		if dop <= 0 {
 			dop = runtime.NumCPU()
 		}
+		// The admission's DOP is a cap, not a grant: a degraded admission
+		// runs the query narrower so a saturated pool degrades instead of
+		// oversubscribing executors.
+		if adm != nil && adm.DOP > 0 && dop > adm.DOP {
+			dop = adm.DOP
+		}
 		ctx.DOP = dop
 		ctx.Slots = s.srv.Daemons
 	}
@@ -431,7 +461,16 @@ func (s *Session) runOnce(rel plan.Rel, memLimit int64) ([][]types.Datum, error)
 	// directory would let the first finisher's sweep delete the other's
 	// live spill files.
 	scratch := fmt.Sprintf("%s/_scratch/q%d_%d", s.srv.MS.Root(), time.Now().UnixNano(), s.srv.querySeq.Add(1))
-	ctx.Mem = exec.NewGovernor(s.confInt("hive.query.max.memory"))
+	// The admission's QueryBudget makes the reservation sound: the
+	// governor denies growth past what the pool granted, so the query
+	// spills instead of blowing the pool's aggregate budget. An explicit
+	// smaller session budget still wins.
+	budget := s.confInt("hive.query.max.memory")
+	if adm != nil && adm.QueryBudget > 0 && (budget <= 0 || adm.QueryBudget < budget) {
+		budget = adm.QueryBudget
+	}
+	ctx.GoCtx = qctx
+	ctx.Mem = exec.NewGovernor(budget)
 	ctx.FS = s.srv.FS
 	ctx.ScratchDir = scratch
 	defer func() {

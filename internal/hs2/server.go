@@ -10,6 +10,7 @@
 package hs2
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -34,6 +35,10 @@ type Config struct {
 	WarehouseRoot string  // default /warehouse
 	Executors     int     // LLAP executor pool size; default 8
 	CacheBytes    int64   // LLAP cache capacity; default 64 MiB
+	// MemoryBytes is the aggregate memory budget workload-management
+	// pools admit queries against (paper §4.4). 0 disables memory
+	// admission: resource plans gate on executor slots only, as before.
+	MemoryBytes int64
 }
 
 // Server is the embedded HiveServer2 plus its LLAP deployment.
@@ -46,9 +51,10 @@ type Server struct {
 	Daemons   *llap.Daemons
 	Results   *resultcache.Cache
 
-	mu       sync.Mutex
-	wmgr     *wm.Manager
-	defaults map[string]string
+	mu          sync.Mutex
+	wmgr        *wm.Manager
+	memoryBytes int64
+	defaults    map[string]string
 	// querySeq disambiguates per-query scratch directories across
 	// concurrent sessions (a wall-clock tick alone can collide).
 	querySeq atomic.Int64
@@ -116,8 +122,19 @@ func NewServer(cfg Config) *Server {
 			// spools flush their replay buffer to the query scratch
 			// directory instead of growing past it.
 			"hive.query.max.memory": "0",
+			// Per-query wall-clock deadline in milliseconds, covering
+			// admission queueing and execution. 0 means no deadline. A
+			// timed-out query releases its admission, its governor
+			// reservations and its scratch directory.
+			"hive.query.timeout": "0",
+			// How long a query waits in a pool's admission queue before
+			// degrading (memory pressure: admitted at reduced DOP with a
+			// shrunken budget so it spills) or failing (concurrency cap
+			// still exhausted).
+			"hive.wm.queue.timeout.ms": "30000",
 		},
 	}
+	s.memoryBytes = cfg.MemoryBytes
 	return s
 }
 
@@ -134,6 +151,8 @@ type Session struct {
 	srv         *Server
 	db          string
 	conf        map[string]string
+	ctx         context.Context
+	cancel      context.CancelFunc
 	User        string
 	Application string
 	// LastRewriteUsedMV reports whether the previous query was answered
@@ -155,7 +174,17 @@ type Session struct {
 
 // NewSession opens a session in the default database.
 func (s *Server) NewSession() *Session {
-	return &Session{srv: s, db: "default", conf: map[string]string{}}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Session{srv: s, db: "default", conf: map[string]string{}, ctx: ctx, cancel: cancel}
+}
+
+// Close ends the session: a query queued for admission or executing on
+// this session's behalf is canceled and releases its resources (client
+// disconnects must not wedge a pool's admission queue).
+func (s *Session) Close() {
+	if s.cancel != nil {
+		s.cancel()
+	}
 }
 
 // Conf reads a configuration key (session overlay over server defaults).
@@ -245,21 +274,27 @@ func (s *Session) mvRewriter() *mv.Rewriter {
 	}
 }
 
-// admission acquires workload-manager resources when a plan is active.
-func (s *Session) admission() (release func(), pool string, err error) {
+// admission acquires workload-manager resources when a plan is active:
+// the query's plan digest keys the peak-memory estimate history, and the
+// context covers queue waits (client disconnect or deadline removes the
+// waiter). A nil admission with no error means no plan gates this query.
+func (s *Session) admission(ctx context.Context, digest string) (adm *wm.Admission, pool string, err error) {
 	mgr := s.srv.WorkloadManager()
 	if mgr == nil {
-		return func() {}, "", nil
+		return nil, "", nil
 	}
 	pool = mgr.PoolFor(s.User, s.Application)
 	if pool == "" {
-		return func() {}, "", nil
+		return nil, "", nil
 	}
-	adm, err := mgr.Admit(pool)
+	adm, err = mgr.Admit(ctx, pool, wm.AdmitRequest{
+		Digest:       digest,
+		QueueTimeout: time.Duration(s.confInt("hive.wm.queue.timeout.ms")) * time.Millisecond,
+	})
 	if err != nil {
 		return nil, "", err
 	}
-	return adm.Release, pool, nil
+	return adm, pool, nil
 }
 
 // checkTriggers evaluates workload triggers after execution; a KILL

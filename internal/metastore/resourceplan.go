@@ -30,6 +30,11 @@ type Pool struct {
 	Name             string
 	AllocFraction    float64
 	QueryParallelism int
+	// MemFraction is the pool's share of the cluster memory budget for
+	// admission control (paper §4.4). 0 inherits AllocFraction, so plans
+	// written before memory-aware admission keep splitting memory the way
+	// they split executors.
+	MemFraction float64
 }
 
 // Mapping routes incoming queries to pools by user, group or application.
@@ -87,12 +92,20 @@ func (m *Metastore) AddPool(plan string, pool Pool) error {
 	if pool.QueryParallelism <= 0 {
 		return fmt.Errorf("metastore: pool %s needs positive query_parallelism", pool.Name)
 	}
+	if pool.MemFraction < 0 || pool.MemFraction > 1 {
+		return fmt.Errorf("metastore: pool %s memory_fraction outside [0,1]", pool.Name)
+	}
 	total := pool.AllocFraction
+	memTotal := pool.MemFraction
 	for _, existing := range p.Pools {
 		total += existing.AllocFraction
+		memTotal += existing.MemFraction
 	}
 	if total > 1.0+1e-9 {
 		return fmt.Errorf("metastore: plan %s pools exceed 100%% allocation", plan)
+	}
+	if memTotal > 1.0+1e-9 {
+		return fmt.Errorf("metastore: plan %s pools exceed 100%% memory allocation", plan)
 	}
 	p.Pools[pool.Name] = &pool
 	return nil

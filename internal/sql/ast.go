@@ -470,12 +470,13 @@ type CreateResourcePlanStmt struct{ Name string }
 func (*CreateResourcePlanStmt) stmt() {}
 
 // CreatePoolStmt is CREATE POOL plan.pool WITH alloc_fraction=..,
-// query_parallelism=...
+// query_parallelism=.., memory_fraction=...
 type CreatePoolStmt struct {
 	Plan             string
 	Pool             string
 	AllocFraction    float64
 	QueryParallelism int
+	MemFraction      float64
 }
 
 func (*CreatePoolStmt) stmt() {}

@@ -811,6 +811,12 @@ func (p *parser) parseCreatePool() (Statement, error) {
 				return nil, p.errf("bad query_parallelism %q", val)
 			}
 			st.QueryParallelism = n
+		case "memory_fraction":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, p.errf("bad memory_fraction %q", val)
+			}
+			st.MemFraction = f
 		default:
 			return nil, p.errf("unknown pool option %q", key)
 		}

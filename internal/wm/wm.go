@@ -1,13 +1,28 @@
 // Package wm implements the LLAP workload manager (paper §5.2): resource
-// plans with pools (a fraction of cluster executors plus a query
-// concurrency cap), mappings that route queries to pools, and triggers that
-// move or kill queries based on runtime metrics. Idle pool resources can be
-// borrowed by queries from other pools until the owning pool claims them.
+// plans with pools (a fraction of cluster executors, a fraction of cluster
+// memory, and a query concurrency cap), mappings that route queries to
+// pools, and triggers that move or kill queries based on runtime metrics.
+//
+// Admission is memory-aware (paper §4.4): every query reserves an estimate
+// of its peak memory against its pool's aggregate budget before it runs.
+// The first run of a plan digest reserves a conservative share; repeats
+// reserve from a per-digest peak-memory history fed back by the executor's
+// memory governor (Observe). A pool whose budget is exhausted degrades
+// gracefully instead of rejecting: queries wait in a bounded, FIFO,
+// context-aware queue, and when the queue deadline expires (or the queue
+// overflows) they are admitted anyway at reduced DOP with a shrunken
+// per-query budget — they spill instead of waiting. Idle pools lend unused
+// headroom (executors and bytes) to busy ones; loans are tracked per
+// admission and returned to the owning pool on release, and a pool with
+// waiters never lends, which is what reclaims its headroom on demand.
 package wm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/metastore"
 )
@@ -22,6 +37,21 @@ const (
 	ActionKill
 )
 
+// Admission-queue failures. Both leave the pool's accounting untouched.
+var (
+	// ErrQueueFull is returned when a pool's bounded admission queue
+	// overflows and no concurrency slot is free to degrade into.
+	ErrQueueFull = errors.New("wm: admission queue full")
+	// ErrQueueTimeout is returned when a queued query's deadline expires
+	// while the pool's concurrency cap (a hard cap, unlike memory) is
+	// still exhausted.
+	ErrQueueTimeout = errors.New("wm: admission queue timeout")
+)
+
+// minReserve is the smallest memory reservation an admission carries: below
+// this, estimate noise would admit unbounded concurrency.
+const minReserve = 64 << 10
+
 // QueryMetrics feeds trigger evaluation. PeakMemoryBytes and SpilledBytes
 // come from the query's memory governor (paper §4.4: resource-plan
 // guardrails act on runtime metrics), so plans can move or kill queries
@@ -33,37 +63,115 @@ type QueryMetrics struct {
 	SpilledBytes    int64
 }
 
+// waiter is one queued admission request. ready is buffered so the pump
+// can hand over an admission without blocking under the manager lock.
+type waiter struct {
+	digest string
+	est    int64
+	ready  chan *Admission
+}
+
 type poolState struct {
 	pool      metastore.Pool
 	executors int
-	inUse     int
+	memBudget int64 // 0 = unlimited (no memory admission)
 	running   int
-	waiters   int
+	execInUse int   // own executors granted to admissions homed here
+	execLent  int   // own executors lent to other pools' admissions
+	memInUse  int64 // own bytes reserved by admissions homed here
+	memLent   int64 // own bytes lent to other pools' admissions
+	queue     []*waiter
+}
+
+func (ps *poolState) execAvail() int {
+	n := ps.executors - ps.execInUse - ps.execLent
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func (ps *poolState) memAvail() int64 {
+	n := ps.memBudget - ps.memInUse - ps.memLent
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// degradeFloor is the minimal budget a degraded admission runs with even
+// when the pool is fully reserved; it bounds the pool's overdraft to one
+// floor per degraded admission.
+func (ps *poolState) degradeFloor() int64 {
+	f := ps.memBudget / 8
+	if f < minReserve {
+		f = minReserve
+	}
+	return f
+}
+
+// digestStats is the observed peak-memory history of one plan digest.
+type digestStats struct {
+	peak int64
+	runs int64
 }
 
 // Manager admits queries to pools and evaluates triggers.
 type Manager struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	plan  *metastore.ResourcePlan
-	total int
-	pools map[string]*poolState
+	mu       sync.Mutex
+	plan     *metastore.ResourcePlan
+	total    int
+	totalMem int64
+	pools    map[string]*poolState
+	history  map[string]*digestStats
+	peakMem  int64 // high-water of globally reserved bytes (observability)
+
+	// QueueLimit bounds each pool's admission queue (waiters beyond it
+	// degrade or fail). 0 derives 4x the pool's query parallelism,
+	// minimum 16. Set before concurrent use.
+	QueueLimit int
 }
 
 // NewManager instantiates the active resource plan over a cluster with the
-// given total executor count.
+// given total executor count and no memory budget (memory admission off).
 func NewManager(plan *metastore.ResourcePlan, totalExecutors int) (*Manager, error) {
+	return NewManagerWithMemory(plan, totalExecutors, 0)
+}
+
+// NewManagerWithMemory instantiates the active resource plan over a cluster
+// with the given executor count and an aggregate memory budget in bytes
+// (<= 0 disables memory admission). Each pool's budget is its
+// MemFraction's share; pools without a MemFraction inherit their
+// AllocFraction, so plans written before memory admission split memory the
+// way they split executors.
+func NewManagerWithMemory(plan *metastore.ResourcePlan, totalExecutors int, memoryBytes int64) (*Manager, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("wm: nil resource plan")
 	}
-	m := &Manager{plan: plan, total: totalExecutors, pools: map[string]*poolState{}}
-	m.cond = sync.NewCond(&m.mu)
+	m := &Manager{
+		plan:     plan,
+		total:    totalExecutors,
+		totalMem: memoryBytes,
+		pools:    map[string]*poolState{},
+		history:  map[string]*digestStats{},
+	}
 	for name, p := range plan.Pools {
 		execs := int(p.AllocFraction * float64(totalExecutors))
 		if execs < 1 {
 			execs = 1
 		}
-		m.pools[name] = &poolState{pool: *p, executors: execs}
+		ps := &poolState{pool: *p, executors: execs}
+		if memoryBytes > 0 {
+			frac := p.MemFraction
+			if frac <= 0 {
+				frac = p.AllocFraction
+			}
+			ps.memBudget = int64(frac * float64(memoryBytes))
+			if ps.memBudget < minReserve {
+				ps.memBudget = minReserve
+			}
+		}
+		m.pools[name] = ps
 	}
 	return m, nil
 }
@@ -86,77 +194,405 @@ func (m *Manager) PoolFor(user, application string) string {
 	return m.plan.DefaultPool
 }
 
-// Admission is a granted admission; Release returns the resources.
-type Admission struct {
-	m         *Manager
-	Pool      string
-	Executors int
-	released  bool
+// AdmitRequest describes the query asking for admission.
+type AdmitRequest struct {
+	// Digest identifies the plan shape for the peak-memory history; ""
+	// always takes the conservative first-run estimate.
+	Digest string
+	// QueueTimeout bounds the time spent queued. After it, the query is
+	// admitted degraded if a concurrency slot is free, or fails with
+	// ErrQueueTimeout. 0 waits until admission or context cancellation.
+	QueueTimeout time.Duration
 }
 
-// Admit blocks until the pool has a concurrency slot, then grants the
-// query its executor share. Idle executors from other pools are borrowed
-// when the home pool is exhausted (paper §5.2).
-func (m *Manager) Admit(pool string) (*Admission, error) {
+// Admission is a granted admission; Release returns the resources —
+// including anything borrowed from other pools — exactly once.
+type Admission struct {
+	m    *Manager
+	Pool string
+	// Executors is the granted executor share.
+	Executors int
+	// DOP caps the query's intra-operator parallelism (degraded
+	// admissions run narrower).
+	DOP int
+	// MemoryBytes is the peak-memory reservation charged to the pool
+	// (and its lenders) until Release.
+	MemoryBytes int64
+	// QueryBudget is the per-query memory budget the executor must
+	// enforce (hive.query.max.memory override): the admission is only
+	// sound if the query spills rather than growing past its
+	// reservation. 0 = no memory admission.
+	QueryBudget int64
+	// Degraded reports a shrunken admission: the pool was saturated and
+	// the query was admitted with reduced DOP and budget instead of
+	// waiting longer or being rejected.
+	Degraded bool
+
+	digest     string
+	ownExec    int
+	ownMem     int64
+	borrowExec map[string]int
+	borrowMem  map[string]int64
+	released   bool
+}
+
+// Admit blocks until the pool has a concurrency slot and enough budget for
+// the query's estimated peak memory, then grants the admission. Waiting is
+// FIFO per pool and context-aware: cancellation removes the waiter and the
+// queue keeps moving. See AdmitRequest for the deadline and degradation
+// semantics.
+func (m *Manager) Admit(ctx context.Context, pool string, req AdmitRequest) (*Admission, error) {
+	m.mu.Lock()
+	ps, ok := m.pools[pool]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("wm: no such pool %q", pool)
+	}
+	est := m.estimateLocked(ps, req.Digest)
+	// Fast path only when nobody is ahead: admissions are FIFO.
+	if len(ps.queue) == 0 {
+		if a := m.tryAdmitLocked(ps, pool, est, req.Digest); a != nil {
+			m.mu.Unlock()
+			return a, nil
+		}
+	}
+	if len(ps.queue) >= m.queueLimitFor(ps) {
+		// Bounded queue: under overload, degrade instead of growing the
+		// queue — a shrunken-budget query spills and completes, a deeper
+		// queue just defers the rejection.
+		if ps.running < ps.pool.QueryParallelism {
+			a := m.degradeAdmitLocked(ps, pool, est, req.Digest)
+			m.mu.Unlock()
+			return a, nil
+		}
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{digest: req.Digest, est: est, ready: make(chan *Admission, 1)}
+	ps.queue = append(ps.queue, w)
+	m.mu.Unlock()
+
+	var deadline <-chan time.Time
+	if req.QueueTimeout > 0 {
+		t := time.NewTimer(req.QueueTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case a := <-w.ready:
+		return a, nil
+	case <-done:
+		// Remove the waiter so the pool queue keeps moving; if the pump
+		// delivered concurrently, hand the admission straight back.
+		if a := m.cancelWait(ps, w); a != nil {
+			a.Release()
+		}
+		return nil, ctx.Err()
+	case <-deadline:
+		if a := m.cancelWait(ps, w); a != nil {
+			return a, nil
+		}
+		m.mu.Lock()
+		if ps.running < ps.pool.QueryParallelism {
+			// Memory was the blocker: stop waiting for the reservation
+			// and run shrunken — the query spills instead of queueing.
+			a := m.degradeAdmitLocked(ps, pool, est, req.Digest)
+			m.mu.Unlock()
+			return a, nil
+		}
+		m.mu.Unlock()
+		return nil, ErrQueueTimeout
+	}
+}
+
+// cancelWait removes w from the pool queue. If the pump already popped and
+// served it, the granted admission is returned instead (never nil and
+// removed at once).
+func (m *Manager) cancelWait(ps *poolState, w *waiter) *Admission {
+	m.mu.Lock()
+	for i, q := range ps.queue {
+		if q == w {
+			ps.queue = append(ps.queue[:i], ps.queue[i+1:]...)
+			// The head may have been the only blocker for the rest.
+			m.pumpLocked()
+			m.mu.Unlock()
+			return nil
+		}
+	}
+	m.mu.Unlock()
+	select {
+	case a := <-w.ready:
+		return a
+	default:
+		return nil
+	}
+}
+
+func (m *Manager) queueLimitFor(ps *poolState) int {
+	if m.QueueLimit > 0 {
+		return m.QueueLimit
+	}
+	n := 4 * ps.pool.QueryParallelism
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// estimateLocked is the peak-memory reservation for one run of a digest:
+// observed history with 25% headroom when the digest has run before, the
+// pool's fair share (budget / parallelism) for a first run. Clamped to
+// [minReserve, pool budget] — a repeat offender bigger than the pool
+// reserves the whole pool and runs alone, spilling under its enforced
+// budget.
+func (m *Manager) estimateLocked(ps *poolState, digest string) int64 {
+	if ps.memBudget <= 0 {
+		return 0
+	}
+	var est int64
+	if h := m.history[digest]; digest != "" && h != nil && h.runs > 0 {
+		est = h.peak + h.peak/4
+	} else {
+		par := ps.pool.QueryParallelism
+		if par < 1 {
+			par = 1
+		}
+		est = ps.memBudget / int64(par)
+	}
+	if est < minReserve {
+		est = minReserve
+	}
+	if est > ps.memBudget {
+		est = ps.memBudget
+	}
+	return est
+}
+
+// Observe feeds one query's observed peak memory back into the digest
+// history. Growth is adopted immediately (the next admission reserves
+// more); shrinkage decays the stored peak gradually so one lucky run does
+// not under-reserve a volatile plan.
+func (m *Manager) Observe(digest string, peakBytes int64) {
+	if digest == "" || peakBytes <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.history[digest]
+	if h == nil {
+		h = &digestStats{}
+		m.history[digest] = h
+	}
+	h.runs++
+	if peakBytes >= h.peak {
+		h.peak = peakBytes
+	} else {
+		h.peak -= (h.peak - peakBytes) / 8
+	}
+}
+
+// EstimateFor reports the reservation the next admission of digest into
+// pool would carry (tests, monitoring).
+func (m *Manager) EstimateFor(pool, digest string) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ps, ok := m.pools[pool]
 	if !ok {
-		return nil, fmt.Errorf("wm: no such pool %q", pool)
+		return 0
 	}
-	ps.waiters++
-	for ps.running >= ps.pool.QueryParallelism {
-		m.cond.Wait()
+	return m.estimateLocked(ps, digest)
+}
+
+// tryAdmitLocked grants a full admission when the pool has a concurrency
+// slot and the estimate fits into its (possibly borrowed) memory budget;
+// nil means the caller must queue or degrade.
+func (m *Manager) tryAdmitLocked(ps *poolState, pool string, est int64, digest string) *Admission {
+	if ps.running >= ps.pool.QueryParallelism {
+		return nil
 	}
-	ps.waiters--
+	a := &Admission{m: m, Pool: pool, digest: digest}
+	if ps.memBudget > 0 {
+		own := est
+		if avail := ps.memAvail(); own > avail {
+			own = avail
+		}
+		short := est - own
+		var borrowed map[string]int64
+		if short > 0 {
+			// Borrow reclaimable headroom: only pools with no waiters
+			// lend, so a pool under demand stops lending immediately and
+			// gets its bytes back as borrowers release.
+			for name, other := range m.pools {
+				if other == ps || other.memBudget <= 0 || len(other.queue) > 0 {
+					continue
+				}
+				idle := other.memAvail()
+				if idle <= 0 {
+					continue
+				}
+				take := short
+				if take > idle {
+					take = idle
+				}
+				if borrowed == nil {
+					borrowed = map[string]int64{}
+				}
+				borrowed[name] += take
+				other.memLent += take
+				short -= take
+				if short == 0 {
+					break
+				}
+			}
+		}
+		if short > 0 {
+			// Not coverable: undo the loans and report no admission.
+			for name, n := range borrowed {
+				m.pools[name].memLent -= n
+			}
+			return nil
+		}
+		ps.memInUse += own
+		a.ownMem = own
+		a.borrowMem = borrowed
+		a.MemoryBytes = est
+		a.QueryBudget = est
+	}
+	m.grantExecutorsLocked(ps, a, m.shareFor(ps), true)
 	ps.running++
-	// Executor share: the pool's executors divided by its parallelism,
-	// topped up from idle pools when available.
+	a.DOP = a.Executors
+	m.notePeakLocked()
+	return a
+}
+
+// degradeAdmitLocked admits under saturation: half the executor share, no
+// borrowing, and a per-query budget shrunk to whatever the pool still has
+// (at least the degrade floor, which bounds the overdraft) so the query
+// spills instead of waiting. The caller must hold the lock and have
+// checked the concurrency cap.
+func (m *Manager) degradeAdmitLocked(ps *poolState, pool string, est int64, digest string) *Admission {
+	a := &Admission{m: m, Pool: pool, digest: digest, Degraded: true}
+	if ps.memBudget > 0 {
+		grant := ps.memAvail()
+		if floor := ps.degradeFloor(); grant < floor {
+			grant = floor
+		}
+		if grant > est {
+			grant = est
+		}
+		ps.memInUse += grant
+		a.ownMem = grant
+		a.MemoryBytes = grant
+		a.QueryBudget = grant
+	}
+	share := m.shareFor(ps) / 2
+	if share < 1 {
+		share = 1
+	}
+	m.grantExecutorsLocked(ps, a, share, false)
+	ps.running++
+	a.DOP = share
+	m.notePeakLocked()
+	return a
+}
+
+func (m *Manager) shareFor(ps *poolState) int {
 	share := ps.executors / ps.pool.QueryParallelism
 	if share < 1 {
 		share = 1
 	}
-	granted := share
-	if avail := ps.executors - ps.inUse; granted > avail {
-		granted = avail
+	return share
+}
+
+// grantExecutorsLocked hands the admission up to share executors from its
+// own pool, topped up from idle pools when borrowing is allowed. The grant
+// never blocks: the coordinator always owns one implicit slot, so an
+// exhausted pool yields Executors=1 with nothing accounted.
+func (m *Manager) grantExecutorsLocked(ps *poolState, a *Admission, share int, borrow bool) {
+	own := share
+	if avail := ps.execAvail(); own > avail {
+		own = avail
 	}
-	// Borrow idle capacity from other pools (reclaimed when they admit).
-	if granted < share {
-		for _, other := range m.pools {
-			if other == ps {
+	granted := own
+	if borrow && granted < share {
+		for name, other := range m.pools {
+			if other == ps || other.running > 0 || len(other.queue) > 0 {
 				continue
 			}
-			if other.waiters == 0 && other.running == 0 {
-				idle := other.executors - other.inUse
-				if idle > 0 {
-					take := share - granted
-					if take > idle {
-						take = idle
-					}
-					other.inUse += take
-					granted += take
-					if granted == share {
-						break
-					}
-				}
+			idle := other.execAvail()
+			if idle <= 0 {
+				continue
+			}
+			take := share - granted
+			if take > idle {
+				take = idle
+			}
+			if a.borrowExec == nil {
+				a.borrowExec = map[string]int{}
+			}
+			a.borrowExec[name] += take
+			other.execLent += take
+			granted += take
+			if granted == share {
+				break
 			}
 		}
 	}
+	ps.execInUse += own
+	a.ownExec = own
 	if granted < 1 {
 		granted = 1
 	}
-	ps.inUse += minInt(granted, ps.executors-ps.inUse)
-	return &Admission{m: m, Pool: pool, Executors: granted}, nil
+	a.Executors = granted
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+func (m *Manager) notePeakLocked() {
+	var used int64
+	for _, ps := range m.pools {
+		used += ps.memInUse + ps.memLent
 	}
-	return b
+	if used > m.peakMem {
+		m.peakMem = used
+	}
 }
 
-// Release returns the admission's resources.
+// GlobalPeakBytes reports the high-water mark of globally reserved memory
+// across all pools — the "no OOM" observable: it can exceed the configured
+// total only by the bounded degraded-admission overdraft.
+func (m *Manager) GlobalPeakBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peakMem
+}
+
+// pumpLocked serves queued waiters FIFO per pool, iterating to a fixpoint
+// because one pool's release can unblock another pool's head through the
+// lending pools.
+func (m *Manager) pumpLocked() {
+	for changed := true; changed; {
+		changed = false
+		for name, ps := range m.pools {
+			for len(ps.queue) > 0 {
+				head := ps.queue[0]
+				a := m.tryAdmitLocked(ps, name, head.est, head.digest)
+				if a == nil {
+					break
+				}
+				ps.queue = ps.queue[1:]
+				head.ready <- a
+				changed = true
+			}
+		}
+	}
+}
+
+// Release returns the admission's resources — own-pool executors and
+// bytes, plus every loan back to its lender — and wakes queued waiters.
+// Idempotent.
 func (a *Admission) Release() {
 	a.m.mu.Lock()
 	defer a.m.mu.Unlock()
@@ -166,15 +602,15 @@ func (a *Admission) Release() {
 	a.released = true
 	ps := a.m.pools[a.Pool]
 	ps.running--
-	ps.inUse -= minInt(a.Executors, ps.inUse)
-	// Over-borrowed executors drain from other pools opportunistically: we
-	// simply clamp them to zero lower bound during future admissions.
-	for _, other := range a.m.pools {
-		if other.inUse < 0 {
-			other.inUse = 0
-		}
+	ps.execInUse -= a.ownExec
+	ps.memInUse -= a.ownMem
+	for name, n := range a.borrowExec {
+		a.m.pools[name].execLent -= n
 	}
-	a.m.cond.Broadcast()
+	for name, n := range a.borrowMem {
+		a.m.pools[name].memLent -= n
+	}
+	a.m.pumpLocked()
 }
 
 // Evaluate checks the plan's triggers for a query in the admission's pool
@@ -214,22 +650,87 @@ func (m *Manager) Evaluate(pool string, metrics QueryMetrics) (Action, string) {
 	return ActionNone, ""
 }
 
-// Move re-homes a running query to another pool (e.g. a downgrade trigger):
-// the old admission is released and a new one acquired in the target pool.
-// Query fragments are easier to preempt than containers (paper §5.2), which
-// is what makes this operation cheap in LLAP.
-func (m *Manager) Move(a *Admission, target string) (*Admission, error) {
+// Move re-homes a running query to another pool (e.g. a downgrade
+// trigger): the old admission is fully released — concurrency slot, bytes
+// and every cross-pool loan — before a new one is acquired in the target
+// pool, so a KILL→MOVE loop can never shrink the source pool. Query
+// fragments are easier to preempt than containers (paper §5.2), which is
+// what makes this operation cheap in LLAP.
+func (m *Manager) Move(ctx context.Context, a *Admission, target string) (*Admission, error) {
+	m.mu.Lock()
+	_, ok := m.pools[target]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("wm: no such pool %q", target)
+	}
 	a.Release()
-	return m.Admit(target)
+	return m.Admit(ctx, target, AdmitRequest{Digest: a.digest})
 }
 
-// PoolSnapshot reports a pool's state for tests and monitoring.
-func (m *Manager) PoolSnapshot(pool string) (running, inUse, executors int, err error) {
+// PoolStats is one pool's accounting for tests and monitoring.
+type PoolStats struct {
+	Running   int
+	Queued    int
+	Executors int
+	ExecInUse int
+	ExecLent  int
+	MemBudget int64
+	MemInUse  int64
+	MemLent   int64
+}
+
+// Stats reports a pool's current accounting.
+func (m *Manager) Stats(pool string) (PoolStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ps, ok := m.pools[pool]
 	if !ok {
-		return 0, 0, 0, fmt.Errorf("wm: no such pool %q", pool)
+		return PoolStats{}, fmt.Errorf("wm: no such pool %q", pool)
 	}
-	return ps.running, ps.inUse, ps.executors, nil
+	return PoolStats{
+		Running:   ps.running,
+		Queued:    len(ps.queue),
+		Executors: ps.executors,
+		ExecInUse: ps.execInUse,
+		ExecLent:  ps.execLent,
+		MemBudget: ps.memBudget,
+		MemInUse:  ps.memInUse,
+		MemLent:   ps.memLent,
+	}, nil
+}
+
+// PoolSnapshot reports a pool's executor state (legacy shape; see Stats).
+func (m *Manager) PoolSnapshot(pool string) (running, inUse, executors int, err error) {
+	st, err := m.Stats(pool)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return st.Running, st.ExecInUse, st.Executors, nil
+}
+
+// Reconcile verifies the accounting invariants across all pools: nothing
+// negative, executors within each pool's allocation, concurrency within
+// each pool's cap, and memory within budget plus the bounded
+// degraded-admission overdraft. Tests call it while hammering.
+func (m *Manager) Reconcile() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, ps := range m.pools {
+		if ps.running < 0 || ps.execInUse < 0 || ps.execLent < 0 || ps.memInUse < 0 || ps.memLent < 0 {
+			return fmt.Errorf("wm: pool %s accounting negative: %+v", name, *ps)
+		}
+		if ps.running > ps.pool.QueryParallelism {
+			return fmt.Errorf("wm: pool %s over-admitted: %d running > parallelism %d", name, ps.running, ps.pool.QueryParallelism)
+		}
+		if ps.execInUse+ps.execLent > ps.executors {
+			return fmt.Errorf("wm: pool %s over-granted executors: %d+%d > %d", name, ps.execInUse, ps.execLent, ps.executors)
+		}
+		if ps.memBudget > 0 {
+			slack := ps.degradeFloor() * int64(ps.pool.QueryParallelism)
+			if ps.memInUse+ps.memLent > ps.memBudget+slack {
+				return fmt.Errorf("wm: pool %s over-reserved: %d+%d > budget %d (+slack %d)", name, ps.memInUse, ps.memLent, ps.memBudget, slack)
+			}
+		}
+	}
+	return nil
 }

@@ -1,11 +1,17 @@
 package wm
 
 import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/metastore"
 )
+
+var bg = context.Background()
 
 func paperPlan(t *testing.T) *metastore.ResourcePlan {
 	t.Helper()
@@ -42,18 +48,18 @@ func TestMappingRoutesQueries(t *testing.T) {
 
 func TestAdmissionConcurrencyCap(t *testing.T) {
 	m, _ := NewManager(paperPlan(t), 10)
-	a1, err := m.Admit("bi")
+	a1, err := m.Admit(bg, "bi", AdmitRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := m.Admit("bi")
+	a2, err := m.Admit(bg, "bi", AdmitRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Third admission must block until a release (parallelism=2).
 	done := make(chan *Admission, 1)
 	go func() {
-		a3, _ := m.Admit("bi")
+		a3, _ := m.Admit(bg, "bi", AdmitRequest{})
 		done <- a3
 	}()
 	select {
@@ -73,7 +79,7 @@ func TestAdmissionConcurrencyCap(t *testing.T) {
 
 func TestExecutorSharesAndBorrowing(t *testing.T) {
 	m, _ := NewManager(paperPlan(t), 10)
-	a, _ := m.Admit("bi") // bi has 8 executors, parallelism 2 -> share 4
+	a, _ := m.Admit(bg, "bi", AdmitRequest{}) // bi has 8 executors, parallelism 2 -> share 4
 	if a.Executors < 4 {
 		t.Errorf("bi admission got %d executors, want >= 4", a.Executors)
 	}
@@ -81,6 +87,61 @@ func TestExecutorSharesAndBorrowing(t *testing.T) {
 	running, inUse, _, _ := m.PoolSnapshot("bi")
 	if running != 0 || inUse != 0 {
 		t.Errorf("release did not return resources: running=%d inUse=%d", running, inUse)
+	}
+}
+
+// TestBorrowedExecutorsReturnToLender is the Move/Release leak regression:
+// executors borrowed from an idle pool must be handed back to that pool,
+// not subtracted from the borrower's own allocation.
+func TestBorrowedExecutorsReturnToLender(t *testing.T) {
+	p := paperPlan(t)
+	// etl owns 2 executors with parallelism 3: the third admission finds
+	// its own pool exhausted and must borrow from idle bi.
+	p.Pools["etl"] = &metastore.Pool{Name: "etl", AllocFraction: 0.2, QueryParallelism: 3}
+	m, _ := NewManager(p, 10)
+	var adms []*Admission
+	for i := 0; i < 3; i++ {
+		a, err := m.Admit(bg, "etl", AdmitRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adms = append(adms, a)
+	}
+	if bi, _ := m.Stats("bi"); bi.ExecLent == 0 {
+		t.Fatal("expected bi to lend executors to etl's third admission")
+	}
+	for _, a := range adms {
+		a.Release()
+	}
+	if bi, _ := m.Stats("bi"); bi.ExecLent != 0 {
+		t.Fatalf("bi loan not returned: %+v", bi)
+	}
+
+	// Repeated KILL→MOVE cycles must leave every pool's accounting at
+	// zero (the old Move leaked the source pool's slot and any borrowed
+	// executors were never returned to their lender).
+	for i := 0; i < 5; i++ {
+		a, err := m.Admit(bg, "bi", AdmitRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved, err := m.Move(bg, a, "etl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved.Release()
+	}
+	for _, pool := range []string{"bi", "etl"} {
+		st, err := m.Stats(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Running != 0 || st.ExecInUse != 0 || st.ExecLent != 0 || st.MemInUse != 0 || st.MemLent != 0 {
+			t.Errorf("pool %s leaked after move cycles: %+v", pool, st)
+		}
+	}
+	if err := m.Reconcile(); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -103,8 +164,8 @@ func TestTriggers(t *testing.T) {
 
 func TestMoveRehomesQuery(t *testing.T) {
 	m, _ := NewManager(paperPlan(t), 10)
-	a, _ := m.Admit("bi")
-	moved, err := m.Move(a, "etl")
+	a, _ := m.Admit(bg, "bi", AdmitRequest{})
+	moved, err := m.Move(bg, a, "etl")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,5 +209,348 @@ func TestMemoryTriggers(t *testing.T) {
 	}
 	if a, _ := m.Evaluate("etl", QueryMetrics{SpilledBytes: 1 << 25}); a != ActionNone {
 		t.Errorf("trigger leaked outside its pool: %v", a)
+	}
+}
+
+// ---- Memory-aware admission (tentpole) ----
+
+// memPlan gives bi 3/4 and etl 1/4 of the memory budget with generous
+// concurrency caps so memory, not slots, is the binding constraint.
+func memPlan() *metastore.ResourcePlan {
+	return &metastore.ResourcePlan{
+		Name: "mem",
+		Pools: map[string]*metastore.Pool{
+			"bi":  {Name: "bi", AllocFraction: 0.5, QueryParallelism: 4, MemFraction: 0.75},
+			"etl": {Name: "etl", AllocFraction: 0.5, QueryParallelism: 4, MemFraction: 0.25},
+		},
+		DefaultPool: "etl",
+	}
+}
+
+func TestMemoryAdmissionGates(t *testing.T) {
+	// bi budget: 0.75 * 8 MiB = 6 MiB; parallelism 4 -> first-run
+	// estimate 1.5 MiB. Four unknown queries fit; the fifth would need a
+	// free slot anyway; instead saturate with a known huge digest.
+	m, _ := NewManagerWithMemory(memPlan(), 8, 8<<20)
+	m.Observe("huge", 4<<20) // next admission reserves 5 MiB (1.25x)
+	a1, err := m.Admit(bg, "bi", AdmitRequest{Digest: "huge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.MemoryBytes != 5<<20 {
+		t.Errorf("history estimate: reserved %d, want %d", a1.MemoryBytes, 5<<20)
+	}
+	if a1.QueryBudget != a1.MemoryBytes {
+		t.Errorf("admission must enforce its reservation: budget %d != reserved %d", a1.QueryBudget, a1.MemoryBytes)
+	}
+	// A second huge admission cannot fit 5 MiB into the remaining 1 MiB
+	// (etl's idle 2 MiB can be borrowed but still not enough): it queues.
+	done := make(chan *Admission, 1)
+	go func() {
+		a, err := m.Admit(bg, "bi", AdmitRequest{Digest: "huge"})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- a
+	}()
+	select {
+	case <-done:
+		t.Fatal("second huge admission should have queued on memory")
+	case <-time.After(30 * time.Millisecond):
+	}
+	a1.Release()
+	select {
+	case a2 := <-done:
+		a2.Release()
+	case <-time.After(time.Second):
+		t.Fatal("queued admission did not wake on release")
+	}
+	if err := m.Reconcile(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeedbackShrinksEstimates(t *testing.T) {
+	m, _ := NewManagerWithMemory(memPlan(), 8, 8<<20)
+	first := m.EstimateFor("bi", "tiny")
+	if first != (6<<20)/4 {
+		t.Errorf("conservative first-run estimate: %d", first)
+	}
+	m.Observe("tiny", 100<<10) // observed: 100 KiB
+	repeat := m.EstimateFor("bi", "tiny")
+	if repeat >= first {
+		t.Errorf("estimate did not shrink with feedback: %d -> %d", first, repeat)
+	}
+	if repeat != 125<<10 {
+		t.Errorf("repeat estimate: got %d, want observed*1.25 = %d", repeat, 125<<10)
+	}
+	// Growth is adopted immediately.
+	m.Observe("tiny", 2<<20)
+	if got := m.EstimateFor("bi", "tiny"); got != (2<<20)+(2<<20)/4 {
+		t.Errorf("estimate did not grow with feedback: %d", got)
+	}
+	// Estimates never exceed the pool budget: a repeat offender reserves
+	// the whole pool and runs alone.
+	m.Observe("whale", 1<<30)
+	if got := m.EstimateFor("bi", "whale"); got != 6<<20 {
+		t.Errorf("estimate not clamped to pool budget: %d", got)
+	}
+}
+
+func TestAdmitContextCanceledWhileQueued(t *testing.T) {
+	m, _ := NewManagerWithMemory(memPlan(), 8, 8<<20)
+	m.Observe("huge", 5<<20)
+	a1, _ := m.Admit(bg, "bi", AdmitRequest{Digest: "huge"})
+
+	ctx, cancel := context.WithCancel(bg)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.Admit(ctx, "bi", AdmitRequest{Digest: "huge"})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it queue
+	if st, _ := m.Stats("bi"); st.Queued != 1 {
+		t.Fatalf("expected 1 queued waiter, got %d", st.Queued)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	// The canceled waiter must be gone: the queue keeps moving and the
+	// pool drains clean.
+	if st, _ := m.Stats("bi"); st.Queued != 0 {
+		t.Errorf("canceled waiter still queued: %+v", st)
+	}
+	a1.Release()
+	if st, _ := m.Stats("bi"); st.Running != 0 || st.MemInUse != 0 {
+		t.Errorf("pool did not drain: %+v", st)
+	}
+}
+
+func TestQueueDeadlineDegrades(t *testing.T) {
+	// 32 executors: bi's full share is 16/4 = 4, so a degraded DOP (2) is
+	// distinguishable from a full one.
+	m, _ := NewManagerWithMemory(memPlan(), 32, 8<<20)
+	m.Observe("huge", 5<<20)
+	a1, _ := m.Admit(bg, "bi", AdmitRequest{Digest: "huge"})
+
+	// Memory is the blocker and a concurrency slot is free: after the
+	// queue deadline the query is admitted degraded — reduced DOP and a
+	// shrunken enforced budget — instead of waiting forever.
+	a2, err := m.Admit(bg, "bi", AdmitRequest{Digest: "huge", QueueTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Degraded {
+		t.Fatal("expected degraded admission after queue deadline")
+	}
+	if a2.QueryBudget <= 0 || a2.QueryBudget >= 5<<20 {
+		t.Errorf("degraded budget not shrunken: %d", a2.QueryBudget)
+	}
+	if a2.DOP >= a1.DOP {
+		t.Errorf("degraded DOP %d not below full DOP %d", a2.DOP, a1.DOP)
+	}
+	a1.Release()
+	a2.Release()
+	if err := m.Reconcile(); err != nil {
+		t.Error(err)
+	}
+	if st, _ := m.Stats("bi"); st.MemInUse != 0 || st.Running != 0 {
+		t.Errorf("pool did not drain: %+v", st)
+	}
+}
+
+func TestQueueTimeoutOnConcurrencyCap(t *testing.T) {
+	p := memPlan()
+	p.Pools["bi"].QueryParallelism = 1
+	m, _ := NewManagerWithMemory(p, 8, 8<<20)
+	a1, _ := m.Admit(bg, "bi", AdmitRequest{})
+	// The concurrency cap is hard: a deadline expiring while the cap is
+	// exhausted fails with ErrQueueTimeout (nothing to degrade into).
+	_, err := m.Admit(bg, "bi", AdmitRequest{QueueTimeout: 30 * time.Millisecond})
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("want ErrQueueTimeout, got %v", err)
+	}
+	a1.Release()
+	if st, _ := m.Stats("bi"); st.Running != 0 || st.Queued != 0 {
+		t.Errorf("pool did not drain: %+v", st)
+	}
+}
+
+func TestBoundedQueueDegradesOnOverflow(t *testing.T) {
+	m, _ := NewManagerWithMemory(memPlan(), 8, 8<<20)
+	m.QueueLimit = 2
+	m.Observe("huge", 5<<20)
+	a1, _ := m.Admit(bg, "bi", AdmitRequest{Digest: "huge"})
+	// Fill the queue with two waiters.
+	for i := 0; i < 2; i++ {
+		go func() {
+			a, err := m.Admit(bg, "bi", AdmitRequest{Digest: "huge"})
+			if err == nil {
+				time.Sleep(50 * time.Millisecond)
+				a.Release()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	// Queue full + slot free: degrade instead of growing the queue.
+	a, err := m.Admit(bg, "bi", AdmitRequest{Digest: "huge"})
+	if err != nil {
+		t.Fatalf("overflow should degrade, got %v", err)
+	}
+	if !a.Degraded {
+		t.Error("overflow admission should be degraded")
+	}
+	a.Release()
+	a1.Release()
+	time.Sleep(100 * time.Millisecond)
+	if err := m.Reconcile(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdlePoolLendsAndReclaims(t *testing.T) {
+	m, _ := NewManagerWithMemory(memPlan(), 8, 8<<20)
+	// Two 4 MiB queries against bi's 6 MiB budget: the second covers its
+	// 2 MiB shortfall by borrowing idle etl's headroom.
+	m.Observe("big", int64(4<<20)*4/5) // est 4 MiB
+	a1, err := m.Admit(bg, "bi", AdmitRequest{Digest: "big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.Admit(bg, "bi", AdmitRequest{Digest: "big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, _ := m.Stats("bi")
+	etl, _ := m.Stats("etl")
+	if etl.MemLent == 0 {
+		t.Fatalf("expected etl to lend headroom: bi=%+v etl=%+v", bi, etl)
+	}
+	if bi.MemInUse != bi.MemBudget {
+		t.Errorf("bi should be fully reserved: %+v", bi)
+	}
+	// Release returns the loan to the lender, not the borrower.
+	a2.Release()
+	a1.Release()
+	bi, _ = m.Stats("bi")
+	etl, _ = m.Stats("etl")
+	if bi.MemInUse != 0 || etl.MemLent != 0 || etl.MemInUse != 0 {
+		t.Errorf("loan not reclaimed: bi=%+v etl=%+v", bi, etl)
+	}
+}
+
+func TestPoolWithWaitersDoesNotLend(t *testing.T) {
+	m, _ := NewManagerWithMemory(memPlan(), 8, 8<<20)
+	// Occupy most of bi (5 of 6 MiB) so its queries will want to borrow.
+	m.Observe("bihalf", 4<<20) // est 5 MiB
+	b1, err := m.Admit(bg, "bi", AdmitRequest{Digest: "bihalf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate etl (2 MiB budget) and queue a waiter behind it: etl now
+	// has demand of its own and must not lend.
+	m.Observe("etlbig", int64(2<<20)*4/5)
+	e1, _ := m.Admit(bg, "etl", AdmitRequest{Digest: "etlbig"})
+	queued := make(chan *Admission, 1)
+	go func() {
+		a, _ := m.Admit(bg, "etl", AdmitRequest{Digest: "etlbig"})
+		queued <- a
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if st, _ := m.Stats("etl"); st.Queued != 1 {
+		t.Fatalf("etl waiter not queued: %+v", st)
+	}
+	// A second bi query (5 MiB estimate, 1 MiB free) cannot take etl's
+	// headroom: it waits, then degrades inside its own pool.
+	a, err := m.Admit(bg, "bi", AdmitRequest{Digest: "bihalf", QueueTimeout: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded {
+		t.Error("bi admission while etl is under demand should degrade, not borrow")
+	}
+	if st, _ := m.Stats("etl"); st.MemLent != 0 {
+		t.Errorf("etl lent memory while it had waiters: %+v", st)
+	}
+	a.Release()
+	b1.Release()
+	e1.Release()
+	select {
+	case a := <-queued:
+		a.Release()
+	case <-time.After(time.Second):
+		t.Fatal("etl waiter starved")
+	}
+	if err := m.Reconcile(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAccountingInvariantsUnderRace hammers Admit/Release/Move/Observe
+// from many goroutines (run under -race) and checks that the accounting
+// reconciles at every step and drains to zero.
+func TestAccountingInvariantsUnderRace(t *testing.T) {
+	p := memPlan()
+	p.Mappings = []metastore.Mapping{{Kind: "user", Name: "u", Pool: "bi"}}
+	m, _ := NewManagerWithMemory(p, 16, 16<<20)
+	pools := []string{"bi", "etl"}
+	digests := []string{"", "a", "b", "c", "huge"}
+	m.Observe("huge", 10<<20)
+
+	workers := 16
+	iters := 60
+	if testing.Short() {
+		workers, iters = 8, 25
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				pool := pools[rng.Intn(len(pools))]
+				dig := digests[rng.Intn(len(digests))]
+				a, err := m.Admit(bg, pool, AdmitRequest{Digest: dig, QueueTimeout: 50 * time.Millisecond})
+				if err != nil {
+					continue // queue timeout/full under overload is legal
+				}
+				if rng.Intn(4) == 0 {
+					target := pools[rng.Intn(len(pools))]
+					if moved, err := m.Move(bg, a, target); err == nil {
+						a = moved
+					} else {
+						continue // move target full: original already released
+					}
+				}
+				m.Observe(dig, int64(rng.Intn(4<<20)))
+				a.Release()
+				if rng.Intn(8) == 0 {
+					if err := m.Reconcile(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if err := m.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range pools {
+		st, _ := m.Stats(pool)
+		if st.Running != 0 || st.Queued != 0 || st.ExecInUse != 0 || st.ExecLent != 0 || st.MemInUse != 0 || st.MemLent != 0 {
+			t.Errorf("pool %s did not drain to zero: %+v", pool, st)
+		}
+	}
+	if m.GlobalPeakBytes() <= 0 {
+		t.Error("global peak not observed")
 	}
 }
