@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet race spill hammer bench
+.PHONY: check build test vet race spill props hammer bench
 
 # check is the CI gate: vet, build, a -race short-test pass over every
 # package (catches data races in the parallel scan/agg/join paths, the
 # stripe-granular morsel sharing and the shared memory governor), the
 # full suite, then the constrained-budget spill regressions — the spill
 # path can never silently rot because check always executes it.
-check: vet build race test spill
+check: vet build race test spill props
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,14 @@ test:
 spill:
 	$(GO) test -run 'Spill|ExternalSort|BeyondMemory|Governor|ScratchCleanup|MemoryTriggers|WindowSpill|SpoolS' ./internal/exec ./internal/wm .
 	$(GO) test -race -run 'SpoolSingleFlight|SpoolCursor|SpoolSharedParallelRace' ./internal/exec .
+
+# props reruns the property-planning gate (PR 7): the plan/exec unit
+# tests for delivered-property derivation, enforcer elision and window
+# group planning, plus the end-to-end golden-EXPLAIN and byte-identity
+# suite that proves hive.planner.properties=true produces the same
+# bytes as the enforcer-everywhere plans at DOP 1/2/4.
+props:
+	$(GO) test -run 'Props|OrderingSatisfies|PartitioningSatisfies|OrderingCoversSet|ApplyProperties|PushSortThroughWindow|WindowSortSatisfied|PlanWindowGroups|DeliveredProps|ExplainPhysical' ./internal/plan ./internal/exec .
 
 # hammer is the multi-tenant overload gate: ~200 concurrent sessions
 # across two memory-budgeted WM pools (tiny lookups + beyond-memory

@@ -442,3 +442,77 @@ func BenchmarkAblationCompaction(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkPropertyPlanning measures the three property-planning paydays
+// (PR 7) by running each shape with hive.planner.properties on and off at
+// a fixed DOP — the win is work elided (sorts skipped, partition passes
+// shared, exchanges and shared hash builds dropped), so it shows even on a
+// single core. New BenchmarkParallelSpeedup-style cases; results recorded
+// in BENCH_PR7.json.
+func BenchmarkPropertyPlanning(b *testing.B) {
+	// The window paydays elide string-keyed sorts, so they run over a
+	// wide item dimension (string sort keys, few large partitions) with no
+	// simulated storage latency — the saved work is CPU, not I/O.
+	wideItems := bench.TPCDSScale{SalesRows: 1000, ReturnsRows: 100, Items: 30000, Customers: 50, Stores: 4, DateDays: 4}
+	shapes := []struct {
+		name, sql string
+		dop       int
+		mem       bool // no simulated disk latency: the payday is CPU work
+		scale     bench.TPCDSScale
+		conf      map[string]string
+	}{
+		// Payday 1: ORDER BY commutes below the window and the window's
+		// own partition+order sort disappears — one string sort instead
+		// of two.
+		{name: "window_sorted", dop: 1, mem: true, scale: wideItems, sql: `SELECT i_item_sk, i_category, i_item_id,
+			rank() OVER (PARTITION BY i_category ORDER BY i_item_id)
+			FROM item ORDER BY i_category, i_item_id`},
+		// Payday 2: three distinct window specs over the same PARTITION BY
+		// run one shared partition pass instead of three full partition
+		// sorts; the per-partition re-sorts never touch the partition key.
+		{name: "window_shared", dop: 1, mem: true, scale: wideItems, sql: `SELECT i_item_sk,
+			COUNT(*) OVER (PARTITION BY i_category),
+			SUM(i_item_sk) OVER (PARTITION BY i_category ORDER BY i_item_id),
+			rank() OVER (PARTITION BY i_category ORDER BY i_current_price DESC)
+			FROM item`},
+		// Payday 3: grouping on the scan's partition column keeps worker
+		// partials key-disjoint — the final merge appends instead of
+		// re-probing the hash table, and stripe expansion is skipped.
+		{name: "partition_agg", dop: 4, scale: bench.SmallTPCDS(), sql: `SELECT ss_sold_date_sk, COUNT(*), SUM(ss_sales_price)
+			FROM store_sales GROUP BY ss_sold_date_sk ORDER BY ss_sold_date_sk`},
+		// Payday 3 (join form): co-partitioned join runs per-unit serial
+		// builds with no shared hash table and no exchange.
+		{name: "partition_join", dop: 4, scale: bench.SmallTPCDS(),
+			conf: map[string]string{"hive.optimize.semijoin": "false"},
+			sql: `SELECT ss_item_sk, ss_ticket_number, sr_item_sk FROM store_sales, store_returns
+			WHERE ss_sold_date_sk = sr_returned_date_sk AND ss_item_sk = sr_item_sk`},
+	}
+	for _, sh := range shapes {
+		for _, props := range []string{"on", "off"} {
+			b.Run(fmt.Sprintf("%s/props=%s", sh.name, props), func(b *testing.B) {
+				wh, err := Open(Config{DiskLatency: !sh.mem, Executors: 4 * runtime.NumCPU()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { wh.Close() })
+				s := wh.Session()
+				if err := bench.SetupTPCDS(func(q string) error { _, err := s.Exec(q); return err }, sh.scale); err != nil {
+					b.Fatal(err)
+				}
+				s.SetConf("hive.query.results.cache.enabled", "false")
+				s.SetConf("hive.llap.enabled", "false")
+				s.SetConf("hive.parallelism", fmt.Sprint(sh.dop))
+				s.SetConf("hive.planner.properties", fmt.Sprint(props == "on"))
+				for k, v := range sh.conf {
+					s.SetConf(k, v)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Exec(sh.sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -147,6 +147,12 @@ type Runner struct {
 	// parallel regions through a shared consumption cursor, matching
 	// exec.NewContext.
 	SerialSpool bool
+	// NoProps disables property-driven planning
+	// (hive.planner.properties=false): no enforcer elision, no
+	// partition-wise placements — the enforcer-everywhere plans, kept for
+	// byte-identity testing. Zero value = properties on, matching
+	// exec.NewContext.
+	NoProps bool
 
 	spillSeq     int
 	parallelized bool
@@ -166,6 +172,15 @@ func (r *Runner) Prepare(op exec.Operator) (exec.Operator, DAG) {
 		if r.Ctx.ScratchDir == "" {
 			r.Ctx.ScratchDir = r.ScratchDir
 		}
+	}
+	if r.Ctx != nil {
+		r.Ctx.PropsPlanning = !r.NoProps
+	}
+	if !r.NoProps {
+		// Property pass before anything mode-specific: elided enforcers
+		// never reach the DAG shape, the spill instrumentation or the
+		// parallel planner.
+		op = exec.ApplyProperties(op)
 	}
 	d := Analyze(op)
 	if r.Mode == ModeMR && r.FS != nil {

@@ -116,18 +116,15 @@ func (t *groupTable) mergeInto(g *aggGroup, aggs []CompiledAgg) bool {
 }
 
 // groupKeysMatch compares stored group keys against row r of the key
-// vectors. Masked columns are NULL on both sides by construction.
+// vectors, directly on the columnar backing stores (Vector.EqDatum) — no
+// per-row Datum materialization on the collision path. Masked columns are
+// NULL on both sides by construction.
 func groupKeysMatch(keys []types.Datum, keyCols []*vector.Vector, r int, mask []bool) bool {
 	for c, kc := range keyCols {
 		if mask != nil && !mask[c] {
 			continue
 		}
-		sk := keys[c]
-		null := kc.IsNull(r)
-		if sk.Null != null {
-			return false
-		}
-		if !null && sk.Compare(kc.Get(r)) != 0 {
+		if !kc.EqDatum(r, keys[c]) {
 			return false
 		}
 	}

@@ -146,6 +146,17 @@ func (t *spillAggTable) mergeGroup(g *aggGroup) error {
 	return nil
 }
 
+// appendGroup inserts a group known to be absent from the table — worker
+// partials over partition-wise (key-disjoint) input never share a group —
+// skipping mergeGroup's hash lookup entirely.
+func (t *spillAggTable) appendGroup(g *aggGroup) error {
+	if err := t.grow(groupBytes(g)); err != nil {
+		return err
+	}
+	t.insert(g)
+	return nil
+}
+
 // addEmpty inserts the global aggregate's empty group (zero input rows
 // still emit one row).
 func (t *spillAggTable) addEmpty() {

@@ -20,11 +20,24 @@ import (
 type CompiledExpr struct {
 	T    types.T
 	eval func(b *vector.Batch) (*vector.Vector, error)
+	// col+1 of a bare column reference, 0 otherwise: the property planner
+	// matches group/join keys against delivered partitioning columns
+	// through this marker, since the closure itself is opaque.
+	colRef int
 }
 
 // Eval computes the expression for the batch's live rows. Positions not in
 // the selection are undefined.
 func (e *CompiledExpr) Eval(b *vector.Batch) (*vector.Vector, error) { return e.eval(b) }
+
+// ColRef reports the input ordinal when the expression is a bare column
+// reference (the only shape whose output provenance is exact).
+func (e *CompiledExpr) ColRef() (int, bool) {
+	if e == nil || e.colRef == 0 {
+		return -1, false
+	}
+	return e.colRef - 1, true
+}
 
 // EvalPredicate evaluates a boolean expression and returns the physical
 // indexes of live rows where it is TRUE (SQL ternary: NULL filters out).
@@ -52,7 +65,7 @@ func Compile(r plan.Rex, inTypes []types.T) (*CompiledExpr, error) {
 			return nil, fmt.Errorf("exec: column reference $%d out of range (%d cols)", x.Idx, len(inTypes))
 		}
 		idx := x.Idx
-		return &CompiledExpr{T: x.T, eval: func(b *vector.Batch) (*vector.Vector, error) {
+		return &CompiledExpr{T: x.T, colRef: idx + 1, eval: func(b *vector.Batch) (*vector.Vector, error) {
 			return b.Cols[idx], nil
 		}}, nil
 	case *plan.Literal:

@@ -76,6 +76,14 @@ type Context struct {
 	// content through a shared cursor (hive.spool.parallel). NewContext
 	// enables it, the server default.
 	SpoolParallel bool
+	// PropsPlanning enables property-driven planning
+	// (hive.planner.properties): operators consult delivered physical
+	// properties (props.go) to elide sorts over already-ordered input,
+	// share window partition passes, and run partition-wise aggregation
+	// and joins over pre-partitioned scans. NewContext enables it, the
+	// server default; false restores the enforcer-everywhere plans the
+	// byte-identity suites compare against.
+	PropsPlanning bool
 	// Slots, when non-nil, is the LLAP executor pool parallel operators
 	// borrow additional workers from (paper §5.1). The coordinating
 	// fragment always owns one implicit slot, so execution never blocks
@@ -112,7 +120,14 @@ func (c *Context) CheckCanceled() error {
 
 // NewContext returns an empty execution context.
 func NewContext() *Context {
-	return &Context{blooms: make(map[int]*RuntimeFilter), SortParallel: true, SpoolParallel: true}
+	return &Context{blooms: make(map[int]*RuntimeFilter), SortParallel: true, SpoolParallel: true, PropsPlanning: true}
+}
+
+// propsOn reports whether property-driven planning is enabled. A nil
+// context — operator trees built outside the HS2 path — keeps the feature
+// on, matching the server default (same convention as SortParallel).
+func (c *Context) propsOn() bool {
+	return c == nil || c.PropsPlanning
 }
 
 // AcquireExtra grants up to n additional executor slots beyond the one the

@@ -236,6 +236,12 @@ type ParallelHashAggOp struct {
 	Stats        *RuntimeStats
 	merges       []statMerge
 
+	// Disjoint marks partition-wise placement (props.go): the group keys
+	// cover the base scan's partition columns and splits are whole
+	// directories, so no two workers ever hold partials of the same group
+	// — the final merge appends without hash lookups.
+	Disjoint bool
+
 	sink   *spillAggTable
 	locals []*HashAggOp
 	done   bool
@@ -348,11 +354,15 @@ func (a *ParallelHashAggOp) run() error {
 			local.sink.releaseResident()
 		}
 	}
+	merge := a.sink.mergeGroup
+	if a.Disjoint {
+		merge = a.sink.appendGroup
+	}
 	for _, local := range a.locals {
 		if local == nil {
 			continue // worker beyond the granted slot cap: never ran
 		}
-		if err := local.sink.drainGroups(a.sink.mergeGroup); err != nil {
+		if err := local.sink.drainGroups(merge); err != nil {
 			return err
 		}
 	}
@@ -475,6 +485,20 @@ func (p *parallelizer) spoolParallel() bool {
 func (p *parallelizer) rec(op Operator) Operator {
 	switch x := op.(type) {
 	case *HashAggOp:
+		// Partition-wise aggregation (props.go): when the group keys cover
+		// the base scan's partition columns, worker partials are
+		// key-disjoint. Stripe expansion is suppressed — directory
+		// integrity IS the disjointness — and the final merge appends.
+		if p.aggPartitionWise(x) {
+			if workers, merges, ok := p.cloneWorkersExpand(x.Input, false); ok {
+				p.changed = true
+				return &ParallelHashAggOp{
+					Workers: workers, GroupExprs: x.GroupExprs, Aggs: x.Aggs,
+					Out: x.Out, Ctx: p.ctx, Stats: x.Stats, merges: merges,
+					Disjoint: true,
+				}
+			}
+		}
 		if workers, merges, ok := p.cloneWorkers(x.Input); ok {
 			p.changed = true
 			return &ParallelHashAggOp{
@@ -486,6 +510,12 @@ func (p *parallelizer) rec(op Operator) Operator {
 		x.Input = p.rec(x.Input)
 		return x
 	case *ScanOp, *FilterOp, *ProjectOp:
+		// A chain over a co-partitioned join parallelizes unit-wise
+		// (partjoin.go) before the generic shared-build clone.
+		if pj, ok := p.partitionJoin(op); ok {
+			p.changed = true
+			return pj
+		}
 		if workers, merges, ok := p.cloneWorkers(op); ok {
 			p.changed = true
 			return &ParallelOp{Workers: workers, Ctx: p.ctx, merges: merges}
@@ -498,6 +528,12 @@ func (p *parallelizer) rec(op Operator) Operator {
 		}
 		return op
 	case *HashJoinOp:
+		// Partition-wise join (partjoin.go): co-partitioned sides join as
+		// independent units with no shared build and no exchange.
+		if pj, ok := p.partitionJoin(x); ok {
+			p.changed = true
+			return pj
+		}
 		if workers, merges, ok := p.cloneWorkers(op); ok {
 			p.changed = true
 			return &ParallelOp{Workers: workers, Ctx: p.ctx, merges: merges}
@@ -564,6 +600,32 @@ func (p *parallelizer) rec(op Operator) Operator {
 	return op
 }
 
+// aggPartitionWise reports whether the aggregation's group keys cover
+// every partition column of the pipeline's base scan while its splits are
+// whole directories: each directory is one distinct partition-value
+// combination owned by exactly one worker, so rows agreeing on the group
+// keys — hence on all partition values — aggregate on the same worker and
+// the partials are key-disjoint. Grouping sets break the argument (a
+// masked-out partition column merges across units).
+func (p *parallelizer) aggPartitionWise(x *HashAggOp) bool {
+	if !p.ctx.propsOn() || x.GroupingSets != nil {
+		return false
+	}
+	s, m, ok := scanPartInfo(x.Input)
+	if !ok || !wholeDirSplits(s) {
+		return false
+	}
+	covered := map[int]bool{}
+	for _, e := range x.GroupExprs {
+		if c, refOK := e.ColRef(); refOK {
+			if pk, isPart := m[c]; isPart {
+				covered[pk] = true
+			}
+		}
+	}
+	return len(covered) == len(s.Table.PartKeys)
+}
+
 // spoolMorsels is the morsel count assumed for a spooled source: its row
 // count is unknown until runtime materialization, so admission assumes
 // enough batches to keep every worker busy and lets the shared cursor
@@ -621,10 +683,19 @@ func morselCount(op Operator) int {
 // receive a slot). The original operators are mutated to carry the shared
 // state and then templated.
 func (p *parallelizer) cloneWorkers(op Operator) ([]Operator, []statMerge, bool) {
+	return p.cloneWorkersExpand(op, true)
+}
+
+// cloneWorkersExpand is cloneWorkers with stripe expansion controllable:
+// partition-wise placements keep directory splits whole because split
+// value-disjointness is what makes their merge an append.
+func (p *parallelizer) cloneWorkersExpand(op Operator, expand bool) ([]Operator, []statMerge, bool) {
 	if !p.clonable(op) {
 		return nil, nil, false
 	}
-	p.expandSplits(op)
+	if expand {
+		p.expandSplits(op)
+	}
 	mc := morselCount(op)
 	if mc < 2 {
 		return nil, nil, false
@@ -680,7 +751,14 @@ func (p *parallelizer) expandSplits(op Operator) {
 // Any enumeration failure falls back to the unexpanded split: stripe
 // morsels are an optimization, never a correctness requirement.
 func (p *parallelizer) expandScanSplits(s *ScanOp) {
-	if s.Shared != nil || len(s.Splits) == 0 || len(s.Splits) >= 2*p.dop || len(s.Prune) > 0 {
+	if s.Shared != nil || len(s.Splits) == 0 || len(s.Prune) > 0 {
+		return
+	}
+	if len(s.Splits) >= 2*p.dop {
+		// Plenty of directory morsels — but a skewed partitioned table can
+		// still hide most of its rows in a few of them. Cost-based pass:
+		// probe row estimates and refine only the oversized directories.
+		p.expandSkewedSplits(s)
 		return
 	}
 	target := 0
@@ -715,6 +793,80 @@ func (p *parallelizer) expandScanSplits(s *ScanOp) {
 				Loc: sp.Loc, PartValues: sp.PartValues, Valid: sp.Valid,
 				File: rg.File, StripeLo: rg.StripeLo, StripeHi: rg.StripeHi,
 				Snap: snap,
+			})
+		}
+	}
+	s.Splits = out
+}
+
+// maxSkewProbe bounds the snapshot opens the skew pass will pay for; a
+// table with more directories than this amortizes its skew across enough
+// morsels that stealing already balances it.
+const maxSkewProbe = 256
+
+// expandSkewedSplits is the cost-based arm of stripe expansion: directory
+// morsels outnumber the workers, but a morsel is the unit of stealing, so
+// one directory holding a multiple of its fair share serializes the tail
+// on whichever worker drew it. Enumerate stripe ranges (row counts come
+// from the ORC footers the snapshot already reads), then refine only the
+// directories holding more than twice the mean; everything else keeps its
+// coarse split, carrying the opened snapshot so the scan does not reload
+// delete deltas.
+func (p *parallelizer) expandSkewedSplits(s *ScanOp) {
+	if len(s.Splits) > maxSkewProbe {
+		return
+	}
+	target := 0
+	if p.ctx != nil {
+		target = p.ctx.TargetStripes
+	}
+	type probe struct {
+		ranges []acid.ScanRange
+		rows   int64
+	}
+	probes := make([]*probe, len(s.Splits))
+	var total int64
+	dirs := 0
+	for i, sp := range s.Splits {
+		if sp.File != "" || sp.Snap != nil {
+			continue
+		}
+		snap, err := acid.OpenSnapshot(s.FS, sp.Loc, s.dataColumns(), sp.Valid)
+		if err != nil {
+			continue
+		}
+		if s.Ctx != nil && s.Ctx.Chunks != nil {
+			snap.SetChunkReader(s.Ctx.Chunks)
+		}
+		s.Splits[i].Snap = snap // reuse at execution either way
+		ranges, err := snap.Splits(target)
+		if err != nil || len(ranges) == 0 {
+			continue
+		}
+		pr := &probe{ranges: ranges}
+		for _, rg := range ranges {
+			pr.rows += rg.Rows
+		}
+		probes[i] = pr
+		total += pr.rows
+		dirs++
+	}
+	if dirs == 0 || total == 0 {
+		return
+	}
+	mean := total / int64(dirs)
+	out := make([]TableSplit, 0, len(s.Splits))
+	for i, sp := range s.Splits {
+		pr := probes[i]
+		if pr == nil || len(pr.ranges) < 2 || pr.rows <= 2*mean {
+			out = append(out, sp)
+			continue
+		}
+		for _, rg := range pr.ranges {
+			out = append(out, TableSplit{
+				Loc: sp.Loc, PartValues: sp.PartValues, Valid: sp.Valid,
+				File: rg.File, StripeLo: rg.StripeLo, StripeHi: rg.StripeHi,
+				Snap: sp.Snap,
 			})
 		}
 	}

@@ -1,0 +1,579 @@
+// Property-driven physical planning (paper §4.1–4.2): every operator
+// delivers physical properties — sort order, value partitioning,
+// uniqueness (plan.Properties) — and consumers match required properties
+// against delivered ones instead of unconditionally enforcing. Enforcers
+// (Sort, exchange, shared hash tables) are inserted only when required ⊄
+// delivered. The paydays wired through here:
+//
+//   - A SortOp whose input already delivers its keys disappears; a TopNOp
+//     degrades to a plain LimitOp.
+//   - ORDER BY over a window commutes with the window when the reorder
+//     cannot change any function value: Sort(Window(X)) becomes
+//     Window(Sort(X)), which the parallel planner then splits into
+//     per-worker runs under a MergeOp — and the WindowOp, seeing its
+//     input deliver the group's (partition, order) keys, skips its own
+//     sort (window.go).
+//   - Aggregations and joins whose keys cover a scan's partition columns
+//     run partition-wise: worker partials are key-disjoint, so the final
+//     merge appends without hash lookups (ParallelHashAggOp.Disjoint)
+//     and co-partitioned joins build one small table per partition pair
+//     with no shared build (PartitionJoinOp).
+//
+// Every rewrite here is byte-identical to the enforcer-everywhere plan;
+// the conditions under which that holds are spelled out at each site and
+// exercised by the property-equivalence suites against
+// hive.planner.properties=false.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// DeliveredProps derives the physical properties an operator tree's output
+// stream is guaranteed to satisfy. The derivation is conservative: an
+// operator the walk does not understand delivers nothing.
+func DeliveredProps(op Operator) plan.Properties {
+	switch x := op.(type) {
+	case *SortOp:
+		return plan.Properties{Ordering: x.Keys}
+	case *MergeOp:
+		// The loser-tree merge preserves the per-run order globally.
+		return plan.Properties{Ordering: x.Keys}
+	case *TopNOp:
+		return plan.Properties{Ordering: x.Keys}
+	case *ParallelTopNOp:
+		return plan.Properties{Ordering: x.Keys}
+	case *FilterOp:
+		// Dropping rows preserves order and co-location.
+		return DeliveredProps(x.Input)
+	case *LimitOp:
+		return plan.Properties{Ordering: DeliveredProps(x.Input).Ordering}
+	case *SpoolOp:
+		// Replay is in materialization (= input) order; a parallel shared
+		// cursor hands each consumer a subsequence, which is still ordered
+		// but not partition-aligned.
+		return plan.Properties{Ordering: DeliveredProps(x.Input).Ordering}
+	case *WindowOp:
+		// Rows emit in arrival order with appended function columns.
+		return plan.Properties{Ordering: DeliveredProps(x.Input).Ordering}
+	case *ProjectOp:
+		return projectProps(x)
+	case *HashAggOp:
+		if x.GroupingSets == nil && len(x.GroupExprs) > 0 {
+			return plan.Properties{Unique: [][]int{ordinals(len(x.GroupExprs))}}
+		}
+		return plan.Properties{}
+	case *ParallelHashAggOp:
+		if x.GroupingSets == nil && len(x.GroupExprs) > 0 {
+			return plan.Properties{Unique: [][]int{ordinals(len(x.GroupExprs))}}
+		}
+		return plan.Properties{}
+	case *ScanOp:
+		if m, ok := scanPartMap(x); ok && wholeDirSplits(x) {
+			return plan.Properties{Partitioning: mapKeys(m)}
+		}
+		return plan.Properties{}
+	case *HashJoinOp:
+		// The probe pipeline emits left rows (expanded by matches) in left
+		// order with left ordinals unchanged for the kinds whose output
+		// leads with — or is exactly — the left row, so the left stream's
+		// partitioning survives.
+		switch x.Kind {
+		case plan.Inner, plan.Left, plan.Semi, plan.Anti:
+			return plan.Properties{Partitioning: DeliveredProps(x.Left).Partitioning}
+		}
+		return plan.Properties{}
+	}
+	return plan.Properties{}
+}
+
+func ordinals(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func mapKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// projectProps remaps the input's properties through bare column
+// references; anything computed loses its provenance.
+func projectProps(p *ProjectOp) plan.Properties {
+	in := DeliveredProps(p.Input)
+	var out plan.Properties
+	// inverse map: input ordinal -> first output ordinal referencing it.
+	inv := map[int]int{}
+	for o, e := range p.Exprs {
+		if c, ok := e.ColRef(); ok {
+			if _, dup := inv[c]; !dup {
+				inv[c] = o
+			}
+		}
+	}
+	// Ordering survives as the longest remappable prefix.
+	for _, k := range in.Ordering {
+		o, ok := inv[k.Col]
+		if !ok {
+			break
+		}
+		out.Ordering = append(out.Ordering, plan.SortKey{Col: o, Desc: k.Desc, NullsFirst: k.NullsFirst})
+	}
+	// Partitioning survives only whole: dropping one partition column
+	// breaks the "equal on these columns ⇒ same unit" promise.
+	if len(in.Partitioning) > 0 {
+		part := make([]int, 0, len(in.Partitioning))
+		complete := true
+		for _, c := range in.Partitioning {
+			o, ok := inv[c]
+			if !ok {
+				complete = false
+				break
+			}
+			part = append(part, o)
+		}
+		if complete {
+			out.Partitioning = part
+		}
+	}
+	return out
+}
+
+// scanPartInfo walks a morsel pipeline (Filter/Project/probe-join chain)
+// to its base scan and returns the scan plus a map from pipeline output
+// ordinal to partition key index — defined only when every partition key
+// column survives to the output. This is the provenance the partition-wise
+// agg and join placements match their keys against.
+func scanPartInfo(op Operator) (*ScanOp, map[int]int, bool) {
+	switch x := op.(type) {
+	case *ScanOp:
+		m, ok := scanPartMap(x)
+		return x, m, ok
+	case *FilterOp:
+		return scanPartInfo(x.Input)
+	case *ProjectOp:
+		s, m, ok := scanPartInfo(x.Input)
+		if !ok {
+			return nil, nil, false
+		}
+		out := map[int]int{}
+		covered := map[int]bool{}
+		for o, e := range x.Exprs {
+			if c, refOK := e.ColRef(); refOK {
+				if pk, isPart := m[c]; isPart {
+					out[o] = pk
+					covered[pk] = true
+				}
+			}
+		}
+		if len(covered) != len(s.Table.PartKeys) {
+			return nil, nil, false
+		}
+		return s, out, true
+	case *HashJoinOp:
+		switch x.Kind {
+		case plan.Inner, plan.Left, plan.Semi, plan.Anti:
+			return scanPartInfo(x.Left)
+		}
+	}
+	return nil, nil, false
+}
+
+// scanPartMap maps scan output ordinals to partition key indexes when the
+// scan projects every partition key column of a partitioned table.
+func scanPartMap(s *ScanOp) (map[int]int, bool) {
+	if len(s.Table.PartKeys) == 0 {
+		return nil, false
+	}
+	metaOff := 0
+	if s.Meta {
+		metaOff = 3
+	}
+	m := map[int]int{}
+	covered := map[int]bool{}
+	for i, c := range s.Cols {
+		if c >= len(s.Table.Cols) {
+			pk := c - len(s.Table.Cols)
+			m[metaOff+i] = pk
+			covered[pk] = true
+		}
+	}
+	if len(covered) != len(s.Table.PartKeys) {
+		return nil, false
+	}
+	return m, true
+}
+
+// wholeDirSplits reports whether every split of the scan is a whole
+// partition directory — one split per distinct partition value combination
+// — which is what makes the split stream value-disjoint. Stripe-expanded
+// splits break disjointness (two ranges of one directory can land on
+// different workers).
+func wholeDirSplits(s *ScanOp) bool {
+	if s.Shared != nil {
+		return false
+	}
+	for _, sp := range s.Splits {
+		if sp.File != "" {
+			return false
+		}
+	}
+	return len(s.Splits) > 0
+}
+
+// ApplyProperties rewrites a physical tree bottom-up using delivered
+// properties: sorts over already-ordered input disappear, TopN over
+// ordered input degrades to Limit, and ORDER BY commutes below a window
+// when the reorder is value-invariant. Every rewrite preserves the output
+// byte for byte; run it before Parallelize so the parallel planner sees
+// the property-shaped tree.
+func ApplyProperties(op Operator) Operator {
+	// Recurse first: children settle before the local match.
+	switch x := op.(type) {
+	case *SortOp:
+		x.Input = ApplyProperties(x.Input)
+	case *TopNOp:
+		x.Input = ApplyProperties(x.Input)
+	case *FilterOp:
+		x.Input = ApplyProperties(x.Input)
+	case *ProjectOp:
+		x.Input = ApplyProperties(x.Input)
+	case *LimitOp:
+		x.Input = ApplyProperties(x.Input)
+	case *WindowOp:
+		x.Input = ApplyProperties(x.Input)
+	case *SpoolOp:
+		x.Input = ApplyProperties(x.Input)
+	case *HashAggOp:
+		x.Input = ApplyProperties(x.Input)
+	case *HashJoinOp:
+		x.Left = ApplyProperties(x.Left)
+		if x.Right != nil {
+			x.Right = ApplyProperties(x.Right)
+		}
+	case *SetOpOp:
+		x.Left = ApplyProperties(x.Left)
+		x.Right = ApplyProperties(x.Right)
+	case *UnionAllOp:
+		for i, in := range x.Inputs {
+			x.Inputs[i] = ApplyProperties(in)
+		}
+	}
+	switch x := op.(type) {
+	case *SortOp:
+		// Required ordering already delivered: a stable sort of ordered
+		// input is the identity, so the enforcer adds nothing.
+		if plan.OrderingSatisfies(DeliveredProps(x.Input).Ordering, x.Keys) {
+			return x.Input
+		}
+		if rewritten, ok := pushSortThroughWindow(x); ok {
+			return rewritten
+		}
+	case *TopNOp:
+		// Ordered input turns top-N into a plain prefix: the bounded heap
+		// would retain exactly the first Offset+N rows (arrival breaks
+		// ties) and emit them in input order.
+		if x.N > 0 && plan.OrderingSatisfies(DeliveredProps(x.Input).Ordering, x.Keys) {
+			return &LimitOp{Input: x.Input, N: x.N, Offset: x.Offset}
+		}
+	}
+	return op
+}
+
+// pushSortThroughWindow rewrites Sort(Window(X)) — optionally with a
+// column-remapping projection between — into Window(Sort(X)).
+//
+// Byte-identity argument: the window emits its input order, so the pushed
+// plan emits X sorted stably by the keys; the enforcer plan sorts the
+// window output (in X's arrival order) stably by the same keys — the same
+// permutation. The function VALUES must also survive the input reorder,
+// which holds per group when either
+//
+//   - every function is permutation-invariant — rank/dense_rank (peer
+//     membership only), count/min/max, and exact (non-float) sums — or
+//   - the sort keys are a subset of the group's partition+order columns:
+//     rows tied on (partition, order) are then tied on every sort key, so
+//     the stable sort preserves their arrival order and position-sensitive
+//     functions (row_number, float accumulation order) see identical
+//     sequences.
+//
+// The rewrite only fires when at least one group's own sort becomes
+// skippable under the pushed ordering — otherwise it just moves work.
+func pushSortThroughWindow(s *SortOp) (Operator, bool) {
+	var w *WindowOp
+	var proj *ProjectOp
+	switch in := s.Input.(type) {
+	case *WindowOp:
+		w = in
+	case *ProjectOp:
+		if pw, ok := in.Input.(*WindowOp); ok {
+			w, proj = pw, in
+		}
+	}
+	if w == nil {
+		return nil, false
+	}
+	inW := len(w.Input.Types())
+	// Map the sort keys to window-input ordinals.
+	keys := make([]plan.SortKey, len(s.Keys))
+	for i, k := range s.Keys {
+		col := k.Col
+		if proj != nil {
+			c, ok := proj.Exprs[col].ColRef()
+			if !ok {
+				return nil, false
+			}
+			col = c
+		}
+		if col >= inW {
+			return nil, false // references a window function column
+		}
+		keys[i] = plan.SortKey{Col: col, Desc: k.Desc, NullsFirst: k.NullsFirst}
+	}
+	groups, err := buildWindowGroups(w.Fns, w.Input.Types())
+	if err != nil {
+		return nil, false
+	}
+	payoff := false
+	for gi := range groups {
+		g := &groups[gi]
+		if !windowReorderSafe(g, w.Fns, keys) {
+			return nil, false
+		}
+		if windowSortSatisfied(keys, g) {
+			payoff = true
+		}
+	}
+	if !payoff {
+		return nil, false
+	}
+	w.Input = &SortOp{Input: w.Input, Keys: keys, Ctx: s.Ctx}
+	return s.Input, true
+}
+
+// windowReorderSafe reports whether reordering the window's input by keys
+// cannot change any of group g's computed values (see
+// pushSortThroughWindow for the argument).
+func windowReorderSafe(g *windowGroup, fns []plan.WindowFn, keys []plan.SortKey) bool {
+	own := map[int]bool{}
+	for _, c := range g.partitionBy {
+		own[c] = true
+	}
+	for _, k := range g.orderBy {
+		own[k.Col] = true
+	}
+	subset := true
+	for _, k := range keys {
+		if !own[k.Col] {
+			subset = false
+			break
+		}
+	}
+	if subset {
+		return true
+	}
+	for _, fi := range g.fnIdx {
+		if !permutationInvariantFn(fns[fi]) {
+			return false
+		}
+	}
+	return true
+}
+
+// permutationInvariantFn reports whether a window function's values are
+// unchanged under any reordering of its input: peer membership and
+// partition membership are order-free, and the accumulation is exact and
+// commutative. row_number depends on within-peer positions; avg and float
+// sums accumulate in visit order.
+func permutationInvariantFn(fn plan.WindowFn) bool {
+	switch fn.Fn {
+	case "rank", "dense_rank", "count", "min", "max":
+		return true
+	case "sum":
+		return fn.T.Kind != types.Float64
+	}
+	return false
+}
+
+// windowSortSatisfied reports whether input delivered in this ordering
+// lets group g skip its partition/order sort: the leading keys cover the
+// partition columns (any permutation and direction — contiguity is all a
+// partition needs), immediately followed by the exact order keys. Any
+// further delivered keys only refine ties that the group's own stable
+// sort would leave in arrival (= delivered) order anyway, so the skip is
+// unconditionally byte-identical.
+func windowSortSatisfied(delivered []plan.SortKey, g *windowGroup) bool {
+	if len(g.partitionBy)+len(g.orderBy) == 0 {
+		return false
+	}
+	m := plan.OrderingCoversSet(delivered, g.partitionBy)
+	if m < 0 || len(delivered) < m+len(g.orderBy) {
+		return false
+	}
+	for i, k := range g.orderBy {
+		if delivered[m+i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// ExplainPhysical renders the prepared physical operator tree, one line
+// per operator, annotating the property-driven decisions: which window
+// groups skip their sort or share a partition pass, which exchanges are
+// partition-wise, and where enforcers remain. Sessions expose it as
+// LastPhysicalPlan; the golden-explain suite asserts on it.
+func ExplainPhysical(op Operator) string {
+	var b strings.Builder
+	explainPhys(&b, op, 0)
+	return b.String()
+}
+
+func explainPhys(b *strings.Builder, op Operator, depth int) {
+	indent := strings.Repeat("  ", depth)
+	line := func(format string, args ...interface{}) {
+		fmt.Fprintf(b, "%s%s\n", indent, fmt.Sprintf(format, args...))
+	}
+	switch x := op.(type) {
+	case *ScanOp:
+		n := len(x.Splits)
+		shared := ""
+		if x.Shared != nil {
+			n = len(x.Shared.splits)
+			shared = " shared-queue"
+		}
+		line("TableScan table=%s splits=%d%s", x.Table.Name, n, shared)
+	case *FilterOp:
+		line("Filter")
+		explainPhys(b, x.Input, depth+1)
+	case *ProjectOp:
+		line("Project")
+		explainPhys(b, x.Input, depth+1)
+	case *LimitOp:
+		line("Limit n=%d offset=%d", x.N, x.Offset)
+		explainPhys(b, x.Input, depth+1)
+	case *SortOp:
+		line("Sort keys=%s", sortKeysDigest(x.Keys))
+		explainPhys(b, x.Input, depth+1)
+	case *TopNOp:
+		line("TopN n=%d keys=%s", x.N, sortKeysDigest(x.Keys))
+		explainPhys(b, x.Input, depth+1)
+	case *MergeOp:
+		line("MergeExchange workers=%d keys=%s", len(x.Workers), sortKeysDigest(x.Keys))
+		if len(x.Workers) > 0 {
+			explainPhys(b, x.Workers[0], depth+1)
+		}
+	case *ParallelTopNOp:
+		line("ParallelTopN workers=%d n=%d keys=%s", len(x.Workers), x.N, sortKeysDigest(x.Keys))
+		if len(x.Workers) > 0 {
+			explainPhys(b, x.Workers[0], depth+1)
+		}
+	case *ParallelOp:
+		line("Exchange workers=%d", len(x.Workers))
+		if len(x.Workers) > 0 {
+			explainPhys(b, x.Workers[0], depth+1)
+		}
+	case *ParallelHashAggOp:
+		mode := ""
+		if x.Disjoint {
+			mode = " partition-wise"
+		}
+		line("ParallelHashAgg workers=%d groups=%d%s", len(x.Workers), len(x.GroupExprs), mode)
+		if len(x.Workers) > 0 {
+			explainPhys(b, x.Workers[0], depth+1)
+		}
+	case *HashAggOp:
+		line("HashAgg groups=%d", len(x.GroupExprs))
+		explainPhys(b, x.Input, depth+1)
+	case *HashJoinOp:
+		shared := ""
+		if x.Shared != nil {
+			shared = " shared-build"
+		}
+		line("HashJoin kind=%s%s", x.Kind, shared)
+		explainPhys(b, x.Left, depth+1)
+		if x.Right != nil {
+			explainPhys(b, x.Right, depth+1)
+		} else if x.Shared != nil && x.Shared.right != nil {
+			explainPhys(b, x.Shared.right, depth+1)
+		}
+	case *PartitionJoinOp:
+		kind := "?"
+		if hj, ok := chainJoin(x.Pipeline); ok {
+			kind = hj.Kind.String()
+		}
+		line("PartitionJoin kind=%s units=%d workers=%d", kind, len(x.Units), x.workersWanted())
+		explainPhys(b, x.Pipeline, depth+1)
+	case *WindowOp:
+		line("Window %s", explainWindow(x))
+		explainPhys(b, x.Input, depth+1)
+	case *SpoolOp:
+		line("Spool id=%d", x.ID)
+		explainPhys(b, x.Input, depth+1)
+	case *SetOpOp:
+		line("SetOp kind=%v", x.Kind)
+		explainPhys(b, x.Left, depth+1)
+		explainPhys(b, x.Right, depth+1)
+	case *UnionAllOp:
+		line("UnionAll")
+		for _, in := range x.Inputs {
+			explainPhys(b, in, depth+1)
+		}
+	case *ValuesOp:
+		line("Values rows=%d", len(x.Rows))
+	default:
+		line("%T", op)
+		// Unknown wrappers (e.g. dag.SpillExchangeOp) are rendered opaque.
+	}
+}
+
+// explainWindow annotates the window's per-group plan: how many groups,
+// how many arrive presorted (sort elided) and how many share a partition
+// pass — the same classification computeResident will make.
+func explainWindow(w *WindowOp) string {
+	groups, err := buildWindowGroups(w.Fns, w.Input.Types())
+	if err != nil {
+		return fmt.Sprintf("fns=%d", len(w.Fns))
+	}
+	var delivered []plan.SortKey
+	if w.Ctx.propsOn() {
+		delivered = DeliveredProps(w.Input).Ordering
+	}
+	wp := planWindowGroups(groups, delivered, w.Ctx.propsOn())
+	presorted := 0
+	for _, p := range wp.presorted {
+		if p {
+			presorted++
+		}
+	}
+	sharedGroups := 0
+	for _, bucket := range wp.shared {
+		sharedGroups += len(bucket)
+	}
+	out := fmt.Sprintf("fns=%d specs=%d", len(w.Fns), len(groups))
+	if presorted > 0 {
+		out += fmt.Sprintf(" presorted=%d", presorted)
+	}
+	if sharedGroups > 0 {
+		out += fmt.Sprintf(" shared-partition-pass=%d(%d passes)", sharedGroups, len(wp.shared))
+	}
+	return out
+}
+
+func sortKeysDigest(keys []plan.SortKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.Digest()
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}

@@ -1,0 +1,198 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+func testValues(ts ...types.T) *ValuesOp {
+	return &ValuesOp{Rows: [][]types.Datum{}, Ts: ts}
+}
+
+func bigints(n int) []types.T {
+	ts := make([]types.T, n)
+	for i := range ts {
+		ts[i] = types.TBigint
+	}
+	return ts
+}
+
+func TestApplyPropertiesSortElision(t *testing.T) {
+	inner := &SortOp{Input: testValues(bigints(3)...), Keys: []plan.SortKey{{Col: 0}, {Col: 1}}}
+	outer := &SortOp{Input: inner, Keys: []plan.SortKey{{Col: 0}}}
+	if got := ApplyProperties(outer); got != Operator(inner) {
+		t.Fatalf("prefix-satisfied sort not elided: got %T", got)
+	}
+
+	inner = &SortOp{Input: testValues(bigints(3)...), Keys: []plan.SortKey{{Col: 0}}}
+	outer = &SortOp{Input: inner, Keys: []plan.SortKey{{Col: 0, Desc: true}}}
+	if got := ApplyProperties(outer); got != Operator(outer) {
+		t.Fatalf("direction-mismatched sort wrongly elided: got %T", got)
+	}
+}
+
+func TestApplyPropertiesTopNToLimit(t *testing.T) {
+	inner := &SortOp{Input: testValues(bigints(2)...), Keys: []plan.SortKey{{Col: 1}}}
+	top := &TopNOp{Input: inner, Keys: []plan.SortKey{{Col: 1}}, N: 5, Offset: 2}
+	got := ApplyProperties(top)
+	lim, ok := got.(*LimitOp)
+	if !ok {
+		t.Fatalf("TopN over ordered input should become Limit, got %T", got)
+	}
+	if lim.N != 5 || lim.Offset != 2 || lim.Input != Operator(inner) {
+		t.Fatalf("Limit misconfigured: %+v", lim)
+	}
+}
+
+func TestPushSortThroughWindow(t *testing.T) {
+	in := testValues(bigints(3)...)
+	w := &WindowOp{
+		Input: in,
+		Fns: []plan.WindowFn{{
+			Fn: "rank", PartitionBy: []int{0},
+			OrderBy: []plan.SortKey{{Col: 1}}, T: types.TBigint,
+		}},
+		Out: append(bigints(3), types.TBigint),
+	}
+	s := &SortOp{Input: w, Keys: []plan.SortKey{{Col: 0}, {Col: 1}}}
+	got := ApplyProperties(s)
+	if got != Operator(w) {
+		t.Fatalf("sort should commute below window, got %T", got)
+	}
+	ws, ok := w.Input.(*SortOp)
+	if !ok {
+		t.Fatalf("window input should be the pushed sort, got %T", w.Input)
+	}
+	if len(ws.Keys) != 2 || ws.Keys[0].Col != 0 || ws.Keys[1].Col != 1 {
+		t.Fatalf("pushed sort keys wrong: %+v", ws.Keys)
+	}
+	// The group must now classify as presorted.
+	groups, err := buildWindowGroups(w.Fns, in.Types())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := planWindowGroups(groups, DeliveredProps(w.Input).Ordering, true)
+	if !wp.presorted[0] {
+		t.Fatal("group not presorted after push-through")
+	}
+}
+
+func TestPushSortThroughWindowRejected(t *testing.T) {
+	// row_number is position-sensitive and the sort key is outside the
+	// group's partition+order columns: reordering could change values.
+	in := testValues(bigints(3)...)
+	w := &WindowOp{
+		Input: in,
+		Fns: []plan.WindowFn{{
+			Fn: "row_number", PartitionBy: []int{0},
+			OrderBy: []plan.SortKey{{Col: 1}}, T: types.TBigint,
+		}},
+		Out: append(bigints(3), types.TBigint),
+	}
+	s := &SortOp{Input: w, Keys: []plan.SortKey{{Col: 2}}}
+	if got := ApplyProperties(s); got != Operator(s) {
+		t.Fatalf("unsafe sort wrongly pushed, got %T", got)
+	}
+
+	// Same shape but float SUM: accumulation order matters.
+	wf := &WindowOp{
+		Input: testValues(types.TBigint, types.TBigint, types.TDouble),
+		Fns: []plan.WindowFn{{
+			Fn: "sum", Arg: &plan.ColRef{Idx: 2, T: types.TDouble},
+			PartitionBy: []int{0}, T: types.TDouble,
+		}},
+		Out: []types.T{types.TBigint, types.TBigint, types.TDouble, types.TDouble},
+	}
+	sf := &SortOp{Input: wf, Keys: []plan.SortKey{{Col: 2}}}
+	if got := ApplyProperties(sf); got != Operator(sf) {
+		t.Fatalf("float-sum sort wrongly pushed, got %T", got)
+	}
+}
+
+func TestWindowSortSatisfied(t *testing.T) {
+	g := &windowGroup{partitionBy: []int{0}, orderBy: []plan.SortKey{{Col: 1}}}
+	cases := []struct {
+		name      string
+		delivered []plan.SortKey
+		want      bool
+	}{
+		{"exact", []plan.SortKey{{Col: 0}, {Col: 1}}, true},
+		{"desc partition still covers", []plan.SortKey{{Col: 0, Desc: true}, {Col: 1}}, true},
+		{"extra trailing keys free", []plan.SortKey{{Col: 0}, {Col: 1}, {Col: 2}}, true},
+		{"orderBy direction mismatch", []plan.SortKey{{Col: 0}, {Col: 1, Desc: true}}, false},
+		{"partition not leading", []plan.SortKey{{Col: 1}, {Col: 0}}, false},
+		{"missing orderBy", []plan.SortKey{{Col: 0}}, false},
+		{"unordered", nil, false},
+	}
+	for _, c := range cases {
+		if got := windowSortSatisfied(c.delivered, g); got != c.want {
+			t.Errorf("%s: windowSortSatisfied=%v, want %v", c.name, got, c.want)
+		}
+	}
+	// Multi-column partition: any permutation of the set works.
+	g2 := &windowGroup{partitionBy: []int{2, 0}}
+	if !windowSortSatisfied([]plan.SortKey{{Col: 0}, {Col: 2, Desc: true}}, g2) {
+		t.Error("permuted partition cover rejected")
+	}
+	// Empty spec never "satisfies" (nothing to skip).
+	if windowSortSatisfied([]plan.SortKey{{Col: 0}}, &windowGroup{}) {
+		t.Error("empty spec should not classify as presorted")
+	}
+}
+
+func TestPlanWindowGroupsShared(t *testing.T) {
+	inTypes := bigints(3)
+	fns := []plan.WindowFn{
+		{Fn: "rank", PartitionBy: []int{0}, OrderBy: []plan.SortKey{{Col: 1}}, T: types.TBigint},
+		{Fn: "rank", PartitionBy: []int{0}, OrderBy: []plan.SortKey{{Col: 2}}, T: types.TBigint},
+		{Fn: "count", PartitionBy: []int{1}, T: types.TBigint},
+	}
+	groups, err := buildWindowGroups(fns, inTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := planWindowGroups(groups, nil, true)
+	if len(wp.shared) != 1 || len(wp.shared[0]) != 2 {
+		t.Fatalf("expected one shared bucket of 2 groups, got %+v", wp.shared)
+	}
+	if len(wp.solo) != 1 {
+		t.Fatalf("expected one solo group, got %+v", wp.solo)
+	}
+	// Knob off: everything solo.
+	wp = planWindowGroups(groups, nil, false)
+	if len(wp.shared) != 0 || len(wp.solo) != 3 {
+		t.Fatalf("props-off classification wrong: %+v", wp)
+	}
+}
+
+func TestDeliveredPropsProjectRemap(t *testing.T) {
+	inTypes := bigints(3)
+	srt := &SortOp{Input: testValues(inTypes...), Keys: []plan.SortKey{{Col: 2}, {Col: 0}}}
+	// Project [col2, col0] — ordering remaps to output ordinals [0, 1].
+	e2, err := Compile(&plan.ColRef{Idx: 2, T: types.TBigint}, inTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, err := Compile(&plan.ColRef{Idx: 0, T: types.TBigint}, inTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := &ProjectOp{Input: srt, Exprs: []*CompiledExpr{e2, e0}, Out: bigints(2)}
+	got := DeliveredProps(proj).Ordering
+	if len(got) != 2 || got[0].Col != 0 || got[1].Col != 1 {
+		t.Fatalf("remapped ordering wrong: %+v", got)
+	}
+}
+
+func TestExplainPhysical(t *testing.T) {
+	srt := &SortOp{Input: testValues(bigints(2)...), Keys: []plan.SortKey{{Col: 1, Desc: true}}}
+	out := ExplainPhysical(&LimitOp{Input: srt, N: 3})
+	for _, want := range []string{"Limit n=3", "Sort keys=[$1 desc]", "Values rows=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}

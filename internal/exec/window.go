@@ -26,6 +26,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/plan"
@@ -329,42 +330,207 @@ func (w *WindowOp) computeResident() error {
 	// peak) without a denial path — the spill decision already happened
 	// during consume.
 	w.store.res.ForceGrow(int64(len(rows)) * int64(len(w.Fns)) * 48)
-	for gi := range w.groups {
-		g := &w.groups[gi]
-		keys := g.sortKeys(-1)
+	var delivered []plan.SortKey
+	if w.Ctx.propsOn() {
+		delivered = DeliveredProps(w.Input).Ordering
+	}
+	wp := planWindowGroups(w.groups, delivered, w.Ctx.propsOn())
+	identity := func() []int {
 		idx := make([]int, len(rows))
 		for i := range idx {
 			idx[i] = i
 		}
+		return idx
+	}
+	// Presorted groups: the input already delivers (partition, order), and
+	// the stable sort's arrival tie-break would reproduce the delivered
+	// order exactly — so the identity permutation IS the sorted one.
+	for gi := range w.groups {
+		if wp.presorted[gi] {
+			if err := w.evalPartitions(&w.groups[gi], identity()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, gi := range wp.solo {
+		g := &w.groups[gi]
+		idx := identity()
 		// No keys (e.g. count(*) OVER ()) means one partition in arrival
 		// order — exactly what idx already is.
-		if len(keys) > 0 {
+		if keys := g.sortKeys(-1); len(keys) > 0 {
 			mergeSortIdx(idx, func(a, b int) bool {
 				return rowLess(rows[a], rows[b], keys)
 			})
 		}
-		for lo := 0; lo < len(idx); {
-			hi := lo + 1
-			for hi < len(idx) && g.samePartition(rows[idx[lo]], rows[idx[hi]]) {
-				hi++
-			}
-			part := make([][]types.Datum, hi-lo)
-			for k := range part {
-				part[k] = rows[idx[lo+k]]
-			}
-			res, err := evalGroupPartition(g, w.Fns, part)
-			if err != nil {
-				return err
-			}
-			for i, fi := range g.fnIdx {
-				for k := range part {
-					w.results[fi][idx[lo+k]] = res[i][k]
-				}
-			}
-			lo = hi
+		if err := w.evalPartitions(g, idx); err != nil {
+			return err
+		}
+	}
+	for _, bucket := range wp.shared {
+		if err := w.evalSharedPartitionPass(bucket); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// evalPartition evaluates group g over one partition, given as row
+// ordinals in partition order, scattering results by ordinal.
+func (w *WindowOp) evalPartition(g *windowGroup, sub []int) error {
+	rows := w.store.rows
+	part := make([][]types.Datum, len(sub))
+	for k := range part {
+		part[k] = rows[sub[k]]
+	}
+	res, err := evalGroupPartition(g, w.Fns, part)
+	if err != nil {
+		return err
+	}
+	for i, fi := range g.fnIdx {
+		for k := range sub {
+			w.results[fi][sub[k]] = res[i][k]
+		}
+	}
+	return nil
+}
+
+// evalPartitions walks the contiguous partitions of an index already
+// grouped by g's partition columns and evaluates each.
+func (w *WindowOp) evalPartitions(g *windowGroup, idx []int) error {
+	rows := w.store.rows
+	for lo := 0; lo < len(idx); {
+		hi := lo + 1
+		for hi < len(idx) && g.samePartition(rows[idx[lo]], rows[idx[hi]]) {
+			hi++
+		}
+		if err := w.evalPartition(g, idx[lo:hi]); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// evalSharedPartitionPass runs one partition pass for a bucket of groups
+// that share a PARTITION BY column set: a single stable sort by the
+// partition columns, then per contiguous partition a per-group stable
+// sub-sort by that group's order keys.
+//
+// Byte-identity: the partition sort leaves rows within a partition in
+// arrival order, so the orderBy sub-sort yields rows ordered by orderBy
+// with arrival tie-break — exactly the permutation the group's solo
+// (partition, order) sort would produce. Results scatter by row ordinal,
+// so partition visit order never shows.
+func (w *WindowOp) evalSharedPartitionPass(bucket []int) error {
+	rows := w.store.rows
+	rep := &w.groups[bucket[0]]
+	pcols := partSetCols(rep.partitionBy)
+	pkeys := make([]plan.SortKey, len(pcols))
+	for i, c := range pcols {
+		pkeys[i] = plan.SortKey{Col: c}
+	}
+	pidx := make([]int, len(rows))
+	for i := range pidx {
+		pidx[i] = i
+	}
+	mergeSortIdx(pidx, func(a, b int) bool {
+		return rowLess(rows[a], rows[b], pkeys)
+	})
+	for lo := 0; lo < len(pidx); {
+		hi := lo + 1
+		for hi < len(pidx) && rep.samePartition(rows[pidx[lo]], rows[pidx[hi]]) {
+			hi++
+		}
+		for _, gi := range bucket {
+			g := &w.groups[gi]
+			sub := pidx[lo:hi]
+			if len(g.orderBy) > 0 {
+				sub = append([]int(nil), sub...)
+				mergeSortIdx(sub, func(a, b int) bool {
+					return rowLess(rows[a], rows[b], g.orderBy)
+				})
+			}
+			if err := w.evalPartition(g, sub); err != nil {
+				return err
+			}
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// windowPlan classifies a WindowOp's spec groups by how their
+// (partition, order) requirement will be met: presorted groups find it
+// already delivered by the input, shared buckets (≥2 groups on one
+// PARTITION BY column set) split one partition pass, solo groups sort for
+// themselves — the enforcer-everywhere default.
+type windowPlan struct {
+	presorted []bool
+	shared    [][]int
+	solo      []int
+}
+
+func planWindowGroups(groups []windowGroup, delivered []plan.SortKey, propsOn bool) windowPlan {
+	wp := windowPlan{presorted: make([]bool, len(groups))}
+	if !propsOn {
+		for gi := range groups {
+			wp.solo = append(wp.solo, gi)
+		}
+		return wp
+	}
+	byPart := map[string][]int{}
+	for gi := range groups {
+		g := &groups[gi]
+		if windowSortSatisfied(delivered, g) {
+			wp.presorted[gi] = true
+			continue
+		}
+		if len(g.partitionBy) == 0 {
+			wp.solo = append(wp.solo, gi)
+			continue
+		}
+		byPart[partSetKey(g.partitionBy)] = append(byPart[partSetKey(g.partitionBy)], gi)
+	}
+	// Emit buckets in first-seen group order for deterministic plans.
+	done := map[string]bool{}
+	for gi := range groups {
+		g := &groups[gi]
+		if wp.presorted[gi] || len(g.partitionBy) == 0 {
+			continue
+		}
+		k := partSetKey(g.partitionBy)
+		if done[k] {
+			continue
+		}
+		done[k] = true
+		if b := byPart[k]; len(b) >= 2 {
+			wp.shared = append(wp.shared, b)
+		} else {
+			wp.solo = append(wp.solo, b...)
+		}
+	}
+	return wp
+}
+
+// partSetCols returns the sorted, deduplicated partition column set.
+func partSetCols(cols []int) []int {
+	s := append([]int(nil), cols...)
+	sort.Ints(s)
+	out := s[:0]
+	for i, c := range s {
+		if i == 0 || c != s[i-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func partSetKey(cols []int) string {
+	var b strings.Builder
+	for _, c := range partSetCols(cols) {
+		fmt.Fprintf(&b, "%d,", c)
+	}
+	return b.String()
 }
 
 // computeExternal assembles the spilled plan: per group a

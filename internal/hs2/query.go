@@ -507,8 +507,10 @@ func (s *Session) runOnce(qctx context.Context, rel plan.Rel, memLimit int64, ad
 		TargetStripes:   int(s.confInt("hive.split.target.stripes")),
 		SerialSort:      !s.confBool("hive.sort.parallel"),
 		SerialSpool:     !s.confBool("hive.spool.parallel"),
+		NoProps:         !s.confBool("hive.planner.properties"),
 	}
 	op, shape := runner.Prepare(op)
+	s.LastPhysicalPlan = exec.ExplainPhysical(op)
 	return runner.Run(op, shape)
 }
 

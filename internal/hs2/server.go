@@ -114,6 +114,14 @@ func NewServer(cfg Config) *Server {
 			// shared cursor (materialization itself is single-flight).
 			// false keeps spooled subtrees on serial pipelines.
 			"hive.spool.parallel": "true",
+			// Property-driven physical planning (paper §4.1–4.2): carry
+			// delivered sort order / partitioning through the plan, elide
+			// enforcers the input already satisfies (redundant sorts,
+			// window re-sorts) and place partition-wise aggregations and
+			// joins on co-partitioned scans. false restores the
+			// enforcer-everywhere plans; output is byte-identical either
+			// way.
+			"hive.planner.properties": "true",
 			// Per-query memory budget in bytes for the blocking operators
 			// (sort, hash aggregate, hash join build, window, spool). 0
 			// means unlimited; a positive budget makes Sort spill sorted
@@ -163,6 +171,11 @@ type Session struct {
 	LastCacheHit bool
 	// LastPlan is the EXPLAIN rendering of the previous query's plan.
 	LastPlan string
+	// LastPhysicalPlan is the prepared physical operator tree of the
+	// previous executed query (exec.ExplainPhysical): what actually ran,
+	// after property-driven elision and parallel placement. Golden-explain
+	// tests assert which enforcers survived.
+	LastPhysicalPlan string
 	// Reexecutions counts reoptimization retries in this session.
 	Reexecutions int
 	// LastPeakMemoryBytes and LastSpilledBytes report the previous query's

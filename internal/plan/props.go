@@ -1,0 +1,91 @@
+// Physical properties (Calcite-style traits, paper §4.1–4.2): the planner
+// carries what each operator's output already guarantees — sort order,
+// hash/value partitioning, uniqueness — and inserts enforcers (Sort,
+// exchange) only when a consumer's required property is not satisfied by
+// what its input delivers. The types live in plan so both the optimizer
+// and the physical layer speak the same vocabulary.
+package plan
+
+// Properties describes what an operator's output stream guarantees.
+// The zero value promises nothing.
+type Properties struct {
+	// Ordering is the delivered sort order: rows are non-decreasing under
+	// these keys, compared exactly as SortOp would (direction and NULL
+	// placement per key). Empty means unordered.
+	Ordering []SortKey
+	// Partitioning lists output ordinals the stream is value-partitioned
+	// on: rows that agree on these columns arrive from the same partition
+	// unit (a Hive partition directory is one distinct value combination),
+	// so any two rows with equal values on ALL of these columns share a
+	// unit. Empty means unknown.
+	Partitioning []int
+	// Unique lists key sets (output ordinals) known to be duplicate-free,
+	// e.g. the group-by columns of an aggregate. Empty means unknown.
+	Unique [][]int
+}
+
+// OrderingSatisfies reports whether a stream ordered by delivered is also
+// ordered by required: required must be a per-position prefix of delivered
+// with exact key equality (column, direction, NULL placement). A longer
+// delivered ordering only refines ties of the required prefix, which
+// preserves the required order.
+func OrderingSatisfies(delivered, required []SortKey) bool {
+	if len(required) > len(delivered) {
+		return false
+	}
+	for i, k := range required {
+		if delivered[i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// PartitioningSatisfies reports whether value-partitioning on delivered
+// columns implies co-location for rows that agree on the required columns:
+// true iff every delivered column is among the required ones (set
+// containment delivered ⊆ required). Rows equal on all required columns
+// are then equal on all delivered columns, hence in the same unit.
+func PartitioningSatisfies(delivered, required []int) bool {
+	if len(delivered) == 0 {
+		return false
+	}
+	for _, d := range delivered {
+		found := false
+		for _, r := range required {
+			if d == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// OrderingCoversSet reports whether the first keys of delivered cover
+// exactly the column set cols (any direction, any permutation), returning
+// the number of leading keys consumed, or -1. Sorting by any permutation
+// and direction of a column set still groups equal combinations
+// contiguously, which is all a partition pass needs.
+func OrderingCoversSet(delivered []SortKey, cols []int) int {
+	want := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		want[c] = true
+	}
+	n := len(want)
+	if n > len(delivered) {
+		return -1
+	}
+	seen := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		c := delivered[i].Col
+		if !want[c] || seen[c] {
+			return -1
+		}
+		seen[c] = true
+	}
+	return n
+}

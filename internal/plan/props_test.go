@@ -1,0 +1,72 @@
+package plan
+
+import "testing"
+
+func k(col int) SortKey            { return SortKey{Col: col} }
+func kd(col int) SortKey           { return SortKey{Col: col, Desc: true} }
+func knf(col int) SortKey          { return SortKey{Col: col, NullsFirst: true} }
+func keys(ks ...SortKey) []SortKey { return ks }
+
+func TestOrderingSatisfies(t *testing.T) {
+	cases := []struct {
+		name               string
+		delivered, require []SortKey
+		want               bool
+	}{
+		{"exact", keys(k(0), k(1)), keys(k(0), k(1)), true},
+		{"prefix", keys(k(0), k(1), k(2)), keys(k(0)), true},
+		{"empty required", keys(k(0)), nil, true},
+		{"longer required", keys(k(0)), keys(k(0), k(1)), false},
+		{"desc mismatch", keys(k(0)), keys(kd(0)), false},
+		{"nulls mismatch", keys(k(0)), keys(knf(0)), false},
+		{"wrong column", keys(k(1)), keys(k(0)), false},
+		{"not a prefix", keys(k(1), k(0)), keys(k(0)), false},
+		{"unordered delivered", nil, keys(k(0)), false},
+	}
+	for _, c := range cases {
+		if got := OrderingSatisfies(c.delivered, c.require); got != c.want {
+			t.Errorf("%s: OrderingSatisfies=%v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPartitioningSatisfies(t *testing.T) {
+	cases := []struct {
+		name               string
+		delivered, require []int
+		want               bool
+	}{
+		{"subset", []int{0}, []int{0, 1}, true},
+		{"equal", []int{0, 1}, []int{1, 0}, true},
+		{"unknown delivered", nil, []int{0}, false},
+		{"extra delivered col", []int{0, 2}, []int{0, 1}, false},
+	}
+	for _, c := range cases {
+		if got := PartitioningSatisfies(c.delivered, c.require); got != c.want {
+			t.Errorf("%s: PartitioningSatisfies=%v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOrderingCoversSet(t *testing.T) {
+	cases := []struct {
+		name      string
+		delivered []SortKey
+		cols      []int
+		want      int
+	}{
+		{"exact order", keys(k(0), k(1)), []int{0, 1}, 2},
+		{"permuted", keys(k(1), k(0), k(2)), []int{0, 1}, 2},
+		{"desc still covers", keys(kd(0)), []int{0}, 1},
+		{"duplicate cols dedup", keys(k(0)), []int{0, 0}, 1},
+		{"empty set", keys(k(0)), nil, 0},
+		{"foreign leading key", keys(k(2), k(0)), []int{0, 1}, -1},
+		{"too short", keys(k(0)), []int{0, 1}, -1},
+		{"extra keys beyond set", keys(k(1), k(0)), []int{1}, 1},
+	}
+	for _, c := range cases {
+		if got := OrderingCoversSet(c.delivered, c.cols); got != c.want {
+			t.Errorf("%s: OrderingCoversSet=%d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -110,6 +110,28 @@ func (v *Vector) SetNull(i int) {
 	v.Nulls[i] = true
 }
 
+// EqDatum reports whether row i equals d under key equality — the same
+// relation Datum.Compare() == 0 yields — without materializing a Datum.
+// The caller must have materialized d from a vector of this column's type
+// (aggregation group keys are), so kinds and decimal scales already agree
+// and the raw backing values compare directly. Float equality mirrors
+// cmpFloat (!(a<b) && !(a>b)), under which NaN equals everything — the
+// same treatment the sort and group paths give it.
+func (v *Vector) EqDatum(i int, d types.Datum) bool {
+	if null := v.IsNull(i); null || d.Null {
+		return null == d.Null
+	}
+	switch v.Type.Kind {
+	case types.Float64:
+		a, b := v.F64[i], d.F
+		return !(a < b) && !(a > b)
+	case types.String:
+		return v.Str[i] == d.S
+	default:
+		return v.I64[i] == d.I
+	}
+}
+
 // Get materializes row i as a Datum. Not for hot loops.
 func (v *Vector) Get(i int) types.Datum {
 	if v.IsNull(i) {

@@ -1,0 +1,220 @@
+package hive
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// physPlan executes the query and returns the prepared physical plan the
+// session recorded for it.
+func physPlan(t *testing.T, s *Session, query string) string {
+	t.Helper()
+	if _, err := s.Exec(query); err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	return s.Internal().LastPhysicalPlan
+}
+
+// propsCompare runs one query under properties on and off across DOPs.
+// At parallelism 1 both plans are fully deterministic and the outputs must
+// match byte for byte — the tentpole's core promise. At higher DOPs morsel
+// stealing makes tie order nondeterministic in BOTH plans, so the check is
+// the same one the parallelism suite uses: equal sorted line sets, plus an
+// exact sort-key sequence when the query has an ORDER BY (tie-permutation
+// proof).
+func propsCompare(t *testing.T, s *Session, query string, ordCols []int) {
+	t.Helper()
+	s.SetConf("hive.parallelism", "1")
+	s.SetConf("hive.planner.properties", "false")
+	base, err := s.Exec(query)
+	if err != nil {
+		t.Fatalf("baseline %s: %v", query, err)
+	}
+	s.SetConf("hive.planner.properties", "true")
+	got, err := s.Exec(query)
+	if err != nil {
+		t.Fatalf("props dop=1 %s: %v", query, err)
+	}
+	if got.String() != base.String() {
+		t.Errorf("dop=1 output not byte-identical for %s\n got: %q\nwant: %q", query, got.String(), base.String())
+	}
+	for _, dop := range []string{"2", "4"} {
+		s.SetConf("hive.parallelism", dop)
+		for _, props := range []string{"false", "true"} {
+			s.SetConf("hive.planner.properties", props)
+			res, err := s.Exec(query)
+			if err != nil {
+				t.Fatalf("props=%s dop=%s %s: %v", props, dop, query, err)
+			}
+			if got, want := sortedLines(res), sortedLines(base); got != want {
+				t.Errorf("props=%s dop=%s %s: result multiset diverges\n got %q\nwant %q", props, dop, query, got, want)
+			}
+			for _, col := range ordCols {
+				if got, want := columnSeq(res, col), columnSeq(base, col); got != want {
+					t.Errorf("props=%s dop=%s %s: sort-key sequence diverges\n got %q\nwant %q", props, dop, query, got, want)
+				}
+			}
+		}
+	}
+	s.SetConf("hive.parallelism", "1")
+	s.SetConf("hive.planner.properties", "true")
+}
+
+// TestPropsWindowSortElision is payday 1: ORDER BY matching a window's
+// (PARTITION BY, ORDER BY) commutes below the window, whose own sort then
+// disappears — and under parallelism the pushed sort runs per worker under
+// an order-preserving merge, with the window consuming merge output
+// directly.
+func TestPropsWindowSortElision(t *testing.T) {
+	_, s := windowWarehouse(t, 400)
+	q := `SELECT g, k, v, rank() OVER (PARTITION BY g ORDER BY k) FROM w ORDER BY g, k`
+
+	plan := physPlan(t, s, q)
+	if !strings.Contains(plan, "presorted=1") {
+		t.Errorf("window group should be presorted (sort elided):\n%s", plan)
+	}
+	// The plan must start with the window pipeline, not a coordinator sort.
+	if strings.HasPrefix(strings.TrimSpace(plan), "Sort") {
+		t.Errorf("enforcer sort survived above the window:\n%s", plan)
+	}
+
+	s.SetConf("hive.parallelism", "4")
+	plan = physPlan(t, s, q)
+	if !strings.Contains(plan, "MergeExchange") || !strings.Contains(plan, "presorted=1") {
+		t.Errorf("parallel plan should feed the window from a merge exchange, sort elided:\n%s", plan)
+	}
+	s.SetConf("hive.parallelism", "1")
+
+	s.SetConf("hive.planner.properties", "false")
+	plan = physPlan(t, s, q)
+	if strings.Contains(plan, "presorted") {
+		t.Errorf("enforcer-everywhere plan should not elide the window sort:\n%s", plan)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(plan), "Sort") {
+		t.Errorf("enforcer-everywhere plan should keep the coordinator sort:\n%s", plan)
+	}
+	s.SetConf("hive.planner.properties", "true")
+
+	// Byte-identity across DOPs, with ties and NULL order keys in w.
+	propsCompare(t, s, q, []int{0, 1})
+	// DESC and NULLS-bearing orderings, including shapes where the
+	// rewrite must NOT fire (direction mismatch): both plans stay equal.
+	propsCompare(t, s, `SELECT g, k, v, rank() OVER (PARTITION BY g ORDER BY k) FROM w ORDER BY g, k DESC`, []int{0, 1})
+	propsCompare(t, s, `SELECT g, k, SUM(v) OVER (PARTITION BY g ORDER BY k DESC) FROM w ORDER BY g, k DESC`, []int{0, 1})
+	propsCompare(t, s, `SELECT k, v, row_number() OVER (PARTITION BY k ORDER BY v) FROM w ORDER BY k, v`, []int{0, 1})
+}
+
+// TestPropsSharedPartitionPass is payday 2: window specs sharing a
+// PARTITION BY column set run one partition pass and differ only in the
+// per-partition re-sort.
+func TestPropsSharedPartitionPass(t *testing.T) {
+	_, s := windowWarehouse(t, 400)
+	q := `SELECT g, k, v,
+	        SUM(v) OVER (PARTITION BY g ORDER BY k),
+	        rank() OVER (PARTITION BY g ORDER BY v DESC),
+	        COUNT(v) OVER (PARTITION BY k)
+	      FROM w`
+
+	plan := physPlan(t, s, q)
+	if !strings.Contains(plan, "shared-partition-pass=2(1 passes)") {
+		t.Errorf("two PARTITION BY g specs should share one partition pass:\n%s", plan)
+	}
+
+	s.SetConf("hive.planner.properties", "false")
+	plan = physPlan(t, s, q)
+	if strings.Contains(plan, "shared-partition-pass") {
+		t.Errorf("enforcer-everywhere plan should not share passes:\n%s", plan)
+	}
+	s.SetConf("hive.planner.properties", "true")
+
+	// No ORDER BY: emission is arrival order in both modes, so DOP 1 is
+	// byte-exact and higher DOPs compare as multisets.
+	propsCompare(t, s, q, nil)
+	// Shared pass under an ORDER BY that also presorts one of the specs.
+	propsCompare(t, s, `SELECT g, k, v,
+	        SUM(v) OVER (PARTITION BY g ORDER BY k),
+	        AVG(v) OVER (PARTITION BY g ORDER BY v),
+	        rank() OVER (PARTITION BY g ORDER BY k DESC)
+	      FROM w ORDER BY g, k`, []int{0, 1})
+}
+
+// TestPropsPartitionWiseAggAndJoin is payday 3: aggregation and join over
+// scans already partitioned on the keys run partition-wise — no stripe
+// splitting, key-disjoint partials with an append-only merge for the
+// aggregation, per-unit builds with no shared hash table for the join.
+func TestPropsPartitionWiseAggAndJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TPC-DS setup")
+	}
+	wh, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	s := wh.Session()
+	if err := bench.SetupTPCDS(func(q string) error { _, err := s.Exec(q); return err }, bench.TinyTPCDS()); err != nil {
+		t.Fatal(err)
+	}
+	s.SetConf("hive.query.results.cache.enabled", "false")
+	s.SetConf("hive.optimize.semijoin", "false")
+
+	aggQ := `SELECT ss_sold_date_sk, COUNT(*), SUM(ss_sales_price) FROM store_sales
+	         GROUP BY ss_sold_date_sk ORDER BY ss_sold_date_sk`
+	joinQ := `SELECT ss_item_sk, ss_ticket_number, sr_item_sk FROM store_sales, store_returns
+	          WHERE ss_sold_date_sk = sr_returned_date_sk AND ss_item_sk = sr_item_sk`
+
+	s.SetConf("hive.parallelism", "4")
+	plan := physPlan(t, s, aggQ)
+	if !strings.Contains(plan, "partition-wise") {
+		t.Errorf("group by the partition column should aggregate partition-wise:\n%s", plan)
+	}
+	plan = physPlan(t, s, joinQ)
+	if !strings.Contains(plan, "PartitionJoin") {
+		t.Errorf("co-partitioned join should run partition-wise:\n%s", plan)
+	}
+	if strings.Contains(plan, "shared-build") {
+		t.Errorf("partition-wise join should not build a shared table:\n%s", plan)
+	}
+
+	s.SetConf("hive.planner.properties", "false")
+	plan = physPlan(t, s, aggQ)
+	if strings.Contains(plan, "partition-wise") {
+		t.Errorf("enforcer-everywhere agg should not be partition-wise:\n%s", plan)
+	}
+	plan = physPlan(t, s, joinQ)
+	if strings.Contains(plan, "PartitionJoin") {
+		t.Errorf("enforcer-everywhere join should use the shared build:\n%s", plan)
+	}
+	s.SetConf("hive.planner.properties", "true")
+	s.SetConf("hive.parallelism", "1")
+
+	// Group keys are unique per date, so the ORDER BY output is fully
+	// deterministic at every DOP; the join compares as a multiset.
+	propsCompare(t, s, aggQ, []int{0})
+	propsCompare(t, s, joinQ, nil)
+	// Partition-wise placements must not fire for non-covering keys, and
+	// results stay equal when they do not.
+	propsCompare(t, s, `SELECT ss_item_sk, COUNT(*) FROM store_sales GROUP BY ss_item_sk`, nil)
+	// Multi-key grouping that still covers the partition column.
+	propsCompare(t, s, `SELECT ss_sold_date_sk, ss_store_sk, SUM(ss_quantity) FROM store_sales
+	                    GROUP BY ss_sold_date_sk, ss_store_sk ORDER BY ss_sold_date_sk, ss_store_sk`, []int{0, 1})
+}
+
+// TestPropsKnobRestoresEnforcers pins the session knob end to end: the
+// same query flips between property-driven and enforcer-everywhere
+// physical plans as hive.planner.properties toggles.
+func TestPropsKnobRestoresEnforcers(t *testing.T) {
+	_, s := windowWarehouse(t, 200)
+	q := `SELECT g, k, rank() OVER (PARTITION BY g ORDER BY k) FROM w ORDER BY g, k`
+	on := physPlan(t, s, q)
+	s.SetConf("hive.planner.properties", "false")
+	off := physPlan(t, s, q)
+	if on == off {
+		t.Fatalf("knob has no effect on the physical plan:\n%s", on)
+	}
+	if !strings.Contains(on, "presorted") || strings.Contains(off, "presorted") {
+		t.Errorf("knob mismatch\non:\n%s\noff:\n%s", on, off)
+	}
+}
