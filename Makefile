@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet race spill props hammer bench
+.PHONY: check build test vet race spill props serve hammer bench
 
 # check is the CI gate: vet, build, a -race short-test pass over every
 # package (catches data races in the parallel scan/agg/join paths, the
 # stripe-granular morsel sharing and the shared memory governor), the
 # full suite, then the constrained-budget spill regressions — the spill
 # path can never silently rot because check always executes it.
-check: vet build race test spill props
+check: vet build race test spill props serve
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,22 @@ spill:
 # bytes as the enforcer-everywhere plans at DOP 1/2/4.
 props:
 	$(GO) test -run 'Props|OrderingSatisfies|PartitioningSatisfies|OrderingCoversSet|ApplyProperties|PushSortThroughWindow|WindowSortSatisfied|PlanWindowGroups|DeliveredProps|ExplainPhysical' ./internal/plan ./internal/exec .
+
+# serve is the hot-path serving gate (PR 8): literal parameterization and
+# digest tests, plan-cache and rewritten result-cache unit suites (the
+# result cache also under -race with -tags stress, which deep-freezes
+# cached rows and panics on any post-fill mutation), the hs2 regression
+# tests for the snapshot-TOCTOU / aliasing / eviction-on-replace /
+# admission-digest fixes, and the end-to-end prepared-vs-adhoc
+# byte-identity, EXECUTE+INSERT hammer and thundering-herd tests under
+# -race.
+serve:
+	$(GO) test ./internal/plancache
+	$(GO) test ./internal/sql -run 'Parameterize|ParsePrepareExecuteDeallocate'
+	$(GO) test ./internal/plan -run 'BindParams'
+	$(GO) test -race -tags stress ./internal/resultcache
+	$(GO) test -race -run 'ResultCacheSnapshotPinned|NormalizedAdmissionDigest|PlanCache|PreparedStatement' ./internal/hs2
+	$(GO) test -race -run 'PreparedByteIdenticalToAdhoc|HotPathSkipsCompile|ExecuteInsertHammer|ThunderingHerd|WMHistorySharedAcrossLiterals' .
 
 # hammer is the multi-tenant overload gate: ~200 concurrent sessions
 # across two memory-budgeted WM pools (tiny lookups + beyond-memory

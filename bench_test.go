@@ -516,3 +516,72 @@ func BenchmarkPropertyPlanning(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPreparedServing measures the hot serving path (PR 8): one query
+// shape executed with rotating literals through three pipelines — the cold
+// per-query pipeline (plan cache off), the transparent normalized plan
+// cache (ad-hoc SQL, template reused across literals), and PREPARE/EXECUTE
+// (no parsing or planning at all). The result cache is off in every mode
+// and the literal rotates each iteration, so the delta is compilation
+// elided, not rows remembered. On the EXECUTE path LastCompileNanos must
+// be exactly zero; the benchmark asserts it. Results recorded in
+// BENCH_PR8.json.
+func BenchmarkPreparedServing(b *testing.B) {
+	// Serving shape: hot data is small and the query is compile-heavy (a
+	// 4-way join the optimizer must reorder), so per-query planning is a
+	// large slice of latency — the regime §4.3 targets.
+	scale := bench.TPCDSScale{SalesRows: 200, ReturnsRows: 20, Items: 50, Customers: 20, Stores: 4, DateDays: 4}
+	const shape = `SELECT i_category, s_store_name, COUNT(*), SUM(ss_sales_price)
+		FROM store_sales, item, store, date_dim
+		WHERE ss_item_sk = i_item_sk AND ss_store_sk = s_store_sk
+		  AND ss_sold_date_sk = d_date_sk AND ss_quantity > %d
+		GROUP BY i_category, s_store_name ORDER BY i_category, s_store_name`
+	newSession := func(b *testing.B) *Session {
+		wh, err := Open(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { wh.Close() })
+		s := wh.Session()
+		if err := bench.SetupTPCDS(func(q string) error { _, err := s.Exec(q); return err }, scale); err != nil {
+			b.Fatal(err)
+		}
+		s.SetConf("hive.query.results.cache.enabled", "false")
+		s.SetConf("hive.parallelism", "1")
+		return s
+	}
+	b.Run("adhoc_cold", func(b *testing.B) {
+		s := newSession(b)
+		s.SetConf("hive.query.plan.cache.enabled", "false")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(fmt.Sprintf(shape, i%50)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("adhoc_plancache", func(b *testing.B) {
+		s := newSession(b)
+		s.MustExec(fmt.Sprintf(shape, 0)) // warm the template
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(fmt.Sprintf(shape, i%50)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared_execute", func(b *testing.B) {
+		s := newSession(b)
+		s.MustExec(`PREPARE serve AS ` + fmt.Sprintf(shape, 0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(fmt.Sprintf(`EXECUTE serve (%d)`, i%50)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if n := s.Internal().LastCompileNanos; n != 0 {
+			b.Fatalf("EXECUTE hot path compiled: %dns", n)
+		}
+	})
+}

@@ -26,6 +26,9 @@ func (b *builder) resolveExpr(e sql.Expr) (plan.Rex, error) {
 	case *sql.Lit:
 		return plan.NewLiteral(x.Val), nil
 
+	case *sql.Param:
+		return &plan.Param{Ord: x.Ord, T: x.T}, nil
+
 	case *sql.Ident:
 		return b.resolveIdent(x)
 

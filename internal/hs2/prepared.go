@@ -1,0 +1,166 @@
+package hs2
+
+import (
+	"fmt"
+
+	"repro/internal/analyze"
+	"repro/internal/opt"
+	"repro/internal/plancache"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// preparedStmt is one PREPARE'd statement in a session: the parameterized
+// AST, its normalized digest, and the declared parameter types. The
+// compiled template itself lives in the server-wide plan cache so every
+// session preparing the same shape shares one compilation; the session
+// entry is just the handle EXECUTE resolves by name.
+type preparedStmt struct {
+	name       string
+	db         string // database the statement was prepared against
+	digest     string // normalized digest of the parameterized form
+	norm       *sql.SelectStmt
+	paramTypes []types.T
+	det        bool
+}
+
+// executePrepare parses already happened; hoist literals, compile the
+// template eagerly (so EXECUTE is pure bind-and-run), and register the
+// name. Re-preparing an existing name replaces it.
+func (s *Session) executePrepare(x *sql.PrepareStmt) (*Result, error) {
+	if s.v12() {
+		if err := checkV12Support(x.Select); err != nil {
+			return nil, err
+		}
+	}
+	norm, args, digest := sql.Parameterize(x.Select)
+	paramTypes := make([]types.T, len(args))
+	for i, a := range args {
+		paramTypes[i] = sql.ParamType(a)
+	}
+	p := &preparedStmt{
+		name:       x.Name,
+		db:         s.db,
+		digest:     digest,
+		norm:       norm,
+		paramTypes: paramTypes,
+		det:        sql.IsDeterministic(x.Select),
+	}
+	// Compile now: a PREPARE that cannot plan should fail at PREPARE, and
+	// the warm template makes the first EXECUTE as cheap as the rest.
+	if _, err := s.templateFor(p); err != nil {
+		return nil, err
+	}
+	if s.prepared == nil {
+		s.prepared = map[string]*preparedStmt{}
+	}
+	s.prepared[x.Name] = p
+	return &Result{}, nil
+}
+
+// templateFor returns the compiled plan template for a prepared statement,
+// from the plan cache when possible, compiling (and caching) otherwise.
+func (s *Session) templateFor(p *preparedStmt) (*plancache.Entry, error) {
+	key := plancache.Key{
+		DB:     p.db,
+		Digest: p.digest,
+		Schema: s.srv.MS.SchemaVersion(),
+		Conf:   s.planConfFingerprint(),
+	}
+	cacheable := s.confBool("hive.query.plan.cache.enabled")
+	if cacheable {
+		if e := s.srv.Plans.Get(key); e != nil {
+			s.LastPlanCacheHit = true
+			return e, nil
+		}
+	}
+	s.LastPlanCacheHit = false
+	rel, err := analyze.New(s.srv.MS, p.db).AnalyzeSelect(p.norm)
+	if err != nil {
+		return nil, err
+	}
+	rel = opt.New(s.srv.MS, s.optimizerOptions()).Optimize(rel)
+	cols := make([]string, len(rel.Schema()))
+	for i, f := range rel.Schema() {
+		cols[i] = f.Name
+	}
+	e := &plancache.Entry{Rel: rel, Columns: cols, ParamTypes: p.paramTypes, Deterministic: p.det}
+	if cacheable {
+		s.srv.Plans.Put(key, e)
+	}
+	return e, nil
+}
+
+// executeExecute binds EXECUTE arguments to a prepared statement and runs
+// its cached template — no parsing or planning on this path.
+func (s *Session) executeExecute(x *sql.ExecuteStmt) (*Result, error) {
+	p, ok := s.prepared[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("hs2: no prepared statement %q", x.Name)
+	}
+	if len(x.Args) != len(p.paramTypes) {
+		return nil, fmt.Errorf("hs2: prepared statement %q wants %d parameters, got %d",
+			x.Name, len(p.paramTypes), len(x.Args))
+	}
+	args := make([]types.Datum, len(x.Args))
+	for i, a := range x.Args {
+		d, err := executeArgValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("hs2: EXECUTE %s argument %d: %w", x.Name, i+1, err)
+		}
+		args[i] = d
+	}
+	entry, err := s.templateFor(p)
+	if err != nil {
+		return nil, err
+	}
+	s.LastCompileNanos = 0 // bind-and-run: nothing compiled on this path
+	return s.executeTemplate(p.db, p.digest, entry, args)
+}
+
+// executeArgValue evaluates an EXECUTE argument: a literal constant,
+// optionally under unary minus. Anything needing a row context is not a
+// constant and is rejected.
+func executeArgValue(e sql.Expr) (types.Datum, error) {
+	switch x := e.(type) {
+	case *sql.Lit:
+		return x.Val, nil
+	case *sql.UnaryExpr:
+		if x.Op == "-" {
+			d, err := executeArgValue(x.E)
+			if err != nil {
+				return types.Datum{}, err
+			}
+			switch d.K {
+			case types.Int64:
+				d.I = -d.I
+				return d, nil
+			case types.Float64:
+				d.F = -d.F
+				return d, nil
+			case types.Decimal:
+				d.I = -d.I
+				return d, nil
+			}
+		}
+	}
+	return types.Datum{}, fmt.Errorf("expected a literal constant, got %s", sql.FormatExpr(e))
+}
+
+func (s *Session) executeDeallocate(x *sql.DeallocateStmt) (*Result, error) {
+	if _, ok := s.prepared[x.Name]; !ok {
+		return nil, fmt.Errorf("hs2: no prepared statement %q", x.Name)
+	}
+	delete(s.prepared, x.Name)
+	return &Result{}, nil
+}
+
+// EstimateForDigest exposes the workload manager's memory estimate for a
+// digest (observability: tests assert literal variants share history).
+func (s *Session) EstimateForDigest(pool, digest string) int64 {
+	mgr := s.srv.WorkloadManager()
+	if mgr == nil {
+		return 0
+	}
+	return mgr.EstimateFor(pool, digest)
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/orc"
 	"repro/internal/plan"
+	"repro/internal/plancache"
 	"repro/internal/resultcache"
 	"repro/internal/sql"
 	"repro/internal/txn"
@@ -40,6 +41,12 @@ func (s *Session) executeStmt(st sql.Statement, text string) (*Result, error) {
 	switch x := st.(type) {
 	case *sql.SelectStmt:
 		return s.executeQuery(x, text)
+	case *sql.PrepareStmt:
+		return s.executePrepare(x)
+	case *sql.ExecuteStmt:
+		return s.executeExecute(x)
+	case *sql.DeallocateStmt:
+		return s.executeDeallocate(x)
 	case *sql.ExplainStmt:
 		return s.explain(x.Inner)
 	case *sql.SetStmt:
@@ -293,13 +300,19 @@ func (s *Session) explain(st sql.Statement) (*Result, error) {
 	return res, nil
 }
 
-// snapshotOf captures the per-table WriteId watermarks a plan reads.
-func (s *Session) snapshotOf(rel plan.Rel) resultcache.Snapshot {
+// snapshotAt captures the per-table WriteId watermarks a plan reads, as
+// seen from one pinned transaction snapshot. Watermarks and execution must
+// derive from the same snapshot — the result cache keys validity on them.
+func (s *Session) snapshotAt(rel plan.Rel, cur txn.Snapshot) resultcache.Snapshot {
 	snap := resultcache.Snapshot{}
 	tm := s.srv.MS.Txns()
-	cur := tm.GetSnapshot()
 	var walk func(r plan.Rel)
+	seen := map[plan.Rel]bool{}
 	walk = func(r plan.Rel) {
+		if seen[r] {
+			return
+		}
+		seen[r] = true
 		if sc, ok := r.(*plan.Scan); ok {
 			full := sc.Table.FullName()
 			snap[full] = tm.GetValidWriteIds(full, cur).HighWater
@@ -318,23 +331,163 @@ func (s *Session) snapshotOf(rel plan.Rel) resultcache.Snapshot {
 	return snap
 }
 
+func watermarksEqual(a, b resultcache.Snapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Session) executeQuery(sel *sql.SelectStmt, text string) (*Result, error) {
+	if s.planCacheUsable() {
+		if res, handled, err := s.executeParameterized(sel); handled {
+			return res, err
+		}
+	}
+	start := time.Now()
 	rel, err := s.compileSelect(sel)
 	if err != nil {
 		return nil, err
 	}
+	s.LastPlanCacheHit = false
+	s.LastCompileNanos = time.Since(start).Nanoseconds()
 	s.LastPlan = plan.Explain(rel)
 	cols := make([]string, len(rel.Schema()))
 	for i, f := range rel.Schema() {
 		cols[i] = f.Name
 	}
+	key := s.db + "|" + rel.Digest()
+	return s.execCompiled(rel, cols, key, key, sql.IsDeterministic(sel))
+}
 
+// planCacheUsable gates the parameterized serving path. Materialized-view
+// rewriting is literal- and freshness-sensitive: a rewritten plan is only
+// valid for the literals and MV state it was rewritten under, so sessions
+// where a rewrite is possible fall back to the full per-query pipeline.
+func (s *Session) planCacheUsable() bool {
+	if !s.confBool("hive.query.plan.cache.enabled") {
+		return false
+	}
+	if s.confBool("hive.materializedview.rewriting") && len(s.srv.MS.MaterializedViews()) > 0 {
+		return false
+	}
+	return true
+}
+
+// planConfFingerprint folds the configuration that shapes logical planning
+// into the plan-cache key, so a SET that changes optimizer behavior gets a
+// fresh compile instead of a stale template.
+func (s *Session) planConfFingerprint() string {
+	keys := []string{
+		"hive.profile",
+		"hive.optimize.join.reorder",
+		"hive.optimize.semijoin",
+		"hive.optimize.sharedwork",
+		"hive.optimize.prunecols",
+		"hive.materializedview.rewriting",
+	}
+	var b []byte
+	for _, k := range keys {
+		b = append(b, s.Conf(k)...)
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+// executeParameterized is the hot serving path (paper §4.3): hoist
+// literals, look up the optimized plan template by normalized digest, bind
+// the hoisted values, and run. handled=false falls back to the per-query
+// pipeline (e.g. the parameterized form fails to analyze).
+func (s *Session) executeParameterized(sel *sql.SelectStmt) (res *Result, handled bool, err error) {
+	start := time.Now()
+	norm, args, digest := sql.Parameterize(sel)
+	key := plancache.Key{
+		DB:     s.db,
+		Digest: digest,
+		Schema: s.srv.MS.SchemaVersion(),
+		Conf:   s.planConfFingerprint(),
+	}
+	entry := s.srv.Plans.Get(key)
+	s.LastPlanCacheHit = entry != nil
+	if entry == nil {
+		rel, aerr := analyze.New(s.srv.MS, s.db).AnalyzeSelect(norm)
+		if aerr != nil {
+			// Some statements only analyze with concrete literals (e.g.
+			// type-dependent coercions); let the literal pipeline decide.
+			return nil, false, nil
+		}
+		rel = opt.New(s.srv.MS, s.optimizerOptions()).Optimize(rel)
+		cols := make([]string, len(rel.Schema()))
+		for i, f := range rel.Schema() {
+			cols[i] = f.Name
+		}
+		paramTypes := make([]types.T, len(args))
+		for i, a := range args {
+			paramTypes[i] = sql.ParamType(a)
+		}
+		entry = &plancache.Entry{
+			Rel:           rel,
+			Columns:       cols,
+			ParamTypes:    paramTypes,
+			Deterministic: sql.IsDeterministic(sel),
+		}
+		s.srv.Plans.Put(key, entry)
+	}
+	s.LastRewriteUsedMV = false
+	s.LastCompileNanos = time.Since(start).Nanoseconds()
+	res, err = s.executeTemplate(s.db, digest, entry, args)
+	return res, true, err
+}
+
+// executeTemplate binds args into a cached plan template and runs it. The
+// result cache is keyed on the normalized digest plus the rendered
+// arguments — literal variants share a template but not result rows.
+func (s *Session) executeTemplate(db, digest string, entry *plancache.Entry, args []types.Datum) (*Result, error) {
+	bound, err := plan.BindParams(entry.Rel, args)
+	if err != nil {
+		return nil, err
+	}
+	// Federation pushdown folds bound literals into foreign queries, so it
+	// runs per execution, after binding.
+	bound = s.srv.Registry.PushComputation(bound)
+	s.LastPlan = plan.Explain(bound)
+	admKey := db + "|" + digest
+	resKey := admKey + "|args=" + renderArgs(args)
+	return s.execCompiled(bound, entry.Columns, resKey, admKey, entry.Deterministic)
+}
+
+// renderArgs canonicalizes a bound argument vector for result-cache keys.
+func renderArgs(args []types.Datum) string {
+	var b []byte
+	for _, a := range args {
+		if a.K == types.String && !a.Null {
+			b = append(b, '\'')
+			b = append(b, a.S...)
+			b = append(b, '\'')
+		} else {
+			b = append(b, a.String()...)
+		}
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// execCompiled is the shared execution tail: one transaction snapshot,
+// pinned before the result-cache lookup, drives the lookup watermarks,
+// every table scan, and the Fill — a write landing between lookup and run
+// can no longer publish too-new rows under stale watermarks.
+func (s *Session) execCompiled(rel plan.Rel, cols []string, resKey, admKey string, deterministic bool) (*Result, error) {
 	s.LastCacheHit = false
-	useCache := s.confBool("hive.query.results.cache.enabled") && sql.IsDeterministic(sel)
-	cacheKey := s.db + "|" + rel.Digest()
+	pinned := s.srv.MS.Txns().GetSnapshot()
+	useCache := s.confBool("hive.query.results.cache.enabled") && deterministic
 	var snap resultcache.Snapshot
 	if useCache {
-		snap = s.snapshotOf(rel)
+		snap = s.snapshotAt(rel, pinned)
 		for _, w := range snap {
 			if w < 0 {
 				useCache = false // external source: not cacheable
@@ -344,7 +497,7 @@ func (s *Session) executeQuery(sel *sql.SelectStmt, text string) (*Result, error
 	}
 	if useCache {
 		for {
-			ccols, rows, outcome := s.srv.Results.Lookup(cacheKey, snap)
+			ccols, rows, outcome := s.srv.Results.Lookup(resKey, snap)
 			if outcome == resultcache.Hit {
 				s.LastCacheHit = true
 				return &Result{Columns: ccols, Rows: rows}, nil
@@ -354,26 +507,53 @@ func (s *Session) executeQuery(sel *sql.SelectStmt, text string) (*Result, error
 			}
 			// MissWaited: the filling query finished; retry lookup.
 		}
+		if s.testHookAfterLookup != nil {
+			s.testHookAfterLookup()
+		}
 	}
 
-	rows, err := s.runPlan(rel)
+	rows, err := s.runPlanAt(rel, admKey, &pinned)
 	if err != nil {
 		if useCache {
-			s.srv.Results.Abandon(cacheKey)
+			s.srv.Results.Abandon(resKey, snap)
 		}
 		return nil, err
 	}
 	if useCache {
-		s.srv.Results.Fill(cacheKey, cols, rows, snap)
+		// Re-validate before publishing: the rows were computed at the
+		// pinned snapshot, so its watermarks must still be the ones the
+		// lookup reserved. A mismatch would mean the watermark derivation
+		// itself drifted — never publish under watermarks that don't
+		// describe the rows.
+		if watermarksEqual(s.snapshotAt(rel, pinned), snap) {
+			s.srv.Results.Fill(resKey, cols, rows, snap)
+		} else {
+			s.srv.Results.Abandon(resKey, snap)
+		}
 	}
 	return &Result{Columns: cols, Rows: rows}, nil
 }
 
-// runPlan compiles the physical plan, chooses a runtime mode, executes
+// runPlan executes a plan with a transaction snapshot pinned at entry,
+// keyed for admission on the plan's literal-bearing digest. DML and DDL
+// internals use it; the SELECT path goes through execCompiled/runPlanAt
+// with the normalized digest.
+func (s *Session) runPlan(rel plan.Rel) ([][]types.Datum, error) {
+	return s.runPlanAt(rel, s.db+"|"+rel.Digest(), nil)
+}
+
+// runPlanAt compiles the physical plan, chooses a runtime mode, executes
 // with workload-management admission, and reoptimizes on runtime errors.
 // The whole run — including the admission queue wait — is bounded by the
 // session's hive.query.timeout and canceled by Session.Close.
-func (s *Session) runPlan(rel plan.Rel) ([][]types.Datum, error) {
+//
+// Every table scan reads at snap; nil pins a fresh snapshot at entry.
+// Pinning one snapshot for the whole query keeps multi-scan plans
+// consistent when writes commit mid-run. admKey keys the workload
+// manager's peak-memory history: repeats of a plan shape are admitted
+// against their observed footprint, and on the parameterized path all
+// literal variants of a shape share one history entry.
+func (s *Session) runPlanAt(rel plan.Rel, admKey string, snap *txn.Snapshot) ([][]types.Datum, error) {
 	qctx := s.ctx
 	if qctx == nil {
 		qctx = context.Background()
@@ -383,10 +563,12 @@ func (s *Session) runPlan(rel plan.Rel) ([][]types.Datum, error) {
 		qctx, cancel = context.WithTimeout(qctx, time.Duration(ms)*time.Millisecond)
 		defer cancel()
 	}
-	// The digest keys the workload manager's peak-memory history: repeats
-	// of a plan shape are admitted against their observed footprint.
-	digest := s.db + "|" + rel.Digest()
-	adm, pool, err := s.admission(qctx, digest)
+	if snap == nil {
+		pinned := s.srv.MS.Txns().GetSnapshot()
+		snap = &pinned
+	}
+	s.LastQueryDigest = admKey
+	adm, pool, err := s.admission(qctx, admKey)
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +578,7 @@ func (s *Session) runPlan(rel plan.Rel) ([][]types.Datum, error) {
 	start := time.Now()
 
 	memLimit := s.confInt("hive.exec.memory.limit.rows")
-	rows, err := s.runOnce(qctx, rel, memLimit, adm)
+	rows, err := s.runOnce(qctx, rel, memLimit, adm, *snap)
 	if err != nil {
 		if _, pressure := err.(exec.ErrMemoryPressure); pressure && s.confBool("hive.query.reexecution.enabled") {
 			// Paper §4.2: reexecute with overlay configuration (more
@@ -405,14 +587,14 @@ func (s *Session) runPlan(rel plan.Rel) ([][]types.Datum, error) {
 			if s.Conf("hive.query.reexecution.strategy") == "reoptimize" {
 				rel = opt.New(s.srv.MS, s.optimizerOptions()).Optimize(rel)
 			}
-			rows, err = s.runOnce(qctx, rel, 0, adm)
+			rows, err = s.runOnce(qctx, rel, 0, adm, *snap)
 		}
 	}
 	// Feed the observed peak back into the admission estimate history —
 	// the governor accounts peaks even for failed runs, and a killed
 	// memory hog is exactly what the next admission should know about.
 	if mgr := s.srv.WorkloadManager(); mgr != nil && pool != "" {
-		mgr.Observe(digest, s.LastPeakMemoryBytes)
+		mgr.Observe(admKey, s.LastPeakMemoryBytes)
 	}
 	if err != nil {
 		return nil, err
@@ -423,7 +605,7 @@ func (s *Session) runPlan(rel plan.Rel) ([][]types.Datum, error) {
 	return rows, nil
 }
 
-func (s *Session) runOnce(qctx context.Context, rel plan.Rel, memLimit int64, adm *wm.Admission) ([][]types.Datum, error) {
+func (s *Session) runOnce(qctx context.Context, rel plan.Rel, memLimit int64, adm *wm.Admission, snap txn.Snapshot) ([][]types.Datum, error) {
 	ctx := exec.NewContext()
 	ctx.MemoryLimitRows = memLimit
 	mode := dag.ModeLLAP
@@ -483,7 +665,7 @@ func (s *Session) runOnce(qctx context.Context, rel plan.Rel, memLimit int64, ad
 	}()
 	comp := &exec.Compiler{
 		Ctx:      ctx,
-		MakeScan: s.makeScanFactory(ctx),
+		MakeScan: s.makeScanFactory(ctx, snap),
 		MakeForeign: func(f *plan.ForeignScan) (exec.Operator, error) {
 			h, ok := s.srv.Registry.Handler(f.Handler)
 			if !ok {
@@ -517,11 +699,11 @@ func (s *Session) runOnce(qctx context.Context, rel plan.Rel, memLimit int64, ad
 // makeScanFactory builds ACID scan operators: splits per partition with
 // static partition pruning from pushed predicates, sargs for stripe
 // skipping, runtime semijoin reducer bindings, and a residual filter that
-// guarantees exactness regardless of pushdown.
-func (s *Session) makeScanFactory(ctx *exec.Context) func(sc *plan.Scan) (exec.Operator, error) {
+// guarantees exactness regardless of pushdown. All scans of the query read
+// at the same pinned snapshot — the one the result cache keyed on.
+func (s *Session) makeScanFactory(ctx *exec.Context, snap txn.Snapshot) func(sc *plan.Scan) (exec.Operator, error) {
 	return func(sc *plan.Scan) (exec.Operator, error) {
 		tm := s.srv.MS.Txns()
-		snap := tm.GetSnapshot()
 		valid := tm.GetValidWriteIds(sc.Table.FullName(), snap)
 		splits, err := s.splitsFor(sc, valid)
 		if err != nil {

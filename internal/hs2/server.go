@@ -24,6 +24,7 @@ import (
 	"repro/internal/llap"
 	"repro/internal/metastore"
 	"repro/internal/mv"
+	"repro/internal/plancache"
 	"repro/internal/resultcache"
 	"repro/internal/types"
 	"repro/internal/wm"
@@ -50,6 +51,7 @@ type Server struct {
 	MetaCache *llap.MetadataCache
 	Daemons   *llap.Daemons
 	Results   *resultcache.Cache
+	Plans     *plancache.Cache
 
 	mu          sync.Mutex
 	wmgr        *wm.Manager
@@ -82,6 +84,7 @@ func NewServer(cfg Config) *Server {
 		MetaCache: llap.NewMetadataCache(),
 		Daemons:   llap.NewDaemons(cfg.Executors),
 		Results:   resultcache.New(256),
+		Plans:     plancache.New(128),
 		defaults: map[string]string{
 			"hive.profile":                     "3.1",
 			"hive.execution.mode":              "llap",
@@ -92,7 +95,12 @@ func NewServer(cfg Config) *Server {
 			"hive.optimize.prunecols":          "true",
 			"hive.materializedview.rewriting":  "true",
 			"hive.query.results.cache.enabled": "true",
-			"hive.container.launch.ms":         "3",
+			// Compiled-plan reuse (paper §4.3 serving): literals are hoisted
+			// into parameters and the optimized plan is cached per normalized
+			// digest, so repeats of a query shape — ad-hoc or via
+			// PREPARE/EXECUTE — skip analysis and optimization entirely.
+			"hive.query.plan.cache.enabled": "true",
+			"hive.container.launch.ms":      "3",
 			"hive.exec.memory.limit.rows":      "0",
 			"hive.query.reexecution.enabled":   "true",
 			"hive.query.reexecution.strategy":  "overlay",
@@ -169,6 +177,22 @@ type Session struct {
 	// LastCacheHit reports whether the previous query came from the
 	// results cache.
 	LastCacheHit bool
+	// LastPlanCacheHit reports whether the previous query reused a cached
+	// compiled plan (skipping analysis and optimization).
+	LastPlanCacheHit bool
+	// LastQueryDigest is the digest the previous query was admitted and
+	// observed under in workload management. On the parameterized path it
+	// is the normalized digest, shared by all literal variants of a shape.
+	LastQueryDigest string
+	// LastCompileNanos measures the previous query's compile phase:
+	// parameterization plus plan-cache lookup, plus analysis/optimization
+	// only on a plan-cache miss.
+	LastCompileNanos int64
+	// prepared holds this session's PREPARE'd statements by name.
+	prepared map[string]*preparedStmt
+	// testHookAfterLookup, when set, runs between the result-cache lookup
+	// and plan execution — test instrumentation for snapshot races.
+	testHookAfterLookup func()
 	// LastPlan is the EXPLAIN rendering of the previous query's plan.
 	LastPlan string
 	// LastPhysicalPlan is the prepared physical operator tree of the
@@ -238,6 +262,7 @@ func (s *Session) SetConf(key, value string) {
 			"hive.optimize.sharedwork":         "false",
 			"hive.materializedview.rewriting":  "false",
 			"hive.query.results.cache.enabled": "false",
+			"hive.query.plan.cache.enabled":    "false",
 		} {
 			s.conf[k] = v
 		}
@@ -247,7 +272,7 @@ func (s *Session) SetConf(key, value string) {
 			"hive.execution.mode", "hive.llap.enabled",
 			"hive.optimize.join.reorder", "hive.optimize.semijoin",
 			"hive.optimize.sharedwork", "hive.materializedview.rewriting",
-			"hive.query.results.cache.enabled",
+			"hive.query.results.cache.enabled", "hive.query.plan.cache.enabled",
 		} {
 			delete(s.conf, k)
 		}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dfs"
 	"repro/internal/hll"
@@ -192,7 +193,18 @@ type Metastore struct {
 	hooks map[string]Hook
 	plans map[string]*ResourcePlan
 	txns  *txn.Manager
+	// version counts schema-shaping catalog changes (create/drop table or
+	// database, stats replacement). Cached query plans are keyed on it so
+	// a DDL change invalidates them. Incremental stats merges from inserts
+	// deliberately do NOT bump it — they'd invalidate hot plans on every
+	// write without changing resolved schemas.
+	version atomic.Int64
 }
+
+// SchemaVersion returns the current catalog version. It increases on any
+// change that could alter how a statement resolves or plans (CREATE/DROP
+// TABLE, CREATE DATABASE, ANALYZE-style stats replacement).
+func (m *Metastore) SchemaVersion() int64 { return m.version.Load() }
 
 // New creates a metastore over the given file system with the given
 // warehouse root directory (e.g. "/warehouse").
@@ -236,6 +248,7 @@ func (m *Metastore) CreateDatabase(name string) error {
 	}
 	m.dbs[name] = map[string]*Table{}
 	m.fs.MkdirAll(m.root + "/" + name + ".db")
+	m.version.Add(1)
 	return nil
 }
 
@@ -285,6 +298,7 @@ func (m *Metastore) CreateTable(t *Table) error {
 	}
 	tables[t.Name] = t
 	m.fs.MkdirAll(t.Location)
+	m.version.Add(1)
 	hook := m.hooks[t.StorageHandler]
 	m.mu.Unlock()
 	if hook != nil {
@@ -348,6 +362,7 @@ func (m *Metastore) DropTable(db, name string) error {
 	}
 	delete(tables, name)
 	delete(m.stats, t.FullName())
+	m.version.Add(1)
 	hook := m.hooks[t.StorageHandler]
 	m.mu.Unlock()
 	if !t.External && m.fs.Exists(t.Location) {
@@ -439,6 +454,7 @@ func (m *Metastore) SetStats(fullName string, s *TableStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats[fullName] = s
+	m.version.Add(1)
 }
 
 // Stats returns the stats for a table, or nil when none are recorded.

@@ -1,0 +1,277 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Param is a placeholder for a value bound at execute time: position Ord in
+// the statement's parameter vector. A plan containing Params is a template —
+// the plan cache stores it once per normalized digest, and BindParams
+// stamps out an executable copy per run. Params survive optimization
+// untouched (the constant folder only folds Literals) and never reach the
+// physical compiler.
+type Param struct {
+	Ord int
+	T   types.T
+}
+
+// Type implements Rex.
+func (p *Param) Type() types.T { return p.T }
+
+// Digest implements Rex.
+func (p *Param) Digest() string { return fmt.Sprintf("?%d:%s", p.Ord, p.T.String()) }
+
+// BindParams returns a deep copy of the plan with every Param replaced by a
+// Literal holding args[Ord] cast to the Param's type. The copy is complete —
+// no Rel or Rex node is shared with the template — so concurrent executions
+// of the same cached plan never race on per-node state (e.g. Scan's lazy
+// schema cache). Spool nodes sharing an ID keep sharing a single copied
+// node, preserving shared-work identity.
+func BindParams(root Rel, args []types.Datum) (Rel, error) {
+	b := &binder{args: args, seen: map[Rel]Rel{}}
+	out, err := b.rel(root)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type binder struct {
+	args []types.Datum
+	// seen memoizes by source pointer so DAG-shaped plans (Spool shared by
+	// several parents) stay DAGs after copying.
+	seen map[Rel]Rel
+}
+
+func (b *binder) rel(r Rel) (Rel, error) {
+	if r == nil {
+		return nil, nil
+	}
+	if cp, ok := b.seen[r]; ok {
+		return cp, nil
+	}
+	var out Rel
+	switch x := r.(type) {
+	case *Scan:
+		cp := *x
+		cp.fields = nil // reset lazy schema cache: each copy owns its own
+		cp.Cols = append([]int(nil), x.Cols...)
+		cp.RF = append([]RuntimeBind(nil), x.RF...)
+		cp.Filter = nil
+		for _, f := range x.Filter {
+			nf, err := b.rex(f)
+			if err != nil {
+				return nil, err
+			}
+			cp.Filter = append(cp.Filter, nf)
+		}
+		out = &cp
+	case *Values:
+		cp := *x
+		out = &cp
+	case *ForeignScan:
+		cp := *x
+		out = &cp
+	case *Filter:
+		in, err := b.rel(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := b.rex(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		out = &Filter{Input: in, Cond: cond}
+	case *Project:
+		in, err := b.rel(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		exprs := make([]Rex, len(x.Exprs))
+		for i, e := range x.Exprs {
+			ne, err := b.rex(e)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = ne
+		}
+		out = &Project{Input: in, Exprs: exprs, Names: x.Names}
+	case *Join:
+		l, err := b.rel(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := b.rel(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := b.rex(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		out = &Join{Kind: x.Kind, Left: l, Right: rr, Cond: cond, ReducerID: x.ReducerID}
+	case *Aggregate:
+		in, err := b.rel(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		gb := make([]Rex, len(x.GroupBy))
+		for i, g := range x.GroupBy {
+			ng, err := b.rex(g)
+			if err != nil {
+				return nil, err
+			}
+			gb[i] = ng
+		}
+		aggs := make([]AggCall, len(x.Aggs))
+		for i, a := range x.Aggs {
+			na := a
+			arg, err := b.rex(a.Arg)
+			if err != nil {
+				return nil, err
+			}
+			na.Arg = arg
+			aggs[i] = na
+		}
+		out = &Aggregate{Input: in, GroupBy: gb, Aggs: aggs, GroupingSets: x.GroupingSets, Names: x.Names}
+	case *Window:
+		in, err := b.rel(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		fns := make([]WindowFn, len(x.Fns))
+		for i, fn := range x.Fns {
+			nf := fn
+			arg, err := b.rex(fn.Arg)
+			if err != nil {
+				return nil, err
+			}
+			nf.Arg = arg
+			fns[i] = nf
+		}
+		out = &Window{Input: in, Fns: fns, Names: x.Names}
+	case *Sort:
+		in, err := b.rel(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		out = &Sort{Input: in, Keys: append([]SortKey(nil), x.Keys...)}
+	case *Limit:
+		in, err := b.rel(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		out = &Limit{Input: in, N: x.N, Offset: x.Offset}
+	case *SetOp:
+		l, err := b.rel(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := b.rel(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		out = &SetOp{Kind: x.Kind, All: x.All, Left: l, Right: rr}
+	case *Spool:
+		in, err := b.rel(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		out = &Spool{ID: x.ID, Input: in}
+	default:
+		return nil, fmt.Errorf("plan: BindParams: unsupported node %T", r)
+	}
+	b.seen[r] = out
+	return out, nil
+}
+
+func (b *binder) rex(e Rex) (Rex, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *Param:
+		if x.Ord < 0 || x.Ord >= len(b.args) {
+			return nil, fmt.Errorf("plan: parameter ?%d out of range (have %d args)", x.Ord, len(b.args))
+		}
+		v, err := types.Cast(b.args[x.Ord], x.T)
+		if err != nil {
+			return nil, fmt.Errorf("plan: binding parameter ?%d: %w", x.Ord, err)
+		}
+		return &Literal{Val: v, T: x.T}, nil
+	case *ColRef:
+		cp := *x
+		return &cp, nil
+	case *Literal:
+		cp := *x
+		return &cp, nil
+	case *Func:
+		args := make([]Rex, len(x.Args))
+		for i, a := range x.Args {
+			na, err := b.rex(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		return &Func{Op: x.Op, Args: args, T: x.T}, nil
+	default:
+		return nil, fmt.Errorf("plan: BindParams: unsupported expression %T", e)
+	}
+}
+
+// HasParams reports whether any Rex in the tree is a Param — true for plan
+// templates, false for executable plans.
+func HasParams(root Rel) bool {
+	found := false
+	var walkRex func(e Rex)
+	walkRex = func(e Rex) {
+		switch x := e.(type) {
+		case *Param:
+			found = true
+		case *Func:
+			for _, a := range x.Args {
+				walkRex(a)
+			}
+		}
+	}
+	var walk func(r Rel)
+	seen := map[Rel]bool{}
+	walk = func(r Rel) {
+		if r == nil || seen[r] || found {
+			return
+		}
+		seen[r] = true
+		switch x := r.(type) {
+		case *Scan:
+			for _, f := range x.Filter {
+				walkRex(f)
+			}
+		case *Filter:
+			walkRex(x.Cond)
+		case *Project:
+			for _, e := range x.Exprs {
+				walkRex(e)
+			}
+		case *Join:
+			walkRex(x.Cond)
+		case *Aggregate:
+			for _, g := range x.GroupBy {
+				walkRex(g)
+			}
+			for _, a := range x.Aggs {
+				walkRex(a.Arg)
+			}
+		case *Window:
+			for _, fn := range x.Fns {
+				walkRex(fn.Arg)
+			}
+		}
+		for _, c := range r.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return found
+}

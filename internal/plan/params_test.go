@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/metastore"
+	"repro/internal/types"
+)
+
+func paramScan() (*Scan, *Filter) {
+	t := &metastore.Table{
+		DB: "default", Name: "t",
+		Cols: []metastore.Column{
+			{Name: "a", Type: types.TBigint},
+			{Name: "b", Type: types.TString},
+		},
+	}
+	sc := NewScan(t, "")
+	f := &Filter{
+		Input: sc,
+		Cond: NewFunc("=", types.TBool,
+			&ColRef{Idx: 0, T: types.TBigint},
+			&Param{Ord: 0, T: types.TBigint}),
+	}
+	return sc, f
+}
+
+func TestBindParamsReplacesParams(t *testing.T) {
+	_, tmpl := paramScan()
+	if !HasParams(tmpl) {
+		t.Fatal("template should report params")
+	}
+	bound, err := BindParams(tmpl, []types.Datum{types.NewBigint(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasParams(bound) {
+		t.Fatal("bound plan still has params")
+	}
+	lit := bound.(*Filter).Cond.(*Func).Args[1].(*Literal)
+	if lit.Val.I != 7 {
+		t.Fatalf("bound literal = %v, want 7", lit.Val)
+	}
+	// The template is untouched: bind again with a different value.
+	bound2, err := BindParams(tmpl, []types.Datum{types.NewBigint(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bound2.(*Filter).Cond.(*Func).Args[1].(*Literal).Val.I; got != 9 {
+		t.Fatalf("second bind = %d, want 9", got)
+	}
+	if _, ok := tmpl.Cond.(*Func).Args[1].(*Param); !ok {
+		t.Fatal("template mutated by binding")
+	}
+}
+
+func TestBindParamsDeepCopiesNodes(t *testing.T) {
+	sc, tmpl := paramScan()
+	bound, err := BindParams(tmpl, []types.Datum{types.NewBigint(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsc := bound.(*Filter).Input.(*Scan)
+	if bsc == sc {
+		t.Fatal("Scan node shared between template and bound plan")
+	}
+	// Lazy schema cache must be private to the copy (concurrent executions
+	// of one cached template would otherwise race on it).
+	_ = bsc.Schema()
+	if sc.fields != nil {
+		t.Fatal("template Scan schema cache populated via bound copy")
+	}
+}
+
+func TestBindParamsCastsToParamType(t *testing.T) {
+	_, tmpl := paramScan()
+	bound, err := BindParams(tmpl, []types.Datum{types.NewDouble(7.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := bound.(*Filter).Cond.(*Func).Args[1].(*Literal)
+	if lit.T.Kind != types.Int64 || lit.Val.I != 7 {
+		t.Fatalf("arg not cast to param type: %+v", lit)
+	}
+}
+
+func TestBindParamsErrors(t *testing.T) {
+	_, tmpl := paramScan()
+	if _, err := BindParams(tmpl, nil); err == nil {
+		t.Fatal("missing arg should error")
+	}
+	if _, err := BindParams(tmpl, []types.Datum{types.NewString("not a number")}); err == nil {
+		t.Fatal("uncastable arg should error")
+	}
+}
+
+func TestBindParamsPreservesSpoolSharing(t *testing.T) {
+	_, tmpl := paramScan()
+	sp := &Spool{ID: 1, Input: tmpl}
+	root := &SetOp{Kind: Union, All: true, Left: sp, Right: sp}
+	bound, err := BindParams(root, []types.Datum{types.NewBigint(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := bound.(*SetOp)
+	if so.Left != so.Right {
+		t.Fatal("shared Spool split into two copies")
+	}
+}

@@ -1,0 +1,90 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+func tmpl() *Entry {
+	return &Entry{
+		Rel:           &plan.Values{Rows: [][]types.Datum{{}}, Types: nil},
+		Columns:       []string{"a"},
+		Deterministic: true,
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(8)
+	k := Key{DB: "default", Digest: "select a from t where b = ?0:bigint", Schema: 1, Conf: "v10"}
+	if c.Get(k) != nil {
+		t.Fatal("empty cache should miss")
+	}
+	e := tmpl()
+	c.Put(k, e)
+	if got := c.Get(k); got != e {
+		t.Fatalf("get after put: %v", got)
+	}
+	// Any key component change misses.
+	for _, k2 := range []Key{
+		{DB: "other", Digest: k.Digest, Schema: 1, Conf: "v10"},
+		{DB: "default", Digest: "other", Schema: 1, Conf: "v10"},
+		{DB: "default", Digest: k.Digest, Schema: 2, Conf: "v10"},
+		{DB: "default", Digest: k.Digest, Schema: 1, Conf: "v12"},
+	} {
+		if c.Get(k2) != nil {
+			t.Fatalf("key %+v should miss", k2)
+		}
+	}
+}
+
+func TestReplaceDoesNotEvict(t *testing.T) {
+	c := New(2)
+	a := Key{Digest: "a"}
+	b := Key{Digest: "b"}
+	c.Put(a, tmpl())
+	c.Put(b, tmpl())
+	c.Put(a, tmpl()) // replace at capacity
+	if c.Get(b) == nil {
+		t.Fatal("replacing a evicted b")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	a, b, d := Key{Digest: "a"}, Key{Digest: "b"}, Key{Digest: "d"}
+	c.Put(a, tmpl())
+	c.Put(b, tmpl())
+	c.Get(a) // b becomes LRU
+	c.Put(d, tmpl())
+	if c.Get(a) == nil {
+		t.Fatal("recently used a evicted")
+	}
+	if c.Get(b) != nil {
+		t.Fatal("LRU b should have been evicted")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key{Digest: fmt.Sprintf("q%d", i%20), Schema: int64(i % 3)}
+				if c.Get(k) == nil {
+					c.Put(k, tmpl())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

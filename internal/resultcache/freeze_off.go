@@ -1,0 +1,11 @@
+//go:build !stress
+
+package resultcache
+
+import "repro/internal/types"
+
+// freezeHash is a no-op without -tags stress: cached rows are immutable by
+// contract, and the stress build enforces it.
+func freezeHash(columns []string, rows [][]types.Datum) uint64 { return 0 }
+
+func checkFrozen(e *entry) {}

@@ -1,0 +1,38 @@
+//go:build stress
+
+package resultcache
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/types"
+)
+
+// freezeHash fingerprints a cached result so the stress build can detect
+// any in-place mutation of shared rows (the cache hands out fresh slice
+// headers but shares row data; mutating it would poison every session).
+func freezeHash(columns []string, rows [][]types.Datum) uint64 {
+	h := fnv.New64a()
+	for _, c := range columns {
+		h.Write([]byte(c))
+		h.Write([]byte{0})
+	}
+	for _, r := range rows {
+		for _, d := range r {
+			h.Write([]byte(d.String()))
+			h.Write([]byte{1})
+		}
+		h.Write([]byte{2})
+	}
+	return h.Sum64()
+}
+
+// checkFrozen panics when a cached entry's content no longer matches the
+// fingerprint taken at Fill time — some caller mutated shared rows.
+func checkFrozen(e *entry) {
+	if got := freezeHash(e.columns, e.rows); got != e.frozen {
+		panic(fmt.Sprintf("resultcache: cached entry %q mutated after Fill (deep-freeze hash %x != %x)",
+			e.key, got, e.frozen))
+	}
+}

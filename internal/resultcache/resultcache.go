@@ -1,11 +1,21 @@
 // Package resultcache implements HS2's query results cache (paper §4.3):
 // entries are keyed by the resolved query representation plus the
 // transactional snapshot of every table read, so transactional consistency
-// decides validity. A pending-entry mode protects against a thundering
-// herd of identical queries racing to refill after an invalidating write.
+// decides validity. The cache is multi-version: a write does not invalidate
+// an entry, it just makes new readers fill a newer version, while readers
+// whose snapshot predates the write keep being served the old rows. A
+// pending-entry mode protects against a thundering herd of identical
+// queries racing to refill after an invalidating write. Shard-level locks
+// keep concurrent sessions from serializing on one mutex, and eviction is
+// LRU within each shard.
 package resultcache
 
 import (
+	"container/list"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/types"
@@ -27,36 +37,86 @@ func snapshotEqual(a, b Snapshot) bool {
 	return true
 }
 
+// snapKey renders a snapshot canonically (sorted) for pending-entry keys.
+func snapKey(s Snapshot) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(s[k], 10))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
 type entry struct {
+	key      string
 	columns  []string
 	rows     [][]types.Datum
 	snapshot Snapshot
+	elem     *list.Element
+	frozen   uint64 // content hash under -tags stress; 0 otherwise
 }
 
 type pending struct {
 	done chan struct{}
 }
 
-// Cache is one HS2 instance's results cache.
-type Cache struct {
-	mu         sync.Mutex
-	entries    map[string]*entry
-	pendings   map[string]*pending
-	maxEntries int
+type shard struct {
+	mu       sync.Mutex
+	versions map[string][]*entry // key -> entries at distinct snapshots
+	lru      *list.List          // of *entry; front = most recently used
+	pendings map[string]*pending // key + "\x00" + snapKey
+	max      int
 
 	hits, misses, waits int64
 }
 
-// New creates a cache bounded to maxEntries results.
+// Cache is one HS2 instance's results cache.
+type Cache struct {
+	shards []*shard
+}
+
+// New creates a cache bounded to maxEntries cached results in total
+// (summed across all versions of all keys).
 func New(maxEntries int) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = 64
 	}
-	return &Cache{
-		entries:    make(map[string]*entry),
-		pendings:   make(map[string]*pending),
-		maxEntries: maxEntries,
+	// Scale shard count with capacity so small caches keep their global
+	// bound tight (per-shard bounds multiply out to <= maxEntries).
+	n := maxEntries / 16
+	if n < 1 {
+		n = 1
 	}
+	if n > 16 {
+		n = 16
+	}
+	per := maxEntries / n
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{shards: make([]*shard, n)}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			versions: make(map[string][]*entry),
+			lru:      list.New(),
+			pendings: make(map[string]*pending),
+			max:      per,
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
 // Outcome reports what Lookup decided.
@@ -69,62 +129,135 @@ const (
 	MissWaited         // caller waited for a pending fill; retry Lookup
 )
 
-// Lookup probes the cache. On Hit the cached rows are returned. On
-// MissFill the caller owns refilling (pending-entry mode: concurrent
-// identical queries will wait rather than also running). On MissWaited
-// another query just filled or abandoned; the caller should retry.
+// Lookup probes the cache for an entry at exactly the caller's snapshot. On
+// Hit the cached columns and rows are returned; the returned slices are
+// fresh headers — callers may append to or reorder them without poisoning
+// the shared entry (the row data itself is immutable by contract, enforced
+// under -tags stress). On MissFill the caller owns refilling for this
+// (key, snapshot) pair: concurrent identical queries at the same snapshot
+// wait rather than also running, while queries at other snapshots proceed
+// independently. On MissWaited another session just filled or abandoned;
+// the caller should retry.
 func (c *Cache) Lookup(key string, current Snapshot) ([]string, [][]types.Datum, Outcome) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok && snapshotEqual(e.snapshot, current) {
-		c.hits++
-		cols, rows := e.columns, e.rows
-		c.mu.Unlock()
-		return cols, rows, Hit
+	s := c.shardFor(key)
+	pk := key + "\x00" + snapKey(current)
+	s.mu.Lock()
+	for _, e := range s.versions[key] {
+		if snapshotEqual(e.snapshot, current) {
+			s.hits++
+			s.lru.MoveToFront(e.elem)
+			checkFrozen(e)
+			cols := append([]string(nil), e.columns...)
+			rows := append([][]types.Datum(nil), e.rows...)
+			s.mu.Unlock()
+			return cols, rows, Hit
+		}
 	}
-	if p, ok := c.pendings[key]; ok {
-		c.waits++
-		c.mu.Unlock()
+	if p, ok := s.pendings[pk]; ok {
+		s.waits++
+		s.mu.Unlock()
 		<-p.done
 		return nil, nil, MissWaited
 	}
-	c.misses++
-	c.pendings[key] = &pending{done: make(chan struct{})}
-	c.mu.Unlock()
+	s.misses++
+	s.pendings[pk] = &pending{done: make(chan struct{})}
+	s.mu.Unlock()
 	return nil, nil, MissFill
 }
 
-// Fill completes a MissFill with results. Stale entries for the key are
-// replaced; the pending marker is released.
+// Fill completes a MissFill with results computed at snap. An existing
+// version at the same snapshot is replaced in place — replacement never
+// evicts. A genuinely new version may evict the least-recently-used entry
+// (possibly an older version of the same key) once the shard is full. The
+// pending marker for (key, snap) is released; when the run's actual
+// snapshot differed from the Lookup snapshot, the caller must Abandon the
+// original (key, lookupSnap) reservation separately.
 func (c *Cache) Fill(key string, columns []string, rows [][]types.Datum, snap Snapshot) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.entries) >= c.maxEntries {
-		for k := range c.entries {
-			delete(c.entries, k) // evict arbitrary entry; bounded memory
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	replaced := false
+	for _, e := range s.versions[key] {
+		if snapshotEqual(e.snapshot, snap) {
+			e.columns = columns
+			e.rows = rows
+			e.frozen = freezeHash(columns, rows)
+			s.lru.MoveToFront(e.elem)
+			replaced = true
 			break
 		}
 	}
-	c.entries[key] = &entry{columns: columns, rows: rows, snapshot: snap}
-	if p, ok := c.pendings[key]; ok {
-		close(p.done)
-		delete(c.pendings, key)
+	if !replaced {
+		if s.lru.Len() >= s.max {
+			s.evictLRU()
+		}
+		e := &entry{key: key, columns: columns, rows: rows, snapshot: snap,
+			frozen: freezeHash(columns, rows)}
+		e.elem = s.lru.PushFront(e)
+		s.versions[key] = append(s.versions[key], e)
+	}
+	s.release(key + "\x00" + snapKey(snap))
+}
+
+// evictLRU removes the least-recently-used entry. Caller holds s.mu.
+func (s *shard) evictLRU() {
+	back := s.lru.Back()
+	if back == nil {
+		return
+	}
+	victim := back.Value.(*entry)
+	s.lru.Remove(back)
+	vs := s.versions[victim.key]
+	for i, e := range vs {
+		if e == victim {
+			vs = append(vs[:i], vs[i+1:]...)
+			break
+		}
+	}
+	if len(vs) == 0 {
+		delete(s.versions, victim.key)
+	} else {
+		s.versions[victim.key] = vs
 	}
 }
 
-// Abandon releases a MissFill without caching (e.g. nondeterministic
-// query or execution error).
-func (c *Cache) Abandon(key string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.pendings[key]; ok {
+// Abandon releases a MissFill reservation without caching (nondeterministic
+// query, execution error, or a run whose actual snapshot no longer matches
+// the reservation).
+func (c *Cache) Abandon(key string, snap Snapshot) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.release(key + "\x00" + snapKey(snap))
+}
+
+// release closes a pending marker. Caller holds s.mu.
+func (s *shard) release(pk string) {
+	if p, ok := s.pendings[pk]; ok {
 		close(p.done)
-		delete(c.pendings, key)
+		delete(s.pendings, pk)
 	}
 }
 
-// Stats returns hit/miss/wait counters.
+// Stats returns hit/miss/wait counters summed across shards.
 func (c *Cache) Stats() (hits, misses, waits int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.waits
+	for _, s := range c.shards {
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		waits += s.waits
+		s.mu.Unlock()
+	}
+	return
+}
+
+// Len reports the number of cached result versions (for tests).
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/types"
@@ -172,6 +173,18 @@ func (id *Ident) String() string {
 type Lit struct{ Val types.Datum }
 
 func (*Lit) expr() {}
+
+// Param is a bound parameter: position Ord (0-based) in the statement's
+// parameter vector. The parser never produces Param nodes — Parameterize
+// hoists literals into them so a prepared statement (or the transparent
+// plan cache) can bind fresh values at EXECUTE time. T is the type of the
+// hoisted literal; bound arguments are cast to it.
+type Param struct {
+	Ord int
+	T   types.T
+}
+
+func (*Param) expr() {}
 
 // BinExpr is a binary operation; Op is one of
 // + - * / % = <> < <= > >= AND OR ||.
@@ -462,6 +475,31 @@ type AnalyzeStmt struct{ Table *TableName }
 
 func (*AnalyzeStmt) stmt() {}
 
+// PrepareStmt is PREPARE name AS <select>: the statement's literals are
+// hoisted into parameters and the normalized plan is cached, so EXECUTE
+// binds values without re-parsing or re-planning (paper §4.3 hot-path
+// serving).
+type PrepareStmt struct {
+	Name   string
+	Select *SelectStmt
+}
+
+func (*PrepareStmt) stmt() {}
+
+// ExecuteStmt is EXECUTE name [(arg, ...)]; args are literal constants
+// bound positionally to the prepared statement's hoisted parameters.
+type ExecuteStmt struct {
+	Name string
+	Args []Expr
+}
+
+func (*ExecuteStmt) stmt() {}
+
+// DeallocateStmt is DEALLOCATE [PREPARE] name.
+type DeallocateStmt struct{ Name string }
+
+func (*DeallocateStmt) stmt() {}
+
 // ---- Workload management DDL (paper §5.2) ----
 
 // CreateResourcePlanStmt is CREATE RESOURCE PLAN name.
@@ -536,6 +574,8 @@ func formatExpr(b *strings.Builder, e Expr) {
 		b.WriteString("<nil>")
 	case *Ident:
 		b.WriteString(x.String())
+	case *Param:
+		fmt.Fprintf(b, "?%d", x.Ord)
 	case *Lit:
 		if x.Val.K == types.String && !x.Val.Null {
 			b.WriteByte('\'')

@@ -48,6 +48,7 @@ func init() {
 		MATERIALIZED VIEW REBUILD REWRITE ENABLE DATABASE SCHEMA SHOW TABLES DATABASES
 		EXPLAIN ANALYZE COMPUTE STATISTICS DESCRIBE USE
 		RESOURCE PLAN POOL RULE MOVE KILL TO ADD MAPPING APPLICATION USER DEFAULT ACTIVATE
+		PREPARE EXECUTE DEALLOCATE
 		INTERVAL EXTRACT OVER ROWS RANGE UNBOUNDED PRECEDING FOLLOWING CURRENT
 		GROUPING SETS ROLLUP CUBE
 		DAY DAYS MONTH MONTHS YEAR YEARS HOUR MINUTE SECOND

@@ -1,0 +1,499 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Parameterize returns a copy of sel with every hoistable literal replaced
+// by a Param node, the hoisted literal values in parameter order, and a
+// normalized digest over the parameterized form. Two queries that differ
+// only in literal values share a digest (and therefore a cached plan and a
+// workload-management history entry); queries that differ in shape, in
+// literal *types*, or in positional GROUP BY / ORDER BY ordinals do not.
+//
+// Literals that act as ordinals rather than values — a bare integer as a
+// GROUP BY item, an ORDER BY key, or a window PARTITION BY item — are kept
+// in place: hoisting them would change which column the query refers to.
+// The input statement is never mutated.
+func Parameterize(sel *SelectStmt) (*SelectStmt, []types.Datum, string) {
+	pz := &paramizer{}
+	norm := pz.copySelect(sel)
+	var b strings.Builder
+	digestSelect(&b, norm)
+	return norm, pz.args, b.String()
+}
+
+// ParamType returns the declared type of a hoisted literal — the same
+// typing rule the analyzer applies to the literal itself, so binding a
+// value of this type reproduces the original plan types exactly.
+func ParamType(d types.Datum) types.T {
+	if d.K == types.Decimal {
+		return types.TDecimal(18, d.DecimalScale())
+	}
+	return types.T{Kind: d.K}
+}
+
+type paramizer struct {
+	args []types.Datum
+}
+
+// hoist replaces a literal with the next parameter.
+func (p *paramizer) hoist(l *Lit) Expr {
+	ord := len(p.args)
+	p.args = append(p.args, l.Val)
+	return &Param{Ord: ord, T: ParamType(l.Val)}
+}
+
+func (p *paramizer) copySelect(s *SelectStmt) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	out := &SelectStmt{Limit: s.Limit, Offset: s.Offset}
+	for _, cte := range s.With {
+		out.With = append(out.With, CTE{Name: cte.Name, Select: p.copySelect(cte.Select)})
+	}
+	out.Body = p.copyBody(s.Body)
+	out.OrderBy = p.copyOrderItems(s.OrderBy)
+	return out
+}
+
+func (p *paramizer) copyBody(q QueryExpr) QueryExpr {
+	switch b := q.(type) {
+	case *SetOp:
+		return &SetOp{Kind: b.Kind, All: b.All, Left: p.copyBody(b.Left), Right: p.copyBody(b.Right)}
+	case *SelectCore:
+		out := &SelectCore{Distinct: b.Distinct}
+		for _, it := range b.Items {
+			out.Items = append(out.Items, SelectItem{
+				Expr: p.copyExpr(it.Expr), Alias: it.Alias, Star: it.Star, TableStar: it.TableStar,
+			})
+		}
+		out.From = p.copyTableRef(b.From)
+		out.Where = p.copyExpr(b.Where)
+		for _, g := range b.GroupBy {
+			out.GroupBy = append(out.GroupBy, p.copyOrdinal(g))
+		}
+		if b.GroupingSets != nil {
+			out.GroupingSets = make([][]Expr, len(b.GroupingSets))
+			for i, set := range b.GroupingSets {
+				for _, g := range set {
+					out.GroupingSets[i] = append(out.GroupingSets[i], p.copyOrdinal(g))
+				}
+				if b.GroupingSets[i] == nil {
+					out.GroupingSets[i] = []Expr{}
+				}
+			}
+		}
+		out.Having = p.copyExpr(b.Having)
+		return out
+	}
+	return q
+}
+
+// copyOrdinal copies a GROUP BY / ORDER BY / PARTITION BY item: a bare
+// literal there is a positional column reference, not a value, and must
+// survive parameterization in place.
+func (p *paramizer) copyOrdinal(e Expr) Expr {
+	if l, ok := e.(*Lit); ok {
+		return &Lit{Val: l.Val}
+	}
+	return p.copyExpr(e)
+}
+
+func (p *paramizer) copyOrderItems(items []OrderItem) []OrderItem {
+	var out []OrderItem
+	for _, it := range items {
+		out = append(out, OrderItem{Expr: p.copyOrdinal(it.Expr), Desc: it.Desc, NullsFirst: it.NullsFirst})
+	}
+	return out
+}
+
+func (p *paramizer) copyTableRef(tr TableRef) TableRef {
+	switch x := tr.(type) {
+	case *TableName:
+		cp := *x
+		return &cp
+	case *Join:
+		return &Join{Kind: x.Kind, Left: p.copyTableRef(x.Left), Right: p.copyTableRef(x.Right), On: p.copyExpr(x.On)}
+	case *SubqueryRef:
+		return &SubqueryRef{Select: p.copySelect(x.Select), Alias: x.Alias}
+	}
+	return tr
+}
+
+func (p *paramizer) copyExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Lit:
+		return p.hoist(x)
+	case *Ident:
+		cp := *x
+		return &cp
+	case *Param:
+		cp := *x
+		return &cp
+	case *BinExpr:
+		return &BinExpr{Op: x.Op, L: p.copyExpr(x.L), R: p.copyExpr(x.R)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, E: p.copyExpr(x.E)}
+	case *Call:
+		out := &Call{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, p.copyExpr(a))
+		}
+		if x.Over != nil {
+			spec := &WindowSpec{}
+			for _, pb := range x.Over.PartitionBy {
+				spec.PartitionBy = append(spec.PartitionBy, p.copyOrdinal(pb))
+			}
+			spec.OrderBy = p.copyOrderItems(x.Over.OrderBy)
+			out.Over = spec
+		}
+		return out
+	case *CaseExpr:
+		out := &CaseExpr{Operand: p.copyExpr(x.Operand), Else: p.copyExpr(x.Else)}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, When{Cond: p.copyExpr(w.Cond), Then: p.copyExpr(w.Then)})
+		}
+		return out
+	case *CastExpr:
+		return &CastExpr{E: p.copyExpr(x.E), Type: x.Type}
+	case *InExpr:
+		out := &InExpr{E: p.copyExpr(x.E), Not: x.Not, Sub: p.copySelect(x.Sub)}
+		for _, v := range x.List {
+			out.List = append(out.List, p.copyExpr(v))
+		}
+		return out
+	case *ExistsExpr:
+		return &ExistsExpr{Sub: p.copySelect(x.Sub), Not: x.Not}
+	case *SubqueryExpr:
+		return &SubqueryExpr{Sub: p.copySelect(x.Sub)}
+	case *BetweenExpr:
+		return &BetweenExpr{E: p.copyExpr(x.E), Lo: p.copyExpr(x.Lo), Hi: p.copyExpr(x.Hi), Not: x.Not}
+	case *LikeExpr:
+		return &LikeExpr{E: p.copyExpr(x.E), Pattern: p.copyExpr(x.Pattern), Not: x.Not}
+	case *IsNullExpr:
+		return &IsNullExpr{E: p.copyExpr(x.E), Not: x.Not}
+	case *IntervalExpr:
+		return &IntervalExpr{Value: p.copyExpr(x.Value), Unit: x.Unit}
+	case *ExtractExpr:
+		return &ExtractExpr{Field: x.Field, From: p.copyExpr(x.From)}
+	}
+	return e
+}
+
+// ---- Normalized digest ----
+//
+// The digest is a complete canonical rendering of the parameterized
+// statement. Unlike FormatExpr (which collapses subqueries and window
+// specs for display), every shape-bearing detail is included: two
+// statements share a digest exactly when they produce the same plan for
+// every parameter binding.
+
+func digestSelect(b *strings.Builder, s *SelectStmt) {
+	if s == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	if len(s.With) > 0 {
+		b.WriteString("with ")
+		for i, cte := range s.With {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strings.ToLower(cte.Name))
+			b.WriteString(" as (")
+			digestSelect(b, cte.Select)
+			b.WriteByte(')')
+		}
+		b.WriteByte(' ')
+	}
+	digestBody(b, s.Body)
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" order by ")
+		digestOrderItems(b, s.OrderBy)
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(b, " limit %d", s.Limit)
+		if s.Offset > 0 {
+			fmt.Fprintf(b, " offset %d", s.Offset)
+		}
+	}
+}
+
+func digestBody(b *strings.Builder, q QueryExpr) {
+	switch x := q.(type) {
+	case *SetOp:
+		b.WriteByte('(')
+		digestBody(b, x.Left)
+		fmt.Fprintf(b, ") %s", strings.ToLower(x.Kind.String()))
+		if x.All {
+			b.WriteString(" all")
+		}
+		b.WriteString(" (")
+		digestBody(b, x.Right)
+		b.WriteByte(')')
+	case *SelectCore:
+		b.WriteString("select ")
+		if x.Distinct {
+			b.WriteString("distinct ")
+		}
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			switch {
+			case it.Star:
+				b.WriteByte('*')
+			case it.TableStar != "":
+				b.WriteString(strings.ToLower(it.TableStar))
+				b.WriteString(".*")
+			default:
+				digestExpr(b, it.Expr)
+				if it.Alias != "" {
+					b.WriteString(" as ")
+					b.WriteString(strings.ToLower(it.Alias))
+				}
+			}
+		}
+		if x.From != nil {
+			b.WriteString(" from ")
+			digestTableRef(b, x.From)
+		}
+		if x.Where != nil {
+			b.WriteString(" where ")
+			digestExpr(b, x.Where)
+		}
+		if len(x.GroupBy) > 0 {
+			b.WriteString(" group by ")
+			for i, g := range x.GroupBy {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				digestExpr(b, g)
+			}
+		}
+		if x.GroupingSets != nil {
+			b.WriteString(" sets(")
+			for i, set := range x.GroupingSets {
+				if i > 0 {
+					b.WriteByte(';')
+				}
+				for j, g := range set {
+					if j > 0 {
+						b.WriteByte(',')
+					}
+					digestExpr(b, g)
+				}
+			}
+			b.WriteByte(')')
+		}
+		if x.Having != nil {
+			b.WriteString(" having ")
+			digestExpr(b, x.Having)
+		}
+	default:
+		fmt.Fprintf(b, "<%T>", q)
+	}
+}
+
+func digestTableRef(b *strings.Builder, tr TableRef) {
+	switch x := tr.(type) {
+	case *TableName:
+		b.WriteString(strings.ToLower(x.Qualified()))
+		if x.Alias != "" {
+			b.WriteString(" as ")
+			b.WriteString(strings.ToLower(x.Alias))
+		}
+	case *Join:
+		b.WriteByte('(')
+		digestTableRef(b, x.Left)
+		fmt.Fprintf(b, " %s join ", strings.ToLower(x.Kind.String()))
+		digestTableRef(b, x.Right)
+		if x.On != nil {
+			b.WriteString(" on ")
+			digestExpr(b, x.On)
+		}
+		b.WriteByte(')')
+	case *SubqueryRef:
+		b.WriteByte('(')
+		digestSelect(b, x.Select)
+		b.WriteByte(')')
+		if x.Alias != "" {
+			b.WriteString(" as ")
+			b.WriteString(strings.ToLower(x.Alias))
+		}
+	default:
+		fmt.Fprintf(b, "<%T>", tr)
+	}
+}
+
+func digestOrderItems(b *strings.Builder, items []OrderItem) {
+	for i, it := range items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		digestExpr(b, it.Expr)
+		if it.Desc {
+			b.WriteString(" desc")
+		}
+		if it.NullsFirst != nil {
+			if *it.NullsFirst {
+				b.WriteString(" nulls first")
+			} else {
+				b.WriteString(" nulls last")
+			}
+		}
+	}
+}
+
+func digestExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Param:
+		// The type is part of the digest: WHERE a = 1 and WHERE a = 'x'
+		// parameterize to the same text but plan differently.
+		fmt.Fprintf(b, "?%d:%s", x.Ord, x.T.String())
+	case *Lit:
+		// Unhoisted literals (positional ordinals) stay in the digest.
+		if x.Val.K == types.String && !x.Val.Null {
+			b.WriteByte('\'')
+			b.WriteString(x.Val.S)
+			b.WriteByte('\'')
+		} else {
+			b.WriteString(x.Val.String())
+		}
+	case *Ident:
+		b.WriteString(strings.ToLower(x.String()))
+	case *BinExpr:
+		b.WriteByte('(')
+		digestExpr(b, x.L)
+		b.WriteString(x.Op)
+		digestExpr(b, x.R)
+		b.WriteByte(')')
+	case *UnaryExpr:
+		b.WriteString(x.Op)
+		b.WriteByte('(')
+		digestExpr(b, x.E)
+		b.WriteByte(')')
+	case *Call:
+		b.WriteString(strings.ToLower(x.Name))
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		}
+		if x.Distinct {
+			b.WriteString("distinct ")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			digestExpr(b, a)
+		}
+		b.WriteByte(')')
+		if x.Over != nil {
+			b.WriteString(" over(p:")
+			for i, pb := range x.Over.PartitionBy {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				digestExpr(b, pb)
+			}
+			b.WriteString(" o:")
+			digestOrderItems(b, x.Over.OrderBy)
+			b.WriteByte(')')
+		}
+	case *CaseExpr:
+		b.WriteString("case")
+		if x.Operand != nil {
+			b.WriteByte(' ')
+			digestExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" when ")
+			digestExpr(b, w.Cond)
+			b.WriteString(" then ")
+			digestExpr(b, w.Then)
+		}
+		if x.Else != nil {
+			b.WriteString(" else ")
+			digestExpr(b, x.Else)
+		}
+		b.WriteString(" end")
+	case *CastExpr:
+		b.WriteString("cast(")
+		digestExpr(b, x.E)
+		b.WriteString(" as ")
+		b.WriteString(x.Type.String())
+		b.WriteByte(')')
+	case *InExpr:
+		digestExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" not")
+		}
+		b.WriteString(" in (")
+		if x.Sub != nil {
+			digestSelect(b, x.Sub)
+		}
+		for i, v := range x.List {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			digestExpr(b, v)
+		}
+		b.WriteByte(')')
+	case *ExistsExpr:
+		if x.Not {
+			b.WriteString("not ")
+		}
+		b.WriteString("exists(")
+		digestSelect(b, x.Sub)
+		b.WriteByte(')')
+	case *SubqueryExpr:
+		b.WriteByte('(')
+		digestSelect(b, x.Sub)
+		b.WriteByte(')')
+	case *BetweenExpr:
+		digestExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" not")
+		}
+		b.WriteString(" between ")
+		digestExpr(b, x.Lo)
+		b.WriteString(" and ")
+		digestExpr(b, x.Hi)
+	case *LikeExpr:
+		digestExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" not")
+		}
+		b.WriteString(" like ")
+		digestExpr(b, x.Pattern)
+	case *IsNullExpr:
+		digestExpr(b, x.E)
+		b.WriteString(" is ")
+		if x.Not {
+			b.WriteString("not ")
+		}
+		b.WriteString("null")
+	case *IntervalExpr:
+		b.WriteString("interval ")
+		digestExpr(b, x.Value)
+		b.WriteByte(' ')
+		b.WriteString(strings.ToLower(x.Unit))
+	case *ExtractExpr:
+		b.WriteString("extract(")
+		b.WriteString(strings.ToLower(x.Field))
+		b.WriteString(" from ")
+		digestExpr(b, x.From)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}

@@ -1,0 +1,180 @@
+package sql
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func digestOf(t *testing.T, src string) (string, []types.Datum) {
+	t.Helper()
+	_, args, d := Parameterize(mustSelect(t, src))
+	return d, args
+}
+
+func TestParameterizeSharesDigestAcrossLiterals(t *testing.T) {
+	d1, a1 := digestOf(t, "SELECT a FROM t WHERE b = 1 AND c = 'x'")
+	d2, a2 := digestOf(t, "SELECT a FROM t WHERE b = 42 AND c = 'hello'")
+	if d1 != d2 {
+		t.Fatalf("digests differ for same shape:\n%s\n%s", d1, d2)
+	}
+	if len(a1) != 2 || len(a2) != 2 {
+		t.Fatalf("want 2 params each, got %d and %d", len(a1), len(a2))
+	}
+	if a2[0].I != 42 || a2[1].S != "hello" {
+		t.Fatalf("args not in hoist order: %+v", a2)
+	}
+	if a1[0].I != 1 || a1[1].S != "x" {
+		t.Fatalf("args not in hoist order: %+v", a1)
+	}
+}
+
+func TestParameterizeTypeChangesDigest(t *testing.T) {
+	d1, _ := digestOf(t, "SELECT a FROM t WHERE b = 1")
+	d2, _ := digestOf(t, "SELECT a FROM t WHERE b = 'one'")
+	if d1 == d2 {
+		t.Fatalf("int vs string literal should yield distinct digests: %s", d1)
+	}
+	d3, _ := digestOf(t, "SELECT a FROM t WHERE b = 1.5")
+	if d1 == d3 {
+		t.Fatalf("int vs decimal literal should yield distinct digests: %s", d1)
+	}
+}
+
+func TestParameterizeShapeChangesDigest(t *testing.T) {
+	d1, _ := digestOf(t, "SELECT a FROM t WHERE b = 1")
+	d2, _ := digestOf(t, "SELECT a FROM t WHERE b > 1")
+	d3, _ := digestOf(t, "SELECT a FROM u WHERE b = 1")
+	if d1 == d2 || d1 == d3 {
+		t.Fatalf("different shapes must not collide: %s vs %s vs %s", d1, d2, d3)
+	}
+}
+
+func TestParameterizeKeepsPositionalOrdinals(t *testing.T) {
+	// GROUP BY 1 / ORDER BY 1 are positional column references; hoisting
+	// them would change query meaning.
+	norm, args, _ := Parameterize(mustSelect(t,
+		"SELECT a, count(*) FROM t WHERE b = 7 GROUP BY 1 ORDER BY 2"))
+	if len(args) != 1 || args[0].I != 7 {
+		t.Fatalf("only the WHERE literal should hoist, got %+v", args)
+	}
+	core := norm.Body.(*SelectCore)
+	if _, ok := core.GroupBy[0].(*Lit); !ok {
+		t.Fatalf("GROUP BY ordinal was hoisted: %T", core.GroupBy[0])
+	}
+	if _, ok := norm.OrderBy[0].Expr.(*Lit); !ok {
+		t.Fatalf("ORDER BY ordinal was hoisted: %T", norm.OrderBy[0].Expr)
+	}
+
+	// But literals *nested* under an ORDER BY expression are values.
+	_, args2, _ := Parameterize(mustSelect(t, "SELECT a FROM t ORDER BY a + 3"))
+	if len(args2) != 1 || args2[0].I != 3 {
+		t.Fatalf("nested ORDER BY literal should hoist, got %+v", args2)
+	}
+}
+
+func TestParameterizeWindowOrdinals(t *testing.T) {
+	norm, args, _ := Parameterize(mustSelect(t,
+		"SELECT sum(v) OVER(PARTITION BY 1 ORDER BY 2) FROM t WHERE k = 9"))
+	if len(args) != 1 || args[0].I != 9 {
+		t.Fatalf("only the WHERE literal should hoist, got %+v", args)
+	}
+	call := norm.Body.(*SelectCore).Items[0].Expr.(*Call)
+	if _, ok := call.Over.PartitionBy[0].(*Lit); !ok {
+		t.Fatalf("window PARTITION BY ordinal was hoisted: %T", call.Over.PartitionBy[0])
+	}
+	if _, ok := call.Over.OrderBy[0].Expr.(*Lit); !ok {
+		t.Fatalf("window ORDER BY ordinal was hoisted: %T", call.Over.OrderBy[0].Expr)
+	}
+}
+
+func TestParameterizeDigestSeesSubqueryContent(t *testing.T) {
+	// FormatExpr collapses subqueries to "<subquery>"; the digest must not.
+	d1, _ := digestOf(t, "SELECT a FROM t WHERE b IN (SELECT x FROM u)")
+	d2, _ := digestOf(t, "SELECT a FROM t WHERE b IN (SELECT y FROM v)")
+	if d1 == d2 {
+		t.Fatalf("subquery content must be part of the digest: %s", d1)
+	}
+}
+
+func TestParameterizeDigestSeesWindowSpec(t *testing.T) {
+	d1, _ := digestOf(t, "SELECT sum(v) OVER(PARTITION BY a) FROM t")
+	d2, _ := digestOf(t, "SELECT sum(v) OVER(PARTITION BY b) FROM t")
+	if d1 == d2 {
+		t.Fatalf("window spec must be part of the digest: %s", d1)
+	}
+}
+
+func TestParameterizeHoistsThroughClauses(t *testing.T) {
+	_, args, _ := Parameterize(mustSelect(t,
+		"SELECT a, b + 2 FROM t WHERE c = 1 GROUP BY a, b HAVING count(*) > 3 LIMIT 10"))
+	// 2 (projection), 1 (where), 3 (having) hoist in statement order;
+	// LIMIT is structural and stays in the digest.
+	if len(args) != 3 {
+		t.Fatalf("want 3 hoisted params, got %d: %+v", len(args), args)
+	}
+	if args[0].I != 2 || args[1].I != 1 || args[2].I != 3 {
+		t.Fatalf("hoist order wrong: %+v", args)
+	}
+}
+
+func TestParameterizeLimitInDigest(t *testing.T) {
+	d1, _ := digestOf(t, "SELECT a FROM t LIMIT 10")
+	d2, _ := digestOf(t, "SELECT a FROM t LIMIT 20")
+	if d1 == d2 {
+		t.Fatalf("LIMIT must stay structural in the digest")
+	}
+}
+
+func TestParameterizeDoesNotMutateInput(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE b = 5")
+	before := sel.Body.(*SelectCore).Where.(*BinExpr).R
+	if _, ok := before.(*Lit); !ok {
+		t.Fatalf("setup: want *Lit, got %T", before)
+	}
+	Parameterize(sel)
+	after := sel.Body.(*SelectCore).Where.(*BinExpr).R
+	if _, ok := after.(*Lit); !ok {
+		t.Fatalf("input mutated: literal became %T", after)
+	}
+}
+
+func TestParsePrepareExecuteDeallocate(t *testing.T) {
+	st, err := Parse("PREPARE q1 AS SELECT a FROM t WHERE b = 1")
+	if err != nil {
+		t.Fatalf("PREPARE: %v", err)
+	}
+	prep, ok := st.(*PrepareStmt)
+	if !ok || prep.Name != "q1" || prep.Select == nil {
+		t.Fatalf("PREPARE parse: %#v", st)
+	}
+
+	st, err = Parse("EXECUTE q1 (42, 'x')")
+	if err != nil {
+		t.Fatalf("EXECUTE: %v", err)
+	}
+	ex, ok := st.(*ExecuteStmt)
+	if !ok || ex.Name != "q1" || len(ex.Args) != 2 {
+		t.Fatalf("EXECUTE parse: %#v", st)
+	}
+
+	st, err = Parse("EXECUTE q1")
+	if err != nil {
+		t.Fatalf("EXECUTE no-args: %v", err)
+	}
+	if ex := st.(*ExecuteStmt); len(ex.Args) != 0 {
+		t.Fatalf("EXECUTE no-args parse: %#v", ex)
+	}
+
+	st, err = Parse("DEALLOCATE PREPARE q1")
+	if err != nil {
+		t.Fatalf("DEALLOCATE: %v", err)
+	}
+	if d := st.(*DeallocateStmt); d.Name != "q1" {
+		t.Fatalf("DEALLOCATE parse: %#v", d)
+	}
+
+	if _, err := Parse("PREPARE p AS INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatalf("PREPARE of non-SELECT should error")
+	}
+}

@@ -127,6 +127,18 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDrop()
 	case p.at("ADD"):
 		return p.parseAddRule()
+	case p.at("PREPARE"):
+		return p.parsePrepare()
+	case p.at("EXECUTE"):
+		return p.parseExecute()
+	case p.at("DEALLOCATE"):
+		p.pos++
+		p.accept("PREPARE")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DeallocateStmt{Name: name}, nil
 	case p.at("SHOW"):
 		p.pos++
 		what, err := p.ident()
@@ -157,6 +169,55 @@ func (p *parser) parseStatement() (Statement, error) {
 }
 
 // ---- SELECT ----
+
+// parsePrepare parses PREPARE name AS <select>.
+func (p *parser) parsePrepare() (Statement, error) {
+	p.pos++ // PREPARE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("AS"); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := inner.(*SelectStmt)
+	if !ok {
+		return nil, p.errf("PREPARE supports SELECT statements, got %T", inner)
+	}
+	return &PrepareStmt{Name: name, Select: sel}, nil
+}
+
+// parseExecute parses EXECUTE name [(arg, ...)].
+func (p *parser) parseExecute() (Statement, error) {
+	p.pos++ // EXECUTE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &ExecuteStmt{Name: name}
+	if p.accept("(") {
+		if !p.at(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				st.Args = append(st.Args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
 	st := &SelectStmt{Limit: -1}

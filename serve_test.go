@@ -1,0 +1,247 @@
+package hive
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// servingWarehouse builds a two-table warehouse with enough rows that
+// parallel plans genuinely fan out.
+func servingWarehouse(t testing.TB) (*Warehouse, *Session) {
+	t.Helper()
+	wh, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wh.Close() })
+	s := wh.Session()
+	s.MustExec(`CREATE TABLE facts (k BIGINT, grp BIGINT, v BIGINT)`)
+	s.MustExec(`CREATE TABLE dims (grp BIGINT, name STRING)`)
+	var rows string
+	for i := 0; i < 600; i++ {
+		if i > 0 {
+			rows += ", "
+		}
+		rows += fmt.Sprintf("(%d, %d, %d)", i, i%7, i*3%101)
+	}
+	s.MustExec(`INSERT INTO facts VALUES ` + rows)
+	s.MustExec(`INSERT INTO dims VALUES (0,'a'),(1,'b'),(2,'c'),(3,'d'),(4,'e'),(5,'f'),(6,'g')`)
+	return wh, s
+}
+
+const servingQuery = `SELECT d.name, count(*), sum(f.v) FROM facts f JOIN dims d ON f.grp = d.grp WHERE f.v > %d GROUP BY d.name ORDER BY d.name`
+
+// TestPreparedByteIdenticalToAdhoc: at DOP 1, 2 and 4, EXECUTE of a
+// prepared statement and transparent plan-cache repeats return output
+// byte-identical to the cold per-query pipeline.
+func TestPreparedByteIdenticalToAdhoc(t *testing.T) {
+	wh, _ := servingWarehouse(t)
+	for _, dop := range []int{1, 2, 4} {
+		for _, arg := range []int{5, 50} {
+			q := fmt.Sprintf(servingQuery, arg)
+
+			// Cold pipeline: plan cache and result cache off.
+			adhoc := wh.Session()
+			adhoc.SetConf("hive.parallelism", strconv.Itoa(dop))
+			adhoc.SetConf("hive.query.plan.cache.enabled", "false")
+			adhoc.SetConf("hive.query.results.cache.enabled", "false")
+			want := adhoc.MustExec(q).String()
+
+			// Prepared path.
+			prep := wh.Session()
+			prep.SetConf("hive.parallelism", strconv.Itoa(dop))
+			prep.MustExec(fmt.Sprintf(`PREPARE q AS `+servingQuery, 0))
+			got := prep.MustExec(fmt.Sprintf(`EXECUTE q (%d)`, arg)).String()
+			if got != want {
+				t.Fatalf("dop=%d arg=%d: EXECUTE differs from ad-hoc\nwant: %s\ngot:  %s", dop, arg, want, got)
+			}
+
+			// Transparent plan-cache repeat (cache warmed by the EXECUTE).
+			warm := wh.Session()
+			warm.SetConf("hive.parallelism", strconv.Itoa(dop))
+			got = warm.MustExec(q).String()
+			if !warm.Internal().LastPlanCacheHit {
+				t.Fatalf("dop=%d arg=%d: ad-hoc repeat did not reuse the template", dop, arg)
+			}
+			if got != want {
+				t.Fatalf("dop=%d arg=%d: cached plan differs from ad-hoc\nwant: %s\ngot:  %s", dop, arg, want, got)
+			}
+		}
+	}
+}
+
+// TestHotPathSkipsCompile: a repeat of a query shape with fresh literals
+// reuses the compiled template, and EXECUTE performs no compilation at all.
+func TestHotPathSkipsCompile(t *testing.T) {
+	_, s := servingWarehouse(t)
+	s.MustExec(fmt.Sprintf(servingQuery, 3))
+	cold := s.Internal().LastCompileNanos
+	if s.Internal().LastPlanCacheHit {
+		t.Fatal("first compile cannot hit")
+	}
+	s.MustExec(fmt.Sprintf(servingQuery, 4))
+	if !s.Internal().LastPlanCacheHit {
+		t.Fatal("literal variant should reuse the template")
+	}
+	warm := s.Internal().LastCompileNanos
+	if warm >= cold {
+		t.Fatalf("hot-path compile (%dns) not cheaper than cold (%dns)", warm, cold)
+	}
+	s.MustExec(`PREPARE q AS ` + fmt.Sprintf(servingQuery, 0))
+	s.MustExec(`EXECUTE q (5)`)
+	if n := s.Internal().LastCompileNanos; n != 0 {
+		t.Fatalf("EXECUTE compiled something: %dns", n)
+	}
+}
+
+// TestExecuteInsertHammer races EXECUTE and ad-hoc readers at DOP 1/2/4
+// against a single committing writer. Invariant: each insert appends
+// exactly one row (i, i), so count(*) == max(v) at every snapshot — a
+// violation means a reader mixed rows from two snapshots or the cache
+// served rows newer than the reader's snapshot. Run with -race.
+func TestExecuteInsertHammer(t *testing.T) {
+	wh, s := servingWarehouse(t)
+	s.MustExec(`CREATE TABLE kv (i BIGINT, v BIGINT)`)
+	s.MustExec(`INSERT INTO kv VALUES (1, 1)`)
+
+	const writes = 60
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		w := wh.Session()
+		for i := int64(2); i <= writes; i++ {
+			if _, err := w.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, %d)`, i, i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	check := func(who string, count, max int64) error {
+		if count != max {
+			return fmt.Errorf("%s: count=%d max=%d — rows from mixed snapshots", who, count, max)
+		}
+		return nil
+	}
+	for _, dop := range []int{1, 2, 4} {
+		// Prepared reader.
+		wg.Add(1)
+		go func(dop int) {
+			defer wg.Done()
+			r := wh.Session()
+			r.SetConf("hive.parallelism", strconv.Itoa(dop))
+			r.MustExec(`PREPARE watch AS SELECT count(*), max(v) FROM kv WHERE v >= 1`)
+			for !stop.Load() {
+				res, err := r.Exec(`EXECUTE watch (1)`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := check(fmt.Sprintf("prepared dop=%d", dop), res.Rows[0][0].I, res.Rows[0][1].I); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(dop)
+		// Ad-hoc reader (transparent caching path).
+		wg.Add(1)
+		go func(dop int) {
+			defer wg.Done()
+			r := wh.Session()
+			r.SetConf("hive.parallelism", strconv.Itoa(dop))
+			for !stop.Load() {
+				res, err := r.Exec(`SELECT count(*), max(v) FROM kv WHERE v >= 1`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := check(fmt.Sprintf("adhoc dop=%d", dop), res.Rows[0][0].I, res.Rows[0][1].I); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(dop)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res := s.MustExec(`SELECT count(*), max(v) FROM kv`)
+	if res.Rows[0][0].I != writes || res.Rows[0][1].I != writes {
+		t.Fatalf("final state: %v, want count=max=%d", res.Rows, writes)
+	}
+}
+
+// TestThunderingHerdAfterInvalidatingWrite: after a write invalidates the
+// cached result, a burst of identical queries produces exactly one fill —
+// the rest hit or wait on the pending entry.
+func TestThunderingHerdAfterInvalidatingWrite(t *testing.T) {
+	wh, s := servingWarehouse(t)
+	q := fmt.Sprintf(servingQuery, 7)
+	s.MustExec(q) // warm plan + result cache
+	s.MustExec(`INSERT INTO facts VALUES (1000, 1, 50)`)
+
+	_, missesBefore, _ := wh.Server().Results.Stats()
+	want := s.MustExec(q).String() // one fill at the new snapshot
+	_, missesAfterFill, _ := wh.Server().Results.Stats()
+	if missesAfterFill != missesBefore+1 {
+		t.Fatalf("fill after write: misses %d -> %d, want +1", missesBefore, missesAfterFill)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := wh.Session()
+			if got := r.MustExec(q).String(); got != want {
+				t.Errorf("herd reader diverged:\nwant: %s\ngot:  %s", want, got)
+			}
+		}()
+	}
+	wg.Wait()
+	_, missesEnd, _ := wh.Server().Results.Stats()
+	if missesEnd != missesAfterFill {
+		t.Fatalf("herd refilled %d times; cached result should have served all readers", missesEnd-missesAfterFill)
+	}
+}
+
+// TestWMHistorySharedAcrossLiterals: with a resource plan active, literal
+// variants of one query shape are admitted under one digest and share the
+// workload manager's peak-memory history.
+func TestWMHistorySharedAcrossLiterals(t *testing.T) {
+	wh, err := Open(Config{MemoryBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	s := wh.Session()
+	s.MustExec(`CREATE TABLE t (v BIGINT)`)
+	s.MustExec(`INSERT INTO t VALUES (1), (2), (3), (4), (5)`)
+	s.MustExec(`CREATE RESOURCE PLAN serve`)
+	s.MustExec(`CREATE POOL serve.hot WITH alloc_fraction=1.0, query_parallelism=4, memory_fraction=1.0`)
+	s.MustExec(`ALTER PLAN serve SET DEFAULT POOL = hot`)
+	s.MustExec(`ALTER RESOURCE PLAN serve ENABLE ACTIVATE`)
+
+	s.MustExec(`SELECT sum(v) FROM t WHERE v > 1 ORDER BY 1`)
+	d1 := s.Internal().LastQueryDigest
+	est1 := s.Internal().EstimateForDigest("hot", d1)
+	s.MustExec(`SELECT sum(v) FROM t WHERE v > 4 ORDER BY 1`)
+	d2 := s.Internal().LastQueryDigest
+	if d1 != d2 {
+		t.Fatalf("admission digests fragment across literals:\n%s\n%s", d1, d2)
+	}
+	est2 := s.Internal().EstimateForDigest("hot", d2)
+	if est1 != est2 {
+		t.Fatalf("estimates diverged for one shape: %d vs %d", est1, est2)
+	}
+}
