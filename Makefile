@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet race spill props serve hammer bench
+.PHONY: check build test vet race spill props serve elevator hammer bench
 
 # check is the CI gate: vet, build, a -race short-test pass over every
 # package (catches data races in the parallel scan/agg/join paths, the
 # stripe-granular morsel sharing and the shared memory governor), the
 # full suite, then the constrained-budget spill regressions — the spill
 # path can never silently rot because check always executes it.
-check: vet build race test spill props serve
+check: vet build race test spill props serve elevator
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,18 @@ serve:
 	$(GO) test -race -tags stress ./internal/resultcache
 	$(GO) test -race -run 'ResultCacheSnapshotPinned|NormalizedAdmissionDigest|PlanCache|PreparedStatement' ./internal/hs2
 	$(GO) test -race -run 'PreparedByteIdenticalToAdhoc|HotPathSkipsCompile|ExecuteInsertHammer|ThunderingHerd|WMHistorySharedAcrossLiterals' .
+
+# elevator is the LLAP I/O elevator gate (PR 9): decoded-vector cache
+# LRU/eviction-during-fill unit tests, elevator prefetch/dedup/close and
+# metadata-cache LRU tests, the acid delete-delta sarg-skip and
+# full-stack elevator-vs-synchronous equivalence tests, then the
+# end-to-end suite under -race: on/off byte-identity at DOP 1/2/4 over
+# delete deltas and sarg-skipped stripes, the observability counters,
+# and the concurrent tiny-decoded-cache hammer (evictions racing fills).
+elevator:
+	$(GO) test ./internal/llap -run 'DecodedCache|QueryVectorView|Elevator|MetadataCache'
+	$(GO) test ./internal/acid -run 'DeleteDeltaSargSkipsStripes|ScanWithElevatorMatchesSynchronous'
+	$(GO) test -race -count=1 -run 'TestElevatorByteIdentity|TestElevatorObservability|TestElevatorConcurrentTinyCache' .
 
 # hammer is the multi-tenant overload gate: ~200 concurrent sessions
 # across two memory-budgeted WM pools (tiny lookups + beyond-memory

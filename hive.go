@@ -35,6 +35,12 @@ type Config struct {
 	// MemoryBytes is the aggregate memory budget workload-management
 	// pools admit queries against (0 = memory admission off).
 	MemoryBytes int64
+	// IOThreads sizes the LLAP I/O elevator's async decode pool
+	// (default 4).
+	IOThreads int
+	// DecodedCacheBytes caps the elevator's decoded-vector cache
+	// (default CacheBytes/2).
+	DecodedCacheBytes int64
 	// DiskLatency enables the simulated storage latency model, making
 	// I/O savings (caching, pushdown) visible in wall-clock time.
 	DiskLatency bool
@@ -56,10 +62,12 @@ func Open(cfg Config) (*Warehouse, error) {
 		fs.SetLatency(DefaultLatency())
 	}
 	srv := hs2.NewServer(hs2.Config{
-		FS:          fs,
-		Executors:   cfg.Executors,
-		CacheBytes:  cfg.CacheBytes,
-		MemoryBytes: cfg.MemoryBytes,
+		FS:                fs,
+		Executors:         cfg.Executors,
+		CacheBytes:        cfg.CacheBytes,
+		MemoryBytes:       cfg.MemoryBytes,
+		IOThreads:         cfg.IOThreads,
+		DecodedCacheBytes: cfg.DecodedCacheBytes,
 	})
 	store := druid.NewStore()
 	dsrv, err := druid.NewServer(store)
@@ -77,8 +85,10 @@ func DefaultLatency() dfs.Latency {
 	return dfs.Latency{SeekCost: 30000, PerByteCost: 2} // 30µs + 2ns/B
 }
 
-// Close shuts down background services.
+// Close shuts down background services: the I/O elevator's decode pool
+// and the embedded Druid server.
 func (w *Warehouse) Close() error {
+	w.srv.Close()
 	if w.druidSrv != nil {
 		return w.druidSrv.Close()
 	}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dfs"
 	"repro/internal/orc"
@@ -175,6 +176,33 @@ func (dw *DeleteWriter) Delete(k RowKey) error {
 // Close finalizes the delete delta file.
 func (dw *DeleteWriter) Close() error { return dw.w.Close() }
 
+// ReaderCache provides shared parsed ORC footers across snapshots; it is
+// implemented by llap.MetadataCache. Returned readers are shared, so the
+// snapshot rebinds them to its own cache wiring with WithSources instead
+// of mutating them.
+type ReaderCache interface {
+	Reader(fs *dfs.FS, path string) (*orc.Reader, error)
+}
+
+// ScanCounters aggregates scan-efficiency counters across all workers of a
+// query. All fields are atomics; a single ScanCounters is shared by every
+// snapshot and scan worker of one query.
+type ScanCounters struct {
+	StripesSkipped       atomic.Int64 // data stripes pruned by search arguments
+	DeleteStripesSkipped atomic.Int64 // delete-delta stripes pruned by deleter-id sarg
+	Prefetched           atomic.Int64 // stripes accepted by the I/O elevator
+}
+
+// SnapshotOpts wires a snapshot into the LLAP caching and elevator stack.
+// The zero value gives plain uncached filesystem reads.
+type SnapshotOpts struct {
+	Chunks   orc.ChunkReader // raw-byte cache (LLAP data cache)
+	Vectors  orc.VectorCache // decoded-vector cache (elevator tier)
+	Readers  ReaderCache     // shared parsed-footer cache
+	Prefetch orc.Prefetcher  // async decode pool; nil scans synchronously
+	Counters *ScanCounters   // optional per-query counters
+}
+
 // Snapshot is a consistent merge-on-read view of one table/partition
 // directory under a ValidWriteIds list.
 type Snapshot struct {
@@ -185,7 +213,12 @@ type Snapshot struct {
 	baseMax  int64 // write id covered by the chosen base (0 = none)
 	dataDirs []storeDir
 	deletes  map[RowKey]struct{}
-	chunks   orc.ChunkReader
+	opts     SnapshotOpts
+
+	// deleteSkips counts delete-delta stripes pruned by the deleter-id
+	// search argument while loading the delete set (single-threaded, in
+	// OpenSnapshot).
+	deleteSkips int64
 
 	// readers caches opened file readers (footers) keyed by path, so the
 	// stripe enumeration of Splits and the per-range scans of many workers
@@ -199,7 +232,14 @@ type Snapshot struct {
 // determines the applicable deltas, and loads the valid delete set into
 // memory (delete deltas are usually small and kept in memory, paper §3.2).
 func OpenSnapshot(fs *dfs.FS, loc string, dataCols []orc.Column, valid txn.ValidWriteIds) (*Snapshot, error) {
-	s := &Snapshot{fs: fs, loc: loc, dataCols: dataCols, valid: valid, deletes: map[RowKey]struct{}{}}
+	return OpenSnapshotWith(fs, loc, dataCols, valid, SnapshotOpts{})
+}
+
+// OpenSnapshotWith is OpenSnapshot with LLAP cache/elevator wiring present
+// from construction, so even the delete-set load benefits from (and is
+// counted against) the caches.
+func OpenSnapshotWith(fs *dfs.FS, loc string, dataCols []orc.Column, valid txn.ValidWriteIds, opts SnapshotOpts) (*Snapshot, error) {
+	s := &Snapshot{fs: fs, loc: loc, dataCols: dataCols, valid: valid, deletes: map[RowKey]struct{}{}, opts: opts}
 	if !fs.Exists(loc) {
 		return s, nil // empty table
 	}
@@ -271,8 +311,15 @@ func OpenSnapshot(fs *dfs.FS, loc string, dataCols []orc.Column, valid txn.Valid
 			return nil, err
 		}
 	}
+	if opts.Counters != nil && s.deleteSkips > 0 {
+		opts.Counters.DeleteStripesSkipped.Add(s.deleteSkips)
+	}
 	return s, nil
 }
+
+// DeleteStripesSkipped reports how many delete-delta stripes the deleter-id
+// search argument pruned while loading this snapshot's delete set.
+func (s *Snapshot) DeleteStripesSkipped() int64 { return s.deleteSkips }
 
 // dropCovered removes directories whose WriteId range is strictly contained
 // in a wider directory of the same kind (the wider one is the compacted
@@ -317,7 +364,9 @@ func anyInvalidUpTo(valid txn.ValidWriteIds, hi int64) bool {
 }
 
 // SetChunkReader routes data reads through a caching chunk source (LLAP).
-func (s *Snapshot) SetChunkReader(cr orc.ChunkReader) { s.chunks = cr }
+// Readers already opened keep their previous source; prefer passing the
+// full wiring to OpenSnapshotWith.
+func (s *Snapshot) SetChunkReader(cr orc.ChunkReader) { s.opts.Chunks = cr }
 
 func (s *Snapshot) loadDeletes(d storeDir) error {
 	// Dir-level validity first, before any file listing or stripe I/O: a
@@ -331,44 +380,65 @@ func (s *Snapshot) loadDeletes(d storeDir) error {
 		return err
 	}
 	for _, fi := range files {
-		r, err := orc.NewReader(s.fs, fi.Path)
+		r, err := s.openReader(fi.Path)
 		if err != nil {
 			return err
 		}
-		if s.chunks != nil {
-			r.SetChunkReader(s.chunks)
+		// A delete record stores the identifier of the record being
+		// deleted plus the write that deleted it. Single-write dirs are
+		// validated above as a whole. Multi-write dirs are compacted
+		// delete deltas that may fold writes this snapshot cannot see (an
+		// older snapshot reading a newer compacted delta), so each row's
+		// deleter WriteID must be valid here — deletes performed by
+		// aborted or otherwise invisible writes must not be applied.
+		hasDeleter := len(r.Schema()) > DeleteMetaDeleter
+		multi := d.min != d.max && hasDeleter
+		// Project only what the merge needs: the victim identifier, plus
+		// the deleter id when it participates in per-row validity.
+		proj := []int{MetaWriteID, MetaFileID, MetaRowID}
+		if multi {
+			proj = append(proj, DeleteMetaDeleter)
+		}
+		// Sarg the deleter write-id stripe statistics against the
+		// snapshot: a stripe whose minimum deleter id is above the high
+		// watermark holds only deletes from writes this snapshot cannot
+		// see, so it is skipped without any data I/O. Deleters at or
+		// below the high watermark may still be individually invalid
+		// (open/aborted), which the per-row check below handles.
+		var delSarg *orc.SearchArgument
+		if hasDeleter {
+			delSarg = &orc.SearchArgument{Preds: []orc.Predicate{{
+				Col:    DeleteMetaDeleter,
+				Op:     orc.PredLE,
+				Values: []types.Datum{types.NewBigint(s.valid.HighWater)},
+			}}}
 		}
 		for st := 0; st < r.NumStripes(); st++ {
-			b, err := r.ReadStripe(st, nil)
+			if delSarg != nil && !r.StripeCanMatch(st, delSarg) {
+				s.deleteSkips++
+				continue
+			}
+			b, err := r.ReadStripe(st, proj)
 			if err != nil {
 				return err
 			}
-			// A delete record stores the identifier of the record being
-			// deleted plus the write that deleted it. Single-write dirs
-			// were validated above as a whole. Multi-write dirs are
-			// compacted delete deltas that may fold writes this snapshot
-			// cannot see (an older snapshot reading a newer compacted
-			// delta), so each row's deleter WriteID must be valid here —
-			// deletes performed by aborted or otherwise invisible writes
-			// must not be applied.
-			multi := d.min != d.max && len(b.Cols) > DeleteMetaDeleter
 			for i := 0; i < b.N; i++ {
 				// Valid covers aborted deleters too: Aborted is a subset
 				// of Invalid by construction.
-				if multi && !s.valid.Valid(b.Cols[DeleteMetaDeleter].I64[i]) {
+				if multi && !s.valid.Valid(b.Cols[3].I64[i]) {
 					continue
 				}
 				// A delete aimed at an aborted write's row is dead weight:
 				// the victim is permanently invisible, so the entry would
 				// never match in the scan's anti-join.
-				w := b.Cols[MetaWriteID].I64[i]
+				w := b.Cols[0].I64[i]
 				if s.valid.AbortedWrite(w) {
 					continue
 				}
 				s.deletes[RowKey{
 					WriteID: w,
-					FileID:  b.Cols[MetaFileID].I64[i],
-					RowID:   b.Cols[MetaRowID].I64[i],
+					FileID:  b.Cols[1].I64[i],
+					RowID:   b.Cols[2].I64[i],
 				}] = struct{}{}
 			}
 		}
@@ -376,8 +446,10 @@ func (s *Snapshot) loadDeletes(d storeDir) error {
 	return nil
 }
 
-// openReader returns a (possibly cached) reader for one data file, with
-// the snapshot's chunk source installed.
+// openReader returns a (possibly cached) reader for one data file, bound
+// to the snapshot's cache wiring. With a shared ReaderCache the footer is
+// parsed once per daemon; the shared reader is never mutated — the
+// snapshot keeps its own WithSources copy.
 func (s *Snapshot) openReader(path string) (*orc.Reader, error) {
 	s.mu.Lock()
 	r, ok := s.readers[path]
@@ -385,12 +457,17 @@ func (s *Snapshot) openReader(path string) (*orc.Reader, error) {
 	if ok {
 		return r, nil
 	}
-	r, err := orc.NewReader(s.fs, path)
+	var err error
+	if s.opts.Readers != nil {
+		r, err = s.opts.Readers.Reader(s.fs, path)
+	} else {
+		r, err = orc.NewReader(s.fs, path)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if s.chunks != nil {
-		r.SetChunkReader(s.chunks)
+	if s.opts.Readers != nil || s.opts.Chunks != nil || s.opts.Vectors != nil {
+		r = r.WithSources(s.opts.Chunks, s.opts.Vectors)
 	}
 	s.mu.Lock()
 	if s.readers == nil {
@@ -445,10 +522,18 @@ func (s *Snapshot) readColsFor(projection []int) (proj, readCols []int) {
 	return projection, readCols
 }
 
+// prefetchAhead is how many sarg-surviving stripes a scan worker keeps
+// queued on the I/O elevator ahead of the one it is consuming.
+const prefetchAhead = 2
+
 // scanFile streams the visible rows of stripes [lo, hi) of one data file
 // (hi < 0 means every stripe), applying search-argument stripe skipping and
 // snapshot filtering. Safe for concurrent use by parallel scan workers: it
 // only reads immutable snapshot state.
+//
+// When the snapshot has a Prefetcher, the worker hints its remaining
+// sarg-surviving stripes to the elevator a window ahead of consumption.
+// Skipping happens before enqueue, so skipped stripes cost zero I/O.
 func (s *Snapshot) scanFile(path string, d storeDir, lo, hi int, readCols []int, sarg *orc.SearchArgument, projN int, fn func(*vector.Batch) error) error {
 	r, err := s.openReader(path)
 	if err != nil {
@@ -457,9 +542,29 @@ func (s *Snapshot) scanFile(path string, d storeDir, lo, hi int, readCols []int,
 	if hi < 0 || hi > r.NumStripes() {
 		hi = r.NumStripes()
 	}
+	// Sarg pruning first: the survivors drive both the synchronous read
+	// loop and the prefetch window.
+	surv := make([]int, 0, hi-lo)
 	for st := lo; st < hi; st++ {
 		if sarg != nil && !r.StripeCanMatch(st, sarg) {
+			if s.opts.Counters != nil {
+				s.opts.Counters.StripesSkipped.Add(1)
+			}
 			continue
+		}
+		surv = append(surv, st)
+	}
+	nextPf := 0 // next survivor index to offer to the elevator
+	for i, st := range surv {
+		if s.opts.Prefetch != nil {
+			for nextPf <= i+prefetchAhead && nextPf < len(surv) {
+				if nextPf > i && s.opts.Prefetch.Prefetch(r, surv[nextPf], readCols, nil) {
+					if s.opts.Counters != nil {
+						s.opts.Counters.Prefetched.Add(1)
+					}
+				}
+				nextPf++
+			}
 		}
 		b, err := r.ReadStripe(st, readCols)
 		if err != nil {

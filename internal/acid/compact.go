@@ -97,7 +97,7 @@ func (c *Compactor) Minor(valid txn.ValidWriteIds) error {
 	w := orc.NewWriter(c.fs, tmp+"/file_00000", FullSchema(c.dataCols), c.opts)
 	wroteRows := false
 	for _, d := range deltaDirs {
-		if err := c.copyDir(d, w, valid, &wroteRows); err != nil {
+		if err := c.copyDir(d, w, NumMetaCols+len(c.dataCols), valid, &wroteRows); err != nil {
 			return err
 		}
 	}
@@ -137,7 +137,7 @@ func (c *Compactor) Minor(valid txn.ValidWriteIds) error {
 		dw := orc.NewWriter(c.fs, tmp+"/file_00000", DeleteSchema(), orc.WriterOptions{})
 		wrote := false
 		for _, d := range toMerge {
-			if err := c.copyDir(d, dw, valid, &wrote); err != nil {
+			if err := c.copyDir(d, dw, len(DeleteSchema()), valid, &wrote); err != nil {
 				return err
 			}
 		}
@@ -151,8 +151,10 @@ func (c *Compactor) Minor(valid txn.ValidWriteIds) error {
 	return nil
 }
 
-// copyDir streams every valid row of a store directory into w.
-func (c *Compactor) copyDir(d storeDir, w *orc.Writer, valid txn.ValidWriteIds, wrote *bool) error {
+// copyDir streams every valid row of a store directory into w, reading
+// only the wantCols leading columns the writer's schema holds (clamped to
+// the file width) instead of decoding every column of the file.
+func (c *Compactor) copyDir(d storeDir, w *orc.Writer, wantCols int, valid txn.ValidWriteIds, wrote *bool) error {
 	files, err := c.fs.ListRecursive(d.path)
 	if err != nil {
 		return err
@@ -162,8 +164,16 @@ func (c *Compactor) copyDir(d storeDir, w *orc.Writer, valid txn.ValidWriteIds, 
 		if err != nil {
 			return err
 		}
+		n := wantCols
+		if fw := len(r.Schema()); fw < n {
+			n = fw
+		}
+		proj := make([]int, n)
+		for i := range proj {
+			proj[i] = i
+		}
 		for st := 0; st < r.NumStripes(); st++ {
-			b, err := r.ReadStripe(st, nil)
+			b, err := r.ReadStripe(st, proj)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,169 @@
+package acid
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/llap"
+	"repro/internal/orc"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// writeCompactedDeletes writes a multi-write (compacted) delete delta whose
+// rows are ordered by deleter write id, as Compactor.Minor produces.
+func writeCompactedDeletes(t *testing.T, fs *dfs.FS, loc string, lo, hi int64, stripeRows int, rows [][2]int64) {
+	t.Helper()
+	path := fmt.Sprintf("%s/%s/file_00000", loc, deleteDirName(lo, hi))
+	w := orc.NewWriter(fs, path, DeleteSchema(), orc.WriterOptions{StripeRows: stripeRows})
+	for _, r := range rows {
+		// r[0] = victim RowID of write 1 file 0, r[1] = deleter write id.
+		if err := w.WriteRow([]types.Datum{
+			types.NewBigint(1), types.NewBigint(0), types.NewBigint(r[0]), types.NewBigint(r[1]),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteDeltaSargSkipsStripes: loading the delete set of a compacted
+// delete delta sargs the deleter write-id stripe statistics against the
+// snapshot high watermark, skipping stripes that hold only deletes this
+// snapshot cannot see — without changing the visible row set.
+func TestDeleteDeltaSargSkipsStripes(t *testing.T) {
+	fs := dfs.New()
+	loc := "/wh/t"
+	// Insert delta: write 1, rows 0..31, stripe = 4 rows.
+	iw := NewInsertWriter(fs, loc, 1, 0, testCols, orc.WriterOptions{StripeRows: 4})
+	for i := int64(0); i < 32; i++ {
+		if err := iw.WriteRow([]types.Datum{types.NewBigint(i), types.NewString("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := iw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Compacted delete delta covering writes 2..10, 4 stripes of 4 rows,
+	// ordered by deleter: [0..3]@2, [4..7]@6, [8..11]@9, [12..15]@10.
+	var delRows [][2]int64
+	for i := int64(0); i < 16; i++ {
+		deleter := []int64{2, 6, 9, 10}[i/4]
+		delRows = append(delRows, [2]int64{i, deleter})
+	}
+	writeCompactedDeletes(t, fs, loc, 2, 10, 4, delRows)
+
+	visible := func(s *Snapshot) []int64 {
+		var ids []int64
+		err := s.Scan([]int{NumMetaCols}, nil, func(b *vector.Batch) error {
+			for i := 0; i < b.N; i++ {
+				ids = append(ids, b.Cols[0].I64[b.RowIdx(i)])
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+
+	// Snapshot at HW=5: only deleter 2 is visible; the three stripes whose
+	// minimum deleter exceeds 5 must be pruned by stats alone.
+	var ctr ScanCounters
+	s5, err := OpenSnapshotWith(fs, loc, testCols, txn.ValidWriteIds{Table: "t", HighWater: 5}, SnapshotOpts{Counters: &ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s5.DeleteStripesSkipped(); got != 3 {
+		t.Errorf("HW=5 delete stripes skipped = %d, want 3", got)
+	}
+	if got := ctr.DeleteStripesSkipped.Load(); got != 3 {
+		t.Errorf("counter delete stripes skipped = %d, want 3", got)
+	}
+	if got := len(visible(s5)); got != 28 {
+		t.Errorf("HW=5 visible rows = %d, want 28 (only deleter-2 stripe applies)", got)
+	}
+
+	// Snapshot at HW=10: every deleter visible, nothing skippable.
+	s10, err := OpenSnapshot(fs, loc, testCols, txn.ValidWriteIds{Table: "t", HighWater: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s10.DeleteStripesSkipped(); got != 0 {
+		t.Errorf("HW=10 delete stripes skipped = %d, want 0", got)
+	}
+	if got := len(visible(s10)); got != 16 {
+		t.Errorf("HW=10 visible rows = %d, want 16", got)
+	}
+}
+
+// TestScanWithElevatorMatchesSynchronous wires a snapshot through the full
+// LLAP stack — chunk cache, decoded-vector cache, metadata cache, elevator
+// prefetch — and checks the scan is row-identical to the plain synchronous
+// path, that sarg skipping happens before prefetch enqueue, and that
+// repeat scans are served from the decoded cache.
+func TestScanWithElevatorMatchesSynchronous(t *testing.T) {
+	e := newEnv()
+	w1 := e.insert(t, 0, 40)
+	e.insert(t, 40, 80)
+	e.deleteKeys(t, []RowKey{{WriteID: w1, FileID: 0, RowID: 3}, {WriteID: w1, FileID: 0, RowID: 17}})
+	valid := e.tm.GetValidWriteIds("t", e.tm.GetSnapshot())
+
+	collect := func(s *Snapshot, sarg *orc.SearchArgument) []string {
+		var rows []string
+		err := s.Scan(nil, sarg, func(b *vector.Batch) error {
+			for i := 0; i < b.N; i++ {
+				r := b.RowIdx(i)
+				rows = append(rows, fmt.Sprintf("%d|%d|%d|%d",
+					b.Cols[0].I64[r], b.Cols[1].I64[r], b.Cols[2].I64[r], b.Cols[3].I64[r]))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+
+	// id >= 20 over full-schema ordinal 3 (first data column).
+	sarg := &orc.SearchArgument{Preds: []orc.Predicate{{
+		Col: NumMetaCols, Op: orc.PredGE, Values: []types.Datum{types.NewBigint(20)},
+	}}}
+
+	plain, err := OpenSnapshot(e.fs, e.loc, testCols, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collect(plain, sarg)
+
+	cache := llap.NewCache(e.fs, 1<<20)
+	decoded := llap.NewDecodedCache(1 << 20)
+	meta := llap.NewMetadataCache()
+	elev := llap.NewElevator(2, 1<<20)
+	defer elev.Close()
+	var ctr ScanCounters
+	opts := SnapshotOpts{Chunks: cache, Vectors: decoded, Readers: meta, Prefetch: elev, Counters: &ctr}
+	for pass := 0; pass < 2; pass++ {
+		s, err := OpenSnapshotWith(e.fs, e.loc, testCols, valid, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(s, sarg)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("pass %d: elevator scan diverges\n got %v\nwant %v", pass, got, want)
+		}
+	}
+	if ctr.StripesSkipped.Load() == 0 {
+		t.Error("expected sarg to skip stripes (id < 20)")
+	}
+	if decoded.Stats().Hits == 0 {
+		t.Error("expected repeat scan to hit the decoded-vector cache")
+	}
+	if meta.Hits() == 0 {
+		t.Error("expected repeat snapshot to hit the metadata cache")
+	}
+}

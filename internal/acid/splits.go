@@ -110,6 +110,44 @@ func fileRanges(r *orc.Reader, path string, targetStripes int) []ScanRange {
 	return append(out, ScanRange{File: path, StripeLo: lo, StripeHi: n, Rows: acc})
 }
 
+// PrefetchRange hints the sarg-surviving stripes of one upcoming scan
+// range to the I/O elevator, before any worker claims the range. It is
+// purely advisory: a hinted stripe may be decoded twice (the claiming
+// worker races the elevator) or never consumed (the range's sarg skips it
+// again) without affecting results. Skipped stripes are not counted here —
+// the worker that eventually claims the range recounts them — but accepted
+// prefetches are, since the claiming worker cannot observe them.
+// maxStripes bounds the hint so a deep queue does not flood the elevator.
+func (s *Snapshot) PrefetchRange(rg ScanRange, projection []int, sarg *orc.SearchArgument, maxStripes int) {
+	if s.opts.Prefetch == nil || maxStripes <= 0 {
+		return
+	}
+	_, readCols := s.readColsFor(projection)
+	r, err := s.openReader(rg.File)
+	if err != nil {
+		return
+	}
+	hi := rg.StripeHi
+	if hi <= 0 || hi > r.NumStripes() {
+		hi = r.NumStripes()
+	}
+	n := 0
+	for st := rg.StripeLo; st < hi && n < maxStripes; st++ {
+		// Skip BEFORE enqueue: stripes the sarg prunes never reach the
+		// elevator, so prefetch depth is spent on stripes the scan will
+		// actually read.
+		if sarg != nil && !r.StripeCanMatch(st, sarg) {
+			continue
+		}
+		if s.opts.Prefetch.Prefetch(r, st, readCols, nil) {
+			if s.opts.Counters != nil {
+				s.opts.Counters.Prefetched.Add(1)
+			}
+		}
+		n++
+	}
+}
+
 // ScanRange streams the visible rows of one stripe range, exactly as Scan
 // would for those stripes: the same projection semantics, search-argument
 // stripe skipping, snapshot validity filtering and delete anti-join against

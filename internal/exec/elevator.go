@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"repro/internal/acid"
+	"repro/internal/orc"
+)
+
+// governedPrefetcher wraps the shared I/O elevator with the query's memory
+// governor: every accepted prefetch reserves its estimated decode footprint
+// and releases it when the elevator worker finishes, so background decode
+// is accounted like any blocking operator and prefetch can never OOM the
+// process on a query's behalf (it is shed instead).
+type governedPrefetcher struct {
+	inner orc.Prefetcher
+	g     *Governor
+	res   *Reservation
+}
+
+// NewGovernedPrefetcher returns a Prefetcher that charges prefetch decode
+// memory to g before forwarding to inner. With a nil governor the inner
+// prefetcher is returned unwrapped.
+func NewGovernedPrefetcher(inner orc.Prefetcher, g *Governor) orc.Prefetcher {
+	if g == nil {
+		return inner
+	}
+	return &governedPrefetcher{inner: inner, g: g, res: g.Reserve("elevator")}
+}
+
+func (p *governedPrefetcher) Prefetch(r *orc.Reader, stripe int, cols []int, done func()) bool {
+	est := 2 * r.StripeEncodedBytes(stripe, cols) // encoded + decoded copies
+	// Prefetch is an optimization: shed it long before it would pressure
+	// the blocking operators into spilling to make room for it.
+	if b := p.g.Budget(); b > 0 && p.g.UsedBytes()+est > b/2 {
+		return false
+	}
+	if !p.res.Grow(est) {
+		return false
+	}
+	release := func() {
+		p.res.Shrink(est)
+		if done != nil {
+			done()
+		}
+	}
+	if !p.inner.Prefetch(r, stripe, cols, release) {
+		p.res.Shrink(est)
+		return false
+	}
+	return true
+}
+
+// snapOpts assembles the ACID snapshot wiring from the query context.
+func (c *Context) snapOpts() acid.SnapshotOpts {
+	if c == nil {
+		return acid.SnapshotOpts{}
+	}
+	return acid.SnapshotOpts{
+		Chunks:   c.Chunks,
+		Vectors:  c.Vectors,
+		Readers:  c.Readers,
+		Prefetch: c.Prefetch,
+		Counters: &c.ScanStats,
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/acid"
 	"repro/internal/dfs"
 	"repro/internal/orc"
 	"repro/internal/types"
@@ -46,6 +47,18 @@ type SlotPool interface {
 type Context struct {
 	// Chunks, when non-nil, routes ORC reads through the LLAP cache.
 	Chunks orc.ChunkReader
+	// Vectors, when non-nil, serves and publishes decoded column vectors
+	// (the I/O elevator's decoded-data cache, hive.llap.elevator).
+	Vectors orc.VectorCache
+	// Prefetch, when non-nil, is the async decode pool scans hint their
+	// upcoming sarg-surviving stripes to.
+	Prefetch orc.Prefetcher
+	// Readers, when non-nil, shares parsed ORC footers across queries
+	// (the LLAP metadata cache).
+	Readers acid.ReaderCache
+	// ScanStats aggregates stripe-skip and prefetch counters across every
+	// snapshot and scan worker of the query.
+	ScanStats acid.ScanCounters
 	// BloomFilters holds runtime semijoin reducers keyed by reducer id
 	// (paper §4.6): the build side registers, scans consult.
 	blooms map[int]*RuntimeFilter

@@ -771,13 +771,10 @@ func (p *parallelizer) expandScanSplits(s *ScanOp) {
 			out = append(out, sp)
 			continue
 		}
-		snap, err := acid.OpenSnapshot(s.FS, sp.Loc, s.dataColumns(), sp.Valid)
+		snap, err := acid.OpenSnapshotWith(s.FS, sp.Loc, s.dataColumns(), sp.Valid, s.Ctx.snapOpts())
 		if err != nil {
 			out = append(out, sp)
 			continue
-		}
-		if s.Ctx != nil && s.Ctx.Chunks != nil {
-			snap.SetChunkReader(s.Ctx.Chunks)
 		}
 		ranges, err := snap.Splits(target)
 		if err != nil || len(ranges) == 0 {
@@ -831,12 +828,9 @@ func (p *parallelizer) expandSkewedSplits(s *ScanOp) {
 		if sp.File != "" || sp.Snap != nil {
 			continue
 		}
-		snap, err := acid.OpenSnapshot(s.FS, sp.Loc, s.dataColumns(), sp.Valid)
+		snap, err := acid.OpenSnapshotWith(s.FS, sp.Loc, s.dataColumns(), sp.Valid, s.Ctx.snapOpts())
 		if err != nil {
 			continue
-		}
-		if s.Ctx != nil && s.Ctx.Chunks != nil {
-			snap.SetChunkReader(s.Ctx.Chunks)
 		}
 		s.Splits[i].Snap = snap // reuse at execution either way
 		ranges, err := snap.Splits(target)

@@ -74,6 +74,22 @@ func (q *SplitQueue) take(prune func([]TableSplit) []TableSplit) (TableSplit, bo
 	return q.splits[i], true
 }
 
+// peek returns up to n upcoming unclaimed splits without claiming them.
+// Racy by design: another worker may claim a peeked split at any moment,
+// which is harmless for advisory prefetch hints. Callers must have taken
+// at least one split already, so the one-time prune has run and q.splits
+// is stable.
+func (q *SplitQueue) peek(n int) []TableSplit {
+	i := int(q.next.Load())
+	if i >= len(q.splits) {
+		return nil
+	}
+	if end := i + n; end < len(q.splits) {
+		return q.splits[i:end]
+	}
+	return q.splits[i:]
+}
+
 // ScanOp reads an ACID table: it merges base and delta stores under the
 // split's WriteId snapshot, pushes the search argument into stripe
 // selection, fills partition key columns from the split, and applies
@@ -213,12 +229,9 @@ func (s *ScanOp) scanSplit(split TableSplit) error {
 	snap := split.Snap
 	if snap == nil {
 		var err error
-		snap, err = acid.OpenSnapshot(s.FS, split.Loc, s.dataColumns(), split.Valid)
+		snap, err = acid.OpenSnapshotWith(s.FS, split.Loc, s.dataColumns(), split.Valid, s.Ctx.snapOpts())
 		if err != nil {
 			return err
-		}
-		if s.Ctx != nil && s.Ctx.Chunks != nil {
-			snap.SetChunkReader(s.Ctx.Chunks)
 		}
 	}
 	// Projection over the ACID file schema: meta first if requested, then
@@ -275,12 +288,46 @@ func (s *ScanOp) scanSplit(split TableSplit) error {
 		s.pending = append(s.pending, out)
 		return nil
 	}
+	s.hintUpcoming(proj)
 	if split.File != "" {
 		return snap.ScanRange(acid.ScanRange{
 			File: split.File, StripeLo: split.StripeLo, StripeHi: split.StripeHi,
 		}, proj, s.Sarg, emit)
 	}
 	return snap.Scan(proj, s.Sarg, emit)
+}
+
+// hintUpcoming is the worker side of the elevator protocol (paper §5.1):
+// before scanning the split it just claimed, a worker hints the stripe
+// ranges of the next few unclaimed morsels to the elevator, so decode of
+// upcoming stripes overlaps with execution of the current one. With the
+// default one-stripe morsels, this — not the within-range window in
+// scanFile — is what keeps the elevator ahead of a parallel scan.
+const hintSplitsAhead = 2
+
+func (s *ScanOp) hintUpcoming(proj []int) {
+	if s.Ctx == nil || s.Ctx.Prefetch == nil {
+		return
+	}
+	var upcoming []TableSplit
+	if s.Shared != nil {
+		upcoming = s.Shared.peek(hintSplitsAhead)
+	} else if s.splitIdx < len(s.Splits) {
+		upcoming = s.Splits[s.splitIdx:]
+		if len(upcoming) > hintSplitsAhead {
+			upcoming = upcoming[:hintSplitsAhead]
+		}
+	}
+	for _, sp := range upcoming {
+		// Directory splits (no refined stripe range) carry no snapshot to
+		// prefetch through; opening one here would cost more than it saves.
+		if sp.Snap == nil || sp.File == "" {
+			continue
+		}
+		sp.Snap.PrefetchRange(acid.ScanRange{
+			File: sp.File, StripeLo: sp.StripeLo, StripeHi: sp.StripeHi,
+		}, proj, s.Sarg, hintSplitsAhead)
+	}
 }
 
 // dataColumns returns the table's stored columns as an ORC schema.

@@ -186,7 +186,7 @@ func (s *Session) executeDrop(x *sql.DropStmt) (*Result, error) {
 	if x.Kind == "database" {
 		return nil, fmt.Errorf("hs2: DROP DATABASE is not supported")
 	}
-	_, err := s.srv.MS.GetTable(db, x.Name.Name)
+	t, err := s.srv.MS.GetTable(db, x.Name.Name)
 	if err != nil {
 		if x.IfExists {
 			return &Result{}, nil
@@ -206,6 +206,9 @@ func (s *Session) executeDrop(x *sql.DropStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A dropped managed table's files are gone; a path recreated under the
+	// same name would otherwise race the FileID check on every footer hit.
+	s.srv.MetaCache.InvalidatePrefix(t.Location)
 	return &Result{}, nil
 }
 
@@ -239,6 +242,9 @@ func (s *Session) executeDropPartition(x *sql.AlterTableDropPartitionStmt) (*Res
 	}
 	err = s.srv.MS.DropPartition(db, x.Table.Name, values)
 	tm.Commit(id)
+	if err == nil {
+		s.srv.MetaCache.InvalidatePrefix(t.Location + "/" + spec)
+	}
 	return &Result{}, err
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/exec"
 	"repro/internal/federation"
+	"repro/internal/llap"
 	"repro/internal/opt"
 	"repro/internal/orc"
 	"repro/internal/plan"
@@ -294,6 +295,14 @@ func (s *Session) explain(st sql.Statement) (*Result, error) {
 		return nil, err
 	}
 	text := plan.Explain(rel)
+	// Surface the I/O path the scan will take: with the elevator on, scans
+	// are served from (and hint ahead into) the decoded-vector cache; the
+	// runtime counters land in Session.Last{DecodedCacheHits,...} after
+	// execution.
+	if s.confBool("hive.llap.enabled") && s.confBool("hive.llap.elevator") && s.srv.Decoded != nil {
+		text += fmt.Sprintf("io: llap elevator (threads=%d, decoded-cache=%d bytes)\n",
+			s.srv.IOThreads(), s.srv.Decoded.Capacity())
+	}
 	s.LastPlan = text
 	res := &Result{Columns: []string{"plan"}}
 	res.Rows = append(res.Rows, []types.Datum{types.NewString(text)})
@@ -615,8 +624,18 @@ func (s *Session) runOnce(qctx context.Context, rel plan.Rel, memLimit int64, ad
 	case "container":
 		mode = dag.ModeContainer
 	}
+	var view *llap.QueryVectorView
 	if mode == dag.ModeLLAP && s.confBool("hive.llap.enabled") {
 		ctx.Chunks = s.srv.Cache
+		ctx.Readers = s.srv.MetaCache
+		// I/O elevator (paper §5.1): serve and publish decoded vectors and
+		// let scans hint upcoming stripes to the async decode pool. Off, the
+		// scan path is byte-identical to the synchronous one — the elevator
+		// and its cache only change timing, never results.
+		if s.confBool("hive.llap.elevator") && s.srv.Decoded != nil {
+			view = &llap.QueryVectorView{Cache: s.srv.Decoded}
+			ctx.Vectors = view
+		}
 	}
 	// Intra-query parallelism rides on LLAP executor slots (paper §5.1);
 	// MR and container modes stay serial like the paper's baselines.
@@ -655,6 +674,12 @@ func (s *Session) runOnce(qctx context.Context, rel plan.Rel, memLimit int64, ad
 	ctx.Mem = exec.NewGovernor(budget)
 	ctx.FS = s.srv.FS
 	ctx.ScratchDir = scratch
+	// Prefetch decode memory is charged to this query's governor before a
+	// stripe is handed to the elevator, so background decode stays inside
+	// the admission's budget and is shed — not spilled for — under pressure.
+	if view != nil && s.srv.Elevator != nil {
+		ctx.Prefetch = exec.NewGovernedPrefetcher(s.srv.Elevator, ctx.Mem)
+	}
 	defer func() {
 		// The scratch directory must not outlive the query, however it
 		// ended: operators remove their spill files on Close, and this
@@ -662,6 +687,14 @@ func (s *Session) runOnce(qctx context.Context, rel plan.Rel, memLimit int64, ad
 		s.srv.FS.Remove(scratch, true)
 		s.LastPeakMemoryBytes = ctx.Mem.PeakBytes()
 		s.LastSpilledBytes = ctx.Mem.SpilledBytes()
+		s.LastDecodedCacheHits, s.LastDecodedCacheMisses = 0, 0
+		if view != nil {
+			s.LastDecodedCacheHits = view.Hits.Load()
+			s.LastDecodedCacheMisses = view.Misses.Load()
+		}
+		s.LastStripesSkipped = ctx.ScanStats.StripesSkipped.Load()
+		s.LastDeleteStripesSkipped = ctx.ScanStats.DeleteStripesSkipped.Load()
+		s.LastPrefetchedStripes = ctx.ScanStats.Prefetched.Load()
 	}()
 	comp := &exec.Compiler{
 		Ctx:      ctx,

@@ -40,6 +40,12 @@ type Config struct {
 	// pools admit queries against (paper §4.4). 0 disables memory
 	// admission: resource plans gate on executor slots only, as before.
 	MemoryBytes int64
+	// IOThreads sizes the LLAP I/O elevator's async decode pool
+	// (hive.llap.io.threads); default 4.
+	IOThreads int
+	// DecodedCacheBytes caps the elevator's decoded-vector cache
+	// (hive.llap.decoded.cache.bytes); default CacheBytes/2.
+	DecodedCacheBytes int64
 }
 
 // Server is the embedded HiveServer2 plus its LLAP deployment.
@@ -49,6 +55,8 @@ type Server struct {
 	Registry  *federation.Registry
 	Cache     *llap.Cache
 	MetaCache *llap.MetadataCache
+	Decoded   *llap.DecodedCache
+	Elevator  *llap.Elevator
 	Daemons   *llap.Daemons
 	Results   *resultcache.Cache
 	Plans     *plancache.Cache
@@ -56,6 +64,7 @@ type Server struct {
 	mu          sync.Mutex
 	wmgr        *wm.Manager
 	memoryBytes int64
+	ioThreads   int
 	defaults    map[string]string
 	// querySeq disambiguates per-query scratch directories across
 	// concurrent sessions (a wall-clock tick alone can collide).
@@ -76,12 +85,21 @@ func NewServer(cfg Config) *Server {
 	if cfg.CacheBytes <= 0 {
 		cfg.CacheBytes = 64 << 20
 	}
+	if cfg.IOThreads <= 0 {
+		cfg.IOThreads = 4
+	}
+	if cfg.DecodedCacheBytes <= 0 {
+		cfg.DecodedCacheBytes = cfg.CacheBytes / 2
+	}
 	s := &Server{
 		MS:        metastore.New(cfg.FS, cfg.WarehouseRoot),
 		FS:        cfg.FS,
 		Registry:  federation.NewRegistry(),
 		Cache:     llap.NewCache(cfg.FS, cfg.CacheBytes),
 		MetaCache: llap.NewMetadataCache(),
+		Decoded:   llap.NewDecodedCache(cfg.DecodedCacheBytes),
+		Elevator:  llap.NewElevator(cfg.IOThreads, cfg.DecodedCacheBytes),
+		ioThreads: cfg.IOThreads,
 		Daemons:   llap.NewDaemons(cfg.Executors),
 		Results:   resultcache.New(256),
 		Plans:     plancache.New(128),
@@ -112,6 +130,19 @@ func NewServer(cfg Config) *Server {
 			// stripe granularity (paper §5.1). 1 maximizes work-stealing
 			// balance; larger values amortize per-morsel overhead.
 			"hive.split.target.stripes": "1",
+			// LLAP I/O elevator (paper §5.1): scans publish their upcoming
+			// sarg-surviving stripes to an async decode pool that reads and
+			// decodes ahead of the consumer, caching *decoded* vectors.
+			// false restores the fully synchronous read path,
+			// byte-identically.
+			"hive.llap.elevator": "true",
+			// Decode-pool width. Takes effect at server start
+			// (Config.IOThreads); the session knob only gates per-query
+			// elevator use.
+			"hive.llap.io.threads": strconv.Itoa(cfg.IOThreads),
+			// Decoded-vector cache capacity, charged by decoded size. Takes
+			// effect at server start (Config.DecodedCacheBytes).
+			"hive.llap.decoded.cache.bytes": strconv.FormatInt(cfg.DecodedCacheBytes, 10),
 			// Parallel ORDER BY / TopN: workers produce locally sorted
 			// runs (with the LIMIT pushed into each) merged through an
 			// order-preserving loser-tree exchange. false keeps the sort
@@ -153,6 +184,17 @@ func NewServer(cfg Config) *Server {
 	s.memoryBytes = cfg.MemoryBytes
 	return s
 }
+
+// Close stops the server's background machinery (the I/O elevator's
+// decode goroutines). Queries must have drained first.
+func (s *Server) Close() {
+	if s.Elevator != nil {
+		s.Elevator.Close()
+	}
+}
+
+// IOThreads reports the size of the I/O elevator's decode pool.
+func (s *Server) IOThreads() int { return s.ioThreads }
 
 // WorkloadManager returns the active workload manager, if a resource plan
 // has been activated.
@@ -207,6 +249,20 @@ type Session struct {
 	// workload-management triggers).
 	LastPeakMemoryBytes int64
 	LastSpilledBytes    int64
+	// LastDecodedCacheHits/Misses report the previous query's decoded-
+	// vector cache effectiveness (I/O elevator, paper §5.1); zero/zero when
+	// the elevator is off or the scan never consulted the cache.
+	LastDecodedCacheHits   int64
+	LastDecodedCacheMisses int64
+	// LastStripesSkipped counts data stripes the previous query's search
+	// arguments pruned; LastDeleteStripesSkipped counts delete-delta
+	// stripes pruned by the deleter write-id sarg while loading snapshots.
+	LastStripesSkipped       int64
+	LastDeleteStripesSkipped int64
+	// LastPrefetchedStripes counts stripes the previous query handed to
+	// the I/O elevator (accepted prefetches, i.e. prefetch-ahead depth
+	// summed over the scan).
+	LastPrefetchedStripes int64
 }
 
 // NewSession opens a session in the default database.
@@ -345,9 +401,11 @@ func (s *Session) checkTriggers(pool string, elapsed time.Duration) error {
 		return nil
 	}
 	action, _ := mgr.Evaluate(pool, wm.QueryMetrics{
-		TotalRuntimeMS:  elapsed.Milliseconds(),
-		PeakMemoryBytes: s.LastPeakMemoryBytes,
-		SpilledBytes:    s.LastSpilledBytes,
+		TotalRuntimeMS:   elapsed.Milliseconds(),
+		PeakMemoryBytes:  s.LastPeakMemoryBytes,
+		SpilledBytes:     s.LastSpilledBytes,
+		StripesSkipped:   s.LastStripesSkipped + s.LastDeleteStripesSkipped,
+		DecodedCacheHits: s.LastDecodedCacheHits,
 	})
 	if action == wm.ActionKill {
 		return fmt.Errorf("hs2: query killed by workload manager trigger in pool %s", pool)

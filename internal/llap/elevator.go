@@ -1,0 +1,356 @@
+package llap
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/orc"
+	"repro/internal/vector"
+)
+
+// The I/O elevator (paper §5.1): LLAP separates I/O from execution with an
+// asynchronous pool that reads, decompresses and *decodes* column data
+// ahead of the consuming executor, and caches the decoded representation
+// rather than raw bytes. This file provides the two halves:
+//
+//   - DecodedCache: a memory-bounded LRU of decoded vector.Vectors keyed
+//     by (fileID, stripe, column) and charged by decoded size. Like the
+//     chunk cache it is an MVCC view — DFS files are immutable and each
+//     write generation gets a fresh FileID, so stale entries simply age
+//     out rather than needing invalidation.
+//   - Elevator: a fixed pool of decode goroutines fed by scanning workers,
+//     which publish upcoming sarg-surviving stripes before needing them.
+
+// vecKey addresses one decoded column of one file generation.
+type vecKey struct {
+	fileID uint64
+	stripe int
+	col    int
+}
+
+type vecEntry struct {
+	key  vecKey
+	vec  *vector.Vector
+	size int64
+}
+
+// DecodedCacheStats counts decoded-cache effectiveness.
+type DecodedCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	UsedBytes int64
+	Entries   int
+}
+
+// DecodedCache is the elevator's decoded-vector cache: an orc.VectorCache
+// bounded by decoded bytes with LRU eviction. Cached vectors are shared
+// between queries and are immutable by contract; eviction only drops the
+// cache's reference, so a consumer holding an evicted vector keeps a valid
+// value (eviction-during-fill is safe by construction).
+type DecodedCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[vecKey]*list.Element // of vecEntry
+	lru      list.List                // front = most recent
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// NewDecodedCache creates a decoded-vector cache with the given capacity
+// in decoded bytes.
+func NewDecodedCache(capacity int64) *DecodedCache {
+	return &DecodedCache{capacity: capacity, entries: make(map[vecKey]*list.Element)}
+}
+
+// VectorBytes estimates the resident size of a decoded vector, the unit
+// the cache capacity is charged in.
+func VectorBytes(v *vector.Vector) int64 {
+	n := int64(48) // struct + slice headers
+	n += int64(len(v.Nulls))
+	n += 8 * int64(len(v.I64))
+	n += 8 * int64(len(v.F64))
+	if v.Str != nil {
+		n += 16 * int64(len(v.Str))
+		for _, s := range v.Str {
+			n += int64(len(s))
+		}
+	}
+	return n
+}
+
+// GetVector implements orc.VectorCache.
+func (c *DecodedCache) GetVector(fileID uint64, stripe, col int) (*vector.Vector, bool) {
+	key := vecKey{fileID, stripe, col}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		v := el.Value.(*vecEntry).vec
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// PeekVector implements orc.VectorPeeker: residency check without hit/miss
+// accounting or LRU promotion, used by the prefetch path.
+func (c *DecodedCache) PeekVector(fileID uint64, stripe, col int) bool {
+	key := vecKey{fileID, stripe, col}
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	c.mu.Unlock()
+	return ok
+}
+
+// PutVector implements orc.VectorCache.
+func (c *DecodedCache) PutVector(fileID uint64, stripe, col int, v *vector.Vector) {
+	size := VectorBytes(v)
+	if size > c.capacity {
+		return // larger than the cache: serve uncached
+	}
+	key := vecKey{fileID, stripe, col}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.used+size > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*vecEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.size
+		c.evictions.Add(1)
+	}
+	c.entries[key] = c.lru.PushFront(&vecEntry{key: key, vec: v, size: size})
+	c.used += size
+}
+
+// Capacity returns the cache's byte capacity.
+func (c *DecodedCache) Capacity() int64 { return c.capacity }
+
+// Stats returns decoded-cache counters.
+func (c *DecodedCache) Stats() DecodedCacheStats {
+	c.mu.Lock()
+	used, n := c.used, c.lru.Len()
+	c.mu.Unlock()
+	return DecodedCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		UsedBytes: used,
+		Entries:   n,
+	}
+}
+
+// QueryVectorView wraps the shared DecodedCache with per-query hit/miss
+// counters so sessions can report LastDecodedCacheHits/Misses without
+// disentangling the global totals. Peeks pass through uncounted.
+type QueryVectorView struct {
+	Cache  *DecodedCache
+	Hits   atomic.Int64
+	Misses atomic.Int64
+}
+
+// GetVector implements orc.VectorCache.
+func (q *QueryVectorView) GetVector(fileID uint64, stripe, col int) (*vector.Vector, bool) {
+	v, ok := q.Cache.GetVector(fileID, stripe, col)
+	if ok {
+		q.Hits.Add(1)
+	} else {
+		q.Misses.Add(1)
+	}
+	return v, ok
+}
+
+// PutVector implements orc.VectorCache.
+func (q *QueryVectorView) PutVector(fileID uint64, stripe, col int, v *vector.Vector) {
+	q.Cache.PutVector(fileID, stripe, col, v)
+}
+
+// PeekVector implements orc.VectorPeeker.
+func (q *QueryVectorView) PeekVector(fileID uint64, stripe, col int) bool {
+	return q.Cache.PeekVector(fileID, stripe, col)
+}
+
+// ElevatorStats counts elevator activity.
+type ElevatorStats struct {
+	Enqueued      int64 // requests accepted into the queue
+	Decoded       int64 // stripes decoded by elevator workers
+	Dropped       int64 // requests rejected (duplicate, full queue, byte cap)
+	MaxDepth      int64 // high-water mark of queued requests
+	InflightBytes int64 // current estimated bytes of queued + running work
+}
+
+type elevKey struct {
+	fileID uint64
+	stripe int
+}
+
+type elevReq struct {
+	r      *orc.Reader
+	stripe int
+	cols   []int
+	est    int64
+	done   func()
+}
+
+// Elevator is the per-daemon asynchronous decode pool. Scanning workers
+// enqueue upcoming (file, stripe, projection) units; worker goroutines
+// perform the DFS reads and column decodes ahead of the consumer and
+// publish decoded vectors through the reader's vector cache. Requests are
+// advisory: when the queue or the in-flight byte budget is full they are
+// dropped and the consumer decodes synchronously as before, so the
+// elevator can never change results — only timing.
+type Elevator struct {
+	reqs     chan elevReq
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	cap      int64 // in-flight decode estimate budget, bytes
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	pending map[elevKey]struct{} // dedupe concurrent requests per stripe
+
+	enqueued atomic.Int64
+	decoded  atomic.Int64
+	dropped  atomic.Int64
+	depth    atomic.Int64
+	maxDepth atomic.Int64
+	closed   atomic.Bool
+}
+
+// NewElevator starts an elevator with the given worker count
+// (hive.llap.io.threads) and in-flight byte budget; zero values pick
+// defaults of 4 threads and 32 MiB.
+func NewElevator(threads int, inflightBytes int64) *Elevator {
+	if threads <= 0 {
+		threads = 4
+	}
+	if inflightBytes <= 0 {
+		inflightBytes = 32 << 20
+	}
+	e := &Elevator{
+		reqs:    make(chan elevReq, 4*threads),
+		quit:    make(chan struct{}),
+		cap:     inflightBytes,
+		pending: make(map[elevKey]struct{}),
+	}
+	e.wg.Add(threads)
+	for i := 0; i < threads; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Elevator) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case req := <-e.reqs:
+			e.depth.Add(-1)
+			// Errors are swallowed: the consumer's synchronous read will
+			// surface them with full context if they are real.
+			_ = req.r.PrefetchStripe(req.stripe, req.cols)
+			e.decoded.Add(1)
+			e.finish(req)
+		}
+	}
+}
+
+func (e *Elevator) finish(req elevReq) {
+	e.inflight.Add(-req.est)
+	e.mu.Lock()
+	delete(e.pending, elevKey{req.r.FileID(), req.stripe})
+	e.mu.Unlock()
+	if req.done != nil {
+		req.done()
+	}
+}
+
+// Prefetch implements orc.Prefetcher. The request is dropped (returning
+// false, done never called) when the elevator is saturated or an identical
+// stripe is already in flight.
+func (e *Elevator) Prefetch(r *orc.Reader, stripe int, cols []int, done func()) bool {
+	if e.closed.Load() {
+		return false
+	}
+	est := 2 * r.StripeEncodedBytes(stripe, cols) // encoded + decoded copies
+	if e.inflight.Load()+est > e.cap {
+		e.dropped.Add(1)
+		return false
+	}
+	key := elevKey{r.FileID(), stripe}
+	e.mu.Lock()
+	if _, dup := e.pending[key]; dup {
+		e.mu.Unlock()
+		e.dropped.Add(1)
+		return false
+	}
+	e.pending[key] = struct{}{}
+	e.mu.Unlock()
+	e.inflight.Add(est)
+	select {
+	case e.reqs <- elevReq{r: r, stripe: stripe, cols: cols, est: est, done: done}:
+		e.enqueued.Add(1)
+		d := e.depth.Add(1)
+		for {
+			m := e.maxDepth.Load()
+			if d <= m || e.maxDepth.CompareAndSwap(m, d) {
+				break
+			}
+		}
+		return true
+	default:
+		e.inflight.Add(-est)
+		e.mu.Lock()
+		delete(e.pending, key)
+		e.mu.Unlock()
+		e.dropped.Add(1)
+		return false
+	}
+}
+
+// Close stops the workers and abandons queued requests, invoking their
+// done callbacks so callers' accounting is released.
+func (e *Elevator) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(e.quit)
+	e.wg.Wait()
+	for {
+		select {
+		case req := <-e.reqs:
+			e.depth.Add(-1)
+			e.dropped.Add(1)
+			e.finish(req)
+		default:
+			return
+		}
+	}
+}
+
+// Stats returns elevator counters.
+func (e *Elevator) Stats() ElevatorStats {
+	return ElevatorStats{
+		Enqueued:      e.enqueued.Load(),
+		Decoded:       e.decoded.Load(),
+		Dropped:       e.dropped.Load(),
+		MaxDepth:      e.maxDepth.Load(),
+		InflightBytes: e.inflight.Load(),
+	}
+}

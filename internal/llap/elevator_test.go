@@ -1,0 +1,218 @@
+package llap
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+func i64Vec(vals ...int64) *vector.Vector {
+	return &vector.Vector{Type: types.TBigint, I64: vals}
+}
+
+func TestDecodedCacheLRUEviction(t *testing.T) {
+	v := i64Vec(1, 2, 3, 4)
+	size := VectorBytes(v)
+	c := NewDecodedCache(2 * size)
+	c.PutVector(1, 0, 0, i64Vec(1, 2, 3, 4))
+	c.PutVector(1, 1, 0, i64Vec(5, 6, 7, 8))
+	// Touch stripe 0 so stripe 1 is the LRU victim.
+	if _, ok := c.GetVector(1, 0, 0); !ok {
+		t.Fatal("expected stripe 0 resident")
+	}
+	c.PutVector(1, 2, 0, i64Vec(9, 10, 11, 12))
+	if _, ok := c.GetVector(1, 1, 0); ok {
+		t.Error("expected LRU stripe 1 evicted")
+	}
+	if _, ok := c.GetVector(1, 0, 0); !ok {
+		t.Error("expected recently used stripe 0 retained")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.UsedBytes > 2*size {
+		t.Errorf("used %d bytes over capacity %d", st.UsedBytes, 2*size)
+	}
+}
+
+// TestDecodedCacheEvictionDuringFill is the eviction-during-fill
+// correctness test: a consumer that obtained a vector right before it was
+// evicted must still read valid data — eviction only drops the cache's
+// reference, never the vector's contents.
+func TestDecodedCacheEvictionDuringFill(t *testing.T) {
+	v := i64Vec(1, 2, 3, 4)
+	size := VectorBytes(v)
+	c := NewDecodedCache(size) // exactly one entry fits
+	c.PutVector(1, 0, 0, v)
+	held, ok := c.GetVector(1, 0, 0)
+	if !ok {
+		t.Fatal("expected fill to be resident")
+	}
+	// A concurrent fill of another stripe evicts the held entry.
+	c.PutVector(1, 1, 0, i64Vec(5, 6, 7, 8))
+	if _, ok := c.GetVector(1, 0, 0); ok {
+		t.Fatal("expected held entry evicted")
+	}
+	for i, want := range []int64{1, 2, 3, 4} {
+		if held.I64[i] != want {
+			t.Fatalf("held vector corrupted after eviction: %v", held.I64)
+		}
+	}
+	// Oversized vectors bypass the cache entirely.
+	big := i64Vec(make([]int64, 1024)...)
+	c.PutVector(2, 0, 0, big)
+	if c.PeekVector(2, 0, 0) {
+		t.Error("oversized vector should not be cached")
+	}
+}
+
+func TestQueryVectorViewCountsPerQuery(t *testing.T) {
+	c := NewDecodedCache(1 << 20)
+	c.PutVector(1, 0, 0, i64Vec(1))
+	q1 := &QueryVectorView{Cache: c}
+	q2 := &QueryVectorView{Cache: c}
+	q1.GetVector(1, 0, 0) // hit
+	q1.GetVector(1, 9, 0) // miss
+	q2.GetVector(1, 0, 0) // hit
+	if q1.Hits.Load() != 1 || q1.Misses.Load() != 1 {
+		t.Errorf("q1 hits/misses = %d/%d, want 1/1", q1.Hits.Load(), q1.Misses.Load())
+	}
+	if q2.Hits.Load() != 1 || q2.Misses.Load() != 0 {
+		t.Errorf("q2 hits/misses = %d/%d, want 1/0", q2.Hits.Load(), q2.Misses.Load())
+	}
+	// Peek must not count anywhere.
+	q1.PeekVector(1, 0, 0)
+	if q1.Hits.Load() != 1 {
+		t.Error("PeekVector must not count as a hit")
+	}
+}
+
+// writeStripedFile writes rows/stripeRows stripes of (BIGINT k, DOUBLE v).
+func writeStripedFile(t testing.TB, fs *dfs.FS, path string, rows, stripeRows int) {
+	t.Helper()
+	w := orc.NewWriter(fs, path, []orc.Column{
+		{Name: "k", Type: types.TBigint},
+		{Name: "v", Type: types.TDouble},
+	}, orc.WriterOptions{StripeRows: stripeRows})
+	for i := 0; i < rows; i++ {
+		if err := w.WriteRow([]types.Datum{types.NewBigint(int64(i)), types.NewDouble(float64(i) / 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElevatorPrefetchFillsDecodedCache(t *testing.T) {
+	fs := dfs.New()
+	writeStripedFile(t, fs, "/t/f", 64, 16)
+	cache := NewDecodedCache(1 << 20)
+	e := NewElevator(2, 1<<20)
+	defer e.Close()
+	r, err := orc.NewReader(fs, "/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetVectorCache(cache)
+	var done atomic.Int64
+	for st := 0; st < r.NumStripes(); st++ {
+		if !e.Prefetch(r, st, []int{0, 1}, func() { done.Add(1) }) {
+			t.Fatalf("prefetch of stripe %d rejected", st)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for done.Load() < int64(r.NumStripes()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("elevator decoded %d/%d stripes", done.Load(), r.NumStripes())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for st := 0; st < r.NumStripes(); st++ {
+		for col := 0; col < 2; col++ {
+			if !cache.PeekVector(r.FileID(), st, col) {
+				t.Errorf("stripe %d col %d not in decoded cache after prefetch", st, col)
+			}
+		}
+	}
+	if got := e.Stats(); got.Decoded != int64(r.NumStripes()) || got.Enqueued != int64(r.NumStripes()) {
+		t.Errorf("elevator stats = %+v", got)
+	}
+	// A consumer read is now served from the decoded cache: no chunk I/O.
+	pre := fs.IOStats().ReadOps
+	if _, err := r.ReadStripe(0, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if post := fs.IOStats().ReadOps; post != pre {
+		t.Errorf("ReadStripe after prefetch did %d FS reads, want 0", post-pre)
+	}
+}
+
+func TestElevatorDedupAndClose(t *testing.T) {
+	fs := dfs.New()
+	writeStripedFile(t, fs, "/t/f", 32, 16)
+	e := NewElevator(1, 1<<20)
+	r, err := orc.NewReader(fs, "/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetVectorCache(NewDecodedCache(1 << 20))
+	// Flood the single worker so duplicates overlap in the pending set.
+	var accepted, calls atomic.Int64
+	for i := 0; i < 50; i++ {
+		st := i % r.NumStripes()
+		if e.Prefetch(r, st, nil, func() { calls.Add(1) }) {
+			accepted.Add(1)
+		}
+	}
+	e.Close()
+	if calls.Load() != accepted.Load() {
+		t.Errorf("done callbacks %d != accepted prefetches %d", calls.Load(), accepted.Load())
+	}
+	if e.Prefetch(r, 0, nil, nil) {
+		t.Error("prefetch after Close must be rejected")
+	}
+	e.Close() // idempotent
+}
+
+func TestMetadataCacheLRUAndInvalidate(t *testing.T) {
+	fs := dfs.New()
+	for i := 0; i < 4; i++ {
+		writeStripedFile(t, fs, fmt.Sprintf("/t/f%d", i), 4, 4)
+	}
+	m := NewMetadataCacheSize(2)
+	for i := 0; i < 4; i++ {
+		if _, err := m.Reader(fs, fmt.Sprintf("/t/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Entries != 2 || st.Evictions != 2 || st.Misses != 4 {
+		t.Errorf("stats after fills = %+v", st)
+	}
+	// f3 is resident (most recent): hit without reopening.
+	if _, err := m.Reader(fs, "/t/f3"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Hits != 1 {
+		t.Errorf("hits = %d, want 1", m.Stats().Hits)
+	}
+	m.Invalidate("/t/f3")
+	if _, err := m.Reader(fs, "/t/f3"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Misses != 5 {
+		t.Errorf("misses after invalidate = %d, want 5", m.Stats().Misses)
+	}
+	m.InvalidatePrefix("/t/")
+	if m.Stats().Entries != 0 {
+		t.Errorf("entries after prefix invalidate = %d, want 0", m.Stats().Entries)
+	}
+}

@@ -14,7 +14,9 @@
 package llap
 
 import (
+	"container/list"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -149,30 +151,70 @@ func (c *Cache) Stats() CacheStats {
 // keyed by path and validated by FileID, so repeated scans skip footer
 // reads entirely — including for files whose data was never cached
 // (paper §5.1: metadata is cached even for data that was never in cache).
+// Capacity is an entry count with LRU eviction: footers are small and
+// uniform, so recency matters more than byte-accurate charging here.
 type MetadataCache struct {
-	mu      sync.Mutex
-	readers map[string]*orc.Reader
-	hits    atomic.Int64
-	misses  atomic.Int64
+	mu       sync.Mutex
+	capacity int
+	readers  map[string]*list.Element // of metaEntry
+	lru      list.List                // front = most recent
+	hits     atomic.Int64
+	misses   atomic.Int64
+	evicted  atomic.Int64
 }
 
-// NewMetadataCache returns an empty metadata cache.
-func NewMetadataCache() *MetadataCache {
-	return &MetadataCache{readers: make(map[string]*orc.Reader)}
+type metaEntry struct {
+	path   string
+	reader *orc.Reader
+}
+
+// DefaultMetadataCapacity bounds the footer cache when no explicit size is
+// given; at a few KB per parsed footer this stays well under a megabyte.
+const DefaultMetadataCapacity = 1024
+
+// MetaStats counts metadata-cache effectiveness, reported alongside
+// CacheStats.
+type MetaStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Capacity  int
+}
+
+// NewMetadataCache returns an empty metadata cache with the default
+// capacity.
+func NewMetadataCache() *MetadataCache { return NewMetadataCacheSize(DefaultMetadataCapacity) }
+
+// NewMetadataCacheSize returns an empty metadata cache holding at most
+// capacity parsed footers.
+func NewMetadataCacheSize(capacity int) *MetadataCache {
+	if capacity <= 0 {
+		capacity = DefaultMetadataCapacity
+	}
+	return &MetadataCache{capacity: capacity, readers: make(map[string]*list.Element)}
 }
 
 // Reader returns a cached ORC reader for the file, reopening when the file
-// generation changed.
+// generation changed. The returned reader is shared across queries; callers
+// that need query-local cache wiring must use orc.Reader.WithSources rather
+// than mutating it.
 func (m *MetadataCache) Reader(fs *dfs.FS, path string) (*orc.Reader, error) {
 	st, err := fs.Stat(path)
 	if err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
-	if r, ok := m.readers[path]; ok && r.FileID() == st.FileID {
-		m.mu.Unlock()
-		m.hits.Add(1)
-		return r, nil
+	if el, ok := m.readers[path]; ok {
+		if r := el.Value.(*metaEntry).reader; r.FileID() == st.FileID {
+			m.lru.MoveToFront(el)
+			m.mu.Unlock()
+			m.hits.Add(1)
+			return r, nil
+		}
+		// Stale generation: drop so the slot is refilled below.
+		m.lru.Remove(el)
+		delete(m.readers, path)
 	}
 	m.mu.Unlock()
 	m.misses.Add(1)
@@ -181,9 +223,59 @@ func (m *MetadataCache) Reader(fs *dfs.FS, path string) (*orc.Reader, error) {
 		return nil, err
 	}
 	m.mu.Lock()
-	m.readers[path] = r
+	if el, ok := m.readers[path]; ok {
+		// Lost a race with a concurrent fill; keep the resident entry.
+		m.lru.MoveToFront(el)
+		r = el.Value.(*metaEntry).reader
+	} else {
+		m.readers[path] = m.lru.PushFront(&metaEntry{path: path, reader: r})
+		for m.lru.Len() > m.capacity {
+			back := m.lru.Back()
+			delete(m.readers, back.Value.(*metaEntry).path)
+			m.lru.Remove(back)
+			m.evicted.Add(1)
+		}
+	}
 	m.mu.Unlock()
 	return r, nil
+}
+
+// Invalidate drops the cached footer for a path, e.g. after the path was
+// overwritten or removed outside the FileID-versioned write path.
+func (m *MetadataCache) Invalidate(path string) {
+	m.mu.Lock()
+	if el, ok := m.readers[path]; ok {
+		m.lru.Remove(el)
+		delete(m.readers, path)
+	}
+	m.mu.Unlock()
+}
+
+// InvalidatePrefix drops every cached footer under a path prefix, used when
+// a table or partition directory is dropped or truncated.
+func (m *MetadataCache) InvalidatePrefix(prefix string) {
+	m.mu.Lock()
+	for path, el := range m.readers {
+		if strings.HasPrefix(path, prefix) {
+			m.lru.Remove(el)
+			delete(m.readers, path)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Stats returns metadata-cache counters.
+func (m *MetadataCache) Stats() MetaStats {
+	m.mu.Lock()
+	n := m.lru.Len()
+	m.mu.Unlock()
+	return MetaStats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evicted.Load(),
+		Entries:   n,
+		Capacity:  m.capacity,
+	}
 }
 
 // Hits reports metadata cache hits (for tests).

@@ -25,14 +25,42 @@ func (r fsChunkReader) ReadChunk(path string, _ uint64, _, _ int, off, length in
 	return r.fs.ReadAt(path, off, length)
 }
 
+// VectorCache stores fully decoded column vectors keyed by
+// (fileID, stripe, column). This is the second tier of the LLAP I/O
+// elevator (paper §5.1): where the ChunkReader caches raw encoded bytes,
+// the VectorCache caches the *decoded* representation, so a hit skips
+// both the DFS read and the decode. Cached vectors are shared across
+// concurrent queries and must never be mutated by consumers.
+type VectorCache interface {
+	GetVector(fileID uint64, stripe, col int) (*vector.Vector, bool)
+	PutVector(fileID uint64, stripe, col int, v *vector.Vector)
+}
+
+// VectorPeeker is an optional VectorCache extension: Peek checks residency
+// without counting a hit/miss, used by the prefetch path so elevator
+// lookups do not pollute per-query cache statistics.
+type VectorPeeker interface {
+	PeekVector(fileID uint64, stripe, col int) bool
+}
+
+// Prefetcher queues asynchronous stripe decode work (the I/O elevator).
+// An implementation returns true when the request was accepted; it must
+// then invoke done (when non-nil) exactly once after the stripe has been
+// decoded or abandoned. A false return means the caller should not expect
+// any background work (and done is never called).
+type Prefetcher interface {
+	Prefetch(r *Reader, stripe int, cols []int, done func()) bool
+}
+
 // Reader reads an ORC-like file.
 type Reader struct {
-	fs     *dfs.FS
-	path   string
-	fileID uint64
-	schema []Column
-	ft     footer
-	chunks ChunkReader
+	fs      *dfs.FS
+	path    string
+	fileID  uint64
+	schema  []Column
+	ft      footer
+	chunks  ChunkReader
+	vectors VectorCache
 }
 
 // NewReader opens a file and parses its footer. The footer read is charged
@@ -89,6 +117,24 @@ func max64(a, b int64) int64 {
 
 // SetChunkReader substitutes the raw-chunk source, e.g. the LLAP data cache.
 func (r *Reader) SetChunkReader(cr ChunkReader) { r.chunks = cr }
+
+// SetVectorCache attaches a decoded-vector cache consulted by ReadStripe
+// and populated by both ReadStripe and PrefetchStripe.
+func (r *Reader) SetVectorCache(vc VectorCache) { r.vectors = vc }
+
+// WithSources returns a shallow copy of the reader bound to the given
+// chunk and vector sources, sharing the parsed footer. This lets a
+// process-wide metadata cache hand out one parsed footer to many
+// concurrent queries, each with its own cache wiring, without racing on
+// the original reader. A nil ChunkReader keeps the current chunk source.
+func (r *Reader) WithSources(cr ChunkReader, vc VectorCache) *Reader {
+	nr := *r
+	if cr != nil {
+		nr.chunks = cr
+	}
+	nr.vectors = vc
+	return &nr
+}
 
 // Schema returns the file's columns.
 func (r *Reader) Schema() []Column { return r.schema }
@@ -218,18 +264,96 @@ func (r *Reader) ReadStripe(i int, projection []int) (*vector.Batch, error) {
 		if c < 0 || c >= len(r.schema) {
 			return nil, fmt.Errorf("orc: projection column %d out of range", c)
 		}
-		cm := info.Columns[c]
-		data, err := r.chunks.ReadChunk(r.path, r.fileID, i, c, info.Offset+cm.Offset, cm.Length)
+		vec, err := r.readColumn(info, i, c)
 		if err != nil {
 			return nil, err
-		}
-		vec, err := decodeColumn(r.schema[c].Type, cm, data, info.Rows)
-		if err != nil {
-			return nil, fmt.Errorf("orc: decode %s stripe %d: %v", r.schema[c].Name, i, err)
 		}
 		cols[oi] = vec
 	}
 	return &vector.Batch{Cols: cols, N: info.Rows}, nil
+}
+
+// readColumn produces the decoded vector for one column of one stripe:
+// decoded-vector cache first, then chunk read (itself possibly served by
+// the raw-byte cache) followed by decode, publishing the result back into
+// the vector cache. The returned vector may be shared; callers must treat
+// it as immutable.
+func (r *Reader) readColumn(info StripeInfo, stripe, c int) (*vector.Vector, error) {
+	if r.vectors != nil {
+		if v, ok := r.vectors.GetVector(r.fileID, stripe, c); ok {
+			return v, nil
+		}
+	}
+	cm := info.Columns[c]
+	data, err := r.chunks.ReadChunk(r.path, r.fileID, stripe, c, info.Offset+cm.Offset, cm.Length)
+	if err != nil {
+		return nil, err
+	}
+	vec, err := decodeColumn(r.schema[c].Type, cm, data, info.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("orc: decode %s stripe %d: %v", r.schema[c].Name, stripe, err)
+	}
+	if r.vectors != nil {
+		r.vectors.PutVector(r.fileID, stripe, c, vec)
+	}
+	return vec, nil
+}
+
+// PrefetchStripe warms the decoded-vector cache with the given columns of
+// stripe i. It is the elevator worker's entry point: residency is probed
+// with PeekVector (no hit/miss accounting) and already-resident columns
+// are not re-decoded. A no-op when the reader has no vector cache.
+func (r *Reader) PrefetchStripe(i int, cols []int) error {
+	if r.vectors == nil || i < 0 || i >= len(r.ft.Stripes) {
+		return nil
+	}
+	info := r.ft.Stripes[i]
+	pk, canPeek := r.vectors.(VectorPeeker)
+	if cols == nil {
+		cols = make([]int, len(r.schema))
+		for c := range cols {
+			cols[c] = c
+		}
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(r.schema) {
+			continue
+		}
+		if canPeek && pk.PeekVector(r.fileID, i, c) {
+			continue
+		}
+		cm := info.Columns[c]
+		data, err := r.chunks.ReadChunk(r.path, r.fileID, i, c, info.Offset+cm.Offset, cm.Length)
+		if err != nil {
+			return err
+		}
+		vec, err := decodeColumn(r.schema[c].Type, cm, data, info.Rows)
+		if err != nil {
+			return err
+		}
+		r.vectors.PutVector(r.fileID, i, c, vec)
+	}
+	return nil
+}
+
+// StripeEncodedBytes returns the encoded size of the given columns of
+// stripe i (the whole stripe for nil cols), used to budget in-flight
+// elevator work before any bytes are read.
+func (r *Reader) StripeEncodedBytes(i int, cols []int) int64 {
+	if i < 0 || i >= len(r.ft.Stripes) {
+		return 0
+	}
+	info := r.ft.Stripes[i]
+	if cols == nil {
+		return info.Length
+	}
+	var n int64
+	for _, c := range cols {
+		if c >= 0 && c < len(info.Columns) {
+			n += info.Columns[c].Length
+		}
+	}
+	return n
 }
 
 func decodeColumn(t types.T, cm columnMeta, data []byte, rows int) (*vector.Vector, error) {

@@ -61,6 +61,12 @@ type QueryMetrics struct {
 	ShuffleBytes    int64
 	PeakMemoryBytes int64
 	SpilledBytes    int64
+	// StripesSkipped (data + delete-delta stripes pruned by search
+	// arguments) and DecodedCacheHits (I/O elevator decoded-vector cache)
+	// expose scan efficiency to triggers, e.g. routing full-scan queries
+	// that skip nothing into a constrained pool.
+	StripesSkipped   int64
+	DecodedCacheHits int64
 }
 
 // waiter is one queued admission request. ready is buffered so the pump
@@ -637,6 +643,10 @@ func (m *Manager) Evaluate(pool string, metrics QueryMetrics) (Action, string) {
 			value = metrics.PeakMemoryBytes
 		case "spilled_bytes":
 			value = metrics.SpilledBytes
+		case "stripes_skipped":
+			value = metrics.StripesSkipped
+		case "decoded_cache_hits":
+			value = metrics.DecodedCacheHits
 		default:
 			continue
 		}
