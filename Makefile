@@ -1,16 +1,26 @@
 GO ?= go
 
-.PHONY: check build test vet race spill props serve elevator hammer bench
+.PHONY: check build test vet race lint spill props serve elevator hammer bench
 
 # check is the CI gate: vet, build, a -race short-test pass over every
 # package (catches data races in the parallel scan/agg/join paths, the
 # stripe-granular morsel sharing and the shared memory governor), the
 # full suite, then the constrained-budget spill regressions — the spill
 # path can never silently rot because check always executes it.
-check: vet build race test spill props serve elevator
+check: vet build lint race test spill props serve elevator
 
 vet:
 	$(GO) vet ./...
+
+# lint builds and runs hivelint (cmd/hivelint), the repo-invariant
+# static-analysis suite: reservation-balance, snapshot-pinning,
+# no-alias-escape, close-and-cancel and conf-knob-registry analyzers over
+# every package. Any unsuppressed finding fails check; deliberate
+# exceptions carry //lint:ignore <analyzer> <reason> annotations, and the
+# golden-diagnostic fixtures for each analyzer run under `make test`
+# (go test ./internal/lint).
+lint:
+	$(GO) run ./cmd/hivelint .
 
 build:
 	$(GO) build ./...

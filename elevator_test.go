@@ -183,4 +183,17 @@ func TestElevatorConcurrentTinyCache(t *testing.T) {
 	if st.UsedBytes > 64<<10 {
 		t.Errorf("decoded cache used %d bytes over its 64KiB capacity", st.UsedBytes)
 	}
+	// Single-flight accounting: after Close drains the pool, every accepted
+	// request was decoded or abandoned — coalesced joins ride an accepted
+	// flight, they never add work — and the in-flight estimate fully
+	// unwinds. (wh.Close re-closing the elevator is an idempotent no-op.)
+	wh.Server().Elevator.Close()
+	est := wh.Server().Elevator.Stats()
+	if est.Enqueued != est.Decoded+est.Abandoned {
+		t.Errorf("elevator accounting: enqueued %d != decoded %d + abandoned %d",
+			est.Enqueued, est.Decoded, est.Abandoned)
+	}
+	if est.InflightBytes != 0 {
+		t.Errorf("elevator in-flight bytes = %d after Close, want 0", est.InflightBytes)
+	}
 }

@@ -213,6 +213,9 @@ func (a *HashAggOp) consume() error {
 	}
 	var colHash [][]uint64
 	for {
+		if err := a.Ctx.CheckCanceled(); err != nil {
+			return err
+		}
 		b, err := a.Input.Next()
 		if err != nil {
 			return err

@@ -217,6 +217,9 @@ func (t *spillAggTable) loadPart(p int) error {
 			return err
 		}
 		for {
+			if err := t.ctx.CheckCanceled(); err != nil {
+				return err
+			}
 			rows, err := r.Next()
 			if err != nil {
 				return err

@@ -134,7 +134,7 @@ func (c *Compiler) Compile(r plan.Rel) (Operator, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &TopNOp{Input: in, Keys: s.Keys, N: x.N, Offset: x.Offset}, nil
+			return &TopNOp{Input: in, Keys: s.Keys, N: x.N, Offset: x.Offset, Ctx: c.Ctx}, nil
 		}
 		in, err := c.Compile(x.Input)
 		if err != nil {
@@ -161,7 +161,7 @@ func (c *Compiler) Compile(r plan.Rel) (Operator, error) {
 		if x.Kind == plan.Union && x.All {
 			return &UnionAllOp{Inputs: []Operator{l, r}}, nil
 		}
-		return &SetOpOp{Kind: x.Kind, All: x.All, Left: l, Right: r}, nil
+		return &SetOpOp{Kind: x.Kind, All: x.All, Left: l, Right: r, Ctx: c.Ctx}, nil
 	}
 	return nil, fmt.Errorf("exec: cannot compile %T", r)
 }

@@ -266,6 +266,9 @@ func (j *HashJoinOp) buildPartitions(right Operator) ([]buildPartition, [][]stri
 			}(w)
 		}
 		for !failed.Load() && !graceNeeded.Load() {
+			if err = j.Ctx.CheckCanceled(); err != nil {
+				break
+			}
 			b, ferr := right.Next()
 			if ferr != nil {
 				err = ferr
@@ -297,6 +300,9 @@ func (j *HashJoinOp) buildPartitions(right Operator) ([]buildPartition, [][]stri
 		// Serial: consume inline (the whole input, or whatever the
 		// parallel staging left after the Grace switch).
 		for err == nil {
+			if err = j.Ctx.CheckCanceled(); err != nil {
+				break
+			}
 			var b *vector.Batch
 			var sz int64
 			b, err = right.Next()
@@ -582,6 +588,9 @@ func (j *HashJoinOp) bumpStats(b *vector.Batch) {
 func (j *HashJoinOp) graceNext() (*vector.Batch, error) {
 	if !j.leftDone {
 		for {
+			if err := j.Ctx.CheckCanceled(); err != nil {
+				return nil, err
+			}
 			b, err := j.Left.Next()
 			if err != nil {
 				return nil, err
@@ -710,6 +719,9 @@ func (j *HashJoinOp) loadGracePart() error {
 			return err
 		}
 		for {
+			if err := j.Ctx.CheckCanceled(); err != nil {
+				return err
+			}
 			rows, err := r.Next()
 			if err != nil {
 				return err

@@ -470,7 +470,7 @@ func (t *ParallelTopNOp) run() error {
 	keep := t.N + t.Offset
 	locals := make([][][]types.Datum, len(t.Workers))
 	err := runPhased(t.Ctx, len(t.Workers), func(w int) error {
-		local := &TopNOp{Input: t.Workers[w], Keys: t.Keys, N: keep}
+		local := &TopNOp{Input: t.Workers[w], Keys: t.Keys, N: keep, Ctx: t.Ctx}
 		if err := local.Open(); err != nil {
 			return err
 		}

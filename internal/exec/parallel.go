@@ -41,6 +41,7 @@ type exchange struct {
 	errMu   sync.Mutex
 	err     error
 	release func()
+	ctx     *Context
 }
 
 // reset clears launch state for the Open-after-Close contract.
@@ -73,6 +74,7 @@ func grantWorkers(ctx *Context, want int) (int, func()) {
 // workers, returning how many may run.
 func (e *exchange) begin(ctx *Context, want int) int {
 	e.started = true
+	e.ctx = ctx
 	e.done = make(chan struct{})
 	n, release := grantWorkers(ctx, want)
 	e.release = release
@@ -121,6 +123,10 @@ func (e *exchange) drainWorker(w Operator, send func(*vector.Batch) bool) {
 		case <-e.done:
 			return
 		default:
+		}
+		if err := e.ctx.CheckCanceled(); err != nil {
+			e.fail(err)
+			return
 		}
 		b, err := w.Next()
 		if err != nil {

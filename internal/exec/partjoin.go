@@ -120,6 +120,9 @@ func (j *PartitionJoinOp) runUnit(u joinUnit) error {
 			return nil
 		default:
 		}
+		if err := j.Ctx.CheckCanceled(); err != nil {
+			return err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return err
@@ -148,6 +151,7 @@ func (j *PartitionJoinOp) Next() (*vector.Batch, error) {
 
 // Close implements Operator. Unit pipelines close inside the workers; only
 // the template (never opened) and the exchange remain.
+//lint:ignore close-and-cancel Pipeline is a never-opened template; the clones made from it close inside runUnit
 func (j *PartitionJoinOp) Close() error {
 	j.shutdown()
 	return nil

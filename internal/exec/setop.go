@@ -81,6 +81,7 @@ type SetOpOp struct {
 	All   bool
 	Left  Operator
 	Right Operator
+	Ctx   *Context
 
 	out     [][]types.Datum
 	done    bool
@@ -99,11 +100,14 @@ func (s *SetOpOp) Open() error {
 	return s.Right.Open()
 }
 
-func drainCounts(op Operator) (map[string]int64, map[string][]types.Datum, []string, error) {
+func drainCounts(ctx *Context, op Operator) (map[string]int64, map[string][]types.Datum, []string, error) {
 	counts := map[string]int64{}
 	sample := map[string][]types.Datum{}
 	var order []string
 	for {
+		if err := ctx.CheckCanceled(); err != nil {
+			return nil, nil, nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, nil, nil, err
@@ -124,11 +128,11 @@ func drainCounts(op Operator) (map[string]int64, map[string][]types.Datum, []str
 }
 
 func (s *SetOpOp) compute() error {
-	lCounts, lRows, lOrder, err := drainCounts(s.Left)
+	lCounts, lRows, lOrder, err := drainCounts(s.Ctx, s.Left)
 	if err != nil {
 		return err
 	}
-	rCounts, rRows, rOrder, err := drainCounts(s.Right)
+	rCounts, rRows, rOrder, err := drainCounts(s.Ctx, s.Right)
 	if err != nil {
 		return err
 	}

@@ -207,6 +207,9 @@ func (s *SortOp) spillRun() error {
 // whenever the governor denies the reservation.
 func (s *SortOp) consume() error {
 	for {
+		if err := s.Ctx.CheckCanceled(); err != nil {
+			return err
+		}
 		b, err := s.Input.Next()
 		if err != nil {
 			return err
@@ -396,6 +399,7 @@ type TopNOp struct {
 	Keys   []plan.SortKey
 	N      int64
 	Offset int64
+	Ctx    *Context
 
 	rows    [][]types.Datum
 	done    bool
@@ -423,6 +427,9 @@ func (t *TopNOp) Open() error {
 func (t *TopNOp) consume() error {
 	h := newTopNHeap(t.Keys, t.N+t.Offset)
 	for {
+		if err := t.Ctx.CheckCanceled(); err != nil {
+			return err
+		}
 		b, err := t.Input.Next()
 		if err != nil {
 			return err

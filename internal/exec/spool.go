@@ -73,6 +73,9 @@ func (sp *sharedSpool) run(in Operator, ctx *Context) error {
 	}
 	defer in.Close()
 	for {
+		if err := ctx.CheckCanceled(); err != nil {
+			return err
+		}
 		b, err := in.Next()
 		if err != nil {
 			return err
@@ -170,6 +173,7 @@ func (s *SpoolOp) Next() (*vector.Batch, error) {
 // Close implements Operator. The shared materialization intentionally
 // survives this consumer: other consumers elsewhere in the plan may not
 // have replayed yet. Context.CloseSpools reclaims it at query end.
+//lint:ignore close-and-cancel spool lifetime is the query, not this consumer; Context.CloseSpools closes the shared input exactly once
 func (s *SpoolOp) Close() error {
 	s.pull = nil
 	return nil

@@ -304,6 +304,9 @@ func (w *WindowOp) Open() error {
 // final emission.
 func (w *WindowOp) consume() error {
 	for {
+		if err := w.Ctx.CheckCanceled(); err != nil {
+			return err
+		}
 		b, err := w.Input.Next()
 		if err != nil {
 			return err
@@ -552,7 +555,7 @@ func (w *WindowOp) computeExternal() error {
 			return err
 		}
 		w.pipes = append(w.pipes, res)
-		w.resFeeds[gi] = &rowFeed{op: res}
+		w.resFeeds[gi] = &rowFeed{op: res, ctx: w.Ctx}
 		// Prime: the first pull drains the whole chain (SortOp consumes to
 		// EOF before emitting), so the group's input copy lives exactly as
 		// long as its pass — closing the upstream now frees the group
@@ -569,7 +572,7 @@ func (w *WindowOp) computeExternal() error {
 		return err
 	}
 	w.pipes = append(w.pipes, replay)
-	w.inFeed = &rowFeed{op: replay}
+	w.inFeed = &rowFeed{op: replay, ctx: w.Ctx}
 	return nil
 }
 
@@ -757,7 +760,7 @@ func (e *windowEvalOp) Types() []types.T {
 // Open implements Operator.
 func (e *windowEvalOp) Open() error {
 	e.res = e.ctx.Governor().Reserve("window")
-	e.feed = &rowFeed{op: e.Input}
+	e.feed = &rowFeed{op: e.Input, ctx: e.ctx}
 	e.carry, e.eof, e.out, e.outPos = nil, false, nil, 0
 	return e.Input.Open()
 }
@@ -828,6 +831,7 @@ func (e *windowEvalOp) Close() error {
 // the lockstep cursor the external window emission zips streams with.
 type rowFeed struct {
 	op     Operator
+	ctx    *Context
 	b      *vector.Batch
 	i      int
 	primed bool
@@ -854,6 +858,9 @@ func (f *rowFeed) next() ([]types.Datum, error) {
 		}
 		if f.primed && f.b == nil {
 			return nil, nil
+		}
+		if err := f.ctx.CheckCanceled(); err != nil {
+			return nil, err
 		}
 		b, err := f.op.Next()
 		if err != nil {

@@ -91,6 +91,12 @@ func NewServer(cfg Config) *Server {
 	if cfg.DecodedCacheBytes <= 0 {
 		cfg.DecodedCacheBytes = cfg.CacheBytes / 2
 	}
+	// Session defaults come from the knob registry (knobs.go); the three
+	// machine-dependent ones are resolved from the effective Config here.
+	defaults := defaultConf()
+	defaults["hive.parallelism"] = strconv.Itoa(runtime.NumCPU())
+	defaults["hive.llap.io.threads"] = strconv.Itoa(cfg.IOThreads)
+	defaults["hive.llap.decoded.cache.bytes"] = strconv.FormatInt(cfg.DecodedCacheBytes, 10)
 	s := &Server{
 		MS:        metastore.New(cfg.FS, cfg.WarehouseRoot),
 		FS:        cfg.FS,
@@ -103,83 +109,7 @@ func NewServer(cfg Config) *Server {
 		Daemons:   llap.NewDaemons(cfg.Executors),
 		Results:   resultcache.New(256),
 		Plans:     plancache.New(128),
-		defaults: map[string]string{
-			"hive.profile":                     "3.1",
-			"hive.execution.mode":              "llap",
-			"hive.llap.enabled":                "true",
-			"hive.optimize.join.reorder":       "true",
-			"hive.optimize.semijoin":           "true",
-			"hive.optimize.sharedwork":         "true",
-			"hive.optimize.prunecols":          "true",
-			"hive.materializedview.rewriting":  "true",
-			"hive.query.results.cache.enabled": "true",
-			// Compiled-plan reuse (paper §4.3 serving): literals are hoisted
-			// into parameters and the optimized plan is cached per normalized
-			// digest, so repeats of a query shape — ad-hoc or via
-			// PREPARE/EXECUTE — skip analysis and optimization entirely.
-			"hive.query.plan.cache.enabled": "true",
-			"hive.container.launch.ms":      "3",
-			"hive.exec.memory.limit.rows":      "0",
-			"hive.query.reexecution.enabled":   "true",
-			"hive.query.reexecution.strategy":  "overlay",
-			// Intra-query parallelism: LLAP fragments fan out over this
-			// many executor slots (morsel-driven scans, two-phase
-			// aggregation, partitioned join builds).
-			"hive.parallelism": strconv.Itoa(runtime.NumCPU()),
-			// Stripes per morsel when parallel plans split scans at ORC
-			// stripe granularity (paper §5.1). 1 maximizes work-stealing
-			// balance; larger values amortize per-morsel overhead.
-			"hive.split.target.stripes": "1",
-			// LLAP I/O elevator (paper §5.1): scans publish their upcoming
-			// sarg-surviving stripes to an async decode pool that reads and
-			// decodes ahead of the consumer, caching *decoded* vectors.
-			// false restores the fully synchronous read path,
-			// byte-identically.
-			"hive.llap.elevator": "true",
-			// Decode-pool width. Takes effect at server start
-			// (Config.IOThreads); the session knob only gates per-query
-			// elevator use.
-			"hive.llap.io.threads": strconv.Itoa(cfg.IOThreads),
-			// Decoded-vector cache capacity, charged by decoded size. Takes
-			// effect at server start (Config.DecodedCacheBytes).
-			"hive.llap.decoded.cache.bytes": strconv.FormatInt(cfg.DecodedCacheBytes, 10),
-			// Parallel ORDER BY / TopN: workers produce locally sorted
-			// runs (with the LIMIT pushed into each) merged through an
-			// order-preserving loser-tree exchange. false keeps the sort
-			// on the coordinator.
-			"hive.sort.parallel": "true",
-			// Shared-work spools feeding parallel regions: worker clones
-			// of one consumer split the published spool content through a
-			// shared cursor (materialization itself is single-flight).
-			// false keeps spooled subtrees on serial pipelines.
-			"hive.spool.parallel": "true",
-			// Property-driven physical planning (paper §4.1–4.2): carry
-			// delivered sort order / partitioning through the plan, elide
-			// enforcers the input already satisfies (redundant sorts,
-			// window re-sorts) and place partition-wise aggregations and
-			// joins on co-partitioned scans. false restores the
-			// enforcer-everywhere plans; output is byte-identical either
-			// way.
-			"hive.planner.properties": "true",
-			// Per-query memory budget in bytes for the blocking operators
-			// (sort, hash aggregate, hash join build, window, spool). 0
-			// means unlimited; a positive budget makes Sort spill sorted
-			// runs, HashAgg spill partitioned partials, hash joins
-			// Grace-partition, windows run an external partition pass and
-			// spools flush their replay buffer to the query scratch
-			// directory instead of growing past it.
-			"hive.query.max.memory": "0",
-			// Per-query wall-clock deadline in milliseconds, covering
-			// admission queueing and execution. 0 means no deadline. A
-			// timed-out query releases its admission, its governor
-			// reservations and its scratch directory.
-			"hive.query.timeout": "0",
-			// How long a query waits in a pool's admission queue before
-			// degrading (memory pressure: admitted at reduced DOP with a
-			// shrunken budget so it spills) or failing (concurrency cap
-			// still exhausted).
-			"hive.wm.queue.timeout.ms": "30000",
-		},
+		defaults: defaults,
 	}
 	s.memoryBytes = cfg.MemoryBytes
 	return s

@@ -1,0 +1,202 @@
+// Function indexing and the static call graph shared by the analyzers.
+// Interface-dispatched calls resolve to the interface method object and
+// simply dangle (no decl edge) — the analyzers that need cross-dispatch
+// coverage seed their zones with the implementations instead.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncInfo pairs a function declaration with its package and type object.
+// Function literals are attributed to their enclosing declaration: a
+// closure's body is analyzed as part of the function that created it.
+type FuncInfo struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// Functions returns every function declaration in the workspace, cached.
+func (w *Workspace) Functions() []*FuncInfo {
+	if w.funcs != nil {
+		return w.funcs
+	}
+	for _, pkg := range w.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				w.funcs = append(w.funcs, &FuncInfo{Pkg: pkg, Decl: fd, Obj: obj})
+			}
+		}
+	}
+	return w.funcs
+}
+
+// Callee resolves a call expression to its static callee, nil for dynamic
+// calls (function values, interface methods resolve to the interface's
+// method object, which never matches a declaration).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// CallEdges returns the static call graph: caller object -> callee objects,
+// cached. Only calls that resolve to a *types.Func appear; edges may point
+// at functions declared outside the module (those simply have no FuncInfo).
+func (w *Workspace) CallEdges() map[*types.Func][]*types.Func {
+	if w.edges != nil {
+		return w.edges
+	}
+	w.edges = map[*types.Func][]*types.Func{}
+	for _, fn := range w.Functions() {
+		info := fn.Pkg.Info
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := Callee(info, call); callee != nil {
+				w.edges[fn.Obj] = append(w.edges[fn.Obj], callee)
+			}
+			return true
+		})
+	}
+	return w.edges
+}
+
+// reachable computes the transitive closure of the call graph from the
+// given roots.
+func (w *Workspace) reachable(roots []*types.Func) map[*types.Func]bool {
+	edges := w.CallEdges()
+	seen := map[*types.Func]bool{}
+	stack := append([]*types.Func(nil), roots...)
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		stack = append(stack, edges[f]...)
+	}
+	return seen
+}
+
+// callersOf inverts the call graph once for fixpoint propagation.
+func (w *Workspace) callersOf() map[*types.Func][]*types.Func {
+	inv := map[*types.Func][]*types.Func{}
+	for caller, callees := range w.CallEdges() {
+		for _, c := range callees {
+			inv[c] = append(inv[c], caller)
+		}
+	}
+	return inv
+}
+
+// propagateUp marks every function that (transitively) calls a seed
+// function: the "calls something that releases/closes" fixpoint.
+func (w *Workspace) propagateUp(seeds map[*types.Func]bool) map[*types.Func]bool {
+	inv := w.callersOf()
+	out := map[*types.Func]bool{}
+	var stack []*types.Func
+	for f := range seeds {
+		out[f] = true
+		stack = append(stack, f)
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, caller := range inv[f] {
+			if !out[caller] {
+				out[caller] = true
+				stack = append(stack, caller)
+			}
+		}
+	}
+	return out
+}
+
+// namedOf peels pointers and returns the named type underneath, nil when
+// the type is not (a pointer to) a named type.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// typeNamed reports whether t is (a pointer to) a named type with the
+// given name, package-agnostically — fixtures declare their own miniature
+// Reservation/Snapshot/Batch types and must match the same contracts.
+func typeNamed(t types.Type, name string) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == name
+}
+
+// recvBase walks a selector chain (s.res, st.ctx.res, parts[i].res) down
+// to its base identifier, returning the ident and the number of selections
+// peeled.
+func recvBase(e ast.Expr) (*ast.Ident, int) {
+	depth := 0
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+			depth++
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return x, depth
+		default:
+			return nil, depth
+		}
+	}
+}
+
+// funcParamsAndReceiver returns the object for each parameter and the
+// receiver of a declaration.
+func funcParamsAndReceiver(pkg *Package, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	return out
+}

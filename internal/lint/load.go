@@ -1,0 +1,327 @@
+// Module loading for hivelint: a stdlib-only package loader (go/parser +
+// go/types) that walks the module, parses every non-test file honoring
+// //go:build constraints, and type-checks packages in dependency order.
+// Test files are parsed syntax-only so purely lexical analyzers (the conf
+// knob registry) can count usages in tests without type-checking them.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File // non-test files, type-checked
+	// TestFiles are the package's _test.go files, parsed but NOT
+	// type-checked; only lexical analyzers may consult them.
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Workspace is the full module view analyzers run over.
+type Workspace struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	funcs []*FuncInfo
+	edges map[*types.Func][]*types.Func
+}
+
+// Position resolves a token.Pos against the workspace's file set.
+func (w *Workspace) Position(pos token.Pos) token.Position { return w.Fset.Position(pos) }
+
+// buildTagSatisfied evaluates a //go:build expression with the default tag
+// set (no custom tags: -tags stress twins and friends are excluded, exactly
+// like a plain `go build`).
+func buildTagSatisfied(expr constraint.Expr) bool {
+	return expr.Eval(func(tag string) bool {
+		switch {
+		case tag == "linux" || tag == "amd64" || tag == "unix" || tag == "gc":
+			return true
+		case strings.HasPrefix(tag, "go1."):
+			return true
+		}
+		return false
+	})
+}
+
+// fileIncluded reports whether a parsed file participates in a default
+// build (no -tags), by evaluating its //go:build / legacy +build lines.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err != nil {
+					return false
+				}
+				if !buildTagSatisfied(expr) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+type rawPkg struct {
+	pkgPath string
+	dir     string
+	files   []*ast.File
+	tests   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// LoadModule parses and type-checks every package under root (the module
+// root). Directories named testdata, vendor and hidden directories are
+// skipped, matching the go tool's convention.
+func LoadModule(root string) (*Workspace, error) {
+	mod, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// Collect candidate package directories.
+	var dirs []string
+	seen := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	raws := map[string]*rawPkg{}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := mod
+		if rel != "." {
+			pkgPath = mod + "/" + filepath.ToSlash(rel)
+		}
+		rp, err := parseDir(fset, dir, pkgPath, mod)
+		if err != nil {
+			return nil, err
+		}
+		if rp != nil {
+			raws[pkgPath] = rp
+		}
+	}
+
+	order, err := topoSort(raws)
+	if err != nil {
+		return nil, err
+	}
+
+	w := &Workspace{Fset: fset}
+	checked := map[string]*types.Package{}
+	imp := &moduleImporter{checked: checked, fallback: importer.ForCompiler(fset, "source", nil)}
+	for _, pkgPath := range order {
+		rp := raws[pkgPath]
+		info := &types.Info{
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkgPath, fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, err)
+		}
+		checked[pkgPath] = tpkg
+		w.Pkgs = append(w.Pkgs, &Package{
+			PkgPath:   pkgPath,
+			Dir:       rp.dir,
+			Files:     rp.files,
+			TestFiles: rp.tests,
+			Types:     tpkg,
+			Info:      info,
+		})
+	}
+	return w, nil
+}
+
+// LoadDir loads a single self-contained package directory (the fixture
+// harness): no module resolution, stdlib imports only.
+func LoadDir(dir string) (*Workspace, error) {
+	fset := token.NewFileSet()
+	rp, err := parseDir(fset, dir, filepath.Base(dir), "")
+	if err != nil {
+		return nil, err
+	}
+	if rp == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(rp.pkgPath, fset, rp.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %v", dir, err)
+	}
+	w := &Workspace{Fset: fset}
+	w.Pkgs = append(w.Pkgs, &Package{
+		PkgPath: rp.pkgPath, Dir: rp.dir, Files: rp.files, TestFiles: rp.tests,
+		Types: tpkg, Info: info,
+	})
+	return w, nil
+}
+
+// parseDir parses one directory's files; returns nil when the directory
+// holds no buildable non-test Go files.
+func parseDir(fset *token.FileSet, dir, pkgPath, mod string) (*rawPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rp := &rawPkg{pkgPath: pkgPath, dir: dir}
+	impSet := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			rp.tests = append(rp.tests, f)
+			continue
+		}
+		if !fileIncluded(f) {
+			continue
+		}
+		rp.files = append(rp.files, f)
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if mod != "" && (p == mod || strings.HasPrefix(p, mod+"/")) {
+				impSet[p] = true
+			}
+		}
+	}
+	if len(rp.files) == 0 {
+		return nil, nil
+	}
+	for p := range impSet {
+		rp.imports = append(rp.imports, p)
+	}
+	sort.Strings(rp.imports)
+	return rp, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer.
+func topoSort(raws map[string]*rawPkg) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", p)
+		case 2:
+			return nil
+		}
+		state[p] = 1
+		rp := raws[p]
+		if rp != nil {
+			for _, dep := range rp.imports {
+				if _, ok := raws[dep]; ok {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[p] = 2
+		if rp != nil {
+			order = append(order, p)
+		}
+		return nil
+	}
+	var keys []string
+	for k := range raws {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := visit(k); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter serves module-internal packages from the checked set and
+// everything else (the stdlib) from the source importer.
+type moduleImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}

@@ -1,0 +1,243 @@
+// reservation-balance: the governor contract (paper §4.4). Memory taken
+// with Reservation.Grow/ForceGrow must be returned — by the growing
+// function itself (Shrink/Release, possibly deferred or via a helper that
+// releases), or by the owning type's close path when the reservation lives
+// in a struct field. PR 6 fixed exactly this shape: lending slots borrowed
+// and never repaid. The analyzer flags
+//
+//   - a reservation created locally, grown, and neither released nor
+//     escaped (stored, passed or returned), and
+//   - a field-held reservation grown by methods of a type none of whose
+//     methods ever release it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+var growMethods = map[string]bool{"Grow": true, "ForceGrow": true}
+var releaseMethods = map[string]bool{"Shrink": true, "Release": true}
+
+// ReservationBalance is the governor-contract analyzer.
+const reservationBalanceName = "reservation-balance"
+
+var ReservationBalance = &Analyzer{
+	Name: reservationBalanceName,
+	Doc:  "Reservation.Grow/ForceGrow must be balanced by Shrink/Release on every ownership path",
+	Run:  runReservationBalance,
+}
+
+// reservationCall matches a method call on (a pointer to) a type named
+// Reservation and returns the receiver expression.
+func reservationCall(info *types.Info, call *ast.CallExpr, names map[string]bool) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !names[sel.Sel.Name] {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !typeNamed(tv.Type, "Reservation") {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+func runReservationBalance(w *Workspace) []Diagnostic {
+	// Seed: functions that directly release a reservation. Fixpoint: any
+	// caller of a releasing function releases too (sort's spillRun, the
+	// row store's close, aggspill's releaseResident all count).
+	releasers := map[*types.Func]bool{}
+	for _, fn := range w.Functions() {
+		if isReservationMethod(fn) {
+			continue
+		}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := reservationCall(fn.Pkg.Info, call, releaseMethods); ok {
+				releasers[fn.Obj] = true
+			}
+			return true
+		})
+	}
+	releasing := w.propagateUp(releasers)
+
+	var diags []Diagnostic
+	for _, fn := range w.Functions() {
+		if isReservationMethod(fn) {
+			continue
+		}
+		info := fn.Pkg.Info
+		type growSite struct {
+			call *ast.CallExpr
+			recv ast.Expr
+		}
+		var grows []growSite
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, ok := reservationCall(info, call, growMethods); ok {
+				grows = append(grows, growSite{call, recv})
+			}
+			return true
+		})
+		if len(grows) == 0 {
+			continue
+		}
+		// The function balances its own grows: a direct Shrink/Release, a
+		// deferred one, or a call into any transitively-releasing helper.
+		if releasing[fn.Obj] {
+			continue
+		}
+		paramObjs := map[types.Object]bool{}
+		for _, o := range funcParamsAndReceiver(fn.Pkg, fn.Decl) {
+			paramObjs[o] = true
+		}
+		for _, g := range grows {
+			base, depth := recvBase(g.recv)
+			if base == nil {
+				continue
+			}
+			obj := info.Uses[base]
+			if obj == nil {
+				obj = info.Defs[base]
+			}
+			if obj == nil {
+				continue
+			}
+			pos := w.Position(g.call.Pos())
+			switch {
+			case depth == 0 && paramObjs[obj]:
+				// A reservation passed in: the caller owns its balance.
+			case depth == 0 && nodeContains(fn.Decl.Body, obj.Pos()):
+				// Locally created reservation: it must escape or this
+				// function leaks it.
+				if !escapes(info, fn.Decl.Body, obj) {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: reservationBalanceName,
+						Message: fmt.Sprintf("local reservation %q is grown but never released (no Shrink/Release on any path, and it does not escape)",
+							base.Name),
+					})
+				}
+			case depth > 0:
+				// Field-held reservation: some method of the owning type
+				// must release it (the Close/close discipline).
+				owner := ownerNamedType(info, g.recv)
+				if owner == nil {
+					continue
+				}
+				if !typeReleases(w, owner, releasing) {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: reservationBalanceName,
+						Message: fmt.Sprintf("%s grows a field reservation but no method of %s ever calls Shrink/Release (missing close-path release)",
+							fn.Obj.Name(), owner.Obj().Name()),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// isReservationMethod reports whether fn is a method of the Reservation
+// type itself (the accounting implementation, not a user).
+func isReservationMethod(fn *FuncInfo) bool {
+	if fn.Decl.Recv == nil || len(fn.Decl.Recv.List) == 0 {
+		return false
+	}
+	if tv, ok := fn.Pkg.Info.Types[fn.Decl.Recv.List[0].Type]; ok {
+		return typeNamed(tv.Type, "Reservation") || typeNamed(tv.Type, "Governor")
+	}
+	return false
+}
+
+// ownerNamedType finds the named type owning a field-selector receiver:
+// for s.res or st.ctx.res it is the named type of the outermost selector's
+// operand that is (a pointer to) a named struct.
+func ownerNamedType(info *types.Info, recv ast.Expr) *types.Named {
+	sel, ok := ast.Unparen(recv).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if tv, ok := info.Types[sel.X]; ok {
+		return namedOf(tv.Type)
+	}
+	return nil
+}
+
+// typeReleases reports whether any method of the named type is in the
+// releasing set.
+func typeReleases(w *Workspace, n *types.Named, releasing map[*types.Func]bool) bool {
+	for i := 0; i < n.NumMethods(); i++ {
+		if releasing[n.Method(i)] {
+			return true
+		}
+	}
+	return false
+}
+
+// escapes reports whether the object's value leaves the function: stored
+// into a field or composite literal, passed as a call argument, or
+// returned. A reservation that escapes has an owner elsewhere.
+func escapes(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	usesObj := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				// A store through a selector or index escapes; so does
+				// re-binding another variable to the reservation.
+				if i < len(x.Rhs) && usesObj(x.Rhs[i]) {
+					if _, isIdent := ast.Unparen(lhs).(*ast.Ident); !isIdent || x.Tok.String() == "=" {
+						escaped = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Passing the reservation to any call (other than its own
+			// methods) hands ownership away.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && usesObj(sel.X) {
+				return true
+			}
+			for _, arg := range x.Args {
+				if usesObj(arg) {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if usesObj(r) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if usesObj(el) {
+					escaped = true
+				}
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}

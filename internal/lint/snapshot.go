@@ -1,0 +1,89 @@
+// snapshot-pinning: the one-snapshot-per-query contract (PR 8's TOCTOU
+// class). execCompiled/runPlanAt pin a single transaction snapshot that
+// must thread through the whole run — the result-cache lookup, every scan,
+// and the revalidated Fill. Below the pinning frontier (runOnce, the scan
+// factory and everything the physical operators reach) nothing may take a
+// fresh snapshot: a GetSnapshot call down there reads state a concurrent
+// writer may already have moved past the watermarks the query was keyed
+// on. Validity derivation (GetValidWriteIds) is allowed only in functions
+// that demonstrably thread a pinned txn.Snapshot (it appears among their
+// parameters or receiver).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotPinning is the pinned-snapshot analyzer.
+const snapshotPinningName = "snapshot-pinning"
+
+var SnapshotPinning = &Analyzer{
+	Name: snapshotPinningName,
+	Doc:  "no fresh snapshots below the run/scan pinning frontier (runOnce, scan factories, exec operators)",
+	Run:  runSnapshotPinning,
+}
+
+// zone roots by function name; the exec and dag packages are roots in
+// their entirety (every operator method runs below the frontier).
+var snapshotZoneFuncs = map[string]bool{
+	"runOnce":         true,
+	"makeScanFactory": true,
+	"splitsFor":       true,
+}
+
+var snapshotZonePkgs = map[string]bool{"exec": true, "dag": true}
+
+func runSnapshotPinning(w *Workspace) []Diagnostic {
+	var roots []*types.Func
+	for _, fn := range w.Functions() {
+		if snapshotZoneFuncs[fn.Obj.Name()] || snapshotZonePkgs[fn.Pkg.Types.Name()] {
+			roots = append(roots, fn.Obj)
+		}
+	}
+	zone := w.reachable(roots)
+
+	var diags []Diagnostic
+	for _, fn := range w.Functions() {
+		if !zone[fn.Obj] {
+			continue
+		}
+		hasSnapParam := false
+		for _, o := range funcParamsAndReceiver(fn.Pkg, fn.Decl) {
+			if typeNamed(o.Type(), "Snapshot") {
+				hasSnapParam = true
+			}
+		}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "GetSnapshot":
+				diags = append(diags, Diagnostic{
+					Pos:      w.Position(call.Pos()),
+					Analyzer: snapshotPinningName,
+					Message: fmt.Sprintf("%s opens a fresh snapshot inside the run/scan zone; thread the query's pinned snapshot instead (TOCTOU: lookup and scan would see different write sets)",
+						fn.Obj.Name()),
+				})
+			case "GetValidWriteIds":
+				if !hasSnapParam {
+					diags = append(diags, Diagnostic{
+						Pos:      w.Position(call.Pos()),
+						Analyzer: snapshotPinningName,
+						Message: fmt.Sprintf("%s derives write-id validity without a pinned Snapshot parameter in scope; pass the query's snapshot down instead of re-deriving visibility",
+							fn.Obj.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,42 @@
+// Fixture for the no-alias-escape analyzer: a miniature shared cache in a
+// package named like the real ones (the analyzer keys on package name).
+package resultcache
+
+type Cache struct {
+	rows [][]string
+	cols []string
+	idx  map[string]int
+}
+
+// Rows leaks the interior slice: callers can mutate cached rows.
+func (c *Cache) Rows() [][]string {
+	return c.rows // want "interior slice of cached state"
+}
+
+// Index leaks the interior map.
+func (c *Cache) Index() map[string]int {
+	return c.idx // want "interior map of cached state"
+}
+
+// Columns returns a fresh copy: allowed.
+func (c *Cache) Columns() []string {
+	return append([]string(nil), c.cols...)
+}
+
+// Header leaks through a local alias; taint follows the assignment.
+func (c *Cache) Header() []string {
+	h := c.cols
+	return h // want "interior slice of cached state"
+}
+
+// Raw is a deliberate, annotated exception: the suppression absorbs the
+// diagnostic (an unmatched want here would fail the harness).
+func (c *Cache) Raw() []string {
+	//lint:ignore no-alias-escape fixture demonstrates an annotated exception
+	return c.cols
+}
+
+// internal methods are exempt: unexported callers are part of the cache.
+func (c *Cache) header() []string {
+	return c.cols
+}

@@ -1,0 +1,107 @@
+// Fixture for the close-and-cancel analyzer: a miniature Operator
+// interface, a Close that skips an input, and drain loops with and
+// without cancellation checkpoints.
+package closecancel
+
+type Batch struct{ N int }
+
+type Operator interface {
+	Open() error
+	Next() (*Batch, error)
+	Close() error
+}
+
+type Context struct{ canceled bool }
+
+func (c *Context) CheckCanceled() error { return nil }
+
+// LeakyOp never closes its input: the subtree leaks.
+type LeakyOp struct{ Input Operator }
+
+func (o *LeakyOp) Open() error          { return o.Input.Open() }
+func (o *LeakyOp) Next() (*Batch, error) { return o.Input.Next() }
+func (o *LeakyOp) Close() error { // want "never closes input field"
+	return nil
+}
+
+// SinkOp closes its input, but one of its drain loops forgets the
+// cancellation checkpoint.
+type SinkOp struct {
+	Input Operator
+	ctx   *Context
+	rows  []*Batch
+}
+
+func (o *SinkOp) Open() error { return o.Input.Open() }
+
+func (o *SinkOp) consume() error {
+	for { // want "without a CheckCanceled checkpoint"
+		b, err := o.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		o.rows = append(o.rows, b)
+	}
+}
+
+func (o *SinkOp) consumeChecked() error {
+	for {
+		if err := o.ctx.CheckCanceled(); err != nil {
+			return err
+		}
+		b, err := o.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		o.rows = append(o.rows, b)
+	}
+}
+
+// Next hands each batch straight back: bounded per call, no checkpoint
+// needed.
+func (o *SinkOp) Next() (*Batch, error) {
+	for {
+		b, err := o.Input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		return b, nil
+	}
+}
+
+func (o *SinkOp) Close() error { return o.Input.Close() }
+
+// FanInOp closes a worker slice through a range loop: allowed.
+type FanInOp struct{ Workers []Operator }
+
+func (o *FanInOp) Open() error          { return nil }
+func (o *FanInOp) Next() (*Batch, error) { return nil, nil }
+func (o *FanInOp) Close() error {
+	for _, w := range o.Workers {
+		w.Close()
+	}
+	return nil
+}
+
+// DelegateOp hands its workers to a helper that closes them: allowed.
+type DelegateOp struct{ Workers []Operator }
+
+func (o *DelegateOp) Open() error          { return nil }
+func (o *DelegateOp) Next() (*Batch, error) { return nil, nil }
+func (o *DelegateOp) Close() error          { return closeAll(o.Workers) }
+
+func closeAll(ops []Operator) error {
+	var first error
+	for _, op := range ops {
+		if err := op.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,25 @@
+// Fixture for the conf-knob-registry analyzer: a marked registry with a
+// live knob, a dead knob, a startup-exempt knob, and an undeclared literal
+// at a use site.
+package knobs
+
+type Knob struct {
+	Default string
+	Startup bool
+}
+
+// The single conf table for this fixture package.
+//
+// lint:knob-registry
+var registry = map[string]Knob{
+	"hive.fixture.enabled": {Default: "true"},
+	"hive.fixture.dead":    {Default: "0"}, // want "dead knob"
+	"hive.fixture.boot":    {Default: "4", Startup: true},
+}
+
+func read(conf map[string]string) string {
+	if v := conf["hive.fixture.enabled"]; v != "" {
+		return v
+	}
+	return conf["hive.fixture.typo"] // want "not declared in the knob registry"
+}

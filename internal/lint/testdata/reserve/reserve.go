@@ -1,0 +1,57 @@
+// Fixture for the reservation-balance analyzer: miniature Governor and
+// Reservation types with the same method surface as internal/exec.
+package reserve
+
+type Governor struct{ used int64 }
+
+func (g *Governor) Reserve() *Reservation { return &Reservation{g: g} }
+
+type Reservation struct {
+	g    *Governor
+	held int64
+}
+
+func (r *Reservation) Grow(n int64) bool { r.held += n; return true }
+func (r *Reservation) ForceGrow(n int64) { r.held += n }
+func (r *Reservation) Shrink(n int64)    { r.held -= n }
+func (r *Reservation) Release()          { r.held = 0 }
+
+// leakLocal grows a locally created reservation and never returns it.
+func leakLocal(g *Governor) {
+	res := g.Reserve()
+	res.ForceGrow(64) // want "grown but never released"
+}
+
+// balanced releases on the way out.
+func balanced(g *Governor) {
+	res := g.Reserve()
+	res.ForceGrow(64)
+	defer res.Release()
+}
+
+// borrowed grows a caller-owned reservation: the caller balances it.
+func borrowed(res *Reservation) {
+	res.ForceGrow(32)
+}
+
+// sink holds its reservation in a field but no method ever releases.
+type sink struct{ res *Reservation }
+
+func (s *sink) fill() {
+	s.res.ForceGrow(128) // want "no method of sink ever calls Shrink/Release"
+}
+
+// store has the close-path release the contract wants.
+type store struct{ res *Reservation }
+
+func (s *store) fill()  { s.res.ForceGrow(128) }
+func (s *store) close() { s.res.Release() }
+
+// helperBalanced releases through a transitively-releasing helper.
+func helperBalanced(g *Governor) {
+	res := g.Reserve()
+	res.ForceGrow(16)
+	giveBack(res)
+}
+
+func giveBack(res *Reservation) { res.Release() }

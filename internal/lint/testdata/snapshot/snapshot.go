@@ -1,0 +1,36 @@
+// Fixture for the snapshot-pinning analyzer: a miniature transaction
+// manager with the GetSnapshot/GetValidWriteIds surface, and a runOnce
+// zone root.
+package snapshot
+
+type Snapshot struct{ id int64 }
+
+type Txns struct{ next int64 }
+
+func (t *Txns) GetSnapshot() *Snapshot { t.next++; return &Snapshot{id: t.next} }
+
+func (t *Txns) GetValidWriteIds(name string, s *Snapshot) []int64 { return nil }
+
+// runOnce is a zone root by name: everything it reaches runs below the
+// pinning frontier.
+func runOnce(t *Txns) {
+	fresh := t.GetSnapshot() // want "opens a fresh snapshot"
+	scanAll(t)
+	scanPinned(t, fresh)
+}
+
+// scanAll re-derives visibility with no pinned snapshot in scope.
+func scanAll(t *Txns) {
+	_ = t.GetValidWriteIds("t", nil) // want "without a pinned Snapshot parameter"
+}
+
+// scanPinned threads the pinned snapshot: allowed.
+func scanPinned(t *Txns, snap *Snapshot) {
+	_ = t.GetValidWriteIds("t", snap)
+}
+
+// outsideZone is unreachable from any zone root; a fresh snapshot here is
+// the pinning frontier itself.
+func outsideZone(t *Txns) *Snapshot {
+	return t.GetSnapshot()
+}

@@ -2,6 +2,9 @@ package llap
 
 import (
 	"container/list"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -188,14 +191,35 @@ func (q *QueryVectorView) PeekVector(fileID uint64, stripe, col int) bool {
 type ElevatorStats struct {
 	Enqueued      int64 // requests accepted into the queue
 	Decoded       int64 // stripes decoded by elevator workers
-	Dropped       int64 // requests rejected (duplicate, full queue, byte cap)
+	Coalesced     int64 // requests joined onto an identical in-flight decode
+	Dropped       int64 // requests rejected (full queue, byte cap)
+	Abandoned     int64 // queued requests discarded by Close
 	MaxDepth      int64 // high-water mark of queued requests
 	InflightBytes int64 // current estimated bytes of queued + running work
 }
 
+// elevKey identifies one in-flight decode unit. The column-set fingerprint
+// matters: two queries projecting different columns of the same stripe are
+// different work — deduping them on (file, stripe) alone would leave the
+// second projection undecoded.
 type elevKey struct {
 	fileID uint64
 	stripe int
+	colset string
+}
+
+// colsetKey fingerprints a projection order-insensitively.
+func colsetKey(cols []int) string {
+	cs := append([]int(nil), cols...)
+	sort.Ints(cs)
+	var b strings.Builder
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
 }
 
 type elevReq struct {
@@ -203,7 +227,14 @@ type elevReq struct {
 	stripe int
 	cols   []int
 	est    int64
-	done   func()
+	key    elevKey
+}
+
+// flight is the single-flight record for one in-flight decode: every
+// caller that joined it gets its done callback on completion (or on
+// Close's abandonment), so per-query accounting always unwinds.
+type flight struct {
+	dones []func()
 }
 
 // Elevator is the per-daemon asynchronous decode pool. Scanning workers
@@ -221,14 +252,16 @@ type Elevator struct {
 	inflight atomic.Int64
 
 	mu      sync.Mutex
-	pending map[elevKey]struct{} // dedupe concurrent requests per stripe
+	pending map[elevKey]*flight // single-flight: one decode per (file, stripe, colset)
 
-	enqueued atomic.Int64
-	decoded  atomic.Int64
-	dropped  atomic.Int64
-	depth    atomic.Int64
-	maxDepth atomic.Int64
-	closed   atomic.Bool
+	enqueued  atomic.Int64
+	decoded   atomic.Int64
+	coalesced atomic.Int64
+	dropped   atomic.Int64
+	abandoned atomic.Int64
+	depth     atomic.Int64
+	maxDepth  atomic.Int64
+	closed    atomic.Bool
 }
 
 // NewElevator starts an elevator with the given worker count
@@ -245,7 +278,7 @@ func NewElevator(threads int, inflightBytes int64) *Elevator {
 		reqs:    make(chan elevReq, 4*threads),
 		quit:    make(chan struct{}),
 		cap:     inflightBytes,
-		pending: make(map[elevKey]struct{}),
+		pending: make(map[elevKey]*flight),
 	}
 	e.wg.Add(threads)
 	for i := 0; i < threads; i++ {
@@ -274,37 +307,53 @@ func (e *Elevator) worker() {
 func (e *Elevator) finish(req elevReq) {
 	e.inflight.Add(-req.est)
 	e.mu.Lock()
-	delete(e.pending, elevKey{req.r.FileID(), req.stripe})
+	fl := e.pending[req.key]
+	delete(e.pending, req.key)
 	e.mu.Unlock()
-	if req.done != nil {
-		req.done()
+	if fl != nil {
+		for _, done := range fl.dones {
+			done()
+		}
 	}
 }
 
-// Prefetch implements orc.Prefetcher. The request is dropped (returning
-// false, done never called) when the elevator is saturated or an identical
-// stripe is already in flight.
+// Prefetch implements orc.Prefetcher. A request identical to one already
+// in flight — same file generation, stripe and column set — joins it
+// (single-flight): the decode happens once, every joiner's done callback
+// fires when it lands, and the call reports true. The request is dropped
+// (returning false, done never called) when the elevator is saturated.
 func (e *Elevator) Prefetch(r *orc.Reader, stripe int, cols []int, done func()) bool {
 	if e.closed.Load() {
 		return false
 	}
 	est := 2 * r.StripeEncodedBytes(stripe, cols) // encoded + decoded copies
-	if e.inflight.Load()+est > e.cap {
-		e.dropped.Add(1)
-		return false
-	}
-	key := elevKey{r.FileID(), stripe}
+	key := elevKey{r.FileID(), stripe, colsetKey(cols)}
 	e.mu.Lock()
-	if _, dup := e.pending[key]; dup {
+	if fl, dup := e.pending[key]; dup {
+		if done != nil {
+			fl.dones = append(fl.dones, done)
+		}
+		e.mu.Unlock()
+		e.coalesced.Add(1)
+		return true
+	}
+	if e.inflight.Load()+est > e.cap {
 		e.mu.Unlock()
 		e.dropped.Add(1)
 		return false
 	}
-	e.pending[key] = struct{}{}
-	e.mu.Unlock()
-	e.inflight.Add(est)
+	// Register the flight and enqueue while still holding the lock: a
+	// worker cannot finish (and unregister) the request before its flight
+	// record exists, and no duplicate can slip between the two steps.
+	fl := &flight{}
+	if done != nil {
+		fl.dones = append(fl.dones, done)
+	}
 	select {
-	case e.reqs <- elevReq{r: r, stripe: stripe, cols: cols, est: est, done: done}:
+	case e.reqs <- elevReq{r: r, stripe: stripe, cols: cols, est: est, key: key}:
+		e.pending[key] = fl
+		e.inflight.Add(est)
+		e.mu.Unlock()
 		e.enqueued.Add(1)
 		d := e.depth.Add(1)
 		for {
@@ -315,9 +364,6 @@ func (e *Elevator) Prefetch(r *orc.Reader, stripe int, cols []int, done func()) 
 		}
 		return true
 	default:
-		e.inflight.Add(-est)
-		e.mu.Lock()
-		delete(e.pending, key)
 		e.mu.Unlock()
 		e.dropped.Add(1)
 		return false
@@ -336,7 +382,7 @@ func (e *Elevator) Close() {
 		select {
 		case req := <-e.reqs:
 			e.depth.Add(-1)
-			e.dropped.Add(1)
+			e.abandoned.Add(1)
 			e.finish(req)
 		default:
 			return
@@ -349,7 +395,9 @@ func (e *Elevator) Stats() ElevatorStats {
 	return ElevatorStats{
 		Enqueued:      e.enqueued.Load(),
 		Decoded:       e.decoded.Load(),
+		Coalesced:     e.coalesced.Load(),
 		Dropped:       e.dropped.Load(),
+		Abandoned:     e.abandoned.Load(),
 		MaxDepth:      e.maxDepth.Load(),
 		InflightBytes: e.inflight.Load(),
 	}

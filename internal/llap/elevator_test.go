@@ -182,6 +182,55 @@ func TestElevatorDedupAndClose(t *testing.T) {
 	e.Close() // idempotent
 }
 
+// TestElevatorSingleFlight pins the join semantics deterministically: the
+// elevator is built without workers, so requests stay queued and
+// duplicates provably overlap the flight they join.
+func TestElevatorSingleFlight(t *testing.T) {
+	fs := dfs.New()
+	writeStripedFile(t, fs, "/t/f", 32, 16)
+	r, err := orc.NewReader(fs, "/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetVectorCache(NewDecodedCache(1 << 20))
+	e := &Elevator{
+		reqs:    make(chan elevReq, 8),
+		quit:    make(chan struct{}),
+		cap:     1 << 30,
+		pending: make(map[elevKey]*flight),
+	}
+	var done atomic.Int64
+	cb := func() { done.Add(1) }
+	if !e.Prefetch(r, 0, []int{0, 1}, cb) {
+		t.Fatal("first prefetch rejected")
+	}
+	// Same stripe, same column set (order-insensitively): joins the flight.
+	if !e.Prefetch(r, 0, []int{1, 0}, cb) {
+		t.Fatal("identical prefetch must join the in-flight decode, not drop")
+	}
+	// A different projection of the same stripe is distinct work.
+	if !e.Prefetch(r, 0, []int{0}, cb) {
+		t.Fatal("narrower projection must enqueue its own decode")
+	}
+	st := e.Stats()
+	if st.Enqueued != 2 || st.Coalesced != 1 || st.Dropped != 0 {
+		t.Errorf("enqueued/coalesced/dropped = %d/%d/%d, want 2/1/0",
+			st.Enqueued, st.Coalesced, st.Dropped)
+	}
+	// Close abandons both queued flights; every chained done fires once.
+	e.Close()
+	if done.Load() != 3 {
+		t.Errorf("done callbacks = %d, want 3 (two flights, one joiner)", done.Load())
+	}
+	st = e.Stats()
+	if st.Abandoned != 2 || st.Enqueued != st.Decoded+st.Abandoned {
+		t.Errorf("accounting after Close: %+v", st)
+	}
+	if st.InflightBytes != 0 {
+		t.Errorf("in-flight bytes = %d after Close, want 0", st.InflightBytes)
+	}
+}
+
 func TestMetadataCacheLRUAndInvalidate(t *testing.T) {
 	fs := dfs.New()
 	for i := 0; i < 4; i++ {

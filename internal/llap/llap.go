@@ -85,6 +85,10 @@ func (c *Cache) ReadChunk(path string, fileID uint64, stripe, col int, off, leng
 		data := e.data
 		c.mu.Unlock()
 		c.hits.Add(1)
+		// Decoders treat encoded chunks as immutable; copying here would
+		// tax every hit to defend against a write that never happens (the
+		// -tags stress deep-freeze build verifies the contract).
+		//lint:ignore no-alias-escape encoded chunks are immutable by contract; per-hit copies would defeat the cache
 		return data, nil
 	}
 	c.mu.Unlock()

@@ -65,8 +65,17 @@ type shard struct {
 
 // Cache is one HS2 instance's plan cache, shared by all sessions.
 type Cache struct {
+	noCopy noCopy
 	shards []*shard
 }
+
+// noCopy makes `go vet` (copylocks) flag by-value copies of Cache: the
+// shards are shared mutable state behind pointers, so a copied handle
+// silently aliases the original instead of being independent.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
 
 // New creates a plan cache bounded to maxEntries templates.
 func New(maxEntries int) *Cache {

@@ -79,8 +79,17 @@ type shard struct {
 
 // Cache is one HS2 instance's results cache.
 type Cache struct {
+	noCopy noCopy
 	shards []*shard
 }
+
+// noCopy makes `go vet` (copylocks) flag by-value copies of Cache: the
+// shards are shared mutable state behind pointers, so a copied handle
+// silently aliases the original instead of being independent.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
 
 // New creates a cache bounded to maxEntries cached results in total
 // (summed across all versions of all keys).
